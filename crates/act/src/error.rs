@@ -1,0 +1,60 @@
+//! Error types for the ACT baseline estimator.
+
+use std::error::Error;
+use std::fmt;
+
+use ecochip_techdb::TechDbError;
+
+/// Errors produced by the ACT baseline estimator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ActError {
+    /// The die area was negative or not finite.
+    InvalidArea(f64),
+    /// The technology database has no entry for the requested node.
+    TechDb(TechDbError),
+}
+
+impl fmt::Display for ActError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActError::InvalidArea(a) => write!(f, "invalid die area {a} mm2"),
+            ActError::TechDb(e) => write!(f, "technology database error: {e}"),
+        }
+    }
+}
+
+impl Error for ActError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ActError::TechDb(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechDbError> for ActError {
+    fn from(value: TechDbError) -> Self {
+        ActError::TechDb(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ActError::InvalidArea(-1.0);
+        assert!(e.to_string().contains("area"));
+        assert!(Error::source(&e).is_none());
+        let e: ActError = TechDbError::MissingNode(7).into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ActError>();
+    }
+}

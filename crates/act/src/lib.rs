@@ -1,0 +1,214 @@
+//! # ecochip-act
+//!
+//! A reimplementation of the **ACT** architectural carbon-modelling tool
+//! (Gupta et al., ISCA 2022) at the level of detail the ECO-CHIP paper uses it
+//! as a baseline (Section V-A, Fig. 7(c)).
+//!
+//! ACT estimates the embodied carbon of a die as a carbon-per-area figure
+//! (derived from fab energy, gas and material footprints and yield) times the
+//! die area, and adds a **fixed packaging footprint of 150 g CO₂e per die**
+//! regardless of the package size, architecture or assembly yield. It models
+//! neither the design-phase CFP nor the silicon wasted at the wafer periphery
+//! — precisely the omissions the ECO-CHIP paper calls out, which make ACT
+//! underestimate the embodied CFP of heterogeneous systems.
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_techdb::{Area, EnergySource, TechDb, TechNode};
+//! use ecochip_act::ActEstimator;
+//!
+//! let db = TechDb::default();
+//! let act = ActEstimator::new(&db, EnergySource::Coal);
+//! let cfp = act.die_embodied(Area::from_mm2(628.0), TechNode::N8)?;
+//! assert!(cfp.kg() > 10.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::{Area, Carbon, EnergySource, TechDb, TechNode};
+use ecochip_yield::NegativeBinomialYield;
+
+mod error;
+
+pub use error::ActError;
+
+/// The fixed per-package assembly footprint ACT assumes (grams of CO₂e),
+/// independent of package area, architecture or yield.
+pub const ACT_FIXED_PACKAGE_G: f64 = 150.0;
+
+/// Embodied-carbon breakdown in ACT's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActBreakdown {
+    /// Manufacturing CFP of all dies.
+    pub manufacturing: Carbon,
+    /// The fixed packaging CFP (150 g per package).
+    pub packaging: Carbon,
+}
+
+impl ActBreakdown {
+    /// Total embodied CFP as ACT reports it.
+    pub fn total(&self) -> Carbon {
+        self.manufacturing + self.packaging
+    }
+}
+
+impl fmt::Display for ActBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ACT embodied {} (manufacturing {}, packaging {})",
+            self.total(),
+            self.manufacturing,
+            self.packaging
+        )
+    }
+}
+
+/// The ACT baseline estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct ActEstimator<'a> {
+    db: &'a TechDb,
+    fab_source: EnergySource,
+}
+
+impl<'a> ActEstimator<'a> {
+    /// Create an ACT estimator using the node parameters from `db` and the
+    /// given fab energy source.
+    pub fn new(db: &'a TechDb, fab_source: EnergySource) -> Self {
+        Self { db, fab_source }
+    }
+
+    /// Manufacturing CFP of a single die (no packaging, no design, no wafer
+    /// wastage): `CPA(p) × A / Y(A, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActError`] for unknown nodes or invalid areas.
+    pub fn die_embodied(&self, area: Area, node: TechNode) -> Result<Carbon, ActError> {
+        if !area.mm2().is_finite() || area.mm2() < 0.0 {
+            return Err(ActError::InvalidArea(area.mm2()));
+        }
+        let params = self.db.node(node)?;
+        let yield_model = NegativeBinomialYield::for_node(params);
+        let y = yield_model.yield_for(area);
+        let intensity = self.fab_source.carbon_intensity();
+        // ACT's carbon-per-area: fab energy × grid intensity + direct gas +
+        // materials. ACT does not model the equipment-efficiency derate.
+        let energy_carbon = intensity * (params.epa * area);
+        let direct = (params.gas_cfp + params.material_cfp) * area;
+        Ok(Carbon::from_kg(
+            (energy_carbon + direct).kg() * y.inflation_factor(),
+        ))
+    }
+
+    /// Embodied CFP of a (possibly multi-die) system as ACT computes it: the
+    /// sum of per-die manufacturing CFP plus one fixed 150 g package.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActError`] for unknown nodes or invalid areas.
+    pub fn system_embodied(
+        &self,
+        dies: &[(Area, TechNode)],
+    ) -> Result<ActBreakdown, ActError> {
+        let mut manufacturing = Carbon::ZERO;
+        for (area, node) in dies {
+            manufacturing += self.die_embodied(*area, *node)?;
+        }
+        Ok(ActBreakdown {
+            manufacturing,
+            packaging: Carbon::from_grams(ACT_FIXED_PACKAGE_G),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TechDb {
+        TechDb::default()
+    }
+
+    #[test]
+    fn fixed_package_constant_matches_act() {
+        let db = db();
+        let act = ActEstimator::new(&db, EnergySource::Coal);
+        let one = act
+            .system_embodied(&[(Area::from_mm2(100.0), TechNode::N7)])
+            .unwrap();
+        let many = act
+            .system_embodied(&[
+                (Area::from_mm2(50.0), TechNode::N7),
+                (Area::from_mm2(50.0), TechNode::N14),
+                (Area::from_mm2(50.0), TechNode::N10),
+            ])
+            .unwrap();
+        // The packaging term is the same 150 g regardless of the system.
+        assert!((one.packaging.grams() - 150.0).abs() < 1e-9);
+        assert!((many.packaging.grams() - 150.0).abs() < 1e-9);
+        assert!(!one.to_string().is_empty());
+    }
+
+    #[test]
+    fn larger_dies_cost_more() {
+        let db = db();
+        let act = ActEstimator::new(&db, EnergySource::Coal);
+        let small = act.die_embodied(Area::from_mm2(100.0), TechNode::N7).unwrap();
+        let large = act.die_embodied(Area::from_mm2(400.0), TechNode::N7).unwrap();
+        // Super-linear growth because yield degrades with area.
+        assert!(large.kg() > 4.0 * small.kg());
+    }
+
+    #[test]
+    fn advanced_nodes_cost_more_per_area() {
+        let db = db();
+        let act = ActEstimator::new(&db, EnergySource::Coal);
+        let a = Area::from_mm2(100.0);
+        let c7 = act.die_embodied(a, TechNode::N7).unwrap();
+        let c65 = act.die_embodied(a, TechNode::N65).unwrap();
+        assert!(c7.kg() > c65.kg());
+    }
+
+    #[test]
+    fn ga102_monolith_magnitude() {
+        // ACT's estimate for a 628 mm² 8 nm-class GPU die should land in the
+        // tens of kilograms — the same order as the paper's Fig. 7.
+        let db = db();
+        let act = ActEstimator::new(&db, EnergySource::Coal);
+        let cfp = act.die_embodied(Area::from_mm2(628.0), TechNode::N8).unwrap();
+        assert!(cfp.kg() > 20.0 && cfp.kg() < 120.0, "got {cfp}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let db = db();
+        let act = ActEstimator::new(&db, EnergySource::Coal);
+        assert!(act.die_embodied(Area::from_mm2(-1.0), TechNode::N7).is_err());
+        assert!(act
+            .die_embodied(Area::from_mm2(f64::NAN), TechNode::N7)
+            .is_err());
+        let empty = ecochip_techdb::TechDbBuilder::new().build();
+        let act = ActEstimator::new(&empty, EnergySource::Coal);
+        assert!(act.die_embodied(Area::from_mm2(10.0), TechNode::N7).is_err());
+    }
+
+    #[test]
+    fn zero_area_costs_only_package() {
+        let db = db();
+        let act = ActEstimator::new(&db, EnergySource::Coal);
+        let b = act
+            .system_embodied(&[(Area::ZERO, TechNode::N7)])
+            .unwrap();
+        assert_eq!(b.manufacturing.kg(), 0.0);
+        assert!((b.total().grams() - 150.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Criterion benchmarks for the core ECO-CHIP estimator: single-system
+//! estimation latency for each test case and packaging architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ecochip_core::disaggregation::NodeTuple;
+use ecochip_core::EcoChip;
+use ecochip_packaging::{
+    InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
+};
+use ecochip_techdb::{TechDb, TechNode};
+use ecochip_testcases::{a15, arvr, emr, ga102};
+
+fn bench_testcases(c: &mut Criterion) {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+    let systems = vec![
+        ("ga102-monolithic", ga102::monolithic_system(&db).unwrap()),
+        (
+            "ga102-3chiplet",
+            ga102::three_chiplet_system(
+                &db,
+                NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+            )
+            .unwrap(),
+        ),
+        (
+            "a15-3chiplet",
+            a15::three_chiplet_system(&db, a15::default_chiplet_nodes()).unwrap(),
+        ),
+        ("emr-2chiplet", emr::two_chiplet_system(&db).unwrap()),
+        (
+            "arvr-3d-2k-16mb",
+            arvr::system(&db, &arvr::ArVrConfig::new(arvr::Series::TwoK, 4)).unwrap(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("estimate_testcase");
+    for (name, system) in &systems {
+        group.bench_with_input(BenchmarkId::from_parameter(name), system, |b, system| {
+            b.iter(|| estimator.estimate(std::hint::black_box(system)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_packaging_architectures(c: &mut Criterion) {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+    let base = ga102::three_chiplet_system(
+        &db,
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+    )
+    .unwrap();
+    let architectures = vec![
+        ("rdl", PackagingArchitecture::RdlFanout(RdlFanoutConfig::default())),
+        (
+            "emib",
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+        ),
+        (
+            "passive-interposer",
+            PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+        ),
+        (
+            "active-interposer",
+            PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
+        ),
+        ("3d", PackagingArchitecture::ThreeD(ThreeDConfig::default())),
+    ];
+    let mut group = c.benchmark_group("estimate_packaging");
+    for (name, arch) in architectures {
+        let system = base.with_packaging(arch);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &system, |b, system| {
+            b.iter(|| estimator.estimate(std::hint::black_box(system)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_act_baseline(c: &mut Criterion) {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+    let system = ga102::three_chiplet_system(
+        &db,
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+    )
+    .unwrap();
+    c.bench_function("act_baseline", |b| {
+        b.iter(|| estimator.act_embodied(std::hint::black_box(&system)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_testcases,
+    bench_packaging_architectures,
+    bench_act_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the slicing floorplanner and the substrate
+//! models (yield, wafer, NoC router estimation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ecochip_floorplan::{ChipletOutline, FloorplanConfig, SlicingFloorplanner};
+use ecochip_noc::{RouterConfig, RouterEstimator};
+use ecochip_techdb::{Area, TechDb, TechNode};
+use ecochip_yield::{NegativeBinomialYield, Wafer};
+
+fn random_chiplets(n: usize, seed: u64) -> Vec<ChipletOutline> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            ChipletOutline::new(
+                format!("c{i}"),
+                Area::from_mm2(rng.gen_range(10.0..300.0)),
+            )
+        })
+        .collect()
+}
+
+fn bench_floorplanner(c: &mut Criterion) {
+    let planner = SlicingFloorplanner::new(FloorplanConfig::default());
+    let mut group = c.benchmark_group("floorplan");
+    for n in [2usize, 4, 8, 16, 32] {
+        let chiplets = random_chiplets(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chiplets, |b, chiplets| {
+            b.iter(|| planner.floorplan(std::hint::black_box(chiplets)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_yield_and_wafer(c: &mut Criterion) {
+    let db = TechDb::default();
+    let model = NegativeBinomialYield::for_node(db.node(TechNode::N7).unwrap());
+    let wafer = Wafer::standard_450mm();
+    c.bench_function("yield_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for area in 1..200 {
+                acc += model
+                    .yield_for(Area::from_mm2(std::hint::black_box(area as f64 * 4.0)))
+                    .fraction();
+            }
+            acc
+        });
+    });
+    c.bench_function("wafer_utilization", |b| {
+        b.iter(|| {
+            wafer
+                .utilization(Area::from_mm2(std::hint::black_box(628.0)))
+                .unwrap()
+        });
+    });
+}
+
+fn bench_router_estimation(c: &mut Criterion) {
+    let db = TechDb::default();
+    let estimator = RouterEstimator::new(RouterConfig::default());
+    let mut group = c.benchmark_group("router_estimate");
+    for node in [TechNode::N7, TechNode::N65] {
+        let params = db.node(node).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(node), params, |b, params| {
+            b.iter(|| estimator.estimate(std::hint::black_box(params)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_floorplanner,
+    bench_yield_and_wafer,
+    bench_router_estimation
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the paper-scale experiment sweeps: these measure
+//! how long regenerating each figure of the evaluation takes end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ecochip_bench::experiments;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig7_ga102_node_sweep", |b| {
+        b.iter(|| experiments::fig7().unwrap())
+    });
+    group.bench_function("fig9_packaging_sweep", |b| {
+        b.iter(|| experiments::fig9().unwrap())
+    });
+    group.bench_function("fig12_reuse_grids", |b| {
+        b.iter(|| experiments::fig12().unwrap())
+    });
+    group.bench_function("fig13_accelerator_products", |b| {
+        b.iter(|| experiments::fig13().unwrap())
+    });
+    group.bench_function("fig15_cost_analysis", |b| {
+        b.iter(|| experiments::fig15().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_all");
+    group.sample_size(10);
+    group.bench_function("all_figures_and_tables", |b| {
+        b.iter(|| experiments::all().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_full_run);
+criterion_main!(benches);

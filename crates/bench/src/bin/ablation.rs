@@ -1,0 +1,15 @@
+//! Runs the ablation study (extension beyond the paper's figures).
+
+fn main() {
+    match ecochip_bench::experiments::ablation() {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

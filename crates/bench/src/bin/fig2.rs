@@ -1,0 +1,15 @@
+//! Regenerates Fig. 2 of the ECO-CHIP paper. See EXPERIMENTS.md.
+
+fn main() {
+    match ecochip_bench::experiments::fig2() {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("fig2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

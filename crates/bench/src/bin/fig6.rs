@@ -1,0 +1,15 @@
+//! Regenerates Fig. 6 of the ECO-CHIP paper. See EXPERIMENTS.md.
+
+fn main() {
+    match ecochip_bench::experiments::fig6() {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 8 of the ECO-CHIP paper. See EXPERIMENTS.md.
+
+fn main() {
+    match ecochip_bench::experiments::fig8() {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

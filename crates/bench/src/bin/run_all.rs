@@ -1,0 +1,16 @@
+//! Runs every experiment of the paper in order (Table I, Figs. 2–15,
+//! validation) and prints all result tables.
+
+fn main() {
+    match ecochip_bench::experiments::all() {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table I of the ECO-CHIP paper. See EXPERIMENTS.md.
+
+fn main() {
+    match ecochip_bench::experiments::table1() {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Section VII validation comparison. See EXPERIMENTS.md.
+
+fn main() {
+    match ecochip_bench::experiments::validation() {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(e) => {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Ablation study (beyond the paper's figures): how much each modelling
+//! ingredient ECO-CHIP adds over simpler carbon models contributes to the
+//! embodied-CFP estimate of the GA102 3-chiplet test case.
+//!
+//! The ablations correspond to the omissions the paper criticises in prior
+//! work (fixed package CFP, no design CFP, no wafer wastage) plus the
+//! framework-level knobs (wafer size, fab energy source).
+
+use ecochip_core::disaggregation::NodeTuple;
+use ecochip_core::{EcoChip, EstimatorConfig};
+use ecochip_techdb::{Carbon, EnergySource, TechDb, TechNode};
+use ecochip_testcases::ga102;
+use ecochip_yield::Wafer;
+
+use crate::{ExperimentResult, Table};
+
+/// Ablation table: GA102 3-chiplet (7, 14, 10) embodied CFP under the full
+/// model and with individual ingredients removed or substituted.
+pub fn ablation() -> ExperimentResult {
+    let db = TechDb::default();
+    let system = ga102::three_chiplet_system(
+        &db,
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+    )?;
+
+    let full = EcoChip::default().estimate(&system)?;
+    let full_embodied = full.embodied();
+
+    let mut table = Table::new(
+        "Ablation: GA102 3-chiplet embodied CFP under model variants",
+        &["variant", "Cemb kg", "delta vs full %", "note"],
+    );
+    let mut push = |name: &str, embodied: Carbon, note: &str| {
+        table.row([
+            name.to_owned(),
+            format!("{:.1}", embodied.kg()),
+            format!("{:+.1}", (embodied.kg() / full_embodied.kg() - 1.0) * 100.0),
+            note.to_owned(),
+        ]);
+    };
+
+    push("full model", full_embodied, "paper configuration");
+
+    // (a) no wafer-periphery wastage.
+    let no_wastage = EcoChip::new(
+        EstimatorConfig::builder()
+            .include_wafer_wastage(false)
+            .build(),
+    )
+    .estimate(&system)?;
+    push(
+        "no wafer wastage",
+        no_wastage.embodied(),
+        "drops the Awasted term of Eq. (5)",
+    );
+
+    // (b) no design CFP (prior-work style).
+    let no_design = full.manufacturing() + full.hi_overhead();
+    push(
+        "no design CFP",
+        no_design,
+        "manufacturing + packaging only, like ACT",
+    );
+
+    // (c) fixed 150 g package instead of the architecture-aware model.
+    let fixed_package =
+        full.manufacturing() + full.design() + Carbon::from_grams(150.0);
+    push(
+        "fixed 150 g package",
+        fixed_package,
+        "replaces C_HI with ACT's constant",
+    );
+
+    // (d) ACT baseline entirely.
+    let act = EcoChip::default().act_embodied(&system)?;
+    push("ACT baseline", act.total(), "no design, fixed package, no wastage");
+
+    // (e) 300 mm production wafers instead of 450 mm.
+    let small_wafer = EcoChip::new(
+        EstimatorConfig::builder()
+            .wafer(Wafer::standard_300mm())
+            .build(),
+    )
+    .estimate(&system)?;
+    push(
+        "300 mm wafer",
+        small_wafer.embodied(),
+        "more periphery wastage per die",
+    );
+
+    // (f) renewable-powered fab, packaging and design compute.
+    let renewable = EcoChip::new(
+        EstimatorConfig::builder()
+            .fab_source(EnergySource::Solar)
+            .packaging_source(EnergySource::Solar)
+            .design(ecochip_design::DesignConfig {
+                source: EnergySource::Solar,
+                ..ecochip_design::DesignConfig::default()
+            })
+            .build(),
+    )
+    .estimate(&system)?;
+    push(
+        "solar-powered fab/EDA",
+        renewable.embodied(),
+        "gas + material footprint remains",
+    );
+
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_move_in_the_expected_directions() {
+        let tables = ablation().unwrap();
+        let rows = tables[0].rows();
+        let value = |name: &str| -> f64 {
+            rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
+        };
+        let full = value("full model");
+        assert!(value("no wafer wastage") < full);
+        assert!(value("no design CFP") < full);
+        assert!(value("fixed 150 g package") < full);
+        assert!(value("ACT baseline") < value("no design CFP"));
+        assert!(value("300 mm wafer") >= full);
+        assert!(value("solar-powered fab/EDA") < full);
+        // The renewable floor is still a substantial share (gas + material).
+        assert!(value("solar-powered fab/EDA") > 0.15 * full);
+    }
+}

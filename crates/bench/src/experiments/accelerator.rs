@@ -1,0 +1,81 @@
+//! Fig. 13: carbon-delay, carbon-power and carbon-area product curves for the
+//! 3D-stacked AR/VR accelerator.
+
+use ecochip_core::dse::ProductMetrics;
+use ecochip_core::EcoChip;
+use ecochip_techdb::TechDb;
+use ecochip_testcases::arvr;
+
+use crate::{ExperimentResult, Table};
+
+/// Fig. 13: for every 3D-1K/2K configuration (1–4 SRAM tiers), the total CFP
+/// (2-year lifetime), latency, power, footprint and the three product
+/// metrics the paper plots.
+pub fn fig13() -> ExperimentResult {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+
+    let mut table = Table::new(
+        "Fig. 13: AR/VR accelerator carbon-delay / carbon-power / carbon-area products",
+        &[
+            "config",
+            "Cemb kg",
+            "Ctot kg",
+            "latency ms",
+            "power W",
+            "area mm2",
+            "carbon-delay kg*s",
+            "carbon-power kg*W",
+            "carbon-area kg*mm2",
+        ],
+    );
+    for config in arvr::ArVrConfig::all() {
+        let system = arvr::system(&db, &config)?;
+        let report = estimator.estimate(&system)?;
+        let perf = arvr::performance(&config);
+        let metrics = ProductMetrics::from_report(
+            &report,
+            perf.latency_ms * 1e-3,
+            perf.power,
+            perf.footprint,
+        );
+        table.row([
+            config.label(),
+            format!("{:.2}", report.embodied().kg()),
+            format!("{:.2}", report.total().kg()),
+            format!("{:.2}", perf.latency_ms),
+            format!("{:.3}", perf.power.watts()),
+            format!("{:.1}", perf.footprint.mm2()),
+            format!("{:.4}", metrics.carbon_delay()),
+            format!("{:.3}", metrics.carbon_power()),
+            format!("{:.1}", metrics.carbon_area()),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_tradeoffs_match_the_paper() {
+        let tables = fig13().unwrap();
+        let rows = tables[0].rows();
+        assert_eq!(rows.len(), 8);
+        // Within the 1K series (rows 0..4): latency falls, total CFP rises
+        // with the tier count.
+        let series: Vec<(f64, f64)> = rows[..4]
+            .iter()
+            .map(|r| (r[3].parse().unwrap(), r[2].parse().unwrap()))
+            .collect();
+        assert!(series.windows(2).all(|w| w[1].0 < w[0].0), "latency must fall");
+        assert!(series.windows(2).all(|w| w[1].1 > w[0].1), "total CFP must rise");
+        // Embodied dominates for this low-power device.
+        for row in rows {
+            let cemb: f64 = row[1].parse().unwrap();
+            let ctot: f64 = row[2].parse().unwrap();
+            assert!(cemb / ctot > 0.5, "{row:?}");
+        }
+    }
+}

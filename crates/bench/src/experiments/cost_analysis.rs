@@ -1,0 +1,89 @@
+//! Fig. 15: dollar-cost analysis with the integrated chiplet cost model.
+
+use ecochip_core::costing::system_cost;
+use ecochip_core::disaggregation::NodeTuple;
+use ecochip_core::EcoChip;
+use ecochip_packaging::{PackagingArchitecture, RdlFanoutConfig};
+use ecochip_techdb::{TechDb, TechNode};
+use ecochip_testcases::ga102;
+
+use crate::{ExperimentResult, Table};
+
+/// Fig. 15(a): per-unit dollar cost of the GA102 3-chiplet system across
+/// technology tuples, and Fig. 15(b): cost versus the number of chiplets the
+/// digital block is split into (die cost vs assembly cost).
+pub fn fig15() -> ExperimentResult {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+
+    let mut per_tuple = Table::new(
+        "Fig. 15(a): GA102 3-chiplet dollar cost per technology tuple",
+        &["tuple", "dies $", "package $", "assembly $", "NRE $/unit", "total $"],
+    );
+    for tuple in ga102::fig7_node_tuples() {
+        let system = ga102::three_chiplet_system(&db, tuple)?;
+        let cost = system_cost(&estimator, &system)?;
+        per_tuple.row([
+            tuple.label(),
+            format!("{:.0}", cost.dies_total().dollars()),
+            format!("{:.1}", cost.package_cost.dollars()),
+            format!("{:.1}", cost.assembly_cost.dollars()),
+            format!("{:.1}", cost.nre_per_system.dollars()),
+            format!("{:.0}", cost.total().dollars()),
+        ]);
+    }
+
+    let mut per_nc = Table::new(
+        "Fig. 15(b): GA102 dollar cost vs number of digital chiplets (RDL fanout)",
+        &["digital chiplets", "dies $", "package+assembly $", "total $"],
+    );
+    let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
+    for nc in 1..=6usize {
+        let system = ga102::split_logic_system(
+            &db,
+            nc,
+            nodes,
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+        )?;
+        let cost = system_cost(&estimator, &system)?;
+        per_nc.row([
+            format!("{nc}"),
+            format!("{:.0}", cost.dies_total().dollars()),
+            format!(
+                "{:.1}",
+                cost.package_cost.dollars() + cost.assembly_cost.dollars()
+            ),
+            format!("{:.0}", cost.total().dollars()),
+        ]);
+    }
+    Ok(vec![per_tuple, per_nc])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_older_nodes_cost_less_and_assembly_grows_with_nc() {
+        let tables = fig15().unwrap();
+        let per_tuple = &tables[0];
+        let total = |label: &str| -> f64 {
+            per_tuple
+                .rows()
+                .iter()
+                .find(|r| r[0] == label)
+                .unwrap()[5]
+                .parse()
+                .unwrap()
+        };
+        // Fig. 15(a): mixed / mature tuples are cheaper than the all-7nm one.
+        assert!(total("(7, 14, 14)") < total("(7, 7, 7)"));
+
+        // Fig. 15(b): die cost falls, assembly cost grows with Nc.
+        let per_nc = &tables[1];
+        let dies: Vec<f64> = per_nc.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        let assembly: Vec<f64> = per_nc.rows().iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(dies.last().unwrap() < dies.first().unwrap());
+        assert!(assembly.last().unwrap() > assembly.first().unwrap());
+    }
+}

@@ -1,0 +1,178 @@
+//! Motivation figures: Fig. 2 (area / yield), Fig. 3 (wafer wastage) and
+//! Fig. 6 (defect density).
+
+use ecochip_core::disaggregation::{split_logic, NodeTuple};
+use ecochip_core::{EcoChip, EstimatorConfig, ManufacturingModel, System};
+use ecochip_packaging::{PackagingArchitecture, RdlFanoutConfig};
+use ecochip_techdb::{Area, EnergySource, TechDb, TechNode};
+use ecochip_testcases::ga102;
+use ecochip_yield::Wafer;
+
+use crate::{ExperimentResult, Table};
+
+/// Fig. 2(a): manufacturing CFP versus die area in a 10 nm process, and
+/// Fig. 2(b): the monolithic GA102 versus a 4-chiplet split, per node,
+/// normalised to the monolith.
+pub fn fig2() -> ExperimentResult {
+    let db = TechDb::default();
+    let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+
+    let mut area_sweep = Table::new(
+        "Fig. 2(a): manufacturing CFP vs die area (10 nm)",
+        &["area mm2", "yield %", "Cmfg kg CO2e"],
+    );
+    for area_mm2 in (25..=200).step_by(25) {
+        let c = model.chiplet_cfp(Area::from_mm2(area_mm2 as f64), TechNode::N10)?;
+        area_sweep.row([
+            format!("{area_mm2}"),
+            format!("{:.1}", c.die_yield.percent()),
+            format!("{:.2}", c.total().kg()),
+        ]);
+    }
+
+    let estimator = EcoChip::default();
+    let mut normalized = Table::new(
+        "Fig. 2(b): GA102 4-chiplet manufacturing CFP normalised to the monolith",
+        &["node", "monolith kg", "4-chiplet kg", "normalised"],
+    );
+    let blocks = ga102::soc_blocks(&db)?;
+    for node in [TechNode::N7, TechNode::N10, TechNode::N14] {
+        let mono = estimator.estimate(&ga102::monolithic_system_at(&db, node)?)?;
+        let split = System::builder(format!("ga102-4chiplet-{node}"))
+            .chiplets(split_logic(&blocks, 2, NodeTuple::uniform(node))?)
+            .packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()))
+            .usage(ga102::usage_profile())
+            .build()?;
+        let split_report = estimator.estimate(&split)?;
+        let mono_mfg = mono.manufacturing().kg();
+        let split_mfg = split_report.manufacturing().kg() + split_report.hi_overhead().kg();
+        normalized.row([
+            node.to_string(),
+            format!("{mono_mfg:.1}"),
+            format!("{split_mfg:.1}"),
+            format!("{:.2}", split_mfg / mono_mfg),
+        ]);
+    }
+    Ok(vec![area_sweep, normalized])
+}
+
+/// Fig. 3(b): manufacturing CFP of the monolithic and 4-chiplet GA102 with
+/// and without wafer-periphery wastage accounting (450 mm wafer).
+pub fn fig3() -> ExperimentResult {
+    let db = TechDb::default();
+    let with = EcoChip::default();
+    let without = EcoChip::new(
+        EstimatorConfig::builder()
+            .include_wafer_wastage(false)
+            .build(),
+    );
+    let blocks = ga102::soc_blocks(&db)?;
+    let four_chiplet = System::builder("ga102-4chiplet")
+        .chiplets(split_logic(
+            &blocks,
+            2,
+            NodeTuple::new(TechNode::N8, TechNode::N8, TechNode::N8),
+        )?)
+        .packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()))
+        .usage(ga102::usage_profile())
+        .build()?;
+    let monolith = ga102::monolithic_system(&db)?;
+
+    let mut table = Table::new(
+        "Fig. 3(b): wafer-wastage impact on GA102 manufacturing CFP (450 mm wafer)",
+        &["architecture", "without wastage kg", "with wastage kg", "wastage share %"],
+    );
+    for (label, system) in [("monolithic", &monolith), ("4-chiplet", &four_chiplet)] {
+        let a = with.estimate(system)?.manufacturing().kg();
+        let b = without.estimate(system)?.manufacturing().kg();
+        table.row([
+            label.to_owned(),
+            format!("{b:.1}"),
+            format!("{a:.1}"),
+            format!("{:.1}", (a - b) / a * 100.0),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+/// Fig. 6(a): normalised defect density per node, and Fig. 6(b): total CFP of
+/// the monolithic GA102 as a function of the defect density.
+pub fn fig6() -> ExperimentResult {
+    let db = TechDb::default();
+    let d65 = db.node(TechNode::N65)?.defect_density.per_cm2();
+
+    let mut trend = Table::new(
+        "Fig. 6(a): defect density per node (normalised to 65 nm)",
+        &["node", "D0 /cm2", "normalised"],
+    );
+    for (node, p) in db.iter() {
+        trend.row([
+            node.to_string(),
+            format!("{:.3}", p.defect_density.per_cm2()),
+            format!("{:.2}", p.defect_density.per_cm2() / d65),
+        ]);
+    }
+
+    let mut impact = Table::new(
+        "Fig. 6(b): GA102 monolith total CFP vs defect density (8 nm-class die)",
+        &["D0 /cm2", "Cemb kg", "Ctot kg"],
+    );
+    for step in 0..=5 {
+        let d0 = 0.07 + step as f64 * (0.30 - 0.07) / 5.0;
+        let node_params = db
+            .node(TechNode::N8)?
+            .to_builder()
+            .defect_density(d0)
+            .build()?;
+        let custom_db = db.to_builder().insert(node_params).build();
+        let estimator = EcoChip::new(EstimatorConfig::builder().techdb(custom_db.clone()).build());
+        let report = estimator.estimate(&ga102::monolithic_system(&custom_db)?)?;
+        impact.row([
+            format!("{d0:.3}"),
+            format!("{:.1}", report.embodied().kg()),
+            format!("{:.1}", report.total().kg()),
+        ]);
+    }
+    Ok(vec![trend, impact])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_cfp_grows_superlinearly_with_area() {
+        let tables = fig2().unwrap();
+        let rows = tables[0].rows();
+        let first: f64 = rows.first().unwrap()[2].parse().unwrap();
+        let last: f64 = rows.last().unwrap()[2].parse().unwrap();
+        // 8x the area must cost more than 8x the carbon (yield loss).
+        assert!(last > 8.0 * first);
+        // Fig. 2(b): the 4-chiplet split is below the monolith at every node.
+        for row in tables[1].rows() {
+            let normalised: f64 = row[3].parse().unwrap();
+            assert!(normalised < 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn fig3_wastage_accounting_raises_manufacturing_cfp() {
+        let tables = fig3().unwrap();
+        for row in tables[0].rows() {
+            let without: f64 = row[1].parse().unwrap();
+            let with: f64 = row[2].parse().unwrap();
+            let share: f64 = row[3].parse().unwrap();
+            assert!(with > without, "{row:?}");
+            assert!(share > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig6_cfp_grows_with_defect_density() {
+        let tables = fig6().unwrap();
+        let rows = tables[1].rows();
+        let first: f64 = rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > first);
+    }
+}

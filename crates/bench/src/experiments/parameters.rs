@@ -1,0 +1,59 @@
+//! Table I: the input-parameter database.
+
+use ecochip_techdb::TechDb;
+
+use crate::{ExperimentResult, Table};
+
+/// Regenerate Table I: the per-node manufacturing, packaging and design
+/// parameters used by the framework (all values inside the paper's ranges).
+pub fn table1() -> ExperimentResult {
+    let db = TechDb::default();
+    let mut table = Table::new(
+        "Table I: input parameters per technology node",
+        &[
+            "node",
+            "D0 /cm2",
+            "logic MTr/mm2",
+            "mem MTr/mm2",
+            "analog MTr/mm2",
+            "EPA kWh/cm2",
+            "Cgas kg/cm2",
+            "Cmat kg/cm2",
+            "eta_eq",
+            "eta_EDA",
+            "EPLA_RDL",
+            "EPLA_bridge",
+            "Vdd V",
+        ],
+    );
+    for (node, p) in db.iter() {
+        table.row([
+            node.to_string(),
+            format!("{:.3}", p.defect_density.per_cm2()),
+            format!("{:.1}", p.logic_density.mtr_per_mm2()),
+            format!("{:.1}", p.memory_density.mtr_per_mm2()),
+            format!("{:.1}", p.analog_density.mtr_per_mm2()),
+            format!("{:.2}", p.epa.kwh_per_cm2()),
+            format!("{:.2}", p.gas_cfp.kg_per_cm2()),
+            format!("{:.2}", p.material_cfp.kg_per_cm2()),
+            format!("{:.2}", p.equipment_derate),
+            format!("{:.2}", p.eda_productivity),
+            format!("{:.3}", p.epla_rdl.kwh_per_cm2()),
+            format!("{:.3}", p.epla_bridge.kwh_per_cm2()),
+            format!("{:.2}", p.vdd.volts()),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_one_row_per_node() {
+        let tables = table1().unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), ecochip_techdb::TechNode::ALL.len());
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 8 (EMR and A15 total CFP vs their monolithic counterparts) and the
+//! Section VII validation check.
+
+use ecochip_core::{CarbonReport, EcoChip};
+use ecochip_techdb::TechDb;
+use ecochip_testcases::{a15, emr};
+
+use crate::{ExperimentResult, Table};
+
+fn split_row(label: &str, report: &CarbonReport) -> [String; 5] {
+    [
+        label.to_owned(),
+        format!("{:.1}", report.embodied().kg()),
+        format!("{:.1}", report.operational().kg()),
+        format!("{:.1}", report.total().kg()),
+        format!("{:.1}", report.embodied_fraction() * 100.0),
+    ]
+}
+
+/// Fig. 8: total CFP split into embodied and operational parts for
+/// (a) the EMR 2-chiplet EMIB CPU and (b) the A15 3-chiplet mobile SoC, both
+/// compared to their monolithic counterparts.
+pub fn fig8() -> ExperimentResult {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+
+    let mut emr_table = Table::new(
+        "Fig. 8(a): Emerald Rapids total CFP (EMIB 2-chiplet vs monolithic)",
+        &["architecture", "Cemb kg", "Cop kg", "Ctot kg", "embodied share %"],
+    );
+    let emr_mono = estimator.estimate(&emr::monolithic_system(&db)?)?;
+    let emr_two = estimator.estimate(&emr::two_chiplet_system(&db)?)?;
+    emr_table.row(split_row("monolithic", &emr_mono));
+    emr_table.row(split_row("2-chiplet EMIB", &emr_two));
+
+    let mut a15_table = Table::new(
+        "Fig. 8(b): Apple A15 total CFP (RDL 3-chiplet vs monolithic)",
+        &["architecture", "Cemb kg", "Cop kg", "Ctot kg", "embodied share %"],
+    );
+    let a15_mono = estimator.estimate(&a15::monolithic_system(&db)?)?;
+    let a15_chip = estimator.estimate(&a15::three_chiplet_system(&db, a15::default_chiplet_nodes())?)?;
+    a15_table.row(split_row("monolithic", &a15_mono));
+    a15_table.row(split_row("3-chiplet RDL", &a15_chip));
+
+    Ok(vec![emr_table, a15_table])
+}
+
+/// Section VII validation: the A15 embodied/operational split should be close
+/// to the 80 % / 20 % attribution derived from Apple's product environmental
+/// report, and the absolute CFP should be a small number of kilograms
+/// (roughly 16 % of the whole iPhone's reported footprint).
+pub fn validation() -> ExperimentResult {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+    let report = estimator.estimate(&a15::monolithic_system(&db)?)?;
+
+    let iphone_total_kg = 66.0; // Apple's iPhone 14 product environmental report figure.
+    let mut table = Table::new(
+        "Validation: A15 split vs the Apple product report attribution",
+        &["metric", "ECO-CHIP (this repo)", "paper / report"],
+    );
+    table.row([
+        "embodied share %".to_owned(),
+        format!("{:.1}", report.embodied_fraction() * 100.0),
+        "~80".to_owned(),
+    ]);
+    table.row([
+        "operational share %".to_owned(),
+        format!("{:.1}", (1.0 - report.embodied_fraction()) * 100.0),
+        "~20".to_owned(),
+    ]);
+    table.row([
+        "A15 total CFP kg".to_owned(),
+        format!("{:.1}", report.total().kg()),
+        format!("~{:.1} (16% of iPhone {iphone_total_kg} kg)", 0.16 * iphone_total_kg),
+    ]);
+    table.row([
+        "A15 share of iPhone %".to_owned(),
+        format!("{:.1}", report.total().kg() / iphone_total_kg * 100.0),
+        "~16".to_owned(),
+    ]);
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_chiplet_variants_do_not_increase_total_cfp() {
+        let tables = fig8().unwrap();
+        for table in &tables {
+            let mono_total: f64 = table.rows()[0][3].parse().unwrap();
+            let chip_total: f64 = table.rows()[1][3].parse().unwrap();
+            assert!(chip_total <= mono_total * 1.02, "{}", table.title());
+        }
+        // The server CPU is operational-dominated, the phone SoC
+        // embodied-dominated.
+        let emr_share: f64 = tables[0].rows()[0][4].parse().unwrap();
+        let a15_share: f64 = tables[1].rows()[0][4].parse().unwrap();
+        assert!(emr_share < 50.0);
+        assert!(a15_share > 60.0);
+    }
+
+    #[test]
+    fn validation_split_is_near_the_report() {
+        let tables = validation().unwrap();
+        let embodied_share: f64 = tables[0].rows()[0][1].parse().unwrap();
+        assert!((60.0..=95.0).contains(&embodied_share));
+        let share_of_iphone: f64 = tables[0].rows()[3][1].parse().unwrap();
+        assert!(share_of_iphone > 5.0 && share_of_iphone < 60.0);
+    }
+}

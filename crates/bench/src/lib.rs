@@ -1,0 +1,27 @@
+//! # ecochip-bench
+//!
+//! The experiment harness of the ECO-CHIP reproduction: one generator per
+//! table and figure of the paper's evaluation (Sections II, IV, V and VI),
+//! plus Criterion performance benches for the estimator itself.
+//!
+//! Every generator in [`experiments`] returns one or more [`Table`]s — the
+//! same rows / series the paper plots — so the binaries under `src/bin/`
+//! (`fig2`, `fig7`, …, `table1`, `validation`, `run_all`) simply print them.
+//! `EXPERIMENTS.md` at the repository root records the paper-vs-measured
+//! comparison for each of them.
+//!
+//! ```
+//! let tables = ecochip_bench::experiments::fig2().unwrap();
+//! assert!(!tables.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+/// Convenience error alias used by the experiment generators.
+pub type ExperimentResult = Result<Vec<Table>, Box<dyn std::error::Error>>;

@@ -1,0 +1,211 @@
+//! Estimator configuration.
+
+use std::fmt;
+
+use ecochip_design::DesignConfig;
+use ecochip_floorplan::FloorplanConfig;
+use ecochip_packaging::CommConfig;
+use ecochip_techdb::{DesignType, EnergySource, TechDb};
+use ecochip_yield::Wafer;
+
+/// Configuration of the [`crate::EcoChip`] estimator: the technology database
+/// plus all framework-level knobs (energy sources, wafer size, floorplanner
+/// settings, design and communication models).
+#[derive(Debug, Clone)]
+pub struct EstimatorConfig {
+    /// The technology-node parameter database.
+    pub techdb: TechDb,
+    /// Wafer used for dies-per-wafer / wastage accounting (450 mm default).
+    pub wafer: Wafer,
+    /// Energy source of the chip-manufacturing fab (`Cmfg,src`).
+    pub fab_source: EnergySource,
+    /// Energy source of the packaging / OSAT fab (`Cpkg,src`).
+    pub packaging_source: EnergySource,
+    /// Energy source of the deployed device (`Csrc,use`).
+    pub operational_source: EnergySource,
+    /// Design-CFP model parameters.
+    pub design: DesignConfig,
+    /// Inter-die communication model parameters.
+    pub comm: CommConfig,
+    /// Floorplanner parameters (chiplet spacing, margins).
+    pub floorplan: FloorplanConfig,
+    /// Whether to account for wafer-periphery wastage (Fig. 3 toggle).
+    pub include_wafer_wastage: bool,
+    /// Relative design effort of each block type compared to logic; memory
+    /// and analog blocks are dominated by compiled macros and reuse rather
+    /// than gate-level SP&R.
+    pub design_effort_memory: f64,
+    /// Relative design effort of analog blocks compared to logic.
+    pub design_effort_analog: f64,
+}
+
+impl Default for EstimatorConfig {
+    /// The paper's headline setup: 450 mm wafers, coal-powered fabs,
+    /// packaging and design compute, world-grid usage phase, Table-I
+    /// defaults everywhere else.
+    fn default() -> Self {
+        Self {
+            techdb: TechDb::default(),
+            wafer: Wafer::standard_450mm(),
+            fab_source: EnergySource::Coal,
+            packaging_source: EnergySource::Coal,
+            operational_source: EnergySource::Coal,
+            design: DesignConfig::default(),
+            comm: CommConfig::default(),
+            floorplan: FloorplanConfig::default(),
+            include_wafer_wastage: true,
+            design_effort_memory: 0.3,
+            design_effort_analog: 0.5,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> EstimatorConfigBuilder {
+        EstimatorConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Relative design-effort factor for a design type.
+    pub fn design_effort_factor(&self, design_type: DesignType) -> f64 {
+        match design_type {
+            DesignType::Logic => 1.0,
+            DesignType::Memory => self.design_effort_memory,
+            DesignType::Analog => self.design_effort_analog,
+        }
+    }
+}
+
+impl fmt::Display for EstimatorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ECO-CHIP config ({} nodes, {}, fab {}, packaging {}, use {})",
+            self.techdb.len(),
+            self.wafer,
+            self.fab_source,
+            self.packaging_source,
+            self.operational_source
+        )
+    }
+}
+
+/// Builder for [`EstimatorConfig`].
+#[derive(Debug, Clone)]
+pub struct EstimatorConfigBuilder {
+    config: EstimatorConfig,
+}
+
+impl EstimatorConfigBuilder {
+    /// Use a custom technology database.
+    pub fn techdb(mut self, db: TechDb) -> Self {
+        self.config.techdb = db;
+        self
+    }
+
+    /// Use a custom wafer size.
+    pub fn wafer(mut self, wafer: Wafer) -> Self {
+        self.config.wafer = wafer;
+        self
+    }
+
+    /// Set the fab energy source.
+    pub fn fab_source(mut self, source: EnergySource) -> Self {
+        self.config.fab_source = source;
+        self
+    }
+
+    /// Set the packaging fab energy source.
+    pub fn packaging_source(mut self, source: EnergySource) -> Self {
+        self.config.packaging_source = source;
+        self
+    }
+
+    /// Set the usage-phase energy source.
+    pub fn operational_source(mut self, source: EnergySource) -> Self {
+        self.config.operational_source = source;
+        self
+    }
+
+    /// Set the design-CFP model parameters.
+    pub fn design(mut self, design: DesignConfig) -> Self {
+        self.config.design = design;
+        self
+    }
+
+    /// Set the communication model parameters.
+    pub fn comm(mut self, comm: CommConfig) -> Self {
+        self.config.comm = comm;
+        self
+    }
+
+    /// Set the floorplanner parameters.
+    pub fn floorplan(mut self, floorplan: FloorplanConfig) -> Self {
+        self.config.floorplan = floorplan;
+        self
+    }
+
+    /// Enable or disable wafer-wastage accounting.
+    pub fn include_wafer_wastage(mut self, include: bool) -> Self {
+        self.config.include_wafer_wastage = include;
+        self
+    }
+
+    /// Set the relative design effort for memory and analog blocks.
+    pub fn design_effort(mut self, memory: f64, analog: f64) -> Self {
+        self.config.design_effort_memory = memory.max(0.0);
+        self.config.design_effort_analog = analog.max(0.0);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> EstimatorConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_techdb::TechNode;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let cfg = EstimatorConfig::default();
+        assert_eq!(cfg.fab_source, EnergySource::Coal);
+        assert_eq!(cfg.packaging_source, EnergySource::Coal);
+        assert!((cfg.wafer.diameter_mm() - 450.0).abs() < 1e-9);
+        assert!(cfg.include_wafer_wastage);
+        assert!(cfg.techdb.contains(TechNode::N7));
+        assert!(!cfg.to_string().is_empty());
+    }
+
+    #[test]
+    fn effort_factors() {
+        let cfg = EstimatorConfig::default();
+        assert_eq!(cfg.design_effort_factor(DesignType::Logic), 1.0);
+        assert!(cfg.design_effort_factor(DesignType::Memory) < 1.0);
+        assert!(cfg.design_effort_factor(DesignType::Analog) < 1.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = EstimatorConfig::builder()
+            .fab_source(EnergySource::Solar)
+            .packaging_source(EnergySource::Wind)
+            .operational_source(EnergySource::Nuclear)
+            .wafer(Wafer::standard_300mm())
+            .include_wafer_wastage(false)
+            .design_effort(0.5, 0.9)
+            .build();
+        assert_eq!(cfg.fab_source, EnergySource::Solar);
+        assert_eq!(cfg.packaging_source, EnergySource::Wind);
+        assert_eq!(cfg.operational_source, EnergySource::Nuclear);
+        assert!((cfg.wafer.diameter_mm() - 300.0).abs() < 1e-9);
+        assert!(!cfg.include_wafer_wastage);
+        assert!((cfg.design_effort_factor(DesignType::Memory) - 0.5).abs() < 1e-12);
+        assert!((cfg.design_effort_factor(DesignType::Analog) - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration with the dollar-cost model (Section VI(2), Fig. 15).
+//!
+//! ECO-CHIP shares the same architectural description, areas and yield
+//! assumptions with the cost model, so a [`System`] can be priced directly.
+
+use ecochip_cost::{CostBreakdown, CostModel, PackageCostClass};
+use ecochip_packaging::{PackageEstimator, PackagingArchitecture};
+use ecochip_yield::Wafer;
+
+use crate::error::EcoChipError;
+use crate::estimator::EcoChip;
+use crate::system::System;
+
+/// Estimate the per-unit dollar cost of a system using the same technology
+/// database, areas and packaging description as the carbon estimator.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when areas cannot be derived, the dies do not fit
+/// on a production wafer, or the packaging configuration is invalid.
+pub fn system_cost(estimator: &EcoChip, system: &System) -> Result<CostBreakdown, EcoChipError> {
+    let db = &estimator.config().techdb;
+    let cost_model = CostModel::new(db).with_wafer(Wafer::standard_300mm());
+
+    let mut dies = Vec::with_capacity(system.chiplets.len());
+    for chiplet in &system.chiplets {
+        dies.push((chiplet.area(db)?, chiplet.node));
+    }
+
+    let package_class = if system.is_monolithic() {
+        PackageCostClass::Monolithic
+    } else {
+        let floorplan = estimator.floorplan(system)?;
+        let package = PackageEstimator::new(db, estimator.config().packaging_source)
+            .package_cfp(&system.packaging, &floorplan)?;
+        match system.packaging {
+            PackagingArchitecture::RdlFanout(cfg) => PackageCostClass::RdlFanout {
+                layers: cfg.layers,
+                area: package.package_area,
+            },
+            PackagingArchitecture::SiliconBridge(_) => PackageCostClass::SiliconBridge {
+                bridges: package.bridge_count,
+                area: package.package_area,
+            },
+            PackagingArchitecture::PassiveInterposer(cfg) => PackageCostClass::PassiveInterposer {
+                area: package.package_area,
+                node: cfg.tech,
+            },
+            PackagingArchitecture::ActiveInterposer(cfg) => PackageCostClass::ActiveInterposer {
+                area: package.package_area,
+                node: cfg.tech,
+            },
+            PackagingArchitecture::ThreeD(_) => PackageCostClass::ThreeD {
+                bonds: package.bond_count,
+            },
+        }
+    };
+
+    cost_model
+        .system_cost(&dies, &package_class, system.volumes.system_volume)
+        .map_err(EcoChipError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disaggregation::{three_chiplets, NodeTuple, SocBlocks};
+    use crate::system::{Chiplet, ChipletSize, System};
+    use ecochip_packaging::{
+        InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
+    };
+    use ecochip_techdb::{DesignType, TechNode};
+
+    fn blocks() -> SocBlocks {
+        SocBlocks::new("ga102", 20.0e9, 6.0e9, 2.3e9)
+    }
+
+    fn chiplet_system(packaging: PackagingArchitecture, tuple: NodeTuple) -> System {
+        System::builder("cost-test")
+            .chiplets(three_chiplets(&blocks(), tuple))
+            .packaging(packaging)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn monolithic_versus_chiplet_cost() {
+        let estimator = EcoChip::default();
+        let mono = System::builder("mono")
+            .chiplet(Chiplet::new(
+                "die",
+                DesignType::Logic,
+                TechNode::N7,
+                ChipletSize::Transistors(28.3e9),
+            ))
+            .build()
+            .unwrap();
+        let split = chiplet_system(
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+        );
+        let mono_cost = system_cost(&estimator, &mono).unwrap();
+        let split_cost = system_cost(&estimator, &split).unwrap();
+        // Disaggregation lowers die cost (yield) but adds package / assembly.
+        assert!(split_cost.dies_total().dollars() < mono_cost.dies_total().dollars());
+        assert!(split_cost.assembly_cost.dollars() > mono_cost.assembly_cost.dollars());
+        assert!(split_cost.total().dollars() > 0.0);
+    }
+
+    #[test]
+    fn older_node_configs_cost_less() {
+        // Fig. 15(a): older-node chiplets are cheaper.
+        let estimator = EcoChip::default();
+        let advanced = chiplet_system(
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            NodeTuple::uniform(TechNode::N7),
+        );
+        let mixed = chiplet_system(
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+        );
+        let a = system_cost(&estimator, &advanced).unwrap();
+        let m = system_cost(&estimator, &mixed).unwrap();
+        assert!(m.total().dollars() < a.total().dollars());
+    }
+
+    #[test]
+    fn every_packaging_class_is_priceable() {
+        let estimator = EcoChip::default();
+        let tuple = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
+        for packaging in [
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+            PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+            PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
+            PackagingArchitecture::ThreeD(ThreeDConfig::default()),
+        ] {
+            let system = chiplet_system(packaging, tuple);
+            let cost = system_cost(&estimator, &system).unwrap();
+            assert!(
+                cost.total().dollars() > 0.0 && cost.total().dollars().is_finite(),
+                "{packaging:?}"
+            );
+        }
+    }
+}

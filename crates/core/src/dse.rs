@@ -1,0 +1,436 @@
+//! Design-space-exploration sweeps and product curves (Sections V and VI).
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_design::VolumeScenario;
+use ecochip_packaging::PackagingArchitecture;
+use ecochip_techdb::{Area, Carbon, Power, TimeSpan};
+
+use crate::disaggregation::{three_chiplets, NodeTuple, SocBlocks};
+use crate::error::EcoChipError;
+use crate::estimator::EcoChip;
+use crate::report::CarbonReport;
+use crate::system::System;
+
+/// One point of a sweep: the label, the evaluated system and its report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Human-readable label (node tuple, packaging name, ratio, …).
+    pub label: String,
+    /// The evaluated system.
+    pub system: System,
+    /// The carbon report.
+    pub report: CarbonReport,
+}
+
+/// Sweep the `(digital, memory, analog)` technology-node tuples of a
+/// 3-chiplet split of `blocks` (the x-axis of Fig. 7).
+///
+/// The returned points keep the order of `tuples`. The base system provides
+/// the packaging, usage profile, lifetime and volumes.
+///
+/// # Errors
+///
+/// Propagates estimator errors for any tuple.
+pub fn sweep_node_tuples(
+    estimator: &EcoChip,
+    base: &System,
+    blocks: &SocBlocks,
+    tuples: &[NodeTuple],
+) -> Result<Vec<SweepPoint>, EcoChipError> {
+    let mut points = Vec::with_capacity(tuples.len());
+    for tuple in tuples {
+        let mut system = base.clone();
+        system.chiplets = three_chiplets(blocks, *tuple);
+        system.name = format!("{} {}", blocks.name, tuple.label());
+        let report = estimator.estimate(&system)?;
+        points.push(SweepPoint {
+            label: tuple.label(),
+            system,
+            report,
+        });
+    }
+    Ok(points)
+}
+
+/// Sweep packaging architectures over an otherwise fixed system (Fig. 9).
+///
+/// # Errors
+///
+/// Propagates estimator errors for any architecture.
+pub fn sweep_packaging(
+    estimator: &EcoChip,
+    base: &System,
+    architectures: &[PackagingArchitecture],
+) -> Result<Vec<SweepPoint>, EcoChipError> {
+    let mut points = Vec::with_capacity(architectures.len());
+    for arch in architectures {
+        let system = base.with_packaging(*arch);
+        let report = estimator.estimate(&system)?;
+        points.push(SweepPoint {
+            label: arch.short_name().to_owned(),
+            system,
+            report,
+        });
+    }
+    Ok(points)
+}
+
+/// One cell of the reuse-ratio × lifetime grid of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReusePoint {
+    /// The chiplet-reuse ratio `NMi / NS`.
+    pub reuse_ratio: f64,
+    /// The deployment lifetime.
+    pub lifetime: TimeSpan,
+    /// Embodied CFP at this reuse ratio.
+    pub embodied: Carbon,
+    /// Total CFP at this reuse ratio and lifetime.
+    pub total: Carbon,
+}
+
+/// Sweep chiplet-reuse ratios (`NMi / NS`) and lifetimes (Fig. 12).
+///
+/// The base system's `system_volume` is kept; `NMi` is scaled by each ratio.
+///
+/// # Errors
+///
+/// Propagates estimator errors for any point.
+pub fn sweep_reuse(
+    estimator: &EcoChip,
+    base: &System,
+    reuse_ratios: &[f64],
+    lifetimes_years: &[f64],
+) -> Result<Vec<ReusePoint>, EcoChipError> {
+    let mut points = Vec::with_capacity(reuse_ratios.len() * lifetimes_years.len());
+    for &ratio in reuse_ratios {
+        let volumes = VolumeScenario::with_reuse(base.volumes.system_volume, ratio);
+        let system = base.with_volumes(volumes);
+        let report = estimator.estimate(&system)?;
+        for &years in lifetimes_years {
+            let lifetime = TimeSpan::from_years(years);
+            points.push(ReusePoint {
+                reuse_ratio: ratio,
+                lifetime,
+                embodied: report.embodied(),
+                total: report.total_at_lifetime(lifetime),
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// The objective minimised by [`optimize_node_assignment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Objective {
+    /// Minimise the embodied CFP (`C_emb`).
+    Embodied,
+    /// Minimise the total CFP (`C_tot`) at the system's lifetime.
+    Total,
+    /// Minimise the manufacturing CFP plus HI overheads only.
+    ManufacturingAndHi,
+}
+
+impl Objective {
+    fn score(&self, report: &CarbonReport) -> f64 {
+        match self {
+            Objective::Embodied => report.embodied().kg(),
+            Objective::Total => report.total().kg(),
+            Objective::ManufacturingAndHi => {
+                (report.manufacturing() + report.hi_overhead()).kg()
+            }
+        }
+    }
+}
+
+/// Exhaustively search per-chiplet technology-node assignments and return the
+/// assignment minimising the chosen objective — the carbon-aware
+/// disaggregation flow of Section VI of the paper.
+///
+/// `candidates[i]` lists the nodes allowed for chiplet `i`; chiplets without
+/// a candidate list keep their current node. The search is exhaustive (the
+/// cross product of the candidate lists), which matches the paper's scale of
+/// a handful of chiplets and a handful of nodes; the number of evaluated
+/// configurations is returned alongside the winner.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError::InvalidSystem`] when `candidates` is longer than
+/// the chiplet list, and propagates estimator errors.
+pub fn optimize_node_assignment(
+    estimator: &EcoChip,
+    base: &System,
+    candidates: &[Vec<ecochip_techdb::TechNode>],
+    objective: Objective,
+) -> Result<(SweepPoint, usize), EcoChipError> {
+    if candidates.len() > base.chiplets.len() {
+        return Err(EcoChipError::InvalidSystem(format!(
+            "got candidate node lists for {} chiplets but the system has only {}",
+            candidates.len(),
+            base.chiplets.len()
+        )));
+    }
+    let lists: Vec<Vec<ecochip_techdb::TechNode>> = (0..base.chiplets.len())
+        .map(|i| {
+            candidates
+                .get(i)
+                .filter(|c| !c.is_empty())
+                .cloned()
+                .unwrap_or_else(|| vec![base.chiplets[i].node])
+        })
+        .collect();
+
+    let mut indices = vec![0usize; lists.len()];
+    let mut best: Option<(SweepPoint, f64)> = None;
+    let mut evaluated = 0usize;
+    loop {
+        let mut system = base.clone();
+        let mut label_parts = Vec::with_capacity(lists.len());
+        for (i, list) in lists.iter().enumerate() {
+            let node = list[indices[i]];
+            system.chiplets[i] = system.chiplets[i].retargeted(node);
+            label_parts.push(node.nm().to_string());
+        }
+        system.name = format!("{} ({})", base.name, label_parts.join(", "));
+        let report = estimator.estimate(&system)?;
+        let score = objective.score(&report);
+        evaluated += 1;
+        let point = SweepPoint {
+            label: format!("({})", label_parts.join(", ")),
+            system,
+            report,
+        };
+        match &best {
+            Some((_, best_score)) if *best_score <= score => {}
+            _ => best = Some((point, score)),
+        }
+
+        // Advance the mixed-radix counter.
+        let mut position = lists.len();
+        loop {
+            if position == 0 {
+                let (winner, _) = best.expect("at least one configuration evaluated");
+                return Ok((winner, evaluated));
+            }
+            position -= 1;
+            indices[position] += 1;
+            if indices[position] < lists[position].len() {
+                break;
+            }
+            indices[position] = 0;
+        }
+    }
+}
+
+/// Carbon-delay / carbon-power / carbon-area product curves (Figs. 13–14).
+///
+/// The performance (delay), power and area of an architecture are
+/// application-specific inputs; ECO-CHIP combines them with the total CFP to
+/// produce the product metrics used for design-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProductMetrics {
+    /// Total CFP of the configuration.
+    pub carbon: Carbon,
+    /// End-to-end delay / latency of the workload.
+    pub delay_s: f64,
+    /// Operational power of the configuration.
+    pub power: Power,
+    /// 2D silicon (or package footprint) area.
+    pub area: Area,
+}
+
+impl ProductMetrics {
+    /// Assemble metrics from a report plus application-level numbers.
+    pub fn from_report(report: &CarbonReport, delay_s: f64, power: Power, area: Area) -> Self {
+        Self {
+            carbon: report.total(),
+            delay_s,
+            power,
+            area,
+        }
+    }
+
+    /// Carbon-delay product (kg CO₂e · s).
+    pub fn carbon_delay(&self) -> f64 {
+        self.carbon.kg() * self.delay_s
+    }
+
+    /// Carbon-power product (kg CO₂e · W).
+    pub fn carbon_power(&self) -> f64 {
+        self.carbon.kg() * self.power.watts()
+    }
+
+    /// Carbon-area product (kg CO₂e · mm²).
+    pub fn carbon_area(&self) -> f64 {
+        self.carbon.kg() * self.area.mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+    use ecochip_packaging::{InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig};
+    use ecochip_power::UsageProfile;
+    use ecochip_techdb::{Energy, TechNode};
+
+    fn blocks() -> SocBlocks {
+        SocBlocks::new("ga102", 20.0e9, 6.0e9, 2.3e9)
+    }
+
+    fn base_system() -> System {
+        System::builder("base")
+            .chiplets(three_chiplets(
+                &blocks(),
+                NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+            ))
+            .packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()))
+            .usage(UsageProfile::Measured {
+                energy_per_year: Energy::from_kwh(228.0),
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn node_tuple_sweep_finds_mix_and_match_minimum() {
+        // Fig. 7(a): the (7, 14, 10)-style mixed configuration beats the
+        // all-advanced (7, 7, 7) one on embodied carbon.
+        let estimator = EcoChip::default();
+        let tuples = [
+            NodeTuple::uniform(TechNode::N7),
+            NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+            NodeTuple::uniform(TechNode::N10),
+        ];
+        let points = sweep_node_tuples(&estimator, &base_system(), &blocks(), &tuples).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].label, "(7, 7, 7)");
+        let all7 = points[0].report.embodied().kg();
+        let mixed = points[1].report.embodied().kg();
+        assert!(mixed < all7, "mix-and-match {mixed} should beat all-7nm {all7}");
+    }
+
+    #[test]
+    fn packaging_sweep_orders_interposers_last() {
+        let estimator = EcoChip::default();
+        let archs = [
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+            PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
+            PackagingArchitecture::ThreeD(ThreeDConfig::default()),
+        ];
+        let points = sweep_packaging(&estimator, &base_system(), &archs).unwrap();
+        assert_eq!(points.len(), 4);
+        let by_label = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.label == label)
+                .unwrap()
+                .report
+                .hi_overhead()
+                .kg()
+        };
+        assert!(by_label("active-interposer") > by_label("RDL"));
+        assert!(by_label("active-interposer") > by_label("EMIB"));
+    }
+
+    #[test]
+    fn reuse_sweep_shows_embodied_amortization_and_lifetime_growth() {
+        let estimator = EcoChip::default();
+        let points = sweep_reuse(
+            &estimator,
+            &base_system(),
+            &[1.0, 4.0, 16.0],
+            &[1.0, 3.0, 5.0],
+        )
+        .unwrap();
+        assert_eq!(points.len(), 9);
+        // Embodied falls with the reuse ratio (same lifetime).
+        let emb_at = |ratio: f64| {
+            points
+                .iter()
+                .find(|p| (p.reuse_ratio - ratio).abs() < 1e-9 && (p.lifetime.years() - 1.0).abs() < 1e-9)
+                .unwrap()
+                .embodied
+                .kg()
+        };
+        assert!(emb_at(16.0) < emb_at(4.0));
+        assert!(emb_at(4.0) < emb_at(1.0));
+        // Total grows with lifetime (same ratio).
+        let tot_at = |years: f64| {
+            points
+                .iter()
+                .find(|p| (p.reuse_ratio - 1.0).abs() < 1e-9 && (p.lifetime.years() - years).abs() < 1e-9)
+                .unwrap()
+                .total
+                .kg()
+        };
+        assert!(tot_at(5.0) > tot_at(3.0));
+        assert!(tot_at(3.0) > tot_at(1.0));
+    }
+
+    #[test]
+    fn optimizer_finds_the_mix_and_match_assignment() {
+        let estimator = EcoChip::default();
+        let base = base_system();
+        let candidates = vec![
+            vec![TechNode::N7, TechNode::N10],
+            vec![TechNode::N7, TechNode::N10, TechNode::N14],
+            vec![TechNode::N7, TechNode::N10, TechNode::N14],
+        ];
+        let (winner, evaluated) =
+            optimize_node_assignment(&estimator, &base, &candidates, Objective::Embodied).unwrap();
+        assert_eq!(evaluated, 2 * 3 * 3);
+        // The winner keeps logic in the advanced node and moves memory /
+        // analog to mature nodes.
+        assert_eq!(winner.system.chiplets[0].node, TechNode::N7);
+        assert!(winner.system.chiplets[1].node.is_older_than(TechNode::N7));
+        // It is at least as good as both uniform assignments.
+        let all7 = estimator
+            .estimate(&{
+                let mut s = base.clone();
+                for c in &mut s.chiplets {
+                    *c = c.retargeted(TechNode::N7);
+                }
+                s
+            })
+            .unwrap();
+        assert!(winner.report.embodied().kg() <= all7.embodied().kg());
+    }
+
+    #[test]
+    fn optimizer_objectives_and_validation() {
+        let estimator = EcoChip::default();
+        let base = base_system();
+        // Missing candidate lists keep the existing node.
+        let (winner, evaluated) =
+            optimize_node_assignment(&estimator, &base, &[], Objective::Total).unwrap();
+        assert_eq!(evaluated, 1);
+        assert_eq!(winner.system.chiplet_nodes(), base.chiplet_nodes());
+        // Too many candidate lists are rejected.
+        let too_many = vec![vec![TechNode::N7]; 5];
+        assert!(optimize_node_assignment(
+            &estimator,
+            &base,
+            &too_many,
+            Objective::ManufacturingAndHi
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn product_metrics() {
+        let estimator = EcoChip::default();
+        let report = estimator.estimate(&base_system()).unwrap();
+        let m = ProductMetrics::from_report(
+            &report,
+            2.0e-3,
+            Power::from_watts(10.0),
+            Area::from_mm2(100.0),
+        );
+        assert!((m.carbon_delay() - report.total().kg() * 2.0e-3).abs() < 1e-9);
+        assert!((m.carbon_power() - report.total().kg() * 10.0).abs() < 1e-9);
+        assert!((m.carbon_area() - report.total().kg() * 100.0).abs() < 1e-6);
+    }
+}

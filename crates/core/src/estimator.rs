@@ -1,0 +1,436 @@
+//! The ECO-CHIP total-CFP estimator.
+
+use ecochip_act::{ActBreakdown, ActEstimator};
+use ecochip_design::{gates_from_transistors, DesignEstimator};
+use ecochip_floorplan::{ChipletOutline, Floorplan, SlicingFloorplanner};
+use ecochip_packaging::{CommOverheads, CommunicationEstimator, PackageEstimator};
+use ecochip_power::OperationalEstimator;
+use ecochip_techdb::{Area, Carbon, TechNode};
+use ecochip_yield::NegativeBinomialYield;
+
+use crate::config::EstimatorConfig;
+use crate::error::EcoChipError;
+use crate::manufacturing::ManufacturingModel;
+use crate::report::{CarbonReport, ChipletReport, HiBreakdown};
+use crate::system::System;
+
+/// The ECO-CHIP estimator.
+///
+/// Construct it once with an [`EstimatorConfig`] and call
+/// [`EcoChip::estimate`] for every [`System`] of interest; the estimator is
+/// cheap to clone and borrows nothing, so it can be reused across sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct EcoChip {
+    config: EstimatorConfig,
+}
+
+impl EcoChip {
+    /// Create an estimator with the given configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Floorplan the chiplets of a system (exposed for package-area studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError`] when areas cannot be derived or the
+    /// floorplanner rejects the input.
+    pub fn floorplan(&self, system: &System) -> Result<Floorplan, EcoChipError> {
+        let db = &self.config.techdb;
+        let mut outlines = Vec::with_capacity(system.chiplets.len());
+        for chiplet in &system.chiplets {
+            outlines.push(ChipletOutline::new(chiplet.name.clone(), chiplet.area(db)?));
+        }
+        Ok(SlicingFloorplanner::new(self.config.floorplan).floorplan(&outlines)?)
+    }
+
+    /// Estimate the full carbon report of a system (Eqs. 1–3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError`] when the system description is inconsistent,
+    /// a technology node is missing from the database, a die does not fit on
+    /// the configured wafer, or a packaging configuration is invalid.
+    pub fn estimate(&self, system: &System) -> Result<CarbonReport, EcoChipError> {
+        let db = &self.config.techdb;
+        let floorplan = self.floorplan(system)?;
+
+        // --- Inter-die communication overheads -------------------------------
+        let comm = if system.is_monolithic() {
+            CommOverheads::none(1)
+        } else {
+            CommunicationEstimator::new(db, self.config.comm).overheads(
+                &system.packaging,
+                &system.chiplet_nodes(),
+                &floorplan,
+            )?
+        };
+
+        // --- Per-chiplet manufacturing and design ----------------------------
+        let mfg_model = {
+            let m = ManufacturingModel::new(db, self.config.wafer, self.config.fab_source);
+            if self.config.include_wafer_wastage {
+                m
+            } else {
+                m.without_wastage()
+            }
+        };
+        let design_model = DesignEstimator::new(db, self.config.design);
+
+        let mut chiplet_reports = Vec::with_capacity(system.chiplets.len());
+        for (i, chiplet) in system.chiplets.iter().enumerate() {
+            let base_area = chiplet.area(db)?;
+            let comm_area = comm
+                .chiplet_extra_area
+                .get(i)
+                .copied()
+                .unwrap_or(Area::ZERO);
+            let manufacturing = mfg_model.chiplet_cfp(base_area + comm_area, chiplet.node)?;
+
+            let transistors = chiplet.transistors(db)?;
+            let gates = gates_from_transistors(transistors)
+                * self.config.design_effort_factor(chiplet.design_type);
+            let design = design_model
+                .amortized_chiplet_cfp(gates, chiplet.node, &system.volumes)
+                .map_err(EcoChipError::from)?;
+
+            chiplet_reports.push(ChipletReport {
+                name: chiplet.name.clone(),
+                node: chiplet.node,
+                base_area,
+                comm_area,
+                manufacturing,
+                design,
+            });
+        }
+
+        // --- HI overheads -----------------------------------------------------
+        let hi = if system.is_monolithic() {
+            HiBreakdown::none()
+        } else {
+            let package = PackageEstimator::new(db, self.config.packaging_source)
+                .package_cfp(&system.packaging, &floorplan)?;
+            let interposer_comm =
+                self.interposer_comm_cfp(comm.interposer_logic_area, comm.interposer_node)?;
+            HiBreakdown {
+                package: package.total(),
+                interposer_comm,
+                package_area: package.package_area,
+                whitespace_area: floorplan.whitespace_area(),
+                assembly_yield: package.assembly_yield,
+                comm_power: comm.total_power,
+            }
+        };
+
+        // --- Communication-fabric design CFP ----------------------------------
+        let comm_design = self.comm_design_cfp(system, &comm, &design_model)?;
+
+        // --- Operational CFP ---------------------------------------------------
+        let operational = OperationalEstimator::new(self.config.operational_source);
+        let operational_per_year = operational.annual_cfp(&system.usage, hi.comm_power);
+
+        Ok(CarbonReport {
+            system_name: system.name.clone(),
+            chiplets: chiplet_reports,
+            hi,
+            comm_design,
+            operational_per_year,
+            lifetime: system.lifetime,
+        })
+    }
+
+    /// Embodied CFP of the same system as the ACT baseline would report it
+    /// (fixed 150 g package, no design CFP, no wafer wastage) — the
+    /// comparison of Fig. 7(c).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError`] for missing nodes or invalid areas.
+    pub fn act_embodied(&self, system: &System) -> Result<ActBreakdown, EcoChipError> {
+        let db = &self.config.techdb;
+        let mut dies = Vec::with_capacity(system.chiplets.len());
+        for chiplet in &system.chiplets {
+            dies.push((chiplet.area(db)?, chiplet.node));
+        }
+        ActEstimator::new(db, self.config.fab_source)
+            .system_embodied(&dies)
+            .map_err(|e| EcoChipError::InvalidSystem(format!("act baseline failed: {e}")))
+    }
+
+    /// Manufacturing CFP of communication logic implemented in the interposer
+    /// (`C_mfg,comm = CFPA × A_router` for active interposers).
+    fn interposer_comm_cfp(
+        &self,
+        area: Area,
+        node: Option<TechNode>,
+    ) -> Result<Carbon, EcoChipError> {
+        let Some(node) = node else {
+            return Ok(Carbon::ZERO);
+        };
+        if area.mm2() <= 0.0 {
+            return Ok(Carbon::ZERO);
+        }
+        let db = &self.config.techdb;
+        let params = db.node(node)?;
+        let y = NegativeBinomialYield::for_node(params).yield_for(area);
+        let mfg_model = ManufacturingModel::new(db, self.config.wafer, self.config.fab_source);
+        let cfpa = mfg_model.cfpa(node, y)?;
+        Ok(cfpa * area)
+    }
+
+    /// Design CFP of the communication fabric, amortised per system
+    /// (`C_des,comm / NS` in Eq. 12).
+    fn comm_design_cfp(
+        &self,
+        system: &System,
+        comm: &CommOverheads,
+        design_model: &DesignEstimator<'_>,
+    ) -> Result<Carbon, EcoChipError> {
+        let db = &self.config.techdb;
+        let mut total = Carbon::ZERO;
+        for (i, chiplet) in system.chiplets.iter().enumerate() {
+            let area = comm
+                .chiplet_extra_area
+                .get(i)
+                .copied()
+                .unwrap_or(Area::ZERO);
+            if area.mm2() <= 0.0 {
+                continue;
+            }
+            let transistors = db
+                .node(chiplet.node)?
+                .logic_density
+                .transistors_per_mm2()
+                * area.mm2();
+            let gates = gates_from_transistors(transistors);
+            total += design_model
+                .amortized_comm_cfp(gates, chiplet.node, &system.volumes)
+                .map_err(EcoChipError::from)?;
+        }
+        if let (Some(node), true) = (comm.interposer_node, comm.interposer_logic_area.mm2() > 0.0) {
+            let transistors = db.node(node)?.logic_density.transistors_per_mm2()
+                * comm.interposer_logic_area.mm2();
+            let gates = gates_from_transistors(transistors);
+            total += design_model
+                .amortized_comm_cfp(gates, node, &system.volumes)
+                .map_err(EcoChipError::from)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Chiplet, ChipletSize};
+    use ecochip_packaging::{
+        InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig,
+    };
+    use ecochip_power::UsageProfile;
+    use ecochip_techdb::{DesignType, Energy, TimeSpan};
+
+    fn gpu_like_monolith() -> System {
+        System::builder("gpu-monolith")
+            .chiplet(Chiplet::new(
+                "soc",
+                DesignType::Logic,
+                TechNode::N7,
+                ChipletSize::Transistors(28.0e9),
+            ))
+            .usage(UsageProfile::Measured {
+                energy_per_year: Energy::from_kwh(228.0),
+            })
+            .lifetime(TimeSpan::from_years(2.0))
+            .build()
+            .unwrap()
+    }
+
+    fn gpu_like_3chiplet(packaging: PackagingArchitecture) -> System {
+        System::builder("gpu-3chiplet")
+            .chiplets([
+                Chiplet::new(
+                    "digital",
+                    DesignType::Logic,
+                    TechNode::N7,
+                    ChipletSize::Transistors(22.0e9),
+                ),
+                Chiplet::new(
+                    "memory",
+                    DesignType::Memory,
+                    TechNode::N14,
+                    ChipletSize::Transistors(5.0e9),
+                ),
+                Chiplet::new(
+                    "analog",
+                    DesignType::Analog,
+                    TechNode::N10,
+                    ChipletSize::Transistors(1.0e9),
+                ),
+            ])
+            .packaging(packaging)
+            .usage(UsageProfile::Measured {
+                energy_per_year: Energy::from_kwh(228.0),
+            })
+            .lifetime(TimeSpan::from_years(2.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn monolith_report_has_no_hi_overheads() {
+        let est = EcoChip::default();
+        let report = est.estimate(&gpu_like_monolith()).unwrap();
+        assert_eq!(report.hi_overhead().kg(), 0.0);
+        assert_eq!(report.hi.comm_power.watts(), 0.0);
+        assert_eq!(report.chiplets.len(), 1);
+        assert!(report.manufacturing().kg() > 10.0);
+        assert!(report.design().kg() > 0.0);
+        assert!(report.operational().kg() > 100.0);
+        assert!(report.total().kg() > report.embodied().kg());
+        assert!(report.embodied_fraction() > 0.0 && report.embodied_fraction() < 1.0);
+    }
+
+    #[test]
+    fn chiplet_system_has_hi_overheads_but_lower_embodied() {
+        // The headline result: disaggregation with node mix-and-match lowers
+        // embodied CFP despite packaging overheads.
+        let est = EcoChip::default();
+        let mono = est.estimate(&gpu_like_monolith()).unwrap();
+        let hi = est
+            .estimate(&gpu_like_3chiplet(PackagingArchitecture::RdlFanout(
+                RdlFanoutConfig::default(),
+            )))
+            .unwrap();
+        assert!(hi.hi_overhead().kg() > 0.0);
+        assert!(hi.hi.package_area.mm2() > hi.silicon_area().mm2() * 0.8);
+        assert!(
+            hi.embodied().kg() < mono.embodied().kg(),
+            "3-chiplet embodied {} should be below monolithic {}",
+            hi.embodied(),
+            mono.embodied()
+        );
+        // The saving is in the 10-70% band the paper reports.
+        let saving = 1.0 - hi.embodied().kg() / mono.embodied().kg();
+        assert!(
+            (0.05..=0.75).contains(&saving),
+            "embodied saving {saving} outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn act_baseline_underestimates_embodied() {
+        // Fig. 7(c): ACT reports a lower embodied CFP because it ignores
+        // design CFP, real packaging and wafer wastage.
+        let est = EcoChip::default();
+        let system = gpu_like_3chiplet(PackagingArchitecture::RdlFanout(
+            RdlFanoutConfig::default(),
+        ));
+        let eco = est.estimate(&system).unwrap();
+        let act = est.act_embodied(&system).unwrap();
+        assert!(act.total().kg() < eco.embodied().kg());
+        // ACT's packaging term is the fixed 150 g.
+        assert!((act.packaging.grams() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_interposer_adds_interposer_comm_carbon() {
+        let est = EcoChip::default();
+        let active = est
+            .estimate(&gpu_like_3chiplet(PackagingArchitecture::ActiveInterposer(
+                InterposerConfig::default(),
+            )))
+            .unwrap();
+        let passive = est
+            .estimate(&gpu_like_3chiplet(PackagingArchitecture::PassiveInterposer(
+                InterposerConfig::default(),
+            )))
+            .unwrap();
+        assert!(active.hi.interposer_comm.kg() > 0.0);
+        assert_eq!(passive.hi.interposer_comm.kg(), 0.0);
+        // Passive interposers put routers in the chiplets instead.
+        let passive_comm_area: f64 = passive.chiplets.iter().map(|c| c.comm_area.mm2()).sum();
+        let active_comm_area: f64 = active.chiplets.iter().map(|c| c.comm_area.mm2()).sum();
+        assert!(passive_comm_area > active_comm_area);
+        // Interposer-based packages cost more than RDL fanout.
+        let rdl = est
+            .estimate(&gpu_like_3chiplet(PackagingArchitecture::RdlFanout(
+                RdlFanoutConfig::default(),
+            )))
+            .unwrap();
+        assert!(active.hi_overhead().kg() > rdl.hi_overhead().kg());
+    }
+
+    #[test]
+    fn emib_reports_bridges_and_small_comm_power() {
+        let est = EcoChip::default();
+        let emib = est
+            .estimate(&gpu_like_3chiplet(PackagingArchitecture::SiliconBridge(
+                SiliconBridgeConfig::default(),
+            )))
+            .unwrap();
+        assert!(emib.hi.package.kg() > 0.0);
+        assert!(emib.hi.comm_power.watts() > 0.0);
+        assert!(emib.hi.whitespace_area.mm2() > 0.0);
+    }
+
+    #[test]
+    fn comm_power_raises_operational_cfp() {
+        let est = EcoChip::default();
+        let mono = est.estimate(&gpu_like_monolith()).unwrap();
+        let hi = est
+            .estimate(&gpu_like_3chiplet(PackagingArchitecture::PassiveInterposer(
+                InterposerConfig::default(),
+            )))
+            .unwrap();
+        assert!(hi.operational_per_year.kg() > mono.operational_per_year.kg());
+    }
+
+    #[test]
+    fn wastage_toggle_changes_manufacturing() {
+        let system = gpu_like_monolith();
+        let with = EcoChip::new(EstimatorConfig::default());
+        let without = EcoChip::new(
+            EstimatorConfig::builder()
+                .include_wafer_wastage(false)
+                .build(),
+        );
+        let a = with.estimate(&system).unwrap();
+        let b = without.estimate(&system).unwrap();
+        assert!(a.manufacturing().kg() > b.manufacturing().kg());
+    }
+
+    #[test]
+    fn report_lifetime_matches_system() {
+        let est = EcoChip::default();
+        let sys = gpu_like_monolith().with_lifetime(TimeSpan::from_years(5.0));
+        let report = est.estimate(&sys).unwrap();
+        assert!((report.lifetime.years() - 5.0).abs() < 1e-9);
+        assert!(
+            (report.operational().kg() - 5.0 * report.operational_per_year.kg()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn floorplan_is_exposed() {
+        let est = EcoChip::default();
+        let plan = est
+            .floorplan(&gpu_like_3chiplet(PackagingArchitecture::RdlFanout(
+                RdlFanoutConfig::default(),
+            )))
+            .unwrap();
+        assert_eq!(plan.placements().len(), 3);
+        assert!(plan.package_area().mm2() > 0.0);
+    }
+
+    #[test]
+    fn config_accessor() {
+        let est = EcoChip::default();
+        assert!(est.config().include_wafer_wastage);
+    }
+}

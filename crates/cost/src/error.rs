@@ -1,0 +1,88 @@
+//! Error types for the cost model.
+
+use std::error::Error;
+use std::fmt;
+
+use ecochip_techdb::TechDbError;
+use ecochip_yield::YieldError;
+
+/// Errors produced by the chiplet cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CostError {
+    /// The technology database has no entry for a required node.
+    TechDb(TechDbError),
+    /// Dies-per-wafer or yield computation failed.
+    Yield(YieldError),
+    /// An input value was out of range.
+    InvalidInput {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::TechDb(e) => write!(f, "technology database error: {e}"),
+            CostError::Yield(e) => write!(f, "yield model error: {e}"),
+            CostError::InvalidInput { name, value } => {
+                write!(f, "invalid value {value} for {name}")
+            }
+        }
+    }
+}
+
+impl Error for CostError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CostError::TechDb(e) => Some(e),
+            CostError::Yield(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechDbError> for CostError {
+    fn from(value: TechDbError) -> Self {
+        CostError::TechDb(value)
+    }
+}
+
+impl From<YieldError> for CostError {
+    fn from(value: YieldError) -> Self {
+        CostError::Yield(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CostError = TechDbError::MissingNode(7).into();
+        assert!(e.to_string().contains("technology"));
+        assert!(Error::source(&e).is_some());
+        let e: CostError = YieldError::DieLargerThanWafer {
+            die_mm2: 1e6,
+            wafer_diameter_mm: 300.0,
+        }
+        .into();
+        assert!(e.to_string().contains("yield"));
+        let e = CostError::InvalidInput {
+            name: "volume",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("volume"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CostError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! # ecochip-cost
+//!
+//! Chiplet dollar-cost model, reproducing the role of the third-party cost
+//! tool the ECO-CHIP paper integrates with for Section VI(2) (Fig. 15).
+//!
+//! The model follows the standard chiplet cost decomposition (Graening et al.,
+//! "Chiplets: How Small is Too Small?", DAC 2023):
+//!
+//! * **Die cost** — wafer price of the node divided by dies-per-wafer and die
+//!   yield (known-good-die cost).
+//! * **Package cost** — substrate / interposer / bridge / bond formation cost
+//!   depending on the packaging class, divided by the assembly yield.
+//! * **NRE cost** — mask-set and design NRE amortised over the production
+//!   volume.
+//!
+//! The absolute dollar figures are industry-estimate defaults; the purpose is
+//! to reproduce the *relative* trends of Fig. 15 (older nodes are cheaper,
+//! disaggregation trades die cost against assembly cost).
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_techdb::{Area, TechDb, TechNode};
+//! use ecochip_cost::{CostModel, PackageCostClass};
+//!
+//! let db = TechDb::default();
+//! let model = CostModel::new(&db);
+//! let dies = [(Area::from_mm2(300.0), TechNode::N7), (Area::from_mm2(100.0), TechNode::N14)];
+//! let cost = model.system_cost(&dies, &PackageCostClass::RdlFanout { layers: 4, area: Area::from_mm2(450.0) }, 100_000)?;
+//! assert!(cost.total().dollars() > 50.0);
+//! # Ok::<(), ecochip_cost::CostError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod model;
+mod money;
+
+pub use error::CostError;
+pub use model::{CostBreakdown, CostModel, PackageCostClass};
+pub use money::Dollars;

@@ -1,0 +1,454 @@
+//! The chiplet dollar-cost model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::{Area, TechDb, TechNode};
+use ecochip_yield::{NegativeBinomialYield, Wafer};
+
+use crate::error::CostError;
+use crate::money::Dollars;
+
+/// Package description used for cost purposes.
+///
+/// This mirrors the packaging architectures of the CFP model but carries only
+/// the quantities the cost model needs, so that the cost crate does not depend
+/// on the packaging crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum PackageCostClass {
+    /// A bare monolithic die in a conventional flip-chip package.
+    Monolithic,
+    /// RDL fanout substrate with the given layer count and substrate area.
+    RdlFanout {
+        /// Number of RDL layers.
+        layers: u32,
+        /// Substrate area.
+        area: Area,
+    },
+    /// Organic substrate with embedded silicon bridges.
+    SiliconBridge {
+        /// Number of bridges.
+        bridges: u32,
+        /// Substrate area.
+        area: Area,
+    },
+    /// Passive silicon interposer of the given area and node.
+    PassiveInterposer {
+        /// Interposer area.
+        area: Area,
+        /// Interposer technology node.
+        node: TechNode,
+    },
+    /// Active silicon interposer of the given area and node.
+    ActiveInterposer {
+        /// Interposer area.
+        area: Area,
+        /// Interposer technology node.
+        node: TechNode,
+    },
+    /// 3D stack with the given total bond count.
+    ThreeD {
+        /// Total number of TSVs / microbumps / hybrid bonds.
+        bonds: f64,
+    },
+}
+
+/// Cost breakdown of one assembled system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Known-good-die cost of each die, in input order.
+    pub die_costs: Vec<Dollars>,
+    /// Package substrate / interposer / bridge / bond cost, including the
+    /// assembly-yield penalty.
+    pub package_cost: Dollars,
+    /// Per-chiplet placement / bonding operations cost.
+    pub assembly_cost: Dollars,
+    /// NRE (mask sets) amortised per system at the given volume.
+    pub nre_per_system: Dollars,
+}
+
+impl CostBreakdown {
+    /// Total die cost.
+    pub fn dies_total(&self) -> Dollars {
+        self.die_costs.iter().copied().sum()
+    }
+
+    /// Total cost per assembled system.
+    pub fn total(&self) -> Dollars {
+        self.dies_total() + self.package_cost + self.assembly_cost + self.nre_per_system
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} total (dies {}, package {}, assembly {}, NRE {})",
+            self.total(),
+            self.dies_total(),
+            self.package_cost,
+            self.assembly_cost,
+            self.nre_per_system
+        )
+    }
+}
+
+/// Per-node wafer price (USD per 300 mm wafer) and mask-set NRE (USD).
+fn node_economics(node: TechNode) -> (f64, f64) {
+    match node {
+        TechNode::N3 => (20_000.0, 35.0e6),
+        TechNode::N5 => (17_000.0, 28.0e6),
+        TechNode::N7 => (9_300.0, 18.0e6),
+        TechNode::N8 => (8_000.0, 15.0e6),
+        TechNode::N10 => (6_500.0, 12.0e6),
+        TechNode::N12 => (5_800.0, 10.0e6),
+        TechNode::N14 => (5_000.0, 8.0e6),
+        TechNode::N16 => (4_500.0, 7.0e6),
+        TechNode::N22 => (3_800.0, 5.0e6),
+        TechNode::N28 => (3_000.0, 3.5e6),
+        TechNode::N40 => (2_600.0, 2.5e6),
+        TechNode::N65 => (2_000.0, 1.5e6),
+        TechNode::N90 => (1_700.0, 1.0e6),
+        TechNode::N130 => (1_500.0, 0.7e6),
+    }
+}
+
+/// Cost per cm² per RDL layer on an organic / fanout substrate (USD).
+const RDL_COST_PER_CM2_PER_LAYER: f64 = 0.45;
+/// Cost of one embedded silicon bridge (USD).
+const BRIDGE_COST: f64 = 6.0;
+/// Placement / bonding operation cost per chiplet (USD).
+const PLACEMENT_COST_PER_CHIPLET: f64 = 1.8;
+/// Cost per thousand 3D bonds formed (USD).
+const BOND_COST_PER_KILO_BOND: f64 = 0.02;
+/// Assembly yield applied to multi-chiplet packages.
+const ASSEMBLY_YIELD: f64 = 0.98;
+
+/// The chiplet cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    db: &'a TechDb,
+    wafer: Wafer,
+}
+
+impl<'a> CostModel<'a> {
+    /// Create a cost model over the given technology database, using 300 mm
+    /// production wafers (the industry-standard pricing basis).
+    pub fn new(db: &'a TechDb) -> Self {
+        Self {
+            db,
+            wafer: Wafer::standard_300mm(),
+        }
+    }
+
+    /// Override the wafer size used for dies-per-wafer computations.
+    pub fn with_wafer(mut self, wafer: Wafer) -> Self {
+        self.wafer = wafer;
+        self
+    }
+
+    /// Wafer price for a node (USD per wafer).
+    pub fn wafer_cost(&self, node: TechNode) -> Dollars {
+        Dollars::new(node_economics(node).0)
+    }
+
+    /// Mask-set NRE for a node (USD).
+    pub fn mask_set_cost(&self, node: TechNode) -> Dollars {
+        Dollars::new(node_economics(node).1)
+    }
+
+    /// Known-good-die cost: wafer price / dies-per-wafer / die yield.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError`] for unknown nodes, invalid areas, or dies larger
+    /// than the wafer.
+    pub fn die_cost(&self, area: Area, node: TechNode) -> Result<Dollars, CostError> {
+        let params = self.db.node(node)?;
+        let dpw = self.wafer.dies_per_wafer(area)?;
+        let y = NegativeBinomialYield::for_node(params).yield_for(area);
+        Ok(self.wafer_cost(node) / dpw as f64 * y.inflation_factor())
+    }
+
+    /// Package-related cost for a cost class (before the assembly-yield
+    /// penalty, which [`CostModel::system_cost`] applies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError`] for unknown interposer nodes or invalid areas.
+    pub fn package_cost(&self, class: &PackageCostClass) -> Result<Dollars, CostError> {
+        Ok(match class {
+            PackageCostClass::Monolithic => Dollars::new(2.0),
+            PackageCostClass::RdlFanout { layers, area } => {
+                Dollars::new(RDL_COST_PER_CM2_PER_LAYER * area.cm2() * f64::from(*layers))
+            }
+            PackageCostClass::SiliconBridge { bridges, area } => {
+                Dollars::new(RDL_COST_PER_CM2_PER_LAYER * area.cm2() * 2.0)
+                    + Dollars::new(BRIDGE_COST * f64::from(*bridges))
+            }
+            PackageCostClass::PassiveInterposer { area, node } => {
+                // A metal-only silicon die: half the wafer price of the node.
+                let base = self.die_cost(*area, *node)?;
+                base * 0.5
+            }
+            PackageCostClass::ActiveInterposer { area, node } => self.die_cost(*area, *node)?,
+            PackageCostClass::ThreeD { bonds } => {
+                Dollars::new(BOND_COST_PER_KILO_BOND * bonds.max(0.0) / 1_000.0)
+            }
+        })
+    }
+
+    /// Full per-system cost of a set of dies in a package, with NRE amortised
+    /// over `volume` systems.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidInput`] for a zero volume and propagates
+    /// die-cost errors.
+    pub fn system_cost(
+        &self,
+        dies: &[(Area, TechNode)],
+        package: &PackageCostClass,
+        volume: u64,
+    ) -> Result<CostBreakdown, CostError> {
+        if volume == 0 {
+            return Err(CostError::InvalidInput {
+                name: "volume",
+                value: 0.0,
+            });
+        }
+        let mut die_costs = Vec::with_capacity(dies.len());
+        let mut nre = Dollars::ZERO;
+        // Identical chiplets (same node and area) share one mask set — the
+        // "design once, instantiate many times" reuse the paper argues for.
+        let mut distinct_designs: Vec<(TechNode, i64)> = Vec::new();
+        for (area, node) in dies {
+            die_costs.push(self.die_cost(*area, *node)?);
+            let key = (*node, (area.mm2() * 1.0e3).round() as i64);
+            if !distinct_designs.contains(&key) {
+                distinct_designs.push(key);
+                nre += self.mask_set_cost(*node);
+            }
+        }
+        let assembly_yield = if dies.len() > 1 { ASSEMBLY_YIELD } else { 1.0 };
+        let package_cost = self.package_cost(package)? / assembly_yield;
+        let assembly_cost =
+            Dollars::new(PLACEMENT_COST_PER_CHIPLET * dies.len() as f64) / assembly_yield;
+        let nre_per_system = nre / volume as f64;
+        Ok(CostBreakdown {
+            die_costs,
+            package_cost,
+            assembly_cost,
+            nre_per_system,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn db() -> TechDb {
+        TechDb::default()
+    }
+
+    #[test]
+    fn wafer_and_mask_costs_decrease_with_maturity() {
+        let db = db();
+        let model = CostModel::new(&db);
+        let mut prev_wafer = f64::INFINITY;
+        let mut prev_mask = f64::INFINITY;
+        for node in TechNode::ALL {
+            let w = model.wafer_cost(node).dollars();
+            let m = model.mask_set_cost(node).dollars();
+            assert!(w <= prev_wafer, "wafer cost must not increase with maturity");
+            assert!(m <= prev_mask);
+            prev_wafer = w;
+            prev_mask = m;
+        }
+    }
+
+    #[test]
+    fn die_cost_magnitudes_are_sensible() {
+        let db = db();
+        let model = CostModel::new(&db);
+        // A 628 mm² 8 nm-class GPU die costs a few hundred dollars.
+        let gpu = model.die_cost(Area::from_mm2(628.0), TechNode::N8).unwrap();
+        assert!(gpu.dollars() > 100.0 && gpu.dollars() < 1_000.0, "{gpu}");
+        // A 100 mm² 65 nm die costs a few dollars.
+        let small = model.die_cost(Area::from_mm2(100.0), TechNode::N65).unwrap();
+        assert!(small.dollars() > 1.0 && small.dollars() < 20.0, "{small}");
+    }
+
+    #[test]
+    fn splitting_a_die_reduces_die_cost() {
+        // Fig. 15(b): die cost falls with disaggregation (yield), assembly
+        // cost rises.
+        let db = db();
+        let model = CostModel::new(&db);
+        let mono = model.die_cost(Area::from_mm2(500.0), TechNode::N7).unwrap();
+        let quarters: Dollars = (0..4)
+            .map(|_| model.die_cost(Area::from_mm2(125.0), TechNode::N7).unwrap())
+            .sum();
+        assert!(quarters.dollars() < mono.dollars());
+    }
+
+    #[test]
+    fn older_nodes_are_cheaper_for_same_transistors() {
+        // Fig. 15(a): moving memory/analog chiplets to older nodes lowers cost
+        // because wafers are cheaper and yields better, even with some area
+        // growth.
+        let db = db();
+        let model = CostModel::new(&db);
+        let advanced = model.die_cost(Area::from_mm2(100.0), TechNode::N7).unwrap();
+        let mature = model.die_cost(Area::from_mm2(140.0), TechNode::N14).unwrap();
+        assert!(mature.dollars() < advanced.dollars());
+    }
+
+    #[test]
+    fn system_cost_composition() {
+        let db = db();
+        let model = CostModel::new(&db);
+        let dies = [
+            (Area::from_mm2(300.0), TechNode::N7),
+            (Area::from_mm2(100.0), TechNode::N10),
+            (Area::from_mm2(80.0), TechNode::N14),
+        ];
+        let package = PackageCostClass::RdlFanout {
+            layers: 4,
+            area: Area::from_mm2(550.0),
+        };
+        let cost = model.system_cost(&dies, &package, 100_000).unwrap();
+        assert_eq!(cost.die_costs.len(), 3);
+        assert!(cost.package_cost.dollars() > 0.0);
+        assert!(cost.assembly_cost.dollars() > 0.0);
+        assert!(cost.nre_per_system.dollars() > 0.0);
+        let total = cost.total().dollars();
+        let parts = cost.dies_total().dollars()
+            + cost.package_cost.dollars()
+            + cost.assembly_cost.dollars()
+            + cost.nre_per_system.dollars();
+        assert!((total - parts).abs() < 1e-9);
+        assert!(!cost.to_string().is_empty());
+    }
+
+    #[test]
+    fn identical_chiplets_share_one_mask_set() {
+        let db = db();
+        let model = CostModel::new(&db);
+        let pkg = PackageCostClass::RdlFanout {
+            layers: 4,
+            area: Area::from_mm2(500.0),
+        };
+        let one = model
+            .system_cost(&[(Area::from_mm2(100.0), TechNode::N7)], &pkg, 10_000)
+            .unwrap();
+        let four_identical = model
+            .system_cost(&[(Area::from_mm2(100.0), TechNode::N7); 4], &pkg, 10_000)
+            .unwrap();
+        let two_distinct = model
+            .system_cost(
+                &[
+                    (Area::from_mm2(100.0), TechNode::N7),
+                    (Area::from_mm2(150.0), TechNode::N7),
+                ],
+                &pkg,
+                10_000,
+            )
+            .unwrap();
+        // Reusing the same chiplet design does not multiply the NRE.
+        assert!((four_identical.nre_per_system.dollars() - one.nre_per_system.dollars()).abs() < 1e-9);
+        // Distinct designs pay for distinct mask sets.
+        assert!(two_distinct.nre_per_system.dollars() > one.nre_per_system.dollars() * 1.9);
+    }
+
+    #[test]
+    fn higher_volume_amortizes_nre() {
+        let db = db();
+        let model = CostModel::new(&db);
+        let dies = [(Area::from_mm2(200.0), TechNode::N7)];
+        let pkg = PackageCostClass::Monolithic;
+        let low = model.system_cost(&dies, &pkg, 1_000).unwrap();
+        let high = model.system_cost(&dies, &pkg, 1_000_000).unwrap();
+        assert!(high.nre_per_system.dollars() < low.nre_per_system.dollars() / 100.0);
+        assert!(high.total().dollars() < low.total().dollars());
+        assert!(model.system_cost(&dies, &pkg, 0).is_err());
+    }
+
+    #[test]
+    fn package_classes_have_expected_ordering() {
+        let db = db();
+        let model = CostModel::new(&db);
+        let area = Area::from_mm2(500.0);
+        let rdl = model
+            .package_cost(&PackageCostClass::RdlFanout { layers: 4, area })
+            .unwrap();
+        let passive = model
+            .package_cost(&PackageCostClass::PassiveInterposer {
+                area,
+                node: TechNode::N65,
+            })
+            .unwrap();
+        let active = model
+            .package_cost(&PackageCostClass::ActiveInterposer {
+                area,
+                node: TechNode::N65,
+            })
+            .unwrap();
+        let mono = model.package_cost(&PackageCostClass::Monolithic).unwrap();
+        assert!(mono < rdl);
+        assert!(rdl < passive);
+        assert!(passive < active);
+        let emib = model
+            .package_cost(&PackageCostClass::SiliconBridge { bridges: 3, area })
+            .unwrap();
+        assert!(emib.dollars() > 0.0);
+        let stack = model
+            .package_cost(&PackageCostClass::ThreeD { bonds: 500_000.0 })
+            .unwrap();
+        assert!(stack.dollars() > 0.0);
+    }
+
+    #[test]
+    fn oversized_die_is_an_error() {
+        let db = db();
+        let model = CostModel::new(&db);
+        assert!(model
+            .die_cost(Area::from_mm2(400.0 * 400.0), TechNode::N7)
+            .is_err());
+        let tiny = CostModel::new(&db).with_wafer(Wafer::with_diameter_mm(50.0));
+        assert!(tiny.die_cost(Area::from_mm2(2_000.0), TechNode::N7).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn die_cost_is_monotone_in_area(
+            a in 20.0f64..600.0,
+            extra in 10.0f64..300.0,
+        ) {
+            let db = db();
+            let model = CostModel::new(&db);
+            let small = model.die_cost(Area::from_mm2(a), TechNode::N7).unwrap();
+            let large = model.die_cost(Area::from_mm2(a + extra), TechNode::N7).unwrap();
+            prop_assert!(large.dollars() > small.dollars());
+        }
+
+        #[test]
+        fn system_cost_is_finite_and_positive(
+            n in 1usize..6,
+            area in 40.0f64..300.0,
+            volume in 1u64..1_000_000,
+        ) {
+            let db = db();
+            let model = CostModel::new(&db);
+            let dies: Vec<(Area, TechNode)> = (0..n).map(|_| (Area::from_mm2(area), TechNode::N7)).collect();
+            let pkg = PackageCostClass::RdlFanout { layers: 4, area: Area::from_mm2(area * n as f64 * 1.2) };
+            let cost = model.system_cost(&dies, &pkg, volume).unwrap();
+            prop_assert!(cost.total().dollars() > 0.0);
+            prop_assert!(cost.total().dollars().is_finite());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! A minimal money newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A US-dollar amount.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Dollars(f64);
+
+impl Dollars {
+    /// Zero dollars.
+    pub const ZERO: Dollars = Dollars(0.0);
+
+    /// Create an amount from dollars.
+    #[inline]
+    pub fn new(dollars: f64) -> Self {
+        Self(dollars)
+    }
+
+    /// The amount in dollars.
+    #[inline]
+    pub fn dollars(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the larger of two amounts.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl Add for Dollars {
+    type Output = Dollars;
+    fn add(self, rhs: Self) -> Self {
+        Dollars(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dollars {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dollars {
+    type Output = Dollars;
+    fn sub(self, rhs: Self) -> Self {
+        Dollars(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Dollars {
+    type Output = Dollars;
+    fn mul(self, rhs: f64) -> Self {
+        Dollars(self.0 * rhs)
+    }
+}
+
+impl Mul<Dollars> for f64 {
+    type Output = Dollars;
+    fn mul(self, rhs: Dollars) -> Dollars {
+        Dollars(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Dollars {
+    type Output = Dollars;
+    fn div(self, rhs: f64) -> Self {
+        Dollars(self.0 / rhs)
+    }
+}
+
+impl Div<Dollars> for Dollars {
+    type Output = f64;
+    fn div(self, rhs: Dollars) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Dollars {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Dollars(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for Dollars {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.2}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Dollars::new(10.0);
+        let b = Dollars::new(2.5);
+        assert!(((a + b).dollars() - 12.5).abs() < 1e-12);
+        assert!(((a - b).dollars() - 7.5).abs() < 1e-12);
+        assert!(((a * 2.0).dollars() - 20.0).abs() < 1e-12);
+        assert!(((2.0 * a).dollars() - 20.0).abs() < 1e-12);
+        assert!(((a / 4.0).dollars() - 2.5).abs() < 1e-12);
+        assert!((a / b - 4.0).abs() < 1e-12);
+        assert_eq!(a.max(b), a);
+        let mut c = Dollars::ZERO;
+        c += a;
+        assert_eq!(c, a);
+        let total: Dollars = vec![a, b].into_iter().sum();
+        assert!((total.dollars() - 12.5).abs() < 1e-12);
+        assert_eq!(Dollars::default(), Dollars::ZERO);
+        assert_eq!(a.to_string(), "$10.00");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let s = serde_json::to_string(&Dollars::new(5.0)).unwrap();
+        assert_eq!(s, "5.0");
+        let d: Dollars = serde_json::from_str("7.25").unwrap();
+        assert!((d.dollars() - 7.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,392 @@
+//! The design-time and design-CFP estimator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::{Carbon, EnergySource, Power, TechDb, TechDbError, TechNode, TimeSpan};
+
+/// Average number of transistors per logic gate used to convert transistor
+/// counts into gate counts for the design-effort model. Modern SoCs average
+/// around six transistors per synthesized gate once flip-flops and larger
+/// cells are accounted for (the GA102's 28 B transistors correspond to the
+/// paper's "over 4.5 B logic gates").
+const TRANSISTORS_PER_GATE: f64 = 6.0;
+
+/// Convert a transistor count into an equivalent logic-gate count.
+///
+/// ```
+/// use ecochip_design::gates_from_transistors;
+/// assert_eq!(gates_from_transistors(6.0e9), 1.0e9);
+/// ```
+pub fn gates_from_transistors(transistors: f64) -> f64 {
+    transistors / TRANSISTORS_PER_GATE
+}
+
+/// Configuration of the design-CFP model (Eq. 13 parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Wall power of the design compute machine per SP&R job, `Pdes`.
+    ///
+    /// The paper quotes 10 W per CPU from public dissipation figures but its
+    /// 8,400 kg single-SP&R figure for the GA102 implies the full machine
+    /// (CPUs, 192 GB DRAM, cooling) is charged to the job; the default of
+    /// 78 W reproduces that calibration.
+    pub machine_power: Power,
+    /// Number of design iterations `Ndes` (100 in Table I).
+    pub iterations: u32,
+    /// Ratio of verification compute time to the iterated SP&R + analysis
+    /// time. 1.0 means verification doubles the total compute.
+    pub verification_ratio: f64,
+    /// Analysis (STA, power, EM/IR) compute time as a fraction of one SP&R
+    /// run.
+    pub analysis_ratio: f64,
+    /// Energy source of the design compute farm, `Cdes,src`.
+    pub source: EnergySource,
+    /// SP&R CPU-hours per million gates at `ηEDA = 1` (calibrated so that a
+    /// 700 k-gate block in 7 nm takes ≈ 24 CPU-hours).
+    pub spr_hours_per_mgate: f64,
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        Self {
+            machine_power: Power::from_watts(78.0),
+            iterations: 100,
+            verification_ratio: 0.25,
+            analysis_ratio: 0.5,
+            source: EnergySource::Coal,
+            // 24 h for 0.7 Mgates at ηEDA(7 nm) = 0.65:
+            // 24 / 0.7 * 0.65 = 22.29 h per Mgate at ηEDA = 1.
+            spr_hours_per_mgate: 22.29,
+        }
+    }
+}
+
+/// Per-design cost figures produced by [`DesignEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignCost {
+    /// CPU time of a single SP&R iteration.
+    pub spr_time: TimeSpan,
+    /// Total design compute time `tdes` (verification + iterated SP&R +
+    /// analysis).
+    pub total_time: TimeSpan,
+    /// CFP of a single SP&R iteration.
+    pub single_iteration_cfp: Carbon,
+    /// CFP of the full design effort (not yet amortised over volume).
+    pub total_cfp: Carbon,
+}
+
+impl fmt::Display for DesignCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design: {} total ({} per SP&R iteration)",
+            self.total_cfp, self.single_iteration_cfp
+        )
+    }
+}
+
+/// Manufacturing / shipping volumes used for amortisation (Eq. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VolumeScenario {
+    /// Number of units manufactured of each chiplet, `NMi`.
+    pub chiplet_volume: u64,
+    /// Number of systems shipped, `NS`.
+    pub system_volume: u64,
+}
+
+impl Default for VolumeScenario {
+    /// The paper's headline scenario: `NMi = NS = 100 000`.
+    fn default() -> Self {
+        Self {
+            chiplet_volume: 100_000,
+            system_volume: 100_000,
+        }
+    }
+}
+
+impl VolumeScenario {
+    /// Scenario where chiplets are reused across `reuse_factor` different
+    /// systems: `NMi = reuse_factor × NS`.
+    pub fn with_reuse(system_volume: u64, reuse_factor: f64) -> Self {
+        let chiplet_volume = ((system_volume as f64) * reuse_factor).round().max(1.0) as u64;
+        Self {
+            chiplet_volume,
+            system_volume: system_volume.max(1),
+        }
+    }
+
+    /// The reuse ratio `NMi / NS` plotted in Fig. 12.
+    pub fn reuse_ratio(&self) -> f64 {
+        self.chiplet_volume as f64 / self.system_volume.max(1) as f64
+    }
+}
+
+/// The design-CFP estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignEstimator<'a> {
+    db: &'a TechDb,
+    config: DesignConfig,
+}
+
+impl<'a> DesignEstimator<'a> {
+    /// Create an estimator over the given technology database.
+    pub fn new(db: &'a TechDb, config: DesignConfig) -> Self {
+        Self { db, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DesignConfig {
+        &self.config
+    }
+
+    /// CPU time of a single SP&R run of `gates` logic gates targeting `node`
+    /// (`tSP&R,i` in Eq. 13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::MissingNode`] for unknown nodes.
+    pub fn spr_hours(&self, gates: f64, node: TechNode) -> Result<TimeSpan, TechDbError> {
+        let params = self.db.node(node)?;
+        let mgates = (gates / 1.0e6).max(0.0);
+        let hours = mgates * self.config.spr_hours_per_mgate / params.eda_productivity;
+        Ok(TimeSpan::from_hours(hours))
+    }
+
+    /// Full design cost of a block with `gates` logic gates targeting `node`
+    /// (Eqs. 12–13 before amortisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::MissingNode`] for unknown nodes.
+    pub fn design_cost(&self, gates: f64, node: TechNode) -> Result<DesignCost, TechDbError> {
+        let spr = self.spr_hours(gates, node)?;
+        let per_iteration = spr.hours() * (1.0 + self.config.analysis_ratio.max(0.0));
+        let iterated = per_iteration * f64::from(self.config.iterations.max(1));
+        let verification = iterated * self.config.verification_ratio.max(0.0);
+        let total = TimeSpan::from_hours(iterated + verification);
+
+        let intensity = self.config.source.carbon_intensity();
+        let single_iteration_cfp =
+            intensity * (self.config.machine_power * TimeSpan::from_hours(per_iteration));
+        let total_cfp = intensity * (self.config.machine_power * total);
+        Ok(DesignCost {
+            spr_time: spr,
+            total_time: total,
+            single_iteration_cfp,
+            total_cfp,
+        })
+    }
+
+    /// Design CFP of one chiplet amortised over the number of chiplets
+    /// manufactured (`Cdes,i / NMi` in Eq. 12).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::MissingNode`] for unknown nodes.
+    pub fn amortized_chiplet_cfp(
+        &self,
+        gates: f64,
+        node: TechNode,
+        volumes: &VolumeScenario,
+    ) -> Result<Carbon, TechDbError> {
+        let cost = self.design_cost(gates, node)?;
+        Ok(cost.total_cfp / volumes.chiplet_volume.max(1) as f64)
+    }
+
+    /// Amortised design CFP of the inter-die communication logic
+    /// (`Cdes,comm / NS` in Eq. 12). The communication fabric is
+    /// system-specific, so it amortises over the system volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::MissingNode`] for unknown nodes.
+    pub fn amortized_comm_cfp(
+        &self,
+        comm_gates: f64,
+        node: TechNode,
+        volumes: &VolumeScenario,
+    ) -> Result<Carbon, TechDbError> {
+        let cost = self.design_cost(comm_gates, node)?;
+        Ok(cost.total_cfp / volumes.system_volume.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_techdb::TechDb;
+    use proptest::prelude::*;
+
+    fn db() -> TechDb {
+        TechDb::default()
+    }
+
+    fn estimator(db: &TechDb) -> DesignEstimator<'_> {
+        DesignEstimator::new(db, DesignConfig::default())
+    }
+
+    #[test]
+    fn gates_conversion() {
+        // The GA102-class 28 B transistors map to roughly the paper's
+        // "over 4.5 B logic gates".
+        assert!((gates_from_transistors(28.3e9) - 28.3e9 / 6.0).abs() < 1.0);
+        assert!(gates_from_transistors(28.3e9) > 4.0e9);
+        assert_eq!(gates_from_transistors(0.0), 0.0);
+    }
+
+    #[test]
+    fn spr_anchor_point_from_the_paper() {
+        // 700k gates in 7 nm ≈ 24 CPU-hours.
+        let db = db();
+        let est = estimator(&db);
+        let hours = est.spr_hours(700_000.0, TechNode::N7).unwrap().hours();
+        assert!((hours - 24.0).abs() / 24.0 < 0.05, "got {hours} h");
+    }
+
+    #[test]
+    fn ga102_scale_matches_paper_magnitudes() {
+        // 4.5 B gates in 7 nm: ~1.5e5 CPU-hours per SP&R and a single
+        // iteration in the vicinity of 8,400 kg CO2e (paper, Section V-A(2)).
+        let db = db();
+        let est = estimator(&db);
+        let cost = est.design_cost(4.5e9, TechNode::N7).unwrap();
+        let spr_hours = cost.spr_time.hours();
+        assert!(
+            (1.2e5..2.0e5).contains(&spr_hours),
+            "SP&R hours {spr_hours}"
+        );
+        let single = cost.single_iteration_cfp.kg();
+        assert!((5_000.0..15_000.0).contains(&single), "single SP&R {single} kg");
+        // Full design effort exceeds 1,000 tons of CO2e ("over 2,000,000 kg").
+        assert!(cost.total_cfp.tons() > 1_000.0);
+        assert!(!cost.to_string().is_empty());
+    }
+
+    #[test]
+    fn older_node_designs_are_cheaper() {
+        // Fig. 7(b): EDA-tool scaling makes older-node designs cheaper.
+        let db = db();
+        let est = estimator(&db);
+        let gates = 1.0e9;
+        let c7 = est.design_cost(gates, TechNode::N7).unwrap().total_cfp;
+        let c14 = est.design_cost(gates, TechNode::N14).unwrap().total_cfp;
+        let c65 = est.design_cost(gates, TechNode::N65).unwrap().total_cfp;
+        assert!(c14.kg() < c7.kg());
+        assert!(c65.kg() < c14.kg());
+    }
+
+    #[test]
+    fn amortization_divides_by_volume() {
+        let db = db();
+        let est = estimator(&db);
+        let gates = 2.0e9;
+        let full = est.design_cost(gates, TechNode::N7).unwrap().total_cfp;
+        let volumes = VolumeScenario::default();
+        let per_part = est
+            .amortized_chiplet_cfp(gates, TechNode::N7, &volumes)
+            .unwrap();
+        assert!((per_part.kg() - full.kg() / 100_000.0).abs() < 1e-9);
+        let comm = est
+            .amortized_comm_cfp(1.0e6, TechNode::N65, &volumes)
+            .unwrap();
+        assert!(comm.kg() > 0.0);
+        assert!(comm.kg() < per_part.kg());
+    }
+
+    #[test]
+    fn reuse_lowers_amortized_design_cfp() {
+        // Fig. 12(a): larger NMi/NS ratios lower the per-system design CFP.
+        let db = db();
+        let est = estimator(&db);
+        let gates = 1.0e9;
+        let base = VolumeScenario::with_reuse(100_000, 1.0);
+        let reused = VolumeScenario::with_reuse(100_000, 10.0);
+        assert!((reused.reuse_ratio() - 10.0).abs() < 1e-9);
+        let c_base = est
+            .amortized_chiplet_cfp(gates, TechNode::N7, &base)
+            .unwrap();
+        let c_reused = est
+            .amortized_chiplet_cfp(gates, TechNode::N7, &reused)
+            .unwrap();
+        assert!(c_reused.kg() < c_base.kg() / 5.0);
+    }
+
+    #[test]
+    fn greener_design_compute_lowers_cfp() {
+        let db = db();
+        let coal = DesignEstimator::new(&db, DesignConfig::default());
+        let wind = DesignEstimator::new(
+            &db,
+            DesignConfig {
+                source: EnergySource::Wind,
+                ..DesignConfig::default()
+            },
+        );
+        let gates = 1.0e9;
+        let c_coal = coal.design_cost(gates, TechNode::N7).unwrap().total_cfp;
+        let c_wind = wind.design_cost(gates, TechNode::N7).unwrap().total_cfp;
+        assert!(c_wind.kg() < c_coal.kg() / 20.0);
+        assert_eq!(wind.config().source, EnergySource::Wind);
+    }
+
+    #[test]
+    fn zero_gates_cost_nothing() {
+        let db = db();
+        let est = estimator(&db);
+        let cost = est.design_cost(0.0, TechNode::N7).unwrap();
+        assert_eq!(cost.total_cfp.kg(), 0.0);
+        assert_eq!(cost.spr_time.hours(), 0.0);
+    }
+
+    #[test]
+    fn missing_node_is_an_error() {
+        let empty = ecochip_techdb::TechDbBuilder::new().build();
+        let est = DesignEstimator::new(&empty, DesignConfig::default());
+        assert!(est.design_cost(1.0e9, TechNode::N7).is_err());
+        assert!(est.spr_hours(1.0e9, TechNode::N7).is_err());
+    }
+
+    #[test]
+    fn volume_scenario_guards_against_zero() {
+        let v = VolumeScenario {
+            chiplet_volume: 0,
+            system_volume: 0,
+        };
+        assert!(v.reuse_ratio().is_finite());
+        let db = db();
+        let est = estimator(&db);
+        let c = est.amortized_chiplet_cfp(1.0e9, TechNode::N7, &v).unwrap();
+        assert!(c.kg().is_finite());
+        let w = VolumeScenario::with_reuse(0, 2.0);
+        assert!(w.system_volume >= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn design_cfp_is_monotone_in_gates(
+            gates in 1.0e6f64..1.0e10,
+            extra in 1.0e6f64..1.0e9,
+        ) {
+            let db = db();
+            let est = estimator(&db);
+            let small = est.design_cost(gates, TechNode::N7).unwrap().total_cfp;
+            let large = est.design_cost(gates + extra, TechNode::N7).unwrap().total_cfp;
+            prop_assert!(large.kg() > small.kg());
+        }
+
+        #[test]
+        fn iterations_scale_total_linearly(
+            gates in 1.0e7f64..1.0e9,
+            iterations in 1u32..200,
+        ) {
+            let db = db();
+            let one = DesignEstimator::new(&db, DesignConfig { iterations: 1, ..DesignConfig::default() });
+            let many = DesignEstimator::new(&db, DesignConfig { iterations, ..DesignConfig::default() });
+            let c1 = one.design_cost(gates, TechNode::N10).unwrap().total_cfp;
+            let cn = many.design_cost(gates, TechNode::N10).unwrap().total_cfp;
+            prop_assert!((cn.kg() / c1.kg() - f64::from(iterations)).abs() < 1e-6);
+        }
+    }
+}

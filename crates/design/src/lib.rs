@@ -1,0 +1,40 @@
+//! # ecochip-design
+//!
+//! Design-phase carbon-footprint model (Section III-E, Eqs. 12–13 of the
+//! ECO-CHIP paper).
+//!
+//! Designing a chip consumes CPU-time on EDA compute farms: synthesis, place
+//! and route (SP&R), analysis runs repeated over `Ndes` iterations, plus
+//! verification which dominates product development time. The model is
+//! anchored to the paper's measurement — 24 CPU-hours for a 700 k-gate block
+//! in a 7 nm commercial flow — and scales with the gate count, the EDA
+//! productivity factor `ηEDA` of the target node, the iteration count and the
+//! design-machine power.
+//!
+//! The resulting per-chiplet design CFP is amortised over the number of parts
+//! manufactured (`NMi`) and systems shipped (`NS`) — the quantitative basis of
+//! the "reuse" argument (Fig. 12).
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_techdb::{TechDb, TechNode};
+//! use ecochip_design::{DesignConfig, DesignEstimator};
+//!
+//! let db = TechDb::default();
+//! let estimator = DesignEstimator::new(&db, DesignConfig::default());
+//! // A single SP&R iteration of a 700k-gate block in 7 nm is ~24 CPU-hours.
+//! let hours = estimator.spr_hours(700_000.0, TechNode::N7)?.hours();
+//! assert!((hours - 24.0).abs() / 24.0 < 0.05);
+//! # Ok::<(), ecochip_techdb::TechDbError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod estimator;
+
+pub use estimator::{
+    gates_from_transistors, DesignConfig, DesignCost, DesignEstimator, VolumeScenario,
+};

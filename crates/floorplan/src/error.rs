@@ -1,0 +1,75 @@
+//! Error types for the floorplanner.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the slicing floorplanner.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// The chiplet list was empty.
+    NoChiplets,
+    /// A chiplet had a non-positive or non-finite area.
+    InvalidChipletArea {
+        /// Name of the offending chiplet.
+        name: String,
+        /// Its rejected area in mm².
+        area_mm2: f64,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::NoChiplets => write!(f, "cannot floorplan an empty chiplet list"),
+            FloorplanError::InvalidChipletArea { name, area_mm2 } => {
+                write!(f, "chiplet {name:?} has invalid area {area_mm2} mm2")
+            }
+            FloorplanError::InvalidConfig {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid value {value} for {name} (expected {expected})"),
+        }
+    }
+}
+
+impl Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FloorplanError::NoChiplets.to_string().contains("empty"));
+        assert!(FloorplanError::InvalidChipletArea {
+            name: "x".into(),
+            area_mm2: -1.0
+        }
+        .to_string()
+        .contains("x"));
+        assert!(FloorplanError::InvalidConfig {
+            name: "spacing",
+            value: -1.0,
+            expected: ">= 0"
+        }
+        .to_string()
+        .contains("spacing"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FloorplanError>();
+    }
+}

@@ -1,0 +1,227 @@
+//! Planar geometry primitives used by the floorplanner.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::{Area, Length};
+
+/// An axis-aligned rectangle in package coordinates (millimetres), anchored at
+/// its lower-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// X coordinate of the lower-left corner (mm).
+    pub x: f64,
+    /// Y coordinate of the lower-left corner (mm).
+    pub y: f64,
+    /// Width (mm).
+    pub width: f64,
+    /// Height (mm).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Create a rectangle from its lower-left corner and dimensions (mm).
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Self {
+            x,
+            y,
+            width: width.max(0.0),
+            height: height.max(0.0),
+        }
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> Area {
+        Area::from_mm2(self.width * self.height)
+    }
+
+    /// X coordinate of the right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Y coordinate of the top edge.
+    pub fn top(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// Translate the rectangle by `(dx, dy)` millimetres.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            x: self.x + dx,
+            y: self.y + dy,
+            ..*self
+        }
+    }
+
+    /// Whether `other` lies entirely inside `self` (with a small tolerance).
+    pub fn contains(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-6;
+        other.x >= self.x - EPS
+            && other.y >= self.y - EPS
+            && other.right() <= self.right() + EPS
+            && other.top() <= self.top() + EPS
+    }
+
+    /// Whether the interiors of the two rectangles overlap.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x + EPS < other.right()
+            && other.x + EPS < self.right()
+            && self.y + EPS < other.top()
+            && other.y + EPS < self.top()
+    }
+
+    /// The length of shared boundary if the two rectangles are adjacent
+    /// within `gap` millimetres (facing edges separated by at most `gap` and
+    /// overlapping in the orthogonal direction), otherwise `None`.
+    pub fn adjacency_overlap(&self, other: &Rect, gap: f64) -> Option<Length> {
+        let gap = gap.max(0.0) + 1e-6;
+        // Horizontal adjacency: right edge of one near left edge of the other.
+        let horizontal_gap = if self.right() <= other.x {
+            other.x - self.right()
+        } else if other.right() <= self.x {
+            self.x - other.right()
+        } else {
+            f64::INFINITY
+        };
+        if horizontal_gap <= gap {
+            let overlap = self.top().min(other.top()) - self.y.max(other.y);
+            if overlap > 1e-9 {
+                return Some(Length::from_mm(overlap));
+            }
+        }
+        // Vertical adjacency: top edge of one near bottom edge of the other.
+        let vertical_gap = if self.top() <= other.y {
+            other.y - self.top()
+        } else if other.top() <= self.y {
+            self.y - other.top()
+        } else {
+            f64::INFINITY
+        };
+        if vertical_gap <= gap {
+            let overlap = self.right().min(other.right()) - self.x.max(other.x);
+            if overlap > 1e-9 {
+                return Some(Length::from_mm(overlap));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.2}, {:.2}] {:.2}x{:.2} mm",
+            self.x, self.y, self.width, self.height
+        )
+    }
+}
+
+/// The placed outline of one chiplet in the floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Name of the chiplet.
+    pub name: String,
+    /// Index of the chiplet in the input slice passed to the floorplanner.
+    pub index: usize,
+    /// The placed rectangle.
+    pub rect: Rect,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.name, self.rect)
+    }
+}
+
+/// A pair of chiplets that share an interface (abutting edges) in the
+/// floorplan, together with the length of the shared edge.
+///
+/// Adjacencies drive silicon-bridge counting (EMIB) and identify locations for
+/// NoC routers on interposers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// Index (into the input chiplet slice) of the first chiplet.
+    pub a: usize,
+    /// Index of the second chiplet (always `> a`).
+    pub b: usize,
+    /// Length of the shared (facing) edge segment.
+    pub shared_edge: Length,
+}
+
+impl fmt::Display for Adjacency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <-> {} ({} shared)", self.a, self.b, self.shared_edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert!((r.area().mm2() - 12.0).abs() < 1e-12);
+        assert!((r.right() - 4.0).abs() < 1e-12);
+        assert!((r.top() - 6.0).abs() < 1e-12);
+        let t = r.translated(1.0, -1.0);
+        assert!((t.x - 2.0).abs() < 1e-12);
+        assert!((t.y - 1.0).abs() < 1e-12);
+        assert!(!r.to_string().is_empty());
+        // Negative dimensions are clamped.
+        assert_eq!(Rect::new(0.0, 0.0, -1.0, 5.0).width, 0.0);
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let outside = Rect::new(11.0, 0.0, 2.0, 2.0);
+        assert!(outer.contains(&inner));
+        assert!(!outer.contains(&outside));
+        assert!(outer.overlaps(&inner));
+        assert!(!outer.overlaps(&outside));
+        // Touching edges do not count as overlap.
+        let touching = Rect::new(10.0, 0.0, 2.0, 2.0);
+        assert!(!outer.overlaps(&touching));
+    }
+
+    #[test]
+    fn adjacency_horizontal_and_vertical() {
+        let a = Rect::new(0.0, 0.0, 5.0, 5.0);
+        let b = Rect::new(5.5, 1.0, 5.0, 5.0); // 0.5 mm gap to the right
+        let overlap = a.adjacency_overlap(&b, 0.5).unwrap();
+        assert!((overlap.mm() - 4.0).abs() < 1e-9);
+        // Too far apart for the allowed gap.
+        assert!(a.adjacency_overlap(&b, 0.1).is_none());
+        // Vertical adjacency.
+        let c = Rect::new(2.0, 5.2, 5.0, 5.0);
+        let overlap = a.adjacency_overlap(&c, 0.3).unwrap();
+        assert!((overlap.mm() - 3.0).abs() < 1e-9);
+        // Diagonal neighbours share no edge.
+        let d = Rect::new(6.0, 6.0, 5.0, 5.0);
+        assert!(a.adjacency_overlap(&d, 0.5).is_none());
+        // Adjacency is symmetric.
+        assert_eq!(a.adjacency_overlap(&b, 0.5), b.adjacency_overlap(&a, 0.5));
+    }
+
+    #[test]
+    fn placement_and_adjacency_display() {
+        let p = Placement {
+            name: "mem".into(),
+            index: 1,
+            rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+        };
+        assert!(p.to_string().contains("mem"));
+        let adj = Adjacency {
+            a: 0,
+            b: 1,
+            shared_edge: Length::from_mm(2.0),
+        };
+        assert!(adj.to_string().contains("<->"));
+    }
+}

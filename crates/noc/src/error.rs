@@ -1,0 +1,54 @@
+//! Error types for the NoC estimator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NoC area/power estimator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A router configuration parameter was zero or otherwise invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::InvalidConfig {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid value {value} for {name} (expected {expected})"),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = NocError::InvalidConfig {
+            name: "ports",
+            value: 0.0,
+            expected: ">= 2",
+        };
+        assert!(e.to_string().contains("ports"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NocError>();
+    }
+}

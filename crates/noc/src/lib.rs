@@ -1,0 +1,49 @@
+//! # ecochip-noc
+//!
+//! Inter-die communication (NoC / NoI) area and power estimation.
+//!
+//! The ECO-CHIP paper uses ORION 3.0 for router *power* and the Stow et al.
+//! network-on-interposer tables for router *area*, both third-party tools.
+//! This crate reimplements the same estimates analytically so that the rest of
+//! the framework consumes identical quantities:
+//!
+//! * [`RouterConfig`] — the microarchitectural parameters the paper sweeps
+//!   (bidirectional port count, flit width = 512 bits, virtual channels,
+//!   buffer depth).
+//! * [`RouterEstimator`] — instance-count-based area model (input buffers,
+//!   crossbar, allocators, link/PHY drivers) mapped to silicon area through
+//!   the technology node's logic transistor density, and an activity-based
+//!   dynamic + leakage power model scaled by `Vdd²` and node capacitance.
+//! * [`PhyEstimate`] — the small die-to-die PHY IP areas used by EMIB / RDL
+//!   style packages, which embed PHYs in the chiplets instead of routers.
+//!
+//! The key property preserved from the paper: a router implemented in the
+//! chiplet's advanced node (passive interposer) is much smaller than the same
+//! router implemented in the interposer's mature node (active interposer),
+//! while the power scales the other way around with supply voltage.
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_techdb::{TechDb, TechNode};
+//! use ecochip_noc::{RouterConfig, RouterEstimator};
+//!
+//! let db = TechDb::default();
+//! let estimator = RouterEstimator::new(RouterConfig::default());
+//! let in_7nm = estimator.estimate(db.node(TechNode::N7)?)?;
+//! let in_65nm = estimator.estimate(db.node(TechNode::N65)?)?;
+//! assert!(in_65nm.area.mm2() > 5.0 * in_7nm.area.mm2());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod phy;
+mod router;
+
+pub use error::NocError;
+pub use phy::{phy_estimate, PhyEstimate};
+pub use router::{RouterConfig, RouterEstimate, RouterEstimator, TrafficProfile};

@@ -1,0 +1,103 @@
+//! Die-to-die PHY interface estimation for EMIB / RDL style packages.
+//!
+//! EMIB- and RDL-fanout-based packages do not carry full NoC routers; each
+//! chiplet instead embeds a die-to-die PHY IP (e.g. AIB/UCIe-class) whose
+//! area is small relative to the chiplet (Section III-D(2) of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::{Area, NodeParams, Power};
+
+/// Estimated PHY interface overhead for one chiplet-to-chiplet link endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhyEstimate {
+    /// Silicon area of the PHY macro inside the chiplet.
+    pub area: Area,
+    /// Active power of the PHY at the configured bandwidth.
+    pub power: Power,
+}
+
+/// Transistors per PHY lane (driver + receiver + clocking + retiming).
+const TRANSISTORS_PER_LANE: f64 = 9_000.0;
+/// Layout overhead for the bump-field-limited PHY macro.
+const PHY_LAYOUT_OVERHEAD: f64 = 4.0;
+/// Reference PHY energy per bit (pJ/bit) at 65 nm — advanced-package D2D
+/// links are on the order of a pJ/bit or below.
+const REFERENCE_PJ_PER_BIT: f64 = 0.9;
+/// Reference node feature size (nm) for energy scaling.
+const REFERENCE_NM: f64 = 65.0;
+/// Reference supply voltage (V).
+const REFERENCE_VDD: f64 = 1.2;
+
+/// Estimate the area and power of a die-to-die PHY endpoint.
+///
+/// * `node` — technology node of the chiplet hosting the PHY.
+/// * `lane_count` — number of parallel data lanes (typically the flit width).
+/// * `bandwidth_gbps` — sustained link bandwidth in Gbit/s, used for power.
+///
+/// ```
+/// use ecochip_techdb::{TechDb, TechNode};
+/// use ecochip_noc::phy_estimate;
+///
+/// let db = TechDb::default();
+/// let phy = phy_estimate(db.node(TechNode::N7)?, 512, 256.0);
+/// assert!(phy.area.mm2() < 1.0, "PHYs are small IPs");
+/// # Ok::<(), ecochip_techdb::TechDbError>(())
+/// ```
+pub fn phy_estimate(node: &NodeParams, lane_count: u32, bandwidth_gbps: f64) -> PhyEstimate {
+    let transistors = f64::from(lane_count.max(1)) * TRANSISTORS_PER_LANE;
+    let density = node.logic_density.transistors_per_mm2();
+    let area = Area::from_mm2(transistors * PHY_LAYOUT_OVERHEAD / density);
+
+    let feature_scale = node.node.nm() as f64 / REFERENCE_NM;
+    let voltage_scale = (node.vdd.volts() / REFERENCE_VDD).powi(2);
+    let pj_per_bit = REFERENCE_PJ_PER_BIT * feature_scale * voltage_scale;
+    let power_w = pj_per_bit * 1.0e-12 * bandwidth_gbps.max(0.0) * 1.0e9;
+
+    PhyEstimate {
+        area,
+        power: Power::from_watts(power_w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_techdb::{TechDb, TechNode};
+
+    #[test]
+    fn phy_is_small_compared_to_router() {
+        let db = TechDb::default();
+        let node = db.node(TechNode::N7).unwrap();
+        let phy = phy_estimate(node, 512, 256.0);
+        assert!(phy.area.mm2() > 0.0);
+        assert!(phy.area.mm2() < 1.0);
+        assert!(phy.power.watts() > 0.0);
+        assert!(phy.power.watts() < 2.0);
+    }
+
+    #[test]
+    fn phy_scales_with_lanes_and_node() {
+        let db = TechDb::default();
+        let n7 = db.node(TechNode::N7).unwrap();
+        let n65 = db.node(TechNode::N65).unwrap();
+        let narrow = phy_estimate(n7, 128, 64.0);
+        let wide = phy_estimate(n7, 512, 64.0);
+        assert!(wide.area.mm2() > 3.0 * narrow.area.mm2());
+        let old = phy_estimate(n65, 128, 64.0);
+        assert!(old.area.mm2() > narrow.area.mm2());
+        assert!(old.power.watts() > narrow.power.watts());
+    }
+
+    #[test]
+    fn zero_bandwidth_means_zero_power() {
+        let db = TechDb::default();
+        let node = db.node(TechNode::N14).unwrap();
+        let phy = phy_estimate(node, 512, 0.0);
+        assert_eq!(phy.power.watts(), 0.0);
+        assert!(phy.area.mm2() > 0.0);
+        // Lane count of zero is clamped to one lane.
+        let min = phy_estimate(node, 0, 10.0);
+        assert!(min.area.mm2() > 0.0);
+    }
+}

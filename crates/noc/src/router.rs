@@ -1,0 +1,459 @@
+//! Instance-count-based router area and power model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::{Area, NodeParams, Power};
+
+use crate::error::NocError;
+
+/// Microarchitectural configuration of one NoC / NoI router.
+///
+/// The defaults follow the paper's setup: 512-bit flits, five bidirectional
+/// ports (four mesh neighbours plus the local network-interface controller),
+/// two virtual channels and four-flit-deep input buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Number of bidirectional router ports.
+    pub ports: u32,
+    /// Flit width in bits (512 in Table I).
+    pub flit_width_bits: u32,
+    /// Number of virtual channels per port.
+    pub virtual_channels: u32,
+    /// Input-buffer depth in flits per virtual channel.
+    pub buffer_depth_flits: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            ports: 5,
+            flit_width_bits: 512,
+            virtual_channels: 2,
+            buffer_depth_flits: 4,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidConfig`] when any field is zero or the port
+    /// count is below two.
+    pub fn validate(&self) -> Result<(), NocError> {
+        if self.ports < 2 {
+            return Err(NocError::InvalidConfig {
+                name: "ports",
+                value: self.ports as f64,
+                expected: "at least 2 ports",
+            });
+        }
+        for (name, value) in [
+            ("flit_width_bits", self.flit_width_bits),
+            ("virtual_channels", self.virtual_channels),
+            ("buffer_depth_flits", self.buffer_depth_flits),
+        ] {
+            if value == 0 {
+                return Err(NocError::InvalidConfig {
+                    name,
+                    value: 0.0,
+                    expected: "a value > 0",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total input-buffer storage in bits.
+    pub fn buffer_bits(&self) -> u64 {
+        u64::from(self.ports)
+            * u64::from(self.virtual_channels)
+            * u64::from(self.buffer_depth_flits)
+            * u64::from(self.flit_width_bits)
+    }
+}
+
+impl fmt::Display for RouterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-port router, {}b flits, {} VCs, depth {}",
+            self.ports, self.flit_width_bits, self.virtual_channels, self.buffer_depth_flits
+        )
+    }
+}
+
+/// Average traffic through a router, used by the dynamic-power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficProfile {
+    /// Sustained injection bandwidth through the router in Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// Switching-activity factor of the datapath in `[0, 1]`.
+    pub activity: f64,
+}
+
+impl Default for TrafficProfile {
+    /// 256 Gbit/s sustained (half of a 512-bit flit at 1 GHz), 0.3 activity.
+    fn default() -> Self {
+        Self {
+            bandwidth_gbps: 256.0,
+            activity: 0.3,
+        }
+    }
+}
+
+/// The per-router estimate produced by [`RouterEstimator::estimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterEstimate {
+    /// Router silicon area in the target node (includes the NIC).
+    pub area: Area,
+    /// Dynamic (switching) power under the configured traffic.
+    pub dynamic_power: Power,
+    /// Static leakage power.
+    pub leakage_power: Power,
+    /// Transistor count of the router (before layout overhead).
+    pub transistors: f64,
+}
+
+impl RouterEstimate {
+    /// Total router power (dynamic + leakage).
+    pub fn total_power(&self) -> Power {
+        self.dynamic_power + self.leakage_power
+    }
+}
+
+/// ORION-style analytical router estimator.
+///
+/// Area: transistor counts per structural component (6T SRAM buffers,
+/// mux-tree crossbar, separable VC/switch allocators, link and NIC drivers)
+/// multiplied by a layout/wiring overhead and divided by the node's logic
+/// transistor density.
+///
+/// Power: energy-per-bit constants at the 65 nm reference node, scaled by
+/// `Vdd²` and linearly by feature size (capacitance), times the configured
+/// bandwidth; leakage proportional to transistor count, `Vdd` and a
+/// node-dependent leakage current per transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterEstimator {
+    config: RouterConfig,
+    traffic: TrafficProfile,
+    /// Layout + wiring overhead multiplier applied to raw transistor area.
+    layout_overhead: f64,
+}
+
+/// Reference node feature size for the power model (65 nm).
+const REFERENCE_NM: f64 = 65.0;
+/// Reference supply voltage at 65 nm (V).
+const REFERENCE_VDD: f64 = 1.2;
+/// Router datapath energy at the reference node, in pJ per bit traversed
+/// (buffer write + read, crossbar traversal, allocation amortised).
+const REFERENCE_PJ_PER_BIT: f64 = 0.62;
+/// Leakage current per transistor at the reference node (nA).
+const REFERENCE_LEAKAGE_NA_PER_TRANSISTOR: f64 = 0.8;
+/// Switching activity at which [`REFERENCE_PJ_PER_BIT`] was calibrated.
+const REFERENCE_ACTIVITY: f64 = 0.3;
+
+impl RouterEstimator {
+    /// Create an estimator with the default traffic profile.
+    pub fn new(config: RouterConfig) -> Self {
+        Self {
+            config,
+            traffic: TrafficProfile::default(),
+            layout_overhead: 3.0,
+        }
+    }
+
+    /// Create an estimator with an explicit traffic profile.
+    pub fn with_traffic(config: RouterConfig, traffic: TrafficProfile) -> Self {
+        Self {
+            config,
+            traffic,
+            layout_overhead: 3.0,
+        }
+    }
+
+    /// The router configuration being estimated.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The traffic profile used for dynamic power.
+    pub fn traffic(&self) -> &TrafficProfile {
+        &self.traffic
+    }
+
+    /// Transistor count of the router datapath and control.
+    pub fn transistor_count(&self) -> f64 {
+        let c = &self.config;
+        let ports = f64::from(c.ports);
+        let vcs = f64::from(c.virtual_channels);
+        let flit = f64::from(c.flit_width_bits);
+        // 6T SRAM cells plus ~30% periphery for the input buffers.
+        let buffers = self.config.buffer_bits() as f64 * 6.0 * 1.3;
+        // Mux-tree crossbar: one P-input mux per output bit, ~12 transistors
+        // per crosspoint equivalent.
+        let crossbar = flit * ports * ports * 12.0;
+        // Separable VC + switch allocators: arbiters scale with ports² · VCs².
+        let allocators = ports * ports * vcs * vcs * 120.0;
+        // Link drivers / NIC packetisation logic per flit bit.
+        let link_nic = flit * 420.0;
+        buffers + crossbar + allocators + link_nic
+    }
+
+    /// Estimate router area and power in the given technology node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidConfig`] for invalid router configurations.
+    pub fn estimate(&self, node: &NodeParams) -> Result<RouterEstimate, NocError> {
+        self.config.validate()?;
+        let transistors = self.transistor_count();
+
+        // --- Area ---
+        let density = node.logic_density.transistors_per_mm2();
+        let area = Area::from_mm2(transistors * self.layout_overhead / density);
+
+        // --- Dynamic power ---
+        // Energy per bit scales with C·V²: capacitance roughly follows the
+        // feature size, voltage from the node table.
+        let vdd = node.vdd.volts();
+        let feature_scale = node.node.nm() as f64 / REFERENCE_NM;
+        let voltage_scale = (vdd / REFERENCE_VDD).powi(2);
+        let pj_per_bit = REFERENCE_PJ_PER_BIT * feature_scale * voltage_scale;
+        let bits_per_second = self.traffic.bandwidth_gbps.max(0.0) * 1.0e9;
+        // The reference energy constant was calibrated at 30% switching
+        // activity, so the activity factor is applied relative to that point.
+        let dynamic_w = pj_per_bit * 1.0e-12 * bits_per_second
+            * (self.traffic.activity.clamp(0.0, 1.0) / REFERENCE_ACTIVITY);
+
+        // --- Leakage ---
+        // Leakage per transistor grows as nodes shrink (worse subthreshold
+        // leakage), roughly inversely with feature size.
+        let leakage_na = REFERENCE_LEAKAGE_NA_PER_TRANSISTOR / feature_scale.max(1e-3);
+        let leakage_w = transistors * leakage_na * 1.0e-9 * vdd;
+
+        Ok(RouterEstimate {
+            area,
+            dynamic_power: Power::from_watts(dynamic_w),
+            leakage_power: Power::from_watts(leakage_w),
+            transistors,
+        })
+    }
+
+    /// Estimate an entire fabric of `router_count` identical routers.
+    ///
+    /// Returns the aggregate area and power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidConfig`] for invalid router configurations.
+    pub fn estimate_fabric(
+        &self,
+        node: &NodeParams,
+        router_count: usize,
+    ) -> Result<RouterEstimate, NocError> {
+        let one = self.estimate(node)?;
+        let n = router_count as f64;
+        Ok(RouterEstimate {
+            area: one.area * n,
+            dynamic_power: one.dynamic_power * n,
+            leakage_power: one.leakage_power * n,
+            transistors: one.transistors * n,
+        })
+    }
+}
+
+impl Default for RouterEstimator {
+    fn default() -> Self {
+        Self::new(RouterConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_techdb::{TechDb, TechNode};
+    use proptest::prelude::*;
+
+    fn db() -> TechDb {
+        TechDb::default()
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = RouterConfig::default();
+        assert_eq!(c.flit_width_bits, 512);
+        assert_eq!(c.ports, 5);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.buffer_bits(), 5 * 2 * 4 * 512);
+        assert!(!c.to_string().is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = RouterConfig::default();
+        c.ports = 1;
+        assert!(c.validate().is_err());
+        let mut c = RouterConfig::default();
+        c.flit_width_bits = 0;
+        assert!(c.validate().is_err());
+        let mut c = RouterConfig::default();
+        c.virtual_channels = 0;
+        assert!(c.validate().is_err());
+        let mut c = RouterConfig::default();
+        c.buffer_depth_flits = 0;
+        assert!(c.validate().is_err());
+        let est = RouterEstimator::new(c);
+        assert!(est.estimate(db().node(TechNode::N7).unwrap()).is_err());
+    }
+
+    #[test]
+    fn router_in_old_node_is_much_larger() {
+        // The paper: passive-interposer routers (chiplet node, e.g. 7 nm) are
+        // smaller than active-interposer routers (65 nm).
+        let db = db();
+        let est = RouterEstimator::default();
+        let r7 = est.estimate(db.node(TechNode::N7).unwrap()).unwrap();
+        let r65 = est.estimate(db.node(TechNode::N65).unwrap()).unwrap();
+        assert!(r65.area.mm2() > 10.0 * r7.area.mm2());
+        // Sanity on magnitudes: a 512-bit router should be a fraction of a mm²
+        // in 7 nm and of the order of a mm² in 65 nm.
+        assert!(r7.area.mm2() < 0.2, "7nm router area {}", r7.area);
+        assert!(
+            r65.area.mm2() > 0.2 && r65.area.mm2() < 10.0,
+            "65nm router area {}",
+            r65.area
+        );
+    }
+
+    #[test]
+    fn router_power_is_higher_in_old_node() {
+        let db = db();
+        let est = RouterEstimator::default();
+        let r7 = est.estimate(db.node(TechNode::N7).unwrap()).unwrap();
+        let r65 = est.estimate(db.node(TechNode::N65).unwrap()).unwrap();
+        assert!(r65.dynamic_power.watts() > r7.dynamic_power.watts());
+        assert!(r7.total_power().watts() > 0.0);
+        assert!(r65.total_power().watts() < 5.0, "router should be < 5 W");
+    }
+
+    #[test]
+    fn wider_flits_cost_more_area() {
+        let db = db();
+        let node = db.node(TechNode::N7).unwrap();
+        let narrow = RouterEstimator::new(RouterConfig {
+            flit_width_bits: 128,
+            ..RouterConfig::default()
+        })
+        .estimate(node)
+        .unwrap();
+        let wide = RouterEstimator::new(RouterConfig {
+            flit_width_bits: 1024,
+            ..RouterConfig::default()
+        })
+        .estimate(node)
+        .unwrap();
+        assert!(wide.area.mm2() > 2.0 * narrow.area.mm2());
+        assert!(wide.transistors > narrow.transistors);
+    }
+
+    #[test]
+    fn more_ports_cost_more_area() {
+        let db = db();
+        let node = db.node(TechNode::N7).unwrap();
+        let small = RouterEstimator::new(RouterConfig {
+            ports: 3,
+            ..RouterConfig::default()
+        })
+        .estimate(node)
+        .unwrap();
+        let big = RouterEstimator::new(RouterConfig {
+            ports: 8,
+            ..RouterConfig::default()
+        })
+        .estimate(node)
+        .unwrap();
+        assert!(big.area > small.area);
+    }
+
+    #[test]
+    fn fabric_scales_linearly() {
+        let db = db();
+        let node = db.node(TechNode::N14).unwrap();
+        let est = RouterEstimator::default();
+        let one = est.estimate(node).unwrap();
+        let four = est.estimate_fabric(node, 4).unwrap();
+        assert!((four.area.mm2() - 4.0 * one.area.mm2()).abs() < 1e-9);
+        assert!((four.total_power().watts() - 4.0 * one.total_power().watts()).abs() < 1e-9);
+        let zero = est.estimate_fabric(node, 0).unwrap();
+        assert_eq!(zero.area.mm2(), 0.0);
+    }
+
+    #[test]
+    fn traffic_scales_dynamic_power() {
+        let db = db();
+        let node = db.node(TechNode::N7).unwrap();
+        let cfg = RouterConfig::default();
+        let idle = RouterEstimator::with_traffic(
+            cfg,
+            TrafficProfile {
+                bandwidth_gbps: 0.0,
+                activity: 0.3,
+            },
+        )
+        .estimate(node)
+        .unwrap();
+        let busy = RouterEstimator::with_traffic(
+            cfg,
+            TrafficProfile {
+                bandwidth_gbps: 512.0,
+                activity: 0.6,
+            },
+        )
+        .estimate(node)
+        .unwrap();
+        assert_eq!(idle.dynamic_power.watts(), 0.0);
+        assert!(busy.dynamic_power.watts() > 0.0);
+        // Leakage unaffected by traffic.
+        assert!((idle.leakage_power.watts() - busy.leakage_power.watts()).abs() < 1e-12);
+        assert_eq!(
+            RouterEstimator::default().traffic().bandwidth_gbps,
+            TrafficProfile::default().bandwidth_gbps
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn estimates_are_finite_and_positive(
+            ports in 2u32..12,
+            flit in 32u32..2048,
+            vcs in 1u32..8,
+            depth in 1u32..16,
+        ) {
+            let db = db();
+            let cfg = RouterConfig { ports, flit_width_bits: flit, virtual_channels: vcs, buffer_depth_flits: depth };
+            let est = RouterEstimator::new(cfg);
+            for node in TechNode::ALL {
+                let r = est.estimate(db.node(node).unwrap()).unwrap();
+                prop_assert!(r.area.mm2() > 0.0 && r.area.mm2().is_finite());
+                prop_assert!(r.dynamic_power.watts() >= 0.0);
+                prop_assert!(r.leakage_power.watts() > 0.0);
+                prop_assert!(r.transistors > 0.0);
+            }
+        }
+
+        #[test]
+        fn area_monotone_in_flit_width(
+            flit in 64u32..1024,
+        ) {
+            let db = db();
+            let node = db.node(TechNode::N7).unwrap();
+            let small = RouterEstimator::new(RouterConfig { flit_width_bits: flit, ..RouterConfig::default() }).estimate(node).unwrap();
+            let large = RouterEstimator::new(RouterConfig { flit_width_bits: flit * 2, ..RouterConfig::default() }).estimate(node).unwrap();
+            prop_assert!(large.area.mm2() > small.area.mm2());
+        }
+    }
+}

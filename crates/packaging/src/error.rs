@@ -1,0 +1,110 @@
+//! Error types for the packaging models.
+
+use std::error::Error;
+use std::fmt;
+
+use ecochip_noc::NocError;
+use ecochip_techdb::TechDbError;
+use ecochip_yield::YieldError;
+
+/// Errors produced by the packaging CFP models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PackagingError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+    /// The technology database has no entry for a required node.
+    TechDb(TechDbError),
+    /// A yield or wafer computation failed.
+    Yield(YieldError),
+    /// The NoC router estimator rejected its configuration.
+    Noc(NocError),
+    /// A 3D stack description was empty or inconsistent.
+    InvalidStack(String),
+}
+
+impl fmt::Display for PackagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackagingError::InvalidConfig {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid value {value} for {name} (expected {expected})"),
+            PackagingError::TechDb(e) => write!(f, "technology database error: {e}"),
+            PackagingError::Yield(e) => write!(f, "yield model error: {e}"),
+            PackagingError::Noc(e) => write!(f, "noc estimator error: {e}"),
+            PackagingError::InvalidStack(msg) => write!(f, "invalid 3d stack: {msg}"),
+        }
+    }
+}
+
+impl Error for PackagingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PackagingError::TechDb(e) => Some(e),
+            PackagingError::Yield(e) => Some(e),
+            PackagingError::Noc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechDbError> for PackagingError {
+    fn from(value: TechDbError) -> Self {
+        PackagingError::TechDb(value)
+    }
+}
+
+impl From<YieldError> for PackagingError {
+    fn from(value: YieldError) -> Self {
+        PackagingError::Yield(value)
+    }
+}
+
+impl From<NocError> for PackagingError {
+    fn from(value: NocError) -> Self {
+        PackagingError::Noc(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: PackagingError = TechDbError::MissingNode(7).into();
+        assert!(e.to_string().contains("technology"));
+        assert!(Error::source(&e).is_some());
+        let e: PackagingError = YieldError::InvalidParameter {
+            name: "x",
+            value: 1.0,
+            expected: "y",
+        }
+        .into();
+        assert!(e.to_string().contains("yield"));
+        let e = PackagingError::InvalidStack("empty".into());
+        assert!(e.to_string().contains("empty"));
+        assert!(Error::source(&e).is_none());
+        let e = PackagingError::InvalidConfig {
+            name: "layers",
+            value: 0.0,
+            expected: "> 0",
+        };
+        assert!(e.to_string().contains("layers"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PackagingError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! # ecochip-packaging
+//!
+//! Advanced-packaging carbon-footprint models for heterogeneous integration
+//! (Section III-D of the ECO-CHIP paper).
+//!
+//! The crate models the five packaging architectures the paper evaluates:
+//!
+//! * **RDL fanout** ([`RdlFanoutConfig`]) — Eq. (9): per-layer, per-area
+//!   patterning energy on an epoxy-moulding-compound substrate.
+//! * **Silicon bridge / EMIB** ([`SiliconBridgeConfig`]) — Eq. (10): ultra-fine
+//!   L/S bridges placed on every chiplet-to-chiplet interface, with bridge
+//!   counting driven by the floorplan adjacencies and the bridge range.
+//! * **Passive interposer** ([`InterposerConfig`]) — BEOL-only large die,
+//!   priced per layer per area like Eq. (9) but at interposer line widths.
+//! * **Active interposer** ([`InterposerConfig`]) — an additional large die
+//!   with FEOL devices in the router regions, priced through Eq. (6).
+//! * **3D stacking** ([`ThreeDConfig`]) — Eq. (11): TSV / microbump / hybrid
+//!   bond counts from the stack interface area and the bond pitch, with a
+//!   per-bond assembly-yield penalty.
+//!
+//! It also models the inter-die communication overheads (Section III-D(2)):
+//! routers in the chiplets (passive interposer), routers in the interposer
+//! (active interposer), or die-to-die PHYs (RDL / EMIB), returning the extra
+//! silicon area and power that the core estimator folds into the chiplet
+//! manufacturing CFP and the operational energy.
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_techdb::{Area, EnergySource, TechDb, TechNode};
+//! use ecochip_floorplan::{ChipletOutline, FloorplanConfig, SlicingFloorplanner};
+//! use ecochip_packaging::{PackageEstimator, PackagingArchitecture, RdlFanoutConfig};
+//!
+//! let db = TechDb::default();
+//! let chiplets = vec![
+//!     ChipletOutline::new("logic", Area::from_mm2(300.0)),
+//!     ChipletOutline::new("mem", Area::from_mm2(120.0)),
+//! ];
+//! let plan = SlicingFloorplanner::new(FloorplanConfig::default()).floorplan(&chiplets)?;
+//! let arch = PackagingArchitecture::RdlFanout(RdlFanoutConfig::default());
+//! let estimator = PackageEstimator::new(&db, EnergySource::Coal);
+//! let cfp = estimator.package_cfp(&arch, &plan)?;
+//! assert!(cfp.total().kg() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arch;
+mod comm;
+mod error;
+mod package;
+
+pub use arch::{
+    BondTechnology, InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig,
+    ThreeDConfig,
+};
+pub use comm::{CommConfig, CommOverheads, CommunicationEstimator};
+pub use error::PackagingError;
+pub use package::{PackageCfp, PackageEstimator, StackedDie};

@@ -1,0 +1,39 @@
+//! # ecochip-power
+//!
+//! Operational energy and carbon-footprint models (Section III-F, Eqs. 3 and
+//! 14 of the ECO-CHIP paper).
+//!
+//! Three usage-profile flavours cover the paper's test cases:
+//!
+//! * [`UsageProfile::Dynamic`] — the first-principles CMOS model of Eq. (14):
+//!   `Euse = TON (Vdd·Ileak + α·C·Vdd²·f)`, used when the electrical operating
+//!   point is known.
+//! * [`UsageProfile::Battery`] — battery-operated devices (A15): energy from
+//!   the battery capacity and charge frequency.
+//! * [`UsageProfile::Measured`] — profiled devices (GA102, EMR): measured
+//!   energy per year of use.
+//!
+//! Inter-die communication power (NoC routers, PHYs) is added on top of the
+//! profile, as the paper notes HI increases operational CFP through
+//! communication overheads and older-node supply voltages.
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_techdb::{EnergySource, Energy, TimeSpan};
+//! use ecochip_power::{OperationalEstimator, UsageProfile};
+//!
+//! // A GPU measured at 228 kWh per year of typical use on a coal-heavy grid:
+//! let estimator = OperationalEstimator::new(EnergySource::Coal);
+//! let profile = UsageProfile::Measured { energy_per_year: Energy::from_kwh(228.0) };
+//! let cfp = estimator.lifetime_cfp(&profile, TimeSpan::from_years(2.0), Default::default());
+//! assert!(cfp.kg() > 300.0 && cfp.kg() < 350.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod operational;
+
+pub use operational::{OperatingPoint, OperationalEstimator, UsageProfile};

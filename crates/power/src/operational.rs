@@ -1,0 +1,341 @@
+//! Operational energy and CFP estimation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::{
+    Carbon, Energy, EnergySource, Frequency, Power, TimeSpan, Voltage,
+};
+
+/// Electrical operating point for the first-principles energy model of
+/// Eq. (14).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Supply voltage `Vdd`.
+    pub vdd: Voltage,
+    /// Average use-case operating frequency `f` (systems rarely run at their
+    /// maximum frequency, as the paper notes).
+    pub frequency: Frequency,
+    /// Total leakage current `Ileak` in amperes.
+    pub leakage_current_a: f64,
+    /// Effective switched capacitance `C` in farads.
+    pub switched_capacitance_f: f64,
+    /// Average switching activity `α` in `[0, 1]`.
+    pub activity: f64,
+    /// Duty cycle: fraction of wall-clock time the system is ON
+    /// (`TON`, 5 % – 20 % in Table I).
+    pub duty_cycle: f64,
+}
+
+impl Default for OperatingPoint {
+    /// A mid-range SoC operating point: 0.8 V, 1.5 GHz average, 2 A leakage,
+    /// 5 nF switched capacitance, 20 % activity, 15 % duty cycle.
+    fn default() -> Self {
+        Self {
+            vdd: Voltage::from_volts(0.8),
+            frequency: Frequency::from_ghz(1.5),
+            leakage_current_a: 2.0,
+            switched_capacitance_f: 5.0e-9,
+            activity: 0.2,
+            duty_cycle: 0.15,
+        }
+    }
+}
+
+impl OperatingPoint {
+    /// Average power while the device is ON:
+    /// `P = Vdd·Ileak + α·C·Vdd²·f`.
+    pub fn on_power(&self) -> Power {
+        let vdd = self.vdd.volts();
+        let leakage = vdd * self.leakage_current_a.max(0.0);
+        let dynamic = self.activity.clamp(0.0, 1.0)
+            * self.switched_capacitance_f.max(0.0)
+            * vdd
+            * vdd
+            * self.frequency.hz().max(0.0);
+        Power::from_watts(leakage + dynamic)
+    }
+
+    /// Energy consumed over one year of deployment at the configured duty
+    /// cycle (Eq. 14 with `TON = duty_cycle × 1 year`).
+    pub fn energy_per_year(&self) -> Energy {
+        let on_time = TimeSpan::from_years(1.0) * self.duty_cycle.clamp(0.0, 1.0);
+        self.on_power() * on_time
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} ({}% duty)",
+            self.vdd,
+            self.frequency,
+            self.duty_cycle * 100.0
+        )
+    }
+}
+
+/// How the deployed system consumes energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum UsageProfile {
+    /// First-principles CMOS model (Eq. 14).
+    Dynamic {
+        /// The electrical operating point.
+        operating_point: OperatingPoint,
+    },
+    /// Battery-operated device: energy from battery capacity and recharge
+    /// frequency (the paper's A15 / mobile path).
+    Battery {
+        /// Battery capacity in watt-hours.
+        battery_wh: f64,
+        /// Number of full charge cycles per year.
+        charges_per_year: f64,
+        /// Charger + conversion efficiency in `(0, 1]`.
+        charger_efficiency: f64,
+    },
+    /// Profiled device: measured energy per year of typical use (the paper's
+    /// GA102 / EMR path).
+    Measured {
+        /// Energy consumed per year of use.
+        energy_per_year: Energy,
+    },
+}
+
+impl Default for UsageProfile {
+    fn default() -> Self {
+        UsageProfile::Dynamic {
+            operating_point: OperatingPoint::default(),
+        }
+    }
+}
+
+impl UsageProfile {
+    /// Energy consumed by the profile over one year, excluding any extra
+    /// (communication) power.
+    pub fn energy_per_year(&self) -> Energy {
+        match self {
+            UsageProfile::Dynamic { operating_point } => operating_point.energy_per_year(),
+            UsageProfile::Battery {
+                battery_wh,
+                charges_per_year,
+                charger_efficiency,
+            } => {
+                let efficiency = charger_efficiency.clamp(1e-3, 1.0);
+                Energy::from_wh(battery_wh.max(0.0) * charges_per_year.max(0.0) / efficiency)
+            }
+            UsageProfile::Measured { energy_per_year } => *energy_per_year,
+        }
+    }
+
+    /// The fraction of wall-clock time the device is powered, used to convert
+    /// extra (always-on-while-active) power into energy. Dynamic profiles use
+    /// their duty cycle; battery and measured profiles assume a 15 % duty
+    /// cycle, the middle of the Table I range.
+    pub fn duty_cycle(&self) -> f64 {
+        match self {
+            UsageProfile::Dynamic { operating_point } => operating_point.duty_cycle.clamp(0.0, 1.0),
+            _ => 0.15,
+        }
+    }
+}
+
+/// Operational CFP estimator (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperationalEstimator {
+    source: EnergySource,
+}
+
+impl OperationalEstimator {
+    /// Create an estimator for the given usage-phase energy source
+    /// (`Csrc,use`).
+    pub fn new(source: EnergySource) -> Self {
+        Self { source }
+    }
+
+    /// The usage-phase energy source.
+    pub fn source(&self) -> EnergySource {
+        self.source
+    }
+
+    /// Energy used per year including `extra_power` drawn by HI communication
+    /// circuitry whenever the device is on.
+    pub fn energy_per_year(&self, profile: &UsageProfile, extra_power: Power) -> Energy {
+        let base = profile.energy_per_year();
+        let on_time = TimeSpan::from_years(1.0) * profile.duty_cycle();
+        base + extra_power * on_time
+    }
+
+    /// Operational CFP per year of use (Eq. 3).
+    pub fn annual_cfp(&self, profile: &UsageProfile, extra_power: Power) -> Carbon {
+        self.source.carbon_intensity() * self.energy_per_year(profile, extra_power)
+    }
+
+    /// Operational CFP over a whole deployment lifetime.
+    pub fn lifetime_cfp(
+        &self,
+        profile: &UsageProfile,
+        lifetime: TimeSpan,
+        extra_power: Power,
+    ) -> Carbon {
+        self.annual_cfp(profile, extra_power) * lifetime.years().max(0.0)
+    }
+}
+
+impl Default for OperationalEstimator {
+    /// World-average grid mix for the usage phase.
+    fn default() -> Self {
+        Self {
+            source: EnergySource::WorldGrid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dynamic_power_matches_closed_form() {
+        let op = OperatingPoint {
+            vdd: Voltage::from_volts(1.0),
+            frequency: Frequency::from_ghz(1.0),
+            leakage_current_a: 1.0,
+            switched_capacitance_f: 1.0e-9,
+            activity: 0.5,
+            duty_cycle: 1.0,
+        };
+        // P = 1*1 + 0.5*1e-9*1*1e9 = 1 + 0.5 = 1.5 W.
+        assert!((op.on_power().watts() - 1.5).abs() < 1e-9);
+        // One year at 100% duty: 1.5 W * 8760 h = 13.14 kWh.
+        assert!((op.energy_per_year().kwh() - 13.14).abs() < 1e-6);
+        assert!(!op.to_string().is_empty());
+    }
+
+    #[test]
+    fn higher_vdd_means_more_power() {
+        // Chiplets in older nodes run at higher Vdd, raising operational CFP
+        // — the effect the paper highlights for HI systems.
+        let low = OperatingPoint {
+            vdd: Voltage::from_volts(0.75),
+            ..OperatingPoint::default()
+        };
+        let high = OperatingPoint {
+            vdd: Voltage::from_volts(1.2),
+            ..OperatingPoint::default()
+        };
+        assert!(high.on_power().watts() > low.on_power().watts());
+    }
+
+    #[test]
+    fn battery_profile_energy() {
+        // A 12.7 Wh battery charged 365 times a year at 85% efficiency.
+        let profile = UsageProfile::Battery {
+            battery_wh: 12.7,
+            charges_per_year: 365.0,
+            charger_efficiency: 0.85,
+        };
+        let e = profile.energy_per_year().kwh();
+        assert!((e - 12.7e-3 * 365.0 / 0.85).abs() < 1e-9);
+        assert!((profile.duty_cycle() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_profile_passthrough_and_gpu_magnitude() {
+        // The paper's GA102: Euse = 228 kWh, coal grid, 2-year lifetime
+        // => ~319 kg CO2e operational.
+        let est = OperationalEstimator::new(EnergySource::Coal);
+        let profile = UsageProfile::Measured {
+            energy_per_year: Energy::from_kwh(228.0),
+        };
+        let cfp = est.lifetime_cfp(&profile, TimeSpan::from_years(2.0), Power::ZERO);
+        assert!((cfp.kg() - 2.0 * 228.0 * 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extra_power_increases_cfp() {
+        let est = OperationalEstimator::new(EnergySource::Coal);
+        let profile = UsageProfile::default();
+        let base = est.annual_cfp(&profile, Power::ZERO);
+        let with_noc = est.annual_cfp(&profile, Power::from_watts(2.0));
+        assert!(with_noc.kg() > base.kg());
+        // The added amount matches 2 W over the duty-cycled year.
+        let expected_extra = 2.0 * 8760.0 * profile.duty_cycle() / 1000.0 * 0.7;
+        assert!((with_noc.kg() - base.kg() - expected_extra).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cleaner_grid_reduces_operational_cfp() {
+        let profile = UsageProfile::Measured {
+            energy_per_year: Energy::from_kwh(100.0),
+        };
+        let coal = OperationalEstimator::new(EnergySource::Coal).annual_cfp(&profile, Power::ZERO);
+        let wind = OperationalEstimator::new(EnergySource::Wind).annual_cfp(&profile, Power::ZERO);
+        assert!(wind.kg() < coal.kg() / 20.0);
+        assert_eq!(
+            OperationalEstimator::default().source(),
+            EnergySource::WorldGrid
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let profile = UsageProfile::Battery {
+            battery_wh: -5.0,
+            charges_per_year: -1.0,
+            charger_efficiency: 0.0,
+        };
+        assert_eq!(profile.energy_per_year().kwh(), 0.0);
+        let op = OperatingPoint {
+            activity: 2.0,
+            leakage_current_a: -1.0,
+            ..OperatingPoint::default()
+        };
+        assert!(op.on_power().watts().is_finite());
+        let est = OperationalEstimator::new(EnergySource::Coal);
+        let cfp = est.lifetime_cfp(
+            &UsageProfile::default(),
+            TimeSpan::from_years(-1.0),
+            Power::ZERO,
+        );
+        assert_eq!(cfp.kg(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn operational_cfp_is_monotone_in_lifetime(
+            years in 0.5f64..10.0,
+            extra in 0.5f64..5.0,
+        ) {
+            let est = OperationalEstimator::new(EnergySource::Coal);
+            let profile = UsageProfile::default();
+            let short = est.lifetime_cfp(&profile, TimeSpan::from_years(years), Power::ZERO);
+            let long = est.lifetime_cfp(&profile, TimeSpan::from_years(years + extra), Power::ZERO);
+            prop_assert!(long.kg() > short.kg());
+        }
+
+        #[test]
+        fn energy_is_nonnegative_for_any_operating_point(
+            vdd in 0.5f64..1.8,
+            freq_ghz in 0.1f64..4.0,
+            leak in 0.0f64..10.0,
+            cap in 1e-10f64..1e-7,
+            activity in 0.0f64..1.0,
+            duty in 0.0f64..1.0,
+        ) {
+            let op = OperatingPoint {
+                vdd: Voltage::from_volts(vdd),
+                frequency: Frequency::from_ghz(freq_ghz),
+                leakage_current_a: leak,
+                switched_capacitance_f: cap,
+                activity,
+                duty_cycle: duty,
+            };
+            prop_assert!(op.energy_per_year().kwh() >= 0.0);
+            prop_assert!(op.on_power().watts() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Block / die design-type classification.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TechDbError;
+
+/// The functional class of a block or chiplet.
+///
+/// ECO-CHIP uses three different area-scaling (transistor-density) models
+/// because logic, memory (SRAM) and analog blocks scale very differently with
+/// technology node — the key observation that makes technology-node
+/// "mix and match" attractive (Section III-C of the paper).
+///
+/// ```
+/// use ecochip_techdb::DesignType;
+/// assert_eq!("analog".parse::<DesignType>().unwrap(), DesignType::Analog);
+/// assert_eq!(DesignType::Logic.to_string(), "logic");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum DesignType {
+    /// Digital standard-cell logic. Scales the fastest with technology.
+    Logic,
+    /// SRAM / memory macros. Scales notably slower than logic at advanced nodes.
+    Memory,
+    /// Analog, IO and mixed-signal circuitry. Barely scales with technology.
+    Analog,
+}
+
+impl DesignType {
+    /// All design types.
+    pub const ALL: [DesignType; 3] = [DesignType::Logic, DesignType::Memory, DesignType::Analog];
+
+    /// Iterator over all design types.
+    pub fn iter() -> impl Iterator<Item = DesignType> {
+        Self::ALL.iter().copied()
+    }
+
+    /// A short lowercase name (`"logic"`, `"memory"`, `"analog"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignType::Logic => "logic",
+            DesignType::Memory => "memory",
+            DesignType::Analog => "analog",
+        }
+    }
+}
+
+impl fmt::Display for DesignType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DesignType {
+    type Err = TechDbError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "logic" | "digital" | "compute" => Ok(DesignType::Logic),
+            "memory" | "sram" | "mem" | "cache" => Ok(DesignType::Memory),
+            "analog" | "io" | "analog_io" | "mixed" | "mixed-signal" => Ok(DesignType::Analog),
+            other => Err(TechDbError::UnknownDesignType(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("digital".parse::<DesignType>().unwrap(), DesignType::Logic);
+        assert_eq!("SRAM".parse::<DesignType>().unwrap(), DesignType::Memory);
+        assert_eq!("IO".parse::<DesignType>().unwrap(), DesignType::Analog);
+        assert!("dsp".parse::<DesignType>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for dt in DesignType::iter() {
+            assert_eq!(dt.to_string().parse::<DesignType>().unwrap(), dt);
+        }
+    }
+
+    #[test]
+    fn serde_lowercase() {
+        assert_eq!(serde_json::to_string(&DesignType::Memory).unwrap(), "\"memory\"");
+        let dt: DesignType = serde_json::from_str("\"analog\"").unwrap();
+        assert_eq!(dt, DesignType::Analog);
+    }
+
+    #[test]
+    fn all_has_three_distinct_entries() {
+        assert_eq!(DesignType::ALL.len(), 3);
+        assert_ne!(DesignType::ALL[0], DesignType::ALL[1]);
+        assert_ne!(DesignType::ALL[1], DesignType::ALL[2]);
+    }
+}

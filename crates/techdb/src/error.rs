@@ -1,0 +1,83 @@
+//! Error types for the technology database.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the technology database.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechDbError {
+    /// The requested nanometre value does not name a supported node.
+    UnknownNode(u32),
+    /// The string could not be parsed as a technology node.
+    UnparsableNode(String),
+    /// The string does not name a known design type.
+    UnknownDesignType(String),
+    /// The string does not name a known energy source.
+    UnknownEnergySource(String),
+    /// A parameter override was out of its physically valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+    /// The database has no entry for the requested node.
+    MissingNode(u32),
+}
+
+impl fmt::Display for TechDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechDbError::UnknownNode(nm) => write!(f, "unknown technology node: {nm} nm"),
+            TechDbError::UnparsableNode(s) => write!(f, "cannot parse technology node from {s:?}"),
+            TechDbError::UnknownDesignType(s) => write!(f, "unknown design type {s:?}"),
+            TechDbError::UnknownEnergySource(s) => write!(f, "unknown energy source {s:?}"),
+            TechDbError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid value {value} for parameter {name} (expected {expected})"),
+            TechDbError::MissingNode(nm) => {
+                write!(f, "technology database has no entry for {nm} nm")
+            }
+        }
+    }
+}
+
+impl Error for TechDbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            TechDbError::UnknownNode(6),
+            TechDbError::UnparsableNode("x".into()),
+            TechDbError::UnknownDesignType("dsp".into()),
+            TechDbError::UnknownEnergySource("fusion".into()),
+            TechDbError::InvalidParameter {
+                name: "defect_density",
+                value: -1.0,
+                expected: "non-negative",
+            },
+            TechDbError::MissingNode(7),
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechDbError>();
+    }
+}

@@ -1,0 +1,229 @@
+//! Technology nodes supported by the framework.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TechDbError;
+
+/// A CMOS process technology node.
+///
+/// Nodes are identified by their marketing name in nanometres. The enum is
+/// ordered from the most advanced (3 nm) to the most mature (130 nm) node;
+/// `TechNode::N3 < TechNode::N130` under the derived ordering, i.e. "smaller
+/// node first". Use [`TechNode::nm`] for the numeric value.
+///
+/// ```
+/// use ecochip_techdb::TechNode;
+/// assert_eq!(TechNode::N7.nm(), 7);
+/// assert!(TechNode::N7.is_more_advanced_than(TechNode::N65));
+/// assert_eq!("10".parse::<TechNode>().unwrap(), TechNode::N10);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(try_from = "u32", into = "u32")]
+pub enum TechNode {
+    /// 3 nm class node.
+    N3,
+    /// 5 nm class node.
+    N5,
+    /// 7 nm class node.
+    N7,
+    /// 8 nm class node (e.g. the Samsung node used by the GA102 GPU).
+    N8,
+    /// 10 nm class node.
+    N10,
+    /// 12 nm class node.
+    N12,
+    /// 14 nm class node.
+    N14,
+    /// 16 nm class node.
+    N16,
+    /// 22 nm class node.
+    N22,
+    /// 28 nm class node.
+    N28,
+    /// 40 nm class node.
+    N40,
+    /// 65 nm class node (default packaging / interposer node in the paper).
+    N65,
+    /// 90 nm class node.
+    N90,
+    /// 130 nm class node.
+    N130,
+}
+
+impl TechNode {
+    /// All supported nodes, most advanced first.
+    pub const ALL: [TechNode; 14] = [
+        TechNode::N3,
+        TechNode::N5,
+        TechNode::N7,
+        TechNode::N8,
+        TechNode::N10,
+        TechNode::N12,
+        TechNode::N14,
+        TechNode::N16,
+        TechNode::N22,
+        TechNode::N28,
+        TechNode::N40,
+        TechNode::N65,
+        TechNode::N90,
+        TechNode::N130,
+    ];
+
+    /// The numeric node name in nanometres.
+    #[inline]
+    pub fn nm(self) -> u32 {
+        match self {
+            TechNode::N3 => 3,
+            TechNode::N5 => 5,
+            TechNode::N7 => 7,
+            TechNode::N8 => 8,
+            TechNode::N10 => 10,
+            TechNode::N12 => 12,
+            TechNode::N14 => 14,
+            TechNode::N16 => 16,
+            TechNode::N22 => 22,
+            TechNode::N28 => 28,
+            TechNode::N40 => 40,
+            TechNode::N65 => 65,
+            TechNode::N90 => 90,
+            TechNode::N130 => 130,
+        }
+    }
+
+    /// Look up a node from its nanometre name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::UnknownNode`] when the value does not name a
+    /// supported node.
+    pub fn from_nm(nm: u32) -> Result<Self, TechDbError> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|n| n.nm() == nm)
+            .ok_or(TechDbError::UnknownNode(nm))
+    }
+
+    /// `true` if `self` is a smaller (more advanced) node than `other`.
+    #[inline]
+    pub fn is_more_advanced_than(self, other: TechNode) -> bool {
+        self.nm() < other.nm()
+    }
+
+    /// `true` if `self` is a larger (older, more mature) node than `other`.
+    #[inline]
+    pub fn is_older_than(self, other: TechNode) -> bool {
+        self.nm() > other.nm()
+    }
+
+    /// Iterator over all supported nodes, most advanced first.
+    pub fn iter() -> impl Iterator<Item = TechNode> {
+        Self::ALL.iter().copied()
+    }
+
+    /// Nodes typically available for packaging substrates / interposers
+    /// (22 nm – 65 nm in Table I).
+    pub fn packaging_nodes() -> impl Iterator<Item = TechNode> {
+        [TechNode::N22, TechNode::N28, TechNode::N40, TechNode::N65].into_iter()
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nm())
+    }
+}
+
+impl FromStr for TechNode {
+    type Err = TechDbError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim().trim_end_matches("nm").trim();
+        let nm: u32 = trimmed
+            .parse()
+            .map_err(|_| TechDbError::UnparsableNode(s.to_owned()))?;
+        TechNode::from_nm(nm)
+    }
+}
+
+impl TryFrom<u32> for TechNode {
+    type Error = TechDbError;
+
+    fn try_from(value: u32) -> Result<Self, Self::Error> {
+        TechNode::from_nm(value)
+    }
+}
+
+impl From<TechNode> for u32 {
+    fn from(value: TechNode) -> Self {
+        value.nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_round_trip_through_nm() {
+        for node in TechNode::ALL {
+            assert_eq!(TechNode::from_nm(node.nm()).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        assert!(matches!(
+            TechNode::from_nm(6),
+            Err(TechDbError::UnknownNode(6))
+        ));
+    }
+
+    #[test]
+    fn ordering_matches_advancement() {
+        assert!(TechNode::N3 < TechNode::N130);
+        assert!(TechNode::N7.is_more_advanced_than(TechNode::N10));
+        assert!(TechNode::N65.is_older_than(TechNode::N7));
+        assert!(!TechNode::N7.is_older_than(TechNode::N7));
+        let nms: Vec<u32> = TechNode::iter().map(|n| n.nm()).collect();
+        let mut sorted = nms.clone();
+        sorted.sort_unstable();
+        assert_eq!(nms, sorted, "ALL must be listed most-advanced-first");
+    }
+
+    #[test]
+    fn from_str_accepts_suffix() {
+        assert_eq!("7".parse::<TechNode>().unwrap(), TechNode::N7);
+        assert_eq!("7nm".parse::<TechNode>().unwrap(), TechNode::N7);
+        assert_eq!(" 65 nm".parse::<TechNode>().unwrap(), TechNode::N65);
+        assert!("apple".parse::<TechNode>().is_err());
+        assert!("11".parse::<TechNode>().is_err());
+    }
+
+    #[test]
+    fn display_is_nm_suffixed() {
+        assert_eq!(TechNode::N7.to_string(), "7nm");
+        assert_eq!(TechNode::N130.to_string(), "130nm");
+    }
+
+    #[test]
+    fn serde_uses_numeric_names() {
+        let s = serde_json::to_string(&TechNode::N7).unwrap();
+        assert_eq!(s, "7");
+        let n: TechNode = serde_json::from_str("65").unwrap();
+        assert_eq!(n, TechNode::N65);
+        assert!(serde_json::from_str::<TechNode>("6").is_err());
+    }
+
+    #[test]
+    fn packaging_nodes_are_mature() {
+        for node in TechNode::packaging_nodes() {
+            assert!(node.nm() >= 22);
+        }
+    }
+}

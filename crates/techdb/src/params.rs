@@ -1,0 +1,670 @@
+//! Per-node parameter tables (Table I of the paper) and the database that
+//! serves them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::design_type::DesignType;
+use crate::error::TechDbError;
+use crate::node::TechNode;
+use crate::units::{Area, CarbonPerArea, EnergyPerArea, TransistorDensity, Voltage};
+
+/// Manufacturing, packaging and design parameters of a single technology
+/// node.
+///
+/// All default values are inside the ranges published in Table I of the
+/// ECO-CHIP paper (sources: IMEC DTCO/PPACE data, ACT, industry defect-rate
+/// and density disclosures). The per-node interpolation within those ranges
+/// is this reproduction's choice and is documented in `DESIGN.md`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// The node these parameters describe.
+    pub node: TechNode,
+    /// Defect density `D0(p)` in defects/cm² (0.07 – 0.3 in Table I).
+    pub defect_density: DefectDensity,
+    /// Yield-model clustering parameter α (Table I fixes it at 3).
+    pub clustering_alpha: f64,
+    /// Transistor density for standard-cell logic.
+    pub logic_density: TransistorDensity,
+    /// Transistor density for SRAM / memory macros.
+    pub memory_density: TransistorDensity,
+    /// Transistor density for analog / IO blocks.
+    pub analog_density: TransistorDensity,
+    /// Manufacturing energy per unit area, `EPA(p)` (0.8 – 3.5 kWh/cm²).
+    pub epa: EnergyPerArea,
+    /// Direct greenhouse-gas footprint of processing, `Cgas` (0.1 – 0.5 kg/cm²).
+    pub gas_cfp: CarbonPerArea,
+    /// Material-sourcing footprint, `Cmaterial` (0.5 kg/cm²).
+    pub material_cfp: CarbonPerArea,
+    /// Process-equipment energy-efficiency derate `ηeq ∈ (0, 1]` applied to
+    /// EPA: mature nodes run on newer, more efficient lithography equipment.
+    pub equipment_derate: f64,
+    /// EDA-tool productivity factor `ηEDA ∈ (0, 1]`. Design time is divided by
+    /// this factor, so mature nodes (≈1.0) design faster than advanced ones.
+    pub eda_productivity: f64,
+    /// Energy per RDL metal layer per unit area, `EPLA_RDL(p)`
+    /// (0.05 – 0.2 kWh/cm² per layer).
+    pub epla_rdl: EnergyPerArea,
+    /// Energy per silicon-bridge metal layer per unit area, `EPLA_bridge(p)`
+    /// (0.1 – 0.35 kWh/cm² per layer).
+    pub epla_bridge: EnergyPerArea,
+    /// Nominal supply voltage at this node.
+    pub vdd: Voltage,
+    /// Carbon footprint per unit area of raw silicon wafer (used to account
+    /// for the wasted wafer periphery, `CFPA_Si` in Eq. (5)).
+    pub silicon_wafer_cfp: CarbonPerArea,
+}
+
+/// Defect density in defects per cm² — a tiny newtype so the yield crate can
+/// take it by type rather than bare `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DefectDensity(f64);
+
+impl DefectDensity {
+    /// Create a defect density from defects per cm².
+    ///
+    /// Negative values are clamped to zero.
+    #[inline]
+    pub fn from_per_cm2(d: f64) -> Self {
+        Self(d.max(0.0))
+    }
+
+    /// Defects per cm².
+    #[inline]
+    pub fn per_cm2(self) -> f64 {
+        self.0
+    }
+
+    /// Defects per mm².
+    #[inline]
+    pub fn per_mm2(self) -> f64 {
+        self.0 / 100.0
+    }
+}
+
+impl fmt::Display for DefectDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} /cm²", self.0)
+    }
+}
+
+impl NodeParams {
+    /// Transistor density of the given design type at this node.
+    pub fn transistor_density(&self, design_type: DesignType) -> TransistorDensity {
+        match design_type {
+            DesignType::Logic => self.logic_density,
+            DesignType::Memory => self.memory_density,
+            DesignType::Analog => self.analog_density,
+        }
+    }
+
+    /// Die area needed for `transistors` devices of the given design type at
+    /// this node: `Adie(d, p) = NT / DT(d, p)` (§III-C(1) of the paper).
+    pub fn area_for_transistors(&self, design_type: DesignType, transistors: f64) -> Area {
+        self.transistor_density(design_type).area_for(transistors)
+    }
+
+    /// Number of transistors that fit in `area` for the given design type.
+    pub fn transistors_for_area(&self, design_type: DesignType, area: Area) -> f64 {
+        self.transistor_density(design_type).transistors_per_mm2() * area.mm2()
+    }
+
+    /// Start building a modified copy of these parameters.
+    pub fn to_builder(&self) -> NodeParamsBuilder {
+        NodeParamsBuilder {
+            params: self.clone(),
+        }
+    }
+}
+
+/// Builder for overriding individual fields of a [`NodeParams`].
+///
+/// ```
+/// use ecochip_techdb::{TechDb, TechNode};
+/// let db = TechDb::default();
+/// let tweaked = db
+///     .node(TechNode::N7)?
+///     .to_builder()
+///     .defect_density(0.1)
+///     .build()?;
+/// assert!((tweaked.defect_density.per_cm2() - 0.1).abs() < 1e-12);
+/// # Ok::<(), ecochip_techdb::TechDbError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeParamsBuilder {
+    params: NodeParams,
+}
+
+impl NodeParamsBuilder {
+    /// Override the defect density (defects/cm², must be ≥ 0 and finite).
+    pub fn defect_density(mut self, per_cm2: f64) -> Self {
+        self.params.defect_density = DefectDensity::from_per_cm2(per_cm2);
+        self
+    }
+
+    /// Override the yield clustering parameter α.
+    pub fn clustering_alpha(mut self, alpha: f64) -> Self {
+        self.params.clustering_alpha = alpha;
+        self
+    }
+
+    /// Override the logic transistor density (MTr/mm²).
+    pub fn logic_density(mut self, mtr_per_mm2: f64) -> Self {
+        self.params.logic_density = TransistorDensity::from_mtr_per_mm2(mtr_per_mm2);
+        self
+    }
+
+    /// Override the memory transistor density (MTr/mm²).
+    pub fn memory_density(mut self, mtr_per_mm2: f64) -> Self {
+        self.params.memory_density = TransistorDensity::from_mtr_per_mm2(mtr_per_mm2);
+        self
+    }
+
+    /// Override the analog transistor density (MTr/mm²).
+    pub fn analog_density(mut self, mtr_per_mm2: f64) -> Self {
+        self.params.analog_density = TransistorDensity::from_mtr_per_mm2(mtr_per_mm2);
+        self
+    }
+
+    /// Override the manufacturing energy per area (kWh/cm²).
+    pub fn epa(mut self, kwh_per_cm2: f64) -> Self {
+        self.params.epa = EnergyPerArea::from_kwh_per_cm2(kwh_per_cm2);
+        self
+    }
+
+    /// Override the process-gas footprint (kg CO₂e/cm²).
+    pub fn gas_cfp(mut self, kg_per_cm2: f64) -> Self {
+        self.params.gas_cfp = CarbonPerArea::from_kg_per_cm2(kg_per_cm2);
+        self
+    }
+
+    /// Override the material-sourcing footprint (kg CO₂e/cm²).
+    pub fn material_cfp(mut self, kg_per_cm2: f64) -> Self {
+        self.params.material_cfp = CarbonPerArea::from_kg_per_cm2(kg_per_cm2);
+        self
+    }
+
+    /// Override the equipment-efficiency derate (must end up in (0, 1]).
+    pub fn equipment_derate(mut self, derate: f64) -> Self {
+        self.params.equipment_derate = derate;
+        self
+    }
+
+    /// Override the EDA productivity factor (must end up in (0, 1]).
+    pub fn eda_productivity(mut self, eta: f64) -> Self {
+        self.params.eda_productivity = eta;
+        self
+    }
+
+    /// Override the RDL energy per layer per area (kWh/cm²).
+    pub fn epla_rdl(mut self, kwh_per_cm2: f64) -> Self {
+        self.params.epla_rdl = EnergyPerArea::from_kwh_per_cm2(kwh_per_cm2);
+        self
+    }
+
+    /// Override the silicon-bridge energy per layer per area (kWh/cm²).
+    pub fn epla_bridge(mut self, kwh_per_cm2: f64) -> Self {
+        self.params.epla_bridge = EnergyPerArea::from_kwh_per_cm2(kwh_per_cm2);
+        self
+    }
+
+    /// Override the nominal supply voltage (V).
+    pub fn vdd(mut self, volts: f64) -> Self {
+        self.params.vdd = Voltage::from_volts(volts);
+        self
+    }
+
+    /// Override the raw-silicon wafer footprint (kg CO₂e/cm²).
+    pub fn silicon_wafer_cfp(mut self, kg_per_cm2: f64) -> Self {
+        self.params.silicon_wafer_cfp = CarbonPerArea::from_kg_per_cm2(kg_per_cm2);
+        self
+    }
+
+    /// Validate and return the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::InvalidParameter`] when a value is outside its
+    /// physically valid range (negative densities/EPA, derates outside (0,1],
+    /// non-positive α, …).
+    pub fn build(self) -> Result<NodeParams, TechDbError> {
+        let p = self.params;
+        if !p.clustering_alpha.is_finite() || p.clustering_alpha <= 0.0 {
+            return Err(TechDbError::InvalidParameter {
+                name: "clustering_alpha",
+                value: p.clustering_alpha,
+                expected: "a finite value > 0",
+            });
+        }
+        if !(0.0 < p.equipment_derate && p.equipment_derate <= 1.0) {
+            return Err(TechDbError::InvalidParameter {
+                name: "equipment_derate",
+                value: p.equipment_derate,
+                expected: "a value in (0, 1]",
+            });
+        }
+        if !(0.0 < p.eda_productivity && p.eda_productivity <= 1.0) {
+            return Err(TechDbError::InvalidParameter {
+                name: "eda_productivity",
+                value: p.eda_productivity,
+                expected: "a value in (0, 1]",
+            });
+        }
+        for (name, value) in [
+            ("logic_density", p.logic_density.mtr_per_mm2()),
+            ("memory_density", p.memory_density.mtr_per_mm2()),
+            ("analog_density", p.analog_density.mtr_per_mm2()),
+            ("epa", p.epa.kwh_per_cm2()),
+            ("gas_cfp", p.gas_cfp.kg_per_cm2()),
+            ("material_cfp", p.material_cfp.kg_per_cm2()),
+            ("epla_rdl", p.epla_rdl.kwh_per_cm2()),
+            ("epla_bridge", p.epla_bridge.kwh_per_cm2()),
+            ("vdd", p.vdd.volts()),
+            ("silicon_wafer_cfp", p.silicon_wafer_cfp.kg_per_cm2()),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(TechDbError::InvalidParameter {
+                    name,
+                    value,
+                    expected: "a finite value > 0",
+                });
+            }
+        }
+        Ok(p)
+    }
+}
+
+/// Raw default table: one row per node.
+///
+/// Columns: node, D0 (/cm²), logic / memory / analog densities (MTr/mm²),
+/// EPA (kWh/cm²), Cgas (kg/cm²), ηeq, ηEDA, EPLA_RDL, EPLA_bridge (kWh/cm²
+/// per layer), Vdd (V).
+#[allow(clippy::type_complexity)]
+const DEFAULT_ROWS: [(TechNode, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64); 14] = [
+    // node,      D0, logic, memory, analog, EPA, Cgas,  ηeq,  ηEDA, RDL,   bridge, Vdd
+    //
+    // The memory and analog columns are deliberately much flatter than the
+    // logic column across the 5–16 nm range: SRAM bit cells and analog
+    // devices have essentially stopped scaling, which is the premise of the
+    // paper's technology mix-and-match argument.
+    (TechNode::N3, 0.30, 215.0, 280.0, 40.0, 3.50, 0.50, 1.00, 0.50, 0.200, 0.350, 0.70),
+    (TechNode::N5, 0.27, 138.0, 250.0, 38.0, 3.10, 0.45, 0.98, 0.58, 0.195, 0.345, 0.72),
+    (TechNode::N7, 0.24, 91.0, 225.0, 35.0, 2.75, 0.40, 0.95, 0.65, 0.190, 0.340, 0.75),
+    (TechNode::N8, 0.22, 61.0, 215.0, 34.0, 2.50, 0.37, 0.93, 0.68, 0.185, 0.330, 0.77),
+    (TechNode::N10, 0.20, 55.0, 205.0, 33.0, 2.35, 0.35, 0.92, 0.71, 0.180, 0.320, 0.78),
+    (TechNode::N12, 0.18, 44.0, 195.0, 31.5, 2.15, 0.32, 0.90, 0.74, 0.172, 0.305, 0.80),
+    (TechNode::N14, 0.16, 32.0, 185.0, 30.0, 2.00, 0.30, 0.88, 0.77, 0.165, 0.290, 0.82),
+    (TechNode::N16, 0.15, 28.0, 175.0, 29.0, 1.90, 0.28, 0.87, 0.79, 0.158, 0.275, 0.84),
+    (TechNode::N22, 0.12, 16.5, 150.0, 26.0, 1.60, 0.22, 0.83, 0.84, 0.140, 0.240, 0.90),
+    (TechNode::N28, 0.11, 12.0, 120.0, 23.0, 1.45, 0.20, 0.80, 0.87, 0.120, 0.210, 0.95),
+    (TechNode::N40, 0.09, 7.0, 70.0, 18.0, 1.20, 0.16, 0.76, 0.92, 0.090, 0.160, 1.05),
+    (TechNode::N65, 0.08, 3.3, 35.0, 12.0, 0.95, 0.12, 0.70, 1.00, 0.065, 0.120, 1.20),
+    (TechNode::N90, 0.075, 1.6, 20.0, 8.0, 0.85, 0.11, 0.68, 1.00, 0.055, 0.110, 1.35),
+    (TechNode::N130, 0.07, 0.8, 10.0, 5.0, 0.80, 0.10, 0.65, 1.00, 0.050, 0.100, 1.50),
+];
+
+/// Carbon footprint of material sourcing, `Cmaterial` (Table I fixes 0.5 kg/cm²).
+const MATERIAL_CFP_KG_PER_CM2: f64 = 0.5;
+
+/// Carbon footprint per area of the wasted wafer periphery, used to price the
+/// wastage term of Eq. (5). The unusable edge area is still carried through
+/// the full process flow (every lithography step patterns the whole wafer),
+/// so it is charged roughly half of a processed die's per-area footprint:
+/// raw wafer production plus shared processing, without test and packaging.
+const SILICON_WAFER_CFP_KG_PER_CM2: f64 = 1.0;
+
+fn default_params_for(row: &(TechNode, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64)) -> NodeParams {
+    let (node, d0, logic, memory, analog, epa, gas, eta_eq, eta_eda, epla_rdl, epla_bridge, vdd) =
+        *row;
+    NodeParams {
+        node,
+        defect_density: DefectDensity::from_per_cm2(d0),
+        clustering_alpha: 3.0,
+        logic_density: TransistorDensity::from_mtr_per_mm2(logic),
+        memory_density: TransistorDensity::from_mtr_per_mm2(memory),
+        analog_density: TransistorDensity::from_mtr_per_mm2(analog),
+        epa: EnergyPerArea::from_kwh_per_cm2(epa),
+        gas_cfp: CarbonPerArea::from_kg_per_cm2(gas),
+        material_cfp: CarbonPerArea::from_kg_per_cm2(MATERIAL_CFP_KG_PER_CM2),
+        equipment_derate: eta_eq,
+        eda_productivity: eta_eda,
+        epla_rdl: EnergyPerArea::from_kwh_per_cm2(epla_rdl),
+        epla_bridge: EnergyPerArea::from_kwh_per_cm2(epla_bridge),
+        vdd: Voltage::from_volts(vdd),
+        silicon_wafer_cfp: CarbonPerArea::from_kg_per_cm2(SILICON_WAFER_CFP_KG_PER_CM2),
+    }
+}
+
+/// The technology-node parameter database.
+///
+/// The [`Default`] database contains an entry for every [`TechNode`] with the
+/// values of Table I. Entries can be replaced or added through
+/// [`TechDbBuilder`], and the whole database serializes to/from JSON so that
+/// users with access to proprietary fab data can supply their own numbers (the
+/// paper's validation section emphasises that accuracy is bounded by input
+/// accuracy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechDb {
+    nodes: BTreeMap<TechNode, NodeParams>,
+}
+
+impl TechDb {
+    /// Parameters of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::MissingNode`] when the database has no entry for
+    /// the node.
+    pub fn node(&self, node: TechNode) -> Result<&NodeParams, TechDbError> {
+        self.nodes
+            .get(&node)
+            .ok_or(TechDbError::MissingNode(node.nm()))
+    }
+
+    /// Whether the database contains an entry for `node`.
+    pub fn contains(&self, node: TechNode) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    /// Iterator over all `(node, params)` entries, most advanced node first.
+    pub fn iter(&self) -> impl Iterator<Item = (&TechNode, &NodeParams)> {
+        self.nodes.iter()
+    }
+
+    /// Number of node entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Start building a modified copy of this database.
+    pub fn to_builder(&self) -> TechDbBuilder {
+        TechDbBuilder {
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    /// Convenience: die area for a transistor count of a given type at a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::MissingNode`] for unknown nodes.
+    pub fn area_for_transistors(
+        &self,
+        node: TechNode,
+        design_type: DesignType,
+        transistors: f64,
+    ) -> Result<Area, TechDbError> {
+        Ok(self.node(node)?.area_for_transistors(design_type, transistors))
+    }
+
+    /// Scale an area known at `from` node to the equivalent area at `to` node,
+    /// holding the transistor count constant — the paper's area-scaling model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechDbError::MissingNode`] for unknown nodes.
+    pub fn scale_area(
+        &self,
+        design_type: DesignType,
+        area: Area,
+        from: TechNode,
+        to: TechNode,
+    ) -> Result<Area, TechDbError> {
+        let from_density = self.node(from)?.transistor_density(design_type);
+        let to_density = self.node(to)?.transistor_density(design_type);
+        Ok(Area::from_mm2(
+            area.mm2() * from_density.mtr_per_mm2() / to_density.mtr_per_mm2(),
+        ))
+    }
+}
+
+impl Default for TechDb {
+    fn default() -> Self {
+        let nodes = DEFAULT_ROWS
+            .iter()
+            .map(|row| (row.0, default_params_for(row)))
+            .collect();
+        Self { nodes }
+    }
+}
+
+/// Builder for a customised [`TechDb`].
+#[derive(Debug, Clone, Default)]
+pub struct TechDbBuilder {
+    nodes: BTreeMap<TechNode, NodeParams>,
+}
+
+impl TechDbBuilder {
+    /// Create an empty builder (no node entries).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the entry for `params.node`.
+    pub fn insert(mut self, params: NodeParams) -> Self {
+        self.nodes.insert(params.node, params);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> TechDb {
+        TechDb { nodes: self.nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TechDb {
+        TechDb::default()
+    }
+
+    #[test]
+    fn default_db_covers_all_nodes() {
+        let db = db();
+        assert_eq!(db.len(), TechNode::ALL.len());
+        assert!(!db.is_empty());
+        for node in TechNode::ALL {
+            assert!(db.contains(node));
+            assert_eq!(db.node(node).unwrap().node, node);
+        }
+    }
+
+    #[test]
+    fn defect_density_decreases_with_maturity() {
+        let db = db();
+        let mut prev = f64::INFINITY;
+        for node in TechNode::ALL {
+            let d = db.node(node).unwrap().defect_density.per_cm2();
+            assert!(d <= prev, "defect density must not increase with maturity");
+            assert!((0.07..=0.30).contains(&d), "Table I range");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn logic_density_decreases_with_maturity() {
+        let db = db();
+        let mut prev = f64::INFINITY;
+        for node in TechNode::ALL {
+            let d = db.node(node).unwrap().logic_density.mtr_per_mm2();
+            assert!(d < prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn epa_within_table_i_range_and_monotone() {
+        let db = db();
+        let mut prev = f64::INFINITY;
+        for node in TechNode::ALL {
+            let epa = db.node(node).unwrap().epa.kwh_per_cm2();
+            assert!((0.8..=3.5).contains(&epa));
+            assert!(epa <= prev);
+            prev = epa;
+        }
+    }
+
+    #[test]
+    fn derates_and_productivity_in_unit_interval() {
+        let db = db();
+        for node in TechNode::ALL {
+            let p = db.node(node).unwrap();
+            assert!(p.equipment_derate > 0.0 && p.equipment_derate <= 1.0);
+            assert!(p.eda_productivity > 0.0 && p.eda_productivity <= 1.0);
+            assert!((0.05..=0.2 + 1e-9).contains(&p.epla_rdl.kwh_per_cm2()));
+            assert!((0.1..=0.35 + 1e-9).contains(&p.epla_bridge.kwh_per_cm2()));
+            assert!((0.7..=1.8).contains(&p.vdd.volts()));
+            assert!((0.1..=0.5).contains(&p.gas_cfp.kg_per_cm2()));
+            assert!((p.material_cfp.kg_per_cm2() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memory_scales_slower_than_logic() {
+        // The ratio of memory to logic density should grow as nodes advance:
+        // that is precisely "SRAM does not scale".
+        let db = db();
+        let ratio = |n: TechNode| {
+            let p = db.node(n).unwrap();
+            p.memory_density.mtr_per_mm2() / p.logic_density.mtr_per_mm2()
+        };
+        assert!(ratio(TechNode::N7) < ratio(TechNode::N14) * 1.5);
+        // logic improves faster going 14nm -> 7nm than memory does.
+        let p7 = db.node(TechNode::N7).unwrap();
+        let p14 = db.node(TechNode::N14).unwrap();
+        let logic_gain = p7.logic_density.mtr_per_mm2() / p14.logic_density.mtr_per_mm2();
+        let memory_gain = p7.memory_density.mtr_per_mm2() / p14.memory_density.mtr_per_mm2();
+        let analog_gain = p7.analog_density.mtr_per_mm2() / p14.analog_density.mtr_per_mm2();
+        assert!(logic_gain > memory_gain);
+        assert!(memory_gain > analog_gain);
+    }
+
+    #[test]
+    fn area_for_transistors_matches_density() {
+        let db = db();
+        let p = db.node(TechNode::N7).unwrap();
+        let area = p.area_for_transistors(DesignType::Logic, 91.0e6);
+        assert!((area.mm2() - 1.0).abs() < 1e-9);
+        let count = p.transistors_for_area(DesignType::Logic, area);
+        assert!((count - 91.0e6).abs() < 1.0);
+        let via_db = db
+            .area_for_transistors(TechNode::N7, DesignType::Logic, 91.0e6)
+            .unwrap();
+        assert_eq!(area, via_db);
+    }
+
+    #[test]
+    fn scale_area_logic_shrinks_and_analog_barely_moves() {
+        let db = db();
+        let a = Area::from_mm2(100.0);
+        let logic_7 = db
+            .scale_area(DesignType::Logic, a, TechNode::N14, TechNode::N7)
+            .unwrap();
+        let analog_7 = db
+            .scale_area(DesignType::Analog, a, TechNode::N14, TechNode::N7)
+            .unwrap();
+        assert!(logic_7.mm2() < 45.0, "logic should shrink ~2.8x");
+        assert!(analog_7.mm2() > 75.0, "analog should barely shrink");
+        // Scaling to the same node is the identity.
+        let same = db
+            .scale_area(DesignType::Logic, a, TechNode::N14, TechNode::N14)
+            .unwrap();
+        assert!((same.mm2() - a.mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_node_error() {
+        let empty = TechDbBuilder::new().build();
+        assert!(matches!(
+            empty.node(TechNode::N7),
+            Err(TechDbError::MissingNode(7))
+        ));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn builder_overrides_are_applied_and_validated() {
+        let db = db();
+        let p = db.node(TechNode::N7).unwrap().clone();
+        let tweaked = p
+            .to_builder()
+            .defect_density(0.1)
+            .epa(1.5)
+            .vdd(0.8)
+            .eda_productivity(0.9)
+            .equipment_derate(0.5)
+            .logic_density(100.0)
+            .memory_density(200.0)
+            .analog_density(40.0)
+            .gas_cfp(0.2)
+            .material_cfp(0.5)
+            .epla_rdl(0.1)
+            .epla_bridge(0.2)
+            .silicon_wafer_cfp(0.3)
+            .clustering_alpha(4.0)
+            .build()
+            .unwrap();
+        assert!((tweaked.defect_density.per_cm2() - 0.1).abs() < 1e-12);
+        assert!((tweaked.epa.kwh_per_cm2() - 1.5).abs() < 1e-12);
+        assert!((tweaked.clustering_alpha - 4.0).abs() < 1e-12);
+
+        assert!(p.to_builder().equipment_derate(0.0).build().is_err());
+        assert!(p.to_builder().eda_productivity(1.5).build().is_err());
+        assert!(p.to_builder().clustering_alpha(-1.0).build().is_err());
+        assert!(p.to_builder().epa(-2.0).build().is_err());
+        assert!(p.to_builder().vdd(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn techdb_builder_replaces_entries() {
+        let db = db();
+        let custom = db
+            .node(TechNode::N7)
+            .unwrap()
+            .to_builder()
+            .defect_density(0.12)
+            .build()
+            .unwrap();
+        let new_db = db.to_builder().insert(custom).build();
+        assert!((new_db.node(TechNode::N7).unwrap().defect_density.per_cm2() - 0.12).abs() < 1e-12);
+        // Other nodes untouched.
+        assert_eq!(new_db.node(TechNode::N65), db.node(TechNode::N65));
+        assert_eq!(new_db.len(), db.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let db = db();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: TechDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn defect_density_display_and_clamp() {
+        let d = DefectDensity::from_per_cm2(-0.5);
+        assert_eq!(d.per_cm2(), 0.0);
+        let d = DefectDensity::from_per_cm2(0.2);
+        assert!((d.per_mm2() - 0.002).abs() < 1e-15);
+        assert!(!d.to_string().is_empty());
+    }
+
+    #[test]
+    fn iter_is_ordered_most_advanced_first() {
+        let db = db();
+        let nodes: Vec<u32> = db.iter().map(|(n, _)| n.nm()).collect();
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        assert_eq!(nodes, sorted);
+    }
+}

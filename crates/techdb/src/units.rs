@@ -1,0 +1,920 @@
+//! Strongly-typed physical quantities.
+//!
+//! Every quantity is a thin newtype over `f64` with a fixed internal unit
+//! (documented on the type). Constructors and accessors convert between the
+//! common units used in the paper (mm² vs cm², kWh, kg vs g of CO₂, …), and
+//! only physically meaningful arithmetic is implemented, e.g.:
+//!
+//! * [`CarbonIntensity`] × [`Energy`] → [`Carbon`]
+//! * [`EnergyPerArea`] × [`Area`] → [`Energy`]
+//! * [`CarbonPerArea`] × [`Area`] → [`Carbon`]
+//! * [`Power`] × [`TimeSpan`] → [`Energy`]
+//!
+//! All types are `Copy`, ordered, hashable on their raw bits where useful, and
+//! serialize as plain numbers in their canonical unit.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $canonical:ident, $unit_doc:expr
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Raw value in the canonical unit (", $unit_doc, ").")]
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (not NaN/±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        #[allow(dead_code)]
+        const _: () = {
+            fn assert_send_sync<T: Send + Sync>() {}
+            fn check() {
+                assert_send_sync::<$name>();
+            }
+        };
+
+        #[doc(hidden)]
+        impl $name {
+            /// Construct directly from the canonical unit. Prefer the named
+            /// constructors; this exists for generic code and tests.
+            #[inline]
+            pub fn from_raw(value: f64) -> Self {
+                Self(value)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Silicon or package area. Canonical unit: **mm²**.
+    Area,
+    mm2,
+    "mm²"
+);
+
+impl Area {
+    /// Create an area from square millimetres.
+    #[inline]
+    pub fn from_mm2(mm2: f64) -> Self {
+        Self(mm2)
+    }
+
+    /// Create an area from square centimetres.
+    #[inline]
+    pub fn from_cm2(cm2: f64) -> Self {
+        Self(cm2 * 100.0)
+    }
+
+    /// Create an area from square micrometres.
+    #[inline]
+    pub fn from_um2(um2: f64) -> Self {
+        Self(um2 * 1.0e-6)
+    }
+
+    /// Value in square millimetres.
+    #[inline]
+    pub fn mm2(self) -> f64 {
+        self.0
+    }
+
+    /// Value in square centimetres.
+    #[inline]
+    pub fn cm2(self) -> f64 {
+        self.0 / 100.0
+    }
+
+    /// Value in square micrometres.
+    #[inline]
+    pub fn um2(self) -> f64 {
+        self.0 * 1.0e6
+    }
+
+    /// Side length of a square die with this area.
+    #[inline]
+    pub fn square_side(self) -> Length {
+        Length::from_mm(self.0.max(0.0).sqrt())
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} mm²", self.0)
+    }
+}
+
+quantity!(
+    /// Linear dimension. Canonical unit: **mm**.
+    Length,
+    mm,
+    "mm"
+);
+
+impl Length {
+    /// Create a length from millimetres.
+    #[inline]
+    pub fn from_mm(mm: f64) -> Self {
+        Self(mm)
+    }
+
+    /// Create a length from micrometres.
+    #[inline]
+    pub fn from_um(um: f64) -> Self {
+        Self(um * 1.0e-3)
+    }
+
+    /// Create a length from nanometres.
+    #[inline]
+    pub fn from_nm(nm: f64) -> Self {
+        Self(nm * 1.0e-6)
+    }
+
+    /// Value in millimetres.
+    #[inline]
+    pub fn mm(self) -> f64 {
+        self.0
+    }
+
+    /// Value in micrometres.
+    #[inline]
+    pub fn um(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl Mul<Length> for Length {
+    type Output = Area;
+    #[inline]
+    fn mul(self, rhs: Length) -> Area {
+        Area::from_mm2(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Length {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} mm", self.0)
+    }
+}
+
+quantity!(
+    /// Electrical energy. Canonical unit: **kWh**.
+    Energy,
+    kwh,
+    "kWh"
+);
+
+impl Energy {
+    /// Create energy from kilowatt-hours.
+    #[inline]
+    pub fn from_kwh(kwh: f64) -> Self {
+        Self(kwh)
+    }
+
+    /// Create energy from watt-hours.
+    #[inline]
+    pub fn from_wh(wh: f64) -> Self {
+        Self(wh * 1.0e-3)
+    }
+
+    /// Create energy from joules.
+    #[inline]
+    pub fn from_joules(j: f64) -> Self {
+        Self(j / 3.6e6)
+    }
+
+    /// Value in kilowatt-hours.
+    #[inline]
+    pub fn kwh(self) -> f64 {
+        self.0
+    }
+
+    /// Value in watt-hours.
+    #[inline]
+    pub fn wh(self) -> f64 {
+        self.0 * 1.0e3
+    }
+
+    /// Value in joules.
+    #[inline]
+    pub fn joules(self) -> f64 {
+        self.0 * 3.6e6
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} kWh", self.0)
+    }
+}
+
+quantity!(
+    /// Electrical power. Canonical unit: **W**.
+    Power,
+    watts,
+    "W"
+);
+
+impl Power {
+    /// Create power from watts.
+    #[inline]
+    pub fn from_watts(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Create power from milliwatts.
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self(mw * 1.0e-3)
+    }
+
+    /// Value in watts.
+    #[inline]
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Value in milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl Mul<TimeSpan> for Power {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: TimeSpan) -> Energy {
+        Energy::from_kwh(self.0 * rhs.hours() / 1.0e3)
+    }
+}
+
+impl Mul<Power> for TimeSpan {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W", self.0)
+    }
+}
+
+quantity!(
+    /// Time duration. Canonical unit: **hours**.
+    TimeSpan,
+    hours,
+    "h"
+);
+
+impl TimeSpan {
+    /// Create a duration from hours.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        Self(h)
+    }
+
+    /// Create a duration from seconds.
+    #[inline]
+    pub fn from_seconds(s: f64) -> Self {
+        Self(s / 3600.0)
+    }
+
+    /// Create a duration from days (24 h).
+    #[inline]
+    pub fn from_days(d: f64) -> Self {
+        Self(d * 24.0)
+    }
+
+    /// Create a duration from (365-day) years.
+    #[inline]
+    pub fn from_years(y: f64) -> Self {
+        Self(y * 365.0 * 24.0)
+    }
+
+    /// Value in hours.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0
+    }
+
+    /// Value in seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0 * 3600.0
+    }
+
+    /// Value in (365-day) years.
+    #[inline]
+    pub fn years(self) -> f64 {
+        self.0 / (365.0 * 24.0)
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} h", self.0)
+    }
+}
+
+quantity!(
+    /// Mass of CO₂-equivalent emissions. Canonical unit: **kg CO₂e**.
+    Carbon,
+    kg,
+    "kg CO₂e"
+);
+
+impl Carbon {
+    /// Create a carbon mass from kilograms of CO₂-equivalent.
+    #[inline]
+    pub fn from_kg(kg: f64) -> Self {
+        Self(kg)
+    }
+
+    /// Create a carbon mass from grams of CO₂-equivalent.
+    #[inline]
+    pub fn from_grams(g: f64) -> Self {
+        Self(g * 1.0e-3)
+    }
+
+    /// Create a carbon mass from metric tons of CO₂-equivalent.
+    #[inline]
+    pub fn from_tons(t: f64) -> Self {
+        Self(t * 1.0e3)
+    }
+
+    /// Value in kilograms of CO₂-equivalent.
+    #[inline]
+    pub fn kg(self) -> f64 {
+        self.0
+    }
+
+    /// Value in grams of CO₂-equivalent.
+    #[inline]
+    pub fn grams(self) -> f64 {
+        self.0 * 1.0e3
+    }
+
+    /// Value in metric tons of CO₂-equivalent.
+    #[inline]
+    pub fn tons(self) -> f64 {
+        self.0 * 1.0e-3
+    }
+}
+
+impl fmt::Display for Carbon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} kgCO2e", self.0)
+    }
+}
+
+quantity!(
+    /// Carbon intensity of an energy source. Canonical unit: **kg CO₂e / kWh**.
+    CarbonIntensity,
+    kg_per_kwh,
+    "kg CO₂e / kWh"
+);
+
+impl CarbonIntensity {
+    /// Create a carbon intensity from kg CO₂e per kWh.
+    #[inline]
+    pub fn from_kg_per_kwh(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Create a carbon intensity from g CO₂e per kWh (the unit of Table I).
+    #[inline]
+    pub fn from_g_per_kwh(v: f64) -> Self {
+        Self(v * 1.0e-3)
+    }
+
+    /// Value in kg CO₂e per kWh.
+    #[inline]
+    pub fn kg_per_kwh(self) -> f64 {
+        self.0
+    }
+
+    /// Value in g CO₂e per kWh.
+    #[inline]
+    pub fn g_per_kwh(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl Mul<Energy> for CarbonIntensity {
+    type Output = Carbon;
+    #[inline]
+    fn mul(self, rhs: Energy) -> Carbon {
+        Carbon::from_kg(self.0 * rhs.kwh())
+    }
+}
+
+impl Mul<CarbonIntensity> for Energy {
+    type Output = Carbon;
+    #[inline]
+    fn mul(self, rhs: CarbonIntensity) -> Carbon {
+        rhs * self
+    }
+}
+
+impl fmt::Display for CarbonIntensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} gCO2e/kWh", self.g_per_kwh())
+    }
+}
+
+quantity!(
+    /// Energy consumed per unit silicon area (EPA / EPLA in the paper).
+    /// Canonical unit: **kWh / cm²**.
+    EnergyPerArea,
+    kwh_per_cm2,
+    "kWh / cm²"
+);
+
+impl EnergyPerArea {
+    /// Create from kWh per cm².
+    #[inline]
+    pub fn from_kwh_per_cm2(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Value in kWh per cm².
+    #[inline]
+    pub fn kwh_per_cm2(self) -> f64 {
+        self.0
+    }
+}
+
+impl Mul<Area> for EnergyPerArea {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Area) -> Energy {
+        Energy::from_kwh(self.0 * rhs.cm2())
+    }
+}
+
+impl Mul<EnergyPerArea> for Area {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: EnergyPerArea) -> Energy {
+        rhs * self
+    }
+}
+
+impl fmt::Display for EnergyPerArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} kWh/cm²", self.0)
+    }
+}
+
+quantity!(
+    /// Carbon footprint per unit silicon area (CFPA in the paper).
+    /// Canonical unit: **kg CO₂e / cm²**.
+    CarbonPerArea,
+    kg_per_cm2,
+    "kg CO₂e / cm²"
+);
+
+impl CarbonPerArea {
+    /// Create from kg CO₂e per cm².
+    #[inline]
+    pub fn from_kg_per_cm2(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Create from g CO₂e per cm².
+    #[inline]
+    pub fn from_g_per_cm2(v: f64) -> Self {
+        Self(v * 1.0e-3)
+    }
+
+    /// Value in kg CO₂e per cm².
+    #[inline]
+    pub fn kg_per_cm2(self) -> f64 {
+        self.0
+    }
+
+    /// Value in g CO₂e per cm².
+    #[inline]
+    pub fn g_per_cm2(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl Mul<Area> for CarbonPerArea {
+    type Output = Carbon;
+    #[inline]
+    fn mul(self, rhs: Area) -> Carbon {
+        Carbon::from_kg(self.0 * rhs.cm2())
+    }
+}
+
+impl Mul<CarbonPerArea> for Area {
+    type Output = Carbon;
+    #[inline]
+    fn mul(self, rhs: CarbonPerArea) -> Carbon {
+        rhs * self
+    }
+}
+
+impl fmt::Display for CarbonPerArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} kgCO2e/cm²", self.0)
+    }
+}
+
+quantity!(
+    /// Transistor density. Canonical unit: **million transistors / mm²**.
+    TransistorDensity,
+    mtr_per_mm2,
+    "MTr / mm²"
+);
+
+impl TransistorDensity {
+    /// Create from millions of transistors per mm².
+    #[inline]
+    pub fn from_mtr_per_mm2(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Value in millions of transistors per mm².
+    #[inline]
+    pub fn mtr_per_mm2(self) -> f64 {
+        self.0
+    }
+
+    /// Value in transistors per mm².
+    #[inline]
+    pub fn transistors_per_mm2(self) -> f64 {
+        self.0 * 1.0e6
+    }
+
+    /// Area required for `transistors` devices at this density.
+    ///
+    /// Returns [`Area::ZERO`] if the density is non-positive.
+    #[inline]
+    pub fn area_for(self, transistors: f64) -> Area {
+        if self.0 <= 0.0 {
+            Area::ZERO
+        } else {
+            Area::from_mm2(transistors / self.transistors_per_mm2())
+        }
+    }
+}
+
+impl fmt::Display for TransistorDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MTr/mm²", self.0)
+    }
+}
+
+quantity!(
+    /// Clock / operating frequency. Canonical unit: **Hz**.
+    Frequency,
+    hz,
+    "Hz"
+);
+
+impl Frequency {
+    /// Create a frequency from hertz.
+    #[inline]
+    pub fn from_hz(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Create a frequency from megahertz.
+    #[inline]
+    pub fn from_mhz(v: f64) -> Self {
+        Self(v * 1.0e6)
+    }
+
+    /// Create a frequency from gigahertz.
+    #[inline]
+    pub fn from_ghz(v: f64) -> Self {
+        Self(v * 1.0e9)
+    }
+
+    /// Value in hertz.
+    #[inline]
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Value in gigahertz.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.0 * 1.0e-9
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.ghz())
+    }
+}
+
+quantity!(
+    /// Supply voltage. Canonical unit: **V**.
+    Voltage,
+    volts,
+    "V"
+);
+
+impl Voltage {
+    /// Create a voltage from volts.
+    #[inline]
+    pub fn from_volts(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Value in volts.
+    #[inline]
+    pub fn volts(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Voltage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} V", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_conversions_round_trip() {
+        let a = Area::from_cm2(6.28);
+        assert!((a.mm2() - 628.0).abs() < 1e-9);
+        assert!((a.cm2() - 6.28).abs() < 1e-12);
+        assert!((Area::from_um2(1.0e6).mm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_square_side() {
+        let a = Area::from_mm2(100.0);
+        assert!((a.square_side().mm() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_product_is_area() {
+        let a = Length::from_mm(2.0) * Length::from_mm(3.0);
+        assert!((a.mm2() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_conversions() {
+        let e = Energy::from_wh(1500.0);
+        assert!((e.kwh() - 1.5).abs() < 1e-12);
+        assert!((Energy::from_joules(3.6e6).kwh() - 1.0).abs() < 1e-12);
+        assert!((e.joules() - 1.5 * 3.6e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(450.0) * TimeSpan::from_hours(2.0);
+        assert!((e.kwh() - 0.9).abs() < 1e-12);
+        let e2 = TimeSpan::from_hours(2.0) * Power::from_watts(450.0);
+        assert!((e2.kwh() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timespan_conversions() {
+        assert!((TimeSpan::from_years(2.0).hours() - 17520.0).abs() < 1e-9);
+        assert!((TimeSpan::from_days(1.0).hours() - 24.0).abs() < 1e-12);
+        assert!((TimeSpan::from_seconds(3600.0).hours() - 1.0).abs() < 1e-12);
+        assert!((TimeSpan::from_hours(8760.0).years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn carbon_conversions() {
+        let c = Carbon::from_grams(700.0);
+        assert!((c.kg() - 0.7).abs() < 1e-12);
+        assert!((Carbon::from_tons(2.0).kg() - 2000.0).abs() < 1e-9);
+        assert!((c.grams() - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_times_energy_is_carbon() {
+        let coal = CarbonIntensity::from_g_per_kwh(700.0);
+        let c = coal * Energy::from_kwh(228.0);
+        assert!((c.kg() - 159.6).abs() < 1e-9);
+        let c2 = Energy::from_kwh(228.0) * coal;
+        assert!((c2.kg() - 159.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epa_times_area_is_energy() {
+        let epa = EnergyPerArea::from_kwh_per_cm2(2.0);
+        let e = epa * Area::from_cm2(3.0);
+        assert!((e.kwh() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfpa_times_area_is_carbon() {
+        let cfpa = CarbonPerArea::from_kg_per_cm2(1.5);
+        let c = cfpa * Area::from_mm2(200.0);
+        assert!((c.kg() - 3.0).abs() < 1e-12);
+        assert!((CarbonPerArea::from_g_per_cm2(500.0).kg_per_cm2() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transistor_density_area() {
+        let d = TransistorDensity::from_mtr_per_mm2(91.0);
+        let a = d.area_for(28.3e9);
+        assert!((a.mm2() - 28.3e9 / 91.0e6).abs() < 1e-6);
+        assert_eq!(TransistorDensity::ZERO.area_for(1.0e9), Area::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Carbon::from_kg(2.0) + Carbon::from_kg(3.0);
+        assert!((a.kg() - 5.0).abs() < 1e-12);
+        let b = a - Carbon::from_kg(1.0);
+        assert!((b.kg() - 4.0).abs() < 1e-12);
+        let c = b * 2.0;
+        assert!((c.kg() - 8.0).abs() < 1e-12);
+        let d = 2.0 * b;
+        assert!((d.kg() - 8.0).abs() < 1e-12);
+        let r = c / b;
+        assert!((r - 2.0).abs() < 1e-12);
+        let e = c / 2.0;
+        assert!((e.kg() - 4.0).abs() < 1e-12);
+        assert!((-e).kg() < 0.0);
+        let mut acc = Carbon::ZERO;
+        acc += Carbon::from_kg(1.0);
+        acc -= Carbon::from_kg(0.25);
+        assert!((acc.kg() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_minmax() {
+        let total: Carbon = vec![Carbon::from_kg(1.0), Carbon::from_kg(2.5)]
+            .into_iter()
+            .sum();
+        assert!((total.kg() - 3.5).abs() < 1e-12);
+        assert_eq!(
+            Carbon::from_kg(1.0).max(Carbon::from_kg(2.0)),
+            Carbon::from_kg(2.0)
+        );
+        assert_eq!(
+            Carbon::from_kg(1.0).min(Carbon::from_kg(2.0)),
+            Carbon::from_kg(1.0)
+        );
+        assert_eq!(Carbon::from_kg(-1.0).abs(), Carbon::from_kg(1.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for s in [
+            format!("{}", Area::from_mm2(1.0)),
+            format!("{}", Length::from_mm(1.0)),
+            format!("{}", Energy::from_kwh(1.0)),
+            format!("{}", Power::from_watts(1.0)),
+            format!("{}", TimeSpan::from_hours(1.0)),
+            format!("{}", Carbon::from_kg(1.0)),
+            format!("{}", CarbonIntensity::from_g_per_kwh(700.0)),
+            format!("{}", EnergyPerArea::from_kwh_per_cm2(1.0)),
+            format!("{}", CarbonPerArea::from_kg_per_cm2(1.0)),
+            format!("{}", TransistorDensity::from_mtr_per_mm2(1.0)),
+            format!("{}", Frequency::from_ghz(1.0)),
+            format!("{}", Voltage::from_volts(1.0)),
+        ] {
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Area::from_mm2(628.0);
+        let s = serde_json::to_string(&a).unwrap();
+        assert_eq!(s, "628.0");
+        let b: Area = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frequency_and_voltage() {
+        assert!((Frequency::from_ghz(2.4).hz() - 2.4e9).abs() < 1.0);
+        assert!((Frequency::from_mhz(500.0).ghz() - 0.5).abs() < 1e-12);
+        assert!((Voltage::from_volts(0.75).volts() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! The Apple A15 mobile SoC test case (2021).
+//!
+//! Die-shot analyses report a ≈108 mm² die in a 5 nm-class process. The
+//! 3-chiplet decomposition assigns ≈60 mm² to CPU/GPU/NPU logic, ≈32 mm² to
+//! SRAM (system cache and core caches) and ≈16 mm² to analog / IO. The phone
+//! is battery-operated: the paper derives the usage energy from the battery
+//! rating and charging frequency, and notes that embodied carbon dominates
+//! (≈80 % of total CFP, matching Apple's product environmental report).
+
+use ecochip_core::disaggregation::{monolithic_chiplet, three_chiplets, NodeTuple, SocBlocks};
+use ecochip_core::{EcoChipError, System};
+use ecochip_packaging::{PackagingArchitecture, RdlFanoutConfig};
+use ecochip_power::UsageProfile;
+use ecochip_techdb::{Area, TechDb, TechNode, TimeSpan};
+
+use crate::soc_blocks_from_areas;
+
+/// Reference node of the published die (5 nm-class).
+pub const REFERENCE_NODE: TechNode = TechNode::N5;
+/// Digital-logic area at the reference node (mm²).
+pub const LOGIC_AREA_MM2: f64 = 60.0;
+/// Memory area at the reference node (mm²).
+pub const MEMORY_AREA_MM2: f64 = 32.0;
+/// Analog / IO area at the reference node (mm²).
+pub const ANALOG_AREA_MM2: f64 = 16.0;
+/// Share of the iPhone battery capacity attributable to the A15 SoC per
+/// charge cycle (Wh); the display, radios and other components draw the rest
+/// of the 12.7 Wh pack.
+pub const BATTERY_WH: f64 = 5.0;
+/// Full charge cycles per year (roughly one per day).
+pub const CHARGES_PER_YEAR: f64 = 365.0;
+/// Charger efficiency.
+pub const CHARGER_EFFICIENCY: f64 = 0.85;
+/// Consumer-phone lifetime in years.
+pub const LIFETIME_YEARS: f64 = 3.0;
+
+/// Block-level description of the A15.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError::TechDb`] when the reference node is missing.
+pub fn soc_blocks(db: &TechDb) -> Result<SocBlocks, EcoChipError> {
+    soc_blocks_from_areas(
+        "a15",
+        db,
+        REFERENCE_NODE,
+        Area::from_mm2(LOGIC_AREA_MM2),
+        Area::from_mm2(MEMORY_AREA_MM2),
+        Area::from_mm2(ANALOG_AREA_MM2),
+    )
+    .map_err(EcoChipError::from)
+}
+
+/// Battery-based usage profile (Section III-F's battery path).
+pub fn usage_profile() -> UsageProfile {
+    UsageProfile::Battery {
+        battery_wh: BATTERY_WH,
+        charges_per_year: CHARGES_PER_YEAR,
+        charger_efficiency: CHARGER_EFFICIENCY,
+    }
+}
+
+/// The monolithic A15 at its reference node.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn monolithic_system(db: &TechDb) -> Result<System, EcoChipError> {
+    let blocks = soc_blocks(db)?;
+    System::builder("a15-monolithic")
+        .chiplet(monolithic_chiplet(&blocks, db, REFERENCE_NODE)?)
+        .usage(usage_profile())
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+/// The paper's 3-chiplet A15 with RDL fanout packaging.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn three_chiplet_system(db: &TechDb, nodes: NodeTuple) -> Result<System, EcoChipError> {
+    let blocks = soc_blocks(db)?;
+    System::builder(format!("a15-3chiplet-{}", nodes.label()))
+        .chiplets(three_chiplets(&blocks, nodes))
+        .packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()))
+        .usage(usage_profile())
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+/// The default mix-and-match node tuple used for the A15 in Fig. 8(b):
+/// logic stays at 5 nm, memory and analog move to mature nodes.
+pub fn default_chiplet_nodes() -> NodeTuple {
+    NodeTuple::new(TechNode::N5, TechNode::N10, TechNode::N14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_core::EcoChip;
+
+    #[test]
+    fn monolithic_area_matches_die_shot() {
+        let db = TechDb::default();
+        let system = monolithic_system(&db).unwrap();
+        let area = system.silicon_area(&db).unwrap();
+        assert!((area.mm2() - 108.0).abs() < 1.0, "{area}");
+    }
+
+    #[test]
+    fn embodied_dominates_for_the_mobile_soc() {
+        // Fig. 8(b) / the Apple-report validation: ≈80% embodied, ≈20%
+        // operational for the battery-powered SoC.
+        let db = TechDb::default();
+        let estimator = EcoChip::default();
+        let report = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
+        let frac = report.embodied_fraction();
+        assert!(
+            (0.6..=0.95).contains(&frac),
+            "embodied fraction {frac} should dominate"
+        );
+    }
+
+    #[test]
+    fn chiplet_variant_reduces_embodied_but_less_than_the_gpu() {
+        // Section V-A(4): the A15 improves less than the GA102 because the
+        // die is small.
+        let db = TechDb::default();
+        let estimator = EcoChip::default();
+        let mono = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
+        let chip = estimator
+            .estimate(&three_chiplet_system(&db, default_chiplet_nodes()).unwrap())
+            .unwrap();
+        let a15_saving = 1.0 - chip.embodied().kg() / mono.embodied().kg();
+        assert!(a15_saving > -0.2, "should not be dramatically worse");
+
+        let ga_mono = estimator
+            .estimate(&crate::ga102::monolithic_system(&db).unwrap())
+            .unwrap();
+        let ga_chip = estimator
+            .estimate(
+                &crate::ga102::three_chiplet_system(
+                    &db,
+                    NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let ga_saving = 1.0 - ga_chip.embodied().kg() / ga_mono.embodied().kg();
+        assert!(
+            ga_saving > a15_saving,
+            "larger SoCs benefit more from disaggregation (GA102 {ga_saving} vs A15 {a15_saving})"
+        );
+    }
+
+    #[test]
+    fn usage_profile_is_battery_based() {
+        match usage_profile() {
+            UsageProfile::Battery { battery_wh, .. } => assert!(battery_wh > 1.0),
+            other => panic!("expected a battery profile, got {other:?}"),
+        }
+    }
+}

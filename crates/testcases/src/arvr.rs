@@ -1,0 +1,278 @@
+//! The 3D-stacked AR/VR neural-network accelerator test case
+//! (Yang et al., IEEE Micro 2022; Section VI of the ECO-CHIP paper).
+//!
+//! The accelerator stacks 1–4 SRAM dies on top of a compute die using
+//! microbumps in a 7 nm process. Two flavours exist: the **1K** series with
+//! 2 MB SRAM dies and the **2K** series with 4 MB SRAM dies. Configurations
+//! are named `3D-1K-4MB` style: a 1K-series stack with two 2 MB tiers.
+//!
+//! The paper takes the latency and energy numbers from the original
+//! publication; the table below reproduces their qualitative trends (more
+//! SRAM tiers → lower latency and lower operational power, but more silicon
+//! and therefore more embodied carbon), which is what the carbon-delay /
+//! carbon-power / carbon-area product curves of Fig. 13 require.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_core::{Chiplet, ChipletSize, EcoChipError, System};
+use ecochip_packaging::{PackagingArchitecture, ThreeDConfig};
+use ecochip_power::UsageProfile;
+use ecochip_techdb::{Area, DesignType, Energy, Length, Power, TechDb, TechNode, TimeSpan};
+
+/// Technology node of the accelerator (compute and SRAM dies).
+pub const REFERENCE_NODE: TechNode = TechNode::N7;
+/// Compute-die area (mm²).
+pub const COMPUTE_DIE_AREA_MM2: f64 = 8.0;
+/// Area of one 2 MB SRAM die (mm²). Stacked dies keep a footprint comparable
+/// to the compute die for face-to-face bonding, so the SRAM tiers are
+/// periphery-dominated rather than bit-cell-limited.
+pub const SRAM_2MB_AREA_MM2: f64 = 6.0;
+/// Area of one 4 MB SRAM die (mm²).
+pub const SRAM_4MB_AREA_MM2: f64 = 11.0;
+/// Microbump pitch of the stack (µm).
+pub const MICROBUMP_PITCH_UM: f64 = 25.0;
+/// Deployment lifetime in years used by the paper for this test case.
+pub const LIFETIME_YEARS: f64 = 2.0;
+
+/// The SRAM-die capacity series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Series {
+    /// 2 MB SRAM dies.
+    OneK,
+    /// 4 MB SRAM dies.
+    TwoK,
+}
+
+impl Series {
+    /// SRAM capacity per die in megabytes.
+    pub fn mb_per_die(self) -> u32 {
+        match self {
+            Series::OneK => 2,
+            Series::TwoK => 4,
+        }
+    }
+
+    /// SRAM die area.
+    pub fn die_area(self) -> Area {
+        match self {
+            Series::OneK => Area::from_mm2(SRAM_2MB_AREA_MM2),
+            Series::TwoK => Area::from_mm2(SRAM_4MB_AREA_MM2),
+        }
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Series::OneK => write!(f, "1K"),
+            Series::TwoK => write!(f, "2K"),
+        }
+    }
+}
+
+/// One accelerator configuration: the series and the number of SRAM tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArVrConfig {
+    /// SRAM die capacity series.
+    pub series: Series,
+    /// Number of SRAM dies stacked on the compute die (1–4).
+    pub sram_tiers: u32,
+}
+
+impl ArVrConfig {
+    /// Create a configuration.
+    pub fn new(series: Series, sram_tiers: u32) -> Self {
+        Self { series, sram_tiers }
+    }
+
+    /// Total SRAM capacity in megabytes.
+    pub fn total_mb(&self) -> u32 {
+        self.series.mb_per_die() * self.sram_tiers
+    }
+
+    /// The paper's naming convention, e.g. `3D-1K-4MB`.
+    pub fn label(&self) -> String {
+        format!("3D-{}-{}MB", self.series, self.total_mb())
+    }
+
+    /// All eight configurations evaluated in Fig. 13 (1–4 tiers × two series).
+    pub fn all() -> Vec<ArVrConfig> {
+        let mut v = Vec::new();
+        for series in [Series::OneK, Series::TwoK] {
+            for tiers in 1..=4 {
+                v.push(ArVrConfig::new(series, tiers));
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for ArVrConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Workload-level performance numbers of one configuration (inputs to the
+/// product curves of Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Performance {
+    /// End-to-end inference latency (milliseconds).
+    pub latency_ms: f64,
+    /// Average operational power (watts).
+    pub power: Power,
+    /// 2D footprint of the stack (the largest tier).
+    pub footprint: Area,
+    /// Energy per year of deployment at the AR/VR duty cycle.
+    pub energy_per_year: Energy,
+}
+
+/// Performance table following the qualitative trends of Yang et al.: each
+/// additional SRAM tier keeps more of the working set on-die, cutting latency
+/// and DRAM-access power.
+pub fn performance(config: &ArVrConfig) -> Performance {
+    let tiers = config.sram_tiers.clamp(1, 4) as f64;
+    let series_boost = match config.series {
+        Series::OneK => 1.0,
+        Series::TwoK => 1.25,
+    };
+    // Latency improves with on-die SRAM but with diminishing returns.
+    let latency_ms = 6.0 / (series_boost * tiers.powf(0.55));
+    // Power drops as DRAM traffic is displaced by on-die SRAM; the always-on
+    // accelerator budget is a few hundred milliwatts.
+    let power_w = 0.35 / (series_boost * tiers.powf(0.35));
+    // The AR/VR device is active ~4 hours a day.
+    let energy_per_year = Energy::from_kwh(power_w * 4.0 * 365.0 / 1000.0);
+    Performance {
+        latency_ms,
+        power: Power::from_watts(power_w),
+        footprint: Area::from_mm2(COMPUTE_DIE_AREA_MM2),
+        energy_per_year,
+    }
+}
+
+/// The [`System`] description of one accelerator configuration: a compute die
+/// plus `sram_tiers` SRAM dies stacked with microbumps.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the configuration has zero tiers or the
+/// technology database is missing the 7 nm node.
+pub fn system(db: &TechDb, config: &ArVrConfig) -> Result<System, EcoChipError> {
+    if config.sram_tiers == 0 {
+        return Err(EcoChipError::InvalidSystem(
+            "the accelerator needs at least one SRAM tier".to_owned(),
+        ));
+    }
+    let _ = db.node(REFERENCE_NODE)?;
+    let mut chiplets = vec![Chiplet::new(
+        "compute",
+        DesignType::Logic,
+        REFERENCE_NODE,
+        ChipletSize::AreaAtNode {
+            area: Area::from_mm2(COMPUTE_DIE_AREA_MM2),
+            node: REFERENCE_NODE,
+        },
+    )];
+    for i in 0..config.sram_tiers {
+        chiplets.push(Chiplet::new(
+            format!("sram{i}"),
+            DesignType::Memory,
+            REFERENCE_NODE,
+            ChipletSize::AreaAtNode {
+                area: config.series.die_area(),
+                node: REFERENCE_NODE,
+            },
+        ));
+    }
+    let perf = performance(config);
+    System::builder(config.label())
+        .chiplets(chiplets)
+        .packaging(PackagingArchitecture::ThreeD(ThreeDConfig::microbump(
+            Length::from_um(MICROBUMP_PITCH_UM),
+        )))
+        .usage(UsageProfile::Measured {
+            energy_per_year: perf.energy_per_year,
+        })
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_core::dse::ProductMetrics;
+    use ecochip_core::EcoChip;
+
+    #[test]
+    fn labels_match_paper_convention() {
+        assert_eq!(ArVrConfig::new(Series::OneK, 2).label(), "3D-1K-4MB");
+        assert_eq!(ArVrConfig::new(Series::TwoK, 4).label(), "3D-2K-16MB");
+        assert_eq!(ArVrConfig::all().len(), 8);
+    }
+
+    #[test]
+    fn performance_trends_follow_the_source_paper() {
+        let one = performance(&ArVrConfig::new(Series::OneK, 1));
+        let four = performance(&ArVrConfig::new(Series::OneK, 4));
+        assert!(four.latency_ms < one.latency_ms);
+        assert!(four.power.watts() < one.power.watts());
+        let two_k = performance(&ArVrConfig::new(Series::TwoK, 1));
+        assert!(two_k.latency_ms < one.latency_ms);
+        assert!(one.energy_per_year.kwh() > 0.0);
+    }
+
+    #[test]
+    fn more_tiers_increase_embodied_carbon() {
+        // Fig. 13: embodied (and total, for this embodied-dominated device)
+        // CFP grows with the number of SRAM tiers even though delay improves.
+        let db = TechDb::default();
+        let estimator = EcoChip::default();
+        let mut prev_embodied = 0.0;
+        for tiers in 1..=4 {
+            let cfg = ArVrConfig::new(Series::OneK, tiers);
+            let report = estimator.estimate(&system(&db, &cfg).unwrap()).unwrap();
+            assert!(report.embodied().kg() > prev_embodied);
+            prev_embodied = report.embodied().kg();
+        }
+    }
+
+    #[test]
+    fn carbon_delay_tradeoff_exists() {
+        // Latency improves but carbon worsens: the product curve captures the
+        // tension the paper uses for DSE.
+        let db = TechDb::default();
+        let estimator = EcoChip::default();
+        let small = ArVrConfig::new(Series::OneK, 1);
+        let large = ArVrConfig::new(Series::OneK, 4);
+        let small_report = estimator.estimate(&system(&db, &small).unwrap()).unwrap();
+        let large_report = estimator.estimate(&system(&db, &large).unwrap()).unwrap();
+        let ps = performance(&small);
+        let pl = performance(&large);
+        let ms = ProductMetrics::from_report(
+            &small_report,
+            ps.latency_ms * 1e-3,
+            ps.power,
+            ps.footprint,
+        );
+        let ml = ProductMetrics::from_report(
+            &large_report,
+            pl.latency_ms * 1e-3,
+            pl.power,
+            pl.footprint,
+        );
+        assert!(pl.latency_ms < ps.latency_ms);
+        assert!(ml.carbon.kg() > ms.carbon.kg());
+    }
+
+    #[test]
+    fn invalid_config_rejected_and_stack_structure() {
+        let db = TechDb::default();
+        assert!(system(&db, &ArVrConfig::new(Series::OneK, 0)).is_err());
+        let sys = system(&db, &ArVrConfig::new(Series::TwoK, 3)).unwrap();
+        assert_eq!(sys.chiplet_count(), 4);
+        assert!(matches!(sys.packaging, PackagingArchitecture::ThreeD(_)));
+    }
+}

@@ -1,0 +1,167 @@
+//! The Intel Emerald Rapids (EMR) server CPU test case.
+//!
+//! Emerald Rapids is a native 2-chiplet design integrated with EMIB silicon
+//! bridges; each compute chiplet is roughly 380 mm² in an Intel-7-class
+//! (≈7 nm) process and contains cores, caches and IO. The paper evaluates the
+//! original 2-chiplet architecture as-is and compares it against a
+//! hypothetical monolithic die of the combined area. Usage energy is obtained
+//! by profiling a server-class CPU.
+
+use ecochip_core::disaggregation::SocBlocks;
+use ecochip_core::{Chiplet, ChipletSize, EcoChipError, System};
+use ecochip_packaging::{PackagingArchitecture, SiliconBridgeConfig};
+use ecochip_power::UsageProfile;
+use ecochip_techdb::{Area, DesignType, Energy, TechDb, TechNode, TimeSpan};
+
+use crate::soc_blocks_from_areas;
+
+/// Reference node of the product (Intel 7, modelled as the 7 nm-class node).
+pub const REFERENCE_NODE: TechNode = TechNode::N7;
+/// Area of one compute chiplet (mm²).
+pub const CHIPLET_AREA_MM2: f64 = 380.0;
+/// Number of compute chiplets in the product.
+pub const CHIPLET_COUNT: usize = 2;
+/// Per-chiplet block split: fraction of area that is logic.
+pub const LOGIC_FRACTION: f64 = 0.55;
+/// Per-chiplet block split: fraction of area that is SRAM.
+pub const MEMORY_FRACTION: f64 = 0.30;
+/// Per-chiplet block split: fraction of area that is analog / IO.
+pub const ANALOG_FRACTION: f64 = 0.15;
+/// Profiled server usage energy per year (kWh).
+pub const USAGE_KWH_PER_YEAR: f64 = 350.0;
+/// Server deployment lifetime in years.
+pub const LIFETIME_YEARS: f64 = 4.0;
+
+/// Block-level description of the full (two-chiplet) EMR package.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError::TechDb`] when the reference node is missing.
+pub fn soc_blocks(db: &TechDb) -> Result<SocBlocks, EcoChipError> {
+    let total = CHIPLET_AREA_MM2 * CHIPLET_COUNT as f64;
+    soc_blocks_from_areas(
+        "emr",
+        db,
+        REFERENCE_NODE,
+        Area::from_mm2(total * LOGIC_FRACTION),
+        Area::from_mm2(total * MEMORY_FRACTION),
+        Area::from_mm2(total * ANALOG_FRACTION),
+    )
+    .map_err(EcoChipError::from)
+}
+
+/// Profiled server usage profile.
+pub fn usage_profile() -> UsageProfile {
+    UsageProfile::Measured {
+        energy_per_year: Energy::from_kwh(USAGE_KWH_PER_YEAR),
+    }
+}
+
+/// The hypothetical monolithic EMR: one die of the combined chiplet area.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn monolithic_system(db: &TechDb) -> Result<System, EcoChipError> {
+    let _ = db.node(REFERENCE_NODE)?;
+    System::builder("emr-monolithic")
+        .chiplet(Chiplet::new(
+            "emr-monolith",
+            DesignType::Logic,
+            REFERENCE_NODE,
+            ChipletSize::AreaAtNode {
+                area: Area::from_mm2(CHIPLET_AREA_MM2 * CHIPLET_COUNT as f64),
+                node: REFERENCE_NODE,
+            },
+        ))
+        .usage(usage_profile())
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+/// The original 2-chiplet EMR with EMIB packaging, at its reference node.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn two_chiplet_system(db: &TechDb) -> Result<System, EcoChipError> {
+    two_chiplet_system_at(db, REFERENCE_NODE)
+}
+
+/// The 2-chiplet EMR with both chiplets re-targeted to `node`
+/// (used for the Fig. 12(d) reuse study, which keeps both chiplets in 7 nm).
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn two_chiplet_system_at(db: &TechDb, node: TechNode) -> Result<System, EcoChipError> {
+    let _ = db.node(node)?;
+    let chiplets = (0..CHIPLET_COUNT).map(|i| {
+        Chiplet::new(
+            format!("emr-compute{i}"),
+            DesignType::Logic,
+            node,
+            ChipletSize::AreaAtNode {
+                area: Area::from_mm2(CHIPLET_AREA_MM2),
+                node: REFERENCE_NODE,
+            },
+        )
+    });
+    System::builder("emr-2chiplet")
+        .chiplets(chiplets)
+        .packaging(PackagingArchitecture::SiliconBridge(
+            SiliconBridgeConfig::default(),
+        ))
+        .usage(usage_profile())
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_core::EcoChip;
+
+    #[test]
+    fn two_chiplet_structure() {
+        let db = TechDb::default();
+        let system = two_chiplet_system(&db).unwrap();
+        assert_eq!(system.chiplet_count(), 2);
+        assert!(matches!(
+            system.packaging,
+            PackagingArchitecture::SiliconBridge(_)
+        ));
+        let area = system.silicon_area(&db).unwrap();
+        assert!((area.mm2() - 760.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn chiplet_variant_beats_the_hypothetical_monolith() {
+        // Fig. 8(a): the 2-chiplet EMR has lower total CFP than a monolithic
+        // die of the same area, thanks to yield.
+        let db = TechDb::default();
+        let estimator = EcoChip::default();
+        let mono = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
+        let two = estimator.estimate(&two_chiplet_system(&db).unwrap()).unwrap();
+        assert!(two.manufacturing().kg() < mono.manufacturing().kg());
+        assert!(two.embodied().kg() < mono.embodied().kg());
+        assert!(two.total().kg() < mono.total().kg());
+    }
+
+    #[test]
+    fn block_fractions_are_a_partition() {
+        assert!((LOGIC_FRACTION + MEMORY_FRACTION + ANALOG_FRACTION - 1.0).abs() < 1e-12);
+        let db = TechDb::default();
+        let blocks = soc_blocks(&db).unwrap();
+        assert!(blocks.total_transistors() > 1.0e9);
+    }
+
+    #[test]
+    fn retargeted_variant_builds() {
+        let db = TechDb::default();
+        let system = two_chiplet_system_at(&db, TechNode::N10).unwrap();
+        assert_eq!(system.chiplet_nodes(), vec![TechNode::N10, TechNode::N10]);
+        // Logic grows when moved to an older node.
+        assert!(system.silicon_area(&db).unwrap().mm2() > 760.0);
+    }
+}

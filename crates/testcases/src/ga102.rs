@@ -1,0 +1,202 @@
+//! The NVIDIA GA102 GPU test case (Ampere, 2020).
+//!
+//! Die-shot analyses report a ≈628 mm² die in Samsung's 8 nm-class process.
+//! Following the paper's 3-chiplet decomposition, the die splits into a large
+//! digital block (≈500 mm²), SRAM / L2 memory (≈80 mm²) and analog / PHY / IO
+//! circuitry (≈48 mm²). The GPU draws up to 450 W and the paper uses an
+//! average usage energy of 228 kWh per year on a coal-heavy grid with a
+//! 2-year deployment.
+
+use ecochip_core::disaggregation::{
+    monolithic_chiplet, split_logic, three_chiplets, NodeTuple, SocBlocks,
+};
+use ecochip_core::{EcoChipError, System};
+use ecochip_packaging::{PackagingArchitecture, RdlFanoutConfig};
+use ecochip_power::UsageProfile;
+use ecochip_techdb::{Area, Energy, TechDb, TechNode, TimeSpan};
+
+use crate::soc_blocks_from_areas;
+
+/// Reference node of the published die (8 nm-class).
+pub const REFERENCE_NODE: TechNode = TechNode::N8;
+/// Digital-logic area at the reference node (mm²).
+pub const LOGIC_AREA_MM2: f64 = 500.0;
+/// Memory area at the reference node (mm²).
+pub const MEMORY_AREA_MM2: f64 = 80.0;
+/// Analog / IO area at the reference node (mm²).
+pub const ANALOG_AREA_MM2: f64 = 48.0;
+/// Average usage energy per year (kWh) from the paper.
+pub const USAGE_KWH_PER_YEAR: f64 = 228.0;
+/// Deployment lifetime in years used by the paper.
+pub const LIFETIME_YEARS: f64 = 2.0;
+
+/// Block-level description of the GA102.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError::TechDb`] when the reference node is missing.
+pub fn soc_blocks(db: &TechDb) -> Result<SocBlocks, EcoChipError> {
+    soc_blocks_from_areas(
+        "ga102",
+        db,
+        REFERENCE_NODE,
+        Area::from_mm2(LOGIC_AREA_MM2),
+        Area::from_mm2(MEMORY_AREA_MM2),
+        Area::from_mm2(ANALOG_AREA_MM2),
+    )
+    .map_err(EcoChipError::from)
+}
+
+/// The GPU's usage profile (measured energy per year).
+pub fn usage_profile() -> UsageProfile {
+    UsageProfile::Measured {
+        energy_per_year: Energy::from_kwh(USAGE_KWH_PER_YEAR),
+    }
+}
+
+/// The monolithic GA102 at its reference node.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn monolithic_system(db: &TechDb) -> Result<System, EcoChipError> {
+    monolithic_system_at(db, REFERENCE_NODE)
+}
+
+/// The monolithic GA102 re-targeted to `node` (used by the (7,7,7)-style
+/// comparisons, which treat the monolith as a single 7 nm die).
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn monolithic_system_at(db: &TechDb, node: TechNode) -> Result<System, EcoChipError> {
+    let blocks = soc_blocks(db)?;
+    System::builder("ga102-monolithic")
+        .chiplet(monolithic_chiplet(&blocks, db, node)?)
+        .usage(usage_profile())
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+/// The paper's 3-chiplet GA102 with RDL fanout packaging and the given
+/// `(digital, memory, analog)` node tuple.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the technology database is missing nodes.
+pub fn three_chiplet_system(db: &TechDb, nodes: NodeTuple) -> Result<System, EcoChipError> {
+    let blocks = soc_blocks(db)?;
+    System::builder(format!("ga102-3chiplet-{}", nodes.label()))
+        .chiplets(three_chiplets(&blocks, nodes))
+        .packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()))
+        .usage(usage_profile())
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+/// The GA102 with its digital block split into `logic_chiplets` chiplets
+/// (plus memory and analog chiplets) — the Fig. 10 sweep.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError`] when the split or the technology database is
+/// invalid.
+pub fn split_logic_system(
+    db: &TechDb,
+    logic_chiplets: usize,
+    nodes: NodeTuple,
+    packaging: PackagingArchitecture,
+) -> Result<System, EcoChipError> {
+    let blocks = soc_blocks(db)?;
+    System::builder(format!("ga102-{}way", logic_chiplets))
+        .chiplets(split_logic(&blocks, logic_chiplets, nodes)?)
+        .packaging(packaging)
+        .usage(usage_profile())
+        .lifetime(TimeSpan::from_years(LIFETIME_YEARS))
+        .build()
+}
+
+/// The node tuples swept in Fig. 7: the monolithic (7,7,7) plus the
+/// mix-and-match configurations.
+pub fn fig7_node_tuples() -> Vec<NodeTuple> {
+    vec![
+        NodeTuple::uniform(TechNode::N7),
+        NodeTuple::new(TechNode::N7, TechNode::N10, TechNode::N10),
+        NodeTuple::new(TechNode::N7, TechNode::N10, TechNode::N14),
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N14),
+        NodeTuple::uniform(TechNode::N10),
+        NodeTuple::new(TechNode::N10, TechNode::N14, TechNode::N14),
+        NodeTuple::uniform(TechNode::N14),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_core::EcoChip;
+
+    #[test]
+    fn monolithic_area_matches_die_shot() {
+        let db = TechDb::default();
+        let system = monolithic_system(&db).unwrap();
+        let area = system.silicon_area(&db).unwrap();
+        assert!((area.mm2() - 628.0).abs() < 1.0, "{area}");
+        assert!(system.is_monolithic());
+    }
+
+    #[test]
+    fn three_chiplet_split_has_three_chiplets_and_mixed_nodes() {
+        let db = TechDb::default();
+        let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
+        let system = three_chiplet_system(&db, nodes).unwrap();
+        assert_eq!(system.chiplet_count(), 3);
+        assert_eq!(
+            system.chiplet_nodes(),
+            vec![TechNode::N7, TechNode::N14, TechNode::N10]
+        );
+    }
+
+    #[test]
+    fn headline_result_chiplets_beat_monolith_on_embodied() {
+        let db = TechDb::default();
+        let estimator = EcoChip::default();
+        let mono = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
+        let chiplets = estimator
+            .estimate(
+                &three_chiplet_system(&db, NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10))
+                    .unwrap(),
+            )
+            .unwrap();
+        let saving = 1.0 - chiplets.embodied().kg() / mono.embodied().kg();
+        assert!(
+            saving > 0.05 && saving < 0.75,
+            "embodied saving {saving} outside paper band"
+        );
+        // The GPU is operational-dominated: embodied is a minority share.
+        assert!(mono.embodied_fraction() < 0.6);
+    }
+
+    #[test]
+    fn split_logic_sweep_builds() {
+        let db = TechDb::default();
+        let nodes = NodeTuple::new(TechNode::N7, TechNode::N10, TechNode::N14);
+        for nc in 1..=6 {
+            let system = split_logic_system(
+                &db,
+                nc,
+                nodes,
+                PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            )
+            .unwrap();
+            assert_eq!(system.chiplet_count(), nc + 2);
+        }
+    }
+
+    #[test]
+    fn fig7_tuples_start_with_monolithic_reference() {
+        let tuples = fig7_node_tuples();
+        assert_eq!(tuples[0], NodeTuple::uniform(TechNode::N7));
+        assert!(tuples.len() >= 6);
+    }
+}

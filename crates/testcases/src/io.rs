@@ -1,0 +1,172 @@
+//! JSON configuration I/O.
+//!
+//! The original ECO-CHIP artifact is driven by JSON files
+//! (`architecture.json`, `packageC.json`, …). This module provides the same
+//! interface for the Rust reproduction: [`System`] descriptions and
+//! [`TechDb`] parameter tables can be written to and read from JSON files so
+//! that new designs can be evaluated without recompiling.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use ecochip_core::System;
+use ecochip_techdb::TechDb;
+
+/// Errors produced while loading or saving configuration files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The JSON was malformed or did not match the expected schema.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Io(e) => write!(f, "configuration file i/o error: {e}"),
+            ConfigError::Parse(e) => write!(f, "configuration parse error: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Io(e) => Some(e),
+            ConfigError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ConfigError {
+    fn from(value: io::Error) -> Self {
+        ConfigError::Io(value)
+    }
+}
+
+impl From<serde_json::Error> for ConfigError {
+    fn from(value: serde_json::Error) -> Self {
+        ConfigError::Parse(value)
+    }
+}
+
+/// Serialize a system description to a pretty-printed JSON string.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Parse`] if serialization fails.
+pub fn system_to_json(system: &System) -> Result<String, ConfigError> {
+    Ok(serde_json::to_string_pretty(system)?)
+}
+
+/// Parse a system description from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Parse`] for malformed input.
+pub fn system_from_json(json: &str) -> Result<System, ConfigError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Write a system description to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on I/O or serialization failure.
+pub fn save_system(system: &System, path: impl AsRef<Path>) -> Result<(), ConfigError> {
+    fs::write(path, system_to_json(system)?)?;
+    Ok(())
+}
+
+/// Read a system description from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on I/O or parse failure.
+pub fn load_system(path: impl AsRef<Path>) -> Result<System, ConfigError> {
+    let text = fs::read_to_string(path)?;
+    system_from_json(&text)
+}
+
+/// Write a technology database to a JSON file (so users with proprietary fab
+/// data can maintain their own parameter tables).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on I/O or serialization failure.
+pub fn save_techdb(db: &TechDb, path: impl AsRef<Path>) -> Result<(), ConfigError> {
+    fs::write(path, serde_json::to_string_pretty(db)?)?;
+    Ok(())
+}
+
+/// Read a technology database from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on I/O or parse failure.
+pub fn load_techdb(path: impl AsRef<Path>) -> Result<TechDb, ConfigError> {
+    let text = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga102;
+    use ecochip_core::disaggregation::NodeTuple;
+    use ecochip_techdb::TechNode;
+
+    #[test]
+    fn system_json_round_trip() {
+        let db = TechDb::default();
+        let system = ga102::three_chiplet_system(
+            &db,
+            NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+        )
+        .unwrap();
+        let json = system_to_json(&system).unwrap();
+        assert!(json.contains("ga102"));
+        let back = system_from_json(&json).unwrap();
+        assert_eq!(system, back);
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let err = system_from_json("{ not json").unwrap_err();
+        assert!(matches!(err, ConfigError::Parse(_)));
+        assert!(err.to_string().contains("parse"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir().join("ecochip-testcases-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = TechDb::default();
+        let system = ga102::monolithic_system(&db).unwrap();
+
+        let system_path = dir.join("system.json");
+        save_system(&system, &system_path).unwrap();
+        let loaded = load_system(&system_path).unwrap();
+        assert_eq!(system, loaded);
+
+        let db_path = dir.join("techdb.json");
+        save_techdb(&db, &db_path).unwrap();
+        let loaded_db = load_techdb(&db_path).unwrap();
+        assert_eq!(db, loaded_db);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_system("/nonexistent/path/to/system.json").unwrap_err();
+        assert!(matches!(err, ConfigError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+}

@@ -1,0 +1,116 @@
+//! # ecochip-testcases
+//!
+//! The real-world test-case architectures the ECO-CHIP paper evaluates
+//! (Section IV), plus JSON configuration I/O so new designs can be described
+//! the same way the original artifact's `architecture.json` files do.
+//!
+//! * [`ga102`] — the NVIDIA GA102 GPU (628 mm², 8 nm-class), split into
+//!   digital / memory / analog chiplets.
+//! * [`a15`] — the Apple A15 mobile SoC (≈108 mm², 5 nm-class).
+//! * [`emr`] — the Intel Emerald Rapids server CPU (2 chiplets, EMIB).
+//! * [`arvr`] — the 3D-stacked AR/VR neural accelerator (compute die plus 1–4
+//!   SRAM tiers, microbump stacking).
+//! * [`io`] — serialise / deserialise [`ecochip_core::System`] descriptions
+//!   and technology databases to JSON files.
+//!
+//! Each test-case module exposes the block-level description
+//! ([`ecochip_core::disaggregation::SocBlocks`]), the monolithic and
+//! chiplet-based [`ecochip_core::System`] variants and the usage profile the
+//! paper assumes.
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_core::{disaggregation::NodeTuple, EcoChip};
+//! use ecochip_techdb::{TechDb, TechNode};
+//! use ecochip_testcases::ga102;
+//!
+//! let db = TechDb::default();
+//! let estimator = EcoChip::default();
+//! let monolith = ga102::monolithic_system(&db)?;
+//! let chiplets = ga102::three_chiplet_system(
+//!     &db,
+//!     NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+//! )?;
+//! let mono_report = estimator.estimate(&monolith)?;
+//! let chip_report = estimator.estimate(&chiplets)?;
+//! assert!(chip_report.embodied().kg() < mono_report.embodied().kg());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod a15;
+pub mod arvr;
+pub mod emr;
+pub mod ga102;
+pub mod io;
+
+use ecochip_core::disaggregation::SocBlocks;
+use ecochip_techdb::{Area, DesignType, TechDb, TechDbError, TechNode};
+
+/// Build a [`SocBlocks`] description from a published die-area breakdown at a
+/// reference node.
+///
+/// The paper's test-case inputs are area breakdowns from die-shot analyses;
+/// this helper converts them into the transistor budgets the disaggregation
+/// helpers operate on, using the reference node's per-type densities.
+///
+/// # Errors
+///
+/// Returns [`TechDbError::MissingNode`] when the reference node is missing
+/// from the database.
+pub fn soc_blocks_from_areas(
+    name: &str,
+    db: &TechDb,
+    reference_node: TechNode,
+    logic_area: Area,
+    memory_area: Area,
+    analog_area: Area,
+) -> Result<SocBlocks, TechDbError> {
+    let params = db.node(reference_node)?;
+    Ok(SocBlocks::new(
+        name,
+        params.transistors_for_area(DesignType::Logic, logic_area),
+        params.transistors_for_area(DesignType::Memory, memory_area),
+        params.transistors_for_area(DesignType::Analog, analog_area),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_round_trip_through_areas() {
+        let db = TechDb::default();
+        let blocks = soc_blocks_from_areas(
+            "demo",
+            &db,
+            TechNode::N8,
+            Area::from_mm2(500.0),
+            Area::from_mm2(80.0),
+            Area::from_mm2(48.0),
+        )
+        .unwrap();
+        let area = blocks.monolithic_area(&db, TechNode::N8).unwrap();
+        assert!((area.mm2() - 628.0).abs() < 1e-6);
+        assert!(blocks.total_transistors() > 1.0e9);
+    }
+
+    #[test]
+    fn missing_node_is_an_error() {
+        let empty = ecochip_techdb::TechDbBuilder::new().build();
+        assert!(soc_blocks_from_areas(
+            "demo",
+            &empty,
+            TechNode::N8,
+            Area::from_mm2(1.0),
+            Area::from_mm2(1.0),
+            Area::from_mm2(1.0),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the yield crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the yield and wafer models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum YieldError {
+    /// A model parameter was out of range (NaN, negative, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+    /// The die is larger than the usable wafer area, so no dies fit.
+    DieLargerThanWafer {
+        /// Die area in mm².
+        die_mm2: f64,
+        /// Wafer diameter in mm.
+        wafer_diameter_mm: f64,
+    },
+}
+
+impl fmt::Display for YieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YieldError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid value {value} for parameter {name} (expected {expected})"),
+            YieldError::DieLargerThanWafer {
+                die_mm2,
+                wafer_diameter_mm,
+            } => write!(
+                f,
+                "die of {die_mm2} mm2 does not fit on a {wafer_diameter_mm} mm wafer"
+            ),
+        }
+    }
+}
+
+impl Error for YieldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = YieldError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            expected: "> 0",
+        };
+        assert!(e.to_string().contains("alpha"));
+        let e = YieldError::DieLargerThanWafer {
+            die_mm2: 1e6,
+            wafer_diameter_mm: 300.0,
+        };
+        assert!(e.to_string().contains("wafer"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<YieldError>();
+    }
+}

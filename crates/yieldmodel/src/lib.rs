@@ -1,0 +1,41 @@
+//! # ecochip-yield
+//!
+//! Yield and wafer-utilisation models used by ECO-CHIP (Section III-C of the
+//! paper):
+//!
+//! * [`NegativeBinomialYield`] — the clustered-defect die-yield model of
+//!   Eq. (4), `Y = (1 + A·D0/α)^(−α)`.
+//! * [`Wafer`] — dies-per-wafer (Eq. 7) and amortised wasted-periphery area
+//!   (Eq. 8), the term that makes small chiplets waste less silicon than large
+//!   monolithic dies.
+//! * [`composite_yield`] — product of independent yields (used for multi-tier
+//!   3D assembly yield).
+//!
+//! # Example
+//!
+//! ```
+//! use ecochip_techdb::Area;
+//! use ecochip_yield::{NegativeBinomialYield, Wafer};
+//!
+//! let model = NegativeBinomialYield::new(0.2, 3.0)?;
+//! let big = model.yield_for(Area::from_mm2(600.0));
+//! let small = model.yield_for(Area::from_mm2(150.0));
+//! assert!(small.fraction() > big.fraction());
+//!
+//! let wafer = Wafer::with_diameter_mm(450.0);
+//! let stats = wafer.utilization(Area::from_mm2(600.0))?;
+//! assert!(stats.dies_per_wafer > 100);
+//! # Ok::<(), ecochip_yield::YieldError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod model;
+mod wafer;
+
+pub use error::YieldError;
+pub use model::{composite_yield, DieYield, NegativeBinomialYield};
+pub use wafer::{Wafer, WaferUtilization};

@@ -1,0 +1,286 @@
+//! Negative-binomial die-yield model (Eq. 4 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::params::{DefectDensity, NodeParams};
+use ecochip_techdb::Area;
+
+use crate::error::YieldError;
+
+/// A manufacturing yield expressed as a fraction in `(0, 1]`.
+///
+/// The newtype makes it impossible to accidentally mix a yield with any other
+/// dimensionless number flowing through the CFP equations.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DieYield(f64);
+
+impl DieYield {
+    /// Perfect yield.
+    pub const PERFECT: DieYield = DieYield(1.0);
+
+    /// Construct from a fraction, clamped into `(0, 1]`.
+    ///
+    /// Values above 1 clamp to 1; values at or below 0 clamp to a tiny
+    /// positive epsilon so that dividing by a yield never produces infinity.
+    pub fn from_fraction(fraction: f64) -> Self {
+        if fraction.is_nan() {
+            return DieYield(f64::MIN_POSITIVE);
+        }
+        DieYield(fraction.clamp(f64::MIN_POSITIVE, 1.0))
+    }
+
+    /// The yield as a fraction in `(0, 1]`.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The yield as a percentage.
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Combine with another independent yield (product of probabilities).
+    #[inline]
+    pub fn and(self, other: DieYield) -> DieYield {
+        DieYield::from_fraction(self.0 * other.0)
+    }
+
+    /// `1 / yield`, the factor by which cost or carbon is inflated to account
+    /// for discarded dies.
+    #[inline]
+    pub fn inflation_factor(self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+impl Default for DieYield {
+    fn default() -> Self {
+        DieYield::PERFECT
+    }
+}
+
+impl fmt::Display for DieYield {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}%", self.percent())
+    }
+}
+
+/// Product of a collection of independent yields.
+///
+/// Returns [`DieYield::PERFECT`] for an empty iterator.
+pub fn composite_yield<I: IntoIterator<Item = DieYield>>(yields: I) -> DieYield {
+    yields
+        .into_iter()
+        .fold(DieYield::PERFECT, |acc, y| acc.and(y))
+}
+
+/// The negative-binomial (clustered defect) yield model of Eq. (4):
+///
+/// `Y(d, p) = (1 + Adie(d, p) · D0(p) / α)^(−α)`
+///
+/// where `D0` is the defect density of process `p` and `α` the clustering
+/// parameter (3 in Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NegativeBinomialYield {
+    defect_density: DefectDensity,
+    alpha: f64,
+}
+
+impl NegativeBinomialYield {
+    /// Create a model from a defect density (defects/cm²) and clustering
+    /// parameter α.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError::InvalidParameter`] when the defect density is not
+    /// a finite non-negative number or α is not finite and positive.
+    pub fn new(defect_density_per_cm2: f64, alpha: f64) -> Result<Self, YieldError> {
+        if !defect_density_per_cm2.is_finite() || defect_density_per_cm2 < 0.0 {
+            return Err(YieldError::InvalidParameter {
+                name: "defect_density",
+                value: defect_density_per_cm2,
+                expected: "a finite value >= 0",
+            });
+        }
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(YieldError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                expected: "a finite value > 0",
+            });
+        }
+        Ok(Self {
+            defect_density: DefectDensity::from_per_cm2(defect_density_per_cm2),
+            alpha,
+        })
+    }
+
+    /// Create the model for a technology node's parameters.
+    pub fn for_node(params: &NodeParams) -> Self {
+        Self {
+            defect_density: params.defect_density,
+            alpha: params.clustering_alpha,
+        }
+    }
+
+    /// The defect density used by the model.
+    pub fn defect_density(&self) -> DefectDensity {
+        self.defect_density
+    }
+
+    /// The clustering parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Yield of a die with the given area (Eq. 4).
+    ///
+    /// Non-positive areas yield [`DieYield::PERFECT`].
+    pub fn yield_for(&self, die_area: Area) -> DieYield {
+        let area_cm2 = die_area.cm2();
+        if area_cm2 <= 0.0 {
+            return DieYield::PERFECT;
+        }
+        let base = 1.0 + area_cm2 * self.defect_density.per_cm2() / self.alpha;
+        DieYield::from_fraction(base.powf(-self.alpha))
+    }
+
+    /// Expected number of good dies out of `total` manufactured dies of the
+    /// given area.
+    pub fn expected_good_dies(&self, die_area: Area, total: u64) -> f64 {
+        total as f64 * self.yield_for(die_area).fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_techdb::{TechDb, TechNode};
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_yield_for_zero_area() {
+        let m = NegativeBinomialYield::new(0.3, 3.0).unwrap();
+        assert_eq!(m.yield_for(Area::ZERO), DieYield::PERFECT);
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        // 1 cm² die, D0 = 0.3/cm², alpha = 3: Y = (1 + 0.1)^-3 = 0.7513...
+        let m = NegativeBinomialYield::new(0.3, 3.0).unwrap();
+        let y = m.yield_for(Area::from_cm2(1.0));
+        assert!((y.fraction() - 1.1f64.powi(-3)).abs() < 1e-12);
+        assert!((m.alpha() - 3.0).abs() < 1e-12);
+        assert!((m.defect_density().per_cm2() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_die_yields_better() {
+        let m = NegativeBinomialYield::new(0.2, 3.0).unwrap();
+        let y_big = m.yield_for(Area::from_mm2(628.0));
+        let y_small = m.yield_for(Area::from_mm2(157.0));
+        assert!(y_small > y_big);
+        // Fig. 2(a): four quarter dies still waste fewer good-die equivalents
+        // than one monolith, i.e. 4·A/Y_small < A/Y_big is NOT generally true,
+        // but the per-area inflation factor is lower:
+        assert!(y_small.inflation_factor() < y_big.inflation_factor());
+    }
+
+    #[test]
+    fn older_node_yields_better_for_same_area() {
+        let db = TechDb::default();
+        let m7 = NegativeBinomialYield::for_node(db.node(TechNode::N7).unwrap());
+        let m65 = NegativeBinomialYield::for_node(db.node(TechNode::N65).unwrap());
+        let a = Area::from_mm2(400.0);
+        assert!(m65.yield_for(a) > m7.yield_for(a));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(NegativeBinomialYield::new(-0.1, 3.0).is_err());
+        assert!(NegativeBinomialYield::new(f64::NAN, 3.0).is_err());
+        assert!(NegativeBinomialYield::new(0.1, 0.0).is_err());
+        assert!(NegativeBinomialYield::new(0.1, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn expected_good_dies() {
+        let m = NegativeBinomialYield::new(0.0, 3.0).unwrap();
+        assert!((m.expected_good_dies(Area::from_mm2(100.0), 50) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn die_yield_combinators() {
+        let a = DieYield::from_fraction(0.9);
+        let b = DieYield::from_fraction(0.8);
+        assert!((a.and(b).fraction() - 0.72).abs() < 1e-12);
+        assert!((a.percent() - 90.0).abs() < 1e-12);
+        assert!((a.inflation_factor() - 1.0 / 0.9).abs() < 1e-12);
+        assert_eq!(DieYield::default(), DieYield::PERFECT);
+        assert_eq!(composite_yield(Vec::new()), DieYield::PERFECT);
+        let c = composite_yield(vec![a, b, DieYield::PERFECT]);
+        assert!((c.fraction() - 0.72).abs() < 1e-12);
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn die_yield_clamps_degenerate_inputs() {
+        assert_eq!(DieYield::from_fraction(2.0).fraction(), 1.0);
+        assert!(DieYield::from_fraction(0.0).fraction() > 0.0);
+        assert!(DieYield::from_fraction(-1.0).fraction() > 0.0);
+        assert!(DieYield::from_fraction(f64::NAN).fraction() > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn yield_is_in_unit_interval(
+            area_mm2 in 0.0f64..5000.0,
+            d0 in 0.0f64..0.5,
+            alpha in 0.5f64..10.0,
+        ) {
+            let m = NegativeBinomialYield::new(d0, alpha).unwrap();
+            let y = m.yield_for(Area::from_mm2(area_mm2)).fraction();
+            prop_assert!(y > 0.0 && y <= 1.0);
+        }
+
+        #[test]
+        fn yield_is_monotone_decreasing_in_area(
+            a1 in 1.0f64..2000.0,
+            delta in 1.0f64..2000.0,
+            d0 in 0.01f64..0.5,
+        ) {
+            let m = NegativeBinomialYield::new(d0, 3.0).unwrap();
+            let y1 = m.yield_for(Area::from_mm2(a1));
+            let y2 = m.yield_for(Area::from_mm2(a1 + delta));
+            prop_assert!(y2 <= y1);
+        }
+
+        #[test]
+        fn yield_is_monotone_decreasing_in_defect_density(
+            area in 10.0f64..2000.0,
+            d0 in 0.01f64..0.3,
+            extra in 0.01f64..0.3,
+        ) {
+            let clean = NegativeBinomialYield::new(d0, 3.0).unwrap();
+            let dirty = NegativeBinomialYield::new(d0 + extra, 3.0).unwrap();
+            prop_assert!(dirty.yield_for(Area::from_mm2(area)) <= clean.yield_for(Area::from_mm2(area)));
+        }
+
+        #[test]
+        fn composite_yield_never_exceeds_components(
+            y1 in 0.01f64..1.0,
+            y2 in 0.01f64..1.0,
+        ) {
+            let a = DieYield::from_fraction(y1);
+            let b = DieYield::from_fraction(y2);
+            let c = a.and(b);
+            prop_assert!(c <= a);
+            prop_assert!(c <= b);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Dies-per-wafer and wafer-periphery wastage (Eqs. 7 and 8 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_techdb::Area;
+
+use crate::error::YieldError;
+
+/// A silicon wafer, characterised by its diameter.
+///
+/// The paper sweeps 25 mm – 450 mm wafers (Table I) and uses a 450 mm wafer
+/// for the headline experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wafer {
+    diameter_mm: f64,
+}
+
+impl Wafer {
+    /// Create a wafer with the given diameter in millimetres.
+    ///
+    /// Non-finite or non-positive diameters are clamped to the smallest wafer
+    /// in Table I (25 mm); use [`Wafer::try_with_diameter_mm`] to reject them
+    /// instead.
+    pub fn with_diameter_mm(diameter_mm: f64) -> Self {
+        if !diameter_mm.is_finite() || diameter_mm <= 0.0 {
+            Self { diameter_mm: 25.0 }
+        } else {
+            Self { diameter_mm }
+        }
+    }
+
+    /// Create a wafer, rejecting invalid diameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError::InvalidParameter`] for non-finite or non-positive
+    /// diameters.
+    pub fn try_with_diameter_mm(diameter_mm: f64) -> Result<Self, YieldError> {
+        if !diameter_mm.is_finite() || diameter_mm <= 0.0 {
+            return Err(YieldError::InvalidParameter {
+                name: "wafer_diameter",
+                value: diameter_mm,
+                expected: "a finite value > 0",
+            });
+        }
+        Ok(Self { diameter_mm })
+    }
+
+    /// A standard 300 mm production wafer.
+    pub fn standard_300mm() -> Self {
+        Self { diameter_mm: 300.0 }
+    }
+
+    /// The 450 mm wafer used by the paper's headline experiments.
+    pub fn standard_450mm() -> Self {
+        Self { diameter_mm: 450.0 }
+    }
+
+    /// Wafer diameter in millimetres.
+    pub fn diameter_mm(&self) -> f64 {
+        self.diameter_mm
+    }
+
+    /// Total (gross) wafer area, `Awafer = π (D/2)²`.
+    pub fn area(&self) -> Area {
+        let r = self.diameter_mm / 2.0;
+        Area::from_mm2(std::f64::consts::PI * r * r)
+    }
+
+    /// Dies per wafer for a square die of area `die_area` (Eq. 7):
+    ///
+    /// `DPW = ⌊ π (D/2 − Ld/√2)² / Adie ⌋`
+    ///
+    /// where `Ld = √Adie` is the die side length. The `Ld/√2` term models the
+    /// exclusion zone at the wafer edge: no die centre can lie within half the
+    /// die diagonal of the periphery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError::InvalidParameter`] for non-positive or non-finite
+    /// die areas and [`YieldError::DieLargerThanWafer`] when no die fits.
+    pub fn dies_per_wafer(&self, die_area: Area) -> Result<u64, YieldError> {
+        let a = die_area.mm2();
+        if !a.is_finite() || a <= 0.0 {
+            return Err(YieldError::InvalidParameter {
+                name: "die_area",
+                value: a,
+                expected: "a finite value > 0",
+            });
+        }
+        let side = a.sqrt();
+        let usable_radius = self.diameter_mm / 2.0 - side / std::f64::consts::SQRT_2;
+        if usable_radius <= 0.0 {
+            return Err(YieldError::DieLargerThanWafer {
+                die_mm2: a,
+                wafer_diameter_mm: self.diameter_mm,
+            });
+        }
+        let usable_area = std::f64::consts::PI * usable_radius * usable_radius;
+        let dpw = (usable_area / a).floor();
+        if dpw < 1.0 {
+            return Err(YieldError::DieLargerThanWafer {
+                die_mm2: a,
+                wafer_diameter_mm: self.diameter_mm,
+            });
+        }
+        Ok(dpw as u64)
+    }
+
+    /// Full utilisation statistics for a die of the given area: dies per
+    /// wafer, total wasted area and the wasted area amortised per die
+    /// (Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Wafer::dies_per_wafer`].
+    pub fn utilization(&self, die_area: Area) -> Result<WaferUtilization, YieldError> {
+        let dpw = self.dies_per_wafer(die_area)?;
+        let wafer_area = self.area();
+        let used = Area::from_mm2(die_area.mm2() * dpw as f64);
+        let wasted_total = Area::from_mm2((wafer_area.mm2() - used.mm2()).max(0.0));
+        let wasted_per_die = Area::from_mm2(wasted_total.mm2() / dpw as f64);
+        Ok(WaferUtilization {
+            wafer: *self,
+            die_area,
+            dies_per_wafer: dpw,
+            used_area: used,
+            wasted_area_total: wasted_total,
+            wasted_area_per_die: wasted_per_die,
+        })
+    }
+}
+
+impl Default for Wafer {
+    /// The paper's 450 mm default wafer.
+    fn default() -> Self {
+        Self::standard_450mm()
+    }
+}
+
+impl fmt::Display for Wafer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} mm wafer", self.diameter_mm)
+    }
+}
+
+/// The result of [`Wafer::utilization`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaferUtilization {
+    /// The wafer evaluated.
+    pub wafer: Wafer,
+    /// The die area evaluated.
+    pub die_area: Area,
+    /// Number of whole dies that fit on the wafer (Eq. 7).
+    pub dies_per_wafer: u64,
+    /// Total area occupied by whole dies.
+    pub used_area: Area,
+    /// Total unusable area (periphery + discretisation loss).
+    pub wasted_area_total: Area,
+    /// Wasted area amortised over the dies on the wafer (`Awasted`, Eq. 8).
+    pub wasted_area_per_die: Area,
+}
+
+impl WaferUtilization {
+    /// Fraction of the gross wafer area covered by whole dies, in `[0, 1]`.
+    pub fn utilization_fraction(&self) -> f64 {
+        (self.used_area.mm2() / self.wafer.area().mm2()).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for WaferUtilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dies of {} on a {} ({:.1}% utilised)",
+            self.dies_per_wafer,
+            self.die_area,
+            self.wafer,
+            self.utilization_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wafer_area_matches_circle() {
+        let w = Wafer::standard_300mm();
+        assert!((w.area().mm2() - std::f64::consts::PI * 150.0 * 150.0).abs() < 1e-6);
+        assert!((w.diameter_mm() - 300.0).abs() < 1e-12);
+        assert_eq!(Wafer::default(), Wafer::standard_450mm());
+    }
+
+    #[test]
+    fn dpw_matches_hand_computation() {
+        // 450 mm wafer, 628 mm² die: side = 25.06 mm, usable radius =
+        // 225 - 17.72 = 207.28 mm, usable area = 134,981 mm², dpw = 214.
+        let w = Wafer::standard_450mm();
+        let dpw = w.dies_per_wafer(Area::from_mm2(628.0)).unwrap();
+        let side = 628.0f64.sqrt();
+        let r = 225.0 - side / std::f64::consts::SQRT_2;
+        let expected = (std::f64::consts::PI * r * r / 628.0).floor() as u64;
+        assert_eq!(dpw, expected);
+        assert!(dpw > 200 && dpw < 230);
+    }
+
+    #[test]
+    fn smaller_dies_waste_less_per_die() {
+        let w = Wafer::standard_450mm();
+        let big = w.utilization(Area::from_mm2(628.0)).unwrap();
+        let small = w.utilization(Area::from_mm2(157.0)).unwrap();
+        assert!(small.wasted_area_per_die < big.wasted_area_per_die);
+        assert!(small.utilization_fraction() > big.utilization_fraction());
+        assert!(small.dies_per_wafer > 4 * big.dies_per_wafer * 9 / 10);
+    }
+
+    #[test]
+    fn invalid_die_areas_are_rejected() {
+        let w = Wafer::standard_300mm();
+        assert!(w.dies_per_wafer(Area::ZERO).is_err());
+        assert!(w.dies_per_wafer(Area::from_mm2(-1.0)).is_err());
+        assert!(w.dies_per_wafer(Area::from_mm2(f64::NAN)).is_err());
+        // A die bigger than the wafer cannot fit.
+        assert!(matches!(
+            w.dies_per_wafer(Area::from_mm2(400.0 * 400.0)),
+            Err(YieldError::DieLargerThanWafer { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_wafer_rejects_large_die() {
+        let w = Wafer::with_diameter_mm(25.0);
+        assert!(w.dies_per_wafer(Area::from_mm2(600.0)).is_err());
+        assert!(w.dies_per_wafer(Area::from_mm2(10.0)).is_ok());
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Wafer::try_with_diameter_mm(-1.0).is_err());
+        assert!(Wafer::try_with_diameter_mm(f64::NAN).is_err());
+        assert!(Wafer::try_with_diameter_mm(300.0).is_ok());
+        // Lenient constructor clamps.
+        assert!((Wafer::with_diameter_mm(-5.0).diameter_mm() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_accounts_for_all_area() {
+        let w = Wafer::standard_450mm();
+        let u = w.utilization(Area::from_mm2(100.0)).unwrap();
+        let total = u.used_area.mm2() + u.wasted_area_total.mm2();
+        assert!((total - w.area().mm2()).abs() < 1e-6);
+        assert!((u.wasted_area_per_die.mm2() * u.dies_per_wafer as f64
+            - u.wasted_area_total.mm2())
+        .abs()
+            < 1e-6);
+        assert!(!u.to_string().is_empty());
+        assert!(!w.to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn dpw_times_area_never_exceeds_wafer_area(
+            die_mm2 in 1.0f64..2000.0,
+            diameter in 100.0f64..450.0,
+        ) {
+            let w = Wafer::with_diameter_mm(diameter);
+            if let Ok(u) = w.utilization(Area::from_mm2(die_mm2)) {
+                prop_assert!(u.used_area.mm2() <= w.area().mm2() + 1e-9);
+                prop_assert!(u.wasted_area_total.mm2() >= 0.0);
+                prop_assert!(u.utilization_fraction() <= 1.0);
+            }
+        }
+
+        #[test]
+        fn per_die_wastage_decreases_with_die_area_halving(
+            die_mm2 in 50.0f64..1500.0,
+        ) {
+            let w = Wafer::standard_450mm();
+            let big = w.utilization(Area::from_mm2(die_mm2)).unwrap();
+            let small = w.utilization(Area::from_mm2(die_mm2 / 4.0)).unwrap();
+            prop_assert!(small.wasted_area_per_die.mm2() <= big.wasted_area_per_die.mm2() + 1e-9);
+        }
+
+        #[test]
+        fn bigger_wafer_never_fits_fewer_dies(
+            die_mm2 in 1.0f64..1000.0,
+            d1 in 200.0f64..440.0,
+        ) {
+            let small = Wafer::with_diameter_mm(d1);
+            let big = Wafer::with_diameter_mm(d1 + 10.0);
+            if let (Ok(a), Ok(b)) = (small.dies_per_wafer(Area::from_mm2(die_mm2)), big.dies_per_wafer(Area::from_mm2(die_mm2))) {
+                prop_assert!(b >= a);
+            }
+        }
+    }
+}

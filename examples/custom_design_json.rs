@@ -1,0 +1,76 @@
+//! Config-file-driven flow: describe a new design as JSON (the interface of
+//! the original ECO-CHIP artifact), load it, and estimate its carbon
+//! footprint — no recompilation needed for new architectures.
+//!
+//! Run with: `cargo run --example custom_design_json`
+
+use eco_chip::testcases::io;
+use eco_chip::{EcoChip, TechDb};
+
+/// A small AI edge accelerator described exactly as a user would write it in
+/// a JSON architecture file.
+const ARCHITECTURE_JSON: &str = r#"{
+  "name": "edge-npu",
+  "chiplets": [
+    {
+      "name": "npu-core",
+      "design_type": "logic",
+      "node": 5,
+      "size": { "kind": "transistors", "value": 9.0e9 }
+    },
+    {
+      "name": "weight-sram",
+      "design_type": "memory",
+      "node": 14,
+      "size": { "kind": "transistors", "value": 7.0e9 }
+    },
+    {
+      "name": "io-analog",
+      "design_type": "analog",
+      "node": 28,
+      "size": { "kind": "transistors", "value": 0.4e9 }
+    }
+  ],
+  "packaging": { "type": "silicon_bridge", "tech": 65, "layers": 4,
+                 "bridge_area": 4.0, "bridge_range": 2.0, "substrate_layers": 4 },
+  "usage": { "type": "battery", "battery_wh": 8.0, "charges_per_year": 300.0,
+             "charger_efficiency": 0.85 },
+  "lifetime": 26280.0,
+  "volumes": { "chiplet_volume": 500000, "system_volume": 250000 }
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Parse the architecture description.
+    let system = io::system_from_json(ARCHITECTURE_JSON)?;
+    println!("loaded system: {system}");
+
+    // Round-trip it through a file, as a real flow would.
+    let dir = std::env::temp_dir().join("eco-chip-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("edge-npu.json");
+    io::save_system(&system, &path)?;
+    let reloaded = io::load_system(&path)?;
+    assert_eq!(system, reloaded);
+    println!("round-tripped through {}", path.display());
+
+    // Users with proprietary fab data can also persist a tuned TechDb.
+    let db = TechDb::default();
+    let db_path = dir.join("techdb.json");
+    io::save_techdb(&db, &db_path)?;
+    println!("wrote default technology database to {}", db_path.display());
+
+    // Estimate.
+    let estimator = EcoChip::default();
+    let report = estimator.estimate(&reloaded)?;
+    println!();
+    println!("{report}");
+    println!();
+    println!(
+        "embodied {:.1} kg ({:.0}% of total), operational {:.1} kg over {:.1} years",
+        report.embodied().kg(),
+        report.embodied_fraction() * 100.0,
+        report.operational().kg(),
+        report.lifetime.years()
+    );
+    Ok(())
+}

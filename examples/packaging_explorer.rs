@@ -1,0 +1,119 @@
+//! Packaging-architecture exploration: how do RDL fanout, EMIB silicon
+//! bridges, passive/active interposers and 3D stacking compare on
+//! HI-related carbon overheads as the chiplet count grows?
+//!
+//! This example reproduces the flavour of Fig. 9 (splitting the GA102's
+//! 500 mm² digital block into Nc chiplets) and of the Fig. 11 packaging
+//! parameter sweeps.
+//!
+//! Run with: `cargo run --example packaging_explorer`
+
+use eco_chip::core::disaggregation::split_block;
+use eco_chip::packaging::{
+    InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
+};
+use eco_chip::techdb::{DesignType, Energy, Length, TechDb, TechNode, TimeSpan};
+use eco_chip::{EcoChip, System, UsageProfile};
+
+fn architectures() -> Vec<(&'static str, PackagingArchitecture)> {
+    vec![
+        (
+            "RDL fanout",
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+        ),
+        (
+            "EMIB bridge",
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+        ),
+        (
+            "passive interposer",
+            PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+        ),
+        (
+            "active interposer",
+            PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
+        ),
+        (
+            "3D microbump",
+            PackagingArchitecture::ThreeD(ThreeDConfig::default()),
+        ),
+    ]
+}
+
+fn digital_block_system(
+    db: &TechDb,
+    nc: usize,
+    packaging: PackagingArchitecture,
+) -> Result<System, Box<dyn std::error::Error>> {
+    // The GA102's digital block is ~500 mm² in 8 nm; at 7 nm that is about
+    // 30 B transistors split evenly into Nc chiplets.
+    let transistors = 500.0 * db
+        .node(TechNode::N8)?
+        .transistors_for_area(DesignType::Logic, eco_chip::techdb::Area::from_mm2(1.0));
+    let chiplets = split_block("digital", DesignType::Logic, TechNode::N7, transistors, nc)?;
+    Ok(System::builder(format!("digital-{nc}way"))
+        .chiplets(chiplets)
+        .packaging(packaging)
+        .usage(UsageProfile::Measured {
+            energy_per_year: Energy::from_kwh(180.0),
+        })
+        .lifetime(TimeSpan::from_years(2.0))
+        .build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = TechDb::default();
+    let estimator = EcoChip::default();
+
+    println!("== HI overheads (kg CO2e) per packaging architecture and chiplet count ==");
+    print!("{:>20}", "architecture");
+    for nc in [2usize, 4, 6, 8] {
+        print!("{:>12}", format!("Nc={nc}"));
+    }
+    println!();
+    for (name, arch) in architectures() {
+        print!("{name:>20}");
+        for nc in [2usize, 4, 6, 8] {
+            let system = digital_block_system(&db, nc, arch)?;
+            let report = estimator.estimate(&system)?;
+            print!("{:>12.2}", report.hi_overhead().kg());
+        }
+        println!();
+    }
+
+    // Parameter sweeps in the spirit of Fig. 11, on a 4-chiplet system.
+    println!();
+    println!("== RDL layer-count sweep (4 chiplets) ==");
+    for layers in [4u32, 5, 6, 7, 8, 9] {
+        let arch = PackagingArchitecture::RdlFanout(RdlFanoutConfig {
+            layers,
+            tech: TechNode::N65,
+        });
+        let report = estimator.estimate(&digital_block_system(&db, 4, arch)?)?;
+        println!("  L_RDL = {layers}: CHI = {:.2} kg", report.hi_overhead().kg());
+    }
+
+    println!();
+    println!("== TSV/microbump pitch sweep (2-tier 3D stack) ==");
+    for pitch_um in [10.0, 20.0, 30.0, 45.0] {
+        let arch =
+            PackagingArchitecture::ThreeD(ThreeDConfig::microbump(Length::from_um(pitch_um)));
+        let report = estimator.estimate(&digital_block_system(&db, 2, arch)?)?;
+        println!(
+            "  pitch = {pitch_um:>4.0} um: CHI = {:.2} kg",
+            report.hi_overhead().kg()
+        );
+    }
+
+    println!();
+    println!("== Interposer technology-node sweep (4 chiplets, active interposer) ==");
+    for tech in [TechNode::N22, TechNode::N28, TechNode::N40, TechNode::N65] {
+        let arch = PackagingArchitecture::ActiveInterposer(InterposerConfig {
+            tech,
+            ..InterposerConfig::default()
+        });
+        let report = estimator.estimate(&digital_block_system(&db, 4, arch)?)?;
+        println!("  {tech}: CHI = {:.2} kg", report.hi_overhead().kg());
+    }
+    Ok(())
+}

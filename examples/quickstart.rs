@@ -1,0 +1,100 @@
+//! Quickstart: describe a small heterogeneous system and estimate its total
+//! carbon footprint.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use eco_chip::core::disaggregation::NodeTuple;
+use eco_chip::packaging::{PackagingArchitecture, RdlFanoutConfig};
+use eco_chip::techdb::{DesignType, Energy, TechNode, TimeSpan};
+use eco_chip::{Chiplet, ChipletSize, EcoChip, System, UsageProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the system: a 7 nm compute chiplet, a 14 nm SRAM chiplet
+    //    and a 22 nm analog/IO chiplet on an RDL fanout package.
+    let system = System::builder("quickstart-soc")
+        .chiplet(Chiplet::new(
+            "compute",
+            DesignType::Logic,
+            TechNode::N7,
+            ChipletSize::Transistors(12.0e9),
+        ))
+        .chiplet(Chiplet::new(
+            "sram",
+            DesignType::Memory,
+            TechNode::N14,
+            ChipletSize::Transistors(6.0e9),
+        ))
+        .chiplet(Chiplet::new(
+            "io",
+            DesignType::Analog,
+            TechNode::N22,
+            ChipletSize::Transistors(0.8e9),
+        ))
+        .packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()))
+        .usage(UsageProfile::Measured {
+            energy_per_year: Energy::from_kwh(40.0),
+        })
+        .lifetime(TimeSpan::from_years(3.0))
+        .build()?;
+
+    // 2. Estimate with the default (paper) configuration.
+    let estimator = EcoChip::default();
+    let report = estimator.estimate(&system)?;
+
+    // 3. Inspect the breakdown.
+    println!("{report}");
+    println!();
+    println!(
+        "embodied share of total: {:.1}%",
+        report.embodied_fraction() * 100.0
+    );
+    println!(
+        "package area: {:.1} mm2 ({:.1} mm2 whitespace)",
+        report.hi.package_area.mm2(),
+        report.hi.whitespace_area.mm2()
+    );
+
+    // 4. Compare against a monolithic all-7nm version of the same design.
+    let monolithic = System::builder("quickstart-monolith")
+        .chiplet(Chiplet::new(
+            "soc",
+            DesignType::Logic,
+            TechNode::N7,
+            ChipletSize::Transistors(18.8e9),
+        ))
+        .usage(UsageProfile::Measured {
+            energy_per_year: Energy::from_kwh(40.0),
+        })
+        .lifetime(TimeSpan::from_years(3.0))
+        .build()?;
+    let mono_report = estimator.estimate(&monolithic)?;
+    println!();
+    println!(
+        "monolithic embodied {} vs chiplet embodied {} ({}% saving)",
+        mono_report.embodied(),
+        report.embodied(),
+        format_args!(
+            "{:.1}",
+            (1.0 - report.embodied().kg() / mono_report.embodied().kg()) * 100.0
+        )
+    );
+
+    // 5. The same sweep the paper runs: which technology tuple minimises
+    //    embodied carbon for this design?
+    let tuples = [
+        NodeTuple::uniform(TechNode::N7),
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N22),
+        NodeTuple::new(TechNode::N7, TechNode::N22, TechNode::N28),
+    ];
+    println!();
+    println!("technology mix-and-match:");
+    for tuple in tuples {
+        let variant = system
+            .with_chiplet_node(0, tuple.logic)?
+            .with_chiplet_node(1, tuple.memory)?
+            .with_chiplet_node(2, tuple.analog)?;
+        let r = estimator.estimate(&variant)?;
+        println!("  {:>14}  embodied {}", tuple.label(), r.embodied());
+    }
+    Ok(())
+}

@@ -1,0 +1,219 @@
+//! `ecochip` — command-line front end, mirroring the original artifact's
+//! `python3 src/ECO_chip.py --design_dir <testcase>` interface.
+//!
+//! Usage:
+//!
+//! ```text
+//! ecochip --testcase <ga102|ga102-3chiplet|a15|a15-3chiplet|emr|emr-2chiplet|arvr-1k-4mb|...>
+//! ecochip --design <system.json> [--techdb <techdb.json>]
+//! ecochip --export <dir>        # write the built-in test cases as JSON configs
+//! ```
+//!
+//! Add `--csv <file>` to any run to also write the per-chiplet / summary
+//! breakdown as CSV.
+//!
+//! The tool prints the full carbon report (per chiplet, manufacturing, design,
+//! HI, operational, total), the ACT-baseline comparison and the dollar-cost
+//! breakdown.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eco_chip::core::costing::system_cost;
+use eco_chip::core::disaggregation::NodeTuple;
+use eco_chip::core::{EcoChip, EstimatorConfig, System};
+use eco_chip::techdb::{TechDb, TechNode};
+use eco_chip::testcases::{a15, arvr, emr, ga102, io};
+
+fn print_usage() {
+    eprintln!("usage:");
+    eprintln!("  ecochip --testcase <name>                    run a built-in test case");
+    eprintln!("  ecochip --design <system.json> [--techdb <techdb.json>]");
+    eprintln!("  ecochip --export <dir>                       write built-in test cases as JSON");
+    eprintln!("  ... --csv <file>                             also write the breakdown as CSV");
+    eprintln!();
+    eprintln!("built-in test cases:");
+    eprintln!("  ga102, ga102-3chiplet, a15, a15-3chiplet, emr, emr-2chiplet,");
+    eprintln!("  arvr-1k-<2|4|6|8>mb, arvr-2k-<4|8|12|16>mb");
+}
+
+fn builtin_system(db: &TechDb, name: &str) -> Result<System, Box<dyn std::error::Error>> {
+    let system = match name {
+        "ga102" => ga102::monolithic_system(db)?,
+        "ga102-3chiplet" => ga102::three_chiplet_system(
+            db,
+            NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+        )?,
+        "a15" => a15::monolithic_system(db)?,
+        "a15-3chiplet" => a15::three_chiplet_system(db, a15::default_chiplet_nodes())?,
+        "emr" => emr::monolithic_system(db)?,
+        "emr-2chiplet" => emr::two_chiplet_system(db)?,
+        other => {
+            let lower = other.to_ascii_lowercase();
+            let Some(rest) = lower.strip_prefix("arvr-") else {
+                return Err(format!("unknown test case {other:?}").into());
+            };
+            let (series, capacity) = if let Some(cap) = rest.strip_prefix("1k-") {
+                (arvr::Series::OneK, cap)
+            } else if let Some(cap) = rest.strip_prefix("2k-") {
+                (arvr::Series::TwoK, cap)
+            } else {
+                return Err(format!("unknown AR/VR configuration {other:?}").into());
+            };
+            let total_mb: u32 = capacity
+                .trim_end_matches("mb")
+                .parse()
+                .map_err(|_| format!("cannot parse capacity in {other:?}"))?;
+            let per_die = series.mb_per_die();
+            if total_mb == 0 || total_mb % per_die != 0 || total_mb / per_die > 4 {
+                return Err(format!("unsupported AR/VR capacity {total_mb} MB").into());
+            }
+            arvr::system(db, &arvr::ArVrConfig::new(series, total_mb / per_die))?
+        }
+    };
+    Ok(system)
+}
+
+fn export_testcases(db: &TechDb, dir: &PathBuf) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    let cases: Vec<(&str, System)> = vec![
+        ("ga102_monolithic", ga102::monolithic_system(db)?),
+        (
+            "ga102_3chiplet",
+            ga102::three_chiplet_system(
+                db,
+                NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+            )?,
+        ),
+        ("a15_monolithic", a15::monolithic_system(db)?),
+        (
+            "a15_3chiplet",
+            a15::three_chiplet_system(db, a15::default_chiplet_nodes())?,
+        ),
+        ("emr_2chiplet", emr::two_chiplet_system(db)?),
+        (
+            "arvr_3d_2k_16mb",
+            arvr::system(db, &arvr::ArVrConfig::new(arvr::Series::TwoK, 4))?,
+        ),
+    ];
+    for (name, system) in cases {
+        let path = dir.join(format!("{name}.json"));
+        io::save_system(&system, &path)?;
+        println!("wrote {}", path.display());
+    }
+    let techdb_path = dir.join("techdb.json");
+    io::save_techdb(db, &techdb_path)?;
+    println!("wrote {}", techdb_path.display());
+    Ok(())
+}
+
+fn run(
+    system: &System,
+    db: TechDb,
+    csv: Option<&PathBuf>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
+    let report = estimator.estimate(system)?;
+    println!("{report}");
+    if let Some(path) = csv {
+        std::fs::write(path, report.to_csv())?;
+        println!("wrote CSV breakdown to {}", path.display());
+    }
+    println!();
+    println!(
+        "embodied share of total: {:.1}%",
+        report.embodied_fraction() * 100.0
+    );
+    let act = estimator.act_embodied(system)?;
+    println!(
+        "ACT-baseline embodied estimate: {} ({:.1}% below ECO-CHIP)",
+        act.total(),
+        (1.0 - act.total().kg() / report.embodied().kg()) * 100.0
+    );
+    let cost = system_cost(&estimator, system)?;
+    println!("dollar cost per unit: {cost}");
+    Ok(())
+}
+
+fn real_main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return Err("no arguments given".into());
+    }
+
+    let mut testcase: Option<String> = None;
+    let mut design: Option<PathBuf> = None;
+    let mut techdb_path: Option<PathBuf> = None;
+    let mut export: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--testcase" => {
+                testcase = Some(args.get(i + 1).ok_or("--testcase needs a name")?.clone());
+                i += 2;
+            }
+            "--design" => {
+                design = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--design needs a path")?,
+                ));
+                i += 2;
+            }
+            "--techdb" => {
+                techdb_path = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--techdb needs a path")?,
+                ));
+                i += 2;
+            }
+            "--export" => {
+                export = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--export needs a directory")?,
+                ));
+                i += 2;
+            }
+            "--csv" => {
+                csv = Some(PathBuf::from(args.get(i + 1).ok_or("--csv needs a path")?));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return Ok(());
+            }
+            other => {
+                print_usage();
+                return Err(format!("unknown argument {other:?}").into());
+            }
+        }
+    }
+
+    let db = match &techdb_path {
+        Some(path) => io::load_techdb(path)?,
+        None => TechDb::default(),
+    };
+
+    if let Some(dir) = export {
+        return export_testcases(&db, &dir);
+    }
+    if let Some(path) = design {
+        let system = io::load_system(&path)?;
+        return run(&system, db, csv.as_ref());
+    }
+    if let Some(name) = testcase {
+        let system = builtin_system(&db, &name)?;
+        return run(&system, db, csv.as_ref());
+    }
+    print_usage();
+    Err("nothing to do: pass --testcase, --design or --export".into())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate pipeline integration tests: custom configurations, JSON
+//! round-trips, cost integration and estimator robustness.
+
+use eco_chip::core::costing::system_cost;
+use eco_chip::core::disaggregation::{split_logic, NodeTuple, SocBlocks};
+use eco_chip::core::EstimatorConfig;
+use eco_chip::packaging::{PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig};
+use eco_chip::techdb::{EnergySource, TechDb, TechNode};
+use eco_chip::testcases::{ga102, io};
+use eco_chip::yield_model::Wafer;
+use eco_chip::{Chiplet, ChipletSize, DesignType, EcoChip, System, UsageProfile};
+
+#[test]
+fn custom_configuration_changes_results_consistently() {
+    let db = TechDb::default();
+    let system = ga102::three_chiplet_system(
+        &db,
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+    )
+    .unwrap();
+
+    let coal = EcoChip::default();
+    let green = EcoChip::new(
+        EstimatorConfig::builder()
+            .fab_source(EnergySource::Solar)
+            .packaging_source(EnergySource::Wind)
+            .operational_source(EnergySource::Hydro)
+            .build(),
+    );
+    let coal_report = coal.estimate(&system).unwrap();
+    let green_report = green.estimate(&system).unwrap();
+    // Greener energy reduces every component but not below the gas/material
+    // floor.
+    assert!(green_report.manufacturing().kg() < coal_report.manufacturing().kg());
+    assert!(green_report.hi_overhead().kg() < coal_report.hi_overhead().kg());
+    assert!(green_report.operational().kg() < coal_report.operational().kg());
+    assert!(green_report.manufacturing().kg() > 0.1 * coal_report.manufacturing().kg());
+
+    // Smaller wafers waste relatively more silicon per die.
+    let small_wafer = EcoChip::new(
+        EstimatorConfig::builder()
+            .wafer(Wafer::standard_300mm())
+            .build(),
+    );
+    let small_report = small_wafer.estimate(&system).unwrap();
+    assert!(small_report.manufacturing().kg() >= coal_report.manufacturing().kg());
+}
+
+#[test]
+fn json_round_trip_preserves_estimates() {
+    let db = TechDb::default();
+    let est = EcoChip::default();
+    let system = ga102::three_chiplet_system(
+        &db,
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+    )
+    .unwrap();
+    let json = io::system_to_json(&system).unwrap();
+    let reloaded = io::system_from_json(&json).unwrap();
+    let a = est.estimate(&system).unwrap();
+    let b = est.estimate(&reloaded).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn carbon_and_cost_agree_on_node_trends() {
+    // The dollar-cost trend across technology tuples follows the same
+    // direction as the total CFP trend (Section VI(2)).
+    let db = TechDb::default();
+    let est = EcoChip::default();
+    let advanced = ga102::three_chiplet_system(&db, NodeTuple::uniform(TechNode::N7)).unwrap();
+    let mixed = ga102::three_chiplet_system(
+        &db,
+        NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N14),
+    )
+    .unwrap();
+    let advanced_cost = system_cost(&est, &advanced).unwrap().total().dollars();
+    let mixed_cost = system_cost(&est, &mixed).unwrap().total().dollars();
+    let advanced_cfp = est.estimate(&advanced).unwrap().embodied().kg();
+    let mixed_cfp = est.estimate(&mixed).unwrap().embodied().kg();
+    assert!(mixed_cost < advanced_cost);
+    assert!(mixed_cfp < advanced_cfp);
+}
+
+#[test]
+fn disaggregation_cost_tradeoff() {
+    // Fig. 15(b): die cost falls and assembly cost grows with the number of
+    // chiplets.
+    let db = TechDb::default();
+    let est = EcoChip::default();
+    let blocks = ga102::soc_blocks(&db).unwrap();
+    let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
+    let mut prev_die_cost = f64::INFINITY;
+    let mut prev_assembly = 0.0;
+    for nc in [1usize, 2, 4, 8] {
+        let system = System::builder(format!("ga102-{nc}"))
+            .chiplets(split_logic(&blocks, nc, nodes).unwrap())
+            .packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()))
+            .usage(ga102::usage_profile())
+            .build()
+            .unwrap();
+        let cost = system_cost(&est, &system).unwrap();
+        assert!(cost.dies_total().dollars() <= prev_die_cost);
+        assert!(cost.assembly_cost.dollars() >= prev_assembly);
+        prev_die_cost = cost.dies_total().dollars();
+        prev_assembly = cost.assembly_cost.dollars();
+    }
+}
+
+#[test]
+fn estimator_rejects_inconsistent_systems() {
+    let est = EcoChip::default();
+    // Empty systems cannot be built at all.
+    assert!(System::builder("empty").build().is_err());
+    // A die larger than the wafer is caught by the manufacturing model.
+    let huge = System::builder("huge")
+        .chiplet(Chiplet::new(
+            "galactic",
+            DesignType::Logic,
+            TechNode::N7,
+            ChipletSize::Transistors(2.0e13),
+        ))
+        .usage(UsageProfile::default())
+        .build()
+        .unwrap();
+    assert!(est.estimate(&huge).is_err());
+}
+
+#[test]
+fn report_components_always_compose() {
+    let _db = TechDb::default();
+    let est = EcoChip::default();
+    let blocks = SocBlocks::new("generic", 8.0e9, 4.0e9, 1.0e9);
+    for nc in 1..=4usize {
+        let system = System::builder(format!("generic-{nc}"))
+            .chiplets(
+                split_logic(
+                    &blocks,
+                    nc,
+                    NodeTuple::new(TechNode::N5, TechNode::N14, TechNode::N22),
+                )
+                .unwrap(),
+            )
+            .packaging(PackagingArchitecture::SiliconBridge(
+                SiliconBridgeConfig::default(),
+            ))
+            .usage(UsageProfile::default())
+            .build()
+            .unwrap();
+        let report = est.estimate(&system).unwrap();
+        let recomposed = report.manufacturing().kg()
+            + report.design().kg()
+            + report.hi_overhead().kg()
+            + report.operational().kg();
+        assert!((recomposed - report.total().kg()).abs() < 1e-9);
+        assert!(report.embodied().kg() > 0.0);
+        assert_eq!(report.chiplets.len(), nc + 2);
+    }
+}

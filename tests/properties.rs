@@ -1,0 +1,130 @@
+//! Property-based integration tests spanning the whole estimation pipeline.
+
+use proptest::prelude::*;
+
+use eco_chip::core::disaggregation::{split_logic, NodeTuple, SocBlocks};
+use eco_chip::packaging::{
+    InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig,
+};
+use eco_chip::techdb::{TechNode, TimeSpan};
+use eco_chip::{EcoChip, System, UsageProfile};
+
+fn arbitrary_node() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(vec![
+        TechNode::N5,
+        TechNode::N7,
+        TechNode::N10,
+        TechNode::N14,
+        TechNode::N22,
+        TechNode::N28,
+    ])
+}
+
+fn arbitrary_packaging() -> impl Strategy<Value = PackagingArchitecture> {
+    prop::sample::select(vec![
+        PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+        PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+        PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+        PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
+    ])
+}
+
+fn build_system(
+    logic_tr: f64,
+    memory_tr: f64,
+    analog_tr: f64,
+    nc: usize,
+    nodes: NodeTuple,
+    packaging: PackagingArchitecture,
+    lifetime_years: f64,
+) -> System {
+    let blocks = SocBlocks::new("prop", logic_tr, memory_tr, analog_tr);
+    System::builder("prop-system")
+        .chiplets(split_logic(&blocks, nc, nodes).expect("nc >= 1"))
+        .packaging(packaging)
+        .usage(UsageProfile::default())
+        .lifetime(TimeSpan::from_years(lifetime_years))
+        .build()
+        .expect("valid system")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every estimate over a broad slice of the input space is finite,
+    /// positive and self-consistent (embodied + operational = total).
+    #[test]
+    fn estimates_are_finite_and_consistent(
+        logic_tr in 1.0e9f64..3.0e10,
+        memory_tr in 1.0e8f64..1.0e10,
+        analog_tr in 1.0e8f64..3.0e9,
+        nc in 1usize..5,
+        logic_node in arbitrary_node(),
+        memory_node in arbitrary_node(),
+        analog_node in arbitrary_node(),
+        packaging in arbitrary_packaging(),
+        lifetime in 1.0f64..6.0,
+    ) {
+        let est = EcoChip::default();
+        let system = build_system(
+            logic_tr, memory_tr, analog_tr, nc,
+            NodeTuple::new(logic_node, memory_node, analog_node),
+            packaging, lifetime,
+        );
+        let report = est.estimate(&system).unwrap();
+        prop_assert!(report.total().kg().is_finite());
+        prop_assert!(report.manufacturing().kg() > 0.0);
+        prop_assert!(report.design().kg() > 0.0);
+        prop_assert!(report.operational().kg() >= 0.0);
+        prop_assert!(report.hi_overhead().kg() >= 0.0);
+        let recomposed = report.embodied().kg() + report.operational().kg();
+        prop_assert!((recomposed - report.total().kg()).abs() < 1e-9);
+        prop_assert!(report.embodied_fraction() >= 0.0 && report.embodied_fraction() <= 1.0);
+        prop_assert_eq!(report.chiplets.len(), nc + 2);
+        // The ACT baseline never exceeds the full ECO-CHIP embodied estimate.
+        let act = est.act_embodied(&system).unwrap();
+        prop_assert!(act.total().kg() <= report.embodied().kg() + 1e-9);
+    }
+
+    /// Total CFP is monotone in lifetime and in transistor count.
+    #[test]
+    fn total_cfp_monotonicity(
+        logic_tr in 2.0e9f64..2.0e10,
+        extra_tr in 1.0e9f64..1.0e10,
+        lifetime in 1.0f64..4.0,
+        extra_years in 0.5f64..3.0,
+    ) {
+        let est = EcoChip::default();
+        let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N22);
+        let packaging = PackagingArchitecture::RdlFanout(RdlFanoutConfig::default());
+        let small = build_system(logic_tr, 2.0e9, 5.0e8, 2, nodes, packaging, lifetime);
+        let bigger = build_system(logic_tr + extra_tr, 2.0e9, 5.0e8, 2, nodes, packaging, lifetime);
+        let longer = build_system(logic_tr, 2.0e9, 5.0e8, 2, nodes, packaging, lifetime + extra_years);
+        let r_small = est.estimate(&small).unwrap();
+        let r_bigger = est.estimate(&bigger).unwrap();
+        let r_longer = est.estimate(&longer).unwrap();
+        prop_assert!(r_bigger.embodied().kg() > r_small.embodied().kg());
+        prop_assert!(r_longer.total().kg() > r_small.total().kg());
+        // Lifetime does not change the embodied component.
+        prop_assert!((r_longer.embodied().kg() - r_small.embodied().kg()).abs() < 1e-6);
+    }
+
+    /// Splitting the digital block into more chiplets never increases the
+    /// per-chiplet manufacturing CFP sum by more than the added HI overheads
+    /// and communication area (i.e. Cmfg is non-increasing with Nc).
+    #[test]
+    fn manufacturing_cfp_decreases_with_disaggregation(
+        logic_tr in 1.0e10f64..4.0e10,
+        nc in 1usize..4,
+    ) {
+        let est = EcoChip::default();
+        let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N22);
+        let packaging = PackagingArchitecture::RdlFanout(RdlFanoutConfig::default());
+        let coarse = build_system(logic_tr, 4.0e9, 1.0e9, nc, nodes, packaging, 2.0);
+        let fine = build_system(logic_tr, 4.0e9, 1.0e9, nc * 2, nodes, packaging, 2.0);
+        let r_coarse = est.estimate(&coarse).unwrap();
+        let r_fine = est.estimate(&fine).unwrap();
+        prop_assert!(r_fine.manufacturing().kg() <= r_coarse.manufacturing().kg() * 1.02);
+        prop_assert!(r_fine.hi_overhead().kg() >= r_coarse.hi_overhead().kg() * 0.98);
+    }
+}
