@@ -115,10 +115,7 @@ impl<'a> ActEstimator<'a> {
     /// # Errors
     ///
     /// Returns [`ActError`] for unknown nodes or invalid areas.
-    pub fn system_embodied(
-        &self,
-        dies: &[(Area, TechNode)],
-    ) -> Result<ActBreakdown, ActError> {
+    pub fn system_embodied(&self, dies: &[(Area, TechNode)]) -> Result<ActBreakdown, ActError> {
         let mut manufacturing = Carbon::ZERO;
         for (area, node) in dies {
             manufacturing += self.die_embodied(*area, *node)?;
@@ -162,8 +159,12 @@ mod tests {
     fn larger_dies_cost_more() {
         let db = db();
         let act = ActEstimator::new(&db, EnergySource::Coal);
-        let small = act.die_embodied(Area::from_mm2(100.0), TechNode::N7).unwrap();
-        let large = act.die_embodied(Area::from_mm2(400.0), TechNode::N7).unwrap();
+        let small = act
+            .die_embodied(Area::from_mm2(100.0), TechNode::N7)
+            .unwrap();
+        let large = act
+            .die_embodied(Area::from_mm2(400.0), TechNode::N7)
+            .unwrap();
         // Super-linear growth because yield degrades with area.
         assert!(large.kg() > 4.0 * small.kg());
     }
@@ -184,7 +185,9 @@ mod tests {
         // tens of kilograms — the same order as the paper's Fig. 7.
         let db = db();
         let act = ActEstimator::new(&db, EnergySource::Coal);
-        let cfp = act.die_embodied(Area::from_mm2(628.0), TechNode::N8).unwrap();
+        let cfp = act
+            .die_embodied(Area::from_mm2(628.0), TechNode::N8)
+            .unwrap();
         assert!(cfp.kg() > 20.0 && cfp.kg() < 120.0, "got {cfp}");
     }
 
@@ -192,22 +195,24 @@ mod tests {
     fn invalid_inputs_rejected() {
         let db = db();
         let act = ActEstimator::new(&db, EnergySource::Coal);
-        assert!(act.die_embodied(Area::from_mm2(-1.0), TechNode::N7).is_err());
+        assert!(act
+            .die_embodied(Area::from_mm2(-1.0), TechNode::N7)
+            .is_err());
         assert!(act
             .die_embodied(Area::from_mm2(f64::NAN), TechNode::N7)
             .is_err());
         let empty = ecochip_techdb::TechDbBuilder::new().build();
         let act = ActEstimator::new(&empty, EnergySource::Coal);
-        assert!(act.die_embodied(Area::from_mm2(10.0), TechNode::N7).is_err());
+        assert!(act
+            .die_embodied(Area::from_mm2(10.0), TechNode::N7)
+            .is_err());
     }
 
     #[test]
     fn zero_area_costs_only_package() {
         let db = db();
         let act = ActEstimator::new(&db, EnergySource::Coal);
-        let b = act
-            .system_embodied(&[(Area::ZERO, TechNode::N7)])
-            .unwrap();
+        let b = act.system_embodied(&[(Area::ZERO, TechNode::N7)]).unwrap();
         assert_eq!(b.manufacturing.kg(), 0.0);
         assert!((b.total().grams() - 150.0).abs() < 1e-9);
     }

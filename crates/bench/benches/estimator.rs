@@ -53,7 +53,10 @@ fn bench_packaging_architectures(c: &mut Criterion) {
     )
     .unwrap();
     let architectures = vec![
-        ("rdl", PackagingArchitecture::RdlFanout(RdlFanoutConfig::default())),
+        (
+            "rdl",
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+        ),
         (
             "emib",
             PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
@@ -87,7 +90,11 @@ fn bench_act_baseline(c: &mut Criterion) {
     )
     .unwrap();
     c.bench_function("act_baseline", |b| {
-        b.iter(|| estimator.act_embodied(std::hint::black_box(&system)).unwrap());
+        b.iter(|| {
+            estimator
+                .act_embodied(std::hint::black_box(&system))
+                .unwrap()
+        });
     });
 }
 

@@ -13,12 +13,7 @@ use ecochip_yield::{NegativeBinomialYield, Wafer};
 fn random_chiplets(n: usize, seed: u64) -> Vec<ChipletOutline> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|i| {
-            ChipletOutline::new(
-                format!("c{i}"),
-                Area::from_mm2(rng.gen_range(10.0..300.0)),
-            )
-        })
+        .map(|i| ChipletOutline::new(format!("c{i}"), Area::from_mm2(rng.gen_range(10.0..300.0))))
         .collect()
 }
 

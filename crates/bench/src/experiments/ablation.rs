@@ -63,8 +63,7 @@ pub fn ablation() -> ExperimentResult {
     );
 
     // (c) fixed 150 g package instead of the architecture-aware model.
-    let fixed_package =
-        full.manufacturing() + full.design() + Carbon::from_grams(150.0);
+    let fixed_package = full.manufacturing() + full.design() + Carbon::from_grams(150.0);
     push(
         "fixed 150 g package",
         fixed_package,
@@ -73,7 +72,11 @@ pub fn ablation() -> ExperimentResult {
 
     // (d) ACT baseline entirely.
     let act = EcoChip::default().act_embodied(&system)?;
-    push("ACT baseline", act.total(), "no design, fixed package, no wastage");
+    push(
+        "ACT baseline",
+        act.total(),
+        "no design, fixed package, no wastage",
+    );
 
     // (e) 300 mm production wafers instead of 450 mm.
     let small_wafer = EcoChip::new(
@@ -118,7 +121,9 @@ mod tests {
         let tables = ablation().unwrap();
         let rows = tables[0].rows();
         let value = |name: &str| -> f64 {
-            rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
+            rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         let full = value("full model");
         assert!(value("no wafer wastage") < full);

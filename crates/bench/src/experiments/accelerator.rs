@@ -69,8 +69,14 @@ mod tests {
             .iter()
             .map(|r| (r[3].parse().unwrap(), r[2].parse().unwrap()))
             .collect();
-        assert!(series.windows(2).all(|w| w[1].0 < w[0].0), "latency must fall");
-        assert!(series.windows(2).all(|w| w[1].1 > w[0].1), "total CFP must rise");
+        assert!(
+            series.windows(2).all(|w| w[1].0 < w[0].0),
+            "latency must fall"
+        );
+        assert!(
+            series.windows(2).all(|w| w[1].1 > w[0].1),
+            "total CFP must rise"
+        );
         // Embodied dominates for this low-power device.
         for row in rows {
             let cemb: f64 = row[1].parse().unwrap();

@@ -18,7 +18,14 @@ pub fn fig15() -> ExperimentResult {
 
     let mut per_tuple = Table::new(
         "Fig. 15(a): GA102 3-chiplet dollar cost per technology tuple",
-        &["tuple", "dies $", "package $", "assembly $", "NRE $/unit", "total $"],
+        &[
+            "tuple",
+            "dies $",
+            "package $",
+            "assembly $",
+            "NRE $/unit",
+            "total $",
+        ],
     );
     for tuple in ga102::fig7_node_tuples() {
         let system = ga102::three_chiplet_system(&db, tuple)?;
@@ -35,7 +42,12 @@ pub fn fig15() -> ExperimentResult {
 
     let mut per_nc = Table::new(
         "Fig. 15(b): GA102 dollar cost vs number of digital chiplets (RDL fanout)",
-        &["digital chiplets", "dies $", "package+assembly $", "total $"],
+        &[
+            "digital chiplets",
+            "dies $",
+            "package+assembly $",
+            "total $",
+        ],
     );
     let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
     for nc in 1..=6usize {
@@ -68,11 +80,7 @@ mod tests {
         let tables = fig15().unwrap();
         let per_tuple = &tables[0];
         let total = |label: &str| -> f64 {
-            per_tuple
-                .rows()
-                .iter()
-                .find(|r| r[0] == label)
-                .unwrap()[5]
+            per_tuple.rows().iter().find(|r| r[0] == label).unwrap()[5]
                 .parse()
                 .unwrap()
         };
@@ -81,8 +89,16 @@ mod tests {
 
         // Fig. 15(b): die cost falls, assembly cost grows with Nc.
         let per_nc = &tables[1];
-        let dies: Vec<f64> = per_nc.rows().iter().map(|r| r[1].parse().unwrap()).collect();
-        let assembly: Vec<f64> = per_nc.rows().iter().map(|r| r[2].parse().unwrap()).collect();
+        let dies: Vec<f64> = per_nc
+            .rows()
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        let assembly: Vec<f64> = per_nc
+            .rows()
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         assert!(dies.last().unwrap() < dies.first().unwrap());
         assert!(assembly.last().unwrap() > assembly.first().unwrap());
     }

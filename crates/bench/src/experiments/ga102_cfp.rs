@@ -38,7 +38,12 @@ pub fn fig7() -> ExperimentResult {
     );
     let mut emb = Table::new(
         "Fig. 7(c): embodied CFP vs the ACT baseline (Ndes=100, NS=100k)",
-        &["tuple", "ECO-CHIP Cemb kg", "ACT Cemb kg", "ACT underestimate %"],
+        &[
+            "tuple",
+            "ECO-CHIP Cemb kg",
+            "ACT Cemb kg",
+            "ACT underestimate %",
+        ],
     );
     let mut tot = Table::new(
         "Fig. 7(d): total CFP split (2-year lifetime, 228 kWh/year)",
@@ -76,7 +81,10 @@ pub fn fig7() -> ExperimentResult {
             point.label.clone(),
             format!("{:.1}", r.embodied().kg()),
             format!("{:.1}", act.total().kg()),
-            format!("{:.1}", (1.0 - act.total().kg() / r.embodied().kg()) * 100.0),
+            format!(
+                "{:.1}",
+                (1.0 - act.total().kg() / r.embodied().kg()) * 100.0
+            ),
         ]);
 
         tot.row([

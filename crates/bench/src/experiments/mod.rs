@@ -63,7 +63,8 @@ mod tests {
 
     #[test]
     fn every_experiment_produces_nonempty_tables() {
-        let generators: [(&str, fn() -> ExperimentResult); 15] = [
+        type Generator = (&'static str, fn() -> ExperimentResult);
+        let generators: [Generator; 15] = [
             ("table1", table1),
             ("fig2", fig2),
             ("fig3", fig3),
@@ -84,7 +85,11 @@ mod tests {
             let tables = generator().unwrap_or_else(|e| panic!("{name} failed: {e}"));
             assert!(!tables.is_empty(), "{name} produced no tables");
             for table in &tables {
-                assert!(!table.is_empty(), "{name} produced an empty table: {}", table.title());
+                assert!(
+                    !table.is_empty(),
+                    "{name} produced an empty table: {}",
+                    table.title()
+                );
                 assert!(!table.to_string().is_empty());
             }
         }

@@ -80,7 +80,12 @@ pub fn fig3() -> ExperimentResult {
 
     let mut table = Table::new(
         "Fig. 3(b): wafer-wastage impact on GA102 manufacturing CFP (450 mm wafer)",
-        &["architecture", "without wastage kg", "with wastage kg", "wastage share %"],
+        &[
+            "architecture",
+            "without wastage kg",
+            "with wastage kg",
+            "wastage share %",
+        ],
     );
     for (label, system) in [("monolithic", &monolith), ("4-chiplet", &four_chiplet)] {
         let a = with.estimate(system)?.manufacturing().kg();

@@ -6,16 +6,19 @@ use ecochip_core::{EcoChip, System};
 use ecochip_packaging::{
     InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
 };
+use ecochip_power::UsageProfile;
 use ecochip_techdb::{DesignType, Energy, Length, TechDb, TechNode, TimeSpan};
 use ecochip_testcases::{a15, ga102};
-use ecochip_power::UsageProfile;
 
 use crate::{ExperimentResult, Table};
 
 /// The five packaging architectures the paper compares.
 fn architectures() -> Vec<(&'static str, PackagingArchitecture)> {
     vec![
-        ("RDL fanout", PackagingArchitecture::RdlFanout(RdlFanoutConfig::default())),
+        (
+            "RDL fanout",
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+        ),
         (
             "EMIB bridge",
             PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
@@ -28,7 +31,10 @@ fn architectures() -> Vec<(&'static str, PackagingArchitecture)> {
             "active interposer",
             PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
         ),
-        ("3D microbump", PackagingArchitecture::ThreeD(ThreeDConfig::default())),
+        (
+            "3D microbump",
+            PackagingArchitecture::ThreeD(ThreeDConfig::default()),
+        ),
     ]
 }
 
@@ -91,7 +97,13 @@ pub fn fig10() -> ExperimentResult {
     let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
     let mut table = Table::new(
         "Fig. 10: GA102 Cmfg and CHI vs number of digital chiplets (RDL fanout)",
-        &["digital chiplets", "total chiplets", "Cmfg kg", "CHI kg", "Cmfg+CHI kg"],
+        &[
+            "digital chiplets",
+            "total chiplets",
+            "Cmfg kg",
+            "CHI kg",
+            "Cmfg+CHI kg",
+        ],
     );
     for nc in 1..=6usize {
         let system = ga102::split_logic_system(
@@ -106,7 +118,10 @@ pub fn fig10() -> ExperimentResult {
             format!("{}", nc + 2),
             format!("{:.1}", report.manufacturing().kg()),
             format!("{:.2}", report.hi_overhead().kg()),
-            format!("{:.1}", (report.manufacturing() + report.hi_overhead()).kg()),
+            format!(
+                "{:.1}",
+                (report.manufacturing() + report.hi_overhead()).kg()
+            ),
         ]);
     }
     Ok(vec![table])
@@ -131,7 +146,10 @@ pub fn fig11() -> ExperimentResult {
             tech: TechNode::N65,
         }));
         let report = estimator.estimate(&system)?;
-        rdl.row([format!("{layers}"), format!("{:.3}", report.hi_overhead().kg())]);
+        rdl.row([
+            format!("{layers}"),
+            format!("{:.3}", report.hi_overhead().kg()),
+        ]);
     }
 
     let mut bridge = Table::new(
@@ -139,12 +157,11 @@ pub fn fig11() -> ExperimentResult {
         &["bridge range mm", "bridges", "CHI kg"],
     );
     for range_mm in [1.0, 2.0, 3.0, 4.0] {
-        let system = base.with_packaging(PackagingArchitecture::SiliconBridge(
-            SiliconBridgeConfig {
+        let system =
+            base.with_packaging(PackagingArchitecture::SiliconBridge(SiliconBridgeConfig {
                 bridge_range: Length::from_mm(range_mm),
                 ..SiliconBridgeConfig::default()
-            },
-        ));
+            }));
         let report = estimator.estimate(&system)?;
         let floorplan = estimator.floorplan(&system)?;
         let package = ecochip_packaging::PackageEstimator::new(
@@ -164,14 +181,16 @@ pub fn fig11() -> ExperimentResult {
         &["interposer node", "CHI kg"],
     );
     for tech in [TechNode::N22, TechNode::N28, TechNode::N40, TechNode::N65] {
-        let system = base.with_packaging(PackagingArchitecture::ActiveInterposer(
-            InterposerConfig {
+        let system =
+            base.with_packaging(PackagingArchitecture::ActiveInterposer(InterposerConfig {
                 tech,
                 ..InterposerConfig::default()
-            },
-        ));
+            }));
         let report = estimator.estimate(&system)?;
-        interposer.row([tech.to_string(), format!("{:.3}", report.hi_overhead().kg())]);
+        interposer.row([
+            tech.to_string(),
+            format!("{:.3}", report.hi_overhead().kg()),
+        ]);
     }
 
     let mut pitch = Table::new(
@@ -256,16 +275,32 @@ mod tests {
     fn fig11_sweeps_follow_the_paper_directions() {
         let tables = fig11().unwrap();
         // (a) more RDL layers => more CHI (linear).
-        let rdl: Vec<f64> = tables[0].rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        let rdl: Vec<f64> = tables[0]
+            .rows()
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
         assert!(rdl.windows(2).all(|w| w[1] > w[0]));
         // (b) larger bridge range => fewer bridges => less CHI.
-        let bridge: Vec<f64> = tables[1].rows().iter().map(|r| r[2].parse().unwrap()).collect();
+        let bridge: Vec<f64> = tables[1]
+            .rows()
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         assert!(bridge.first().unwrap() >= bridge.last().unwrap());
         // (c) older interposer node => less CHI.
-        let interposer: Vec<f64> = tables[2].rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        let interposer: Vec<f64> = tables[2]
+            .rows()
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
         assert!(interposer.windows(2).all(|w| w[1] < w[0]));
         // (d) larger pitch => fewer TSVs => less CHI.
-        let pitch: Vec<f64> = tables[3].rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        let pitch: Vec<f64> = tables[3]
+            .rows()
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
         assert!(pitch.windows(2).all(|w| w[1] <= w[0]));
     }
 }

@@ -28,7 +28,8 @@ fn grid_table(
             let p = points
                 .iter()
                 .find(|p| {
-                    (p.reuse_ratio - ratio).abs() < 1e-9 && (p.lifetime.years() - years).abs() < 1e-9
+                    (p.reuse_ratio - ratio).abs() < 1e-9
+                        && (p.lifetime.years() - years).abs() < 1e-9
                 })
                 .expect("grid point exists");
             cells.push(format!("{:.1}", p.total.kg()));
@@ -95,7 +96,11 @@ mod tests {
     #[test]
     fn fig12_design_cfp_falls_with_reuse() {
         let tables = fig12().unwrap();
-        let design: Vec<f64> = tables[0].rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        let design: Vec<f64> = tables[0]
+            .rows()
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
         assert!(design.windows(2).all(|w| w[1] < w[0]));
         // Doubling the reuse ratio roughly halves the amortised design CFP.
         assert!(design[0] / design.last().unwrap() > 8.0);

@@ -26,7 +26,13 @@ pub fn fig8() -> ExperimentResult {
 
     let mut emr_table = Table::new(
         "Fig. 8(a): Emerald Rapids total CFP (EMIB 2-chiplet vs monolithic)",
-        &["architecture", "Cemb kg", "Cop kg", "Ctot kg", "embodied share %"],
+        &[
+            "architecture",
+            "Cemb kg",
+            "Cop kg",
+            "Ctot kg",
+            "embodied share %",
+        ],
     );
     let emr_mono = estimator.estimate(&emr::monolithic_system(&db)?)?;
     let emr_two = estimator.estimate(&emr::two_chiplet_system(&db)?)?;
@@ -35,10 +41,19 @@ pub fn fig8() -> ExperimentResult {
 
     let mut a15_table = Table::new(
         "Fig. 8(b): Apple A15 total CFP (RDL 3-chiplet vs monolithic)",
-        &["architecture", "Cemb kg", "Cop kg", "Ctot kg", "embodied share %"],
+        &[
+            "architecture",
+            "Cemb kg",
+            "Cop kg",
+            "Ctot kg",
+            "embodied share %",
+        ],
     );
     let a15_mono = estimator.estimate(&a15::monolithic_system(&db)?)?;
-    let a15_chip = estimator.estimate(&a15::three_chiplet_system(&db, a15::default_chiplet_nodes())?)?;
+    let a15_chip = estimator.estimate(&a15::three_chiplet_system(
+        &db,
+        a15::default_chiplet_nodes(),
+    )?)?;
     a15_table.row(split_row("monolithic", &a15_mono));
     a15_table.row(split_row("3-chiplet RDL", &a15_chip));
 
@@ -72,7 +87,10 @@ pub fn validation() -> ExperimentResult {
     table.row([
         "A15 total CFP kg".to_owned(),
         format!("{:.1}", report.total().kg()),
-        format!("~{:.1} (16% of iPhone {iphone_total_kg} kg)", 0.16 * iphone_total_kg),
+        format!(
+            "~{:.1} (16% of iPhone {iphone_total_kg} kg)",
+            0.16 * iphone_total_kg
+        ),
     ]);
     table.row([
         "A15 share of iPhone %".to_owned(),

@@ -92,7 +92,11 @@ impl fmt::Display for Table {
             writeln!(f, "{}", line.trim_end())
         };
         write_row(f, &self.headers)?;
-        let total_width: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let total_width: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
         writeln!(f, "{}", "-".repeat(total_width))?;
         for row in &self.rows {
             write_row(f, row)?;

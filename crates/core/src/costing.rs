@@ -66,9 +66,7 @@ mod tests {
     use super::*;
     use crate::disaggregation::{three_chiplets, NodeTuple, SocBlocks};
     use crate::system::{Chiplet, ChipletSize, System};
-    use ecochip_packaging::{
-        InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
-    };
+    use ecochip_packaging::{InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig};
     use ecochip_techdb::{DesignType, TechNode};
 
     fn blocks() -> SocBlocks {

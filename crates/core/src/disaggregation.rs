@@ -304,8 +304,7 @@ mod tests {
 
     #[test]
     fn split_block_is_uniform() {
-        let chiplets =
-            split_block("digital", DesignType::Logic, TechNode::N7, 45.0e9, 4).unwrap();
+        let chiplets = split_block("digital", DesignType::Logic, TechNode::N7, 45.0e9, 4).unwrap();
         assert_eq!(chiplets.len(), 4);
         for c in &chiplets {
             match c.size {

@@ -137,9 +137,7 @@ impl Objective {
         match self {
             Objective::Embodied => report.embodied().kg(),
             Objective::Total => report.total().kg(),
-            Objective::ManufacturingAndHi => {
-                (report.manufacturing() + report.hi_overhead()).kg()
-            }
+            Objective::ManufacturingAndHi => (report.manufacturing() + report.hi_overhead()).kg(),
         }
     }
 }
@@ -308,7 +306,10 @@ mod tests {
         assert_eq!(points[0].label, "(7, 7, 7)");
         let all7 = points[0].report.embodied().kg();
         let mixed = points[1].report.embodied().kg();
-        assert!(mixed < all7, "mix-and-match {mixed} should beat all-7nm {all7}");
+        assert!(
+            mixed < all7,
+            "mix-and-match {mixed} should beat all-7nm {all7}"
+        );
     }
 
     #[test]
@@ -350,7 +351,9 @@ mod tests {
         let emb_at = |ratio: f64| {
             points
                 .iter()
-                .find(|p| (p.reuse_ratio - ratio).abs() < 1e-9 && (p.lifetime.years() - 1.0).abs() < 1e-9)
+                .find(|p| {
+                    (p.reuse_ratio - ratio).abs() < 1e-9 && (p.lifetime.years() - 1.0).abs() < 1e-9
+                })
                 .unwrap()
                 .embodied
                 .kg()
@@ -361,7 +364,9 @@ mod tests {
         let tot_at = |years: f64| {
             points
                 .iter()
-                .find(|p| (p.reuse_ratio - 1.0).abs() < 1e-9 && (p.lifetime.years() - years).abs() < 1e-9)
+                .find(|p| {
+                    (p.reuse_ratio - 1.0).abs() < 1e-9 && (p.lifetime.years() - years).abs() < 1e-9
+                })
                 .unwrap()
                 .total
                 .kg()

@@ -203,11 +203,8 @@ impl EcoChip {
             if area.mm2() <= 0.0 {
                 continue;
             }
-            let transistors = db
-                .node(chiplet.node)?
-                .logic_density
-                .transistors_per_mm2()
-                * area.mm2();
+            let transistors =
+                db.node(chiplet.node)?.logic_density.transistors_per_mm2() * area.mm2();
             let gates = gates_from_transistors(transistors);
             total += design_model
                 .amortized_comm_cfp(gates, chiplet.node, &system.volumes)
@@ -328,9 +325,8 @@ mod tests {
         // Fig. 7(c): ACT reports a lower embodied CFP because it ignores
         // design CFP, real packaging and wafer wastage.
         let est = EcoChip::default();
-        let system = gpu_like_3chiplet(PackagingArchitecture::RdlFanout(
-            RdlFanoutConfig::default(),
-        ));
+        let system =
+            gpu_like_3chiplet(PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()));
         let eco = est.estimate(&system).unwrap();
         let act = est.act_embodied(&system).unwrap();
         assert!(act.total().kg() < eco.embodied().kg());
@@ -347,9 +343,9 @@ mod tests {
             )))
             .unwrap();
         let passive = est
-            .estimate(&gpu_like_3chiplet(PackagingArchitecture::PassiveInterposer(
-                InterposerConfig::default(),
-            )))
+            .estimate(&gpu_like_3chiplet(
+                PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+            ))
             .unwrap();
         assert!(active.hi.interposer_comm.kg() > 0.0);
         assert_eq!(passive.hi.interposer_comm.kg(), 0.0);
@@ -384,9 +380,9 @@ mod tests {
         let est = EcoChip::default();
         let mono = est.estimate(&gpu_like_monolith()).unwrap();
         let hi = est
-            .estimate(&gpu_like_3chiplet(PackagingArchitecture::PassiveInterposer(
-                InterposerConfig::default(),
-            )))
+            .estimate(&gpu_like_3chiplet(
+                PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+            ))
             .unwrap();
         assert!(hi.operational_per_year.kg() > mono.operational_per_year.kg());
     }
@@ -411,9 +407,7 @@ mod tests {
         let sys = gpu_like_monolith().with_lifetime(TimeSpan::from_years(5.0));
         let report = est.estimate(&sys).unwrap();
         assert!((report.lifetime.years() - 5.0).abs() < 1e-9);
-        assert!(
-            (report.operational().kg() - 5.0 * report.operational_per_year.kg()).abs() < 1e-9
-        );
+        assert!((report.operational().kg() - 5.0 * report.operational_per_year.kg()).abs() < 1e-9);
     }
 
     #[test]

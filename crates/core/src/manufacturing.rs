@@ -93,7 +93,8 @@ impl<'a> ManufacturingModel<'a> {
         let intensity = self.fab_source.carbon_intensity();
         let energy_kg_per_cm2 =
             params.equipment_derate * intensity.kg_per_kwh() * params.epa.kwh_per_cm2();
-        let raw = energy_kg_per_cm2 + params.gas_cfp.kg_per_cm2() + params.material_cfp.kg_per_cm2();
+        let raw =
+            energy_kg_per_cm2 + params.gas_cfp.kg_per_cm2() + params.material_cfp.kg_per_cm2();
         Ok(CarbonPerArea::from_kg_per_cm2(
             raw * die_yield.inflation_factor(),
         ))

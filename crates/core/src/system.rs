@@ -65,9 +65,7 @@ impl Chiplet {
     /// from the database.
     pub fn area(&self, db: &TechDb) -> Result<Area, TechDbError> {
         match self.size {
-            ChipletSize::Transistors(n) => {
-                db.area_for_transistors(self.node, self.design_type, n)
-            }
+            ChipletSize::Transistors(n) => db.area_for_transistors(self.node, self.design_type, n),
             ChipletSize::AreaAtNode { area, node } => {
                 db.scale_area(self.design_type, area, node, self.node)
             }
@@ -299,7 +297,7 @@ impl SystemBuilder {
                 "a system needs at least one chiplet".to_owned(),
             ));
         }
-        if !(self.lifetime.hours() > 0.0) {
+        if !self.lifetime.hours().is_finite() || self.lifetime.hours() <= 0.0 {
             return Err(EcoChipError::InvalidSystem(format!(
                 "lifetime must be positive, got {} hours",
                 self.lifetime.hours()
@@ -436,12 +434,10 @@ mod tests {
         assert_eq!(moved.chiplets[0].node, TechNode::N7);
         assert!(base.with_chiplet_node(5, TechNode::N14).is_err());
 
-        let repackaged = base.with_packaging(PackagingArchitecture::RdlFanout(
-            RdlFanoutConfig {
-                layers: 8,
-                ..RdlFanoutConfig::default()
-            },
-        ));
+        let repackaged = base.with_packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig {
+            layers: 8,
+            ..RdlFanoutConfig::default()
+        }));
         assert_ne!(repackaged.packaging, base.packaging);
 
         let long = base.with_lifetime(TimeSpan::from_years(5.0));

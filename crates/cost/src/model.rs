@@ -264,7 +264,10 @@ mod tests {
         for node in TechNode::ALL {
             let w = model.wafer_cost(node).dollars();
             let m = model.mask_set_cost(node).dollars();
-            assert!(w <= prev_wafer, "wafer cost must not increase with maturity");
+            assert!(
+                w <= prev_wafer,
+                "wafer cost must not increase with maturity"
+            );
             assert!(m <= prev_mask);
             prev_wafer = w;
             prev_mask = m;
@@ -279,7 +282,9 @@ mod tests {
         let gpu = model.die_cost(Area::from_mm2(628.0), TechNode::N8).unwrap();
         assert!(gpu.dollars() > 100.0 && gpu.dollars() < 1_000.0, "{gpu}");
         // A 100 mm² 65 nm die costs a few dollars.
-        let small = model.die_cost(Area::from_mm2(100.0), TechNode::N65).unwrap();
+        let small = model
+            .die_cost(Area::from_mm2(100.0), TechNode::N65)
+            .unwrap();
         assert!(small.dollars() > 1.0 && small.dollars() < 20.0, "{small}");
     }
 
@@ -304,7 +309,9 @@ mod tests {
         let db = db();
         let model = CostModel::new(&db);
         let advanced = model.die_cost(Area::from_mm2(100.0), TechNode::N7).unwrap();
-        let mature = model.die_cost(Area::from_mm2(140.0), TechNode::N14).unwrap();
+        let mature = model
+            .die_cost(Area::from_mm2(140.0), TechNode::N14)
+            .unwrap();
         assert!(mature.dollars() < advanced.dollars());
     }
 
@@ -360,7 +367,9 @@ mod tests {
             )
             .unwrap();
         // Reusing the same chiplet design does not multiply the NRE.
-        assert!((four_identical.nre_per_system.dollars() - one.nre_per_system.dollars()).abs() < 1e-9);
+        assert!(
+            (four_identical.nre_per_system.dollars() - one.nre_per_system.dollars()).abs() < 1e-9
+        );
         // Distinct designs pay for distinct mask sets.
         assert!(two_distinct.nre_per_system.dollars() > one.nre_per_system.dollars() * 1.9);
     }
@@ -420,7 +429,9 @@ mod tests {
             .die_cost(Area::from_mm2(400.0 * 400.0), TechNode::N7)
             .is_err());
         let tiny = CostModel::new(&db).with_wafer(Wafer::with_diameter_mm(50.0));
-        assert!(tiny.die_cost(Area::from_mm2(2_000.0), TechNode::N7).is_err());
+        assert!(tiny
+            .die_cost(Area::from_mm2(2_000.0), TechNode::N7)
+            .is_err());
     }
 
     proptest! {

@@ -258,7 +258,10 @@ mod tests {
             "SP&R hours {spr_hours}"
         );
         let single = cost.single_iteration_cfp.kg();
-        assert!((5_000.0..15_000.0).contains(&single), "single SP&R {single} kg");
+        assert!(
+            (5_000.0..15_000.0).contains(&single),
+            "single SP&R {single} kg"
+        );
         // Full design effort exceeds 1,000 tons of CO2e ("over 2,000,000 kg").
         assert!(cost.total_cfp.tons() > 1_000.0);
         assert!(!cost.to_string().is_empty());

@@ -239,7 +239,7 @@ impl SlicingFloorplanner {
                 let left = self.pack(chiplets, a, depth + 1);
                 let right = self.pack(chiplets, b, depth + 1);
                 let spacing = self.config.chiplet_spacing.mm();
-                if depth % 2 == 0 {
+                if depth.is_multiple_of(2) {
                     // Place side by side (left | right).
                     let width = left.width + spacing + right.width;
                     let height = left.height.max(right.height);
@@ -349,7 +349,7 @@ impl Floorplan {
                 }
             }
         }
-        result.sort_by(|x, y| (x.a, x.b).cmp(&(y.a, y.b)));
+        result.sort_by_key(|x| (x.a, x.b));
         result
     }
 
@@ -414,9 +414,7 @@ mod tests {
     fn invalid_area_is_rejected() {
         let err = planner().floorplan(&outlines(&[100.0, 0.0])).unwrap_err();
         assert!(matches!(err, FloorplanError::InvalidChipletArea { .. }));
-        assert!(planner()
-            .floorplan(&outlines(&[100.0, f64::NAN]))
-            .is_err());
+        assert!(planner().floorplan(&outlines(&[100.0, f64::NAN])).is_err());
     }
 
     #[test]

@@ -226,7 +226,9 @@ impl RouterEstimator {
         let bits_per_second = self.traffic.bandwidth_gbps.max(0.0) * 1.0e9;
         // The reference energy constant was calibrated at 30% switching
         // activity, so the activity factor is applied relative to that point.
-        let dynamic_w = pj_per_bit * 1.0e-12 * bits_per_second
+        let dynamic_w = pj_per_bit
+            * 1.0e-12
+            * bits_per_second
             * (self.traffic.activity.clamp(0.0, 1.0) / REFERENCE_ACTIVITY);
 
         // --- Leakage ---
@@ -294,17 +296,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = RouterConfig::default();
-        c.ports = 1;
+        let c = RouterConfig {
+            ports: 1,
+            ..RouterConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RouterConfig::default();
-        c.flit_width_bits = 0;
+        let c = RouterConfig {
+            flit_width_bits: 0,
+            ..RouterConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RouterConfig::default();
-        c.virtual_channels = 0;
+        let c = RouterConfig {
+            virtual_channels: 0,
+            ..RouterConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RouterConfig::default();
-        c.buffer_depth_flits = 0;
+        let c = RouterConfig {
+            buffer_depth_flits: 0,
+            ..RouterConfig::default()
+        };
         assert!(c.validate().is_err());
         let est = RouterEstimator::new(c);
         assert!(est.estimate(db().node(TechNode::N7).unwrap()).is_err());

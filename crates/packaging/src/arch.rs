@@ -265,14 +265,14 @@ impl PackagingArchitecture {
                         expected: "at least 1 layer",
                     });
                 }
-                if !(c.bridge_area.mm2() > 0.0) {
+                if !c.bridge_area.mm2().is_finite() || c.bridge_area.mm2() <= 0.0 {
                     return Err(PackagingError::InvalidConfig {
                         name: "bridge_area",
                         value: c.bridge_area.mm2(),
                         expected: "a finite area > 0",
                     });
                 }
-                if !(c.bridge_range.mm() > 0.0) {
+                if !c.bridge_range.mm().is_finite() || c.bridge_range.mm() <= 0.0 {
                     return Err(PackagingError::InvalidConfig {
                         name: "bridge_range",
                         value: c.bridge_range.mm(),
@@ -298,14 +298,14 @@ impl PackagingArchitecture {
                 }
             }
             PackagingArchitecture::ThreeD(c) => {
-                if !(c.pitch.um() > 0.0) {
+                if !c.pitch.um().is_finite() || c.pitch.um() <= 0.0 {
                     return Err(PackagingError::InvalidConfig {
                         name: "bond_pitch",
                         value: c.pitch.um(),
                         expected: "a finite pitch > 0",
                     });
                 }
-                if !(c.bonding_epa_kwh_per_cm2 >= 0.0) {
+                if !c.bonding_epa_kwh_per_cm2.is_finite() || c.bonding_epa_kwh_per_cm2 < 0.0 {
                     return Err(PackagingError::InvalidConfig {
                         name: "bonding_epa",
                         value: c.bonding_epa_kwh_per_cm2,
@@ -328,7 +328,11 @@ impl fmt::Display for PackagingArchitecture {
                 write!(f, "silicon bridge ({} layers @ {})", c.layers, c.tech)
             }
             PackagingArchitecture::PassiveInterposer(c) => {
-                write!(f, "passive interposer ({} BEOL @ {})", c.beol_layers, c.tech)
+                write!(
+                    f,
+                    "passive interposer ({} BEOL @ {})",
+                    c.beol_layers, c.tech
+                )
             }
             PackagingArchitecture::ActiveInterposer(c) => {
                 write!(f, "active interposer ({} BEOL @ {})", c.beol_layers, c.tech)

@@ -248,9 +248,7 @@ impl<'a> CommunicationEstimator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arch::{
-        InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
-    };
+    use crate::arch::{InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig};
     use ecochip_floorplan::{ChipletOutline, FloorplanConfig, SlicingFloorplanner};
 
     fn db() -> TechDb {

@@ -182,9 +182,7 @@ impl<'a> PackageEstimator<'a> {
         let rdl_yield = yield_model.yield_for(package_area);
         let intensity = self.packaging_source.carbon_intensity();
         let energy = params.epla_rdl * package_area * cfg.layers as f64;
-        let substrate = Carbon::from_kg(
-            (intensity * energy).kg() * rdl_yield.inflation_factor(),
-        );
+        let substrate = Carbon::from_kg((intensity * energy).kg() * rdl_yield.inflation_factor());
         Ok(PackageCfp {
             substrate,
             bridges: Carbon::ZERO,
@@ -212,7 +210,9 @@ impl<'a> PackageEstimator<'a> {
         // between adjacent chiplets, at least one per interface.
         let mut bridge_count: u32 = 0;
         for adj in floorplan.adjacencies() {
-            let spans = (adj.shared_edge.mm() / cfg.bridge_range.mm()).ceil().max(1.0);
+            let spans = (adj.shared_edge.mm() / cfg.bridge_range.mm())
+                .ceil()
+                .max(1.0);
             bridge_count += spans as u32;
         }
 
@@ -259,8 +259,9 @@ impl<'a> PackageEstimator<'a> {
         let interposer_yield = yield_model.yield_for(package_area);
         let intensity = self.packaging_source.carbon_intensity();
         let beol_energy = params.epla_bridge * package_area * cfg.beol_layers as f64;
-        let material =
-            (params.gas_cfp + params.material_cfp) * package_area * PASSIVE_INTERPOSER_MATERIAL_FACTOR;
+        let material = (params.gas_cfp + params.material_cfp)
+            * package_area
+            * PASSIVE_INTERPOSER_MATERIAL_FACTOR;
         let substrate = Carbon::from_kg(
             ((intensity * beol_energy) + material).kg() * interposer_yield.inflation_factor(),
         );
@@ -335,7 +336,7 @@ impl<'a> PackageEstimator<'a> {
             )));
         }
         for die in stack {
-            if !(die.area.mm2() > 0.0) || !die.area.mm2().is_finite() {
+            if !die.area.mm2().is_finite() || die.area.mm2() <= 0.0 {
                 return Err(PackagingError::InvalidStack(format!(
                     "die {:?} has invalid area {} mm2",
                     die.name,
@@ -361,7 +362,8 @@ impl<'a> PackageEstimator<'a> {
         }
 
         let energy = ecochip_techdb::Energy::from_kwh(bond_energy_kwh + bonding_energy_kwh);
-        let bonding = Carbon::from_kg((intensity * energy).kg() * assembly_yield.inflation_factor());
+        let bonding =
+            Carbon::from_kg((intensity * energy).kg() * assembly_yield.inflation_factor());
 
         // The 2D footprint of the stack is the largest tier.
         let package_area = stack
@@ -509,7 +511,10 @@ mod tests {
         }
         // Fig. 11(c): older interposer nodes have lower EPA and lower CFP.
         for pair in totals.windows(2) {
-            assert!(pair[1] < pair[0], "older node should be cheaper: {totals:?}");
+            assert!(
+                pair[1] < pair[0],
+                "older node should be cheaper: {totals:?}"
+            );
         }
     }
 
@@ -591,7 +596,10 @@ mod tests {
         let est = PackageEstimator::new(&db, EnergySource::Coal);
         let plan = plan(&[100.0, 100.0]);
         let cfp = est
-            .package_cfp(&PackagingArchitecture::ThreeD(ThreeDConfig::default()), &plan)
+            .package_cfp(
+                &PackagingArchitecture::ThreeD(ThreeDConfig::default()),
+                &plan,
+            )
             .unwrap();
         assert!(cfp.bonding.kg() > 0.0);
         assert!(cfp.bond_count > 0.0);

@@ -4,9 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use ecochip_techdb::{
-    Carbon, Energy, EnergySource, Frequency, Power, TimeSpan, Voltage,
-};
+use ecochip_techdb::{Carbon, Energy, EnergySource, Frequency, Power, TimeSpan, Voltage};
 
 /// Electrical operating point for the first-principles energy model of
 /// Eq. (14).

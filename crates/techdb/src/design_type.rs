@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn serde_lowercase() {
-        assert_eq!(serde_json::to_string(&DesignType::Memory).unwrap(), "\"memory\"");
+        assert_eq!(
+            serde_json::to_string(&DesignType::Memory).unwrap(),
+            "\"memory\""
+        );
         let dt: DesignType = serde_json::from_str("\"analog\"").unwrap();
         assert_eq!(dt, DesignType::Analog);
     }

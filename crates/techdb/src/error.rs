@@ -39,7 +39,10 @@ impl fmt::Display for TechDbError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid value {value} for parameter {name} (expected {expected})"),
+            } => write!(
+                f,
+                "invalid value {value} for parameter {name} (expected {expected})"
+            ),
             TechDbError::MissingNode(nm) => {
                 write!(f, "technology database has no entry for {nm} nm")
             }

@@ -20,9 +20,7 @@ use crate::error::TechDbError;
 /// assert!(TechNode::N7.is_more_advanced_than(TechNode::N65));
 /// assert_eq!("10".parse::<TechNode>().unwrap(), TechNode::N10);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(try_from = "u32", into = "u32")]
 pub enum TechNode {
     /// 3 nm class node.

@@ -282,28 +282,209 @@ impl NodeParamsBuilder {
 /// Columns: node, D0 (/cm²), logic / memory / analog densities (MTr/mm²),
 /// EPA (kWh/cm²), Cgas (kg/cm²), ηeq, ηEDA, EPLA_RDL, EPLA_bridge (kWh/cm²
 /// per layer), Vdd (V).
-#[allow(clippy::type_complexity)]
-const DEFAULT_ROWS: [(TechNode, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64); 14] = [
+const DEFAULT_ROWS: [ParamRow; 14] = [
     // node,      D0, logic, memory, analog, EPA, Cgas,  ηeq,  ηEDA, RDL,   bridge, Vdd
     //
     // The memory and analog columns are deliberately much flatter than the
     // logic column across the 5–16 nm range: SRAM bit cells and analog
     // devices have essentially stopped scaling, which is the premise of the
     // paper's technology mix-and-match argument.
-    (TechNode::N3, 0.30, 215.0, 280.0, 40.0, 3.50, 0.50, 1.00, 0.50, 0.200, 0.350, 0.70),
-    (TechNode::N5, 0.27, 138.0, 250.0, 38.0, 3.10, 0.45, 0.98, 0.58, 0.195, 0.345, 0.72),
-    (TechNode::N7, 0.24, 91.0, 225.0, 35.0, 2.75, 0.40, 0.95, 0.65, 0.190, 0.340, 0.75),
-    (TechNode::N8, 0.22, 61.0, 215.0, 34.0, 2.50, 0.37, 0.93, 0.68, 0.185, 0.330, 0.77),
-    (TechNode::N10, 0.20, 55.0, 205.0, 33.0, 2.35, 0.35, 0.92, 0.71, 0.180, 0.320, 0.78),
-    (TechNode::N12, 0.18, 44.0, 195.0, 31.5, 2.15, 0.32, 0.90, 0.74, 0.172, 0.305, 0.80),
-    (TechNode::N14, 0.16, 32.0, 185.0, 30.0, 2.00, 0.30, 0.88, 0.77, 0.165, 0.290, 0.82),
-    (TechNode::N16, 0.15, 28.0, 175.0, 29.0, 1.90, 0.28, 0.87, 0.79, 0.158, 0.275, 0.84),
-    (TechNode::N22, 0.12, 16.5, 150.0, 26.0, 1.60, 0.22, 0.83, 0.84, 0.140, 0.240, 0.90),
-    (TechNode::N28, 0.11, 12.0, 120.0, 23.0, 1.45, 0.20, 0.80, 0.87, 0.120, 0.210, 0.95),
-    (TechNode::N40, 0.09, 7.0, 70.0, 18.0, 1.20, 0.16, 0.76, 0.92, 0.090, 0.160, 1.05),
-    (TechNode::N65, 0.08, 3.3, 35.0, 12.0, 0.95, 0.12, 0.70, 1.00, 0.065, 0.120, 1.20),
-    (TechNode::N90, 0.075, 1.6, 20.0, 8.0, 0.85, 0.11, 0.68, 1.00, 0.055, 0.110, 1.35),
-    (TechNode::N130, 0.07, 0.8, 10.0, 5.0, 0.80, 0.10, 0.65, 1.00, 0.050, 0.100, 1.50),
+    (
+        TechNode::N3,
+        0.30,
+        215.0,
+        280.0,
+        40.0,
+        3.50,
+        0.50,
+        1.00,
+        0.50,
+        0.200,
+        0.350,
+        0.70,
+    ),
+    (
+        TechNode::N5,
+        0.27,
+        138.0,
+        250.0,
+        38.0,
+        3.10,
+        0.45,
+        0.98,
+        0.58,
+        0.195,
+        0.345,
+        0.72,
+    ),
+    (
+        TechNode::N7,
+        0.24,
+        91.0,
+        225.0,
+        35.0,
+        2.75,
+        0.40,
+        0.95,
+        0.65,
+        0.190,
+        0.340,
+        0.75,
+    ),
+    (
+        TechNode::N8,
+        0.22,
+        61.0,
+        215.0,
+        34.0,
+        2.50,
+        0.37,
+        0.93,
+        0.68,
+        0.185,
+        0.330,
+        0.77,
+    ),
+    (
+        TechNode::N10,
+        0.20,
+        55.0,
+        205.0,
+        33.0,
+        2.35,
+        0.35,
+        0.92,
+        0.71,
+        0.180,
+        0.320,
+        0.78,
+    ),
+    (
+        TechNode::N12,
+        0.18,
+        44.0,
+        195.0,
+        31.5,
+        2.15,
+        0.32,
+        0.90,
+        0.74,
+        0.172,
+        0.305,
+        0.80,
+    ),
+    (
+        TechNode::N14,
+        0.16,
+        32.0,
+        185.0,
+        30.0,
+        2.00,
+        0.30,
+        0.88,
+        0.77,
+        0.165,
+        0.290,
+        0.82,
+    ),
+    (
+        TechNode::N16,
+        0.15,
+        28.0,
+        175.0,
+        29.0,
+        1.90,
+        0.28,
+        0.87,
+        0.79,
+        0.158,
+        0.275,
+        0.84,
+    ),
+    (
+        TechNode::N22,
+        0.12,
+        16.5,
+        150.0,
+        26.0,
+        1.60,
+        0.22,
+        0.83,
+        0.84,
+        0.140,
+        0.240,
+        0.90,
+    ),
+    (
+        TechNode::N28,
+        0.11,
+        12.0,
+        120.0,
+        23.0,
+        1.45,
+        0.20,
+        0.80,
+        0.87,
+        0.120,
+        0.210,
+        0.95,
+    ),
+    (
+        TechNode::N40,
+        0.09,
+        7.0,
+        70.0,
+        18.0,
+        1.20,
+        0.16,
+        0.76,
+        0.92,
+        0.090,
+        0.160,
+        1.05,
+    ),
+    (
+        TechNode::N65,
+        0.08,
+        3.3,
+        35.0,
+        12.0,
+        0.95,
+        0.12,
+        0.70,
+        1.00,
+        0.065,
+        0.120,
+        1.20,
+    ),
+    (
+        TechNode::N90,
+        0.075,
+        1.6,
+        20.0,
+        8.0,
+        0.85,
+        0.11,
+        0.68,
+        1.00,
+        0.055,
+        0.110,
+        1.35,
+    ),
+    (
+        TechNode::N130,
+        0.07,
+        0.8,
+        10.0,
+        5.0,
+        0.80,
+        0.10,
+        0.65,
+        1.00,
+        0.050,
+        0.100,
+        1.50,
+    ),
 ];
 
 /// Carbon footprint of material sourcing, `Cmaterial` (Table I fixes 0.5 kg/cm²).
@@ -316,7 +497,23 @@ const MATERIAL_CFP_KG_PER_CM2: f64 = 0.5;
 /// raw wafer production plus shared processing, without test and packaging.
 const SILICON_WAFER_CFP_KG_PER_CM2: f64 = 1.0;
 
-fn default_params_for(row: &(TechNode, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64)) -> NodeParams {
+/// One raw row of [`DEFAULT_ROWS`], in the column order documented there.
+type ParamRow = (
+    TechNode,
+    f64,
+    f64,
+    f64,
+    f64,
+    f64,
+    f64,
+    f64,
+    f64,
+    f64,
+    f64,
+    f64,
+);
+
+fn default_params_for(row: &ParamRow) -> NodeParams {
     let (node, d0, logic, memory, analog, epa, gas, eta_eq, eta_eda, epla_rdl, epla_bridge, vdd) =
         *row;
     NodeParams {
@@ -402,7 +599,9 @@ impl TechDb {
         design_type: DesignType,
         transistors: f64,
     ) -> Result<Area, TechDbError> {
-        Ok(self.node(node)?.area_for_transistors(design_type, transistors))
+        Ok(self
+            .node(node)?
+            .area_for_transistors(design_type, transistors))
     }
 
     /// Scale an area known at `from` node to the equivalent area at `to` node,

@@ -762,9 +762,9 @@ mod tests {
 
     #[test]
     fn area_conversions_round_trip() {
-        let a = Area::from_cm2(6.28);
-        assert!((a.mm2() - 628.0).abs() < 1e-9);
-        assert!((a.cm2() - 6.28).abs() < 1e-12);
+        let a = Area::from_cm2(6.25);
+        assert!((a.mm2() - 625.0).abs() < 1e-9);
+        assert!((a.cm2() - 6.25).abs() < 1e-12);
         assert!((Area::from_um2(1.0e6).mm2() - 1.0).abs() < 1e-12);
     }
 

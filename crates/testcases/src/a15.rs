@@ -114,7 +114,9 @@ mod tests {
         // operational for the battery-powered SoC.
         let db = TechDb::default();
         let estimator = EcoChip::default();
-        let report = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
+        let report = estimator
+            .estimate(&monolithic_system(&db).unwrap())
+            .unwrap();
         let frac = report.embodied_fraction();
         assert!(
             (0.6..=0.95).contains(&frac),
@@ -128,7 +130,9 @@ mod tests {
         // die is small.
         let db = TechDb::default();
         let estimator = EcoChip::default();
-        let mono = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
+        let mono = estimator
+            .estimate(&monolithic_system(&db).unwrap())
+            .unwrap();
         let chip = estimator
             .estimate(&three_chiplet_system(&db, default_chiplet_nodes()).unwrap())
             .unwrap();

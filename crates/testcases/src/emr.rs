@@ -141,8 +141,12 @@ mod tests {
         // die of the same area, thanks to yield.
         let db = TechDb::default();
         let estimator = EcoChip::default();
-        let mono = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
-        let two = estimator.estimate(&two_chiplet_system(&db).unwrap()).unwrap();
+        let mono = estimator
+            .estimate(&monolithic_system(&db).unwrap())
+            .unwrap();
+        let two = estimator
+            .estimate(&two_chiplet_system(&db).unwrap())
+            .unwrap();
         assert!(two.manufacturing().kg() < mono.manufacturing().kg());
         assert!(two.embodied().kg() < mono.embodied().kg());
         assert!(two.total().kg() < mono.total().kg());

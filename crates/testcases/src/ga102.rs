@@ -161,11 +161,16 @@ mod tests {
     fn headline_result_chiplets_beat_monolith_on_embodied() {
         let db = TechDb::default();
         let estimator = EcoChip::default();
-        let mono = estimator.estimate(&monolithic_system(&db).unwrap()).unwrap();
+        let mono = estimator
+            .estimate(&monolithic_system(&db).unwrap())
+            .unwrap();
         let chiplets = estimator
             .estimate(
-                &three_chiplet_system(&db, NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10))
-                    .unwrap(),
+                &three_chiplet_system(
+                    &db,
+                    NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+                )
+                .unwrap(),
             )
             .unwrap();
         let saving = 1.0 - chiplets.embodied().kg() / mono.embodied().kg();

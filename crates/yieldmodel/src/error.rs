@@ -32,7 +32,10 @@ impl fmt::Display for YieldError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid value {value} for parameter {name} (expected {expected})"),
+            } => write!(
+                f,
+                "invalid value {value} for parameter {name} (expected {expected})"
+            ),
             YieldError::DieLargerThanWafer {
                 die_mm2,
                 wafer_diameter_mm,

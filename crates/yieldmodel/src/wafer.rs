@@ -254,10 +254,11 @@ mod tests {
         let u = w.utilization(Area::from_mm2(100.0)).unwrap();
         let total = u.used_area.mm2() + u.wasted_area_total.mm2();
         assert!((total - w.area().mm2()).abs() < 1e-6);
-        assert!((u.wasted_area_per_die.mm2() * u.dies_per_wafer as f64
-            - u.wasted_area_total.mm2())
-        .abs()
-            < 1e-6);
+        assert!(
+            (u.wasted_area_per_die.mm2() * u.dies_per_wafer as f64 - u.wasted_area_total.mm2())
+                .abs()
+                < 1e-6
+        );
         assert!(!u.to_string().is_empty());
         assert!(!w.to_string().is_empty());
     }

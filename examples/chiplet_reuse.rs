@@ -31,7 +31,8 @@ fn print_grid(
             let p = points
                 .iter()
                 .find(|p| {
-                    (p.reuse_ratio - ratio).abs() < 1e-9 && (p.lifetime.years() - years).abs() < 1e-9
+                    (p.reuse_ratio - ratio).abs() < 1e-9
+                        && (p.lifetime.years() - years).abs() < 1e-9
                 })
                 .expect("point exists");
             print!("{:>12.1}", p.total.kg());

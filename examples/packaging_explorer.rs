@@ -47,9 +47,9 @@ fn digital_block_system(
 ) -> Result<System, Box<dyn std::error::Error>> {
     // The GA102's digital block is ~500 mm² in 8 nm; at 7 nm that is about
     // 30 B transistors split evenly into Nc chiplets.
-    let transistors = 500.0 * db
-        .node(TechNode::N8)?
-        .transistors_for_area(DesignType::Logic, eco_chip::techdb::Area::from_mm2(1.0));
+    let transistors = 500.0
+        * db.node(TechNode::N8)?
+            .transistors_for_area(DesignType::Logic, eco_chip::techdb::Area::from_mm2(1.0));
     let chiplets = split_block("digital", DesignType::Logic, TechNode::N7, transistors, nc)?;
     Ok(System::builder(format!("digital-{nc}way"))
         .chiplets(chiplets)
@@ -90,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tech: TechNode::N65,
         });
         let report = estimator.estimate(&digital_block_system(&db, 4, arch)?)?;
-        println!("  L_RDL = {layers}: CHI = {:.2} kg", report.hi_overhead().kg());
+        println!(
+            "  L_RDL = {layers}: CHI = {:.2} kg",
+            report.hi_overhead().kg()
+        );
     }
 
     println!();

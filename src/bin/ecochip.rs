@@ -65,7 +65,7 @@ fn builtin_system(db: &TechDb, name: &str) -> Result<System, Box<dyn std::error:
                 .parse()
                 .map_err(|_| format!("cannot parse capacity in {other:?}"))?;
             let per_die = series.mb_per_die();
-            if total_mb == 0 || total_mb % per_die != 0 || total_mb / per_die > 4 {
+            if total_mb == 0 || !total_mb.is_multiple_of(per_die) || total_mb / per_die > 4 {
                 return Err(format!("unsupported AR/VR capacity {total_mb} MB").into());
             }
             arvr::system(db, &arvr::ArVrConfig::new(series, total_mb / per_die))?

@@ -37,7 +37,10 @@ fn ga102_disaggregation_saves_embodied_carbon() {
             .unwrap(),
         )
         .unwrap();
-    assert!(mixed.hi_overhead().kg() > 0.0, "HI overheads must be counted");
+    assert!(
+        mixed.hi_overhead().kg() > 0.0,
+        "HI overheads must be counted"
+    );
     let saving = 1.0 - mixed.embodied().kg() / mono.embodied().kg();
     assert!(
         (0.10..=0.70).contains(&saving),
@@ -61,7 +64,10 @@ fn ga102_disaggregation_saves_embodied_carbon() {
         .report
         .embodied()
         .kg();
-    assert!(mixed_tuple < all7, "mix-and-match must beat the uniform 7nm split");
+    assert!(
+        mixed_tuple < all7,
+        "mix-and-match must beat the uniform 7nm split"
+    );
     // All-mature configurations blow up the logic area and lose.
     let all14 = points
         .iter()
@@ -129,7 +135,9 @@ fn emr_two_chiplet_beats_monolith() {
     let db = db();
     let est = estimator();
     let mono = est.estimate(&emr::monolithic_system(&db).unwrap()).unwrap();
-    let two = est.estimate(&emr::two_chiplet_system(&db).unwrap()).unwrap();
+    let two = est
+        .estimate(&emr::two_chiplet_system(&db).unwrap())
+        .unwrap();
     assert!(two.embodied().kg() < mono.embodied().kg());
     assert!(two.total().kg() < mono.total().kg());
 }
@@ -190,7 +198,10 @@ fn packaging_architecture_ordering_and_scaling() {
         first_chi.get_or_insert(prev_chi);
         last_chi = prev_chi;
     }
-    assert!(last_chi > first_chi.unwrap(), "CHI must grow from 2 to 8 chiplets");
+    assert!(
+        last_chi > first_chi.unwrap(),
+        "CHI must grow from 2 to 8 chiplets"
+    );
 }
 
 /// Fig. 12: reuse amortises embodied carbon; lifetime grows the operational
@@ -251,7 +262,10 @@ fn arvr_stacking_tradeoff() {
             let report = est.estimate(&arvr::system(&db, &cfg).unwrap()).unwrap();
             let perf = arvr::performance(&cfg);
             assert!(report.total().kg() > prev_total, "{cfg}: total must grow");
-            assert!(perf.latency_ms < prev_latency, "{cfg}: latency must improve");
+            assert!(
+                perf.latency_ms < prev_latency,
+                "{cfg}: latency must improve"
+            );
             prev_total = report.total().kg();
             prev_latency = perf.latency_ms;
         }
@@ -306,7 +320,10 @@ fn report_csv_export_is_consistent() {
     let csv = report.to_csv();
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + report.chiplets.len() + 6);
-    let total_line = lines.iter().find(|l| l.starts_with("summary,total")).unwrap();
+    let total_line = lines
+        .iter()
+        .find(|l| l.starts_with("summary,total"))
+        .unwrap();
     let total_value: f64 = total_line.split(',').nth(6).unwrap().parse().unwrap();
     assert!((total_value - report.total().kg()).abs() < 1e-3);
 }

@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde`.
+//!
+//! The crates.io registry is not reachable from this build environment, so
+//! this crate provides the small serialization surface the workspace needs:
+//! a JSON-shaped [`Value`] tree plus [`Serialize`] / [`Deserialize`] traits
+//! expressed directly over it. The companion `serde_derive` shim generates
+//! impls of these traits, and the `serde_json` shim converts between
+//! [`Value`] and JSON text.
+//!
+//! This is intentionally *not* API-compatible with the real serde data model
+//! (no `Serializer` / `Deserializer` visitors); it is compatible with the
+//! subset this repository uses: `#[derive(Serialize, Deserialize)]` and
+//! `serde_json::{to_string, to_string_pretty, from_str}`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+///
+/// Integers and floats are kept distinct so that `u32` round-trips as `7`
+/// while `f64` round-trips as `7.0`, matching real `serde_json` output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (also covers unsigned values up to `i64::MAX`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, if this is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Create an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// Create a type-mismatch error naming the type being deserialized.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error {
+            message: format!("expected {what} while deserializing {context}"),
+        }
+    }
+
+    /// Create a type-mismatch error naming the JSON kind actually found.
+    pub fn type_mismatch(expected: &str, found: &str) -> Self {
+        Error {
+            message: format!("expected {expected}, got {found}"),
+        }
+    }
+
+    /// Annotate an error with the field it occurred in.
+    pub fn in_field(self, context: &str, field: &str) -> Self {
+        Error {
+            message: format!("{context}.{field}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers
+// ---------------------------------------------------------------------------
+
+/// Look up a key in an object field list.
+#[doc(hidden)]
+pub fn __get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialize a struct field, treating a missing key as `null` so that
+/// `Option` fields default to `None` (mirroring serde's behaviour).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    fields: &[(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<T, Error> {
+    match __get(fields, key) {
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(context, key)),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{key}` in {context}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("boolean", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    ref other => return Err(Error::type_mismatch("integer", other.kind())),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::custom(concat!(
+                    "integer out of range for ", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::Int(i) => u64::try_from(i)
+                        .map_err(|_| Error::custom("negative value for unsigned integer"))?,
+                    Value::UInt(u) => u,
+                    ref other => return Err(Error::type_mismatch("integer", other.kind())),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::custom(concat!(
+                    "integer out of range for ", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::type_mismatch("number", v.kind()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::type_mismatch("array", v.kind()))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($idx:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::type_mismatch("array", v.kind()))?;
+                let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                if items.len() != expected {
+                    return Err(Error::custom("wrong tuple length"));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Render a map key as the JSON object-key string (serde_json stringifies
+/// integer keys).
+fn key_to_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::String(s) => Ok(s.clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::custom(format!(
+            "cannot use {} as a map key",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reconstruct a map key from its JSON object-key string.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    K::from_value(&Value::String(key.to_string()))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let fields = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value()).expect("unsupported map key type");
+                (key, v.to_value())
+            })
+            .collect();
+        Value::Object(fields)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| Error::type_mismatch("object", v.kind()))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value()).expect("unsupported map key type");
+                (key, v.to_value())
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| Error::type_mismatch("object", v.kind()))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

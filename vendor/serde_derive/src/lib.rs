@@ -1,0 +1,786 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is not reachable from the build environment,
+//! so this proc-macro implements the subset of `#[derive(Serialize,
+//! Deserialize)]` the workspace actually uses, generating impls of the
+//! vendored `serde` crate's value-tree traits (`Serialize::to_value` /
+//! `Deserialize::from_value`).
+//!
+//! Supported container attributes:
+//! - `#[serde(transparent)]`
+//! - `#[serde(rename_all = "snake_case" | "lowercase")]`
+//! - `#[serde(tag = "...")]` (internally tagged enums)
+//! - `#[serde(tag = "...", content = "...")]` (adjacently tagged enums)
+//! - `#[serde(try_from = "T", into = "T")]`
+//!
+//! Parsing is done directly on the `proc_macro` token stream — `syn` and
+//! `quote` are not available offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Newtype(String),
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Default)]
+struct Attrs {
+    transparent: bool,
+    rename_all: Option<String>,
+    tag: Option<String>,
+    content: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+struct Item {
+    attrs: Attrs,
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut attrs = Attrs::default();
+
+    // Outer attributes.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_attr_group(&g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    panic!("serde_derive: malformed attribute");
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility.
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    // No generics are used by this workspace; reject them loudly rather than
+    // silently generating broken impls.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(parse_type_list(&g.stream()))
+            }
+            _ => Data::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+
+    Item { attrs, name, data }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse the inside of one `#[...]` attribute; record `serde(...)` keys.
+fn parse_attr_group(stream: &TokenStream, attrs: &mut Attrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(g)] = &tokens[..] else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    // Split `key = "value"` pairs on top-level commas.
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut part: Vec<TokenTree> = Vec::new();
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    for tt in inner {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                parts.push(std::mem::take(&mut part));
+            }
+            _ => part.push(tt),
+        }
+    }
+    if !part.is_empty() {
+        parts.push(part);
+    }
+    for part in parts {
+        let key = match part.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        let value = part
+            .iter()
+            .skip(2)
+            .map(|t| t.to_string())
+            .collect::<String>();
+        let value = value.trim_matches('"').to_string();
+        match key.as_str() {
+            "transparent" => attrs.transparent = true,
+            "rename_all" => attrs.rename_all = Some(value),
+            "tag" => attrs.tag = Some(value),
+            "content" => attrs.content = Some(value),
+            "try_from" => attrs.try_from = Some(value),
+            "into" => attrs.into = Some(value),
+            "rename" | "default" | "skip" | "skip_serializing" | "skip_deserializing" => {
+                panic!("serde_derive (vendored): unsupported serde attribute `{key}`")
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Skip any `#[...]` attributes at position `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        // No field- or variant-level serde attributes are supported; reject
+        // them loudly rather than silently producing non-serde-compatible
+        // JSON (e.g. ignoring a `rename` or `default`).
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                if id.to_string() == "serde" {
+                    panic!(
+                        "serde_derive (vendored): field/variant-level serde attributes are not supported: #[{g}]"
+                    );
+                }
+            }
+        }
+        *i += 2; // '#' + bracket group
+    }
+}
+
+/// Collect type tokens until a top-level comma, tracking `<...>` depth.
+fn collect_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut out: Vec<String> = Vec::new();
+    while let Some(tt) = tokens.get(*i) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                out.push("<".into());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                out.push(">".into());
+            }
+            other => out.push(other.to_string()),
+        }
+        *i += 1;
+    }
+    out.join(" ")
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        collect_type(&tokens, &mut i);
+        i += 1; // ','
+        fields.push(Field { name });
+    }
+    fields
+}
+
+fn parse_type_list(stream: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0usize;
+    let mut tys = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let ty = collect_type(&tokens, &mut i);
+        i += 1; // ','
+        if !ty.is_empty() {
+            tys.push(ty);
+        }
+    }
+    tys
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let tys = parse_type_list(&g.stream());
+                if tys.len() == 1 {
+                    VariantKind::Newtype(tys.into_iter().next().unwrap())
+                } else {
+                    VariantKind::Tuple(tys)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (idx, ch) in name.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if idx != 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        Some("kebab-case") => rename(name, Some("snake_case")).replace('_', "-"),
+        Some(other) => panic!("serde_derive (vendored): unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.attrs.into {
+        format!(
+            "let __proxy: {into} = <{into} as ::std::convert::From<Self>>::from(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &item.data {
+            Data::NamedStruct(fields) => {
+                if item.attrs.transparent {
+                    if fields.len() != 1 {
+                        panic!("serde_derive: transparent struct must have one field");
+                    }
+                    format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+                } else {
+                    let mut s = String::from("let mut __obj = ::std::vec::Vec::new();\n");
+                    for f in fields {
+                        s.push_str(&format!(
+                            "__obj.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__obj)");
+                    s
+                }
+            }
+            Data::TupleStruct(tys) => {
+                if tys.len() == 1 {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                } else {
+                    let mut s = String::from("let mut __arr = ::std::vec::Vec::new();\n");
+                    for idx in 0..tys.len() {
+                        s.push_str(&format!(
+                            "__arr.push(::serde::Serialize::to_value(&self.{idx}));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Array(__arr)");
+                    s
+                }
+            }
+            Data::UnitStruct => "::serde::Value::Null".to_string(),
+            Data::Enum(variants) => gen_enum_serialize(item, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.attrs.rename_all.as_deref();
+    let tag = item.attrs.tag.as_deref();
+    let content = item.attrs.content.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = rename(vname, rule);
+        let arm = match (&v.kind, tag, content) {
+            (VariantKind::Unit, None, _) => format!(
+                "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{wire}\")),"
+            ),
+            (VariantKind::Unit, Some(t), _) => format!(
+                "{name}::{vname} => ::serde::Value::Object(vec![(::std::string::String::from(\"{t}\"), ::serde::Value::String(::std::string::String::from(\"{wire}\")))]),"
+            ),
+            (VariantKind::Newtype(_), None, _) => format!(
+                "{name}::{vname}(__inner) => ::serde::Value::Object(vec![(::std::string::String::from(\"{wire}\"), ::serde::Serialize::to_value(__inner))]),"
+            ),
+            (VariantKind::Newtype(_), Some(t), None) => format!(
+                "{name}::{vname}(__inner) => {{\n\
+                     let __inner = ::serde::Serialize::to_value(__inner);\n\
+                     let ::serde::Value::Object(__fields) = __inner else {{\n\
+                         panic!(\"cannot serialize non-object variant content with an internal tag\");\n\
+                     }};\n\
+                     let mut __obj = vec![(::std::string::String::from(\"{t}\"), ::serde::Value::String(::std::string::String::from(\"{wire}\")))];\n\
+                     __obj.extend(__fields);\n\
+                     ::serde::Value::Object(__obj)\n\
+                 }},"
+            ),
+            (VariantKind::Newtype(_), Some(t), Some(c)) => format!(
+                "{name}::{vname}(__inner) => ::serde::Value::Object(vec![\n\
+                     (::std::string::String::from(\"{t}\"), ::serde::Value::String(::std::string::String::from(\"{wire}\"))),\n\
+                     (::std::string::String::from(\"{c}\"), ::serde::Serialize::to_value(__inner)),\n\
+                 ]),"
+            ),
+            (VariantKind::Struct(fields), _, _) => {
+                let binders = fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut push = String::new();
+                for f in &fields[..] {
+                    push.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                        f.name
+                    ));
+                }
+                let wrap = match (tag, content) {
+                    (None, _) => format!(
+                        "::serde::Value::Object(vec![(::std::string::String::from(\"{wire}\"), ::serde::Value::Object(__fields))])"
+                    ),
+                    (Some(t), None) => format!(
+                        "{{ let mut __obj = vec![(::std::string::String::from(\"{t}\"), ::serde::Value::String(::std::string::String::from(\"{wire}\")))]; __obj.extend(__fields); ::serde::Value::Object(__obj) }}"
+                    ),
+                    (Some(t), Some(c)) => format!(
+                        "::serde::Value::Object(vec![\n\
+                             (::std::string::String::from(\"{t}\"), ::serde::Value::String(::std::string::String::from(\"{wire}\"))),\n\
+                             (::std::string::String::from(\"{c}\"), ::serde::Value::Object(__fields)),\n\
+                         ])"
+                    ),
+                };
+                format!(
+                    "{name}::{vname} {{ {binders} }} => {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {push}\
+                         {wrap}\n\
+                     }},"
+                )
+            }
+            (VariantKind::Tuple(tys), _, _) => {
+                let binders = (0..tys.len())
+                    .map(|i| format!("__f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let pushes = (0..tys.len())
+                    .map(|i| format!("__arr.push(::serde::Serialize::to_value(__f{i}));\n"))
+                    .collect::<String>();
+                let wrap = match (tag, content) {
+                    (None, _) => format!(
+                        "::serde::Value::Object(vec![(::std::string::String::from(\"{wire}\"), ::serde::Value::Array(__arr))])"
+                    ),
+                    (Some(_), None) => panic!(
+                        "serde_derive: tuple variants cannot be internally tagged"
+                    ),
+                    (Some(t), Some(c)) => format!(
+                        "::serde::Value::Object(vec![\n\
+                             (::std::string::String::from(\"{t}\"), ::serde::Value::String(::std::string::String::from(\"{wire}\"))),\n\
+                             (::std::string::String::from(\"{c}\"), ::serde::Value::Array(__arr)),\n\
+                         ])"
+                    ),
+                };
+                format!(
+                    "{name}::{vname}({binders}) => {{\n\
+                         let mut __arr = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         {wrap}\n\
+                     }},"
+                )
+            }
+        };
+        arms.push_str(&arm);
+        arms.push('\n');
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_from) = &item.attrs.try_from {
+        format!(
+            "let __proxy: {try_from} = ::serde::Deserialize::from_value(__v)?;\n\
+             <Self as ::std::convert::TryFrom<{try_from}>>::try_from(__proxy)\n\
+                 .map_err(|e| ::serde::Error::custom(::std::format!(\"invalid {name}: {{e}}\")))"
+        )
+    } else {
+        match &item.data {
+            Data::NamedStruct(fields) => {
+                if item.attrs.transparent {
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {0}: ::serde::Deserialize::from_value(__v)? }})",
+                        fields[0].name
+                    )
+                } else {
+                    gen_named_struct_deserialize(name, name, fields)
+                }
+            }
+            Data::TupleStruct(tys) => {
+                if tys.len() == 1 {
+                    format!(
+                        "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                    )
+                } else {
+                    let mut s = format!(
+                        "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                         if __arr.len() != {0} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n",
+                        tys.len()
+                    );
+                    let args = (0..tys.len())
+                        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    s.push_str(&format!("::std::result::Result::Ok({name}({args}))"));
+                    s
+                }
+            }
+            Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Data::Enum(variants) => gen_enum_deserialize(item, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Build `Ok(Ctor { f: __field(obj, "f")?, ... })` reading from `__fields`.
+fn gen_struct_ctor(ctor: &str, fields: &[Field]) -> String {
+    let inits = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{0}: ::serde::__field(__fields, \"{0}\", \"{ctor}\")?",
+                f.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::std::result::Result::Ok({ctor} {{ {inits} }})")
+}
+
+fn gen_named_struct_deserialize(name: &str, ctor: &str, fields: &[Field]) -> String {
+    format!(
+        "let __fields = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n{}",
+        gen_struct_ctor(ctor, fields)
+    )
+}
+
+fn gen_enum_deserialize(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.attrs.rename_all.as_deref();
+    let tag = item.attrs.tag.as_deref();
+    let content = item.attrs.content.as_deref();
+
+    let unit_only = variants.iter().all(|v| matches!(v.kind, VariantKind::Unit));
+
+    // Plain strings deserialize into unit-only untagged enums.
+    if unit_only && tag.is_none() {
+        let mut arms = String::new();
+        for v in variants {
+            let wire = rename(&v.name, rule);
+            arms.push_str(&format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{}),\n",
+                v.name
+            ));
+        }
+        return format!(
+            "let __s = __v.as_str().ok_or_else(|| ::serde::Error::expected(\"string\", \"{name}\"))?;\n\
+             match __s {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+             }}"
+        );
+    }
+
+    match (tag, content) {
+        (Some(t), None) => {
+            // Internally tagged.
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = rename(vname, rule);
+                let arm = match &v.kind {
+                    VariantKind::Unit => {
+                        format!("\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n")
+                    }
+                    VariantKind::Newtype(ty) => format!(
+                        "\"{wire}\" => {{\n\
+                             let __rest: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = __fields.iter().filter(|(k, _)| k != \"{t}\").cloned().collect();\n\
+                             let __inner: {ty} = ::serde::Deserialize::from_value(&::serde::Value::Object(__rest))?;\n\
+                             ::std::result::Result::Ok({name}::{vname}(__inner))\n\
+                         }},\n"
+                    ),
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!("{name}::{vname}");
+                        format!("\"{wire}\" => {{ {} }},\n", gen_struct_ctor(&ctor, fields))
+                    }
+                    VariantKind::Tuple(_) => {
+                        panic!("serde_derive: tuple variants cannot be internally tagged")
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 let __tag: ::std::string::String = ::serde::__field(__fields, \"{t}\", \"{name}\")?;\n\
+                 match __tag.as_str() {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        (Some(t), Some(c)) => {
+            // Adjacently tagged.
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = rename(vname, rule);
+                let arm = match &v.kind {
+                    VariantKind::Unit => {
+                        format!("\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n")
+                    }
+                    VariantKind::Newtype(ty) => format!(
+                        "\"{wire}\" => {{\n\
+                             let __inner: {ty} = ::serde::__field(__fields, \"{c}\", \"{name}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vname}(__inner))\n\
+                         }},\n"
+                    ),
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!("{name}::{vname}");
+                        format!(
+                            "\"{wire}\" => {{\n\
+                                 let __content = ::serde::__get(__fields, \"{c}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{c}` in {name}\"))?;\n\
+                                 let __fields = __content.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                                 {}\n\
+                             }},\n",
+                            gen_struct_ctor(&ctor, fields)
+                        )
+                    }
+                    VariantKind::Tuple(tys) => {
+                        let args = (0..tys.len())
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "\"{wire}\" => {{\n\
+                                 let __content = ::serde::__get(__fields, \"{c}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{c}` in {name}\"))?;\n\
+                                 let __arr = __content.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}({args}))\n\
+                             }},\n"
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 let __tag: ::std::string::String = ::serde::__field(__fields, \"{t}\", \"{name}\")?;\n\
+                 match __tag.as_str() {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        (None, _) => {
+            // Externally tagged (serde's default): `{"Variant": content}` or a
+            // plain string for unit variants.
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = rename(vname, rule);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        string_arms.push_str(&format!(
+                            "\"{wire}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Newtype(ty) => {
+                        object_arms.push_str(&format!(
+                            "\"{wire}\" => {{\n\
+                                 let __inner: {ty} = ::serde::Deserialize::from_value(__content)?;\n\
+                                 return ::std::result::Result::Ok({name}::{vname}(__inner));\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!("{name}::{vname}");
+                        object_arms.push_str(&format!(
+                            "\"{wire}\" => {{\n\
+                                 let __fields = __content.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                                 return {};\n\
+                             }},\n",
+                            gen_struct_ctor(&ctor, fields)
+                        ));
+                    }
+                    VariantKind::Tuple(tys) => {
+                        let args = (0..tys.len())
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        object_arms.push_str(&format!(
+                            "\"{wire}\" => {{\n\
+                                 let __arr = __content.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vname}({args}));\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     match __s {{\n{string_arms}\
+                         _ => {{}}\n\
+                     }}\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown {name} variant {{__s:?}}\")));\n\
+                 }}\n\
+                 let __fields = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"string or object\", \"{name}\"))?;\n\
+                 if __fields.len() == 1 {{\n\
+                     let (__key, __content) = &__fields[0];\n\
+                     match __key.as_str() {{\n{object_arms}\
+                         _ => {{}}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\"unrecognised {name} representation\"))"
+            )
+        }
+    }
+}
