@@ -1,7 +1,15 @@
 //! Fig. 9 (HI overheads per packaging architecture), Fig. 10 (GA102 Cmfg and
 //! CHI vs chiplet count) and Fig. 11 (packaging parameter sweeps).
+//!
+//! All three figures are evaluated by the parallel, memoizing
+//! [`SweepEngine`]: Fig. 9 is one `Systems × Packaging` cartesian sweep,
+//! Fig. 10 a chiplet-count sweep, and Fig. 11's four parameter sweeps share
+//! a single [`SweepContext`] so the (packaging-independent) floorplan is
+//! planned once across all of them.
 
 use ecochip_core::disaggregation::{split_block, NodeTuple};
+use ecochip_core::dse::sweep_chiplet_counts;
+use ecochip_core::sweep::{SweepAxis, SweepContext, SweepEngine, SweepSpec};
 use ecochip_core::{EcoChip, System};
 use ecochip_packaging::{
     InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
@@ -74,11 +82,30 @@ pub fn fig9() -> ExperimentResult {
         "Fig. 9 (detail): routing share of the HI overhead (kg CO2e in interposer logic)",
         &["architecture", "Nc=2", "Nc=4", "Nc=6", "Nc=8"],
     );
-    for (name, arch) in architectures() {
-        let mut chi_cells = vec![name.to_owned()];
-        let mut routing_cells = vec![name.to_owned()];
-        for nc in [2usize, 4, 6, 8] {
-            let report = estimator.estimate(&digital_block_system(&db, nc, arch)?)?;
+    let archs = architectures();
+    let counts = [2usize, 4, 6, 8];
+    let mut variants = Vec::with_capacity(counts.len());
+    for nc in counts {
+        // The packaging axis below overrides this placeholder architecture.
+        let placeholder = PackagingArchitecture::RdlFanout(RdlFanoutConfig::default());
+        variants.push((
+            format!("Nc={nc}"),
+            digital_block_system(&db, nc, placeholder)?,
+        ));
+    }
+    let spec = SweepSpec::new(variants[0].1.clone())
+        .axis(SweepAxis::Systems(variants))
+        .axis(SweepAxis::Packaging(
+            archs.iter().map(|(_, arch)| *arch).collect(),
+        ));
+    // Points come back in row-major order: chiplet count outer, architecture
+    // inner.
+    let points = SweepEngine::new().run(&estimator, &spec)?;
+    for (ai, (name, _)) in archs.iter().enumerate() {
+        let mut chi_cells = vec![(*name).to_owned()];
+        let mut routing_cells = vec![(*name).to_owned()];
+        for ci in 0..counts.len() {
+            let report = &points[ci * archs.len() + ai].report;
             chi_cells.push(format!("{:.2}", report.hi_overhead().kg()));
             routing_cells.push(format!("{:.2}", report.hi.interposer_comm.kg()));
         }
@@ -105,14 +132,17 @@ pub fn fig10() -> ExperimentResult {
             "Cmfg+CHI kg",
         ],
     );
-    for nc in 1..=6usize {
-        let system = ga102::split_logic_system(
-            &db,
-            nc,
-            nodes,
-            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
-        )?;
-        let report = estimator.estimate(&system)?;
+    let counts: Vec<usize> = (1..=6).collect();
+    let base = ga102::split_logic_system(
+        &db,
+        1,
+        nodes,
+        PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+    )?;
+    let blocks = ga102::soc_blocks(&db)?;
+    let points = sweep_chiplet_counts(&estimator, &base, &blocks, nodes, &counts)?;
+    for (nc, point) in counts.iter().zip(&points) {
+        let report = &point.report;
         table.row([
             format!("{nc}"),
             format!("{}", nc + 2),
@@ -136,19 +166,38 @@ pub fn fig11() -> ExperimentResult {
     let nodes = a15::default_chiplet_nodes();
     let base = a15::three_chiplet_system(&db, nodes)?;
 
+    // The four parameter sweeps only vary the packaging, so they share one
+    // memo: the A15 outline set is floorplanned once for all 18 points.
+    let engine = SweepEngine::new();
+    let context = SweepContext::new();
+    let run_packaging_sweep =
+        |configs: Vec<PackagingArchitecture>| -> Result<Vec<_>, Box<dyn std::error::Error>> {
+            let cases = SweepSpec::new(base.clone())
+                .axis(SweepAxis::Packaging(configs))
+                .cases()?;
+            Ok(engine.run_cases_with(&estimator, cases, &context)?)
+        };
+
     let mut rdl = Table::new(
         "Fig. 11(a): A15 CHI vs RDL layer count",
         &["L_RDL", "CHI kg"],
     );
-    for layers in [4u32, 5, 6, 7, 8, 9] {
-        let system = base.with_packaging(PackagingArchitecture::RdlFanout(RdlFanoutConfig {
-            layers,
-            tech: TechNode::N65,
-        }));
-        let report = estimator.estimate(&system)?;
+    let layer_counts = [4u32, 5, 6, 7, 8, 9];
+    let points = run_packaging_sweep(
+        layer_counts
+            .iter()
+            .map(|&layers| {
+                PackagingArchitecture::RdlFanout(RdlFanoutConfig {
+                    layers,
+                    tech: TechNode::N65,
+                })
+            })
+            .collect(),
+    )?;
+    for (layers, point) in layer_counts.iter().zip(&points) {
         rdl.row([
             format!("{layers}"),
-            format!("{:.3}", report.hi_overhead().kg()),
+            format!("{:.3}", point.report.hi_overhead().kg()),
         ]);
     }
 
@@ -156,23 +205,29 @@ pub fn fig11() -> ExperimentResult {
         "Fig. 11(b): A15 CHI vs EMIB bridge range",
         &["bridge range mm", "bridges", "CHI kg"],
     );
-    for range_mm in [1.0, 2.0, 3.0, 4.0] {
-        let system =
-            base.with_packaging(PackagingArchitecture::SiliconBridge(SiliconBridgeConfig {
-                bridge_range: Length::from_mm(range_mm),
-                ..SiliconBridgeConfig::default()
-            }));
-        let report = estimator.estimate(&system)?;
-        let floorplan = estimator.floorplan(&system)?;
+    let ranges_mm = [1.0, 2.0, 3.0, 4.0];
+    let points = run_packaging_sweep(
+        ranges_mm
+            .iter()
+            .map(|&range_mm| {
+                PackagingArchitecture::SiliconBridge(SiliconBridgeConfig {
+                    bridge_range: Length::from_mm(range_mm),
+                    ..SiliconBridgeConfig::default()
+                })
+            })
+            .collect(),
+    )?;
+    for (range_mm, point) in ranges_mm.iter().zip(&points) {
+        let floorplan = estimator.floorplan_with(&point.system, &context)?;
         let package = ecochip_packaging::PackageEstimator::new(
             &estimator.config().techdb,
             estimator.config().packaging_source,
         )
-        .package_cfp(&system.packaging, &floorplan)?;
+        .package_cfp(&point.system.packaging, &floorplan)?;
         bridge.row([
             format!("{range_mm:.0}"),
             format!("{}", package.bridge_count),
-            format!("{:.3}", report.hi_overhead().kg()),
+            format!("{:.3}", point.report.hi_overhead().kg()),
         ]);
     }
 
@@ -180,16 +235,22 @@ pub fn fig11() -> ExperimentResult {
         "Fig. 11(c): A15 CHI vs active-interposer technology node",
         &["interposer node", "CHI kg"],
     );
-    for tech in [TechNode::N22, TechNode::N28, TechNode::N40, TechNode::N65] {
-        let system =
-            base.with_packaging(PackagingArchitecture::ActiveInterposer(InterposerConfig {
-                tech,
-                ..InterposerConfig::default()
-            }));
-        let report = estimator.estimate(&system)?;
+    let techs = [TechNode::N22, TechNode::N28, TechNode::N40, TechNode::N65];
+    let points = run_packaging_sweep(
+        techs
+            .iter()
+            .map(|&tech| {
+                PackagingArchitecture::ActiveInterposer(InterposerConfig {
+                    tech,
+                    ..InterposerConfig::default()
+                })
+            })
+            .collect(),
+    )?;
+    for (tech, point) in techs.iter().zip(&points) {
         interposer.row([
             tech.to_string(),
-            format!("{:.3}", report.hi_overhead().kg()),
+            format!("{:.3}", point.report.hi_overhead().kg()),
         ]);
     }
 
@@ -197,14 +258,19 @@ pub fn fig11() -> ExperimentResult {
         "Fig. 11(d): A15 CHI vs TSV / microbump pitch (3D stacking)",
         &["pitch um", "CHI kg"],
     );
-    for pitch_um in [10.0, 20.0, 30.0, 45.0] {
-        let system = base.with_packaging(PackagingArchitecture::ThreeD(ThreeDConfig::tsv(
-            Length::from_um(pitch_um),
-        )));
-        let report = estimator.estimate(&system)?;
+    let pitches_um = [10.0, 20.0, 30.0, 45.0];
+    let points = run_packaging_sweep(
+        pitches_um
+            .iter()
+            .map(|&pitch_um| {
+                PackagingArchitecture::ThreeD(ThreeDConfig::tsv(Length::from_um(pitch_um)))
+            })
+            .collect(),
+    )?;
+    for (pitch_um, point) in pitches_um.iter().zip(&points) {
         pitch.row([
             format!("{pitch_um:.0}"),
-            format!("{:.3}", report.hi_overhead().kg()),
+            format!("{:.3}", point.report.hi_overhead().kg()),
         ]);
     }
 

@@ -2,8 +2,8 @@
 
 use ecochip_core::disaggregation::NodeTuple;
 use ecochip_core::dse::sweep_reuse;
+use ecochip_core::sweep::{SweepAxis, SweepEngine, SweepSpec};
 use ecochip_core::{EcoChip, System};
-use ecochip_design::VolumeScenario;
 use ecochip_techdb::{TechDb, TechNode};
 use ecochip_testcases::{a15, emr, ga102};
 
@@ -52,14 +52,16 @@ pub fn fig12() -> ExperimentResult {
         "Fig. 12(a): EMR (2x 7nm chiplets) amortised design CFP vs reuse ratio",
         &["NMi/NS", "Cdes kg per system", "Cemb kg"],
     );
-    for ratio in RATIOS {
-        let volumes = VolumeScenario::with_reuse(emr_7nm.volumes.system_volume, ratio);
-        let system = emr_7nm.with_volumes(volumes);
-        let report = estimator.estimate(&system)?;
+    let spec = SweepSpec::new(emr_7nm.clone()).axis(SweepAxis::reuse_ratios(
+        emr_7nm.volumes.system_volume,
+        &RATIOS,
+    ));
+    let points = SweepEngine::new().run(&estimator, &spec)?;
+    for (ratio, point) in RATIOS.iter().zip(&points) {
         design.row([
             format!("{ratio:.0}"),
-            format!("{:.2}", report.design().kg()),
-            format!("{:.1}", report.embodied().kg()),
+            format!("{:.2}", point.report.design().kg()),
+            format!("{:.1}", point.report.embodied().kg()),
         ]);
     }
 

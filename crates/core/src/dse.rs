@@ -1,27 +1,24 @@
 //! Design-space-exploration sweeps and product curves (Sections V and VI).
+//!
+//! Every sweep in this module is built on the [`crate::sweep`] subsystem:
+//! the functions below declare a [`SweepSpec`] and hand it to the parallel,
+//! memoizing [`SweepEngine`], so they all inherit multi-core evaluation and
+//! cross-point floorplan / manufacturing reuse while returning exactly what
+//! their original serial loops produced.
 
 use serde::{Deserialize, Serialize};
 
-use ecochip_design::VolumeScenario;
 use ecochip_packaging::PackagingArchitecture;
-use ecochip_techdb::{Area, Carbon, Power, TimeSpan};
+use ecochip_techdb::{Area, Carbon, EnergySource, Power, TimeSpan};
 
-use crate::disaggregation::{three_chiplets, NodeTuple, SocBlocks};
+use crate::disaggregation::{NodeTuple, SocBlocks};
 use crate::error::EcoChipError;
 use crate::estimator::EcoChip;
 use crate::report::CarbonReport;
+use crate::sweep::{SweepAxis, SweepEngine, SweepSpec};
 use crate::system::System;
 
-/// One point of a sweep: the label, the evaluated system and its report.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepPoint {
-    /// Human-readable label (node tuple, packaging name, ratio, …).
-    pub label: String,
-    /// The evaluated system.
-    pub system: System,
-    /// The carbon report.
-    pub report: CarbonReport,
-}
+pub use crate::sweep::SweepPoint;
 
 /// Sweep the `(digital, memory, analog)` technology-node tuples of a
 /// 3-chiplet split of `blocks` (the x-axis of Fig. 7).
@@ -38,19 +35,11 @@ pub fn sweep_node_tuples(
     blocks: &SocBlocks,
     tuples: &[NodeTuple],
 ) -> Result<Vec<SweepPoint>, EcoChipError> {
-    let mut points = Vec::with_capacity(tuples.len());
-    for tuple in tuples {
-        let mut system = base.clone();
-        system.chiplets = three_chiplets(blocks, *tuple);
-        system.name = format!("{} {}", blocks.name, tuple.label());
-        let report = estimator.estimate(&system)?;
-        points.push(SweepPoint {
-            label: tuple.label(),
-            system,
-            report,
-        });
-    }
-    Ok(points)
+    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::NodeTuples {
+        blocks: blocks.clone(),
+        tuples: tuples.to_vec(),
+    });
+    SweepEngine::new().run(estimator, &spec)
 }
 
 /// Sweep packaging architectures over an otherwise fixed system (Fig. 9).
@@ -63,17 +52,45 @@ pub fn sweep_packaging(
     base: &System,
     architectures: &[PackagingArchitecture],
 ) -> Result<Vec<SweepPoint>, EcoChipError> {
-    let mut points = Vec::with_capacity(architectures.len());
-    for arch in architectures {
-        let system = base.with_packaging(*arch);
-        let report = estimator.estimate(&system)?;
-        points.push(SweepPoint {
-            label: arch.short_name().to_owned(),
-            system,
-            report,
-        });
-    }
-    Ok(points)
+    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::Packaging(architectures.to_vec()));
+    SweepEngine::new().run(estimator, &spec)
+}
+
+/// Sweep the number of digital chiplets the SoC's logic block is split into
+/// (the x-axis of Figs. 10 and 15(b)); memory and analog chiplets stay fixed.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError::InvalidSystem`] for a zero chiplet count and
+/// propagates estimator errors for any point.
+pub fn sweep_chiplet_counts(
+    estimator: &EcoChip,
+    base: &System,
+    blocks: &SocBlocks,
+    nodes: NodeTuple,
+    counts: &[usize],
+) -> Result<Vec<SweepPoint>, EcoChipError> {
+    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::ChipletCounts {
+        blocks: blocks.clone(),
+        nodes,
+        counts: counts.to_vec(),
+    });
+    SweepEngine::new().run(estimator, &spec)
+}
+
+/// Sweep the energy source powering the chip-manufacturing fab (the
+/// `Cmfg,src` axis of Fig. 3(a) / Table I) over a fixed system.
+///
+/// # Errors
+///
+/// Propagates estimator errors for any source.
+pub fn sweep_energy_sources(
+    estimator: &EcoChip,
+    base: &System,
+    sources: &[EnergySource],
+) -> Result<Vec<SweepPoint>, EcoChipError> {
+    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::FabEnergySources(sources.to_vec()));
+    SweepEngine::new().run(estimator, &spec)
 }
 
 /// One cell of the reuse-ratio × lifetime grid of Fig. 12.
@@ -92,6 +109,9 @@ pub struct ReusePoint {
 /// Sweep chiplet-reuse ratios (`NMi / NS`) and lifetimes (Fig. 12).
 ///
 /// The base system's `system_volume` is kept; `NMi` is scaled by each ratio.
+/// Only the ratio axis re-runs the estimator (one parallel sweep); the
+/// lifetime axis is evaluated analytically, since Eq. 1 is linear in the
+/// lifetime.
 ///
 /// # Errors
 ///
@@ -102,22 +122,25 @@ pub fn sweep_reuse(
     reuse_ratios: &[f64],
     lifetimes_years: &[f64],
 ) -> Result<Vec<ReusePoint>, EcoChipError> {
-    let mut points = Vec::with_capacity(reuse_ratios.len() * lifetimes_years.len());
-    for &ratio in reuse_ratios {
-        let volumes = VolumeScenario::with_reuse(base.volumes.system_volume, ratio);
-        let system = base.with_volumes(volumes);
-        let report = estimator.estimate(&system)?;
+    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::reuse_ratios(
+        base.volumes.system_volume,
+        reuse_ratios,
+    ));
+    let points = SweepEngine::new().run(estimator, &spec)?;
+
+    let mut grid = Vec::with_capacity(reuse_ratios.len() * lifetimes_years.len());
+    for (&ratio, point) in reuse_ratios.iter().zip(&points) {
         for &years in lifetimes_years {
             let lifetime = TimeSpan::from_years(years);
-            points.push(ReusePoint {
+            grid.push(ReusePoint {
                 reuse_ratio: ratio,
                 lifetime,
-                embodied: report.embodied(),
-                total: report.total_at_lifetime(lifetime),
+                embodied: point.report.embodied(),
+                total: point.report.total_at_lifetime(lifetime),
             });
         }
     }
-    Ok(points)
+    Ok(grid)
 }
 
 /// The objective minimised by [`optimize_node_assignment`].
@@ -147,10 +170,11 @@ impl Objective {
 /// disaggregation flow of Section VI of the paper.
 ///
 /// `candidates[i]` lists the nodes allowed for chiplet `i`; chiplets without
-/// a candidate list keep their current node. The search is exhaustive (the
-/// cross product of the candidate lists), which matches the paper's scale of
-/// a handful of chiplets and a handful of nodes; the number of evaluated
-/// configurations is returned alongside the winner.
+/// a candidate list keep their current node. The search space is the cross
+/// product of the candidate lists — one [`SweepAxis::ChipletNode`] per
+/// chiplet — evaluated in parallel by the sweep engine; the number of
+/// evaluated configurations is returned alongside the winner. Ties keep the
+/// earliest configuration in sweep order, so results are deterministic.
 ///
 /// # Errors
 ///
@@ -169,56 +193,35 @@ pub fn optimize_node_assignment(
             base.chiplets.len()
         )));
     }
-    let lists: Vec<Vec<ecochip_techdb::TechNode>> = (0..base.chiplets.len())
-        .map(|i| {
-            candidates
-                .get(i)
-                .filter(|c| !c.is_empty())
-                .cloned()
-                .unwrap_or_else(|| vec![base.chiplets[i].node])
-        })
-        .collect();
+    let mut spec = SweepSpec::new(base.clone());
+    for (i, chiplet) in base.chiplets.iter().enumerate() {
+        let nodes = candidates
+            .get(i)
+            .filter(|c| !c.is_empty())
+            .cloned()
+            .unwrap_or_else(|| vec![chiplet.node]);
+        spec = spec.axis(SweepAxis::ChipletNode { index: i, nodes });
+    }
 
-    let mut indices = vec![0usize; lists.len()];
+    let mut cases = spec.cases()?;
+    for case in &mut cases {
+        let joined = case.labels.join(", ");
+        case.system.name = format!("{} ({joined})", base.name);
+        case.labels = vec![format!("({joined})")];
+    }
+
+    let points = SweepEngine::new().run_cases(estimator, cases)?;
+    let evaluated = points.len();
     let mut best: Option<(SweepPoint, f64)> = None;
-    let mut evaluated = 0usize;
-    loop {
-        let mut system = base.clone();
-        let mut label_parts = Vec::with_capacity(lists.len());
-        for (i, list) in lists.iter().enumerate() {
-            let node = list[indices[i]];
-            system.chiplets[i] = system.chiplets[i].retargeted(node);
-            label_parts.push(node.nm().to_string());
-        }
-        system.name = format!("{} ({})", base.name, label_parts.join(", "));
-        let report = estimator.estimate(&system)?;
-        let score = objective.score(&report);
-        evaluated += 1;
-        let point = SweepPoint {
-            label: format!("({})", label_parts.join(", ")),
-            system,
-            report,
-        };
+    for point in points {
+        let score = objective.score(&point.report);
         match &best {
             Some((_, best_score)) if *best_score <= score => {}
             _ => best = Some((point, score)),
         }
-
-        // Advance the mixed-radix counter.
-        let mut position = lists.len();
-        loop {
-            if position == 0 {
-                let (winner, _) = best.expect("at least one configuration evaluated");
-                return Ok((winner, evaluated));
-            }
-            position -= 1;
-            indices[position] += 1;
-            if indices[position] < lists[position].len() {
-                break;
-            }
-            indices[position] = 0;
-        }
     }
+    let (winner, _) = best.expect("at least one configuration evaluated");
+    Ok((winner, evaluated))
 }
 
 /// Carbon-delay / carbon-power / carbon-area product curves (Figs. 13–14).
@@ -268,6 +271,7 @@ impl ProductMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::disaggregation::three_chiplets;
     use crate::system::System;
     use ecochip_packaging::{InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig};
     use ecochip_power::UsageProfile;
@@ -334,6 +338,44 @@ mod tests {
         };
         assert!(by_label("active-interposer") > by_label("RDL"));
         assert!(by_label("active-interposer") > by_label("EMIB"));
+    }
+
+    #[test]
+    fn chiplet_count_sweep_trades_manufacturing_for_hi() {
+        let estimator = EcoChip::default();
+        let nodes = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
+        let points =
+            sweep_chiplet_counts(&estimator, &base_system(), &blocks(), nodes, &[1, 2, 4, 6])
+                .unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].label, "Nc=1");
+        assert_eq!(points[3].system.chiplets.len(), 8);
+        // Fig. 10: splitting the digital block lowers Cmfg but raises CHI.
+        let first = &points[0].report;
+        let last = &points[3].report;
+        assert!(last.manufacturing().kg() < first.manufacturing().kg());
+        assert!(last.hi_overhead().kg() > first.hi_overhead().kg());
+    }
+
+    #[test]
+    fn energy_source_sweep_only_moves_manufacturing() {
+        let estimator = EcoChip::default();
+        let points = sweep_energy_sources(
+            &estimator,
+            &base_system(),
+            &[EnergySource::Coal, EnergySource::Solar, EnergySource::Wind],
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].label, "coal");
+        let mfg: Vec<f64> = points
+            .iter()
+            .map(|p| p.report.manufacturing().kg())
+            .collect();
+        assert!(mfg[1] < mfg[0] && mfg[2] < mfg[1]);
+        // The coal point matches the base estimator bit-for-bit.
+        let direct = estimator.estimate(&points[0].system).unwrap();
+        assert_eq!(direct, points[0].report);
     }
 
     #[test]
@@ -413,6 +455,8 @@ mod tests {
             optimize_node_assignment(&estimator, &base, &[], Objective::Total).unwrap();
         assert_eq!(evaluated, 1);
         assert_eq!(winner.system.chiplet_nodes(), base.chiplet_nodes());
+        assert_eq!(winner.label, "(7, 14, 10)");
+        assert_eq!(winner.system.name, "base (7, 14, 10)");
         // Too many candidate lists are rejected.
         let too_many = vec![vec![TechNode::N7]; 5];
         assert!(optimize_node_assignment(

@@ -12,6 +12,7 @@ use crate::config::EstimatorConfig;
 use crate::error::EcoChipError;
 use crate::manufacturing::ManufacturingModel;
 use crate::report::{CarbonReport, ChipletReport, HiBreakdown};
+use crate::sweep::SweepContext;
 use crate::system::System;
 
 /// The ECO-CHIP estimator.
@@ -35,6 +36,16 @@ impl EcoChip {
         &self.config
     }
 
+    /// The chiplet outlines of a system — the input of the floorplan stage.
+    fn outlines(&self, system: &System) -> Result<Vec<ChipletOutline>, EcoChipError> {
+        let db = &self.config.techdb;
+        let mut outlines = Vec::with_capacity(system.chiplets.len());
+        for chiplet in &system.chiplets {
+            outlines.push(ChipletOutline::new(chiplet.name.clone(), chiplet.area(db)?));
+        }
+        Ok(outlines)
+    }
+
     /// Floorplan the chiplets of a system (exposed for package-area studies).
     ///
     /// # Errors
@@ -42,12 +53,24 @@ impl EcoChip {
     /// Returns [`EcoChipError`] when areas cannot be derived or the
     /// floorplanner rejects the input.
     pub fn floorplan(&self, system: &System) -> Result<Floorplan, EcoChipError> {
-        let db = &self.config.techdb;
-        let mut outlines = Vec::with_capacity(system.chiplets.len());
-        for chiplet in &system.chiplets {
-            outlines.push(ChipletOutline::new(chiplet.name.clone(), chiplet.area(db)?));
-        }
-        Ok(SlicingFloorplanner::new(self.config.floorplan).floorplan(&outlines)?)
+        self.floorplan_with(system, &SweepContext::disabled())
+    }
+
+    /// Floorplan a system, consulting a sweep memo for the outline set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError`] when areas cannot be derived or the
+    /// floorplanner rejects the input.
+    pub fn floorplan_with(
+        &self,
+        system: &System,
+        context: &SweepContext,
+    ) -> Result<Floorplan, EcoChipError> {
+        let outlines = self.outlines(system)?;
+        context.floorplan(&self.config.floorplan, &outlines, || {
+            Ok(SlicingFloorplanner::new(self.config.floorplan).floorplan(&outlines)?)
+        })
     }
 
     /// Estimate the full carbon report of a system (Eqs. 1–3).
@@ -58,8 +81,27 @@ impl EcoChip {
     /// a technology node is missing from the database, a die does not fit on
     /// the configured wafer, or a packaging configuration is invalid.
     pub fn estimate(&self, system: &System) -> Result<CarbonReport, EcoChipError> {
+        self.estimate_with(system, &SweepContext::disabled())
+    }
+
+    /// Estimate the full carbon report of a system, consulting (and filling)
+    /// a sweep memo for the floorplan and per-die manufacturing stages.
+    ///
+    /// Sweep axes that do not perturb a stage's inputs reuse its cached
+    /// result; reports are bit-for-bit identical to [`EcoChip::estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError`] when the system description is inconsistent,
+    /// a technology node is missing from the database, a die does not fit on
+    /// the configured wafer, or a packaging configuration is invalid.
+    pub fn estimate_with(
+        &self,
+        system: &System,
+        context: &SweepContext,
+    ) -> Result<CarbonReport, EcoChipError> {
         let db = &self.config.techdb;
-        let floorplan = self.floorplan(system)?;
+        let floorplan = self.floorplan_with(system, context)?;
 
         // --- Inter-die communication overheads -------------------------------
         let comm = if system.is_monolithic() {
@@ -91,7 +133,8 @@ impl EcoChip {
                 .get(i)
                 .copied()
                 .unwrap_or(Area::ZERO);
-            let manufacturing = mfg_model.chiplet_cfp(base_area + comm_area, chiplet.node)?;
+            let manufacturing =
+                context.manufacturing(&mfg_model, base_area + comm_area, chiplet.node)?;
 
             let transistors = chiplet.transistors(db)?;
             let gates = gates_from_transistors(transistors)

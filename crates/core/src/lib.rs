@@ -19,9 +19,15 @@
 //! * [`disaggregation`] — helpers to derive monolithic, N-chiplet and
 //!   logic-split variants of an SoC, the transformations the paper's
 //!   evaluation sweeps.
+//! * [`sweep`] — the design-space-sweep subsystem: declarative
+//!   [`SweepAxis`](sweep::SweepAxis) / [`SweepSpec`](sweep::SweepSpec)
+//!   cartesian products, a memoizing [`SweepContext`](sweep::SweepContext)
+//!   and a parallel [`SweepEngine`](sweep::SweepEngine) with deterministic
+//!   ordering.
 //! * [`dse`] — design-space-exploration sweeps (technology tuples, packaging
-//!   architectures, reuse ratios and lifetimes) and the carbon-delay /
-//!   carbon-power / carbon-area product curves of Section VI.
+//!   architectures, reuse ratios, lifetimes, chiplet counts and fab energy
+//!   sources, all built on [`sweep`]) and the carbon-delay / carbon-power /
+//!   carbon-area product curves of Section VI.
 //! * [`costing`] — integration with the dollar-cost model for
 //!   carbon-vs-cost tradeoff studies (Fig. 15).
 //!
@@ -71,6 +77,7 @@ mod error;
 mod estimator;
 mod manufacturing;
 mod report;
+pub mod sweep;
 mod system;
 
 pub use config::{EstimatorConfig, EstimatorConfigBuilder};

@@ -1,6 +1,8 @@
 //! Per-chiplet manufacturing CFP (Eqs. 5–6 of the paper).
 
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +82,50 @@ impl<'a> ManufacturingModel<'a> {
     /// The wafer used for dies-per-wafer computations.
     pub fn wafer(&self) -> Wafer {
         self.wafer
+    }
+
+    /// The fab energy source (`Cmfg,src`) the model was built with.
+    pub fn fab_source(&self) -> EnergySource {
+        self.fab_source
+    }
+
+    /// Whether the wafer-periphery wastage term is included.
+    pub fn includes_wastage(&self) -> bool {
+        self.include_wastage
+    }
+
+    /// Fingerprint of everything besides the die area that influences
+    /// [`ManufacturingModel::chiplet_cfp`] for `node`: the node's
+    /// manufacturing parameters from the technology database plus the
+    /// model's wafer, fab energy source and wastage setting. Sweep
+    /// memoization keys on it so caches shared across estimators (different
+    /// techdbs included) never serve stale results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::TechDb`] for unknown nodes.
+    pub fn memo_bits(&self, node: TechNode) -> Result<u64, EcoChipError> {
+        let params = self.db.node(node)?;
+        let mut hasher = DefaultHasher::new();
+        params.defect_density.per_cm2().to_bits().hash(&mut hasher);
+        params.clustering_alpha.to_bits().hash(&mut hasher);
+        params.epa.kwh_per_cm2().to_bits().hash(&mut hasher);
+        params.gas_cfp.kg_per_cm2().to_bits().hash(&mut hasher);
+        params.material_cfp.kg_per_cm2().to_bits().hash(&mut hasher);
+        params.equipment_derate.to_bits().hash(&mut hasher);
+        params
+            .silicon_wafer_cfp
+            .kg_per_cm2()
+            .to_bits()
+            .hash(&mut hasher);
+        self.fab_source
+            .carbon_intensity()
+            .kg_per_kwh()
+            .to_bits()
+            .hash(&mut hasher);
+        self.wafer.diameter_mm().to_bits().hash(&mut hasher);
+        self.include_wastage.hash(&mut hasher);
+        Ok(hasher.finish())
     }
 
     /// Carbon footprint per unit *good* area at a node (Eq. 6):

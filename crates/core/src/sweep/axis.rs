@@ -1,0 +1,392 @@
+//! Sweep axes and cartesian sweep specifications.
+
+use ecochip_design::VolumeScenario;
+use ecochip_packaging::PackagingArchitecture;
+use ecochip_techdb::{EnergySource, TechNode, TimeSpan};
+
+use crate::disaggregation::{split_logic, three_chiplets, NodeTuple, SocBlocks};
+use crate::error::EcoChipError;
+use crate::system::System;
+
+/// One axis of a design-space sweep: a list of variations applied to a base
+/// [`System`] (or, for [`SweepAxis::FabEnergySources`], to the estimator).
+///
+/// Axes compose: a [`SweepSpec`] takes the cartesian product of all its axes,
+/// applying them in order. [`SweepAxis::Systems`] replaces the entire system,
+/// so it must come first when combined with other axes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxis {
+    /// Re-derive the paper's canonical 3-chiplet split of `blocks` for each
+    /// `(digital, memory, analog)` technology tuple (the x-axis of Fig. 7).
+    NodeTuples {
+        /// Block-level transistor budget the split is derived from.
+        blocks: SocBlocks,
+        /// The technology tuples to sweep.
+        tuples: Vec<NodeTuple>,
+    },
+    /// Swap the packaging architecture (Fig. 9).
+    Packaging(Vec<PackagingArchitecture>),
+    /// Swap the manufacturing / shipping volumes (the reuse axis of Fig. 12).
+    Volumes(Vec<VolumeScenario>),
+    /// Swap the deployment lifetime (the lifetime axis of Fig. 12).
+    Lifetimes(Vec<TimeSpan>),
+    /// Split the digital block of `blocks` into 1, 2, … chiplets while the
+    /// memory and analog chiplets stay fixed (Figs. 9, 10, 15(b)).
+    ChipletCounts {
+        /// Block-level transistor budget the splits are derived from.
+        blocks: SocBlocks,
+        /// Node assignment of the digital / memory / analog chiplets.
+        nodes: NodeTuple,
+        /// Number of digital chiplets per point.
+        counts: Vec<usize>,
+    },
+    /// Retarget the chiplet at `index` to each candidate node (one axis per
+    /// chiplet yields the exhaustive node-assignment search of Section VI).
+    ChipletNode {
+        /// Index of the chiplet to retarget.
+        index: usize,
+        /// Candidate nodes for that chiplet.
+        nodes: Vec<TechNode>,
+    },
+    /// Swap the energy source powering the chip-manufacturing fab
+    /// (`Cmfg,src`); applied to the estimator configuration, not the system.
+    FabEnergySources(Vec<EnergySource>),
+    /// Replace the entire base system with each labeled variant. Must be the
+    /// first axis when combined with others, since it overwrites every field
+    /// the preceding axes may have set.
+    Systems(Vec<(String, System)>),
+}
+
+impl SweepAxis {
+    /// Convenience constructor for the reuse-ratio axis of Fig. 12:
+    /// `NMi = ratio × NS` with `NS = system_volume`.
+    pub fn reuse_ratios(system_volume: u64, ratios: &[f64]) -> Self {
+        SweepAxis::Volumes(
+            ratios
+                .iter()
+                .map(|&r| VolumeScenario::with_reuse(system_volume, r))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for a lifetime axis given years.
+    pub fn lifetimes_years(years: &[f64]) -> Self {
+        SweepAxis::Lifetimes(years.iter().map(|&y| TimeSpan::from_years(y)).collect())
+    }
+
+    /// Number of points along this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::NodeTuples { tuples, .. } => tuples.len(),
+            SweepAxis::Packaging(archs) => archs.len(),
+            SweepAxis::Volumes(volumes) => volumes.len(),
+            SweepAxis::Lifetimes(lifetimes) => lifetimes.len(),
+            SweepAxis::ChipletCounts { counts, .. } => counts.len(),
+            SweepAxis::ChipletNode { nodes, .. } => nodes.len(),
+            SweepAxis::FabEnergySources(sources) => sources.len(),
+            SweepAxis::Systems(systems) => systems.len(),
+        }
+    }
+
+    /// Whether the axis has no points (its spec generates no cases).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Apply point `index` of this axis to `case`, appending its label.
+    fn apply(&self, case: &mut SweepCase, index: usize) -> Result<(), EcoChipError> {
+        match self {
+            SweepAxis::NodeTuples { blocks, tuples } => {
+                let tuple = tuples[index];
+                case.system.chiplets = three_chiplets(blocks, tuple);
+                case.system.name = format!("{} {}", blocks.name, tuple.label());
+                case.labels.push(tuple.label());
+            }
+            SweepAxis::Packaging(archs) => {
+                case.system.packaging = archs[index];
+                case.labels.push(archs[index].short_name().to_owned());
+            }
+            SweepAxis::Volumes(volumes) => {
+                case.system.volumes = volumes[index];
+                case.labels
+                    .push(format!("NMi/NS={}", volumes[index].reuse_ratio()));
+            }
+            SweepAxis::Lifetimes(lifetimes) => {
+                case.system.lifetime = lifetimes[index];
+                case.labels.push(format!("{}y", lifetimes[index].years()));
+            }
+            SweepAxis::ChipletCounts {
+                blocks,
+                nodes,
+                counts,
+            } => {
+                let count = counts[index];
+                case.system.chiplets = split_logic(blocks, count, *nodes)?;
+                case.system.name = format!("{} ({count} digital chiplets)", blocks.name);
+                case.labels.push(format!("Nc={count}"));
+            }
+            SweepAxis::ChipletNode {
+                index: chiplet,
+                nodes,
+            } => {
+                let node = nodes[index];
+                let Some(slot) = case.system.chiplets.get_mut(*chiplet) else {
+                    return Err(EcoChipError::InvalidSystem(format!(
+                        "sweep axis retargets chiplet {chiplet} but the system has only {}",
+                        case.system.chiplets.len()
+                    )));
+                };
+                *slot = slot.retargeted(node);
+                case.labels.push(node.nm().to_string());
+            }
+            SweepAxis::FabEnergySources(sources) => {
+                case.fab_source = Some(sources[index]);
+                case.labels.push(sources[index].to_string());
+            }
+            SweepAxis::Systems(systems) => {
+                let (label, system) = &systems[index];
+                case.system = system.clone();
+                case.labels.push(label.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One generated point of a sweep, before evaluation: the labeled system
+/// variant plus any estimator-level overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCase {
+    /// One label component per axis, in axis order.
+    pub labels: Vec<String>,
+    /// The system variant to evaluate.
+    pub system: System,
+    /// Fab energy source overriding the estimator's, when a
+    /// [`SweepAxis::FabEnergySources`] axis is present.
+    pub fab_source: Option<EnergySource>,
+}
+
+impl SweepCase {
+    /// The joined point label (axis labels separated by `" / "`).
+    pub fn label(&self) -> String {
+        self.labels.join(" / ")
+    }
+}
+
+/// A cartesian sweep specification: a base system plus any number of axes.
+///
+/// [`SweepSpec::cases`] generates the full cartesian product in a
+/// deterministic row-major order — the first axis varies slowest, the last
+/// axis fastest — exactly the order nested `for` loops over the axes would
+/// produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    base: System,
+    axes: Vec<SweepAxis>,
+}
+
+impl SweepSpec {
+    /// Start a spec from a base system; axes are added with [`SweepSpec::axis`].
+    pub fn new(base: System) -> Self {
+        Self {
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Add an axis (builder style).
+    #[must_use]
+    pub fn axis(mut self, axis: SweepAxis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// The base system variants are derived from.
+    pub fn base(&self) -> &System {
+        &self.base
+    }
+
+    /// The axes of the sweep.
+    pub fn axes(&self) -> &[SweepAxis] {
+        &self.axes
+    }
+
+    /// Total number of points (the product of the axis lengths; 1 when the
+    /// spec has no axes — the base system itself).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(SweepAxis::len).product()
+    }
+
+    /// Whether the sweep generates no points (some axis is empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generate every case of the cartesian product, in deterministic
+    /// row-major order (last axis fastest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::InvalidSystem`] when an axis does not apply to
+    /// the base system (e.g. a [`SweepAxis::ChipletNode`] index out of range).
+    pub fn cases(&self) -> Result<Vec<SweepCase>, EcoChipError> {
+        let total = self.len();
+        let mut cases = Vec::with_capacity(total);
+        let mut indices = vec![0usize; self.axes.len()];
+        for flat in 0..total {
+            let mut remainder = flat;
+            for (slot, axis) in indices.iter_mut().zip(&self.axes).rev() {
+                *slot = remainder % axis.len();
+                remainder /= axis.len();
+            }
+            let mut case = SweepCase {
+                labels: Vec::with_capacity(self.axes.len()),
+                system: self.base.clone(),
+                fab_source: None,
+            };
+            for (axis, &index) in self.axes.iter().zip(&indices) {
+                axis.apply(&mut case, index)?;
+            }
+            cases.push(case);
+        }
+        Ok(cases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Chiplet, ChipletSize};
+    use ecochip_packaging::{RdlFanoutConfig, SiliconBridgeConfig};
+    use ecochip_techdb::DesignType;
+
+    fn base() -> System {
+        System::builder("base")
+            .chiplets([
+                Chiplet::new(
+                    "logic",
+                    DesignType::Logic,
+                    TechNode::N7,
+                    ChipletSize::Transistors(8.0e9),
+                ),
+                Chiplet::new(
+                    "mem",
+                    DesignType::Memory,
+                    TechNode::N14,
+                    ChipletSize::Transistors(2.0e9),
+                ),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn packaging_axis() -> SweepAxis {
+        SweepAxis::Packaging(vec![
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+        ])
+    }
+
+    #[test]
+    fn cartesian_order_is_row_major() {
+        let spec = SweepSpec::new(base())
+            .axis(packaging_axis())
+            .axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0]));
+        assert_eq!(spec.len(), 6);
+        let cases = spec.cases().unwrap();
+        let labels: Vec<String> = cases.iter().map(SweepCase::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "RDL / 1y",
+                "RDL / 2y",
+                "RDL / 3y",
+                "EMIB / 1y",
+                "EMIB / 2y",
+                "EMIB / 3y"
+            ]
+        );
+        assert!((cases[1].system.lifetime.years() - 2.0).abs() < 1e-12);
+        assert_eq!(cases[4].system.packaging.short_name(), "EMIB");
+    }
+
+    #[test]
+    fn empty_axis_empties_the_spec() {
+        let spec = SweepSpec::new(base()).axis(SweepAxis::Packaging(Vec::new()));
+        assert!(spec.is_empty());
+        assert!(spec.cases().unwrap().is_empty());
+        let no_axes = SweepSpec::new(base());
+        assert_eq!(no_axes.len(), 1);
+        assert_eq!(no_axes.cases().unwrap().len(), 1);
+        assert_eq!(no_axes.cases().unwrap()[0].label(), "");
+    }
+
+    #[test]
+    fn chiplet_node_axis_retargets_and_validates() {
+        let spec = SweepSpec::new(base()).axis(SweepAxis::ChipletNode {
+            index: 1,
+            nodes: vec![TechNode::N10, TechNode::N14],
+        });
+        let cases = spec.cases().unwrap();
+        assert_eq!(cases[0].system.chiplets[1].node, TechNode::N10);
+        assert_eq!(cases[0].system.chiplets[0].node, TechNode::N7);
+        assert_eq!(cases[0].labels, ["10"]);
+
+        let bad = SweepSpec::new(base()).axis(SweepAxis::ChipletNode {
+            index: 7,
+            nodes: vec![TechNode::N10],
+        });
+        assert!(bad.cases().is_err());
+    }
+
+    #[test]
+    fn node_tuple_axis_rebuilds_the_three_chiplet_split() {
+        let blocks = SocBlocks::new("soc", 10.0e9, 4.0e9, 1.0e9);
+        let tuple = NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10);
+        let spec = SweepSpec::new(base()).axis(SweepAxis::NodeTuples {
+            blocks,
+            tuples: vec![tuple],
+        });
+        let cases = spec.cases().unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].system.chiplets.len(), 3);
+        assert_eq!(cases[0].system.name, "soc (7, 14, 10)");
+        assert_eq!(cases[0].labels, ["(7, 14, 10)"]);
+    }
+
+    #[test]
+    fn energy_axis_sets_the_override_not_the_system() {
+        let spec = SweepSpec::new(base()).axis(SweepAxis::FabEnergySources(vec![
+            EnergySource::Coal,
+            EnergySource::Wind,
+        ]));
+        let cases = spec.cases().unwrap();
+        assert_eq!(cases[0].fab_source, Some(EnergySource::Coal));
+        assert_eq!(cases[1].fab_source, Some(EnergySource::Wind));
+        assert_eq!(cases[0].system, cases[1].system);
+    }
+
+    #[test]
+    fn systems_axis_replaces_the_base() {
+        let other = base().with_lifetime(TimeSpan::from_years(9.0));
+        let spec = SweepSpec::new(base())
+            .axis(SweepAxis::Systems(vec![
+                ("a".to_owned(), base()),
+                ("b".to_owned(), other),
+            ]))
+            .axis(packaging_axis());
+        let cases = spec.cases().unwrap();
+        assert_eq!(cases.len(), 4);
+        assert!((cases[3].system.lifetime.years() - 9.0).abs() < 1e-12);
+        assert_eq!(cases[3].label(), "b / EMIB");
+    }
+
+    #[test]
+    fn reuse_ratio_axis_scales_chiplet_volume() {
+        let axis = SweepAxis::reuse_ratios(100_000, &[1.0, 4.0]);
+        let spec = SweepSpec::new(base()).axis(axis);
+        let cases = spec.cases().unwrap();
+        assert_eq!(cases[1].system.volumes.chiplet_volume, 400_000);
+        assert_eq!(cases[1].labels, ["NMi/NS=4"]);
+    }
+}

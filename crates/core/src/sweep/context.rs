@@ -1,0 +1,295 @@
+//! Cross-point memoization for design-space sweeps.
+//!
+//! Most sweep axes leave whole stages of the estimation pipeline untouched:
+//! a packaging sweep never changes the chiplet outlines, a volume or lifetime
+//! sweep never changes manufacturing, a node sweep only perturbs the chiplets
+//! it retargets. [`SweepContext`] caches the two expensive stage results —
+//! floorplans (keyed by the full outline set) and per-die manufacturing CFP
+//! (keyed by `(node, area)` plus the model parameters) — so points that share
+//! a stage input share its result. The caches are guarded by mutexes, which
+//! lets the [`SweepEngine`](crate::sweep::SweepEngine) share one context
+//! across its worker threads.
+//!
+//! Because the cache stores the *exact* value the stage computed, memoized
+//! runs are bit-for-bit identical to cold runs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ecochip_floorplan::{ChipletOutline, Floorplan, FloorplanConfig};
+use ecochip_techdb::{Area, TechNode};
+
+use crate::error::EcoChipError;
+use crate::manufacturing::{ChipletManufacturing, ManufacturingModel};
+
+/// Cache key for a floorplan: the floorplanner configuration plus the ordered
+/// outline set (names, exact area bits, exact aspect-ratio bits).
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct FloorplanKey {
+    spacing_bits: u64,
+    margin_bits: u64,
+    outlines: Vec<(String, u64, u64)>,
+}
+
+impl FloorplanKey {
+    fn new(config: &FloorplanConfig, outlines: &[ChipletOutline]) -> Self {
+        Self {
+            spacing_bits: config.chiplet_spacing.mm().to_bits(),
+            margin_bits: config.edge_margin.mm().to_bits(),
+            outlines: outlines
+                .iter()
+                .map(|o| {
+                    (
+                        o.name.clone(),
+                        o.area.mm2().to_bits(),
+                        o.aspect_ratio.to_bits(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Cache key for a per-die manufacturing result: `(node, area)` plus the
+/// model fingerprint of [`ManufacturingModel::memo_bits`] (node parameters,
+/// wafer, fab energy source, wastage accounting).
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct ManufacturingKey {
+    node: TechNode,
+    area_bits: u64,
+    model_bits: u64,
+}
+
+/// Hit/miss counters of a [`SweepContext`], for tests, benches and tuning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Floorplans served from the cache.
+    pub floorplan_hits: usize,
+    /// Floorplans computed by the floorplanner.
+    pub floorplan_misses: usize,
+    /// Per-die manufacturing results served from the cache.
+    pub manufacturing_hits: usize,
+    /// Per-die manufacturing results computed by the model.
+    pub manufacturing_misses: usize,
+}
+
+/// Shared memo for the cacheable estimator stages.
+///
+/// Create one per sweep with [`SweepContext::new`] and pass it to
+/// [`EcoChip::estimate_with`](crate::EcoChip::estimate_with); the plain
+/// [`EcoChip::estimate`](crate::EcoChip::estimate) entry point uses a
+/// [`SweepContext::disabled`] context and caches nothing.
+#[derive(Debug, Default)]
+pub struct SweepContext {
+    enabled: bool,
+    floorplans: Mutex<HashMap<FloorplanKey, Floorplan>>,
+    manufacturing: Mutex<HashMap<ManufacturingKey, ChipletManufacturing>>,
+    floorplan_hits: AtomicUsize,
+    floorplan_misses: AtomicUsize,
+    manufacturing_hits: AtomicUsize,
+    manufacturing_misses: AtomicUsize,
+}
+
+impl SweepContext {
+    /// A context that memoizes floorplan and manufacturing stage results.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// A context that caches nothing (every stage recomputes).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this context memoizes anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            floorplan_hits: self.floorplan_hits.load(Ordering::Relaxed),
+            floorplan_misses: self.floorplan_misses.load(Ordering::Relaxed),
+            manufacturing_hits: self.manufacturing_hits.load(Ordering::Relaxed),
+            manufacturing_misses: self.manufacturing_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Floorplan `outlines` under `config`, reusing a cached result when the
+    /// same outline set was already planned.
+    pub(crate) fn floorplan<F>(
+        &self,
+        config: &FloorplanConfig,
+        outlines: &[ChipletOutline],
+        compute: F,
+    ) -> Result<Floorplan, EcoChipError>
+    where
+        F: FnOnce() -> Result<Floorplan, EcoChipError>,
+    {
+        if !self.enabled {
+            return compute();
+        }
+        let key = FloorplanKey::new(config, outlines);
+        if let Some(plan) = self.floorplans.lock().expect("floorplan cache").get(&key) {
+            self.floorplan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        // Computed outside the lock so other workers make progress; a rare
+        // duplicate computation of the same key is benign (same value).
+        let plan = compute()?;
+        self.floorplan_misses.fetch_add(1, Ordering::Relaxed);
+        self.floorplans
+            .lock()
+            .expect("floorplan cache")
+            .insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Manufacturing CFP of one die, reusing a cached result when the same
+    /// `(node, area)` was already evaluated under an identical model.
+    pub(crate) fn manufacturing(
+        &self,
+        model: &ManufacturingModel<'_>,
+        area: Area,
+        node: TechNode,
+    ) -> Result<ChipletManufacturing, EcoChipError> {
+        if !self.enabled {
+            return model.chiplet_cfp(area, node);
+        }
+        let key = ManufacturingKey {
+            node,
+            area_bits: area.mm2().to_bits(),
+            model_bits: model.memo_bits(node)?,
+        };
+        if let Some(result) = self
+            .manufacturing
+            .lock()
+            .expect("manufacturing cache")
+            .get(&key)
+        {
+            self.manufacturing_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*result);
+        }
+        let result = model.chiplet_cfp(area, node)?;
+        self.manufacturing_misses.fetch_add(1, Ordering::Relaxed);
+        self.manufacturing
+            .lock()
+            .expect("manufacturing cache")
+            .insert(key, result);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_techdb::{EnergySource, TechDb};
+    use ecochip_yield::Wafer;
+
+    #[test]
+    fn disabled_context_never_caches() {
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let ctx = SweepContext::disabled();
+        assert!(!ctx.is_enabled());
+        for _ in 0..3 {
+            ctx.manufacturing(&model, Area::from_mm2(100.0), TechNode::N7)
+                .unwrap();
+        }
+        assert_eq!(ctx.stats(), SweepStats::default());
+    }
+
+    #[test]
+    fn manufacturing_cache_hits_on_repeated_inputs() {
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let ctx = SweepContext::new();
+        let area = Area::from_mm2(123.0);
+        let first = ctx.manufacturing(&model, area, TechNode::N7).unwrap();
+        let second = ctx.manufacturing(&model, area, TechNode::N7).unwrap();
+        assert_eq!(first, second);
+        let stats = ctx.stats();
+        assert_eq!(stats.manufacturing_misses, 1);
+        assert_eq!(stats.manufacturing_hits, 1);
+        // A different node misses again.
+        ctx.manufacturing(&model, area, TechNode::N14).unwrap();
+        assert_eq!(ctx.stats().manufacturing_misses, 2);
+    }
+
+    #[test]
+    fn manufacturing_cache_distinguishes_model_parameters() {
+        let db = TechDb::default();
+        let coal = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let wind = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Wind);
+        let no_wastage = coal.without_wastage();
+        let ctx = SweepContext::new();
+        let area = Area::from_mm2(100.0);
+        let a = ctx.manufacturing(&coal, area, TechNode::N7).unwrap();
+        let b = ctx.manufacturing(&wind, area, TechNode::N7).unwrap();
+        let c = ctx.manufacturing(&no_wastage, area, TechNode::N7).unwrap();
+        assert_eq!(ctx.stats().manufacturing_misses, 3);
+        assert!(b.total().kg() < a.total().kg());
+        assert_eq!(c.wastage_cfp.kg(), 0.0);
+    }
+
+    #[test]
+    fn manufacturing_cache_distinguishes_techdbs() {
+        // A context shared across estimators with different technology
+        // databases must never serve one database's result for the other.
+        let default_db = TechDb::default();
+        let tweaked = default_db
+            .node(TechNode::N7)
+            .unwrap()
+            .to_builder()
+            .defect_density(0.29)
+            .build()
+            .unwrap();
+        let dirty = default_db.to_builder().insert(tweaked).build();
+        let a = ManufacturingModel::new(&default_db, Wafer::standard_450mm(), EnergySource::Coal);
+        let b = ManufacturingModel::new(&dirty, Wafer::standard_450mm(), EnergySource::Coal);
+        let ctx = SweepContext::new();
+        let area = Area::from_mm2(300.0);
+        let from_a = ctx.manufacturing(&a, area, TechNode::N7).unwrap();
+        let from_b = ctx.manufacturing(&b, area, TechNode::N7).unwrap();
+        assert_eq!(ctx.stats().manufacturing_misses, 2);
+        assert_eq!(ctx.stats().manufacturing_hits, 0);
+        assert!(from_b.total().kg() > from_a.total().kg());
+        assert_eq!(from_a, a.chiplet_cfp(area, TechNode::N7).unwrap());
+        assert_eq!(from_b, b.chiplet_cfp(area, TechNode::N7).unwrap());
+    }
+
+    #[test]
+    fn floorplan_cache_keys_on_outline_set() {
+        use ecochip_floorplan::SlicingFloorplanner;
+        let config = FloorplanConfig::default();
+        let outlines = vec![
+            ChipletOutline::new("a", Area::from_mm2(100.0)),
+            ChipletOutline::new("b", Area::from_mm2(50.0)),
+        ];
+        let ctx = SweepContext::new();
+        let compute = || {
+            SlicingFloorplanner::new(config)
+                .floorplan(&outlines)
+                .map_err(EcoChipError::from)
+        };
+        let first = ctx.floorplan(&config, &outlines, compute).unwrap();
+        let second = ctx.floorplan(&config, &outlines, compute).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(ctx.stats().floorplan_hits, 1);
+        assert_eq!(ctx.stats().floorplan_misses, 1);
+        // A different outline set misses.
+        let other = vec![ChipletOutline::new("a", Area::from_mm2(101.0))];
+        ctx.floorplan(&config, &other, || {
+            SlicingFloorplanner::new(config)
+                .floorplan(&other)
+                .map_err(EcoChipError::from)
+        })
+        .unwrap();
+        assert_eq!(ctx.stats().floorplan_misses, 2);
+    }
+}

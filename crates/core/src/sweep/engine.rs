@@ -1,0 +1,336 @@
+//! The parallel, memoizing sweep evaluator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ecochip_techdb::EnergySource;
+
+use crate::error::EcoChipError;
+use crate::estimator::EcoChip;
+use crate::sweep::{SweepCase, SweepContext, SweepPoint, SweepSpec};
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV_VAR: &str = "ECOCHIP_JOBS";
+
+/// Evaluates the points of a [`SweepSpec`] across worker threads, sharing one
+/// [`SweepContext`] memo so stage results common to several points are
+/// computed once.
+///
+/// Results are returned in the spec's deterministic case order regardless of
+/// the worker count, and every report is bit-for-bit identical to what the
+/// serial path ([`SweepEngine::serial`]) produces.
+///
+/// ```
+/// use ecochip_core::sweep::{SweepAxis, SweepEngine, SweepSpec};
+/// use ecochip_core::{Chiplet, ChipletSize, EcoChip, System};
+/// use ecochip_techdb::{DesignType, TechNode};
+///
+/// let base = System::builder("demo")
+///     .chiplet(Chiplet::new(
+///         "soc",
+///         DesignType::Logic,
+///         TechNode::N7,
+///         ChipletSize::Transistors(5.0e9),
+///     ))
+///     .build()?;
+/// let spec = SweepSpec::new(base).axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 4.0]));
+/// let points = SweepEngine::new().run(&EcoChip::default(), &spec)?;
+/// assert_eq!(points.len(), 3);
+/// assert!(points[2].report.total().kg() > points[0].report.total().kg());
+/// # Ok::<(), ecochip_core::EcoChipError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    jobs: usize,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// An engine using the default worker count: the `ECOCHIP_JOBS`
+    /// environment variable when set, otherwise the machine's available
+    /// parallelism.
+    pub fn new() -> Self {
+        Self::with_jobs(default_jobs())
+    }
+
+    /// A single-worker engine — the reference serial path.
+    pub fn serial() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// An engine with an explicit worker count (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Evaluate every point of `spec`, in its deterministic case order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's case-generation error, or the estimator error of
+    /// the lowest-index failing point.
+    pub fn run(
+        &self,
+        estimator: &EcoChip,
+        spec: &SweepSpec,
+    ) -> Result<Vec<SweepPoint>, EcoChipError> {
+        self.run_cases(estimator, spec.cases()?)
+    }
+
+    /// Evaluate explicit cases (e.g. pre-processed for custom labels) with a
+    /// fresh memo context.
+    ///
+    /// # Errors
+    ///
+    /// Returns the estimator error of the lowest-index failing case.
+    pub fn run_cases(
+        &self,
+        estimator: &EcoChip,
+        cases: Vec<SweepCase>,
+    ) -> Result<Vec<SweepPoint>, EcoChipError> {
+        self.run_cases_with(estimator, cases, &SweepContext::new())
+    }
+
+    /// Evaluate explicit cases against a caller-provided [`SweepContext`],
+    /// so several sweeps can share one memo (or inspect its
+    /// [`stats`](SweepContext::stats) afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns the estimator error of the lowest-index failing case.
+    pub fn run_cases_with(
+        &self,
+        estimator: &EcoChip,
+        cases: Vec<SweepCase>,
+        context: &SweepContext,
+    ) -> Result<Vec<SweepPoint>, EcoChipError> {
+        if cases.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One estimator per distinct fab-source override, built up front so
+        // worker threads never clone the (techdb-carrying) configuration.
+        let variants = EstimatorVariants::resolve(estimator, &cases);
+
+        let evaluate = |index: usize, case: &SweepCase| -> Result<SweepPoint, EcoChipError> {
+            let est = variants.for_case(estimator, index);
+            let report = est.estimate_with(&case.system, context)?;
+            Ok(SweepPoint {
+                label: case.label(),
+                system: case.system.clone(),
+                report,
+            })
+        };
+
+        let jobs = self.jobs.min(cases.len());
+        if jobs == 1 {
+            return cases
+                .iter()
+                .enumerate()
+                .map(|(i, case)| evaluate(i, case))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<SweepPoint, EcoChipError>>>> =
+            (0..cases.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(case) = cases.get(index) else {
+                        break;
+                    };
+                    let result = evaluate(index, case);
+                    *slots[index].lock().expect("sweep result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep result slot")
+                    .expect("every claimed index is evaluated")
+            })
+            .collect()
+    }
+}
+
+/// Estimator clones for the distinct fab-source overrides of a case list.
+struct EstimatorVariants {
+    /// `(intensity bits, estimator)` per distinct override.
+    variants: Vec<(u64, EcoChip)>,
+    /// Per-case index into `variants` (`None` = the base estimator).
+    picks: Vec<Option<usize>>,
+}
+
+impl EstimatorVariants {
+    fn resolve(base: &EcoChip, cases: &[SweepCase]) -> Self {
+        let mut variants: Vec<(u64, EcoChip)> = Vec::new();
+        let picks = cases
+            .iter()
+            .map(|case| {
+                let source = case.fab_source?;
+                let bits = source_bits(source);
+                let position = variants.iter().position(|(b, _)| *b == bits);
+                Some(position.unwrap_or_else(|| {
+                    let mut config = base.config().clone();
+                    config.fab_source = source;
+                    variants.push((bits, EcoChip::new(config)));
+                    variants.len() - 1
+                }))
+            })
+            .collect();
+        Self { variants, picks }
+    }
+
+    fn for_case<'a>(&'a self, base: &'a EcoChip, index: usize) -> &'a EcoChip {
+        match self.picks[index] {
+            Some(variant) => &self.variants[variant].1,
+            None => base,
+        }
+    }
+}
+
+fn source_bits(source: EnergySource) -> u64 {
+    source.carbon_intensity().kg_per_kwh().to_bits()
+}
+
+fn default_jobs() -> usize {
+    if let Ok(value) = std::env::var(JOBS_ENV_VAR) {
+        if let Ok(jobs) = value.trim().parse::<usize>() {
+            return jobs.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepAxis;
+    use crate::system::{Chiplet, ChipletSize, System};
+    use ecochip_packaging::{
+        InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig,
+    };
+    use ecochip_techdb::{DesignType, TechNode};
+
+    fn base() -> System {
+        System::builder("engine-test")
+            .chiplets([
+                Chiplet::new(
+                    "logic",
+                    DesignType::Logic,
+                    TechNode::N7,
+                    ChipletSize::Transistors(8.0e9),
+                ),
+                Chiplet::new(
+                    "mem",
+                    DesignType::Memory,
+                    TechNode::N14,
+                    ChipletSize::Transistors(2.0e9),
+                ),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new(base())
+            .axis(SweepAxis::Packaging(vec![
+                PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+                PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+                PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+            ]))
+            .axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0]))
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let estimator = EcoChip::default();
+        let serial = SweepEngine::serial().run(&estimator, &spec()).unwrap();
+        let parallel = SweepEngine::with_jobs(4).run(&estimator, &spec()).unwrap();
+        assert_eq!(serial.len(), 12);
+        assert_eq!(serial, parallel);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.report.total().kg().to_bits(),
+                p.report.total().kg().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn memoization_skips_repeated_floorplans_and_manufacturing() {
+        let estimator = EcoChip::default();
+        let context = SweepContext::new();
+        let cases = spec().cases().unwrap();
+        let total = cases.len();
+        SweepEngine::serial()
+            .run_cases_with(&estimator, cases, &context)
+            .unwrap();
+        let stats = context.stats();
+        // Lifetime points share the packaging point's outlines; only the
+        // packaging variants differ in comm area.
+        assert!(stats.floorplan_misses <= 3, "{stats:?}");
+        assert!(stats.floorplan_hits >= total - 3, "{stats:?}");
+        assert!(stats.manufacturing_hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn fab_energy_axis_builds_one_estimator_per_source() {
+        let estimator = EcoChip::default();
+        let spec = SweepSpec::new(base())
+            .axis(SweepAxis::FabEnergySources(vec![
+                ecochip_techdb::EnergySource::Coal,
+                ecochip_techdb::EnergySource::Wind,
+            ]))
+            .axis(SweepAxis::lifetimes_years(&[1.0, 2.0]));
+        let points = SweepEngine::with_jobs(2).run(&estimator, &spec).unwrap();
+        assert_eq!(points.len(), 4);
+        // Wind-powered fabs lower manufacturing CFP; lifetime does not.
+        assert!(
+            points[2].report.manufacturing().kg() < points[0].report.manufacturing().kg(),
+            "wind should beat coal"
+        );
+        assert_eq!(
+            points[0].report.manufacturing().kg().to_bits(),
+            points[1].report.manufacturing().kg().to_bits()
+        );
+    }
+
+    #[test]
+    fn errors_surface_from_the_lowest_index_point() {
+        let estimator = EcoChip::default();
+        // Retargeting chiplet 5 of a 2-chiplet system fails at case
+        // generation already.
+        let spec = SweepSpec::new(base()).axis(SweepAxis::ChipletNode {
+            index: 5,
+            nodes: vec![TechNode::N10],
+        });
+        assert!(SweepEngine::new().run(&estimator, &spec).is_err());
+    }
+
+    #[test]
+    fn empty_case_list_yields_no_points() {
+        let estimator = EcoChip::default();
+        let points = SweepEngine::new()
+            .run_cases(&estimator, Vec::new())
+            .unwrap();
+        assert!(points.is_empty());
+        assert!(SweepEngine::with_jobs(0).jobs() == 1);
+        assert!(SweepEngine::default().jobs() >= 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! The design-space-sweep subsystem: declarative sweep axes, a cartesian
+//! [`SweepSpec`], a memoizing [`SweepContext`] and a parallel [`SweepEngine`].
+//!
+//! ECO-CHIP's headline results are all sweeps — technology-node tuples,
+//! packaging architectures, volumes, lifetimes, chiplet counts, fab energy
+//! sources. Instead of hand-rolling a serial loop per study, describe the
+//! space once and let the engine evaluate it:
+//!
+//! ```
+//! use ecochip_core::disaggregation::{NodeTuple, SocBlocks};
+//! use ecochip_core::sweep::{SweepAxis, SweepEngine, SweepSpec};
+//! use ecochip_core::{Chiplet, ChipletSize, EcoChip, System};
+//! use ecochip_techdb::{DesignType, TechNode};
+//!
+//! let blocks = SocBlocks::new("soc", 10.0e9, 4.0e9, 1.0e9);
+//! let base = System::builder("soc")
+//!     .chiplet(Chiplet::new(
+//!         "die",
+//!         DesignType::Logic,
+//!         TechNode::N7,
+//!         ChipletSize::Transistors(15.0e9),
+//!     ))
+//!     .build()?;
+//! // 2 tuples × 2 lifetimes = 4 points, evaluated in parallel with shared
+//! // floorplan / manufacturing memoization.
+//! let spec = SweepSpec::new(base)
+//!     .axis(SweepAxis::NodeTuples {
+//!         blocks,
+//!         tuples: vec![
+//!             NodeTuple::uniform(TechNode::N7),
+//!             NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+//!         ],
+//!     })
+//!     .axis(SweepAxis::lifetimes_years(&[2.0, 4.0]));
+//! let points = SweepEngine::new().run(&EcoChip::default(), &spec)?;
+//! assert_eq!(points.len(), 4);
+//! assert_eq!(points[0].label, "(7, 7, 7) / 2y");
+//! # Ok::<(), ecochip_core::EcoChipError>(())
+//! ```
+//!
+//! The engine guarantees deterministic output: points come back in the
+//! spec's row-major case order, and each report is bit-for-bit identical to
+//! what a serial, memo-free evaluation produces. Worker count comes from
+//! [`SweepEngine::with_jobs`], the `ECOCHIP_JOBS` environment variable, or
+//! the machine's available parallelism.
+
+mod axis;
+mod context;
+mod engine;
+
+pub use axis::{SweepAxis, SweepCase, SweepSpec};
+pub use context::{SweepContext, SweepStats};
+pub use engine::{SweepEngine, JOBS_ENV_VAR};
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::CarbonReport;
+use crate::system::System;
+
+/// One evaluated point of a sweep: the label, the evaluated system and its
+/// report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Human-readable label (node tuple, packaging name, ratio, …).
+    pub label: String,
+    /// The evaluated system.
+    pub system: System,
+    /// The carbon report.
+    pub report: CarbonReport,
+}

@@ -6,38 +6,113 @@
 //! ```text
 //! ecochip --testcase <ga102|ga102-3chiplet|a15|a15-3chiplet|emr|emr-2chiplet|arvr-1k-4mb|...>
 //! ecochip --design <system.json> [--techdb <techdb.json>]
-//! ecochip --export <dir>        # write the built-in test cases as JSON configs
+//! ecochip --export <dir>           # write the built-in test cases as JSON configs
+//! ecochip --list-testcases         # print the built-in test-case names
 //! ```
 //!
-//! Add `--csv <file>` to any run to also write the per-chiplet / summary
-//! breakdown as CSV.
+//! Any `--testcase` / `--design` run accepts:
 //!
-//! The tool prints the full carbon report (per chiplet, manufacturing, design,
-//! HI, operational, total), the ACT-baseline comparison and the dollar-cost
-//! breakdown.
+//! * `--sweep <nodes|packaging|volume|lifetime|energy>` to run a design-space
+//!   sweep over the selected system on the parallel sweep engine,
+//! * `--jobs <N>` to set the engine's worker count (default: the
+//!   `ECOCHIP_JOBS` environment variable, then the available parallelism),
+//! * `--csv <file>` to write the breakdown (or the sweep table) as CSV,
+//! * `--json <file>` to write the report (or the sweep points) as JSON.
+//!
+//! Exit codes: `0` on success, `2` for usage errors (unknown flags, test
+//! cases or sweep axes), `1` for runtime failures.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use eco_chip::core::costing::system_cost;
 use eco_chip::core::disaggregation::NodeTuple;
+use eco_chip::core::sweep::{SweepAxis, SweepEngine, SweepPoint, SweepSpec};
 use eco_chip::core::{EcoChip, EstimatorConfig, System};
-use eco_chip::techdb::{TechDb, TechNode};
+use eco_chip::packaging::{
+    InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
+};
+use eco_chip::techdb::{EnergySource, TechDb, TechNode};
 use eco_chip::testcases::{a15, arvr, emr, ga102, io};
+
+/// Exit code for usage errors (unknown flags, test cases, sweep axes).
+const USAGE_EXIT_CODE: u8 = 2;
+
+const SWEEP_AXES: &str = "nodes|packaging|volume|lifetime|energy";
+
+/// A CLI failure: usage errors exit with [`USAGE_EXIT_CODE`] and a one-line
+/// hint; runtime errors exit with 1.
+enum CliError {
+    Usage(String),
+    Run(Box<dyn std::error::Error>),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+}
+
+impl<E: Into<Box<dyn std::error::Error>>> From<E> for CliError {
+    fn from(error: E) -> Self {
+        CliError::Run(error.into())
+    }
+}
+
+type CliResult<T = ()> = Result<T, CliError>;
 
 fn print_usage() {
     eprintln!("usage:");
     eprintln!("  ecochip --testcase <name>                    run a built-in test case");
     eprintln!("  ecochip --design <system.json> [--techdb <techdb.json>]");
     eprintln!("  ecochip --export <dir>                       write built-in test cases as JSON");
+    eprintln!("  ecochip --list-testcases                     print the built-in test-case names");
+    eprintln!("  ... --sweep <{SWEEP_AXES}>");
+    eprintln!("                                               sweep the selected system");
+    eprintln!("  ... --jobs <N>                               sweep-engine worker count");
     eprintln!("  ... --csv <file>                             also write the breakdown as CSV");
+    eprintln!("  ... --json <file>                            also write the report as JSON");
     eprintln!();
     eprintln!("built-in test cases:");
-    eprintln!("  ga102, ga102-3chiplet, a15, a15-3chiplet, emr, emr-2chiplet,");
-    eprintln!("  arvr-1k-<2|4|6|8>mb, arvr-2k-<4|8|12|16>mb");
+    for name in testcase_names() {
+        eprintln!("  {name}");
+    }
 }
 
-fn builtin_system(db: &TechDb, name: &str) -> Result<System, Box<dyn std::error::Error>> {
+/// Every built-in test-case name accepted by `--testcase`.
+fn testcase_names() -> Vec<String> {
+    let mut names: Vec<String> = [
+        "ga102",
+        "ga102-3chiplet",
+        "a15",
+        "a15-3chiplet",
+        "emr",
+        "emr-2chiplet",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect();
+    for tiers in 1..=4u32 {
+        names.push(format!(
+            "arvr-1k-{}mb",
+            tiers * arvr::Series::OneK.mb_per_die()
+        ));
+    }
+    for tiers in 1..=4u32 {
+        names.push(format!(
+            "arvr-2k-{}mb",
+            tiers * arvr::Series::TwoK.mb_per_die()
+        ));
+    }
+    names
+}
+
+fn builtin_system(db: &TechDb, name: &str) -> CliResult<System> {
+    let unknown = || {
+        CliError::usage(format!(
+            "unknown test case {name:?}; run `ecochip --list-testcases` to see the built-ins"
+        ))
+    };
     let system = match name {
         "ga102" => ga102::monolithic_system(db)?,
         "ga102-3chiplet" => ga102::three_chiplet_system(
@@ -51,22 +126,21 @@ fn builtin_system(db: &TechDb, name: &str) -> Result<System, Box<dyn std::error:
         other => {
             let lower = other.to_ascii_lowercase();
             let Some(rest) = lower.strip_prefix("arvr-") else {
-                return Err(format!("unknown test case {other:?}").into());
+                return Err(unknown());
             };
             let (series, capacity) = if let Some(cap) = rest.strip_prefix("1k-") {
                 (arvr::Series::OneK, cap)
             } else if let Some(cap) = rest.strip_prefix("2k-") {
                 (arvr::Series::TwoK, cap)
             } else {
-                return Err(format!("unknown AR/VR configuration {other:?}").into());
+                return Err(unknown());
             };
-            let total_mb: u32 = capacity
-                .trim_end_matches("mb")
-                .parse()
-                .map_err(|_| format!("cannot parse capacity in {other:?}"))?;
+            let Ok(total_mb) = capacity.trim_end_matches("mb").parse::<u32>() else {
+                return Err(unknown());
+            };
             let per_die = series.mb_per_die();
             if total_mb == 0 || !total_mb.is_multiple_of(per_die) || total_mb / per_die > 4 {
-                return Err(format!("unsupported AR/VR capacity {total_mb} MB").into());
+                return Err(unknown());
             }
             arvr::system(db, &arvr::ArVrConfig::new(series, total_mb / per_die))?
         }
@@ -74,7 +148,7 @@ fn builtin_system(db: &TechDb, name: &str) -> Result<System, Box<dyn std::error:
     Ok(system)
 }
 
-fn export_testcases(db: &TechDb, dir: &PathBuf) -> Result<(), Box<dyn std::error::Error>> {
+fn export_testcases(db: &TechDb, dir: &PathBuf) -> CliResult {
     std::fs::create_dir_all(dir)?;
     let cases: Vec<(&str, System)> = vec![
         ("ga102_monolithic", ga102::monolithic_system(db)?),
@@ -107,17 +181,17 @@ fn export_testcases(db: &TechDb, dir: &PathBuf) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
-fn run(
-    system: &System,
-    db: TechDb,
-    csv: Option<&PathBuf>,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
     let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
     let report = estimator.estimate(system)?;
     println!("{report}");
-    if let Some(path) = csv {
+    if let Some(path) = &options.csv {
         std::fs::write(path, report.to_csv())?;
         println!("wrote CSV breakdown to {}", path.display());
+    }
+    if let Some(path) = &options.json {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        println!("wrote JSON report to {}", path.display());
     }
     println!();
     println!(
@@ -135,11 +209,143 @@ fn run(
     Ok(())
 }
 
-fn real_main() -> Result<(), Box<dyn std::error::Error>> {
+/// The sweep axis selected by `--sweep <name>`.
+fn sweep_axis(name: &str, base: &System) -> CliResult<SweepAxis> {
+    let axis = match name {
+        "nodes" => {
+            // Retarget every chiplet jointly across advanced-to-mature nodes.
+            let nodes = [
+                TechNode::N5,
+                TechNode::N7,
+                TechNode::N8,
+                TechNode::N10,
+                TechNode::N12,
+                TechNode::N14,
+                TechNode::N16,
+            ];
+            let variants = nodes
+                .into_iter()
+                .map(|node| {
+                    let mut system = base.clone();
+                    for chiplet in &mut system.chiplets {
+                        *chiplet = chiplet.retargeted(node);
+                    }
+                    (node.to_string(), system)
+                })
+                .collect();
+            SweepAxis::Systems(variants)
+        }
+        "packaging" => SweepAxis::Packaging(vec![
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+            PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+            PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
+            PackagingArchitecture::ThreeD(ThreeDConfig::default()),
+        ]),
+        "volume" => {
+            SweepAxis::reuse_ratios(base.volumes.system_volume, &[1.0, 2.0, 4.0, 8.0, 16.0])
+        }
+        "lifetime" => SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0]),
+        "energy" => SweepAxis::FabEnergySources(vec![
+            EnergySource::Coal,
+            EnergySource::NaturalGas,
+            EnergySource::WorldGrid,
+            EnergySource::Biomass,
+            EnergySource::Solar,
+            EnergySource::Nuclear,
+            EnergySource::Wind,
+        ]),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown sweep axis {other:?} (expected {SWEEP_AXES})"
+            )))
+        }
+    };
+    Ok(axis)
+}
+
+fn sweep_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from(
+        "label,manufacturing_kg,design_kg,hi_kg,embodied_kg,operational_kg,total_kg\n",
+    );
+    for point in points {
+        let r = &point.report;
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            point.label,
+            r.manufacturing().kg(),
+            r.design().kg(),
+            r.hi_overhead().kg(),
+            r.embodied().kg(),
+            r.operational().kg(),
+            r.total().kg()
+        ));
+    }
+    out
+}
+
+fn run_sweep(
+    system: &System,
+    db: TechDb,
+    axis_name: &str,
+    jobs: Option<usize>,
+    options: &OutputOptions,
+) -> CliResult {
+    let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
+    let axis = sweep_axis(axis_name, system)?;
+    let spec = SweepSpec::new(system.clone()).axis(axis);
+    let engine = match jobs {
+        Some(jobs) => SweepEngine::with_jobs(jobs),
+        None => SweepEngine::new(),
+    };
+    let points = engine.run(&estimator, &spec)?;
+
+    println!(
+        "{} sweep of {} ({} points, {} workers):",
+        axis_name,
+        system.name,
+        points.len(),
+        engine.jobs()
+    );
+    println!(
+        "{:>24}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "label", "Cmfg kg", "Cdes kg", "CHI kg", "Cemb kg", "Cop kg", "Ctot kg"
+    );
+    for point in &points {
+        let r = &point.report;
+        println!(
+            "{:>24}  {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            point.label,
+            r.manufacturing().kg(),
+            r.design().kg(),
+            r.hi_overhead().kg(),
+            r.embodied().kg(),
+            r.operational().kg(),
+            r.total().kg()
+        );
+    }
+
+    if let Some(path) = &options.csv {
+        std::fs::write(path, sweep_csv(&points))?;
+        println!("wrote sweep CSV to {}", path.display());
+    }
+    if let Some(path) = &options.json {
+        std::fs::write(path, serde_json::to_string_pretty(&points)?)?;
+        println!("wrote sweep JSON to {}", path.display());
+    }
+    Ok(())
+}
+
+struct OutputOptions {
+    csv: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn real_main() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         print_usage();
-        return Err("no arguments given".into());
+        return Err(CliError::usage("no arguments given"));
     }
 
     let mut testcase: Option<String> = None;
@@ -147,45 +353,76 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
     let mut techdb_path: Option<PathBuf> = None;
     let mut export: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut sweep: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut list_testcases = false;
+
+    let value_of = |args: &[String], i: usize, flag: &str| -> CliResult<String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+    };
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--testcase" => {
-                testcase = Some(args.get(i + 1).ok_or("--testcase needs a name")?.clone());
+                testcase = Some(value_of(&args, i, "--testcase")?);
                 i += 2;
             }
             "--design" => {
-                design = Some(PathBuf::from(
-                    args.get(i + 1).ok_or("--design needs a path")?,
-                ));
+                design = Some(PathBuf::from(value_of(&args, i, "--design")?));
                 i += 2;
             }
             "--techdb" => {
-                techdb_path = Some(PathBuf::from(
-                    args.get(i + 1).ok_or("--techdb needs a path")?,
-                ));
+                techdb_path = Some(PathBuf::from(value_of(&args, i, "--techdb")?));
                 i += 2;
             }
             "--export" => {
-                export = Some(PathBuf::from(
-                    args.get(i + 1).ok_or("--export needs a directory")?,
-                ));
+                export = Some(PathBuf::from(value_of(&args, i, "--export")?));
                 i += 2;
             }
             "--csv" => {
-                csv = Some(PathBuf::from(args.get(i + 1).ok_or("--csv needs a path")?));
+                csv = Some(PathBuf::from(value_of(&args, i, "--csv")?));
                 i += 2;
+            }
+            "--json" => {
+                json = Some(PathBuf::from(value_of(&args, i, "--json")?));
+                i += 2;
+            }
+            "--sweep" => {
+                sweep = Some(value_of(&args, i, "--sweep")?);
+                i += 2;
+            }
+            "--jobs" => {
+                let value = value_of(&args, i, "--jobs")?;
+                jobs = Some(value.parse().ok().filter(|&jobs| jobs > 0).ok_or_else(|| {
+                    CliError::usage(format!("--jobs needs a positive integer, got {value:?}"))
+                })?);
+                i += 2;
+            }
+            "--list-testcases" => {
+                list_testcases = true;
+                i += 1;
             }
             "--help" | "-h" => {
                 print_usage();
                 return Ok(());
             }
             other => {
-                print_usage();
-                return Err(format!("unknown argument {other:?}").into());
+                return Err(CliError::usage(format!(
+                    "unknown flag {other:?}; run `ecochip --help` for usage"
+                )));
             }
         }
+    }
+
+    if list_testcases {
+        for name in testcase_names() {
+            println!("{name}");
+        }
+        return Ok(());
     }
 
     let db = match &techdb_path {
@@ -196,23 +433,37 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = export {
         return export_testcases(&db, &dir);
     }
-    if let Some(path) = design {
-        let system = io::load_system(&path)?;
-        return run(&system, db, csv.as_ref());
+
+    let system = if let Some(path) = design {
+        Some(io::load_system(&path)?)
+    } else if let Some(name) = &testcase {
+        Some(builtin_system(&db, name)?)
+    } else {
+        None
+    };
+    let Some(system) = system else {
+        print_usage();
+        return Err(CliError::usage(
+            "nothing to do: pass --testcase, --design, --export or --list-testcases",
+        ));
+    };
+
+    let options = OutputOptions { csv, json };
+    match sweep {
+        Some(axis) => run_sweep(&system, db, &axis, jobs, &options),
+        None => run(&system, db, &options),
     }
-    if let Some(name) = testcase {
-        let system = builtin_system(&db, &name)?;
-        return run(&system, db, csv.as_ref());
-    }
-    print_usage();
-    Err("nothing to do: pass --testcase, --design or --export".into())
 }
 
 fn main() -> ExitCode {
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(USAGE_EXIT_CODE)
+        }
+        Err(CliError::Run(error)) => {
+            eprintln!("error: {error}");
             ExitCode::FAILURE
         }
     }
