@@ -1,5 +1,6 @@
 //! Criterion benchmarks for the sweep engine itself: hand-rolled serial
-//! evaluation vs the engine's serial (memoized) path vs the parallel path.
+//! evaluation vs the engine's serial (memoized) path vs the parallel path,
+//! plus the streaming pipeline against the materialize-then-collect path.
 //!
 //! The workload is a packaging × lifetime cartesian sweep of the GA102
 //! 3-chiplet test case — the lifetime axis never perturbs the floorplan or
@@ -9,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ecochip_core::disaggregation::NodeTuple;
-use ecochip_core::sweep::{SweepAxis, SweepContext, SweepEngine, SweepSpec};
+use ecochip_core::sweep::{Shard, SweepAxis, SweepContext, SweepEngine, SweepPoint, SweepSpec};
 use ecochip_core::EcoChip;
 use ecochip_packaging::{
     InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
@@ -105,5 +106,61 @@ fn bench_memoization_effect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_paths, bench_memoization_effect);
+fn bench_streaming_vs_materialized(c: &mut Criterion) {
+    let estimator = EcoChip::default();
+    let spec = spec();
+    let mut group = c.benchmark_group("sweep_streaming");
+    group.sample_size(10);
+
+    // Materialized: collect every point into a Vec (the run() path).
+    group.bench_function("materialized_collect", |b| {
+        b.iter(|| SweepEngine::new().run(&estimator, &spec).unwrap())
+    });
+
+    // Streaming: fold points through a sink without retaining them — the
+    // shape a million-point sweep must use; throughput should match the
+    // materialized path since both share the same work-queue pipeline.
+    group.bench_function("streaming_fold", |b| {
+        b.iter(|| {
+            let mut total_kg = 0.0f64;
+            let mut sink = |point: SweepPoint| {
+                total_kg += point.report.total().kg();
+                Ok(())
+            };
+            let emitted = SweepEngine::new()
+                .run_streaming(&estimator, &spec, &mut sink)
+                .unwrap();
+            assert_eq!(emitted, spec.len());
+            total_kg
+        })
+    });
+
+    // Sharded streaming: both halves of the index space, evaluated
+    // back-to-back over one warm context (the cross-process distribution
+    // shape, minus the second process).
+    group.bench_function("streaming_two_shards_warm_memo", |b| {
+        b.iter(|| {
+            let context = SweepContext::new();
+            let mut count = 0usize;
+            for index in 0..2 {
+                let shard = Shard::new(index, 2).unwrap();
+                let mut sink = |_point: SweepPoint| Ok(());
+                count += SweepEngine::new()
+                    .run_streaming_with(&estimator, &spec, shard, &context, &mut sink)
+                    .unwrap();
+            }
+            assert_eq!(count, spec.len());
+            count
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_paths,
+    bench_memoization_effect,
+    bench_streaming_vs_materialized
+);
 criterion_main!(benches);

@@ -2,9 +2,13 @@
 //!
 //! Every sweep in this module is built on the [`crate::sweep`] subsystem:
 //! the functions below declare a [`SweepSpec`] and hand it to the parallel,
-//! memoizing [`SweepEngine`], so they all inherit multi-core evaluation and
-//! cross-point floorplan / manufacturing reuse while returning exactly what
-//! their original serial loops produced.
+//! memoizing, streaming [`SweepEngine`], so they all inherit multi-core
+//! evaluation, cross-point floorplan / manufacturing reuse and the bounded
+//! reorder window of the streaming pipeline while returning exactly what
+//! their original serial loops produced. The `*_spec` builders expose each
+//! study's [`SweepSpec`] directly, so callers can stream, shard or memoize
+//! any of them through [`SweepEngine::run_streaming_with`] or
+//! [`EcoChipService`](crate::EcoChipService) instead of collecting a `Vec`.
 
 use serde::{Deserialize, Serialize};
 
@@ -15,10 +19,46 @@ use crate::disaggregation::{NodeTuple, SocBlocks};
 use crate::error::EcoChipError;
 use crate::estimator::EcoChip;
 use crate::report::CarbonReport;
-use crate::sweep::{SweepAxis, SweepEngine, SweepSpec};
+use crate::sweep::{MappedSpec, Shard, SweepAxis, SweepContext, SweepEngine, SweepSpec};
 use crate::system::System;
 
 pub use crate::sweep::SweepPoint;
+
+/// The sweep spec behind [`sweep_node_tuples`]: `(digital, memory, analog)`
+/// technology-node tuples over a 3-chiplet split of `blocks` (Fig. 7).
+pub fn node_tuple_spec(base: &System, blocks: &SocBlocks, tuples: &[NodeTuple]) -> SweepSpec {
+    SweepSpec::new(base.clone()).axis(SweepAxis::NodeTuples {
+        blocks: blocks.clone(),
+        tuples: tuples.to_vec(),
+    })
+}
+
+/// The sweep spec behind [`sweep_packaging`]: packaging architectures over
+/// an otherwise fixed system (Fig. 9).
+pub fn packaging_spec(base: &System, architectures: &[PackagingArchitecture]) -> SweepSpec {
+    SweepSpec::new(base.clone()).axis(SweepAxis::Packaging(architectures.to_vec()))
+}
+
+/// The sweep spec behind [`sweep_chiplet_counts`]: digital-chiplet counts
+/// with fixed memory / analog chiplets (Figs. 10, 15(b)).
+pub fn chiplet_count_spec(
+    base: &System,
+    blocks: &SocBlocks,
+    nodes: NodeTuple,
+    counts: &[usize],
+) -> SweepSpec {
+    SweepSpec::new(base.clone()).axis(SweepAxis::ChipletCounts {
+        blocks: blocks.clone(),
+        nodes,
+        counts: counts.to_vec(),
+    })
+}
+
+/// The sweep spec behind [`sweep_energy_sources`]: fab energy sources
+/// (`Cmfg,src`, Fig. 3(a) / Table I) over a fixed system.
+pub fn energy_source_spec(base: &System, sources: &[EnergySource]) -> SweepSpec {
+    SweepSpec::new(base.clone()).axis(SweepAxis::FabEnergySources(sources.to_vec()))
+}
 
 /// Sweep the `(digital, memory, analog)` technology-node tuples of a
 /// 3-chiplet split of `blocks` (the x-axis of Fig. 7).
@@ -35,11 +75,7 @@ pub fn sweep_node_tuples(
     blocks: &SocBlocks,
     tuples: &[NodeTuple],
 ) -> Result<Vec<SweepPoint>, EcoChipError> {
-    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::NodeTuples {
-        blocks: blocks.clone(),
-        tuples: tuples.to_vec(),
-    });
-    SweepEngine::new().run(estimator, &spec)
+    SweepEngine::new().run(estimator, &node_tuple_spec(base, blocks, tuples))
 }
 
 /// Sweep packaging architectures over an otherwise fixed system (Fig. 9).
@@ -52,8 +88,7 @@ pub fn sweep_packaging(
     base: &System,
     architectures: &[PackagingArchitecture],
 ) -> Result<Vec<SweepPoint>, EcoChipError> {
-    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::Packaging(architectures.to_vec()));
-    SweepEngine::new().run(estimator, &spec)
+    SweepEngine::new().run(estimator, &packaging_spec(base, architectures))
 }
 
 /// Sweep the number of digital chiplets the SoC's logic block is split into
@@ -70,12 +105,7 @@ pub fn sweep_chiplet_counts(
     nodes: NodeTuple,
     counts: &[usize],
 ) -> Result<Vec<SweepPoint>, EcoChipError> {
-    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::ChipletCounts {
-        blocks: blocks.clone(),
-        nodes,
-        counts: counts.to_vec(),
-    });
-    SweepEngine::new().run(estimator, &spec)
+    SweepEngine::new().run(estimator, &chiplet_count_spec(base, blocks, nodes, counts))
 }
 
 /// Sweep the energy source powering the chip-manufacturing fab (the
@@ -89,8 +119,16 @@ pub fn sweep_energy_sources(
     base: &System,
     sources: &[EnergySource],
 ) -> Result<Vec<SweepPoint>, EcoChipError> {
-    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::FabEnergySources(sources.to_vec()));
-    SweepEngine::new().run(estimator, &spec)
+    SweepEngine::new().run(estimator, &energy_source_spec(base, sources))
+}
+
+/// The sweep spec behind [`sweep_reuse`]'s estimator axis: chiplet-reuse
+/// ratios scaling the base system's volume scenario (Fig. 12).
+pub fn reuse_spec(base: &System, reuse_ratios: &[f64]) -> SweepSpec {
+    SweepSpec::new(base.clone()).axis(SweepAxis::reuse_ratios(
+        base.volumes.system_volume,
+        reuse_ratios,
+    ))
 }
 
 /// One cell of the reuse-ratio × lifetime grid of Fig. 12.
@@ -122,10 +160,7 @@ pub fn sweep_reuse(
     reuse_ratios: &[f64],
     lifetimes_years: &[f64],
 ) -> Result<Vec<ReusePoint>, EcoChipError> {
-    let spec = SweepSpec::new(base.clone()).axis(SweepAxis::reuse_ratios(
-        base.volumes.system_volume,
-        reuse_ratios,
-    ));
+    let spec = reuse_spec(base, reuse_ratios);
     let points = SweepEngine::new().run(estimator, &spec)?;
 
     let mut grid = Vec::with_capacity(reuse_ratios.len() * lifetimes_years.len());
@@ -172,9 +207,11 @@ impl Objective {
 /// `candidates[i]` lists the nodes allowed for chiplet `i`; chiplets without
 /// a candidate list keep their current node. The search space is the cross
 /// product of the candidate lists — one [`SweepAxis::ChipletNode`] per
-/// chiplet — evaluated in parallel by the sweep engine; the number of
-/// evaluated configurations is returned alongside the winner. Ties keep the
-/// earliest configuration in sweep order, so results are deterministic.
+/// chiplet — streamed through the sweep engine with a running-minimum sink,
+/// so only the incumbent best point is ever held in memory no matter how
+/// large the space is; the number of evaluated configurations is returned
+/// alongside the winner. Ties keep the earliest configuration in sweep
+/// order, so results are deterministic.
 ///
 /// # Errors
 ///
@@ -203,23 +240,37 @@ pub fn optimize_node_assignment(
         spec = spec.axis(SweepAxis::ChipletNode { index: i, nodes });
     }
 
-    let mut cases = spec.cases()?;
-    for case in &mut cases {
-        let joined = case.labels.join(", ");
-        case.system.name = format!("{} ({joined})", base.name);
-        case.labels = vec![format!("({joined})")];
-    }
+    // Cases are relabeled as they are decoded — "(7, 14, 10)"-style instead
+    // of the per-axis "7 / 14 / 10" — without materializing the product.
+    let source = MappedSpec {
+        spec: &spec,
+        map: |mut case: crate::sweep::SweepCase| {
+            let joined = case.labels.join(", ");
+            case.system.name = format!("{} ({joined})", base.name);
+            case.labels = vec![format!("({joined})")];
+            case
+        },
+    };
 
-    let points = SweepEngine::new().run_cases(estimator, cases)?;
-    let evaluated = points.len();
+    let mut evaluated = 0usize;
     let mut best: Option<(SweepPoint, f64)> = None;
-    for point in points {
-        let score = objective.score(&point.report);
-        match &best {
-            Some((_, best_score)) if *best_score <= score => {}
-            _ => best = Some((point, score)),
-        }
-    }
+    SweepEngine::new().stream(
+        estimator,
+        &source,
+        Shard::FULL,
+        &SweepContext::new(),
+        &mut |point: SweepPoint| {
+            evaluated += 1;
+            let score = objective.score(&point.report);
+            if best
+                .as_ref()
+                .is_none_or(|(_, incumbent)| score < *incumbent)
+            {
+                best = Some((point, score));
+            }
+            Ok(())
+        },
+    )?;
     let (winner, _) = best.expect("at least one configuration evaluated");
     Ok((winner, evaluated))
 }

@@ -25,6 +25,15 @@ pub enum EcoChipError {
     Packaging(PackagingError),
     /// Dollar-cost estimation failed.
     Cost(CostError),
+    /// A sweep's cartesian product overflows the addressable index space.
+    SweepTooLarge(String),
+    /// A memo file could not be read or written.
+    Io(String),
+    /// A memo file was malformed or has an incompatible format version.
+    MemoFormat(String),
+    /// A memo file was produced by a different estimator configuration and
+    /// must not be reused.
+    StaleMemo(String),
 }
 
 impl fmt::Display for EcoChipError {
@@ -36,6 +45,10 @@ impl fmt::Display for EcoChipError {
             EcoChipError::Floorplan(e) => write!(f, "floorplan error: {e}"),
             EcoChipError::Packaging(e) => write!(f, "packaging model error: {e}"),
             EcoChipError::Cost(e) => write!(f, "cost model error: {e}"),
+            EcoChipError::SweepTooLarge(msg) => write!(f, "sweep too large: {msg}"),
+            EcoChipError::Io(msg) => write!(f, "i/o error: {msg}"),
+            EcoChipError::MemoFormat(msg) => write!(f, "memo format error: {msg}"),
+            EcoChipError::StaleMemo(msg) => write!(f, "stale memo rejected: {msg}"),
         }
     }
 }
@@ -105,6 +118,10 @@ mod tests {
                 value: 0.0,
             }
             .into(),
+            EcoChipError::SweepTooLarge("overflow".into()),
+            EcoChipError::Io("missing file".into()),
+            EcoChipError::MemoFormat("bad version".into()),
+            EcoChipError::StaleMemo("fingerprint mismatch".into()),
         ];
         for e in &cases {
             assert!(!e.to_string().is_empty());

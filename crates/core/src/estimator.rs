@@ -36,6 +36,59 @@ impl EcoChip {
         &self.config
     }
 
+    /// Fingerprint of every configuration input that feeds the memoized
+    /// stages (floorplan and per-die manufacturing): the floorplanner
+    /// parameters plus, for every node of the technology database, the
+    /// manufacturing model's [`ManufacturingModel::memo_bits`] (node
+    /// parameters, wafer, fab energy source, wastage accounting).
+    ///
+    /// [`SweepContext::save_to`] stamps memo files with this value and
+    /// [`SweepContext::load_from`] rejects files whose stamp differs, so a
+    /// memo filled under one configuration is never reused under another.
+    /// The hash is stable within one toolchain but not guaranteed across
+    /// Rust releases; a cross-version mismatch simply rejects the memo,
+    /// which is always safe.
+    pub fn memo_fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let mut hasher = DefaultHasher::new();
+        self.config
+            .floorplan
+            .chiplet_spacing
+            .mm()
+            .to_bits()
+            .hash(&mut hasher);
+        self.config
+            .floorplan
+            .edge_margin
+            .mm()
+            .to_bits()
+            .hash(&mut hasher);
+        let model = {
+            let m = ManufacturingModel::new(
+                &self.config.techdb,
+                self.config.wafer,
+                self.config.fab_source,
+            );
+            if self.config.include_wafer_wastage {
+                m
+            } else {
+                m.without_wastage()
+            }
+        };
+        let mut nodes: Vec<TechNode> = self.config.techdb.iter().map(|(node, _)| *node).collect();
+        nodes.sort_unstable();
+        for node in nodes {
+            node.hash(&mut hasher);
+            model
+                .memo_bits(node)
+                .expect("every iterated node exists in its own database")
+                .hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
     /// The chiplet outlines of a system — the input of the floorplan stage.
     fn outlines(&self, system: &System) -> Result<Vec<ChipletOutline>, EcoChipError> {
         let db = &self.config.techdb;
@@ -469,5 +522,35 @@ mod tests {
     fn config_accessor() {
         let est = EcoChip::default();
         assert!(est.config().include_wafer_wastage);
+    }
+
+    #[test]
+    fn memo_fingerprint_tracks_stage_relevant_config() {
+        use ecochip_techdb::EnergySource;
+
+        let base = EcoChip::default();
+        assert_eq!(
+            base.memo_fingerprint(),
+            EcoChip::default().memo_fingerprint()
+        );
+        let wind_fab = EcoChip::new(
+            EstimatorConfig::builder()
+                .fab_source(EnergySource::Wind)
+                .build(),
+        );
+        assert_ne!(base.memo_fingerprint(), wind_fab.memo_fingerprint());
+        let no_wastage = EcoChip::new(
+            EstimatorConfig::builder()
+                .include_wafer_wastage(false)
+                .build(),
+        );
+        assert_ne!(base.memo_fingerprint(), no_wastage.memo_fingerprint());
+        // The operational source never feeds a memoized stage.
+        let wind_use = EcoChip::new(
+            EstimatorConfig::builder()
+                .operational_source(EnergySource::Wind)
+                .build(),
+        );
+        assert_eq!(base.memo_fingerprint(), wind_use.memo_fingerprint());
     }
 }

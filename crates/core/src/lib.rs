@@ -21,9 +21,14 @@
 //!   evaluation sweeps.
 //! * [`sweep`] — the design-space-sweep subsystem: declarative
 //!   [`SweepAxis`](sweep::SweepAxis) / [`SweepSpec`](sweep::SweepSpec)
-//!   cartesian products, a memoizing [`SweepContext`](sweep::SweepContext)
-//!   and a parallel [`SweepEngine`](sweep::SweepEngine) with deterministic
-//!   ordering.
+//!   cartesian products with index-addressable lazy cases, a memoizing,
+//!   persistable [`SweepContext`](sweep::SweepContext), deterministic
+//!   [`Shard`](sweep::Shard) partitioning for cross-process distribution,
+//!   and a parallel, streaming [`SweepEngine`](sweep::SweepEngine) with
+//!   deterministic ordering.
+//! * [`EcoChipService`] — the batch API: one warm sweep memo amortised over
+//!   many `estimate` / `run` requests, with fingerprint-checked memo
+//!   persistence across processes.
 //! * [`dse`] — design-space-exploration sweeps (technology tuples, packaging
 //!   architectures, reuse ratios, lifetimes, chiplet counts and fab energy
 //!   sources, all built on [`sweep`]) and the carbon-delay / carbon-power /
@@ -77,6 +82,7 @@ mod error;
 mod estimator;
 mod manufacturing;
 mod report;
+mod service;
 pub mod sweep;
 mod system;
 
@@ -85,4 +91,5 @@ pub use error::EcoChipError;
 pub use estimator::EcoChip;
 pub use manufacturing::{ChipletManufacturing, ManufacturingModel};
 pub use report::{CarbonReport, ChipletReport, HiBreakdown};
+pub use service::EcoChipService;
 pub use system::{Chiplet, ChipletSize, System, SystemBuilder};

@@ -1,0 +1,267 @@
+//! Batch service API: one warm [`SweepContext`] amortized over many
+//! requests.
+//!
+//! A long-lived service evaluating many systems — a carbon-estimation
+//! endpoint, a DSE driver, a batch queue worker — repeats the same expensive
+//! stages (floorplans, per-die manufacturing CFP) across requests.
+//! [`EcoChipService`] bundles an [`EcoChip`] estimator, a [`SweepEngine`]
+//! and one persistent [`SweepContext`] memo, so every `estimate`/`run` call
+//! after the first reuses whatever stage results earlier calls computed,
+//! while staying bit-for-bit identical to cold estimation.
+
+use std::path::Path;
+
+use crate::error::EcoChipError;
+use crate::estimator::EcoChip;
+use crate::report::CarbonReport;
+use crate::sweep::{
+    Shard, SweepContext, SweepEngine, SweepPoint, SweepSink, SweepSpec, SweepStats,
+};
+use crate::system::System;
+
+/// A batch estimation service: an [`EcoChip`] estimator plus a warm, shared
+/// [`SweepContext`] memo that persists across requests.
+///
+/// ```
+/// use ecochip_core::{Chiplet, ChipletSize, EcoChip, EcoChipService, System};
+/// use ecochip_techdb::{DesignType, TechNode, TimeSpan};
+///
+/// let service = EcoChipService::new(EcoChip::default());
+/// let system = System::builder("svc-demo")
+///     .chiplet(Chiplet::new(
+///         "soc",
+///         DesignType::Logic,
+///         TechNode::N7,
+///         ChipletSize::Transistors(5.0e9),
+///     ))
+///     .build()?;
+/// let first = service.estimate(&system)?;
+/// // A second request over the same die reuses the memoized floorplan and
+/// // manufacturing stages — and still matches cold estimation bit-for-bit.
+/// let again = service.estimate(&system.with_lifetime(TimeSpan::from_years(4.0)))?;
+/// assert!(service.stats().manufacturing_hits > 0);
+/// assert!(again.total().kg() > first.total().kg());
+/// # Ok::<(), ecochip_core::EcoChipError>(())
+/// ```
+#[derive(Debug)]
+pub struct EcoChipService {
+    estimator: EcoChip,
+    engine: SweepEngine,
+    context: SweepContext,
+}
+
+impl EcoChipService {
+    /// A service around `estimator` with a fresh memo and the default
+    /// engine (worker count from `ECOCHIP_JOBS` / available parallelism).
+    pub fn new(estimator: EcoChip) -> Self {
+        Self::with_engine(estimator, SweepEngine::new())
+    }
+
+    /// A service with an explicit sweep engine (e.g. a pinned worker count).
+    pub fn with_engine(estimator: EcoChip, engine: SweepEngine) -> Self {
+        Self {
+            estimator,
+            engine,
+            context: SweepContext::new(),
+        }
+    }
+
+    /// The wrapped estimator.
+    pub fn estimator(&self) -> &EcoChip {
+        &self.estimator
+    }
+
+    /// The sweep engine used by [`EcoChipService::run`] and friends.
+    pub fn engine(&self) -> &SweepEngine {
+        &self.engine
+    }
+
+    /// The warm memo shared by every request.
+    pub fn context(&self) -> &SweepContext {
+        &self.context
+    }
+
+    /// Hit/miss counters of the warm memo.
+    pub fn stats(&self) -> SweepStats {
+        self.context.stats()
+    }
+
+    /// The estimator's memo fingerprint (see
+    /// [`EcoChip::memo_fingerprint`]); memo files saved by this service are
+    /// stamped with it.
+    pub fn memo_fingerprint(&self) -> u64 {
+        self.estimator.memo_fingerprint()
+    }
+
+    /// Estimate one system against the warm memo. Bit-for-bit identical to
+    /// [`EcoChip::estimate`], but stages shared with earlier requests are
+    /// served from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EcoChip::estimate`] errors.
+    pub fn estimate(&self, system: &System) -> Result<CarbonReport, EcoChipError> {
+        self.estimator.estimate_with(system, &self.context)
+    }
+
+    /// Evaluate a sweep spec against the warm memo, collecting every point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (case generation, estimation).
+    pub fn run(&self, spec: &SweepSpec) -> Result<Vec<SweepPoint>, EcoChipError> {
+        self.run_sharded(spec, Shard::FULL)
+    }
+
+    /// Evaluate the slice of a sweep a [`Shard`] owns against the warm memo.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (case generation, estimation).
+    pub fn run_sharded(
+        &self,
+        spec: &SweepSpec,
+        shard: Shard,
+    ) -> Result<Vec<SweepPoint>, EcoChipError> {
+        let mut points = Vec::new();
+        self.run_streaming(spec, shard, &mut |point| {
+            points.push(point);
+            Ok(())
+        })?;
+        Ok(points)
+    }
+
+    /// Stream (a shard of) a sweep through `sink` in deterministic case
+    /// order, holding only the engine's `O(workers)` reorder window in
+    /// memory. Returns the number of points emitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors and the first error returned by `sink`.
+    pub fn run_streaming<S: SweepSink + ?Sized>(
+        &self,
+        spec: &SweepSpec,
+        shard: Shard,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        self.engine
+            .run_streaming_with(&self.estimator, spec, shard, &self.context, sink)
+    }
+
+    /// Persist the warm memo to `path`, stamped with this service's
+    /// fingerprint, so a later process can start warm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SweepContext::save_to`] errors.
+    pub fn save_memo(&self, path: &Path) -> Result<(), EcoChipError> {
+        self.context.save_to(path, self.memo_fingerprint())
+    }
+
+    /// Replace the warm memo with one persisted by
+    /// [`EcoChipService::save_memo`] (or [`SweepContext::save_to`]); the
+    /// file's fingerprint must match this service's estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SweepContext::load_from`] errors ([`EcoChipError::Io`],
+    /// [`EcoChipError::MemoFormat`], [`EcoChipError::StaleMemo`]).
+    pub fn load_memo(&mut self, path: &Path) -> Result<(), EcoChipError> {
+        self.context = SweepContext::load_from(path, self.memo_fingerprint())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepAxis;
+    use crate::system::{Chiplet, ChipletSize};
+    use ecochip_packaging::{PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig};
+    use ecochip_techdb::{DesignType, TechNode};
+
+    fn base() -> System {
+        System::builder("service-test")
+            .chiplets([
+                Chiplet::new(
+                    "logic",
+                    DesignType::Logic,
+                    TechNode::N7,
+                    ChipletSize::Transistors(8.0e9),
+                ),
+                Chiplet::new(
+                    "mem",
+                    DesignType::Memory,
+                    TechNode::N14,
+                    ChipletSize::Transistors(2.0e9),
+                ),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn warm_context_spans_requests_and_stays_exact() {
+        let service = EcoChipService::new(EcoChip::default());
+        let system = base();
+        let first = service.estimate(&system).unwrap();
+        assert_eq!(service.stats().floorplan_misses, 1);
+        let second = service.estimate(&system).unwrap();
+        assert_eq!(service.stats().floorplan_hits, 1);
+        assert_eq!(first, second);
+        // Bit-for-bit identical to a cold estimator.
+        let cold = EcoChip::default().estimate(&system).unwrap();
+        assert_eq!(cold, second);
+        assert_eq!(cold.total().kg().to_bits(), second.total().kg().to_bits());
+    }
+
+    #[test]
+    fn service_sweeps_match_the_bare_engine() {
+        let service = EcoChipService::with_engine(EcoChip::default(), SweepEngine::with_jobs(3));
+        assert_eq!(service.engine().jobs(), 3);
+        let spec = SweepSpec::new(base())
+            .axis(SweepAxis::Packaging(vec![
+                PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+                PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+            ]))
+            .axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0]));
+        let via_service = service.run(&spec).unwrap();
+        let via_engine = SweepEngine::new().run(service.estimator(), &spec).unwrap();
+        assert_eq!(via_service, via_engine);
+        // A sharded service run concatenates to the full run.
+        let mut merged = Vec::new();
+        for index in 0..2 {
+            let shard = Shard::new(index, 2).unwrap();
+            merged.extend(service.run_sharded(&spec, shard).unwrap());
+        }
+        assert_eq!(merged, via_engine);
+    }
+
+    #[test]
+    fn memo_roundtrips_through_the_service() {
+        let warm = EcoChipService::new(EcoChip::default());
+        warm.estimate(&base()).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("ecochip-service-memo-{}.json", std::process::id()));
+        warm.save_memo(&path).unwrap();
+
+        let mut restored = EcoChipService::new(EcoChip::default());
+        restored.load_memo(&path).unwrap();
+        restored.estimate(&base()).unwrap();
+        let stats = restored.stats();
+        assert_eq!(stats.floorplan_misses, 0, "{stats:?}");
+        assert_eq!(stats.manufacturing_misses, 0, "{stats:?}");
+
+        // A differently-configured service rejects the memo.
+        let mut other = EcoChipService::new(EcoChip::new(
+            crate::config::EstimatorConfig::builder()
+                .include_wafer_wastage(false)
+                .build(),
+        ));
+        assert!(matches!(
+            other.load_memo(&path),
+            Err(EcoChipError::StaleMemo(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,4 +1,6 @@
-//! Sweep axes and cartesian sweep specifications.
+//! Sweep axes, cartesian sweep specifications and shard selectors.
+
+use std::fmt;
 
 use ecochip_design::VolumeScenario;
 use ecochip_packaging::PackagingArchitecture;
@@ -173,12 +175,111 @@ impl SweepCase {
     }
 }
 
+/// A deterministic partition selector for distributing a sweep's index space
+/// across processes or machines: shard `index` of `of` owns a contiguous,
+/// balanced slice of the row-major case order.
+///
+/// Shards are contiguous (not strided), so concatenating the outputs of
+/// shards `0/N, 1/N, …, (N-1)/N` reproduces the unsharded sweep exactly —
+/// same points, same order, bit for bit.
+///
+/// ```
+/// use ecochip_core::sweep::Shard;
+///
+/// let shards: Vec<Shard> = (0..3).map(|i| Shard::new(i, 3).unwrap()).collect();
+/// // 10 cases split 4 + 3 + 3, covering every index exactly once.
+/// assert_eq!(shards[0].range(10), 0..4);
+/// assert_eq!(shards[1].range(10), 4..7);
+/// assert_eq!(shards[2].range(10), 7..10);
+/// // "1/3" parses to the same selector.
+/// assert_eq!("1/3".parse::<Shard>().unwrap(), shards[1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    index: usize,
+    of: usize,
+}
+
+impl Shard {
+    /// The trivial shard covering the whole index space.
+    pub const FULL: Shard = Shard { index: 0, of: 1 };
+
+    /// Shard `index` of `of` total shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::InvalidSystem`] when `of` is zero or `index`
+    /// is not below `of`.
+    pub fn new(index: usize, of: usize) -> Result<Self, EcoChipError> {
+        if of == 0 || index >= of {
+            return Err(EcoChipError::InvalidSystem(format!(
+                "shard index must satisfy index < of, got {index}/{of}"
+            )));
+        }
+        Ok(Self { index, of })
+    }
+
+    /// This shard's position within the partition.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The total number of shards in the partition.
+    pub fn of(&self) -> usize {
+        self.of
+    }
+
+    /// Whether this is the trivial whole-space shard.
+    pub fn is_full(&self) -> bool {
+        self.of == 1
+    }
+
+    /// The contiguous index range this shard owns out of `total` cases.
+    ///
+    /// The partition is balanced: every shard gets `total / of` indices, and
+    /// the first `total % of` shards get one extra. The union of all shard
+    /// ranges is exactly `0..total` with no overlap.
+    pub fn range(&self, total: usize) -> std::ops::Range<usize> {
+        let quotient = total / self.of;
+        let remainder = total % self.of;
+        let start = self.index * quotient + self.index.min(remainder);
+        let len = quotient + usize::from(self.index < remainder);
+        start..(start + len)
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = EcoChipError;
+
+    /// Parse an `"I/N"` selector (as passed to the CLI's `--shard`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let invalid = || {
+            EcoChipError::InvalidSystem(format!(
+                "invalid shard selector {s:?} (expected I/N with I < N, e.g. 0/4)"
+            ))
+        };
+        let (index, of) = s.split_once('/').ok_or_else(invalid)?;
+        let index: usize = index.trim().parse().map_err(|_| invalid())?;
+        let of: usize = of.trim().parse().map_err(|_| invalid())?;
+        Shard::new(index, of).map_err(|_| invalid())
+    }
+}
+
 /// A cartesian sweep specification: a base system plus any number of axes.
 ///
-/// [`SweepSpec::cases`] generates the full cartesian product in a
-/// deterministic row-major order — the first axis varies slowest, the last
-/// axis fastest — exactly the order nested `for` loops over the axes would
-/// produce.
+/// Cases are *index-addressable*: the spec never materializes its cartesian
+/// product. [`SweepSpec::case_at`] decodes any flat index into its case in
+/// `O(axes)` time, [`SweepSpec::iter`] streams cases lazily, and
+/// [`SweepSpec::cases`] collects the full product when a `Vec` is wanted.
+/// All three use the same deterministic row-major order — the first axis
+/// varies slowest, the last axis fastest — exactly the order nested `for`
+/// loops over the axes would produce.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     base: System,
@@ -212,9 +313,37 @@ impl SweepSpec {
     }
 
     /// Total number of points (the product of the axis lengths; 1 when the
-    /// spec has no axes — the base system itself).
+    /// spec has no axes — the base system itself), saturating at
+    /// `usize::MAX` when the product overflows. Index-addressed entry points
+    /// ([`SweepSpec::case_at`], [`SweepSpec::iter`], [`SweepSpec::cases`] and
+    /// the engine) use the checked [`SweepSpec::try_len`] instead and reject
+    /// overflowing products with a typed error.
     pub fn len(&self) -> usize {
-        self.axes.iter().map(SweepAxis::len).product()
+        self.axes
+            .iter()
+            .map(SweepAxis::len)
+            .fold(1usize, usize::saturating_mul)
+    }
+
+    /// Checked total number of points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::SweepTooLarge`] when the cartesian product of
+    /// the axis lengths overflows `usize`.
+    pub fn try_len(&self) -> Result<usize, EcoChipError> {
+        self.axes
+            .iter()
+            .map(SweepAxis::len)
+            .try_fold(1usize, |product, len| {
+                product.checked_mul(len).ok_or_else(|| {
+                    EcoChipError::SweepTooLarge(format!(
+                        "cartesian product of {} axes overflows the {}-bit index space",
+                        self.axes.len(),
+                        usize::BITS
+                    ))
+                })
+            })
     }
 
     /// Whether the sweep generates no points (some axis is empty).
@@ -222,36 +351,111 @@ impl SweepSpec {
         self.len() == 0
     }
 
-    /// Generate every case of the cartesian product, in deterministic
-    /// row-major order (last axis fastest).
+    /// Decode flat `index` of the row-major cartesian product into its case,
+    /// in `O(axes)` time and without materializing any other point.
     ///
     /// # Errors
     ///
-    /// Returns [`EcoChipError::InvalidSystem`] when an axis does not apply to
-    /// the base system (e.g. a [`SweepAxis::ChipletNode`] index out of range).
-    pub fn cases(&self) -> Result<Vec<SweepCase>, EcoChipError> {
-        let total = self.len();
-        let mut cases = Vec::with_capacity(total);
-        let mut indices = vec![0usize; self.axes.len()];
-        for flat in 0..total {
-            let mut remainder = flat;
-            for (slot, axis) in indices.iter_mut().zip(&self.axes).rev() {
-                *slot = remainder % axis.len();
-                remainder /= axis.len();
-            }
-            let mut case = SweepCase {
-                labels: Vec::with_capacity(self.axes.len()),
-                system: self.base.clone(),
-                fab_source: None,
-            };
-            for (axis, &index) in self.axes.iter().zip(&indices) {
-                axis.apply(&mut case, index)?;
-            }
-            cases.push(case);
+    /// Returns [`EcoChipError::SweepTooLarge`] when the product overflows,
+    /// [`EcoChipError::InvalidSystem`] when `index` is out of range or an
+    /// axis does not apply to the base system (e.g. a
+    /// [`SweepAxis::ChipletNode`] index out of range).
+    pub fn case_at(&self, index: usize) -> Result<SweepCase, EcoChipError> {
+        let total = self.try_len()?;
+        if index >= total {
+            return Err(EcoChipError::InvalidSystem(format!(
+                "sweep case index {index} out of range for a {total}-point sweep"
+            )));
         }
-        Ok(cases)
+        let mut case = SweepCase {
+            labels: Vec::with_capacity(self.axes.len()),
+            system: self.base.clone(),
+            fab_source: None,
+        };
+        // Row-major decode: the last axis varies fastest, so its digit is the
+        // final remainder. Peeling digits back-to-front keeps labels in axis
+        // order without a second pass.
+        let mut digits = vec![0usize; self.axes.len()];
+        let mut remainder = index;
+        for (slot, axis) in digits.iter_mut().zip(&self.axes).rev() {
+            *slot = remainder % axis.len();
+            remainder /= axis.len();
+        }
+        for (axis, &digit) in self.axes.iter().zip(&digits) {
+            axis.apply(&mut case, digit)?;
+        }
+        Ok(case)
+    }
+
+    /// Lazily iterate every case in deterministic row-major order.
+    pub fn iter(&self) -> SweepCaseIter<'_> {
+        self.iter_shard(Shard::FULL)
+    }
+
+    /// Lazily iterate the cases a [`Shard`] owns, in row-major order.
+    ///
+    /// If the cartesian product overflows the index space, the iterator
+    /// yields the [`EcoChipError::SweepTooLarge`] error as its only item.
+    pub fn iter_shard(&self, shard: Shard) -> SweepCaseIter<'_> {
+        match self.try_len() {
+            Ok(total) => SweepCaseIter {
+                spec: self,
+                range: shard.range(total),
+                overflow: None,
+            },
+            Err(error) => SweepCaseIter {
+                spec: self,
+                range: 0..0,
+                overflow: Some(error),
+            },
+        }
+    }
+
+    /// Generate every case of the cartesian product, in deterministic
+    /// row-major order (last axis fastest).
+    ///
+    /// This materializes the full product; for large spaces prefer
+    /// [`SweepSpec::iter`] / [`SweepSpec::case_at`] or the engine's
+    /// streaming entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::SweepTooLarge`] for overflowing products and
+    /// [`EcoChipError::InvalidSystem`] when an axis does not apply to the
+    /// base system (e.g. a [`SweepAxis::ChipletNode`] index out of range).
+    pub fn cases(&self) -> Result<Vec<SweepCase>, EcoChipError> {
+        self.iter().collect()
     }
 }
+
+/// Lazy iterator over (a shard of) a [`SweepSpec`]'s cartesian product, in
+/// row-major order. Created by [`SweepSpec::iter`] and
+/// [`SweepSpec::iter_shard`]; holds `O(1)` state.
+#[derive(Debug)]
+pub struct SweepCaseIter<'a> {
+    spec: &'a SweepSpec,
+    range: std::ops::Range<usize>,
+    overflow: Option<EcoChipError>,
+}
+
+impl Iterator for SweepCaseIter<'_> {
+    type Item = Result<SweepCase, EcoChipError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(error) = self.overflow.take() {
+            return Some(Err(error));
+        }
+        let index = self.range.next()?;
+        Some(self.spec.case_at(index))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = self.range.len() + usize::from(self.overflow.is_some());
+        (len, Some(len))
+    }
+}
+
+impl ExactSizeIterator for SweepCaseIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -379,6 +583,102 @@ mod tests {
         assert_eq!(cases.len(), 4);
         assert!((cases[3].system.lifetime.years() - 9.0).abs() < 1e-12);
         assert_eq!(cases[3].label(), "b / EMIB");
+    }
+
+    #[test]
+    fn case_at_matches_materialized_cases() {
+        let spec = SweepSpec::new(base())
+            .axis(packaging_axis())
+            .axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0]))
+            .axis(SweepAxis::FabEnergySources(vec![
+                EnergySource::Coal,
+                EnergySource::Wind,
+            ]));
+        let cases = spec.cases().unwrap();
+        assert_eq!(cases.len(), 12);
+        for (i, case) in cases.iter().enumerate() {
+            assert_eq!(&spec.case_at(i).unwrap(), case, "index {i}");
+        }
+        assert!(spec.case_at(12).is_err());
+        let collected: Vec<SweepCase> = spec.iter().map(Result::unwrap).collect();
+        assert_eq!(collected, cases);
+        assert_eq!(spec.iter().len(), 12);
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_index_space() {
+        for total in [0usize, 1, 2, 5, 10, 17] {
+            for of in 1usize..=5 {
+                let mut covered = Vec::new();
+                for index in 0..of {
+                    let shard = Shard::new(index, of).unwrap();
+                    covered.extend(shard.range(total));
+                }
+                let expected: Vec<usize> = (0..total).collect();
+                assert_eq!(covered, expected, "total={total} of={of}");
+            }
+        }
+        // Balanced: shard sizes differ by at most one.
+        let sizes: Vec<usize> = (0..4)
+            .map(|i| Shard::new(i, 4).unwrap().range(10).len())
+            .collect();
+        assert_eq!(sizes, [3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn shard_validation_and_parsing() {
+        assert!(Shard::new(0, 0).is_err());
+        assert!(Shard::new(2, 2).is_err());
+        let shard = Shard::new(1, 3).unwrap();
+        assert_eq!(shard.index(), 1);
+        assert_eq!(shard.of(), 3);
+        assert!(!shard.is_full());
+        assert!(Shard::FULL.is_full());
+        assert_eq!(shard.to_string(), "1/3");
+        assert_eq!("1/3".parse::<Shard>().unwrap(), shard);
+        for bad in ["", "1", "3/1", "1/0", "a/b", "1/3/5"] {
+            assert!(bad.parse::<Shard>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn sharded_iteration_concatenates_to_the_full_sweep() {
+        let spec = SweepSpec::new(base())
+            .axis(packaging_axis())
+            .axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0]));
+        let full: Vec<SweepCase> = spec.iter().map(Result::unwrap).collect();
+        let mut merged = Vec::new();
+        for index in 0..3 {
+            let shard = Shard::new(index, 3).unwrap();
+            merged.extend(spec.iter_shard(shard).map(Result::unwrap));
+        }
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn overflowing_products_are_rejected_not_panicked() {
+        let huge = SweepAxis::lifetimes_years(&vec![1.0; 1 << 16]);
+        let mut spec = SweepSpec::new(base());
+        for _ in 0..5 {
+            spec = spec.axis(huge.clone());
+        }
+        // 2^80 points: the saturating length caps, the checked length errors.
+        assert_eq!(spec.len(), usize::MAX);
+        assert!(matches!(
+            spec.try_len(),
+            Err(EcoChipError::SweepTooLarge(_))
+        ));
+        assert!(matches!(
+            spec.case_at(0),
+            Err(EcoChipError::SweepTooLarge(_))
+        ));
+        let mut iter = spec.iter();
+        assert!(matches!(
+            iter.next(),
+            Some(Err(EcoChipError::SweepTooLarge(_)))
+        ));
+        assert!(iter.next().is_none());
+        assert!(matches!(spec.cases(), Err(EcoChipError::SweepTooLarge(_))));
     }
 
     #[test]

@@ -11,11 +11,20 @@
 //! across its worker threads.
 //!
 //! Because the cache stores the *exact* value the stage computed, memoized
-//! runs are bit-for-bit identical to cold runs.
+//! runs are bit-for-bit identical to cold runs. The same exactness carries
+//! across processes: [`SweepContext::save_to`] / [`SweepContext::load_from`]
+//! persist the memo as versioned JSON keyed by a model fingerprint, and JSON
+//! floats round-trip bit-for-bit (shortest-representation formatting), so a
+//! restored memo serves the exact values the original run computed. A memo
+//! whose format version or fingerprint does not match is *rejected* with a
+//! typed error, never silently reused.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
 
 use ecochip_floorplan::{ChipletOutline, Floorplan, FloorplanConfig};
 use ecochip_techdb::{Area, TechNode};
@@ -23,9 +32,13 @@ use ecochip_techdb::{Area, TechNode};
 use crate::error::EcoChipError;
 use crate::manufacturing::{ChipletManufacturing, ManufacturingModel};
 
+/// Format version of the persisted memo JSON; bumped on breaking layout
+/// changes so old files are rejected with [`EcoChipError::MemoFormat`].
+pub const MEMO_FORMAT_VERSION: u32 = 1;
+
 /// Cache key for a floorplan: the floorplanner configuration plus the ordered
 /// outline set (names, exact area bits, exact aspect-ratio bits).
-#[derive(Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 struct FloorplanKey {
     spacing_bits: u64,
     margin_bits: u64,
@@ -54,11 +67,21 @@ impl FloorplanKey {
 /// Cache key for a per-die manufacturing result: `(node, area)` plus the
 /// model fingerprint of [`ManufacturingModel::memo_bits`] (node parameters,
 /// wafer, fab energy source, wastage accounting).
-#[derive(Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 struct ManufacturingKey {
     node: TechNode,
     area_bits: u64,
     model_bits: u64,
+}
+
+/// On-disk layout of a persisted memo: format version, model fingerprint and
+/// the two caches as flat entry lists (JSON objects cannot key on structs).
+#[derive(Debug, Serialize, Deserialize)]
+struct MemoFile {
+    version: u32,
+    fingerprint: u64,
+    floorplans: Vec<(FloorplanKey, Floorplan)>,
+    manufacturing: Vec<(ManufacturingKey, ChipletManufacturing)>,
 }
 
 /// Hit/miss counters of a [`SweepContext`], for tests, benches and tuning.
@@ -108,6 +131,120 @@ impl SweepContext {
     /// Whether this context memoizes anything.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Number of floorplans currently memoized.
+    pub fn floorplan_entries(&self) -> usize {
+        self.floorplans.lock().expect("floorplan cache").len()
+    }
+
+    /// Number of per-die manufacturing results currently memoized.
+    pub fn manufacturing_entries(&self) -> usize {
+        self.manufacturing
+            .lock()
+            .expect("manufacturing cache")
+            .len()
+    }
+
+    /// Serialize the memo to versioned JSON, stamped with `fingerprint`
+    /// (use [`EcoChip::memo_fingerprint`](crate::EcoChip::memo_fingerprint)
+    /// for the estimator the memo was filled by).
+    ///
+    /// Entries are written in a deterministic (sorted-key) order so the same
+    /// memo always produces the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::MemoFormat`] if a cached value cannot be
+    /// serialized (e.g. a non-finite float).
+    pub fn to_json(&self, fingerprint: u64) -> Result<String, EcoChipError> {
+        let mut floorplans: Vec<(FloorplanKey, Floorplan)> = self
+            .floorplans
+            .lock()
+            .expect("floorplan cache")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        floorplans.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut manufacturing: Vec<(ManufacturingKey, ChipletManufacturing)> = self
+            .manufacturing
+            .lock()
+            .expect("manufacturing cache")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        manufacturing.sort_by(|a, b| a.0.cmp(&b.0));
+        let file = MemoFile {
+            version: MEMO_FORMAT_VERSION,
+            fingerprint,
+            floorplans,
+            manufacturing,
+        };
+        serde_json::to_string(&file).map_err(|e| EcoChipError::MemoFormat(e.to_string()))
+    }
+
+    /// Reconstruct a memoizing context from [`SweepContext::to_json`]
+    /// output, verifying the format version and the model fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::MemoFormat`] for malformed JSON or an
+    /// incompatible format version, and [`EcoChipError::StaleMemo`] when the
+    /// stored fingerprint differs from `fingerprint` — a memo produced under
+    /// different model parameters must never be reused.
+    pub fn from_json(json: &str, fingerprint: u64) -> Result<Self, EcoChipError> {
+        let file: MemoFile =
+            serde_json::from_str(json).map_err(|e| EcoChipError::MemoFormat(e.to_string()))?;
+        if file.version != MEMO_FORMAT_VERSION {
+            return Err(EcoChipError::MemoFormat(format!(
+                "memo format version {} is not the supported version {MEMO_FORMAT_VERSION}",
+                file.version
+            )));
+        }
+        if file.fingerprint != fingerprint {
+            return Err(EcoChipError::StaleMemo(format!(
+                "memo fingerprint {:#018x} does not match the estimator's {:#018x}",
+                file.fingerprint, fingerprint
+            )));
+        }
+        let context = Self::new();
+        context
+            .floorplans
+            .lock()
+            .expect("floorplan cache")
+            .extend(file.floorplans);
+        context
+            .manufacturing
+            .lock()
+            .expect("manufacturing cache")
+            .extend(file.manufacturing);
+        Ok(context)
+    }
+
+    /// Persist the memo to `path` as versioned, fingerprinted JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::Io`] when the file cannot be written and
+    /// [`EcoChipError::MemoFormat`] when serialization fails.
+    pub fn save_to(&self, path: &Path, fingerprint: u64) -> Result<(), EcoChipError> {
+        let json = self.to_json(fingerprint)?;
+        std::fs::write(path, json)
+            .map_err(|e| EcoChipError::Io(format!("writing memo {}: {e}", path.display())))
+    }
+
+    /// Load a memo persisted by [`SweepContext::save_to`], verifying the
+    /// format version and the model fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::Io`] when the file cannot be read,
+    /// [`EcoChipError::MemoFormat`] for malformed or incompatible files and
+    /// [`EcoChipError::StaleMemo`] for fingerprint mismatches.
+    pub fn load_from(path: &Path, fingerprint: u64) -> Result<Self, EcoChipError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| EcoChipError::Io(format!("reading memo {}: {e}", path.display())))?;
+        Self::from_json(&json, fingerprint)
     }
 
     /// A snapshot of the hit/miss counters.
@@ -261,6 +398,101 @@ mod tests {
         assert!(from_b.total().kg() > from_a.total().kg());
         assert_eq!(from_a, a.chiplet_cfp(area, TechNode::N7).unwrap());
         assert_eq!(from_b, b.chiplet_cfp(area, TechNode::N7).unwrap());
+    }
+
+    fn filled_context() -> SweepContext {
+        use ecochip_floorplan::SlicingFloorplanner;
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let ctx = SweepContext::new();
+        ctx.manufacturing(&model, Area::from_mm2(123.0), TechNode::N7)
+            .unwrap();
+        ctx.manufacturing(&model, Area::from_mm2(45.0), TechNode::N14)
+            .unwrap();
+        let config = FloorplanConfig::default();
+        let outlines = vec![
+            ChipletOutline::new("a", Area::from_mm2(100.0)),
+            ChipletOutline::new("b", Area::from_mm2(50.0)),
+        ];
+        ctx.floorplan(&config, &outlines, || {
+            SlicingFloorplanner::new(config)
+                .floorplan(&outlines)
+                .map_err(EcoChipError::from)
+        })
+        .unwrap();
+        ctx
+    }
+
+    #[test]
+    fn memo_json_roundtrip_restores_every_entry() {
+        let ctx = filled_context();
+        assert_eq!(ctx.manufacturing_entries(), 2);
+        assert_eq!(ctx.floorplan_entries(), 1);
+        let json = ctx.to_json(0xfeed).unwrap();
+        let restored = SweepContext::from_json(&json, 0xfeed).unwrap();
+        assert!(restored.is_enabled());
+        assert_eq!(restored.manufacturing_entries(), 2);
+        assert_eq!(restored.floorplan_entries(), 1);
+        // Restored entries hit, and serve the exact cached values.
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let original = ctx
+            .manufacturing(&model, Area::from_mm2(123.0), TechNode::N7)
+            .unwrap();
+        let served = restored
+            .manufacturing(&model, Area::from_mm2(123.0), TechNode::N7)
+            .unwrap();
+        assert_eq!(restored.stats().manufacturing_hits, 1);
+        assert_eq!(restored.stats().manufacturing_misses, 0);
+        assert_eq!(
+            original.total().kg().to_bits(),
+            served.total().kg().to_bits()
+        );
+        // Saving the restored context reproduces the same bytes.
+        assert_eq!(restored.to_json(0xfeed).unwrap(), json);
+    }
+
+    #[test]
+    fn memo_with_wrong_fingerprint_or_version_is_rejected() {
+        let ctx = filled_context();
+        let json = ctx.to_json(1).unwrap();
+        assert!(matches!(
+            SweepContext::from_json(&json, 2),
+            Err(EcoChipError::StaleMemo(_))
+        ));
+        let future = json.replacen(
+            &format!("\"version\":{MEMO_FORMAT_VERSION}"),
+            "\"version\":99",
+            1,
+        );
+        assert_ne!(future, json, "version field not found in memo JSON");
+        assert!(matches!(
+            SweepContext::from_json(&future, 1),
+            Err(EcoChipError::MemoFormat(_))
+        ));
+        assert!(matches!(
+            SweepContext::from_json("not json", 1),
+            Err(EcoChipError::MemoFormat(_))
+        ));
+    }
+
+    #[test]
+    fn memo_file_save_and_load() {
+        let ctx = filled_context();
+        let path =
+            std::env::temp_dir().join(format!("ecochip-memo-unit-{}.json", std::process::id()));
+        ctx.save_to(&path, 7).unwrap();
+        let restored = SweepContext::load_from(&path, 7).unwrap();
+        assert_eq!(restored.floorplan_entries(), ctx.floorplan_entries());
+        assert!(matches!(
+            SweepContext::load_from(&path, 8),
+            Err(EcoChipError::StaleMemo(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            SweepContext::load_from(&path, 7),
+            Err(EcoChipError::Io(_))
+        ));
     }
 
     #[test]

@@ -1,24 +1,126 @@
-//! The parallel, memoizing sweep evaluator.
+//! The parallel, memoizing, streaming sweep evaluator.
+//!
+//! The engine is built around a bounded work queue: workers claim case
+//! *indices* (never a materialized case list), decode each case lazily from
+//! its [`CaseSource`], evaluate it against the shared [`SweepContext`], and
+//! hand the resulting [`SweepPoint`]s to a caller-supplied [`SweepSink`] in
+//! deterministic row-major order. A reorder window of `O(workers)` points
+//! provides backpressure, so streaming a million-point space holds only a
+//! handful of points in memory at any time. [`SweepEngine::run`] is the
+//! collect-to-`Vec` special case of the same machinery.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
 
 use ecochip_techdb::EnergySource;
 
 use crate::error::EcoChipError;
 use crate::estimator::EcoChip;
-use crate::sweep::{SweepCase, SweepContext, SweepPoint, SweepSpec};
+use crate::sweep::{Shard, SweepCase, SweepContext, SweepPoint, SweepSpec};
 
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV_VAR: &str = "ECOCHIP_JOBS";
+
+/// Receives evaluated sweep points, in the spec's deterministic case order.
+///
+/// Any `FnMut(SweepPoint) -> Result<(), EcoChipError>` closure is a sink, so
+/// collecting, folding or incremental writing all work without a named type:
+///
+/// ```
+/// use ecochip_core::sweep::{SweepAxis, SweepEngine, SweepSpec};
+/// use ecochip_core::{Chiplet, ChipletSize, EcoChip, System};
+/// use ecochip_techdb::{DesignType, TechNode};
+///
+/// let base = System::builder("demo")
+///     .chiplet(Chiplet::new(
+///         "soc",
+///         DesignType::Logic,
+///         TechNode::N7,
+///         ChipletSize::Transistors(5.0e9),
+///     ))
+///     .build()?;
+/// let spec = SweepSpec::new(base).axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 4.0]));
+/// // Stream: keep a running maximum instead of materializing all points.
+/// use ecochip_core::sweep::SweepPoint;
+/// let mut worst = f64::MIN;
+/// let mut sink = |point: SweepPoint| {
+///     worst = worst.max(point.report.total().kg());
+///     Ok(())
+/// };
+/// let emitted = SweepEngine::new().run_streaming(&EcoChip::default(), &spec, &mut sink)?;
+/// assert_eq!(emitted, 3);
+/// assert!(worst > 0.0);
+/// # Ok::<(), ecochip_core::EcoChipError>(())
+/// ```
+pub trait SweepSink {
+    /// Accept the next point. Returning an error aborts the sweep; the error
+    /// is propagated to the caller of the streaming entry point.
+    fn emit(&mut self, point: SweepPoint) -> Result<(), EcoChipError>;
+}
+
+impl<F: FnMut(SweepPoint) -> Result<(), EcoChipError>> SweepSink for F {
+    fn emit(&mut self, point: SweepPoint) -> Result<(), EcoChipError> {
+        self(point)
+    }
+}
+
+/// An index-addressable source of sweep cases: the engine's workers pull
+/// case indices and decode each case on demand, so the full cartesian
+/// product is never materialized.
+pub(crate) trait CaseSource: Sync {
+    /// Checked number of cases.
+    fn total(&self) -> Result<usize, EcoChipError>;
+    /// Produce case `index` (must be below [`CaseSource::total`]).
+    fn case(&self, index: usize) -> Result<SweepCase, EcoChipError>;
+}
+
+impl CaseSource for SweepSpec {
+    fn total(&self) -> Result<usize, EcoChipError> {
+        self.try_len()
+    }
+
+    fn case(&self, index: usize) -> Result<SweepCase, EcoChipError> {
+        self.case_at(index)
+    }
+}
+
+impl CaseSource for [SweepCase] {
+    fn total(&self) -> Result<usize, EcoChipError> {
+        Ok(self.len())
+    }
+
+    fn case(&self, index: usize) -> Result<SweepCase, EcoChipError> {
+        Ok(self[index].clone())
+    }
+}
+
+/// A spec whose decoded cases are rewritten on the fly (used by the node
+/// assignment optimizer to relabel points without materializing them).
+pub(crate) struct MappedSpec<'a, F> {
+    pub(crate) spec: &'a SweepSpec,
+    pub(crate) map: F,
+}
+
+impl<F: Fn(SweepCase) -> SweepCase + Sync> CaseSource for MappedSpec<'_, F> {
+    fn total(&self) -> Result<usize, EcoChipError> {
+        self.spec.try_len()
+    }
+
+    fn case(&self, index: usize) -> Result<SweepCase, EcoChipError> {
+        self.spec.case_at(index).map(&self.map)
+    }
+}
 
 /// Evaluates the points of a [`SweepSpec`] across worker threads, sharing one
 /// [`SweepContext`] memo so stage results common to several points are
 /// computed once.
 ///
-/// Results are returned in the spec's deterministic case order regardless of
+/// Results are produced in the spec's deterministic case order regardless of
 /// the worker count, and every report is bit-for-bit identical to what the
-/// serial path ([`SweepEngine::serial`]) produces.
+/// serial path ([`SweepEngine::serial`]) produces. The streaming entry
+/// points ([`SweepEngine::run_streaming`] and friends) hold only an
+/// `O(workers)` reorder window in memory; [`SweepEngine::run`] is the same
+/// pipeline with a collect-to-`Vec` sink.
 ///
 /// ```
 /// use ecochip_core::sweep::{SweepAxis, SweepEngine, SweepSpec};
@@ -84,7 +186,71 @@ impl SweepEngine {
         estimator: &EcoChip,
         spec: &SweepSpec,
     ) -> Result<Vec<SweepPoint>, EcoChipError> {
-        self.run_cases(estimator, spec.cases()?)
+        self.run_sharded(estimator, spec, Shard::FULL)
+    }
+
+    /// Evaluate the slice of `spec` a [`Shard`] owns, in case order.
+    /// Concatenating the results of shards `0/N..N-1/N` reproduces
+    /// [`SweepEngine::run`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's case-generation error, or the estimator error of
+    /// the lowest-index failing point of the shard.
+    pub fn run_sharded(
+        &self,
+        estimator: &EcoChip,
+        spec: &SweepSpec,
+        shard: Shard,
+    ) -> Result<Vec<SweepPoint>, EcoChipError> {
+        let context = SweepContext::new();
+        let mut points = Vec::new();
+        self.stream(estimator, spec, shard, &context, &mut |point| {
+            points.push(point);
+            Ok(())
+        })?;
+        Ok(points)
+    }
+
+    /// Evaluate every point of `spec`, emitting each [`SweepPoint`] to
+    /// `sink` in deterministic case order as soon as it (and all its
+    /// predecessors) are ready. Returns the number of points emitted.
+    ///
+    /// At most `O(workers)` points are in flight at any time — the reorder
+    /// window applies backpressure to the workers — so the full product is
+    /// never held in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's case-generation error, the estimator error of the
+    /// lowest-index failing point, or the first error returned by `sink`.
+    pub fn run_streaming<S: SweepSink + ?Sized>(
+        &self,
+        estimator: &EcoChip,
+        spec: &SweepSpec,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        self.run_streaming_with(estimator, spec, Shard::FULL, &SweepContext::new(), sink)
+    }
+
+    /// Full-control streaming: evaluate the slice of `spec` that `shard`
+    /// owns against a caller-provided [`SweepContext`] (e.g. one restored
+    /// from a memo file), emitting points to `sink` in case order. Returns
+    /// the number of points emitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's case-generation error, the estimator error of the
+    /// lowest-index failing point, or the first error returned by `sink`.
+    pub fn run_streaming_with<S: SweepSink + ?Sized>(
+        &self,
+        estimator: &EcoChip,
+        spec: &SweepSpec,
+        shard: Shard,
+        context: &SweepContext,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        self.stream(estimator, spec, shard, context, sink)
     }
 
     /// Evaluate explicit cases (e.g. pre-processed for custom labels) with a
@@ -114,91 +280,218 @@ impl SweepEngine {
         cases: Vec<SweepCase>,
         context: &SweepContext,
     ) -> Result<Vec<SweepPoint>, EcoChipError> {
-        if cases.is_empty() {
-            return Ok(Vec::new());
-        }
-        // One estimator per distinct fab-source override, built up front so
-        // worker threads never clone the (techdb-carrying) configuration.
-        let variants = EstimatorVariants::resolve(estimator, &cases);
+        let mut points = Vec::with_capacity(cases.len());
+        self.stream(
+            estimator,
+            cases.as_slice(),
+            Shard::FULL,
+            context,
+            &mut |point| {
+                points.push(point);
+                Ok(())
+            },
+        )?;
+        Ok(points)
+    }
 
-        let evaluate = |index: usize, case: &SweepCase| -> Result<SweepPoint, EcoChipError> {
-            let est = variants.for_case(estimator, index);
-            let report = est.estimate_with(&case.system, context)?;
+    /// The shared work-queue pipeline behind every entry point: workers pull
+    /// case indices, decode + evaluate, and park results in a bounded
+    /// reorder window the calling thread drains in order into `sink`.
+    pub(crate) fn stream<C: CaseSource + ?Sized, S: SweepSink + ?Sized>(
+        &self,
+        estimator: &EcoChip,
+        source: &C,
+        shard: Shard,
+        context: &SweepContext,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        let total = source.total()?;
+        let range = shard.range(total);
+        let count = range.len();
+        if count == 0 {
+            return Ok(0);
+        }
+
+        let variants = VariantCache::new(estimator);
+        let evaluate = |index: usize| -> Result<SweepPoint, EcoChipError> {
+            let case = source.case(index)?;
+            let report = variants
+                .estimator_for(case.fab_source)
+                .estimate_with(&case.system, context)?;
             Ok(SweepPoint {
                 label: case.label(),
-                system: case.system.clone(),
+                system: case.system,
                 report,
             })
         };
 
-        let jobs = self.jobs.min(cases.len());
+        let jobs = self.jobs.min(count);
         if jobs == 1 {
-            return cases
-                .iter()
-                .enumerate()
-                .map(|(i, case)| evaluate(i, case))
-                .collect();
+            // Reference serial path: evaluate and emit inline.
+            let mut emitted = 0usize;
+            for index in range {
+                sink.emit(evaluate(index)?)?;
+                emitted += 1;
+            }
+            return Ok(emitted);
         }
 
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<SweepPoint, EcoChipError>>>> =
-            (0..cases.len()).map(|_| Mutex::new(None)).collect();
+        // Workers may run at most `window` indices ahead of the emit cursor,
+        // which bounds the reorder buffer to O(workers) points.
+        let window = jobs * 2;
+        let queue = ReorderQueue {
+            state: Mutex::new(ReorderState {
+                next_claim: range.start,
+                next_emit: range.start,
+                buffer: HashMap::with_capacity(window),
+                aborted: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        };
+        let end = range.end;
+
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(case) = cases.get(index) else {
-                        break;
+                    let claim = {
+                        let mut state = queue.state.lock().expect("sweep queue");
+                        loop {
+                            if state.aborted || state.next_claim >= end {
+                                return;
+                            }
+                            if state.next_claim < state.next_emit + window {
+                                break;
+                            }
+                            state = queue.space.wait(state).expect("sweep queue");
+                        }
+                        let claim = state.next_claim;
+                        state.next_claim += 1;
+                        claim
                     };
-                    let result = evaluate(index, case);
-                    *slots[index].lock().expect("sweep result slot") = Some(result);
+                    let result = evaluate(claim);
+                    let mut state = queue.state.lock().expect("sweep queue");
+                    if result.is_err() {
+                        // Stop claiming new indices; everything below `claim`
+                        // is already claimed, so the emitter still surfaces
+                        // the lowest-index error.
+                        state.aborted = true;
+                        queue.space.notify_all();
+                    }
+                    let notify = claim == state.next_emit;
+                    state.buffer.insert(claim, result);
+                    drop(state);
+                    if notify {
+                        queue.ready.notify_one();
+                    }
                 });
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("sweep result slot")
-                    .expect("every claimed index is evaluated")
-            })
-            .collect()
+
+            // The calling thread is the emitter: drain results in index
+            // order so the sink observes the deterministic case order.
+            let outcome = (|| {
+                let mut emitted = 0usize;
+                for index in range.clone() {
+                    let point = {
+                        let mut state = queue.state.lock().expect("sweep queue");
+                        loop {
+                            if let Some(result) = state.buffer.remove(&index) {
+                                break result;
+                            }
+                            state = queue.ready.wait(state).expect("sweep queue");
+                        }
+                    }?;
+                    sink.emit(point)?;
+                    emitted += 1;
+                    let mut state = queue.state.lock().expect("sweep queue");
+                    state.next_emit = index + 1;
+                    drop(state);
+                    // Advancing the window admits exactly one new claim, so
+                    // wake one parked worker; stragglers parked after the
+                    // last emit are released by the notify_all below.
+                    queue.space.notify_one();
+                }
+                Ok(emitted)
+            })();
+
+            // On early exit (evaluation or sink error) wake every parked
+            // worker so the scope can join them.
+            let mut state = queue.state.lock().expect("sweep queue");
+            state.aborted = true;
+            drop(state);
+            queue.space.notify_all();
+            outcome
+        })
     }
 }
 
-/// Estimator clones for the distinct fab-source overrides of a case list.
-struct EstimatorVariants {
+/// Bookkeeping shared between the workers and the emitting thread.
+struct ReorderState {
+    /// Next index to hand to a worker.
+    next_claim: usize,
+    /// Next index the emitter will pass to the sink.
+    next_emit: usize,
+    /// Out-of-order results parked until their turn (bounded by the window).
+    buffer: HashMap<usize, Result<SweepPoint, EcoChipError>>,
+    /// Set on evaluation/sink errors so workers stop claiming indices.
+    aborted: bool,
+}
+
+struct ReorderQueue {
+    state: Mutex<ReorderState>,
+    /// Signals the emitter that the next in-order result arrived.
+    ready: Condvar,
+    /// Signals workers that the reorder window advanced.
+    space: Condvar,
+}
+
+/// Lazily-built estimator clones for the distinct fab-source overrides seen
+/// while streaming, so workers never clone the (techdb-carrying)
+/// configuration for cases without an override.
+struct VariantCache<'a> {
+    base: &'a EcoChip,
     /// `(intensity bits, estimator)` per distinct override.
-    variants: Vec<(u64, EcoChip)>,
-    /// Per-case index into `variants` (`None` = the base estimator).
-    picks: Vec<Option<usize>>,
+    variants: Mutex<Vec<(u64, Arc<EcoChip>)>>,
 }
 
-impl EstimatorVariants {
-    fn resolve(base: &EcoChip, cases: &[SweepCase]) -> Self {
-        let mut variants: Vec<(u64, EcoChip)> = Vec::new();
-        let picks = cases
-            .iter()
-            .map(|case| {
-                let source = case.fab_source?;
-                let bits = source_bits(source);
-                let position = variants.iter().position(|(b, _)| *b == bits);
-                Some(position.unwrap_or_else(|| {
-                    let mut config = base.config().clone();
-                    config.fab_source = source;
-                    variants.push((bits, EcoChip::new(config)));
-                    variants.len() - 1
-                }))
-            })
-            .collect();
-        Self { variants, picks }
+enum CaseEstimator<'a> {
+    Base(&'a EcoChip),
+    Variant(Arc<EcoChip>),
+}
+
+impl std::ops::Deref for CaseEstimator<'_> {
+    type Target = EcoChip;
+
+    fn deref(&self) -> &EcoChip {
+        match self {
+            CaseEstimator::Base(estimator) => estimator,
+            CaseEstimator::Variant(estimator) => estimator,
+        }
+    }
+}
+
+impl<'a> VariantCache<'a> {
+    fn new(base: &'a EcoChip) -> Self {
+        Self {
+            base,
+            variants: Mutex::new(Vec::new()),
+        }
     }
 
-    fn for_case<'a>(&'a self, base: &'a EcoChip, index: usize) -> &'a EcoChip {
-        match self.picks[index] {
-            Some(variant) => &self.variants[variant].1,
-            None => base,
+    fn estimator_for(&self, source: Option<EnergySource>) -> CaseEstimator<'a> {
+        let Some(source) = source else {
+            return CaseEstimator::Base(self.base);
+        };
+        let bits = source_bits(source);
+        let mut variants = self.variants.lock().expect("variant cache");
+        if let Some((_, estimator)) = variants.iter().find(|(b, _)| *b == bits) {
+            return CaseEstimator::Variant(Arc::clone(estimator));
         }
+        let mut config = self.base.config().clone();
+        config.fab_source = source;
+        let estimator = Arc::new(EcoChip::new(config));
+        variants.push((bits, Arc::clone(&estimator)));
+        CaseEstimator::Variant(estimator)
     }
 }
 
@@ -273,6 +566,60 @@ mod tests {
     }
 
     #[test]
+    fn streaming_emits_in_deterministic_order() {
+        let estimator = EcoChip::default();
+        let spec = spec();
+        let collected = SweepEngine::new().run(&estimator, &spec).unwrap();
+        for jobs in [1, 2, 5, 16] {
+            let mut streamed = Vec::new();
+            let emitted = SweepEngine::with_jobs(jobs)
+                .run_streaming(&estimator, &spec, &mut |point| {
+                    streamed.push(point);
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(emitted, collected.len(), "jobs={jobs}");
+            assert_eq!(streamed, collected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sharded_runs_concatenate_to_the_full_run() {
+        let estimator = EcoChip::default();
+        let spec = spec();
+        let full = SweepEngine::with_jobs(3).run(&estimator, &spec).unwrap();
+        for of in [1usize, 2, 3, 5, 12, 17] {
+            let mut merged = Vec::new();
+            for index in 0..of {
+                let shard = Shard::new(index, of).unwrap();
+                merged.extend(
+                    SweepEngine::with_jobs(2)
+                        .run_sharded(&estimator, &spec, shard)
+                        .unwrap(),
+                );
+            }
+            assert_eq!(merged, full, "of={of}");
+        }
+    }
+
+    #[test]
+    fn sink_errors_abort_the_sweep() {
+        let estimator = EcoChip::default();
+        let spec = spec();
+        let mut emitted = 0usize;
+        let result = SweepEngine::with_jobs(4).run_streaming(&estimator, &spec, &mut |_point| {
+            emitted += 1;
+            if emitted == 3 {
+                Err(EcoChipError::InvalidSystem("sink full".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(result, Err(EcoChipError::InvalidSystem(_))));
+        assert_eq!(emitted, 3);
+    }
+
+    #[test]
     fn memoization_skips_repeated_floorplans_and_manufacturing() {
         let estimator = EcoChip::default();
         let context = SweepContext::new();
@@ -321,6 +668,7 @@ mod tests {
             nodes: vec![TechNode::N10],
         });
         assert!(SweepEngine::new().run(&estimator, &spec).is_err());
+        assert!(SweepEngine::with_jobs(4).run(&estimator, &spec).is_err());
     }
 
     #[test]

@@ -43,14 +43,38 @@
 //! what a serial, memo-free evaluation produces. Worker count comes from
 //! [`SweepEngine::with_jobs`], the `ECOCHIP_JOBS` environment variable, or
 //! the machine's available parallelism.
+//!
+//! # Streaming, sharding and memo persistence
+//!
+//! The spec is *index-addressable* — [`SweepSpec::case_at`] decodes any flat
+//! index in `O(axes)` without materializing the product — which unlocks
+//! three scale features:
+//!
+//! * **Streaming.** [`SweepEngine::run_streaming`] pushes points to a
+//!   [`SweepSink`] in deterministic order while holding only an
+//!   `O(workers)` reorder window, so million-point spaces are not
+//!   memory-bound. [`SweepEngine::run`] is the collect-to-`Vec` sink over
+//!   the same pipeline.
+//! * **Sharding.** A [`Shard`]`{ index, of }` selector deterministically
+//!   partitions the index space into contiguous, balanced slices for
+//!   cross-process distribution; concatenating all shards' outputs equals
+//!   the unsharded run bit-for-bit.
+//! * **Memo persistence.** [`SweepContext::save_to`] /
+//!   [`SweepContext::load_from`] persist the floorplan and manufacturing
+//!   memos as versioned JSON keyed by
+//!   [`EcoChip::memo_fingerprint`](crate::EcoChip::memo_fingerprint), so a
+//!   later process (or another shard) starts warm — and a memo from a
+//!   different model configuration is rejected, never silently reused.
 
 mod axis;
 mod context;
 mod engine;
 
-pub use axis::{SweepAxis, SweepCase, SweepSpec};
-pub use context::{SweepContext, SweepStats};
-pub use engine::{SweepEngine, JOBS_ENV_VAR};
+pub use axis::{Shard, SweepAxis, SweepCase, SweepCaseIter, SweepSpec};
+pub use context::{SweepContext, SweepStats, MEMO_FORMAT_VERSION};
+pub use engine::{SweepEngine, SweepSink, JOBS_ENV_VAR};
+
+pub(crate) use engine::MappedSpec;
 
 use serde::{Deserialize, Serialize};
 

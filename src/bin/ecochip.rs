@@ -16,6 +16,14 @@
 //!   sweep over the selected system on the parallel sweep engine,
 //! * `--jobs <N>` to set the engine's worker count (default: the
 //!   `ECOCHIP_JOBS` environment variable, then the available parallelism),
+//! * `--shard <I/N>` to evaluate only shard `I` of `N` of the sweep's index
+//!   space (concatenating all shards reproduces the unsharded run exactly),
+//! * `--stream <jsonl|csv>` to emit sweep points incrementally to stdout as
+//!   they are evaluated, instead of the summary table at the end,
+//! * `--memo-file <file>` to load a persisted floorplan/manufacturing memo
+//!   before the run (if present and fingerprint-compatible) and save the
+//!   warmed memo after it,
+//! * `--verbose` to print memo hit/miss statistics to stderr,
 //! * `--csv <file>` to write the breakdown (or the sweep table) as CSV,
 //! * `--json <file>` to write the report (or the sweep points) as JSON.
 //!
@@ -27,8 +35,8 @@ use std::process::ExitCode;
 
 use eco_chip::core::costing::system_cost;
 use eco_chip::core::disaggregation::NodeTuple;
-use eco_chip::core::sweep::{SweepAxis, SweepEngine, SweepPoint, SweepSpec};
-use eco_chip::core::{EcoChip, EstimatorConfig, System};
+use eco_chip::core::sweep::{Shard, SweepAxis, SweepEngine, SweepPoint, SweepSpec};
+use eco_chip::core::{EcoChip, EcoChipService, EstimatorConfig, System};
 use eco_chip::packaging::{
     InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
 };
@@ -70,6 +78,10 @@ fn print_usage() {
     eprintln!("  ... --sweep <{SWEEP_AXES}>");
     eprintln!("                                               sweep the selected system");
     eprintln!("  ... --jobs <N>                               sweep-engine worker count");
+    eprintln!("  ... --shard <I/N>                            evaluate only shard I of N");
+    eprintln!("  ... --stream <jsonl|csv>                     emit sweep points incrementally");
+    eprintln!("  ... --memo-file <file>                       load/save the stage memo");
+    eprintln!("  ... --verbose                                print memo hit/miss stats");
     eprintln!("  ... --csv <file>                             also write the breakdown as CSV");
     eprintln!("  ... --json <file>                            also write the report as JSON");
     eprintln!();
@@ -181,9 +193,66 @@ fn export_testcases(db: &TechDb, dir: &PathBuf) -> CliResult {
     Ok(())
 }
 
+/// Load a persisted memo into `service` when `--memo-file` names an existing
+/// file. Stale or malformed memos are reported and ignored (the run starts
+/// cold); results are identical either way, the memo only saves work.
+fn load_memo(service: &mut EcoChipService, options: &OutputOptions) {
+    let Some(path) = &options.memo else { return };
+    if !path.exists() {
+        return;
+    }
+    if let Err(error) = service.load_memo(path) {
+        eprintln!(
+            "warning: ignoring memo {}: {error} (starting cold)",
+            path.display()
+        );
+    } else if options.verbose {
+        eprintln!(
+            "memo: loaded {} floorplans, {} manufacturing results from {}",
+            service.context().floorplan_entries(),
+            service.context().manufacturing_entries(),
+            path.display()
+        );
+    }
+}
+
+/// Persist the warmed memo when `--memo-file` was given.
+fn save_memo(service: &EcoChipService, options: &OutputOptions) -> CliResult {
+    let Some(path) = &options.memo else {
+        return Ok(());
+    };
+    service.save_memo(path)?;
+    if options.verbose {
+        eprintln!(
+            "memo: saved {} floorplans, {} manufacturing results to {}",
+            service.context().floorplan_entries(),
+            service.context().manufacturing_entries(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Print the memo hit/miss counters under `--verbose`.
+fn print_stats(service: &EcoChipService, options: &OutputOptions) {
+    if !options.verbose {
+        return;
+    }
+    let stats = service.stats();
+    eprintln!(
+        "memo stats: floorplan {} hits / {} misses, manufacturing {} hits / {} misses",
+        stats.floorplan_hits,
+        stats.floorplan_misses,
+        stats.manufacturing_hits,
+        stats.manufacturing_misses
+    );
+}
+
 fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
     let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
-    let report = estimator.estimate(system)?;
+    let mut service = EcoChipService::new(estimator);
+    load_memo(&mut service, options);
+    let report = service.estimate(system)?;
     println!("{report}");
     if let Some(path) = &options.csv {
         std::fs::write(path, report.to_csv())?;
@@ -198,14 +267,16 @@ fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
         "embodied share of total: {:.1}%",
         report.embodied_fraction() * 100.0
     );
-    let act = estimator.act_embodied(system)?;
+    let act = service.estimator().act_embodied(system)?;
     println!(
         "ACT-baseline embodied estimate: {} ({:.1}% below ECO-CHIP)",
         act.total(),
         (1.0 - act.total().kg() / report.embodied().kg()) * 100.0
     );
-    let cost = system_cost(&estimator, system)?;
+    let cost = system_cost(service.estimator(), system)?;
     println!("dollar cost per unit: {cost}");
+    save_memo(&service, options)?;
+    print_stats(&service, options);
     Ok(())
 }
 
@@ -264,24 +335,52 @@ fn sweep_axis(name: &str, base: &System) -> CliResult<SweepAxis> {
     Ok(axis)
 }
 
+const SWEEP_CSV_HEADER: &str =
+    "label,manufacturing_kg,design_kg,hi_kg,embodied_kg,operational_kg,total_kg";
+
+fn sweep_csv_row(point: &SweepPoint) -> String {
+    let r = &point.report;
+    format!(
+        "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+        point.label,
+        r.manufacturing().kg(),
+        r.design().kg(),
+        r.hi_overhead().kg(),
+        r.embodied().kg(),
+        r.operational().kg(),
+        r.total().kg()
+    )
+}
+
 fn sweep_csv(points: &[SweepPoint]) -> String {
-    let mut out = String::from(
-        "label,manufacturing_kg,design_kg,hi_kg,embodied_kg,operational_kg,total_kg\n",
-    );
+    let mut out = String::from(SWEEP_CSV_HEADER);
+    out.push('\n');
     for point in points {
-        let r = &point.report;
-        out.push_str(&format!(
-            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
-            point.label,
-            r.manufacturing().kg(),
-            r.design().kg(),
-            r.hi_overhead().kg(),
-            r.embodied().kg(),
-            r.operational().kg(),
-            r.total().kg()
-        ));
+        out.push_str(&sweep_csv_row(point));
+        out.push('\n');
     }
     out
+}
+
+/// Incremental sweep output selected by `--stream`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamFormat {
+    /// One compact JSON object per point, one point per line.
+    JsonLines,
+    /// The sweep CSV, header first, one row per point.
+    Csv,
+}
+
+impl StreamFormat {
+    fn parse(name: &str) -> CliResult<Self> {
+        match name {
+            "jsonl" | "json-lines" => Ok(StreamFormat::JsonLines),
+            "csv" => Ok(StreamFormat::Csv),
+            other => Err(CliError::usage(format!(
+                "unknown stream format {other:?} (expected jsonl or csv)"
+            ))),
+        }
+    }
 }
 
 fn run_sweep(
@@ -292,53 +391,159 @@ fn run_sweep(
     options: &OutputOptions,
 ) -> CliResult {
     let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
-    let axis = sweep_axis(axis_name, system)?;
-    let spec = SweepSpec::new(system.clone()).axis(axis);
     let engine = match jobs {
         Some(jobs) => SweepEngine::with_jobs(jobs),
         None => SweepEngine::new(),
     };
-    let points = engine.run(&estimator, &spec)?;
+    let mut service = EcoChipService::with_engine(estimator, engine);
+    load_memo(&mut service, options);
 
-    println!(
-        "{} sweep of {} ({} points, {} workers):",
-        axis_name,
-        system.name,
-        points.len(),
-        engine.jobs()
-    );
-    println!(
-        "{:>24}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "label", "Cmfg kg", "Cdes kg", "CHI kg", "Cemb kg", "Cop kg", "Ctot kg"
-    );
-    for point in &points {
-        let r = &point.report;
-        println!(
-            "{:>24}  {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            point.label,
-            r.manufacturing().kg(),
-            r.design().kg(),
-            r.hi_overhead().kg(),
-            r.embodied().kg(),
-            r.operational().kg(),
-            r.total().kg()
+    let axis = sweep_axis(axis_name, system)?;
+    let spec = SweepSpec::new(system.clone()).axis(axis);
+    let shard = options.shard.unwrap_or(Shard::FULL);
+    let total = spec.try_len()?;
+    let owned = shard.range(total).len();
+
+    let streaming = options.stream.is_some();
+    let banner = if shard.is_full() {
+        format!(
+            "{} sweep of {} ({} points, {} workers):",
+            axis_name,
+            system.name,
+            owned,
+            service.engine().jobs()
+        )
+    } else {
+        format!(
+            "{} sweep of {} (shard {shard}: {} of {} points, {} workers):",
+            axis_name,
+            system.name,
+            owned,
+            total,
+            service.engine().jobs()
+        )
+    };
+    // In stream mode stdout carries only the point stream; narration moves
+    // to stderr so shard outputs can be concatenated and diffed.
+    if streaming {
+        eprintln!("{banner}");
+    } else {
+        println!("{banner}");
+    }
+
+    // Collect points only when a summary table or a JSON file export needs
+    // them; a streaming run with at most a CSV export holds just the
+    // engine's reorder window (the CSV file is written incrementally).
+    let collect = !streaming || options.json.is_some();
+    if streaming && options.json.is_some() {
+        eprintln!(
+            "note: --json buffers every sweep point in memory; \
+             prefer `--stream jsonl > file` for very large sweeps"
         );
+    }
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut csv_file = match (&options.csv, streaming) {
+        (Some(path), true) => {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| {
+                eco_chip::EcoChipError::Io(format!("creating {}: {e}", path.display()))
+            })?);
+            use std::io::Write;
+            writeln!(file, "{SWEEP_CSV_HEADER}")
+                .map_err(|e| eco_chip::EcoChipError::Io(e.to_string()))?;
+            Some(file)
+        }
+        _ => None,
+    };
+    // Only the first shard prints the CSV header, so concatenating shard
+    // outputs 0/N..(N-1)/N reproduces the unsharded stream verbatim.
+    if options.stream == Some(StreamFormat::Csv) && shard.index() == 0 {
+        println!("{SWEEP_CSV_HEADER}");
+    }
+    let stream = options.stream;
+    service.run_streaming(&spec, shard, &mut |point: SweepPoint| {
+        match stream {
+            Some(StreamFormat::Csv) => println!("{}", sweep_csv_row(&point)),
+            Some(StreamFormat::JsonLines) => match serde_json::to_string(&point) {
+                Ok(line) => println!("{line}"),
+                Err(error) => {
+                    return Err(eco_chip::EcoChipError::Io(format!(
+                        "writing JSON-lines stream: serializing sweep point {:?}: {error}",
+                        point.label
+                    )))
+                }
+            },
+            None => {}
+        }
+        if let Some(file) = &mut csv_file {
+            use std::io::Write;
+            writeln!(file, "{}", sweep_csv_row(&point))
+                .map_err(|e| eco_chip::EcoChipError::Io(format!("writing sweep CSV: {e}")))?;
+        }
+        if collect {
+            points.push(point);
+        }
+        Ok(())
+    })?;
+    if let Some(file) = csv_file {
+        use std::io::Write;
+        file.into_inner()
+            .map_err(|e| CliError::Run(Box::new(e.into_error())))?
+            .flush()?;
+    }
+
+    if !streaming {
+        println!(
+            "{:>24}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "label", "Cmfg kg", "Cdes kg", "CHI kg", "Cemb kg", "Cop kg", "Ctot kg"
+        );
+        for point in &points {
+            let r = &point.report;
+            println!(
+                "{:>24}  {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                point.label,
+                r.manufacturing().kg(),
+                r.design().kg(),
+                r.hi_overhead().kg(),
+                r.embodied().kg(),
+                r.operational().kg(),
+                r.total().kg()
+            );
+        }
     }
 
     if let Some(path) = &options.csv {
-        std::fs::write(path, sweep_csv(&points))?;
-        println!("wrote sweep CSV to {}", path.display());
+        // In stream mode the file was already written incrementally above.
+        if !streaming {
+            std::fs::write(path, sweep_csv(&points))?;
+        }
+        let note = format!("wrote sweep CSV to {}", path.display());
+        if streaming {
+            eprintln!("{note}");
+        } else {
+            println!("{note}");
+        }
     }
     if let Some(path) = &options.json {
         std::fs::write(path, serde_json::to_string_pretty(&points)?)?;
-        println!("wrote sweep JSON to {}", path.display());
+        let note = format!("wrote sweep JSON to {}", path.display());
+        if streaming {
+            eprintln!("{note}");
+        } else {
+            println!("{note}");
+        }
     }
+    save_memo(&service, options)?;
+    print_stats(&service, options);
     Ok(())
 }
 
 struct OutputOptions {
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
+    shard: Option<Shard>,
+    memo: Option<PathBuf>,
+    stream: Option<StreamFormat>,
+    verbose: bool,
 }
 
 fn real_main() -> CliResult {
@@ -356,6 +561,10 @@ fn real_main() -> CliResult {
     let mut json: Option<PathBuf> = None;
     let mut sweep: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut shard: Option<Shard> = None;
+    let mut memo: Option<PathBuf> = None;
+    let mut stream: Option<StreamFormat> = None;
+    let mut verbose = false;
     let mut list_testcases = false;
 
     let value_of = |args: &[String], i: usize, flag: &str| -> CliResult<String> {
@@ -401,6 +610,27 @@ fn real_main() -> CliResult {
                     CliError::usage(format!("--jobs needs a positive integer, got {value:?}"))
                 })?);
                 i += 2;
+            }
+            "--shard" => {
+                let value = value_of(&args, i, "--shard")?;
+                shard = Some(
+                    value
+                        .parse::<Shard>()
+                        .map_err(|e| CliError::usage(e.to_string()))?,
+                );
+                i += 2;
+            }
+            "--memo-file" => {
+                memo = Some(PathBuf::from(value_of(&args, i, "--memo-file")?));
+                i += 2;
+            }
+            "--stream" => {
+                stream = Some(StreamFormat::parse(&value_of(&args, i, "--stream")?)?);
+                i += 2;
+            }
+            "--verbose" => {
+                verbose = true;
+                i += 1;
             }
             "--list-testcases" => {
                 list_testcases = true;
@@ -448,7 +678,23 @@ fn real_main() -> CliResult {
         ));
     };
 
-    let options = OutputOptions { csv, json };
+    if sweep.is_none() {
+        if shard.is_some() {
+            return Err(CliError::usage("--shard requires --sweep"));
+        }
+        if stream.is_some() {
+            return Err(CliError::usage("--stream requires --sweep"));
+        }
+    }
+
+    let options = OutputOptions {
+        csv,
+        json,
+        shard,
+        memo,
+        stream,
+        verbose,
+    };
     match sweep {
         Some(axis) => run_sweep(&system, db, &axis, jobs, &options),
         None => run(&system, db, &options),

@@ -61,7 +61,8 @@ pub use ecochip_testcases as testcases;
 pub use ecochip_yield as yield_model;
 
 pub use ecochip_core::{
-    CarbonReport, Chiplet, ChipletSize, EcoChip, EcoChipError, EstimatorConfig, System,
+    CarbonReport, Chiplet, ChipletSize, EcoChip, EcoChipError, EcoChipService, EstimatorConfig,
+    System,
 };
 pub use ecochip_packaging::PackagingArchitecture;
 pub use ecochip_power::UsageProfile;
