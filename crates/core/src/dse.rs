@@ -131,6 +131,84 @@ pub fn reuse_spec(base: &System, reuse_ratios: &[f64]) -> SweepSpec {
     ))
 }
 
+/// The axis names accepted by [`named_sweep_axis`] (the CLI's `--sweep`
+/// values and the HTTP service's `"axis"` request field).
+pub const NAMED_SWEEP_AXES: &str = "nodes|packaging|volume|lifetime|energy";
+
+/// Build one of the named, paper-canonical sweep axes over `base`.
+///
+/// These are the studies every front end exposes by name — the CLI's
+/// `--sweep <name>` and the HTTP service's `{"axis": "<name>"}` — so they
+/// live here, next to the spec builders, and every front end resolves a name
+/// to the *same* axis (and therefore the same bit-for-bit sweep output):
+///
+/// * `nodes` — retarget every chiplet jointly across N5…N16,
+/// * `packaging` — RDL, EMIB, passive/active interposer, 3D,
+/// * `volume` — chiplet-reuse ratios 1–16× of the base system volume,
+/// * `lifetime` — deployment lifetimes of 1–8 years,
+/// * `energy` — fab energy sources from coal to wind.
+///
+/// # Errors
+///
+/// Returns [`EcoChipError::InvalidSystem`] for an unknown name (the message
+/// lists [`NAMED_SWEEP_AXES`]).
+pub fn named_sweep_axis(name: &str, base: &System) -> Result<SweepAxis, EcoChipError> {
+    use ecochip_packaging::{InterposerConfig, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig};
+    use ecochip_techdb::TechNode;
+
+    let axis = match name {
+        "nodes" => {
+            // Retarget every chiplet jointly across advanced-to-mature nodes.
+            let nodes = [
+                TechNode::N5,
+                TechNode::N7,
+                TechNode::N8,
+                TechNode::N10,
+                TechNode::N12,
+                TechNode::N14,
+                TechNode::N16,
+            ];
+            let variants = nodes
+                .into_iter()
+                .map(|node| {
+                    let mut system = base.clone();
+                    for chiplet in &mut system.chiplets {
+                        *chiplet = chiplet.retargeted(node);
+                    }
+                    (node.to_string(), system)
+                })
+                .collect();
+            SweepAxis::Systems(variants)
+        }
+        "packaging" => SweepAxis::Packaging(vec![
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+            PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
+            PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
+            PackagingArchitecture::ThreeD(ThreeDConfig::default()),
+        ]),
+        "volume" => {
+            SweepAxis::reuse_ratios(base.volumes.system_volume, &[1.0, 2.0, 4.0, 8.0, 16.0])
+        }
+        "lifetime" => SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0]),
+        "energy" => SweepAxis::FabEnergySources(vec![
+            EnergySource::Coal,
+            EnergySource::NaturalGas,
+            EnergySource::WorldGrid,
+            EnergySource::Biomass,
+            EnergySource::Solar,
+            EnergySource::Nuclear,
+            EnergySource::Wind,
+        ]),
+        other => {
+            return Err(EcoChipError::InvalidSystem(format!(
+                "unknown sweep axis {other:?} (expected {NAMED_SWEEP_AXES})"
+            )))
+        }
+    };
+    Ok(axis)
+}
+
 /// One cell of the reuse-ratio × lifetime grid of Fig. 12.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReusePoint {
@@ -344,6 +422,23 @@ mod tests {
             })
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn named_axes_resolve_and_reject_unknown_names() {
+        let base = base_system();
+        for name in NAMED_SWEEP_AXES.split('|') {
+            let axis = named_sweep_axis(name, &base).unwrap();
+            assert!(!axis.is_empty(), "axis {name:?} has no points");
+            // Every named axis produces a runnable spec.
+            let spec = SweepSpec::new(base.clone()).axis(axis);
+            assert!(spec.try_len().unwrap() > 0);
+            assert!(spec.case_at(0).is_ok(), "axis {name:?} fails to decode");
+        }
+        assert!(matches!(
+            named_sweep_axis("bogus", &base),
+            Err(EcoChipError::InvalidSystem(_))
+        ));
     }
 
     #[test]

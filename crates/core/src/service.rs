@@ -9,7 +9,8 @@
 //! after the first reuses whatever stage results earlier calls computed,
 //! while staying bit-for-bit identical to cold estimation.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::error::EcoChipError;
 use crate::estimator::EcoChip;
@@ -48,6 +49,23 @@ pub struct EcoChipService {
     estimator: EcoChip,
     engine: SweepEngine,
     context: SweepContext,
+    autosave: Option<Autosave>,
+    /// Latched after a failed autosave so a persistent disk problem warns
+    /// once per failure streak instead of once per point.
+    autosave_warned: AtomicBool,
+    /// Dirty-entry level a failed autosave retries at (0 = no backoff):
+    /// serializing the whole memo on *every* point while a disk stays
+    /// broken would collapse throughput, so after a failure the next
+    /// attempt waits for another `every_entries` of new work.
+    autosave_retry_at: AtomicUsize,
+}
+
+/// Incremental memo persistence configured by
+/// [`EcoChipService::save_memo_every`].
+#[derive(Debug, Clone)]
+struct Autosave {
+    path: PathBuf,
+    every_entries: usize,
 }
 
 impl EcoChipService {
@@ -63,6 +81,9 @@ impl EcoChipService {
             estimator,
             engine,
             context: SweepContext::new(),
+            autosave: None,
+            autosave_warned: AtomicBool::new(false),
+            autosave_retry_at: AtomicUsize::new(0),
         }
     }
 
@@ -81,9 +102,87 @@ impl EcoChipService {
         &self.context
     }
 
-    /// Hit/miss counters of the warm memo.
+    /// Hit/miss/eviction counters of the warm memo.
     pub fn stats(&self) -> SweepStats {
         self.context.stats()
+    }
+
+    /// Bound the warm memo to `capacity` entries per cache with
+    /// least-recently-used eviction (`None` lifts the bound), evicting any
+    /// excess immediately. The bound survives [`EcoChipService::load_memo`].
+    /// Results stay bit-for-bit identical — eviction only trades
+    /// recomputation for memory.
+    pub fn set_memo_capacity(&mut self, capacity: Option<usize>) {
+        self.context.set_capacity(capacity);
+    }
+
+    /// The warm memo's per-cache entry bound, if any.
+    pub fn memo_capacity(&self) -> Option<usize> {
+        self.context.capacity()
+    }
+
+    /// Persist the warm memo to `path` whenever at least `every_entries` new
+    /// entries accumulated since the last save, checked after every
+    /// estimate/sweep point. Long-running sweeps and servers thereby survive
+    /// a crash with most of their memo intact, instead of saving only at
+    /// exit. Saves are atomic (temp file + rename, see
+    /// [`SweepContext::save_to`]); `every_entries` is clamped to at least 1.
+    ///
+    /// Persistence is an optimization, so a *failed* autosave never fails
+    /// the request that triggered it — the failure is warned to stderr
+    /// (once per streak) and retried as more entries accumulate. Note each
+    /// autosave rewrites the whole memo snapshot: with a small
+    /// `every_entries` and a large memo, saving cost grows with memo size,
+    /// so pick a threshold proportional to how much recomputation a crash
+    /// may cost.
+    pub fn save_memo_every(&mut self, path: impl Into<PathBuf>, every_entries: usize) {
+        self.autosave = Some(Autosave {
+            path: path.into(),
+            every_entries: every_entries.max(1),
+        });
+    }
+
+    /// Disable [`EcoChipService::save_memo_every`] autosaving.
+    pub fn disable_autosave(&mut self) {
+        self.autosave = None;
+    }
+
+    /// Save the memo if the autosave threshold has been crossed. Failures
+    /// are warned, never propagated — losing persistence must not lose the
+    /// computed result that triggered the save.
+    fn maybe_autosave(&self) {
+        let Some(autosave) = &self.autosave else {
+            return;
+        };
+        let dirty = self.context.dirty_entries();
+        if dirty
+            < autosave
+                .every_entries
+                .max(self.autosave_retry_at.load(Ordering::Relaxed))
+        {
+            return;
+        }
+        match self
+            .context
+            .save_to(&autosave.path, self.memo_fingerprint())
+        {
+            Ok(()) => {
+                self.autosave_warned.store(false, Ordering::Relaxed);
+                self.autosave_retry_at.store(0, Ordering::Relaxed);
+            }
+            Err(error) => {
+                // Back off: don't re-serialize the whole memo per point
+                // while the disk stays broken.
+                self.autosave_retry_at
+                    .store(dirty + autosave.every_entries, Ordering::Relaxed);
+                if !self.autosave_warned.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: memo autosave to {} failed: {error} (will keep retrying)",
+                        autosave.path.display()
+                    );
+                }
+            }
+        }
     }
 
     /// The estimator's memo fingerprint (see
@@ -101,7 +200,9 @@ impl EcoChipService {
     ///
     /// Propagates [`EcoChip::estimate`] errors.
     pub fn estimate(&self, system: &System) -> Result<CarbonReport, EcoChipError> {
-        self.estimator.estimate_with(system, &self.context)
+        let report = self.estimator.estimate_with(system, &self.context)?;
+        self.maybe_autosave();
+        Ok(report)
     }
 
     /// Evaluate a sweep spec against the warm memo, collecting every point.
@@ -144,8 +245,24 @@ impl EcoChipService {
         shard: Shard,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
+        if self.autosave.is_none() {
+            return self.engine.run_streaming_with(
+                &self.estimator,
+                spec,
+                shard,
+                &self.context,
+                sink,
+            );
+        }
+        // Check the autosave threshold after every emitted point, so a
+        // million-point sweep persists its memo as it goes.
+        let mut autosaving = |point: SweepPoint| {
+            sink.emit(point)?;
+            self.maybe_autosave();
+            Ok(())
+        };
         self.engine
-            .run_streaming_with(&self.estimator, spec, shard, &self.context, sink)
+            .run_streaming_with(&self.estimator, spec, shard, &self.context, &mut autosaving)
     }
 
     /// Persist the warm memo to `path`, stamped with this service's
@@ -155,7 +272,13 @@ impl EcoChipService {
     ///
     /// Propagates [`SweepContext::save_to`] errors.
     pub fn save_memo(&self, path: &Path) -> Result<(), EcoChipError> {
-        self.context.save_to(path, self.memo_fingerprint())
+        self.context.save_to(path, self.memo_fingerprint())?;
+        // Any successful save proves the destination is healthy again:
+        // clear a prior autosave failure streak so the incremental cadence
+        // resumes immediately instead of waiting out the backoff.
+        self.autosave_warned.store(false, Ordering::Relaxed);
+        self.autosave_retry_at.store(0, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Replace the warm memo with one persisted by
@@ -167,7 +290,51 @@ impl EcoChipService {
     /// Propagates [`SweepContext::load_from`] errors ([`EcoChipError::Io`],
     /// [`EcoChipError::MemoFormat`], [`EcoChipError::StaleMemo`]).
     pub fn load_memo(&mut self, path: &Path) -> Result<(), EcoChipError> {
-        self.context = SweepContext::load_from(path, self.memo_fingerprint())?;
+        let capacity = self.context.capacity();
+        let mut restored = SweepContext::load_from(path, self.memo_fingerprint())?;
+        restored.set_capacity(capacity);
+        self.context = restored;
+        Ok(())
+    }
+
+    /// The lenient memo load every front end (CLI, HTTP server) uses: a
+    /// missing file is a cold start, a stale or malformed memo is *warned
+    /// about and ignored* — results are identical either way, the memo only
+    /// saves work — and `verbose` narrates a successful load to stderr.
+    pub fn load_memo_lenient(&mut self, path: &Path, verbose: bool) {
+        if !path.exists() {
+            return;
+        }
+        match self.load_memo(path) {
+            Ok(()) if verbose => eprintln!(
+                "memo: loaded {} floorplans, {} manufacturing results from {}",
+                self.context.floorplan_entries(),
+                self.context.manufacturing_entries(),
+                path.display()
+            ),
+            Ok(()) => {}
+            Err(error) => eprintln!(
+                "warning: ignoring memo {}: {error} (starting cold)",
+                path.display()
+            ),
+        }
+    }
+
+    /// [`EcoChipService::save_memo`] plus the shared `--verbose` narration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EcoChipService::save_memo`] errors.
+    pub fn save_memo_verbose(&self, path: &Path, verbose: bool) -> Result<(), EcoChipError> {
+        self.save_memo(path)?;
+        if verbose {
+            eprintln!(
+                "memo: saved {} floorplans, {} manufacturing results to {}",
+                self.context.floorplan_entries(),
+                self.context.manufacturing_entries(),
+                path.display()
+            );
+        }
         Ok(())
     }
 }
@@ -235,6 +402,87 @@ mod tests {
             merged.extend(service.run_sharded(&spec, shard).unwrap());
         }
         assert_eq!(merged, via_engine);
+    }
+
+    #[test]
+    fn autosave_persists_incrementally_during_a_sweep() {
+        let path = std::env::temp_dir().join(format!(
+            "ecochip-service-autosave-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut service = EcoChipService::new(EcoChip::default());
+        service.save_memo_every(&path, 1);
+        let spec = SweepSpec::new(base()).axis(SweepAxis::Packaging(vec![
+            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
+            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
+        ]));
+        let streamed = service.run(&spec).unwrap();
+        assert_eq!(streamed.len(), 2);
+        // The memo hit the disk during the run, not only at exit, and the
+        // dirty counter was reset by the last autosave.
+        assert!(path.exists(), "autosave never wrote {}", path.display());
+        assert_eq!(service.context().dirty_entries(), 0);
+
+        // A restored service starts warm and reproduces the run bit-for-bit.
+        let mut restored = EcoChipService::new(EcoChip::default());
+        restored.load_memo(&path).unwrap();
+        let again = restored.run(&spec).unwrap();
+        assert_eq!(again, streamed);
+        assert_eq!(restored.stats().floorplan_misses, 0);
+
+        // estimate() also autosaves once enough entries accumulate.
+        let _ = std::fs::remove_file(&path);
+        let mut fresh = EcoChipService::new(EcoChip::default());
+        fresh.save_memo_every(&path, 1);
+        fresh.estimate(&base()).unwrap();
+        assert!(path.exists());
+        fresh.disable_autosave();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn autosave_failure_warns_but_never_fails_the_request() {
+        // Autosaving into a directory that does not exist cannot succeed;
+        // the computed result must come back anyway.
+        let mut service = EcoChipService::new(EcoChip::default());
+        service.save_memo_every(
+            std::env::temp_dir().join("ecochip-missing-dir/never.json"),
+            1,
+        );
+        let report = service.estimate(&base()).unwrap();
+        let cold = EcoChip::default().estimate(&base()).unwrap();
+        assert_eq!(report, cold);
+        // Sweeps keep streaming past the failed save too.
+        let spec = SweepSpec::new(base()).axis(SweepAxis::lifetimes_years(&[1.0, 2.0]));
+        assert_eq!(service.run(&spec).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn memo_capacity_survives_loading() {
+        let path = std::env::temp_dir().join(format!(
+            "ecochip-service-capacity-{}.json",
+            std::process::id()
+        ));
+        let warm = EcoChipService::new(EcoChip::default());
+        warm.estimate(&base()).unwrap();
+        warm.save_memo(&path).unwrap();
+
+        let mut bounded = EcoChipService::new(EcoChip::default());
+        bounded.set_memo_capacity(Some(1));
+        assert_eq!(bounded.memo_capacity(), Some(1));
+        bounded.load_memo(&path).unwrap();
+        // The loaded memo held 2 manufacturing entries (two nodes); the
+        // capacity bound shrank it to 1 and stays in force.
+        assert_eq!(bounded.memo_capacity(), Some(1));
+        assert!(bounded.context().manufacturing_entries() <= 1);
+        assert!(bounded.stats().manufacturing_evictions >= 1);
+        // Bounded estimation still matches the cold path bit-for-bit.
+        let cold = EcoChip::default().estimate(&base()).unwrap();
+        let served = bounded.estimate(&base()).unwrap();
+        assert_eq!(cold.total().kg().to_bits(), served.total().kg().to_bits());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use ecochip_design::VolumeScenario;
 use ecochip_packaging::PackagingArchitecture;
 use ecochip_techdb::{EnergySource, TechNode, TimeSpan};
@@ -16,7 +18,12 @@ use crate::system::System;
 /// Axes compose: a [`SweepSpec`] takes the cartesian product of all its axes,
 /// applying them in order. [`SweepAxis::Systems`] replaces the entire system,
 /// so it must come first when combined with other axes.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Axes serialize to JSON (externally tagged, e.g.
+/// `{"Lifetimes": [26280.0]}`), so a whole [`SweepSpec`] can travel over a
+/// wire — the `ecochip-serve` HTTP front end accepts structured axes in its
+/// sweep requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SweepAxis {
     /// Re-derive the paper's canonical 3-chiplet split of `blocks` for each
     /// `(digital, memory, analog)` technology tuple (the x-axis of Fig. 7).
@@ -280,7 +287,11 @@ impl std::str::FromStr for Shard {
 /// All three use the same deterministic row-major order — the first axis
 /// varies slowest, the last axis fastest — exactly the order nested `for`
 /// loops over the axes would produce.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Specs serialize to JSON (`{"base": …, "axes": […]}`), so a sweep
+/// description can be shipped to a remote evaluation service and decoded
+/// back into the *same* spec — same case order, same bit-for-bit results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepSpec {
     base: System,
     axes: Vec<SweepAxis>,
@@ -679,6 +690,49 @@ mod tests {
         ));
         assert!(iter.next().is_none());
         assert!(matches!(spec.cases(), Err(EcoChipError::SweepTooLarge(_))));
+    }
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        let blocks = SocBlocks::new("soc", 10.0e9, 4.0e9, 1.0e9);
+        let spec = SweepSpec::new(base())
+            .axis(SweepAxis::Systems(vec![
+                ("a".to_owned(), base()),
+                (
+                    "b".to_owned(),
+                    base().with_lifetime(TimeSpan::from_years(9.0)),
+                ),
+            ]))
+            .axis(packaging_axis())
+            .axis(SweepAxis::lifetimes_years(&[1.0, 2.5]))
+            .axis(SweepAxis::FabEnergySources(vec![EnergySource::Wind]));
+        let json = serde_json::to_string(&spec).unwrap();
+        let restored: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, spec);
+        // Decoded specs generate identical cases, in identical order.
+        assert_eq!(restored.cases().unwrap(), spec.cases().unwrap());
+
+        // Struct variants (the disaggregation-deriving axes) round-trip too.
+        let derived = SweepSpec::new(base())
+            .axis(SweepAxis::NodeTuples {
+                blocks: blocks.clone(),
+                tuples: vec![NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10)],
+            })
+            .axis(SweepAxis::ChipletNode {
+                index: 0,
+                nodes: vec![TechNode::N5, TechNode::N7],
+            });
+        let json = serde_json::to_string(&derived).unwrap();
+        let restored: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, derived);
+        let counts = SweepSpec::new(base()).axis(SweepAxis::ChipletCounts {
+            blocks,
+            nodes: NodeTuple::uniform(TechNode::N7),
+            counts: vec![1, 2, 3],
+        });
+        let json = serde_json::to_string(&counts).unwrap();
+        let restored: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.cases().unwrap(), counts.cases().unwrap());
     }
 
     #[test]

@@ -18,10 +18,27 @@
 //! restored memo serves the exact values the original run computed. A memo
 //! whose format version or fingerprint does not match is *rejected* with a
 //! typed error, never silently reused.
+//!
+//! # Bounded memos for service deployments
+//!
+//! A long-running service's key space grows without limit (every new outline
+//! set and `(node, area)` pair adds an entry), so
+//! [`SweepContext::with_capacity`] bounds each cache to a maximum entry
+//! count with least-recently-used eviction: every hit refreshes an entry's
+//! age stamp, and an insert into a full cache evicts the stalest entry
+//! first. Eviction only discards work — results stay bit-for-bit identical,
+//! evicted entries are simply recomputed on their next use — and the
+//! [`SweepStats`] eviction counters make the churn observable.
+//!
+//! For incremental persistence, the context tracks how many entries were
+//! inserted since the last save ([`SweepContext::dirty_entries`]);
+//! [`SweepContext::save_to`] writes atomically (temp file + rename) so a
+//! crash mid-save never corrupts the previous memo.
 
 use std::collections::HashMap;
-use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::hash::Hash;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
@@ -84,41 +101,88 @@ struct MemoFile {
     manufacturing: Vec<(ManufacturingKey, ChipletManufacturing)>,
 }
 
-/// Hit/miss counters of a [`SweepContext`], for tests, benches and tuning.
+/// A cached stage result plus the last-use age stamp LRU eviction keys on.
+#[derive(Debug)]
+struct Cached<V> {
+    value: V,
+    stamp: u64,
+}
+
+/// Hit/miss/eviction counters of a [`SweepContext`], for tests, benches,
+/// service dashboards and tuning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepStats {
     /// Floorplans served from the cache.
     pub floorplan_hits: usize,
     /// Floorplans computed by the floorplanner.
     pub floorplan_misses: usize,
+    /// Floorplans evicted to respect the capacity bound.
+    pub floorplan_evictions: usize,
     /// Per-die manufacturing results served from the cache.
     pub manufacturing_hits: usize,
     /// Per-die manufacturing results computed by the model.
     pub manufacturing_misses: usize,
+    /// Per-die manufacturing results evicted to respect the capacity bound.
+    pub manufacturing_evictions: usize,
 }
 
 /// Shared memo for the cacheable estimator stages.
 ///
-/// Create one per sweep with [`SweepContext::new`] and pass it to
+/// Create one per sweep with [`SweepContext::new`] (unbounded) or
+/// [`SweepContext::with_capacity`] (bounded, LRU eviction) and pass it to
 /// [`EcoChip::estimate_with`](crate::EcoChip::estimate_with); the plain
 /// [`EcoChip::estimate`](crate::EcoChip::estimate) entry point uses a
 /// [`SweepContext::disabled`] context and caches nothing.
 #[derive(Debug, Default)]
 pub struct SweepContext {
     enabled: bool,
-    floorplans: Mutex<HashMap<FloorplanKey, Floorplan>>,
-    manufacturing: Mutex<HashMap<ManufacturingKey, ChipletManufacturing>>,
+    /// Maximum entries *per cache* (`None` = unbounded).
+    capacity: Option<usize>,
+    floorplans: Mutex<HashMap<FloorplanKey, Cached<Floorplan>>>,
+    manufacturing: Mutex<HashMap<ManufacturingKey, Cached<ChipletManufacturing>>>,
+    /// Monotonic age counter; every hit or insert stamps the entry touched.
+    tick: AtomicU64,
+    /// Entries inserted since the last successful [`SweepContext::save_to`].
+    dirty: AtomicUsize,
+    /// Serializes concurrent saves: two threads writing the same temp
+    /// sibling would interleave bytes and rename a corrupt snapshot over
+    /// the good memo.
+    save_lock: Mutex<()>,
     floorplan_hits: AtomicUsize,
     floorplan_misses: AtomicUsize,
+    floorplan_evictions: AtomicUsize,
     manufacturing_hits: AtomicUsize,
     manufacturing_misses: AtomicUsize,
+    manufacturing_evictions: AtomicUsize,
 }
 
 impl SweepContext {
-    /// A context that memoizes floorplan and manufacturing stage results.
+    /// A context that memoizes floorplan and manufacturing stage results,
+    /// without any size bound.
     pub fn new() -> Self {
         Self {
             enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// A memoizing context holding at most `max_entries` results *per
+    /// cache* (floorplans and manufacturing results are bounded
+    /// independently). When a cache is full, inserting a new entry evicts
+    /// the least-recently-used one — results stay bit-for-bit identical,
+    /// eviction only trades recomputation for memory. A capacity of zero
+    /// caches nothing (every insert is dropped immediately).
+    ///
+    /// Eviction scans the full cache for the stalest stamp, an
+    /// `O(max_entries)` walk under the cache mutex — but it only runs on a
+    /// *miss* at capacity, which already paid for a floorplan or
+    /// manufacturing computation that dwarfs the scan by orders of
+    /// magnitude. Revisit with a stamp index if capacities ever reach the
+    /// many-millions range.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        Self {
+            enabled: true,
+            capacity: Some(max_entries),
             ..Self::default()
         }
     }
@@ -133,6 +197,71 @@ impl SweepContext {
         self.enabled
     }
 
+    /// The per-cache entry bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Change the per-cache entry bound (`None` = unbounded), evicting the
+    /// least-recently-used entries of any cache already above the new bound.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        let Some(cap) = capacity else { return };
+        Self::shrink_to(
+            &mut self.floorplans.lock().expect("floorplan cache"),
+            cap,
+            &self.floorplan_evictions,
+        );
+        Self::shrink_to(
+            &mut self.manufacturing.lock().expect("manufacturing cache"),
+            cap,
+            &self.manufacturing_evictions,
+        );
+    }
+
+    /// Evict least-recently-used entries until `map` holds at most `cap`.
+    fn shrink_to<K: Eq + Hash + Clone, V>(
+        map: &mut HashMap<K, Cached<V>>,
+        cap: usize,
+        evictions: &AtomicUsize,
+    ) {
+        while map.len() > cap {
+            let Some(stalest) = map
+                .iter()
+                .min_by_key(|(_, cached)| cached.stamp)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            map.remove(&stalest);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Insert under the capacity bound: evict the least-recently-used entry
+    /// first when the cache is full, and count the insert as dirty.
+    fn insert_bounded<K: Eq + Hash + Clone, V>(
+        &self,
+        map: &mut HashMap<K, Cached<V>>,
+        key: K,
+        value: V,
+        evictions: &AtomicUsize,
+    ) {
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                // A zero-capacity cache stores nothing.
+                evictions.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if map.len() >= cap && !map.contains_key(&key) {
+                Self::shrink_to(map, cap - 1, evictions);
+            }
+        }
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Cached { value, stamp });
+        self.dirty.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of floorplans currently memoized.
     pub fn floorplan_entries(&self) -> usize {
         self.floorplans.lock().expect("floorplan cache").len()
@@ -144,6 +273,14 @@ impl SweepContext {
             .lock()
             .expect("manufacturing cache")
             .len()
+    }
+
+    /// Number of entries inserted since the last successful
+    /// [`SweepContext::save_to`] (or since creation). Incremental savers
+    /// ([`EcoChipService::save_memo_every`](crate::EcoChipService::save_memo_every))
+    /// persist the memo whenever this crosses their threshold.
+    pub fn dirty_entries(&self) -> usize {
+        self.dirty.load(Ordering::Relaxed)
     }
 
     /// Serialize the memo to versioned JSON, stamped with `fingerprint`
@@ -163,7 +300,7 @@ impl SweepContext {
             .lock()
             .expect("floorplan cache")
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .map(|(k, cached)| (k.clone(), cached.value.clone()))
             .collect();
         floorplans.sort_by(|a, b| a.0.cmp(&b.0));
         let mut manufacturing: Vec<(ManufacturingKey, ChipletManufacturing)> = self
@@ -171,7 +308,7 @@ impl SweepContext {
             .lock()
             .expect("manufacturing cache")
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, cached)| (k.clone(), cached.value))
             .collect();
         manufacturing.sort_by(|a, b| a.0.cmp(&b.0));
         let file = MemoFile {
@@ -185,6 +322,9 @@ impl SweepContext {
 
     /// Reconstruct a memoizing context from [`SweepContext::to_json`]
     /// output, verifying the format version and the model fingerprint.
+    ///
+    /// The restored context is unbounded; apply a bound afterwards with
+    /// [`SweepContext::set_capacity`].
     ///
     /// # Errors
     ///
@@ -208,29 +348,78 @@ impl SweepContext {
             )));
         }
         let context = Self::new();
-        context
-            .floorplans
-            .lock()
-            .expect("floorplan cache")
-            .extend(file.floorplans);
-        context
-            .manufacturing
-            .lock()
-            .expect("manufacturing cache")
-            .extend(file.manufacturing);
+        {
+            let mut floorplans = context.floorplans.lock().expect("floorplan cache");
+            for (key, value) in file.floorplans {
+                let stamp = context.tick.fetch_add(1, Ordering::Relaxed);
+                floorplans.insert(key, Cached { value, stamp });
+            }
+        }
+        {
+            let mut manufacturing = context.manufacturing.lock().expect("manufacturing cache");
+            for (key, value) in file.manufacturing {
+                let stamp = context.tick.fetch_add(1, Ordering::Relaxed);
+                manufacturing.insert(key, Cached { value, stamp });
+            }
+        }
         Ok(context)
     }
 
     /// Persist the memo to `path` as versioned, fingerprinted JSON.
+    ///
+    /// The write is atomic — the JSON goes to a temporary sibling file
+    /// which is then renamed over `path`, and concurrent saves are
+    /// serialized behind an internal lock — so a crash mid-save (or a
+    /// racing saver) leaves the previous memo intact instead of a
+    /// truncated or interleaved file. A successful save subtracts the
+    /// snapshot's share from [`SweepContext::dirty_entries`]; entries
+    /// inserted by other threads *during* the save stay counted as dirty.
     ///
     /// # Errors
     ///
     /// Returns [`EcoChipError::Io`] when the file cannot be written and
     /// [`EcoChipError::MemoFormat`] when serialization fails.
     pub fn save_to(&self, path: &Path, fingerprint: u64) -> Result<(), EcoChipError> {
+        let _guard = self.save_lock.lock().expect("memo save lock");
+        // Snapshot the dirty share this save covers *before* serializing:
+        // inserts racing with the save may or may not make the snapshot,
+        // and keeping them dirty at worst re-saves them (safe), while
+        // clearing them could lose them until the next threshold (unsafe).
+        let covered = self.dirty.load(Ordering::Relaxed);
         let json = self.to_json(fingerprint)?;
-        std::fs::write(path, json)
-            .map_err(|e| EcoChipError::Io(format!("writing memo {}: {e}", path.display())))
+        let tmp = Self::temp_sibling(path)?;
+        std::fs::write(&tmp, &json)
+            .map_err(|e| EcoChipError::Io(format!("writing memo {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            // Clean up the orphaned temp file; the rename error is what matters.
+            let _ = std::fs::remove_file(&tmp);
+            EcoChipError::Io(format!("renaming memo into {}: {e}", path.display()))
+        })?;
+        self.dirty.fetch_sub(covered, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The temporary sibling `save_to` stages its atomic write in. The name
+    /// is unique per writer (pid + counter): the internal lock serializes
+    /// saves within one process, but separate *processes* sharing a memo
+    /// file (the documented multi-shard workflow) must never stage into the
+    /// same temp path, or interleaved writes could publish a corrupt
+    /// snapshot.
+    fn temp_sibling(path: &Path) -> Result<PathBuf, EcoChipError> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let Some(name) = path.file_name() else {
+            return Err(EcoChipError::Io(format!(
+                "memo path {} has no file name",
+                path.display()
+            )));
+        };
+        let mut tmp_name = name.to_os_string();
+        tmp_name.push(format!(
+            ".{}.{}.tmp",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        Ok(path.with_file_name(tmp_name))
     }
 
     /// Load a memo persisted by [`SweepContext::save_to`], verifying the
@@ -247,13 +436,15 @@ impl SweepContext {
         Self::from_json(&json, fingerprint)
     }
 
-    /// A snapshot of the hit/miss counters.
+    /// A snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> SweepStats {
         SweepStats {
             floorplan_hits: self.floorplan_hits.load(Ordering::Relaxed),
             floorplan_misses: self.floorplan_misses.load(Ordering::Relaxed),
+            floorplan_evictions: self.floorplan_evictions.load(Ordering::Relaxed),
             manufacturing_hits: self.manufacturing_hits.load(Ordering::Relaxed),
             manufacturing_misses: self.manufacturing_misses.load(Ordering::Relaxed),
+            manufacturing_evictions: self.manufacturing_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -272,18 +463,26 @@ impl SweepContext {
             return compute();
         }
         let key = FloorplanKey::new(config, outlines);
-        if let Some(plan) = self.floorplans.lock().expect("floorplan cache").get(&key) {
+        if let Some(cached) = self
+            .floorplans
+            .lock()
+            .expect("floorplan cache")
+            .get_mut(&key)
+        {
+            cached.stamp = self.tick.fetch_add(1, Ordering::Relaxed);
             self.floorplan_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(plan.clone());
+            return Ok(cached.value.clone());
         }
         // Computed outside the lock so other workers make progress; a rare
         // duplicate computation of the same key is benign (same value).
         let plan = compute()?;
         self.floorplan_misses.fetch_add(1, Ordering::Relaxed);
-        self.floorplans
-            .lock()
-            .expect("floorplan cache")
-            .insert(key, plan.clone());
+        self.insert_bounded(
+            &mut self.floorplans.lock().expect("floorplan cache"),
+            key,
+            plan.clone(),
+            &self.floorplan_evictions,
+        );
         Ok(plan)
     }
 
@@ -303,21 +502,24 @@ impl SweepContext {
             area_bits: area.mm2().to_bits(),
             model_bits: model.memo_bits(node)?,
         };
-        if let Some(result) = self
+        if let Some(cached) = self
             .manufacturing
             .lock()
             .expect("manufacturing cache")
-            .get(&key)
+            .get_mut(&key)
         {
+            cached.stamp = self.tick.fetch_add(1, Ordering::Relaxed);
             self.manufacturing_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(*result);
+            return Ok(cached.value);
         }
         let result = model.chiplet_cfp(area, node)?;
         self.manufacturing_misses.fetch_add(1, Ordering::Relaxed);
-        self.manufacturing
-            .lock()
-            .expect("manufacturing cache")
-            .insert(key, result);
+        self.insert_bounded(
+            &mut self.manufacturing.lock().expect("manufacturing cache"),
+            key,
+            result,
+            &self.manufacturing_evictions,
+        );
         Ok(result)
     }
 }
@@ -493,6 +695,148 @@ mod tests {
             SweepContext::load_from(&path, 7),
             Err(EcoChipError::Io(_))
         ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_resets_the_dirty_counter() {
+        let ctx = filled_context();
+        assert_eq!(ctx.dirty_entries(), 3);
+        let path =
+            std::env::temp_dir().join(format!("ecochip-memo-atomic-{}.json", std::process::id()));
+        ctx.save_to(&path, 7).unwrap();
+        assert_eq!(ctx.dirty_entries(), 0);
+        // No temp sibling (`<name>.<pid>.<n>.tmp`) is left behind.
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .filter(|file| file.starts_with(&name) && file.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        // New inserts dirty the context again.
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        ctx.manufacturing(&model, Area::from_mm2(999.0), TechNode::N7)
+            .unwrap();
+        assert_eq!(ctx.dirty_entries(), 1);
+        // A save into a directory that does not exist fails with Io and
+        // leaves no temp file where the memo should go.
+        let bad = std::env::temp_dir().join("ecochip-definitely-missing-dir/memo.json");
+        assert!(matches!(ctx.save_to(&bad, 7), Err(EcoChipError::Io(_))));
+        std::fs::remove_file(&path).unwrap();
+        // A path with no file name is rejected.
+        assert!(matches!(
+            ctx.save_to(Path::new("/"), 7),
+            Err(EcoChipError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_saves_never_corrupt_the_memo() {
+        let ctx = filled_context();
+        let path = std::env::temp_dir().join(format!(
+            "ecochip-memo-concurrent-{}.json",
+            std::process::id()
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        ctx.save_to(&path, 7).unwrap();
+                    }
+                });
+            }
+        });
+        // Whatever interleaving happened, the final file is a valid,
+        // complete snapshot.
+        let restored = SweepContext::load_from(&path, 7).unwrap();
+        assert_eq!(restored.floorplan_entries(), ctx.floorplan_entries());
+        assert_eq!(
+            restored.manufacturing_entries(),
+            ctx.manufacturing_entries()
+        );
+        assert_eq!(ctx.dirty_entries(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let ctx = SweepContext::with_capacity(2);
+        assert_eq!(ctx.capacity(), Some(2));
+        let a = Area::from_mm2(10.0);
+        let b = Area::from_mm2(20.0);
+        let c = Area::from_mm2(30.0);
+        ctx.manufacturing(&model, a, TechNode::N7).unwrap();
+        ctx.manufacturing(&model, b, TechNode::N7).unwrap();
+        // Touch `a` so `b` is the least recently used.
+        ctx.manufacturing(&model, a, TechNode::N7).unwrap();
+        // Inserting `c` into the full cache evicts `b`.
+        ctx.manufacturing(&model, c, TechNode::N7).unwrap();
+        assert_eq!(ctx.manufacturing_entries(), 2);
+        assert_eq!(ctx.stats().manufacturing_evictions, 1);
+        // `a` and `c` still hit; `b` was evicted and misses again.
+        let hits_before = ctx.stats().manufacturing_hits;
+        ctx.manufacturing(&model, a, TechNode::N7).unwrap();
+        ctx.manufacturing(&model, c, TechNode::N7).unwrap();
+        assert_eq!(ctx.stats().manufacturing_hits, hits_before + 2);
+        let misses_before = ctx.stats().manufacturing_misses;
+        ctx.manufacturing(&model, b, TechNode::N7).unwrap();
+        assert_eq!(ctx.stats().manufacturing_misses, misses_before + 1);
+        // Eviction never changes values, only recomputes them.
+        let bounded = ctx.manufacturing(&model, b, TechNode::N7).unwrap();
+        let unbounded = SweepContext::new()
+            .manufacturing(&model, b, TechNode::N7)
+            .unwrap();
+        assert_eq!(
+            bounded.total().kg().to_bits(),
+            unbounded.total().kg().to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let ctx = SweepContext::with_capacity(0);
+        for _ in 0..3 {
+            ctx.manufacturing(&model, Area::from_mm2(50.0), TechNode::N7)
+                .unwrap();
+        }
+        assert_eq!(ctx.manufacturing_entries(), 0);
+        assert_eq!(ctx.stats().manufacturing_hits, 0);
+        assert_eq!(ctx.stats().manufacturing_misses, 3);
+        assert_eq!(ctx.stats().manufacturing_evictions, 3);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_existing_caches() {
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let mut ctx = SweepContext::new();
+        for mm2 in [10.0, 20.0, 30.0, 40.0] {
+            ctx.manufacturing(&model, Area::from_mm2(mm2), TechNode::N7)
+                .unwrap();
+        }
+        assert_eq!(ctx.manufacturing_entries(), 4);
+        ctx.set_capacity(Some(2));
+        assert_eq!(ctx.manufacturing_entries(), 2);
+        assert_eq!(ctx.stats().manufacturing_evictions, 2);
+        // The survivors are the two most recently inserted areas.
+        let hits_before = ctx.stats().manufacturing_hits;
+        ctx.manufacturing(&model, Area::from_mm2(30.0), TechNode::N7)
+            .unwrap();
+        ctx.manufacturing(&model, Area::from_mm2(40.0), TechNode::N7)
+            .unwrap();
+        assert_eq!(ctx.stats().manufacturing_hits, hits_before + 2);
+        // Lifting the bound keeps everything.
+        ctx.set_capacity(None);
+        assert_eq!(ctx.capacity(), None);
     }
 
     #[test]

@@ -170,6 +170,17 @@ impl SweepEngine {
         Self { jobs: jobs.max(1) }
     }
 
+    /// An engine from an optional worker count: pinned when `Some` (a
+    /// `--jobs` flag, a config field), the [`SweepEngine::new`] default
+    /// otherwise. The one place the "flag set or not" decision lives, so
+    /// every front end resolves it identically.
+    pub fn with_optional_jobs(jobs: Option<usize>) -> Self {
+        match jobs {
+            Some(jobs) => Self::with_jobs(jobs),
+            None => Self::new(),
+        }
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs

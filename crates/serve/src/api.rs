@@ -1,0 +1,374 @@
+//! The JSON wire types of the estimation service.
+//!
+//! Requests name a design either by built-in test case
+//! (`{"testcase": "ga102"}`, resolved through
+//! [`ecochip_testcases::catalog`]) or inline
+//! (`{"system": { … }}`, the same JSON schema
+//! [`ecochip_testcases::io`] reads and writes). Sweep requests add either a
+//! named axis (`{"axis": "lifetime"}`, resolved through
+//! [`ecochip_core::dse::named_sweep_axis`] — the CLI's `--sweep` values) or
+//! fully structured axes (`{"axes": [{"Lifetimes": […]}]}`, the serialized
+//! [`SweepAxis`] form), plus an optional `"shard": "I/N"` selector.
+//!
+//! Every front end resolves names through the same shared helpers, so a
+//! sweep described by name over HTTP, by flag on the CLI, or structurally
+//! in code produces the *same* [`SweepSpec`] — and therefore bit-for-bit
+//! identical output.
+
+use serde::{Deserialize, Serialize};
+
+use ecochip_core::sweep::{Shard, SweepAxis, SweepSpec, SweepStats};
+use ecochip_core::{dse, CarbonReport, System};
+use ecochip_techdb::TechDb;
+use ecochip_testcases::catalog::{self, CatalogError};
+
+use crate::ServeError;
+
+fn resolve_base(
+    testcase: &Option<String>,
+    system: &Option<System>,
+    db: &TechDb,
+) -> Result<System, ServeError> {
+    match (testcase, system) {
+        (Some(_), Some(_)) => Err(ServeError::Api(
+            "pass either \"testcase\" or \"system\", not both".into(),
+        )),
+        (None, None) => Err(ServeError::Api(
+            "pass a design: \"testcase\" (a built-in name, see GET /v1/testcases) \
+             or \"system\" (an inline description)"
+                .into(),
+        )),
+        (Some(name), None) => catalog::build(db, name).map_err(|error| match error {
+            CatalogError::UnknownTestcase(_) => ServeError::Api(error.to_string()),
+            CatalogError::Build(inner) => ServeError::Estimator(inner),
+        }),
+        (None, Some(system)) => Ok(system.clone()),
+    }
+}
+
+/// `POST /v1/estimate`: one design to evaluate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateRequest {
+    /// A built-in test-case name (see `GET /v1/testcases`).
+    pub testcase: Option<String>,
+    /// An inline system description (mutually exclusive with `testcase`).
+    pub system: Option<System>,
+}
+
+impl EstimateRequest {
+    /// Resolve the request into the system to estimate.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Api`] when neither/both design fields are present or
+    /// the test-case name is unknown; [`ServeError::Estimator`] when a known
+    /// test case fails to build against `db`.
+    pub fn resolve(&self, db: &TechDb) -> Result<System, ServeError> {
+        resolve_base(&self.testcase, &self.system, db)
+    }
+}
+
+/// `POST /v1/estimate` response: the evaluated system plus its full report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateResponse {
+    /// Name of the evaluated system.
+    pub system: String,
+    /// The full carbon breakdown.
+    pub report: CarbonReport,
+    /// Embodied share of the total CFP, `0.0..=1.0`.
+    pub embodied_fraction: f64,
+}
+
+/// `POST /v1/sweep`: a sweep description; the response streams one
+/// [`ecochip_core::sweep::SweepPoint`] JSON object per line (NDJSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRequest {
+    /// A built-in test-case name for the base system.
+    pub testcase: Option<String>,
+    /// An inline base system (mutually exclusive with `testcase`).
+    pub system: Option<System>,
+    /// A named axis (`nodes|packaging|volume|lifetime|energy`), resolved
+    /// exactly like the CLI's `--sweep`.
+    pub axis: Option<String>,
+    /// Structured axes (serialized [`SweepAxis`] values), for sweeps beyond
+    /// the named ones. Mutually exclusive with `axis`; omitting both sweeps
+    /// the bare base system (a single point).
+    pub axes: Option<Vec<SweepAxis>>,
+    /// Evaluate only shard `"I/N"` of the sweep's index space.
+    pub shard: Option<String>,
+}
+
+impl SweepRequest {
+    /// A request naming a test case and a named axis — the common case.
+    pub fn named(testcase: impl Into<String>, axis: impl Into<String>) -> Self {
+        Self {
+            testcase: Some(testcase.into()),
+            system: None,
+            axis: Some(axis.into()),
+            axes: None,
+            shard: None,
+        }
+    }
+
+    /// This request restricted to shard `index`/`of` (used by the
+    /// orchestrator to fan one request out across workers).
+    #[must_use]
+    pub fn with_shard(&self, index: usize, of: usize) -> Self {
+        Self {
+            shard: Some(format!("{index}/{of}")),
+            ..self.clone()
+        }
+    }
+
+    /// Resolve the request into the spec to evaluate and the shard of it
+    /// this worker owns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Api`] for missing/conflicting fields, unknown
+    /// test-case or axis names and malformed shard selectors;
+    /// [`ServeError::Estimator`] when a known test case fails to build.
+    pub fn resolve(&self, db: &TechDb) -> Result<(SweepSpec, Shard), ServeError> {
+        let base = resolve_base(&self.testcase, &self.system, db)?;
+        let mut spec = SweepSpec::new(base);
+        match (&self.axis, &self.axes) {
+            (Some(_), Some(_)) => {
+                return Err(ServeError::Api(
+                    "pass either \"axis\" (a named axis) or \"axes\" (structured), not both".into(),
+                ))
+            }
+            (Some(name), None) => {
+                let axis = dse::named_sweep_axis(name, spec.base())
+                    .map_err(|e| ServeError::Api(e.to_string()))?;
+                spec = spec.axis(axis);
+            }
+            (None, Some(axes)) => {
+                for axis in axes {
+                    spec = spec.axis(axis.clone());
+                }
+            }
+            (None, None) => {}
+        }
+        let shard = match &self.shard {
+            Some(selector) => selector
+                .parse::<Shard>()
+                .map_err(|e| ServeError::Api(e.to_string()))?,
+            None => Shard::FULL,
+        };
+        Ok((spec, shard))
+    }
+}
+
+/// `GET /v1/healthz` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server is able to respond.
+    pub status: String,
+    /// The serving crate, for fleet inventory.
+    pub service: String,
+    /// Sweep-engine worker threads per request.
+    pub jobs: usize,
+}
+
+/// `GET /v1/stats` response: request counters plus the warm memo's
+/// hit/miss/eviction counters and sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Requests accepted since startup (all endpoints).
+    pub requests: u64,
+    /// Sweep points streamed since startup.
+    pub points_streamed: u64,
+    /// Floorplans served from the memo.
+    pub floorplan_hits: usize,
+    /// Floorplans computed.
+    pub floorplan_misses: usize,
+    /// Floorplans evicted by the capacity bound.
+    pub floorplan_evictions: usize,
+    /// Floorplans currently memoized.
+    pub floorplan_entries: usize,
+    /// Manufacturing results served from the memo.
+    pub manufacturing_hits: usize,
+    /// Manufacturing results computed.
+    pub manufacturing_misses: usize,
+    /// Manufacturing results evicted by the capacity bound.
+    pub manufacturing_evictions: usize,
+    /// Manufacturing results currently memoized.
+    pub manufacturing_entries: usize,
+    /// The per-cache memo bound, when configured.
+    pub memo_capacity: Option<usize>,
+    /// Memo entries not yet persisted (0 when autosave is off or current).
+    pub memo_dirty_entries: usize,
+}
+
+impl StatsResponse {
+    /// Assemble the response from the memo counters and request totals.
+    pub fn new(
+        stats: SweepStats,
+        floorplan_entries: usize,
+        manufacturing_entries: usize,
+        memo_capacity: Option<usize>,
+        memo_dirty_entries: usize,
+        requests: u64,
+        points_streamed: u64,
+    ) -> Self {
+        Self {
+            requests,
+            points_streamed,
+            floorplan_hits: stats.floorplan_hits,
+            floorplan_misses: stats.floorplan_misses,
+            floorplan_evictions: stats.floorplan_evictions,
+            floorplan_entries,
+            manufacturing_hits: stats.manufacturing_hits,
+            manufacturing_misses: stats.manufacturing_misses,
+            manufacturing_evictions: stats.manufacturing_evictions,
+            manufacturing_entries,
+            memo_capacity,
+            memo_dirty_entries,
+        }
+    }
+}
+
+/// `GET /v1/testcases` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestcasesResponse {
+    /// Every built-in test-case name `POST /v1/estimate` accepts.
+    pub testcases: Vec<String>,
+}
+
+/// Error body returned with every non-2xx status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable description of what was wrong with the request.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_core::sweep::SweepEngine;
+    use ecochip_core::EcoChip;
+
+    #[test]
+    fn estimate_requests_resolve_testcases_and_inline_systems() {
+        let db = TechDb::default();
+        let by_name = EstimateRequest {
+            testcase: Some("ga102".into()),
+            system: None,
+        };
+        let system = by_name.resolve(&db).unwrap();
+        assert!(!system.chiplets.is_empty());
+
+        let inline = EstimateRequest {
+            testcase: None,
+            system: Some(system.clone()),
+        };
+        assert_eq!(inline.resolve(&db).unwrap(), system);
+
+        for bad in [
+            EstimateRequest {
+                testcase: None,
+                system: None,
+            },
+            EstimateRequest {
+                testcase: Some("ga102".into()),
+                system: Some(system),
+            },
+            EstimateRequest {
+                testcase: Some("not-a-testcase".into()),
+                system: None,
+            },
+        ] {
+            assert!(
+                matches!(bad.resolve(&db), Err(ServeError::Api(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_requests_resolve_named_and_structured_axes() {
+        let db = TechDb::default();
+        let named = SweepRequest::named("ga102-3chiplet", "lifetime");
+        let (spec, shard) = named.resolve(&db).unwrap();
+        assert_eq!(spec.try_len().unwrap(), 7);
+        assert!(shard.is_full());
+
+        // The named form resolves to the same spec the CLI builds, so the
+        // two front ends produce identical sweeps.
+        let base = catalog::build(&db, "ga102-3chiplet").unwrap();
+        let cli_axis = dse::named_sweep_axis("lifetime", &base).unwrap();
+        let cli_spec = SweepSpec::new(base).axis(cli_axis);
+        assert_eq!(spec, cli_spec);
+
+        let structured = SweepRequest {
+            axis: None,
+            axes: Some(vec![SweepAxis::lifetimes_years(&[1.0, 2.0])]),
+            ..SweepRequest::named("ga102", "ignored")
+        };
+        let (spec, _) = structured.resolve(&db).unwrap();
+        assert_eq!(spec.try_len().unwrap(), 2);
+
+        // No axis at all sweeps the bare base system.
+        let bare = SweepRequest {
+            axis: None,
+            ..SweepRequest::named("ga102", "ignored")
+        };
+        let (spec, _) = bare.resolve(&db).unwrap();
+        assert_eq!(spec.try_len().unwrap(), 1);
+        let points = SweepEngine::serial()
+            .run(&EcoChip::default(), &spec)
+            .unwrap();
+        assert_eq!(points.len(), 1);
+    }
+
+    #[test]
+    fn sweep_request_shards_and_errors() {
+        let db = TechDb::default();
+        let sharded = SweepRequest::named("ga102-3chiplet", "lifetime").with_shard(1, 2);
+        let (_, shard) = sharded.resolve(&db).unwrap();
+        assert_eq!((shard.index(), shard.of()), (1, 2));
+
+        for (label, bad) in [
+            (
+                "bad shard",
+                SweepRequest {
+                    shard: Some("7/2".into()),
+                    ..SweepRequest::named("ga102", "lifetime")
+                },
+            ),
+            ("unknown axis", SweepRequest::named("ga102", "temperature")),
+            (
+                "axis and axes",
+                SweepRequest {
+                    axes: Some(vec![SweepAxis::lifetimes_years(&[1.0])]),
+                    ..SweepRequest::named("ga102", "lifetime")
+                },
+            ),
+        ] {
+            assert!(
+                matches!(bad.resolve(&db), Err(ServeError::Api(_))),
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_types_roundtrip_through_json() {
+        let request = SweepRequest::named("ga102", "lifetime").with_shard(0, 2);
+        let json = serde_json::to_string(&request).unwrap();
+        let back: SweepRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+
+        // Missing optional fields deserialize as None.
+        let sparse: SweepRequest = serde_json::from_str(r#"{"testcase":"ga102"}"#).unwrap();
+        assert_eq!(sparse.testcase.as_deref(), Some("ga102"));
+        assert_eq!(sparse.axis, None);
+        assert_eq!(sparse.shard, None);
+
+        let error = ErrorResponse {
+            error: "nope".into(),
+        };
+        let json = serde_json::to_string(&error).unwrap();
+        assert_eq!(json, r#"{"error":"nope"}"#);
+    }
+}

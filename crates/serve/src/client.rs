@@ -1,0 +1,340 @@
+//! A minimal blocking HTTP/1.1 client for the estimation service.
+//!
+//! Exactly the counterpart of the server's wire subset: one request per
+//! connection, `Content-Length` request bodies, fixed-length or chunked
+//! responses. Chunked NDJSON responses can be consumed line-by-line as the
+//! chunks arrive ([`post_ndjson`]), which is how the remote orchestrator
+//! merges worker streams without buffering them.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::ServeError;
+
+/// Socket timeout for client connections.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Upper bound on any single allocation driven by wire-supplied sizes
+/// (chunk sizes, `Content-Length`, buffered bodies) — the client-side
+/// mirror of the server's request-body cap. Streamed NDJSON responses are
+/// unbounded in *total* but hold at most one chunk + one pending line.
+const MAX_BUFFERED_BODY: usize = crate::http::MAX_BODY_BYTES;
+
+/// Upper bound on one status/header/chunk-size line — the client-side
+/// mirror of the server's head cap, so a peer streaming newline-free bytes
+/// cannot grow a line buffer without limit.
+const MAX_LINE_BYTES: usize = crate::http::MAX_HEAD_BYTES;
+
+/// Upper bound on the number of response headers.
+const MAX_RESPONSE_HEADERS: usize = 256;
+
+/// A decoded HTTP response: status, lowercased header names, body. For
+/// [`post_ndjson`] the body is empty — lines go to the callback instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code of the response.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The response body (empty in streaming mode).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The value of the first header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        crate::http::header_lookup(&self.headers, name)
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Http`] when the body is not valid UTF-8.
+    pub fn text(&self) -> Result<&str, ServeError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ServeError::Http("response body is not valid UTF-8".into()))
+    }
+}
+
+/// Normalize `addr` ("host:port", "http://host:port", trailing slash ok)
+/// into the host:port to connect to.
+fn host_port(addr: &str) -> &str {
+    let addr = addr.strip_prefix("http://").unwrap_or(addr);
+    addr.trim_end_matches('/')
+}
+
+/// `GET path` from the server at `addr`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidAddr`] for unresolvable addresses,
+/// [`ServeError::Io`] for socket failures and [`ServeError::Http`] for
+/// malformed responses.
+pub fn get(addr: &str, path: &str) -> Result<Response, ServeError> {
+    request(addr, "GET", path, None, &mut None)
+}
+
+/// `POST path` with a JSON body, returning the buffered response.
+///
+/// # Errors
+///
+/// As [`get`].
+pub fn post_json(addr: &str, path: &str, json: &str) -> Result<Response, ServeError> {
+    request(addr, "POST", path, Some(json.as_bytes()), &mut None)
+}
+
+/// `POST path` with a JSON body, delivering each NDJSON line of the
+/// response to `on_line` as it arrives (lines are passed without their
+/// trailing newline). Non-2xx responses are buffered normally instead, so
+/// callers can read the error body from the returned [`Response`].
+///
+/// # Errors
+///
+/// As [`get`]; additionally propagates the first error returned by
+/// `on_line`.
+pub fn post_ndjson<F>(
+    addr: &str,
+    path: &str,
+    json: &str,
+    mut on_line: F,
+) -> Result<Response, ServeError>
+where
+    F: FnMut(&str) -> Result<(), ServeError>,
+{
+    let mut callback: Option<LineSink<'_>> = Some(&mut on_line);
+    request(addr, "POST", path, Some(json.as_bytes()), &mut callback)
+}
+
+/// A borrowed NDJSON line consumer (one level of indirection keeps the
+/// streaming plumbing object-safe).
+type LineSink<'a> = &'a mut dyn FnMut(&str) -> Result<(), ServeError>;
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    request_body: Option<&[u8]>,
+    on_line: &mut Option<LineSink<'_>>,
+) -> Result<Response, ServeError> {
+    let target = host_port(addr);
+    let resolved = target
+        .to_socket_addrs()
+        .map_err(|e| ServeError::InvalidAddr(format!("{target}: {e}")))?
+        .next()
+        .ok_or_else(|| ServeError::InvalidAddr(format!("{target} resolves to nothing")))?;
+    let mut stream = TcpStream::connect(resolved)
+        .map_err(|e| ServeError::Io(format!("connecting {target}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+
+    let body = request_body.unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .and_then(|()| stream.write_all(body))
+    .and_then(|()| stream.flush())
+    .map_err(|e| ServeError::Io(format!("sending request: {e}")))?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?
+        .ok_or_else(|| ServeError::Http("connection closed before the status line".into()))?;
+    let mut parts = status_line.split_whitespace();
+    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+        return Err(ServeError::Http(format!(
+            "malformed status line {status_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Http(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| ServeError::Http(format!("malformed status code {status:?}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?
+            .ok_or_else(|| ServeError::Http("connection closed inside the headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_RESPONSE_HEADERS {
+            return Err(ServeError::Http(format!(
+                "response exceeds {MAX_RESPONSE_HEADERS} headers"
+            )));
+        }
+        headers.push(crate::http::parse_header_line(&line)?);
+    }
+
+    let mut response = Response {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    let chunked = response
+        .header("transfer-encoding")
+        .is_some_and(|value| value.eq_ignore_ascii_case("chunked"));
+
+    // Stream NDJSON only for successful chunked responses; error bodies are
+    // buffered so the caller can inspect them.
+    let mut stream_lines = if status / 100 == 2 {
+        on_line.take()
+    } else {
+        None
+    };
+    let mut pending = Vec::new();
+    let mut consume = |data: &[u8], body: &mut Vec<u8>| -> Result<(), ServeError> {
+        match &mut stream_lines {
+            None => {
+                // Buffered bodies (errors, fixed responses) are bounded like
+                // the server bounds request bodies; streamed NDJSON holds
+                // only the current line, so its total is unbounded by design.
+                if body.len() + data.len() > MAX_BUFFERED_BODY {
+                    return Err(ServeError::Http(format!(
+                        "response body exceeds the {MAX_BUFFERED_BODY}-byte client limit"
+                    )));
+                }
+                body.extend_from_slice(data);
+            }
+            Some(on_line) => {
+                pending.extend_from_slice(data);
+                while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
+                    let rest = pending.split_off(newline + 1);
+                    pending.pop(); // the newline
+                    let line = std::str::from_utf8(&pending)
+                        .map_err(|_| ServeError::Http("NDJSON line is not UTF-8".into()))?;
+                    on_line(line)?;
+                    pending = rest;
+                }
+            }
+        }
+        Ok(())
+    };
+
+    if chunked {
+        loop {
+            let size_line = read_line(&mut reader)?
+                .ok_or_else(|| ServeError::Http("connection closed inside a chunk size".into()))?;
+            let size = usize::from_str_radix(size_line.split(';').next().unwrap_or("").trim(), 16)
+                .map_err(|_| ServeError::Http(format!("malformed chunk size {size_line:?}")))?;
+            if size == 0 {
+                // Trailer section: read to the blank line.
+                while let Some(line) = read_line(&mut reader)? {
+                    if line.is_empty() {
+                        break;
+                    }
+                }
+                break;
+            }
+            if size > MAX_BUFFERED_BODY {
+                // Never trust a wire-supplied size enough to allocate it
+                // blindly; our server's chunks are single NDJSON lines.
+                return Err(ServeError::Http(format!(
+                    "chunk of {size} bytes exceeds the {MAX_BUFFERED_BODY}-byte client limit"
+                )));
+            }
+            let mut chunk = vec![0u8; size];
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| ServeError::Http(format!("reading {size}-byte chunk: {e}")))?;
+            let mut crlf = [0u8; 2];
+            reader
+                .read_exact(&mut crlf)
+                .map_err(|e| ServeError::Http(format!("reading chunk terminator: {e}")))?;
+            consume(&chunk, &mut response.body)?;
+        }
+    } else if let Some(length) = response.header("content-length") {
+        let length: usize = length
+            .trim()
+            .parse()
+            .map_err(|_| ServeError::Http(format!("malformed Content-Length {length:?}")))?;
+        if length > MAX_BUFFERED_BODY {
+            return Err(ServeError::Http(format!(
+                "Content-Length of {length} bytes exceeds the {MAX_BUFFERED_BODY}-byte client limit"
+            )));
+        }
+        let mut body = vec![0u8; length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| ServeError::Http(format!("reading {length}-byte body: {e}")))?;
+        consume(&body, &mut response.body)?;
+    } else {
+        // Connection-delimited body.
+        let mut body = Vec::new();
+        reader
+            .by_ref()
+            .take(MAX_BUFFERED_BODY as u64 + 1)
+            .read_to_end(&mut body)
+            .map_err(|e| ServeError::Io(format!("reading body: {e}")))?;
+        if body.len() > MAX_BUFFERED_BODY {
+            return Err(ServeError::Http(format!(
+                "response body exceeds the {MAX_BUFFERED_BODY}-byte client limit"
+            )));
+        }
+        consume(&body, &mut response.body)?;
+    }
+    if !pending.is_empty() {
+        // A final line without a trailing newline.
+        let line = std::str::from_utf8(&pending)
+            .map_err(|_| ServeError::Http("NDJSON line is not UTF-8".into()))?;
+        if let Some(on_line) = &mut stream_lines {
+            on_line(line)?;
+        }
+    }
+    Ok(response)
+}
+
+/// Read one CRLF- (or LF-) terminated line of at most [`MAX_LINE_BYTES`],
+/// without the terminator. The limit is enforced *inside* the read (via
+/// `take`), so an endless newline-free stream errors at the cap instead of
+/// buffering unboundedly. `Ok(None)` at EOF.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ServeError> {
+    let mut limited = std::io::Read::take(&mut *reader, MAX_LINE_BYTES as u64 + 1);
+    let mut line = String::new();
+    let read = limited
+        .read_line(&mut line)
+        .map_err(|e| ServeError::Io(format!("reading response: {e}")))?;
+    if line.len() > MAX_LINE_BYTES {
+        // Either a genuine oversized line or one truncated at the cap.
+        return Err(ServeError::Http(format!(
+            "response line exceeds the {MAX_LINE_BYTES}-byte client limit"
+        )));
+    }
+    if read == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_port_normalizes_urls() {
+        assert_eq!(host_port("127.0.0.1:8080"), "127.0.0.1:8080");
+        assert_eq!(host_port("http://127.0.0.1:8080"), "127.0.0.1:8080");
+        assert_eq!(host_port("http://localhost:9/"), "localhost:9");
+    }
+
+    #[test]
+    fn unresolvable_addresses_error_cleanly() {
+        assert!(matches!(
+            get("definitely-not-a-host.invalid:1", "/v1/healthz"),
+            Err(ServeError::InvalidAddr(_) | ServeError::Io(_))
+        ));
+        assert!(matches!(
+            get("not even an address", "/"),
+            Err(ServeError::InvalidAddr(_))
+        ));
+    }
+}

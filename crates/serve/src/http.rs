@@ -1,0 +1,353 @@
+//! A minimal HTTP/1.1 wire layer over blocking byte streams.
+//!
+//! Hand-rolled on purpose: the build environment has no package registry,
+//! so the server cannot pull in hyper/tokio — the same constraint that made
+//! the workspace hand-roll its serde shims. The subset implemented here is
+//! exactly what the service needs: request parsing with `Content-Length`
+//! bodies, fixed-length responses, and chunked transfer-encoding for
+//! streaming NDJSON sweeps. Every response closes the connection
+//! (`Connection: close`), one request per connection.
+
+use std::io::{BufRead, Write};
+
+use crate::ServeError;
+
+/// Upper bound on the request line + headers, to bound memory per
+/// connection.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (inline `System` descriptions are a few
+/// KiB; this leaves generous headroom for large structured sweeps).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request: method, path (query string stripped), lowercased
+/// header names, and the full body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as sent.
+    pub method: String,
+    /// Request path without the query string (`/v1/estimate`).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of the first header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+}
+
+/// Look up the first header named `name` (ASCII case-insensitive) in a
+/// parsed header list. Shared by the server's [`Request`] and the client's
+/// `Response` so both sides apply identical lookup rules.
+pub fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    let name = name.to_ascii_lowercase();
+    headers
+        .iter()
+        .find(|(key, _)| *key == name)
+        .map(|(_, value)| value.as_str())
+}
+
+/// Parse one `Name: value` header line into a `(lowercased name, trimmed
+/// value)` pair — the single definition of the wire's header syntax, used
+/// by both the server's request parser and the client's response parser.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Http`] when the line has no `:` separator.
+pub fn parse_header_line(line: &str) -> Result<(String, String), ServeError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(ServeError::Http(format!("malformed header line {line:?}")));
+    };
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+/// Read one request from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before sending
+/// anything (e.g. a liveness probe that only connects).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Http`] for malformed or oversized requests and
+/// [`ServeError::Io`] for socket failures.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
+    let mut head = Vec::new();
+    // Read header lines until the blank line terminating the head. The
+    // size limit is enforced *inside* the read via `take`, so a peer
+    // sending an endless newline-free byte stream cannot grow `head`
+    // beyond the cap before the check runs.
+    let mut limited = std::io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64 + 1);
+    loop {
+        let start = head.len();
+        let read = limited
+            .read_until(b'\n', &mut head)
+            .map_err(|e| ServeError::Io(format!("reading request head: {e}")))?;
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::Http(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        if read == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(ServeError::Http("connection closed mid-request".into()));
+        }
+        let line = &head[start..];
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    // `limited`'s borrow of `reader` ends here; the body reads from
+    // `reader` directly below, bounded by the Content-Length check instead.
+    let head = String::from_utf8(head)
+        .map_err(|_| ServeError::Http("request head is not valid UTF-8".into()))?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServeError::Http("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ServeError::Http(format!(
+            "malformed request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Http(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        headers.push(parse_header_line(line)?);
+    }
+
+    let request = Request {
+        method: method.to_owned(),
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(ServeError::Http(
+            "chunked request bodies are not supported; send Content-Length".into(),
+        ));
+    }
+    let length = match request.header("content-length") {
+        Some(value) => value
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| ServeError::Http(format!("invalid Content-Length {value:?}")))?,
+        None => 0,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(ServeError::Http(format!(
+            "request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ServeError::Http(format!("reading {length}-byte body: {e}")))?;
+    Ok(Some(Request { body, ..request }))
+}
+
+/// The reason phrase for the status codes the service uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Write a complete fixed-length response and flush it.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// A chunked transfer-encoding response body: each [`ChunkedWriter::chunk`]
+/// becomes one HTTP chunk flushed to the peer immediately, so NDJSON sweep
+/// points arrive as they are evaluated.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    writer: W,
+}
+
+/// Start a chunked response: writes the status line and headers, returns
+/// the body writer.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn start_chunked<W: Write>(
+    mut writer: W,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<ChunkedWriter<W>> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status)
+    )?;
+    writer.flush()?;
+    Ok(ChunkedWriter { writer })
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Send one chunk (empty chunks are skipped — an empty chunk would
+    /// terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.writer, "{:x}\r\n", data.len())?;
+        self.writer.write_all(data)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()
+    }
+
+    /// Terminate the stream with the zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.writer.write_all(b"0\r\n\r\n")?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, ServeError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request =
+            parse(b"POST /v1/estimate?pretty HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+                .unwrap()
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/estimate");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.header("HOST"), Some("x"));
+        assert_eq!(request.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let request = parse(b"GET /v1/healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(request.method, "GET");
+        assert!(request.body.is_empty());
+        assert_eq!(request.header("content-length"), None);
+    }
+
+    #[test]
+    fn empty_connections_and_malformed_requests() {
+        assert_eq!(parse(b"").unwrap(), None);
+        assert!(matches!(
+            parse(b"GARBAGE\r\n\r\n"),
+            Err(ServeError::Http(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/3\r\n\r\n"),
+            Err(ServeError::Http(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ServeError::Http(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ServeError::Http(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ServeError::Http(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ServeError::Http(_))
+        ));
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(huge.as_bytes()), Err(ServeError::Http(_))));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let mut head = String::from("GET / HTTP/1.1\r\n");
+        while head.len() <= MAX_HEAD_BYTES {
+            head.push_str("X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        head.push_str("\r\n");
+        assert!(matches!(parse(head.as_bytes()), Err(ServeError::Http(_))));
+        // A newline-free flood is rejected at the cap, never buffered whole.
+        let flood = vec![b'a'; 4 * MAX_HEAD_BYTES];
+        assert!(matches!(parse(&flood), Err(ServeError::Http(_))));
+    }
+
+    #[test]
+    fn fixed_and_chunked_responses_serialize() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        let mut chunked = start_chunked(&mut out, 200, "application/x-ndjson").unwrap();
+        chunked.chunk(b"hello\n").unwrap();
+        chunked.chunk(b"").unwrap();
+        chunked.chunk(b"world\n").unwrap();
+        chunked.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"));
+        assert_eq!(reason(500), "Internal Server Error");
+        assert_eq!(reason(418), "");
+    }
+}

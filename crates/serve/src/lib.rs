@@ -1,0 +1,161 @@
+//! # ecochip-serve
+//!
+//! A network front end for the ECO-CHIP estimator: an HTTP/1.1 JSON service
+//! over [`ecochip_core::EcoChipService`] plus a shard orchestrator that
+//! fans a sweep out across workers and merges their streams.
+//!
+//! ECO-CHIP is positioned as a *tool* other systems call — carbon-aware
+//! optimisation loops, DSE drivers, dashboards — which needs a service
+//! interface, not a one-shot CLI. This crate provides one with zero
+//! third-party dependencies: the HTTP layer is hand-rolled on
+//! [`std::net::TcpListener`] with a fixed thread pool (the build
+//! environment has no registry access, so no tokio/hyper — the same way
+//! the workspace's `vendor/` shims hand-roll serde).
+//!
+//! ## Endpoints
+//!
+//! | Method | Path | Behaviour |
+//! |---|---|---|
+//! | `POST` | `/v1/estimate` | One design → full CFP breakdown JSON |
+//! | `POST` | `/v1/sweep` | Sweep description → points streamed as NDJSON (chunked) |
+//! | `GET` | `/v1/testcases` | Names of the built-in test cases |
+//! | `GET` | `/v1/healthz` | Liveness probe |
+//! | `GET` | `/v1/stats` | Memo hit/miss/eviction + request counters |
+//! | `POST` | `/v1/shutdown` | Graceful shutdown (saves the memo first) |
+//!
+//! Sweep responses stream each [`ecochip_core::sweep::SweepPoint`] as one
+//! JSON line, produced by the same serializer as the CLI's
+//! `--stream jsonl`, so an HTTP sweep is **bit-for-bit identical** to the
+//! equivalent in-process [`ecochip_core::sweep::SweepEngine::run`] — the
+//! integration tests and CI diff the two byte streams.
+//!
+//! ## One warm service, many connections
+//!
+//! All connections share one [`ecochip_core::EcoChipService`]: its memo
+//! (floorplans, per-die manufacturing CFP) warms up across requests, is
+//! bounded by `--memo-max-entries` (LRU eviction) so a long-running server
+//! cannot grow without limit, and persists incrementally
+//! (`--memo-save-every`, atomic temp-file + rename) so a restarted server
+//! starts warm.
+//!
+//! ## Orchestration
+//!
+//! [`orchestrator`] partitions a sweep with
+//! [`Shard`](ecochip_core::sweep::Shard)`{i, of}` across N in-process
+//! workers or N remote server URLs, merges the ordered shard streams into
+//! one NDJSON stream (shards are contiguous, so merging is ordered
+//! concatenation), and fingerprints the merged stream so it can be verified
+//! against an unsharded run.
+//!
+//! ```
+//! use ecochip_serve::{client, ServeConfig, Server};
+//! let server = Server::bind(&ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServeConfig::default()
+//! })?;
+//! let addr = server.local_addr().to_string();
+//! let handle = server.spawn();
+//! let health = client::get(&addr, "/v1/healthz")?;
+//! assert_eq!(health.status, 200);
+//! handle.shutdown()?;
+//! # Ok::<(), ecochip_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod orchestrator;
+pub mod server;
+
+pub use api::{
+    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, StatsResponse, SweepRequest,
+    TestcasesResponse,
+};
+pub use orchestrator::{OrchestratorOutcome, WorkerPool};
+pub use server::{ServeConfig, Server, ServerHandle};
+
+use std::fmt;
+
+use ecochip_core::EcoChipError;
+
+/// Errors produced by the HTTP service, client and orchestrator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The listen/connect address could not be parsed or resolved. Front
+    /// ends treat this as a usage error (CLI exit code 2).
+    InvalidAddr(String),
+    /// A socket operation failed.
+    Io(String),
+    /// The peer violated the HTTP protocol (malformed request/response).
+    Http(String),
+    /// The request was well-formed HTTP but semantically invalid (bad JSON,
+    /// unknown test case, conflicting fields). Maps to HTTP 400.
+    Api(String),
+    /// The estimator rejected the design or failed evaluating it.
+    Estimator(EcoChipError),
+    /// A remote worker reported an error mid-stream.
+    Worker(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidAddr(msg) => write!(f, "invalid address: {msg}"),
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ServeError::Http(msg) => write!(f, "http protocol error: {msg}"),
+            ServeError::Api(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Estimator(e) => write!(f, "estimation failed: {e}"),
+            ServeError::Worker(msg) => write!(f, "worker failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Estimator(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EcoChipError> for ServeError {
+    fn from(error: EcoChipError) -> Self {
+        ServeError::Estimator(error)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(error: std::io::Error) -> Self {
+        ServeError::Io(error.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_convert() {
+        let cases = [
+            ServeError::InvalidAddr("nope".into()),
+            ServeError::Io("broken pipe".into()),
+            ServeError::Http("bad request line".into()),
+            ServeError::Api("unknown testcase".into()),
+            ServeError::from(EcoChipError::InvalidSystem("empty".into())),
+            ServeError::Worker("remote died".into()),
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(std::error::Error::source(&cases[4]).is_some());
+        assert!(std::error::Error::source(&cases[0]).is_none());
+        let io: ServeError = std::io::Error::other("x").into();
+        assert!(matches!(io, ServeError::Io(_)));
+    }
+}

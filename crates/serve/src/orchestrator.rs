@@ -1,0 +1,359 @@
+//! The shard orchestrator: fan one sweep out across N workers, merge the
+//! ordered shard streams, fingerprint the result.
+//!
+//! [`Shard`]`{i, of}` partitions a sweep's index space into contiguous,
+//! balanced slices, so the merged output is the ordered concatenation of
+//! the shard streams — no sorting, no buffering beyond one worker's
+//! backpressure window. Workers are either in-process threads (each with
+//! its own engine and cold memo, mimicking independent processes) or
+//! remote `ecochip-serve` servers driven over HTTP; both produce the same
+//! NDJSON lines, so the two modes are interchangeable and *diffable*.
+//!
+//! Every merged line is folded into a FNV-1a [`Fingerprint`], and
+//! [`unsharded_outcome`] computes the same fingerprint from a plain
+//! in-process run — if the two match, the partition/merge provably
+//! reproduced the unsharded sweep byte for byte.
+
+use std::sync::mpsc;
+
+use ecochip_core::sweep::{Shard, SweepContext, SweepEngine, SweepPoint};
+use ecochip_core::{EcoChip, EcoChipError, EstimatorConfig};
+use ecochip_techdb::TechDb;
+
+use crate::api::SweepRequest;
+use crate::{client, ServeError};
+
+/// Lines a worker can buffer before backpressure pauses it.
+const WORKER_QUEUE_LINES: usize = 256;
+
+/// How a sweep is fanned out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerPool {
+    /// N in-process workers, optionally pinning each worker's engine to a
+    /// job count.
+    Local {
+        /// Number of shards/threads.
+        workers: usize,
+        /// Sweep-engine workers per shard (`None`: engine default).
+        jobs: Option<usize>,
+    },
+    /// One remote `ecochip-serve` base address per shard.
+    Remote(Vec<String>),
+}
+
+impl WorkerPool {
+    /// The number of shards this pool evaluates.
+    pub fn shards(&self) -> usize {
+        match self {
+            WorkerPool::Local { workers, .. } => (*workers).max(1),
+            WorkerPool::Remote(urls) => urls.len(),
+        }
+    }
+}
+
+/// What an orchestrated (or unsharded reference) run produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrchestratorOutcome {
+    /// Points merged into the output stream.
+    pub points: usize,
+    /// FNV-1a fingerprint over every emitted line (`line + '\n'`).
+    pub fingerprint: u64,
+}
+
+/// Incrementally fold NDJSON lines into a 64-bit FNV-1a fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x00000100000001b3;
+
+    /// The fingerprint of the empty stream.
+    pub fn new() -> Self {
+        Fingerprint(Self::OFFSET)
+    }
+
+    /// Fold one line (hashed as `line + '\n'`).
+    pub fn update(&mut self, line: &str) {
+        for &byte in line.as_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+        }
+        self.0 = (self.0 ^ u64::from(b'\n')).wrapping_mul(Self::PRIME);
+    }
+
+    /// The current digest.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fan `request` out across `pool`, merging the shard streams into
+/// `on_line` in the sweep's deterministic case order.
+///
+/// The orchestrator owns the sharding, so `request.shard` must be empty;
+/// workers run concurrently and the merge is streaming (shard `i+1`
+/// evaluates while shard `i` drains).
+///
+/// # Errors
+///
+/// [`ServeError::Api`] for unresolvable requests or a pre-sharded request,
+/// [`ServeError::Estimator`] / [`ServeError::Worker`] when a worker fails,
+/// and the first error returned by `on_line`.
+pub fn orchestrate<F>(
+    db: &TechDb,
+    request: &SweepRequest,
+    pool: &WorkerPool,
+    mut on_line: F,
+) -> Result<OrchestratorOutcome, ServeError>
+where
+    F: FnMut(&str) -> Result<(), ServeError>,
+{
+    if request.shard.is_some() {
+        return Err(ServeError::Api(
+            "orchestrated requests must not be pre-sharded; the orchestrator assigns shards".into(),
+        ));
+    }
+    let shards = pool.shards();
+    if shards == 0 {
+        return Err(ServeError::Api(
+            "a remote pool needs at least one URL".into(),
+        ));
+    }
+    // Resolve up front so bad requests fail before any worker starts (the
+    // local pool needs the spec anyway).
+    let (spec, _) = request.resolve(db)?;
+
+    let mut fingerprint = Fingerprint::new();
+    let mut points = 0usize;
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        let mut receivers = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (sender, receiver) =
+                mpsc::sync_channel::<Result<String, ServeError>>(WORKER_QUEUE_LINES);
+            receivers.push(receiver);
+            match pool {
+                WorkerPool::Local { jobs, .. } => {
+                    let spec = &spec;
+                    let jobs = *jobs;
+                    scope.spawn(move || {
+                        // Each worker mimics an independent process: its own
+                        // estimator, engine and cold memo. Results are
+                        // bit-for-bit identical either way; isolation keeps
+                        // the orchestrated run an honest stand-in for a
+                        // distributed one.
+                        let estimator =
+                            EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build());
+                        let engine = SweepEngine::with_optional_jobs(jobs);
+                        let context = SweepContext::new();
+                        let shard = Shard::new(index, shards).expect("index < shards");
+                        let result = engine.run_streaming_with(
+                            &estimator,
+                            spec,
+                            shard,
+                            &context,
+                            &mut |point: SweepPoint| {
+                                let line = serde_json::to_string(&point).map_err(|e| {
+                                    EcoChipError::Io(format!("serializing sweep point: {e}"))
+                                })?;
+                                sender.send(Ok(line)).map_err(|_| {
+                                    // The merger hung up (downstream error);
+                                    // stop this worker quietly.
+                                    EcoChipError::Io("orchestrator closed the stream".into())
+                                })?;
+                                Ok(())
+                            },
+                        );
+                        if let Err(error) = result {
+                            let _ = sender.send(Err(ServeError::Estimator(error)));
+                        }
+                    });
+                }
+                WorkerPool::Remote(urls) => {
+                    let url = urls[index].clone();
+                    let sharded = request.with_shard(index, shards);
+                    scope.spawn(move || {
+                        let result = run_remote_shard(&url, &sharded, &sender);
+                        if let Err(error) = result {
+                            let _ = sender.send(Err(error));
+                        }
+                    });
+                }
+            }
+        }
+
+        // The merge: shards are contiguous slices of the case order, so
+        // draining the receivers in shard order *is* the ordered merge.
+        for receiver in receivers {
+            for line in receiver {
+                let line = line?;
+                fingerprint.update(&line);
+                points += 1;
+                on_line(&line)?;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(OrchestratorOutcome {
+        points,
+        fingerprint: fingerprint.digest(),
+    })
+}
+
+/// Drive one remote shard: POST the sharded request, forward NDJSON lines,
+/// surface in-band error objects and non-200 statuses.
+fn run_remote_shard(
+    url: &str,
+    request: &SweepRequest,
+    sender: &mpsc::SyncSender<Result<String, ServeError>>,
+) -> Result<(), ServeError> {
+    let body = serde_json::to_string(request)
+        .map_err(|e| ServeError::Api(format!("serializing sweep request: {e}")))?;
+    let response = client::post_ndjson(url, "/v1/sweep", &body, |line| {
+        if line.starts_with("{\"error\"") {
+            return Err(ServeError::Worker(format!("{url}: {line}")));
+        }
+        sender
+            .send(Ok(line.to_owned()))
+            .map_err(|_| ServeError::Worker("orchestrator closed the stream".into()))
+    })?;
+    if response.status != 200 {
+        return Err(ServeError::Worker(format!(
+            "{url} answered {}: {}",
+            response.status,
+            response.text().unwrap_or("<binary>").trim()
+        )));
+    }
+    Ok(())
+}
+
+/// The reference outcome: evaluate `request` unsharded in-process (one
+/// engine, one warm memo) and fingerprint the stream without emitting it.
+/// An orchestrated run whose [`OrchestratorOutcome`] equals this one
+/// provably merged to the exact unsharded byte stream.
+///
+/// # Errors
+///
+/// [`ServeError::Api`] for unresolvable requests, [`ServeError::Estimator`]
+/// for evaluation failures.
+pub fn unsharded_outcome(
+    db: &TechDb,
+    request: &SweepRequest,
+    jobs: Option<usize>,
+) -> Result<OrchestratorOutcome, ServeError> {
+    let (spec, shard) = request.resolve(db)?;
+    let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build());
+    let engine = SweepEngine::with_optional_jobs(jobs);
+    let mut fingerprint = Fingerprint::new();
+    let mut points = 0usize;
+    engine.run_streaming_with(
+        &estimator,
+        &spec,
+        shard,
+        &SweepContext::new(),
+        &mut |point: SweepPoint| {
+            let line = serde_json::to_string(&point)
+                .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
+            fingerprint.update(&line);
+            points += 1;
+            Ok(())
+        },
+    )?;
+    Ok(OrchestratorOutcome {
+        points,
+        fingerprint: fingerprint.digest(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_order_sensitive() {
+        let mut ab = Fingerprint::new();
+        ab.update("a");
+        ab.update("b");
+        let mut ba = Fingerprint::new();
+        ba.update("b");
+        ba.update("a");
+        assert_ne!(ab.digest(), ba.digest());
+        // "a\nb\n" hashed line-wise equals itself hashed again.
+        let mut again = Fingerprint::new();
+        again.update("a");
+        again.update("b");
+        assert_eq!(ab.digest(), again.digest());
+        assert_ne!(Fingerprint::default().digest(), ab.digest());
+    }
+
+    #[test]
+    fn local_orchestration_merges_to_the_unsharded_stream() {
+        let db = TechDb::default();
+        let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+        let reference = unsharded_outcome(&db, &request, Some(2)).unwrap();
+        assert_eq!(reference.points, 7);
+
+        for workers in [1usize, 2, 3, 5] {
+            let mut lines = Vec::new();
+            let outcome = orchestrate(
+                &db,
+                &request,
+                &WorkerPool::Local {
+                    workers,
+                    jobs: Some(2),
+                },
+                |line| {
+                    lines.push(line.to_owned());
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(outcome, reference, "workers={workers}");
+            assert_eq!(lines.len(), 7);
+            // Each line is a valid SweepPoint.
+            let point: SweepPoint = serde_json::from_str(&lines[0]).unwrap();
+            assert!(point.label.ends_with('y'));
+        }
+    }
+
+    #[test]
+    fn orchestrator_rejects_bad_requests() {
+        let db = TechDb::default();
+        let pool = WorkerPool::Local {
+            workers: 2,
+            jobs: None,
+        };
+        let sharded = SweepRequest::named("ga102", "lifetime").with_shard(0, 2);
+        assert!(matches!(
+            orchestrate(&db, &sharded, &pool, |_| Ok(())),
+            Err(ServeError::Api(_))
+        ));
+        let unknown = SweepRequest::named("nope", "lifetime");
+        assert!(matches!(
+            orchestrate(&db, &unknown, &pool, |_| Ok(())),
+            Err(ServeError::Api(_))
+        ));
+        assert!(matches!(
+            orchestrate(
+                &db,
+                &SweepRequest::named("ga102", "lifetime"),
+                &WorkerPool::Remote(Vec::new()),
+                |_| Ok(())
+            ),
+            Err(ServeError::Api(_))
+        ));
+        // Sink errors propagate out of the merge.
+        let result = orchestrate(
+            &db,
+            &SweepRequest::named("ga102", "lifetime"),
+            &pool,
+            |_| Err(ServeError::Worker("sink full".into())),
+        );
+        assert!(matches!(result, Err(ServeError::Worker(_))));
+    }
+}

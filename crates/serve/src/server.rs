@@ -1,0 +1,461 @@
+//! The HTTP server: one warm [`EcoChipService`] shared across a fixed pool
+//! of connection-handler threads.
+//!
+//! Architecture: an accept loop pushes connections into a channel drained
+//! by `threads` handler threads (the sweep engine parallelises *within* a
+//! request too, with `jobs` workers per sweep). All handlers share one
+//! [`EcoChipService`], so the floorplan/manufacturing memo warms up across
+//! requests and clients benefit from each other's work — while every
+//! response stays bit-for-bit identical to a cold in-process run.
+//!
+//! Shutdown is cooperative: `POST /v1/shutdown` (or
+//! [`ServerHandle::shutdown`]) sets a flag and nudges the accept loop with
+//! a wake-up connection; in-flight requests finish, the memo is saved when
+//! a memo file is configured, and [`Server::run`] returns.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::Serialize;
+
+use ecochip_core::sweep::{SweepEngine, SweepPoint};
+use ecochip_core::{EcoChip, EcoChipError, EcoChipService, EstimatorConfig};
+use ecochip_techdb::TechDb;
+use ecochip_testcases::catalog;
+
+use crate::api::{
+    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, StatsResponse, SweepRequest,
+    TestcasesResponse,
+};
+use crate::http;
+use crate::ServeError;
+
+/// Per-connection socket timeout: a stalled peer cannot pin a handler
+/// thread forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration of [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Sweep-engine workers per request (`None`: `ECOCHIP_JOBS`, then the
+    /// machine's available parallelism).
+    pub jobs: Option<usize>,
+    /// Connection-handler threads (each serves one request at a time).
+    pub threads: usize,
+    /// Technology database (`None` uses the built-in defaults).
+    pub techdb: Option<TechDb>,
+    /// Load the memo from this file at startup (if present and
+    /// fingerprint-compatible) and save it on shutdown.
+    pub memo_file: Option<PathBuf>,
+    /// Bound the memo to this many entries per cache (LRU eviction).
+    pub memo_max_entries: Option<usize>,
+    /// Autosave the memo whenever this many new entries accumulated
+    /// (requires `memo_file`).
+    pub memo_save_every: Option<usize>,
+    /// Narrate memo loads/saves to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".into(),
+            jobs: None,
+            threads: 8,
+            techdb: None,
+            memo_file: None,
+            memo_max_entries: None,
+            memo_save_every: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Counters and flags shared by every handler thread.
+struct ServerState {
+    service: EcoChipService,
+    db: TechDb,
+    addr: SocketAddr,
+    memo_file: Option<PathBuf>,
+    verbose: bool,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    points_streamed: AtomicU64,
+}
+
+impl ServerState {
+    /// Persist the memo if a memo file is configured (used at shutdown).
+    fn save_memo(&self) {
+        let Some(path) = &self.memo_file else { return };
+        if let Err(error) = self.service.save_memo_verbose(path, self.verbose) {
+            eprintln!("warning: saving memo {}: {error}", path.display());
+        }
+    }
+
+    /// Trip the shutdown flag and nudge the accept loop awake.
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway connection
+        // makes it re-check the flag. A wildcard bind (0.0.0.0 / ::) is not
+        // connectable on every platform, so aim the wake-up at loopback.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(if wake.is_ipv4() {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            } else {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            });
+        }
+        let _ = TcpStream::connect(wake);
+    }
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("addr", &self.addr)
+            .field("requests", &self.requests.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks; [`Server::spawn`]
+/// runs it on a background thread and returns a [`ServerHandle`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Bind the listen socket and warm up the service (estimator, memo
+    /// load, capacity bound, autosave).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidAddr`] when `config.addr` does not
+    /// resolve and [`ServeError::Io`] when binding fails. A stale or
+    /// malformed memo file is *not* an error — the server starts cold and
+    /// warns on stderr, matching the CLI.
+    pub fn bind(config: &ServeConfig) -> Result<Self, ServeError> {
+        let mut addrs = config
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::InvalidAddr(format!("{}: {e}", config.addr)))?;
+        let addr = addrs.next().ok_or_else(|| {
+            ServeError::InvalidAddr(format!("{} resolves to nothing", config.addr))
+        })?;
+        let listener =
+            TcpListener::bind(addr).map_err(|e| ServeError::Io(format!("binding {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("reading bound address: {e}")))?;
+
+        let db = config.techdb.clone().unwrap_or_default();
+        let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build());
+        let engine = SweepEngine::with_optional_jobs(config.jobs);
+        let mut service = EcoChipService::with_engine(estimator, engine);
+        service.set_memo_capacity(config.memo_max_entries);
+        if let Some(path) = &config.memo_file {
+            service.load_memo_lenient(path, config.verbose);
+            if let Some(every) = config.memo_save_every {
+                service.save_memo_every(path, every);
+            }
+        }
+
+        Ok(Self {
+            listener,
+            state: Arc::new(ServerState {
+                service,
+                db,
+                addr,
+                memo_file: config.memo_file.clone(),
+                verbose: config.verbose,
+                shutdown: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                points_streamed: AtomicU64::new(0),
+            }),
+            threads: config.threads.max(1),
+        })
+    }
+
+    /// The bound listen address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serve until shut down (`POST /v1/shutdown` or
+    /// [`ServerHandle::shutdown`]), then save the memo and return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] only for accept-loop failures; individual
+    /// connection errors are answered with HTTP error responses (or dropped
+    /// when the peer is gone) and never stop the server.
+    pub fn run(self) -> Result<(), ServeError> {
+        let state = &self.state;
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Mutex::new(receiver);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| loop {
+                    let connection = {
+                        let receiver = receiver.lock().expect("connection queue");
+                        receiver.recv()
+                    };
+                    match connection {
+                        Ok(stream) => handle_connection(state, stream),
+                        Err(_) => break, // accept loop ended
+                    }
+                });
+            }
+            for connection in self.listener.incoming() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match connection {
+                    Ok(stream) => {
+                        // The pool threads only exit when the sender drops,
+                        // so this send cannot fail while we are looping.
+                        let _ = sender.send(stream);
+                    }
+                    Err(error) => {
+                        eprintln!("warning: accepting connection: {error}");
+                    }
+                }
+            }
+            drop(sender);
+        });
+        state.save_memo();
+        Ok(())
+    }
+
+    /// Run the server on a background thread (for tests, examples and
+    /// embedding) and return a handle that can stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { state, thread }
+    }
+}
+
+/// A running background server (see [`Server::spawn`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    thread: std::thread::JoinHandle<Result<(), ServeError>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Stop accepting, let in-flight requests finish, save the memo and
+    /// join the server thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server loop's exit error, or [`ServeError::Io`] when
+    /// the server thread panicked.
+    pub fn shutdown(self) -> Result<(), ServeError> {
+        self.state.trigger_shutdown();
+        self.thread
+            .join()
+            .map_err(|_| ServeError::Io("server thread panicked".into()))?
+    }
+}
+
+/// Serialize a response body; the wire types cannot fail serialization, so
+/// a failure is a programming error surfaced as a 500 body.
+fn body<T: Serialize>(value: &T) -> Vec<u8> {
+    match serde_json::to_string(value) {
+        Ok(mut json) => {
+            json.push('\n');
+            json.into_bytes()
+        }
+        Err(error) => format!("{{\"error\":\"serializing response: {error}\"}}\n").into_bytes(),
+    }
+}
+
+fn respond<T: Serialize>(stream: &mut TcpStream, status: u16, value: &T) {
+    // The peer may already be gone; nothing useful to do about it.
+    let _ = http::write_response(stream, status, "application/json", &body(value));
+}
+
+fn respond_error(stream: &mut TcpStream, error: &ServeError) {
+    let status = match error {
+        ServeError::Io(_) => 500,
+        _ => 400,
+    };
+    respond(
+        stream,
+        status,
+        &ErrorResponse {
+            error: error.to_string(),
+        },
+    );
+}
+
+/// Serve one connection: parse the request, route it, answer, close.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let request = match http::read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // probe/wake-up connection
+        Err(error) => {
+            respond_error(&mut writer, &error);
+            return;
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => respond(
+            &mut writer,
+            200,
+            &HealthResponse {
+                status: "ok".into(),
+                service: "ecochip-serve".into(),
+                jobs: state.service.engine().jobs(),
+            },
+        ),
+        ("GET", "/v1/stats") => respond(
+            &mut writer,
+            200,
+            &StatsResponse::new(
+                state.service.stats(),
+                state.service.context().floorplan_entries(),
+                state.service.context().manufacturing_entries(),
+                state.service.memo_capacity(),
+                state.service.context().dirty_entries(),
+                state.requests.load(Ordering::Relaxed),
+                state.points_streamed.load(Ordering::Relaxed),
+            ),
+        ),
+        ("GET", "/v1/testcases") => respond(
+            &mut writer,
+            200,
+            &TestcasesResponse {
+                testcases: catalog::names(),
+            },
+        ),
+        ("POST", "/v1/estimate") => match estimate(state, &request.body) {
+            Ok(response) => respond(&mut writer, 200, &response),
+            Err(error) => respond_error(&mut writer, &error),
+        },
+        ("POST", "/v1/sweep") => sweep(state, &request.body, &mut writer),
+        ("POST", "/v1/shutdown") => {
+            respond(
+                &mut writer,
+                200,
+                &HealthResponse {
+                    status: "shutting down".into(),
+                    service: "ecochip-serve".into(),
+                    jobs: state.service.engine().jobs(),
+                },
+            );
+            let _ = writer.flush();
+            state.trigger_shutdown();
+        }
+        (
+            _,
+            "/v1/healthz" | "/v1/stats" | "/v1/testcases" | "/v1/estimate" | "/v1/sweep"
+            | "/v1/shutdown",
+        ) => respond(
+            &mut writer,
+            405,
+            &ErrorResponse {
+                error: format!("method {} not allowed on {}", request.method, request.path),
+            },
+        ),
+        (_, path) => respond(
+            &mut writer,
+            404,
+            &ErrorResponse {
+                error: format!(
+                    "unknown path {path:?}; endpoints: /v1/estimate /v1/sweep /v1/testcases \
+                     /v1/healthz /v1/stats /v1/shutdown"
+                ),
+            },
+        ),
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, ServeError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ServeError::Api("request body is not valid UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| ServeError::Api(e.to_string()))
+}
+
+fn estimate(state: &ServerState, request_body: &[u8]) -> Result<EstimateResponse, ServeError> {
+    let request: EstimateRequest = parse_body(request_body)?;
+    let system = request.resolve(&state.db)?;
+    let report = state.service.estimate(&system)?;
+    Ok(EstimateResponse {
+        system: system.name.clone(),
+        embodied_fraction: report.embodied_fraction(),
+        report,
+    })
+}
+
+/// Handle `POST /v1/sweep`: resolve, then stream points as NDJSON over
+/// chunked transfer-encoding. Each line is produced by the same serializer
+/// as the CLI's `--stream jsonl`, so the byte stream diffs clean against an
+/// in-process run.
+fn sweep(state: &ServerState, request_body: &[u8], writer: &mut TcpStream) {
+    let resolved =
+        parse_body::<SweepRequest>(request_body).and_then(|request| request.resolve(&state.db));
+    let (spec, shard) = match resolved {
+        Ok(resolved) => resolved,
+        Err(error) => {
+            respond_error(writer, &error);
+            return;
+        }
+    };
+    let mut chunked = match http::start_chunked(&mut *writer, 200, "application/x-ndjson") {
+        Ok(chunked) => chunked,
+        Err(_) => return, // peer gone before the stream started
+    };
+    let result = state
+        .service
+        .run_streaming(&spec, shard, &mut |point: SweepPoint| {
+            let mut line = serde_json::to_string(&point)
+                .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
+            line.push('\n');
+            chunked
+                .chunk(line.as_bytes())
+                .map_err(|e| EcoChipError::Io(format!("streaming sweep point: {e}")))?;
+            state.points_streamed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+    match result {
+        Ok(_) => {
+            let _ = chunked.finish();
+        }
+        Err(error) => {
+            // The status line is long gone; signal the failure in-band with
+            // a terminal error object (no valid point line starts with
+            // `{"error"`) and end the stream cleanly so clients detect it.
+            let line = body(&ErrorResponse {
+                error: error.to_string(),
+            });
+            let _ = chunked.chunk(&line);
+            let _ = chunked.finish();
+        }
+    }
+}

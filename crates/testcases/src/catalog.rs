@@ -1,0 +1,175 @@
+//! The named catalog of built-in test cases.
+//!
+//! Every front end that accepts a test case *by name* — the CLI's
+//! `--testcase`, the HTTP service's `{"testcase": …}` request field, the
+//! `GET /v1/testcases` listing — resolves names through this module, so the
+//! set of names and the systems they build are defined exactly once.
+
+use ecochip_core::disaggregation::NodeTuple;
+use ecochip_core::{EcoChipError, System};
+use ecochip_techdb::{TechDb, TechNode};
+
+use crate::{a15, arvr, emr, ga102};
+
+/// Failure to resolve a catalog name into a [`System`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogError {
+    /// The name matches no built-in test case. Front ends usually map this
+    /// to a usage error (CLI exit code 2, HTTP 400) rather than a runtime
+    /// failure.
+    UnknownTestcase(String),
+    /// The name is known but building the system failed (e.g. the supplied
+    /// technology database is missing a node the test case needs).
+    Build(EcoChipError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownTestcase(name) => {
+                write!(f, "unknown test case {name:?}; the built-ins are: ")?;
+                for (i, name) in names().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}")?;
+                }
+                Ok(())
+            }
+            CatalogError::Build(error) => write!(f, "building test case: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::UnknownTestcase(_) => None,
+            CatalogError::Build(error) => Some(error),
+        }
+    }
+}
+
+impl From<EcoChipError> for CatalogError {
+    fn from(error: EcoChipError) -> Self {
+        CatalogError::Build(error)
+    }
+}
+
+/// Every built-in test-case name, in presentation order.
+pub fn names() -> Vec<String> {
+    let mut names: Vec<String> = [
+        "ga102",
+        "ga102-3chiplet",
+        "a15",
+        "a15-3chiplet",
+        "emr",
+        "emr-2chiplet",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect();
+    for tiers in 1..=4u32 {
+        names.push(format!(
+            "arvr-1k-{}mb",
+            tiers * arvr::Series::OneK.mb_per_die()
+        ));
+    }
+    for tiers in 1..=4u32 {
+        names.push(format!(
+            "arvr-2k-{}mb",
+            tiers * arvr::Series::TwoK.mb_per_die()
+        ));
+    }
+    names
+}
+
+/// Build the named built-in test case against `db`.
+///
+/// # Errors
+///
+/// Returns [`CatalogError::UnknownTestcase`] for names outside
+/// [`names`] and [`CatalogError::Build`] when the system cannot be built
+/// from `db`.
+pub fn build(db: &TechDb, name: &str) -> Result<System, CatalogError> {
+    let unknown = || CatalogError::UnknownTestcase(name.to_owned());
+    let system = match name {
+        "ga102" => ga102::monolithic_system(db)?,
+        "ga102-3chiplet" => ga102::three_chiplet_system(
+            db,
+            NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
+        )?,
+        "a15" => a15::monolithic_system(db)?,
+        "a15-3chiplet" => a15::three_chiplet_system(db, a15::default_chiplet_nodes())?,
+        "emr" => emr::monolithic_system(db)?,
+        "emr-2chiplet" => emr::two_chiplet_system(db)?,
+        other => {
+            let lower = other.to_ascii_lowercase();
+            let Some(rest) = lower.strip_prefix("arvr-") else {
+                return Err(unknown());
+            };
+            let (series, capacity) = if let Some(cap) = rest.strip_prefix("1k-") {
+                (arvr::Series::OneK, cap)
+            } else if let Some(cap) = rest.strip_prefix("2k-") {
+                (arvr::Series::TwoK, cap)
+            } else {
+                return Err(unknown());
+            };
+            let Ok(total_mb) = capacity.trim_end_matches("mb").parse::<u32>() else {
+                return Err(unknown());
+            };
+            let per_die = series.mb_per_die();
+            if total_mb == 0 || !total_mb.is_multiple_of(per_die) || total_mb / per_die > 4 {
+                return Err(unknown());
+            }
+            arvr::system(db, &arvr::ArVrConfig::new(series, total_mb / per_die))?
+        }
+    };
+    Ok(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_builds() {
+        let db = TechDb::default();
+        let names = names();
+        assert_eq!(names.len(), 14);
+        for name in &names {
+            let system = build(&db, name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!system.chiplets.is_empty(), "{name} has no chiplets");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_a_listing() {
+        let db = TechDb::default();
+        for bad in [
+            "nope",
+            "arvr-3k-4mb",
+            "arvr-1k-3mb",
+            "arvr-1k-0mb",
+            "arvr-1k-40mb",
+        ] {
+            let error = build(&db, bad).unwrap_err();
+            assert!(
+                matches!(error, CatalogError::UnknownTestcase(_)),
+                "{bad:?} gave {error:?}"
+            );
+            assert!(error.to_string().contains("ga102"), "{error}");
+            assert!(std::error::Error::source(&error).is_none());
+        }
+    }
+
+    #[test]
+    fn build_errors_carry_the_source() {
+        // An empty technology database is a *build* failure, not an unknown
+        // name.
+        let empty = ecochip_techdb::TechDbBuilder::new().build();
+        let error = build(&empty, "ga102").unwrap_err();
+        assert!(matches!(error, CatalogError::Build(_)), "{error:?}");
+        assert!(std::error::Error::source(&error).is_some());
+    }
+}

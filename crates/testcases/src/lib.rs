@@ -44,6 +44,7 @@
 
 pub mod a15;
 pub mod arvr;
+pub mod catalog;
 pub mod emr;
 pub mod ga102;
 pub mod io;

@@ -1,5 +1,6 @@
 //! `ecochip` — command-line front end, mirroring the original artifact's
-//! `python3 src/ECO_chip.py --design_dir <testcase>` interface.
+//! `python3 src/ECO_chip.py --design_dir <testcase>` interface, plus the
+//! network-facing subcommands of the `ecochip-serve` subsystem.
 //!
 //! Usage:
 //!
@@ -8,6 +9,10 @@
 //! ecochip --design <system.json> [--techdb <techdb.json>]
 //! ecochip --export <dir>           # write the built-in test cases as JSON configs
 //! ecochip --list-testcases         # print the built-in test-case names
+//! ecochip serve [--addr <host:port>] [--jobs N] [--threads N]
+//!               [--memo-file <file>] [--memo-max-entries N] [--memo-save-every N]
+//! ecochip orchestrate --testcase <name> --sweep <axis>
+//!                     (--workers N | --remote <url,url,...>) [--check]
 //! ```
 //!
 //! Any `--testcase` / `--design` run accepts:
@@ -23,30 +28,40 @@
 //! * `--memo-file <file>` to load a persisted floorplan/manufacturing memo
 //!   before the run (if present and fingerprint-compatible) and save the
 //!   warmed memo after it,
-//! * `--verbose` to print memo hit/miss statistics to stderr,
+//! * `--memo-max-entries <N>` to bound the memo to N entries per cache
+//!   (least-recently-used eviction),
+//! * `--memo-save-every <N>` to also persist the memo whenever N new
+//!   entries accumulated mid-run (atomic temp-file + rename),
+//! * `--verbose` to print memo hit/miss/eviction statistics to stderr,
 //! * `--csv <file>` to write the breakdown (or the sweep table) as CSV,
 //! * `--json <file>` to write the report (or the sweep points) as JSON.
 //!
-//! Exit codes: `0` on success, `2` for usage errors (unknown flags, test
-//! cases or sweep axes), `1` for runtime failures.
+//! `ecochip serve` starts the HTTP/JSON estimation service (endpoints
+//! `/v1/estimate`, `/v1/sweep`, `/v1/testcases`, `/v1/healthz`,
+//! `/v1/stats`, `/v1/shutdown`); `ecochip orchestrate` fans a sweep out
+//! across local workers or remote servers, merges the ordered shard
+//! streams to stdout as JSON lines, and with `--check` verifies the merge
+//! against the unsharded fingerprint.
+//!
+//! Exit codes: `0` on success, `2` for usage errors (unknown subcommands,
+//! flags, test cases, sweep axes, malformed `--addr`), `1` for runtime
+//! failures.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use eco_chip::core::costing::system_cost;
-use eco_chip::core::disaggregation::NodeTuple;
-use eco_chip::core::sweep::{Shard, SweepAxis, SweepEngine, SweepPoint, SweepSpec};
+use eco_chip::core::dse::{named_sweep_axis, NAMED_SWEEP_AXES};
+use eco_chip::core::sweep::{Shard, SweepEngine, SweepPoint, SweepSpec};
 use eco_chip::core::{EcoChip, EcoChipService, EstimatorConfig, System};
-use eco_chip::packaging::{
-    InterposerConfig, PackagingArchitecture, RdlFanoutConfig, SiliconBridgeConfig, ThreeDConfig,
-};
-use eco_chip::techdb::{EnergySource, TechDb, TechNode};
-use eco_chip::testcases::{a15, arvr, emr, ga102, io};
+use eco_chip::serve::orchestrator::{self, WorkerPool};
+use eco_chip::serve::{ServeConfig, ServeError, Server, SweepRequest};
+use eco_chip::techdb::TechDb;
+use eco_chip::testcases::catalog::{self, CatalogError};
+use eco_chip::testcases::io;
 
 /// Exit code for usage errors (unknown flags, test cases, sweep axes).
 const USAGE_EXIT_CODE: u8 = 2;
-
-const SWEEP_AXES: &str = "nodes|packaging|volume|lifetime|energy";
 
 /// A CLI failure: usage errors exit with [`USAGE_EXIT_CODE`] and a one-line
 /// hint; runtime errors exit with 1.
@@ -67,6 +82,15 @@ impl<E: Into<Box<dyn std::error::Error>>> From<E> for CliError {
     }
 }
 
+/// Service-layer errors that signal a malformed request (bad address, bad
+/// names) become usage errors; everything else is a runtime failure.
+fn serve_error(error: ServeError) -> CliError {
+    match error {
+        ServeError::InvalidAddr(_) | ServeError::Api(_) => CliError::Usage(error.to_string()),
+        other => CliError::Run(Box::new(other)),
+    }
+}
+
 type CliResult<T = ()> = Result<T, CliError>;
 
 fn print_usage() {
@@ -75,92 +99,48 @@ fn print_usage() {
     eprintln!("  ecochip --design <system.json> [--techdb <techdb.json>]");
     eprintln!("  ecochip --export <dir>                       write built-in test cases as JSON");
     eprintln!("  ecochip --list-testcases                     print the built-in test-case names");
-    eprintln!("  ... --sweep <{SWEEP_AXES}>");
+    eprintln!("  ... --sweep <{NAMED_SWEEP_AXES}>");
     eprintln!("                                               sweep the selected system");
     eprintln!("  ... --jobs <N>                               sweep-engine worker count");
     eprintln!("  ... --shard <I/N>                            evaluate only shard I of N");
     eprintln!("  ... --stream <jsonl|csv>                     emit sweep points incrementally");
     eprintln!("  ... --memo-file <file>                       load/save the stage memo");
+    eprintln!("  ... --memo-max-entries <N>                   bound the memo (LRU eviction)");
+    eprintln!("  ... --memo-save-every <N>                    autosave the memo mid-run");
     eprintln!("  ... --verbose                                print memo hit/miss stats");
     eprintln!("  ... --csv <file>                             also write the breakdown as CSV");
     eprintln!("  ... --json <file>                            also write the report as JSON");
     eprintln!();
+    eprintln!("subcommands:");
+    eprintln!("  ecochip serve [--addr <host:port>] [--jobs N] [--threads N]");
+    eprintln!("                [--techdb <file>] [--memo-file <file>]");
+    eprintln!("                [--memo-max-entries N] [--memo-save-every N] [--verbose]");
+    eprintln!("                                               start the HTTP/JSON service");
+    eprintln!("  ecochip orchestrate --testcase <name> --sweep <axis>");
+    eprintln!("                (--workers N | --remote <url,url,...>)");
+    eprintln!("                [--design <system.json>] [--techdb <file>] [--jobs N] [--check]");
+    eprintln!("                                               fan a sweep out and merge shards");
+    eprintln!();
     eprintln!("built-in test cases:");
-    for name in testcase_names() {
+    for name in catalog::names() {
         eprintln!("  {name}");
     }
 }
 
-/// Every built-in test-case name accepted by `--testcase`.
-fn testcase_names() -> Vec<String> {
-    let mut names: Vec<String> = [
-        "ga102",
-        "ga102-3chiplet",
-        "a15",
-        "a15-3chiplet",
-        "emr",
-        "emr-2chiplet",
-    ]
-    .into_iter()
-    .map(str::to_owned)
-    .collect();
-    for tiers in 1..=4u32 {
-        names.push(format!(
-            "arvr-1k-{}mb",
-            tiers * arvr::Series::OneK.mb_per_die()
-        ));
-    }
-    for tiers in 1..=4u32 {
-        names.push(format!(
-            "arvr-2k-{}mb",
-            tiers * arvr::Series::TwoK.mb_per_die()
-        ));
-    }
-    names
-}
-
 fn builtin_system(db: &TechDb, name: &str) -> CliResult<System> {
-    let unknown = || {
-        CliError::usage(format!(
+    catalog::build(db, name).map_err(|error| match error {
+        CatalogError::UnknownTestcase(_) => CliError::usage(format!(
             "unknown test case {name:?}; run `ecochip --list-testcases` to see the built-ins"
-        ))
-    };
-    let system = match name {
-        "ga102" => ga102::monolithic_system(db)?,
-        "ga102-3chiplet" => ga102::three_chiplet_system(
-            db,
-            NodeTuple::new(TechNode::N7, TechNode::N14, TechNode::N10),
-        )?,
-        "a15" => a15::monolithic_system(db)?,
-        "a15-3chiplet" => a15::three_chiplet_system(db, a15::default_chiplet_nodes())?,
-        "emr" => emr::monolithic_system(db)?,
-        "emr-2chiplet" => emr::two_chiplet_system(db)?,
-        other => {
-            let lower = other.to_ascii_lowercase();
-            let Some(rest) = lower.strip_prefix("arvr-") else {
-                return Err(unknown());
-            };
-            let (series, capacity) = if let Some(cap) = rest.strip_prefix("1k-") {
-                (arvr::Series::OneK, cap)
-            } else if let Some(cap) = rest.strip_prefix("2k-") {
-                (arvr::Series::TwoK, cap)
-            } else {
-                return Err(unknown());
-            };
-            let Ok(total_mb) = capacity.trim_end_matches("mb").parse::<u32>() else {
-                return Err(unknown());
-            };
-            let per_die = series.mb_per_die();
-            if total_mb == 0 || !total_mb.is_multiple_of(per_die) || total_mb / per_die > 4 {
-                return Err(unknown());
-            }
-            arvr::system(db, &arvr::ArVrConfig::new(series, total_mb / per_die))?
-        }
-    };
-    Ok(system)
+        )),
+        CatalogError::Build(inner) => CliError::from(inner),
+    })
 }
 
 fn export_testcases(db: &TechDb, dir: &PathBuf) -> CliResult {
+    use eco_chip::core::disaggregation::NodeTuple;
+    use eco_chip::techdb::TechNode;
+    use eco_chip::testcases::{a15, arvr, emr, ga102};
+
     std::fs::create_dir_all(dir)?;
     let cases: Vec<(&str, System)> = vec![
         ("ga102_monolithic", ga102::monolithic_system(db)?),
@@ -193,65 +173,51 @@ fn export_testcases(db: &TechDb, dir: &PathBuf) -> CliResult {
     Ok(())
 }
 
-/// Load a persisted memo into `service` when `--memo-file` names an existing
-/// file. Stale or malformed memos are reported and ignored (the run starts
-/// cold); results are identical either way, the memo only saves work.
-fn load_memo(service: &mut EcoChipService, options: &OutputOptions) {
-    let Some(path) = &options.memo else { return };
-    if !path.exists() {
-        return;
-    }
-    if let Err(error) = service.load_memo(path) {
-        eprintln!(
-            "warning: ignoring memo {}: {error} (starting cold)",
-            path.display()
-        );
-    } else if options.verbose {
-        eprintln!(
-            "memo: loaded {} floorplans, {} manufacturing results from {}",
-            service.context().floorplan_entries(),
-            service.context().manufacturing_entries(),
-            path.display()
-        );
-    }
-}
-
 /// Persist the warmed memo when `--memo-file` was given.
 fn save_memo(service: &EcoChipService, options: &OutputOptions) -> CliResult {
     let Some(path) = &options.memo else {
         return Ok(());
     };
-    service.save_memo(path)?;
-    if options.verbose {
-        eprintln!(
-            "memo: saved {} floorplans, {} manufacturing results to {}",
-            service.context().floorplan_entries(),
-            service.context().manufacturing_entries(),
-            path.display()
-        );
-    }
+    service.save_memo_verbose(path, options.verbose)?;
     Ok(())
 }
 
-/// Print the memo hit/miss counters under `--verbose`.
+/// Print the memo hit/miss/eviction counters under `--verbose`.
 fn print_stats(service: &EcoChipService, options: &OutputOptions) {
     if !options.verbose {
         return;
     }
     let stats = service.stats();
     eprintln!(
-        "memo stats: floorplan {} hits / {} misses, manufacturing {} hits / {} misses",
+        "memo stats: floorplan {} hits / {} misses / {} evictions, \
+         manufacturing {} hits / {} misses / {} evictions",
         stats.floorplan_hits,
         stats.floorplan_misses,
+        stats.floorplan_evictions,
         stats.manufacturing_hits,
-        stats.manufacturing_misses
+        stats.manufacturing_misses,
+        stats.manufacturing_evictions
     );
 }
 
-fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
+/// Build the request-serving [`EcoChipService`] a run uses: estimator over
+/// `db`, engine worker count, memo bound, memo load, autosave.
+fn build_service(db: TechDb, jobs: Option<usize>, options: &OutputOptions) -> EcoChipService {
     let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
-    let mut service = EcoChipService::new(estimator);
-    load_memo(&mut service, options);
+    let engine = SweepEngine::with_optional_jobs(jobs);
+    let mut service = EcoChipService::with_engine(estimator, engine);
+    service.set_memo_capacity(options.memo_cap);
+    if let Some(path) = &options.memo {
+        service.load_memo_lenient(path, options.verbose);
+    }
+    if let (Some(path), Some(every)) = (&options.memo, options.memo_save_every) {
+        service.save_memo_every(path, every);
+    }
+    service
+}
+
+fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
+    let service = build_service(db, None, options);
     let report = service.estimate(system)?;
     println!("{report}");
     if let Some(path) = &options.csv {
@@ -278,61 +244,6 @@ fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
     save_memo(&service, options)?;
     print_stats(&service, options);
     Ok(())
-}
-
-/// The sweep axis selected by `--sweep <name>`.
-fn sweep_axis(name: &str, base: &System) -> CliResult<SweepAxis> {
-    let axis = match name {
-        "nodes" => {
-            // Retarget every chiplet jointly across advanced-to-mature nodes.
-            let nodes = [
-                TechNode::N5,
-                TechNode::N7,
-                TechNode::N8,
-                TechNode::N10,
-                TechNode::N12,
-                TechNode::N14,
-                TechNode::N16,
-            ];
-            let variants = nodes
-                .into_iter()
-                .map(|node| {
-                    let mut system = base.clone();
-                    for chiplet in &mut system.chiplets {
-                        *chiplet = chiplet.retargeted(node);
-                    }
-                    (node.to_string(), system)
-                })
-                .collect();
-            SweepAxis::Systems(variants)
-        }
-        "packaging" => SweepAxis::Packaging(vec![
-            PackagingArchitecture::RdlFanout(RdlFanoutConfig::default()),
-            PackagingArchitecture::SiliconBridge(SiliconBridgeConfig::default()),
-            PackagingArchitecture::PassiveInterposer(InterposerConfig::default()),
-            PackagingArchitecture::ActiveInterposer(InterposerConfig::default()),
-            PackagingArchitecture::ThreeD(ThreeDConfig::default()),
-        ]),
-        "volume" => {
-            SweepAxis::reuse_ratios(base.volumes.system_volume, &[1.0, 2.0, 4.0, 8.0, 16.0])
-        }
-        "lifetime" => SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0]),
-        "energy" => SweepAxis::FabEnergySources(vec![
-            EnergySource::Coal,
-            EnergySource::NaturalGas,
-            EnergySource::WorldGrid,
-            EnergySource::Biomass,
-            EnergySource::Solar,
-            EnergySource::Nuclear,
-            EnergySource::Wind,
-        ]),
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown sweep axis {other:?} (expected {SWEEP_AXES})"
-            )))
-        }
-    };
-    Ok(axis)
 }
 
 const SWEEP_CSV_HEADER: &str =
@@ -390,15 +301,9 @@ fn run_sweep(
     jobs: Option<usize>,
     options: &OutputOptions,
 ) -> CliResult {
-    let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
-    let engine = match jobs {
-        Some(jobs) => SweepEngine::with_jobs(jobs),
-        None => SweepEngine::new(),
-    };
-    let mut service = EcoChipService::with_engine(estimator, engine);
-    load_memo(&mut service, options);
+    let service = build_service(db, jobs, options);
 
-    let axis = sweep_axis(axis_name, system)?;
+    let axis = named_sweep_axis(axis_name, system).map_err(|e| CliError::usage(e.to_string()))?;
     let spec = SweepSpec::new(system.clone()).axis(axis);
     let shard = options.shard.unwrap_or(Shard::FULL);
     let total = spec.try_len()?;
@@ -542,8 +447,261 @@ struct OutputOptions {
     json: Option<PathBuf>,
     shard: Option<Shard>,
     memo: Option<PathBuf>,
+    memo_cap: Option<usize>,
+    memo_save_every: Option<usize>,
     stream: Option<StreamFormat>,
     verbose: bool,
+}
+
+/// Fetch the value following flag `i`, or fail with a usage hint.
+fn value_of(args: &[String], i: usize, flag: &str) -> CliResult<String> {
+    args.get(i + 1)
+        .cloned()
+        .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+}
+
+/// Parse a positive integer flag value.
+fn positive(value: &str, flag: &str) -> CliResult<usize> {
+    value
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n > 0)
+        .ok_or_else(|| CliError::usage(format!("{flag} needs a positive integer, got {value:?}")))
+}
+
+/// Parse a non-negative integer flag value (0 is meaningful, e.g. a
+/// `--memo-max-entries` bound that caches nothing).
+fn non_negative(value: &str, flag: &str) -> CliResult<usize> {
+    value.parse().map_err(|_| {
+        CliError::usage(format!(
+            "{flag} needs a non-negative integer, got {value:?}"
+        ))
+    })
+}
+
+/// `ecochip serve`: start the HTTP/JSON estimation service and block until
+/// it is shut down (`POST /v1/shutdown`).
+fn run_serve(args: &[String]) -> CliResult {
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                config.addr = value_of(args, i, "--addr")?;
+                i += 2;
+            }
+            "--jobs" => {
+                config.jobs = Some(positive(&value_of(args, i, "--jobs")?, "--jobs")?);
+                i += 2;
+            }
+            "--threads" => {
+                config.threads = positive(&value_of(args, i, "--threads")?, "--threads")?;
+                i += 2;
+            }
+            "--techdb" => {
+                let path = PathBuf::from(value_of(args, i, "--techdb")?);
+                config.techdb = Some(io::load_techdb(&path)?);
+                i += 2;
+            }
+            "--memo-file" => {
+                config.memo_file = Some(PathBuf::from(value_of(args, i, "--memo-file")?));
+                i += 2;
+            }
+            "--memo-max-entries" => {
+                config.memo_max_entries = Some(non_negative(
+                    &value_of(args, i, "--memo-max-entries")?,
+                    "--memo-max-entries",
+                )?);
+                i += 2;
+            }
+            "--memo-save-every" => {
+                config.memo_save_every = Some(positive(
+                    &value_of(args, i, "--memo-save-every")?,
+                    "--memo-save-every",
+                )?);
+                i += 2;
+            }
+            "--verbose" => {
+                config.verbose = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown serve flag {other:?}; run `ecochip --help` for usage"
+                )));
+            }
+        }
+    }
+    if config.memo_save_every.is_some() && config.memo_file.is_none() {
+        return Err(CliError::usage("--memo-save-every requires --memo-file"));
+    }
+    let server = Server::bind(&config).map_err(serve_error)?;
+    eprintln!(
+        "ecochip-serve listening on http://{} ({} sweep jobs, {} handler threads)",
+        server.local_addr(),
+        config
+            .jobs
+            .map_or_else(|| "default".to_owned(), |jobs| jobs.to_string()),
+        config.threads
+    );
+    server.run().map_err(serve_error)
+}
+
+/// `ecochip orchestrate`: fan a sweep out across local workers or remote
+/// servers, merge the ordered shard streams to stdout as JSON lines, and
+/// optionally verify the merge against the unsharded fingerprint.
+fn run_orchestrate(args: &[String]) -> CliResult {
+    let mut testcase: Option<String> = None;
+    let mut design: Option<PathBuf> = None;
+    let mut techdb_path: Option<PathBuf> = None;
+    let mut sweep: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut remote: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut check = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--testcase" => {
+                testcase = Some(value_of(args, i, "--testcase")?);
+                i += 2;
+            }
+            "--design" => {
+                design = Some(PathBuf::from(value_of(args, i, "--design")?));
+                i += 2;
+            }
+            "--techdb" => {
+                techdb_path = Some(PathBuf::from(value_of(args, i, "--techdb")?));
+                i += 2;
+            }
+            "--sweep" => {
+                sweep = Some(value_of(args, i, "--sweep")?);
+                i += 2;
+            }
+            "--workers" => {
+                workers = Some(positive(&value_of(args, i, "--workers")?, "--workers")?);
+                i += 2;
+            }
+            "--remote" => {
+                remote = Some(value_of(args, i, "--remote")?);
+                i += 2;
+            }
+            "--jobs" => {
+                jobs = Some(positive(&value_of(args, i, "--jobs")?, "--jobs")?);
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown orchestrate flag {other:?}; run `ecochip --help` for usage"
+                )));
+            }
+        }
+    }
+
+    let Some(axis) = sweep else {
+        return Err(CliError::usage(format!(
+            "orchestrate needs --sweep <{NAMED_SWEEP_AXES}>"
+        )));
+    };
+    let pool = match (workers, remote) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage(
+                "pass either --workers (local threads) or --remote (server URLs), not both",
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::usage(
+                "orchestrate needs --workers <N> or --remote <url,url,...>",
+            ))
+        }
+        (Some(workers), None) => WorkerPool::Local { workers, jobs },
+        (None, Some(urls)) => {
+            let urls: Vec<String> = urls
+                .split(',')
+                .map(str::trim)
+                .filter(|url| !url.is_empty())
+                .map(str::to_owned)
+                .collect();
+            if urls.is_empty() {
+                return Err(CliError::usage("--remote needs at least one URL"));
+            }
+            WorkerPool::Remote(urls)
+        }
+    };
+
+    let db = match &techdb_path {
+        Some(path) => io::load_techdb(path)?,
+        None => TechDb::default(),
+    };
+    let request = match (testcase, design) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage(
+                "pass either --testcase or --design, not both",
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::usage(
+                "orchestrate needs a design: --testcase <name> or --design <system.json>",
+            ))
+        }
+        (Some(name), None) => {
+            // Validate the name locally for a crisp exit-2 hint.
+            builtin_system(&db, &name)?;
+            SweepRequest::named(name, axis)
+        }
+        (None, Some(path)) => SweepRequest {
+            testcase: None,
+            system: Some(io::load_system(&path)?),
+            axis: Some(axis),
+            axes: None,
+            shard: None,
+        },
+    };
+
+    let shards = pool.shards();
+    let mode = match &pool {
+        WorkerPool::Local { .. } => format!("{shards} local workers"),
+        WorkerPool::Remote(_) => format!("{shards} remote servers"),
+    };
+    eprintln!("orchestrating sweep across {mode}");
+    let outcome = orchestrator::orchestrate(&db, &request, &pool, |line| {
+        println!("{line}");
+        Ok(())
+    })
+    .map_err(serve_error)?;
+    eprintln!(
+        "merged {} points, fingerprint {:#018x}",
+        outcome.points, outcome.fingerprint
+    );
+    if check {
+        let reference =
+            orchestrator::unsharded_outcome(&db, &request, jobs).map_err(serve_error)?;
+        if outcome != reference {
+            return Err(CliError::Run(
+                format!(
+                    "orchestrated stream diverged from the unsharded run: merged {} points \
+                     ({:#018x}), unsharded {} points ({:#018x})",
+                    outcome.points, outcome.fingerprint, reference.points, reference.fingerprint
+                )
+                .into(),
+            ));
+        }
+        eprintln!("check: merged stream matches the unsharded fingerprint");
+    }
+    Ok(())
 }
 
 fn real_main() -> CliResult {
@@ -551,6 +709,20 @@ fn real_main() -> CliResult {
     if args.is_empty() {
         print_usage();
         return Err(CliError::usage("no arguments given"));
+    }
+
+    // Subcommand dispatch: a leading bare word selects a subcommand; the
+    // flag-only invocation remains the classic estimate/sweep front end.
+    match args[0].as_str() {
+        "serve" => return run_serve(&args[1..]),
+        "orchestrate" => return run_orchestrate(&args[1..]),
+        other if !other.starts_with('-') => {
+            return Err(CliError::usage(format!(
+                "unknown subcommand {other:?} (expected serve or orchestrate); \
+                 run `ecochip --help` for usage"
+            )));
+        }
+        _ => {}
     }
 
     let mut testcase: Option<String> = None;
@@ -563,15 +735,11 @@ fn real_main() -> CliResult {
     let mut jobs: Option<usize> = None;
     let mut shard: Option<Shard> = None;
     let mut memo: Option<PathBuf> = None;
+    let mut memo_cap: Option<usize> = None;
+    let mut memo_save_every: Option<usize> = None;
     let mut stream: Option<StreamFormat> = None;
     let mut verbose = false;
     let mut list_testcases = false;
-
-    let value_of = |args: &[String], i: usize, flag: &str| -> CliResult<String> {
-        args.get(i + 1)
-            .cloned()
-            .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
-    };
 
     let mut i = 0;
     while i < args.len() {
@@ -605,10 +773,7 @@ fn real_main() -> CliResult {
                 i += 2;
             }
             "--jobs" => {
-                let value = value_of(&args, i, "--jobs")?;
-                jobs = Some(value.parse().ok().filter(|&jobs| jobs > 0).ok_or_else(|| {
-                    CliError::usage(format!("--jobs needs a positive integer, got {value:?}"))
-                })?);
+                jobs = Some(positive(&value_of(&args, i, "--jobs")?, "--jobs")?);
                 i += 2;
             }
             "--shard" => {
@@ -622,6 +787,20 @@ fn real_main() -> CliResult {
             }
             "--memo-file" => {
                 memo = Some(PathBuf::from(value_of(&args, i, "--memo-file")?));
+                i += 2;
+            }
+            "--memo-max-entries" => {
+                memo_cap = Some(non_negative(
+                    &value_of(&args, i, "--memo-max-entries")?,
+                    "--memo-max-entries",
+                )?);
+                i += 2;
+            }
+            "--memo-save-every" => {
+                memo_save_every = Some(positive(
+                    &value_of(&args, i, "--memo-save-every")?,
+                    "--memo-save-every",
+                )?);
                 i += 2;
             }
             "--stream" => {
@@ -649,7 +828,7 @@ fn real_main() -> CliResult {
     }
 
     if list_testcases {
-        for name in testcase_names() {
+        for name in catalog::names() {
             println!("{name}");
         }
         return Ok(());
@@ -686,12 +865,17 @@ fn real_main() -> CliResult {
             return Err(CliError::usage("--stream requires --sweep"));
         }
     }
+    if memo_save_every.is_some() && memo.is_none() {
+        return Err(CliError::usage("--memo-save-every requires --memo-file"));
+    }
 
     let options = OutputOptions {
         csv,
         json,
         shard,
         memo,
+        memo_cap,
+        memo_save_every,
         stream,
         verbose,
     };

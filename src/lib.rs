@@ -19,6 +19,7 @@
 //! | [`cost`] | `ecochip-cost` | Chiplet dollar-cost model |
 //! | [`core`] | `ecochip-core` | The ECO-CHIP estimator, DSE sweeps, disaggregation |
 //! | [`testcases`] | `ecochip-testcases` | GA102, A15, EMR and AR/VR test cases, JSON I/O |
+//! | [`serve`] | `ecochip-serve` | HTTP/JSON estimation service, shard orchestrator |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -56,6 +57,7 @@ pub use ecochip_floorplan as floorplan;
 pub use ecochip_noc as noc;
 pub use ecochip_packaging as packaging;
 pub use ecochip_power as power;
+pub use ecochip_serve as serve;
 pub use ecochip_techdb as techdb;
 pub use ecochip_testcases as testcases;
 pub use ecochip_yield as yield_model;

@@ -1,0 +1,381 @@
+//! End-to-end tests of the `ecochip-serve` HTTP service and orchestrator:
+//! boot real servers on ephemeral ports, drive them over real sockets, and
+//! hold the wire output to the same bit-for-bit standard as the in-process
+//! engine.
+
+use eco_chip::core::dse::named_sweep_axis;
+use eco_chip::core::sweep::{SweepAxis, SweepEngine, SweepPoint, SweepSpec};
+use eco_chip::core::EcoChip;
+use eco_chip::serve::orchestrator::{self, WorkerPool};
+use eco_chip::serve::{client, ServeConfig, Server, ServerHandle, SweepRequest};
+use eco_chip::techdb::TechDb;
+use eco_chip::testcases::catalog;
+
+/// Boot a server on an ephemeral port, returning its handle and `host:port`.
+fn boot(config: ServeConfig) -> (ServerHandle, String) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind ephemeral server");
+    let addr = server.local_addr().to_string();
+    (server.spawn(), addr)
+}
+
+fn default_config() -> ServeConfig {
+    ServeConfig {
+        jobs: Some(2),
+        threads: 4,
+        ..ServeConfig::default()
+    }
+}
+
+/// The in-process reference: the NDJSON lines an unsharded engine run
+/// produces for a named testcase + axis.
+fn reference_lines(testcase: &str, axis: &str) -> Vec<String> {
+    let db = TechDb::default();
+    let base = catalog::build(&db, testcase).unwrap();
+    let spec = SweepSpec::new(base.clone()).axis(named_sweep_axis(axis, &base).unwrap());
+    let estimator = EcoChip::new(
+        eco_chip::core::EstimatorConfig::builder()
+            .techdb(db)
+            .build(),
+    );
+    SweepEngine::with_jobs(2)
+        .run(&estimator, &spec)
+        .unwrap()
+        .iter()
+        .map(|point| serde_json::to_string(point).unwrap())
+        .collect()
+}
+
+#[test]
+fn health_stats_and_testcases_respond() {
+    let (handle, addr) = boot(default_config());
+
+    let health = client::get(&addr, "/v1/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.header("content-type"), Some("application/json"));
+    let text = health.text().unwrap();
+    assert!(text.contains("\"status\":\"ok\""), "{text}");
+    assert!(text.contains("\"jobs\":2"), "{text}");
+
+    let testcases = client::get(&addr, "/v1/testcases").unwrap();
+    assert_eq!(testcases.status, 200);
+    for name in catalog::names() {
+        assert!(
+            testcases.text().unwrap().contains(&format!("\"{name}\"")),
+            "missing {name}"
+        );
+    }
+
+    let stats = client::get(&addr, "/v1/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let text = stats.text().unwrap();
+    assert!(text.contains("\"requests\":"), "{text}");
+    assert!(text.contains("\"floorplan_hits\":"), "{text}");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn estimate_matches_the_in_process_estimator_bit_for_bit() {
+    let (handle, addr) = boot(default_config());
+
+    let response = client::post_json(&addr, "/v1/estimate", r#"{"testcase":"ga102"}"#).unwrap();
+    assert_eq!(response.status, 200, "{:?}", response.text());
+    let body = response.text().unwrap();
+
+    // The served report deserializes into the exact report a local
+    // estimator computes (f64 JSON round-trips are bit-exact).
+    let served: eco_chip::serve::EstimateResponse = serde_json::from_str(body).unwrap();
+    let db = TechDb::default();
+    let system = catalog::build(&db, "ga102").unwrap();
+    let local = EcoChip::new(
+        eco_chip::core::EstimatorConfig::builder()
+            .techdb(db)
+            .build(),
+    )
+    .estimate(&system)
+    .unwrap();
+    assert_eq!(served.report, local);
+    assert_eq!(
+        served.report.total().kg().to_bits(),
+        local.total().kg().to_bits()
+    );
+    assert_eq!(served.system, system.name);
+
+    // An inline system body estimates the same way.
+    let inline = format!(
+        r#"{{"system":{}}}"#,
+        serde_json::to_string(&system).unwrap()
+    );
+    let response = client::post_json(&addr, "/v1/estimate", &inline).unwrap();
+    assert_eq!(response.status, 200, "{:?}", response.text());
+    let served: eco_chip::serve::EstimateResponse =
+        serde_json::from_str(response.text().unwrap()).unwrap();
+    assert_eq!(served.report, local);
+
+    // A second identical request is served from the warm memo.
+    let stats = client::get(&addr, "/v1/stats").unwrap();
+    let text = stats.text().unwrap();
+    let served_stats: eco_chip::serve::StatsResponse = serde_json::from_str(text).unwrap();
+    assert!(served_stats.floorplan_hits >= 1, "{text}");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn streamed_sweep_is_bit_for_bit_identical_to_the_engine() {
+    let (handle, addr) = boot(default_config());
+    let expected = reference_lines("ga102-3chiplet", "lifetime");
+
+    let mut lines = Vec::new();
+    let response = client::post_ndjson(
+        &addr,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"lifetime"}"#,
+        |line| {
+            lines.push(line.to_owned());
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("transfer-encoding").map(str::to_owned),
+        Some("chunked".into())
+    );
+    assert_eq!(lines, expected, "HTTP NDJSON diverged from the engine");
+
+    // Each line parses back into a SweepPoint.
+    let point: SweepPoint = serde_json::from_str(&lines[0]).unwrap();
+    assert_eq!(point.label, "1y");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn structured_axes_and_shards_work_over_the_wire() {
+    let (handle, addr) = boot(default_config());
+
+    let db = TechDb::default();
+    let base = catalog::build(&db, "ga102").unwrap();
+    let request = SweepRequest {
+        testcase: None,
+        system: Some(base.clone()),
+        axis: None,
+        axes: Some(vec![SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0])]),
+        shard: Some("1/2".into()),
+    };
+    let body = serde_json::to_string(&request).unwrap();
+    let mut lines = Vec::new();
+    let response = client::post_ndjson(&addr, "/v1/sweep", &body, |line| {
+        lines.push(line.to_owned());
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(response.status, 200);
+
+    // Shard 1/2 of 5 points owns the last 2 (balanced split 3 + 2).
+    let spec = SweepSpec::new(base).axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0]));
+    let estimator = EcoChip::new(
+        eco_chip::core::EstimatorConfig::builder()
+            .techdb(db)
+            .build(),
+    );
+    let all: Vec<String> = SweepEngine::with_jobs(2)
+        .run(&estimator, &spec)
+        .unwrap()
+        .iter()
+        .map(|point| serde_json::to_string(point).unwrap())
+        .collect();
+    assert_eq!(lines, all[3..], "shard 1/2 should stream the last 2 points");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_http_errors_not_hangs() {
+    let (handle, addr) = boot(default_config());
+
+    // Unknown path → 404 with a JSON error body.
+    let response = client::get(&addr, "/v2/nothing").unwrap();
+    assert_eq!(response.status, 404);
+    assert!(response.text().unwrap().contains("\"error\""));
+
+    // Wrong method → 405.
+    let response = client::post_json(&addr, "/v1/healthz", "{}").unwrap();
+    assert_eq!(response.status, 405);
+
+    // Invalid JSON → 400.
+    let response = client::post_json(&addr, "/v1/estimate", "{not json").unwrap();
+    assert_eq!(response.status, 400);
+    assert!(response.text().unwrap().contains("\"error\""));
+
+    // Unknown testcase → 400.
+    let response = client::post_json(&addr, "/v1/estimate", r#"{"testcase":"warp-core"}"#).unwrap();
+    assert_eq!(response.status, 400);
+    assert!(response.text().unwrap().contains("warp-core"));
+
+    // Neither testcase nor system → 400.
+    let response = client::post_json(&addr, "/v1/estimate", "{}").unwrap();
+    assert_eq!(response.status, 400);
+
+    // Unknown axis and malformed shard → 400 before any streaming starts.
+    for body in [
+        r#"{"testcase":"ga102","axis":"temperature"}"#,
+        r#"{"testcase":"ga102","axis":"lifetime","shard":"9/2"}"#,
+    ] {
+        let response = client::post_json(&addr, "/v1/sweep", body).unwrap();
+        assert_eq!(response.status, 400, "{body}");
+    }
+
+    // A raw protocol violation gets a 400 too.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+
+    // The server survives all of the above and still answers.
+    let health = client::get(&addr, "/v1/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_clients_all_get_exact_results() {
+    let (handle, addr) = boot(default_config());
+    let expected = reference_lines("ga102-3chiplet", "lifetime");
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let addr = &addr;
+            let expected = &expected;
+            scope.spawn(move || {
+                for _ in 0..2 {
+                    let mut lines = Vec::new();
+                    let response = client::post_ndjson(
+                        addr,
+                        "/v1/sweep",
+                        r#"{"testcase":"ga102-3chiplet","axis":"lifetime"}"#,
+                        |line| {
+                            lines.push(line.to_owned());
+                            Ok(())
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(response.status, 200);
+                    assert_eq!(&lines, expected);
+
+                    let response =
+                        client::post_json(addr, "/v1/estimate", r#"{"testcase":"a15"}"#).unwrap();
+                    assert_eq!(response.status, 200);
+                }
+            });
+        }
+    });
+
+    // Eight sweeps of 7 points each were streamed.
+    let stats = client::get(&addr, "/v1/stats").unwrap();
+    let stats: eco_chip::serve::StatsResponse =
+        serde_json::from_str(stats.text().unwrap()).unwrap();
+    assert_eq!(stats.points_streamed, 8 * 7);
+    assert!(stats.requests >= 17);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn http_shutdown_is_graceful_and_saves_the_memo() {
+    let memo = std::env::temp_dir().join(format!("ecochip-serve-memo-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&memo);
+    let (handle, addr) = boot(ServeConfig {
+        memo_file: Some(memo.clone()),
+        memo_save_every: Some(1),
+        ..default_config()
+    });
+
+    let response = client::post_json(&addr, "/v1/estimate", r#"{"testcase":"ga102"}"#).unwrap();
+    assert_eq!(response.status, 200);
+    // The save-every threshold already persisted the memo mid-flight.
+    assert!(memo.exists(), "autosave never wrote {}", memo.display());
+
+    let response = client::post_json(&addr, "/v1/shutdown", "").unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response.text().unwrap().contains("shutting down"));
+    // The server thread exits on its own after the HTTP shutdown.
+    handle.shutdown().unwrap();
+    assert!(memo.exists());
+
+    // A new server starts warm from the persisted memo.
+    let (handle, addr) = boot(ServeConfig {
+        memo_file: Some(memo.clone()),
+        ..default_config()
+    });
+    let response = client::post_json(&addr, "/v1/estimate", r#"{"testcase":"ga102"}"#).unwrap();
+    assert_eq!(response.status, 200);
+    let stats = client::get(&addr, "/v1/stats").unwrap();
+    let stats: eco_chip::serve::StatsResponse =
+        serde_json::from_str(stats.text().unwrap()).unwrap();
+    assert_eq!(stats.floorplan_misses, 0, "restored memo should hit");
+    handle.shutdown().unwrap();
+    std::fs::remove_file(&memo).unwrap();
+}
+
+#[test]
+fn remote_orchestration_merges_two_servers_to_the_unsharded_stream() {
+    let (first, first_addr) = boot(default_config());
+    let (second, second_addr) = boot(default_config());
+
+    let db = TechDb::default();
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+    let reference = orchestrator::unsharded_outcome(&db, &request, Some(2)).unwrap();
+
+    let pool = WorkerPool::Remote(vec![format!("http://{first_addr}"), second_addr.clone()]);
+    let mut lines = Vec::new();
+    let outcome = orchestrator::orchestrate(&db, &request, &pool, |line| {
+        lines.push(line.to_owned());
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(outcome, reference, "remote merge diverged");
+    assert_eq!(lines, reference_lines("ga102-3chiplet", "lifetime"));
+
+    // A local orchestration of the same request produces the same stream.
+    let mut local_lines = Vec::new();
+    let local = orchestrator::orchestrate(
+        &db,
+        &request,
+        &WorkerPool::Local {
+            workers: 2,
+            jobs: Some(2),
+        },
+        |line| {
+            local_lines.push(line.to_owned());
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(local, outcome);
+    assert_eq!(local_lines, lines);
+
+    // A failing remote pool surfaces a worker error: point one URL at a
+    // dead port.
+    let dead = {
+        // Bind-then-drop reserves an address nothing listens on.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let broken = WorkerPool::Remote(vec![first_addr.clone(), dead]);
+    let result = orchestrator::orchestrate(&db, &request, &broken, |_| Ok(()));
+    assert!(result.is_err(), "dead worker must fail the orchestration");
+
+    first.shutdown().unwrap();
+    second.shutdown().unwrap();
+}
