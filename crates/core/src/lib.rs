@@ -91,5 +91,5 @@ pub use error::EcoChipError;
 pub use estimator::EcoChip;
 pub use manufacturing::{ChipletManufacturing, ManufacturingModel};
 pub use report::{CarbonReport, ChipletReport, HiBreakdown};
-pub use service::EcoChipService;
+pub use service::{EcoChipService, MemoImport, ServiceStats};
 pub use system::{Chiplet, ChipletSize, System, SystemBuilder};

@@ -10,7 +10,7 @@
 //! while staying bit-for-bit identical to cold estimation.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crate::error::EcoChipError;
 use crate::estimator::EcoChip;
@@ -58,6 +58,31 @@ pub struct EcoChipService {
     /// broken would collapse throughput, so after a failure the next
     /// attempt waits for another `every_entries` of new work.
     autosave_retry_at: AtomicUsize,
+    /// Estimates served since creation (single estimates only, not sweep
+    /// points).
+    estimates: AtomicU64,
+    /// Sweep points emitted since creation (all `run*` entry points).
+    sweep_points: AtomicU64,
+}
+
+/// Lifetime request counters of an [`EcoChipService`], for service
+/// dashboards and the HTTP server's `/metrics` endpoint. Monotonic — they
+/// survive memo loads and capacity changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Single-system estimates served ([`EcoChipService::estimate`]).
+    pub estimates: u64,
+    /// Sweep points emitted across every `run*` entry point.
+    pub sweep_points: u64,
+}
+
+/// What a memo import absorbed (see [`EcoChipService::import_memo_json`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoImport {
+    /// Floorplans absorbed (entries already present are skipped).
+    pub floorplans: usize,
+    /// Manufacturing results absorbed.
+    pub manufacturing: usize,
 }
 
 /// Incremental memo persistence configured by
@@ -84,6 +109,8 @@ impl EcoChipService {
             autosave: None,
             autosave_warned: AtomicBool::new(false),
             autosave_retry_at: AtomicUsize::new(0),
+            estimates: AtomicU64::new(0),
+            sweep_points: AtomicU64::new(0),
         }
     }
 
@@ -105,6 +132,14 @@ impl EcoChipService {
     /// Hit/miss/eviction counters of the warm memo.
     pub fn stats(&self) -> SweepStats {
         self.context.stats()
+    }
+
+    /// Lifetime request counters: estimates served and sweep points emitted.
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            estimates: self.estimates.load(Ordering::Relaxed),
+            sweep_points: self.sweep_points.load(Ordering::Relaxed),
+        }
     }
 
     /// Bound the warm memo to `capacity` entries per cache with
@@ -201,6 +236,7 @@ impl EcoChipService {
     /// Propagates [`EcoChip::estimate`] errors.
     pub fn estimate(&self, system: &System) -> Result<CarbonReport, EcoChipError> {
         let report = self.estimator.estimate_with(system, &self.context)?;
+        self.estimates.fetch_add(1, Ordering::Relaxed);
         self.maybe_autosave();
         Ok(report)
     }
@@ -245,24 +281,57 @@ impl EcoChipService {
         shard: Shard,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
-        if self.autosave.is_none() {
-            return self.engine.run_streaming_with(
-                &self.estimator,
-                spec,
-                shard,
-                &self.context,
-                sink,
-            );
-        }
-        // Check the autosave threshold after every emitted point, so a
-        // million-point sweep persists its memo as it goes.
-        let mut autosaving = |point: SweepPoint| {
+        let mut instrumented = self.instrument(sink);
+        self.engine.run_streaming_with(
+            &self.estimator,
+            spec,
+            shard,
+            &self.context,
+            &mut instrumented,
+        )
+    }
+
+    /// Stream an explicit, contiguous index range of a sweep's case space
+    /// through `sink` against the warm memo (see
+    /// [`SweepEngine::run_range_with`]). This is the resume entry point for
+    /// orchestrator failover: re-dispatching the unemitted suffix of a dead
+    /// worker's shard reproduces exactly the missing points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (invalid ranges, case generation,
+    /// estimation) and the first error returned by `sink`.
+    pub fn run_streaming_range<S: SweepSink + ?Sized>(
+        &self,
+        spec: &SweepSpec,
+        range: std::ops::Range<usize>,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        let mut instrumented = self.instrument(sink);
+        self.engine.run_range_with(
+            &self.estimator,
+            spec,
+            range,
+            &self.context,
+            &mut instrumented,
+        )
+    }
+
+    /// Wrap a sink so every emitted point bumps the service counters and
+    /// checks the autosave threshold — a million-point sweep persists its
+    /// memo as it goes, not only at exit.
+    fn instrument<'a, S: SweepSink + ?Sized>(
+        &'a self,
+        sink: &'a mut S,
+    ) -> impl FnMut(SweepPoint) -> Result<(), EcoChipError> + 'a {
+        move |point: SweepPoint| {
             sink.emit(point)?;
-            self.maybe_autosave();
+            self.sweep_points.fetch_add(1, Ordering::Relaxed);
+            if self.autosave.is_some() {
+                self.maybe_autosave();
+            }
             Ok(())
-        };
-        self.engine
-            .run_streaming_with(&self.estimator, spec, shard, &self.context, &mut autosaving)
+        }
     }
 
     /// Persist the warm memo to `path`, stamped with this service's
@@ -295,6 +364,37 @@ impl EcoChipService {
         restored.set_capacity(capacity);
         self.context = restored;
         Ok(())
+    }
+
+    /// Serialize the warm memo as versioned JSON stamped with this
+    /// service's fingerprint — the same format [`EcoChipService::save_memo`]
+    /// writes to disk, so the export can be saved, posted to another
+    /// server, or re-imported.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SweepContext::to_json`] errors.
+    pub fn export_memo_json(&self) -> Result<String, EcoChipError> {
+        self.context.to_json(self.memo_fingerprint())
+    }
+
+    /// Absorb a memo exported by [`EcoChipService::export_memo_json`] (or
+    /// saved by [`EcoChipService::save_memo`]) into the warm memo, keeping
+    /// entries this service already computed. The import is validated by
+    /// the existing stale-memo machinery: a format-version or fingerprint
+    /// mismatch is rejected with a typed error and absorbs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::MemoFormat`] for malformed or incompatible
+    /// JSON and [`EcoChipError::StaleMemo`] for fingerprint mismatches.
+    pub fn import_memo_json(&self, json: &str) -> Result<MemoImport, EcoChipError> {
+        let imported = SweepContext::from_json(json, self.memo_fingerprint())?;
+        let (floorplans, manufacturing) = self.context.absorb(imported);
+        Ok(MemoImport {
+            floorplans,
+            manufacturing,
+        })
     }
 
     /// The lenient memo load every front end (CLI, HTTP server) uses: a
@@ -457,6 +557,69 @@ mod tests {
         // Sweeps keep streaming past the failed save too.
         let spec = SweepSpec::new(base()).axis(SweepAxis::lifetimes_years(&[1.0, 2.0]));
         assert_eq!(service.run(&spec).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn memo_export_import_shares_warm_state_between_services() {
+        let warm = EcoChipService::new(EcoChip::default());
+        warm.estimate(&base()).unwrap();
+        let export = warm.export_memo_json().unwrap();
+
+        // A cold service absorbs the export and serves from it without a
+        // single stage miss.
+        let cold = EcoChipService::new(EcoChip::default());
+        let imported = cold.import_memo_json(&export).unwrap();
+        assert_eq!(imported.floorplans, 1);
+        assert!(imported.manufacturing >= 1);
+        let report = cold.estimate(&base()).unwrap();
+        assert_eq!(cold.stats().floorplan_misses, 0);
+        assert_eq!(cold.stats().manufacturing_misses, 0);
+        let direct = warm.estimate(&base()).unwrap();
+        assert_eq!(report.total().kg().to_bits(), direct.total().kg().to_bits());
+
+        // Re-importing absorbs nothing new; entries already present win.
+        let again = cold.import_memo_json(&export).unwrap();
+        assert_eq!(again, MemoImport::default());
+
+        // A differently-configured service rejects the export outright.
+        let other = EcoChipService::new(EcoChip::new(
+            crate::config::EstimatorConfig::builder()
+                .include_wafer_wastage(false)
+                .build(),
+        ));
+        assert!(matches!(
+            other.import_memo_json(&export),
+            Err(EcoChipError::StaleMemo(_))
+        ));
+        assert_eq!(other.context().floorplan_entries(), 0);
+        assert!(matches!(
+            other.import_memo_json("not json"),
+            Err(EcoChipError::MemoFormat(_))
+        ));
+    }
+
+    #[test]
+    fn service_counters_track_estimates_and_sweep_points() {
+        let service = EcoChipService::new(EcoChip::default());
+        assert_eq!(service.service_stats(), ServiceStats::default());
+        service.estimate(&base()).unwrap();
+        service.estimate(&base()).unwrap();
+        let spec = SweepSpec::new(base()).axis(SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0]));
+        service.run(&spec).unwrap();
+        let mut tail = Vec::new();
+        service
+            .run_streaming_range(&spec, 1..3, &mut |point| {
+                tail.push(point);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(tail.len(), 2);
+        // The range reproduces the exact suffix of the full run.
+        let full = service.run(&spec).unwrap();
+        assert_eq!(tail, full[1..3]);
+        let stats = service.service_stats();
+        assert_eq!(stats.estimates, 2);
+        assert_eq!(stats.sweep_points, 3 + 2 + 3);
     }
 
     #[test]

@@ -262,6 +262,63 @@ impl SweepContext {
         self.dirty.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Merge another context's entries into this one, keeping existing
+    /// entries (and their recency stamps) untouched. Returns how many
+    /// `(floorplan, manufacturing)` imported entries are *retained* after
+    /// the merge — on a capacity-bounded cache an import larger than the
+    /// bound churns through eviction, so the count reflects what the cache
+    /// actually holds, not how many inserts were attempted.
+    ///
+    /// This is the cross-server memo-sharing primitive: a warm peer's
+    /// exported memo is absorbed into a cold worker without discarding
+    /// whatever the worker already computed. Inserts respect the capacity
+    /// bound (LRU eviction) and count as dirty, so autosave persists them.
+    /// Absorbing entries never changes results — both sides computed them
+    /// under the same model fingerprint, so the values are identical.
+    pub fn absorb(&self, other: SweepContext) -> (usize, usize) {
+        if !self.enabled {
+            return (0, 0);
+        }
+        /// Merge `imported` into `map` under the capacity bound, returning
+        /// how many imported keys survived the merge (later inserts may
+        /// evict earlier ones on a bounded cache).
+        fn merge<K: Eq + Hash + Clone, V>(
+            context: &SweepContext,
+            map: &mut HashMap<K, Cached<V>>,
+            imported: HashMap<K, Cached<V>>,
+            evictions: &AtomicUsize,
+        ) -> usize {
+            let mut inserted = Vec::new();
+            for (key, cached) in imported {
+                if map.contains_key(&key) {
+                    continue;
+                }
+                context.insert_bounded(map, key.clone(), cached.value, evictions);
+                inserted.push(key);
+            }
+            inserted.iter().filter(|key| map.contains_key(*key)).count()
+        }
+        let absorbed_floorplans = merge(
+            self,
+            &mut self.floorplans.lock().expect("floorplan cache"),
+            other
+                .floorplans
+                .into_inner()
+                .expect("absorbed floorplan cache"),
+            &self.floorplan_evictions,
+        );
+        let absorbed_manufacturing = merge(
+            self,
+            &mut self.manufacturing.lock().expect("manufacturing cache"),
+            other
+                .manufacturing
+                .into_inner()
+                .expect("absorbed manufacturing cache"),
+            &self.manufacturing_evictions,
+        );
+        (absorbed_floorplans, absorbed_manufacturing)
+    }
+
     /// Number of floorplans currently memoized.
     pub fn floorplan_entries(&self) -> usize {
         self.floorplans.lock().expect("floorplan cache").len()
@@ -837,6 +894,50 @@ mod tests {
         // Lifting the bound keeps everything.
         ctx.set_capacity(None);
         assert_eq!(ctx.capacity(), None);
+    }
+
+    #[test]
+    fn absorb_merges_only_missing_entries() {
+        let db = TechDb::default();
+        let model = ManufacturingModel::new(&db, Wafer::standard_450mm(), EnergySource::Coal);
+        let warm = filled_context();
+        let warm_entries = warm.manufacturing_entries();
+
+        // A cold context absorbs everything, and the absorbed entries hit.
+        let cold = SweepContext::new();
+        let (floorplans, manufacturing) =
+            cold.absorb(SweepContext::from_json(&warm.to_json(1).unwrap(), 1).unwrap());
+        assert_eq!(floorplans, 1);
+        assert_eq!(manufacturing, warm_entries);
+        cold.manufacturing(&model, Area::from_mm2(123.0), TechNode::N7)
+            .unwrap();
+        assert_eq!(cold.stats().manufacturing_hits, 1);
+        assert_eq!(cold.stats().manufacturing_misses, 0);
+        // Absorbed entries count as dirty so autosave persists them.
+        assert_eq!(cold.dirty_entries(), 1 + warm_entries);
+
+        // A context that already holds an entry keeps it and absorbs only
+        // the rest.
+        let partial = SweepContext::new();
+        partial
+            .manufacturing(&model, Area::from_mm2(123.0), TechNode::N7)
+            .unwrap();
+        let (_, absorbed) = partial.absorb(filled_context());
+        assert_eq!(absorbed, warm_entries - 1);
+        assert_eq!(partial.manufacturing_entries(), warm_entries);
+
+        // Absorbing into a bounded cache respects the bound, and the count
+        // reports only the entries *retained* (an import larger than the
+        // bound churns through eviction; claiming more would overstate
+        // what the cache holds).
+        let bounded = SweepContext::with_capacity(1);
+        let (_, absorbed) = bounded.absorb(filled_context());
+        assert_eq!(absorbed, 1, "two imports into a 1-bounded cache retain 1");
+        assert_eq!(bounded.manufacturing_entries(), 1);
+        let none = SweepContext::with_capacity(0);
+        assert_eq!(none.absorb(filled_context()), (0, 0));
+        let disabled = SweepContext::disabled();
+        assert_eq!(disabled.absorb(filled_context()), (0, 0));
     }
 
     #[test]

@@ -264,6 +264,35 @@ impl SweepEngine {
         self.stream(estimator, spec, shard, context, sink)
     }
 
+    /// Stream an explicit, contiguous index range `[range.start,
+    /// range.end)` of `spec`'s case space into `sink`, in case order.
+    /// Returns the number of points emitted.
+    ///
+    /// This is the resume primitive behind orchestrator failover: a shard
+    /// is a contiguous slice of the index space, so when a worker dies
+    /// after emitting `k` points of shard range `[s, e)`, re-dispatching
+    /// `[s + k, e)` to another worker reproduces exactly the missing
+    /// suffix — the merged stream stays bit-for-bit identical to the
+    /// unsharded run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoChipError::InvalidSystem`] when the range is inverted
+    /// or extends past the spec's case count, plus the usual streaming
+    /// errors ([`SweepEngine::run_streaming_with`]).
+    pub fn run_range_with<S: SweepSink + ?Sized>(
+        &self,
+        estimator: &EcoChip,
+        spec: &SweepSpec,
+        range: std::ops::Range<usize>,
+        context: &SweepContext,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        let total = spec.try_len()?;
+        validate_case_range(total, &range)?;
+        self.stream_range(estimator, spec, range, context, sink)
+    }
+
     /// Evaluate explicit cases (e.g. pre-processed for custom labels) with a
     /// fresh memo context.
     ///
@@ -317,7 +346,19 @@ impl SweepEngine {
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
         let total = source.total()?;
-        let range = shard.range(total);
+        self.stream_range(estimator, source, shard.range(total), context, sink)
+    }
+
+    /// The work-queue pipeline over an explicit (already validated) index
+    /// range of the case space.
+    fn stream_range<C: CaseSource + ?Sized, S: SweepSink + ?Sized>(
+        &self,
+        estimator: &EcoChip,
+        source: &C,
+        range: std::ops::Range<usize>,
+        context: &SweepContext,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
         let count = range.len();
         if count == 0 {
             return Ok(0);
@@ -510,6 +551,28 @@ fn source_bits(source: EnergySource) -> u64 {
     source.carbon_intensity().kg_per_kwh().to_bits()
 }
 
+/// Validate that `range` is a slice of a `total`-case sweep — the single
+/// definition of the bounds rule, shared by [`SweepEngine::run_range_with`]
+/// and front ends that want to reject a bad resume range before they
+/// commit to a response (e.g. the HTTP server's pre-stream 400).
+///
+/// # Errors
+///
+/// Returns [`EcoChipError::InvalidSystem`] when the range is inverted or
+/// extends past `total`.
+pub fn validate_case_range(
+    total: usize,
+    range: &std::ops::Range<usize>,
+) -> Result<(), EcoChipError> {
+    if range.start > range.end || range.end > total {
+        return Err(EcoChipError::InvalidSystem(format!(
+            "case range {}..{} is not a slice of the sweep's {total} cases",
+            range.start, range.end
+        )));
+    }
+    Ok(())
+}
+
 fn default_jobs() -> usize {
     if let Ok(value) = std::env::var(JOBS_ENV_VAR) {
         if let Ok(jobs) = value.trim().parse::<usize>() {
@@ -610,6 +673,48 @@ mod tests {
                 );
             }
             assert_eq!(merged, full, "of={of}");
+        }
+    }
+
+    #[test]
+    fn explicit_ranges_reproduce_slices_of_the_full_run() {
+        let estimator = EcoChip::default();
+        let spec = spec();
+        let full = SweepEngine::with_jobs(3).run(&estimator, &spec).unwrap();
+        let total = full.len();
+        // Any contiguous range reproduces exactly that slice, so a shard
+        // interrupted after k points resumes bit-for-bit from index k.
+        for (start, end) in [(0, total), (3, 9), (5, 5), (total - 1, total)] {
+            let mut points = Vec::new();
+            let emitted = SweepEngine::with_jobs(2)
+                .run_range_with(
+                    &estimator,
+                    &spec,
+                    start..end,
+                    &SweepContext::new(),
+                    &mut |point| {
+                        points.push(point);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            assert_eq!(emitted, end - start);
+            assert_eq!(points, full[start..end], "range {start}..{end}");
+        }
+        // Out-of-bounds and inverted ranges are rejected up front.
+        #[allow(clippy::reversed_empty_ranges)]
+        for bad in [0..total + 1, 7..3] {
+            let result = SweepEngine::new().run_range_with(
+                &estimator,
+                &spec,
+                bad.clone(),
+                &SweepContext::new(),
+                &mut |_point| Ok(()),
+            );
+            assert!(
+                matches!(result, Err(EcoChipError::InvalidSystem(_))),
+                "{bad:?}"
+            );
         }
     }
 

@@ -96,6 +96,32 @@ pub struct SweepRequest {
     pub axes: Option<Vec<SweepAxis>>,
     /// Evaluate only shard `"I/N"` of the sweep's index space.
     pub shard: Option<String>,
+    /// Evaluate only the explicit case-index range `[start, end)`.
+    /// Mutually exclusive with `shard`. This is the orchestrator's failover
+    /// resume form: shards are contiguous, so the unemitted suffix of a
+    /// dead worker's shard is exactly an index range.
+    pub range: Option<IndexRange>,
+}
+
+/// An explicit half-open case-index range `[start, end)` of a sweep's index
+/// space (the wire form of [`SweepRequest::range`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexRange {
+    /// First case index (inclusive).
+    pub start: usize,
+    /// One past the last case index (exclusive).
+    pub end: usize,
+}
+
+/// The slice of a sweep's index space one worker evaluates: a balanced
+/// [`Shard`] selector or an explicit index range (resume form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepSlice {
+    /// Shard `index`/`of` of the case space ([`Shard::range`] decides the
+    /// concrete indices).
+    Shard(Shard),
+    /// An explicit half-open index range.
+    Range(std::ops::Range<usize>),
 }
 
 impl SweepRequest {
@@ -107,6 +133,7 @@ impl SweepRequest {
             axis: Some(axis.into()),
             axes: None,
             shard: None,
+            range: None,
         }
     }
 
@@ -116,11 +143,24 @@ impl SweepRequest {
     pub fn with_shard(&self, index: usize, of: usize) -> Self {
         Self {
             shard: Some(format!("{index}/{of}")),
+            range: None,
             ..self.clone()
         }
     }
 
-    /// Resolve the request into the spec to evaluate and the shard of it
+    /// This request restricted to the explicit case range `[start, end)`
+    /// (used by the orchestrator to re-dispatch the unemitted suffix of a
+    /// dead worker's shard).
+    #[must_use]
+    pub fn with_range(&self, start: usize, end: usize) -> Self {
+        Self {
+            shard: None,
+            range: Some(IndexRange { start, end }),
+            ..self.clone()
+        }
+    }
+
+    /// Resolve the request into the spec to evaluate and the slice of it
     /// this worker owns.
     ///
     /// # Errors
@@ -128,7 +168,7 @@ impl SweepRequest {
     /// [`ServeError::Api`] for missing/conflicting fields, unknown
     /// test-case or axis names and malformed shard selectors;
     /// [`ServeError::Estimator`] when a known test case fails to build.
-    pub fn resolve(&self, db: &TechDb) -> Result<(SweepSpec, Shard), ServeError> {
+    pub fn resolve(&self, db: &TechDb) -> Result<(SweepSpec, SweepSlice), ServeError> {
         let base = resolve_base(&self.testcase, &self.system, db)?;
         let mut spec = SweepSpec::new(base);
         match (&self.axis, &self.axes) {
@@ -149,13 +189,21 @@ impl SweepRequest {
             }
             (None, None) => {}
         }
-        let shard = match &self.shard {
-            Some(selector) => selector
-                .parse::<Shard>()
-                .map_err(|e| ServeError::Api(e.to_string()))?,
-            None => Shard::FULL,
+        let slice = match (&self.shard, &self.range) {
+            (Some(_), Some(_)) => {
+                return Err(ServeError::Api(
+                    "pass either \"shard\" (I/N) or \"range\" ([start, end)), not both".into(),
+                ))
+            }
+            (Some(selector), None) => SweepSlice::Shard(
+                selector
+                    .parse::<Shard>()
+                    .map_err(|e| ServeError::Api(e.to_string()))?,
+            ),
+            (None, Some(range)) => SweepSlice::Range(range.start..range.end),
+            (None, None) => SweepSlice::Shard(Shard::FULL),
         };
-        Ok((spec, shard))
+        Ok((spec, slice))
     }
 }
 
@@ -235,6 +283,20 @@ pub struct TestcasesResponse {
     pub testcases: Vec<String>,
 }
 
+/// `POST /v1/memo` response: what a memo import absorbed into the warm
+/// service (entries already present locally are kept and skipped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoImportResponse {
+    /// Floorplans absorbed from the posted memo.
+    pub imported_floorplans: usize,
+    /// Manufacturing results absorbed from the posted memo.
+    pub imported_manufacturing: usize,
+    /// Floorplans memoized after the import.
+    pub floorplan_entries: usize,
+    /// Manufacturing results memoized after the import.
+    pub manufacturing_entries: usize,
+}
+
 /// Error body returned with every non-2xx status.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorResponse {
@@ -289,9 +351,9 @@ mod tests {
     fn sweep_requests_resolve_named_and_structured_axes() {
         let db = TechDb::default();
         let named = SweepRequest::named("ga102-3chiplet", "lifetime");
-        let (spec, shard) = named.resolve(&db).unwrap();
+        let (spec, slice) = named.resolve(&db).unwrap();
         assert_eq!(spec.try_len().unwrap(), 7);
-        assert!(shard.is_full());
+        assert_eq!(slice, SweepSlice::Shard(Shard::FULL));
 
         // The named form resolves to the same spec the CLI builds, so the
         // two front ends produce identical sweeps.
@@ -322,11 +384,23 @@ mod tests {
     }
 
     #[test]
-    fn sweep_request_shards_and_errors() {
+    fn sweep_request_shards_ranges_and_errors() {
         let db = TechDb::default();
         let sharded = SweepRequest::named("ga102-3chiplet", "lifetime").with_shard(1, 2);
-        let (_, shard) = sharded.resolve(&db).unwrap();
+        let (_, slice) = sharded.resolve(&db).unwrap();
+        let SweepSlice::Shard(shard) = slice else {
+            panic!("expected a shard slice, got {slice:?}");
+        };
         assert_eq!((shard.index(), shard.of()), (1, 2));
+
+        // The resume form: an explicit index range.
+        let ranged = SweepRequest::named("ga102-3chiplet", "lifetime").with_range(3, 7);
+        let (_, slice) = ranged.resolve(&db).unwrap();
+        assert_eq!(slice, SweepSlice::Range(3..7));
+        // with_range clears a previous shard and vice versa.
+        let toggled = sharded.with_range(1, 2).with_shard(0, 2);
+        assert_eq!(toggled.range, None);
+        assert!(toggled.shard.is_some());
 
         for (label, bad) in [
             (
@@ -344,6 +418,14 @@ mod tests {
                     ..SweepRequest::named("ga102", "lifetime")
                 },
             ),
+            (
+                "shard and range",
+                SweepRequest {
+                    shard: Some("0/2".into()),
+                    range: Some(IndexRange { start: 0, end: 1 }),
+                    ..SweepRequest::named("ga102", "lifetime")
+                },
+            ),
         ] {
             assert!(
                 matches!(bad.resolve(&db), Err(ServeError::Api(_))),
@@ -358,6 +440,12 @@ mod tests {
         let json = serde_json::to_string(&request).unwrap();
         let back: SweepRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, request);
+
+        let ranged = SweepRequest::named("ga102", "lifetime").with_range(2, 5);
+        let json = serde_json::to_string(&ranged).unwrap();
+        assert!(json.contains(r#""range":{"start":2,"end":5}"#), "{json}");
+        let back: SweepRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ranged);
 
         // Missing optional fields deserialize as None.
         let sparse: SweepRequest = serde_json::from_str(r#"{"testcase":"ga102"}"#).unwrap();

@@ -1,10 +1,16 @@
 //! A minimal blocking HTTP/1.1 client for the estimation service.
 //!
-//! Exactly the counterpart of the server's wire subset: one request per
-//! connection, `Content-Length` request bodies, fixed-length or chunked
-//! responses. Chunked NDJSON responses can be consumed line-by-line as the
-//! chunks arrive ([`post_ndjson`]), which is how the remote orchestrator
-//! merges worker streams without buffering them.
+//! Exactly the counterpart of the server's wire subset: `Content-Length`
+//! request bodies, fixed-length or chunked responses, and persistent
+//! connections. A [`Connection`] keeps one TCP socket open across requests
+//! (HTTP/1.1 keep-alive), transparently reconnecting when the server
+//! closed it in the meantime (idle timeout, requests-per-connection
+//! bound); the module-level [`get`]/[`post_json`]/[`post_ndjson`] helpers
+//! are one-shot conveniences that ask the server to close after the
+//! response. Chunked NDJSON responses can be consumed line-by-line as the
+//! chunks arrive ([`post_ndjson`], [`Connection::post_ndjson`]), which is
+//! how the remote orchestrator merges worker streams without buffering
+//! them.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -65,7 +71,8 @@ fn host_port(addr: &str) -> &str {
     addr.trim_end_matches('/')
 }
 
-/// `GET path` from the server at `addr`.
+/// `GET path` from the server at `addr` (one-shot: asks the server to
+/// close the connection after the response).
 ///
 /// # Errors
 ///
@@ -73,16 +80,17 @@ fn host_port(addr: &str) -> &str {
 /// [`ServeError::Io`] for socket failures and [`ServeError::Http`] for
 /// malformed responses.
 pub fn get(addr: &str, path: &str) -> Result<Response, ServeError> {
-    request(addr, "GET", path, None, &mut None)
+    one_shot(addr, "GET", path, None, &mut None)
 }
 
-/// `POST path` with a JSON body, returning the buffered response.
+/// `POST path` with a JSON body, returning the buffered response
+/// (one-shot).
 ///
 /// # Errors
 ///
 /// As [`get`].
 pub fn post_json(addr: &str, path: &str, json: &str) -> Result<Response, ServeError> {
-    request(addr, "POST", path, Some(json.as_bytes()), &mut None)
+    one_shot(addr, "POST", path, Some(json.as_bytes()), &mut None)
 }
 
 /// `POST path` with a JSON body, delivering each NDJSON line of the
@@ -104,43 +112,243 @@ where
     F: FnMut(&str) -> Result<(), ServeError>,
 {
     let mut callback: Option<LineSink<'_>> = Some(&mut on_line);
-    request(addr, "POST", path, Some(json.as_bytes()), &mut callback)
+    one_shot(addr, "POST", path, Some(json.as_bytes()), &mut callback)
 }
 
 /// A borrowed NDJSON line consumer (one level of indirection keeps the
 /// streaming plumbing object-safe).
 type LineSink<'a> = &'a mut dyn FnMut(&str) -> Result<(), ServeError>;
 
-fn request(
-    addr: &str,
-    method: &str,
-    path: &str,
-    request_body: Option<&[u8]>,
-    on_line: &mut Option<LineSink<'_>>,
-) -> Result<Response, ServeError> {
-    let target = host_port(addr);
+/// A persistent connection to one server: requests issued through it reuse
+/// the TCP socket (HTTP/1.1 keep-alive), so a fleet client pays the
+/// connect cost once instead of per request.
+///
+/// The server may close the socket between requests (idle timeout,
+/// requests-per-connection bound, restart); the next request detects the
+/// stale socket and transparently reconnects — but only when the socket
+/// had already served a response (so the failure is attributable to an
+/// idle close, not to the server crashing on this request) and no part of
+/// the new response was consumed yet. A mid-stream failure or a
+/// first-request failure is never papered over.
+#[derive(Debug)]
+pub struct Connection {
+    target: String,
+    reader: Option<BufReader<TcpStream>>,
+    /// Whether the current socket has served at least one response — only
+    /// then can a failure mean "the server idle-closed it under us".
+    served: bool,
+}
+
+impl Connection {
+    /// Open a connection to the server at `addr` ("host:port",
+    /// "http://host:port" and a trailing slash are all accepted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidAddr`] for unresolvable addresses and
+    /// [`ServeError::Io`] when the connect fails.
+    pub fn open(addr: &str) -> Result<Self, ServeError> {
+        let mut connection = Self {
+            target: host_port(addr).to_owned(),
+            reader: None,
+            served: false,
+        };
+        connection.ensure_connected()?;
+        Ok(connection)
+    }
+
+    /// The `host:port` this connection talks to.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// `GET path`, reusing the socket.
+    ///
+    /// # Errors
+    ///
+    /// As [`get`].
+    pub fn get(&mut self, path: &str) -> Result<Response, ServeError> {
+        self.request("GET", path, None, &mut None)
+    }
+
+    /// `POST path` with a JSON body, reusing the socket.
+    ///
+    /// # Errors
+    ///
+    /// As [`get`].
+    pub fn post_json(&mut self, path: &str, json: &str) -> Result<Response, ServeError> {
+        self.request("POST", path, Some(json.as_bytes()), &mut None)
+    }
+
+    /// `POST path` with a JSON body, streaming NDJSON response lines to
+    /// `on_line`, reusing the socket.
+    ///
+    /// # Errors
+    ///
+    /// As [`post_ndjson`].
+    pub fn post_ndjson<F>(
+        &mut self,
+        path: &str,
+        json: &str,
+        mut on_line: F,
+    ) -> Result<Response, ServeError>
+    where
+        F: FnMut(&str) -> Result<(), ServeError>,
+    {
+        let mut callback: Option<LineSink<'_>> = Some(&mut on_line);
+        self.request("POST", path, Some(json.as_bytes()), &mut callback)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ServeError> {
+        if self.reader.is_some() {
+            return Ok(());
+        }
+        self.reader = Some(BufReader::new(connect(&self.target)?));
+        self.served = false;
+        Ok(())
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        on_line: &mut Option<LineSink<'_>>,
+    ) -> Result<Response, ServeError> {
+        // A transparent retry is only safe when the socket already served a
+        // response: then a failure is attributable to the server having
+        // idle-closed it, not to this request crashing the server. A fresh
+        // socket (including the one `open` eagerly connects) never retries.
+        let reused = self.reader.is_some() && self.served;
+        self.ensure_connected()?;
+        // Guard the retry below: only a failure with *zero* delivered lines
+        // may transparently reconnect — once `on_line` observed output,
+        // retrying would duplicate it.
+        let delivered = std::cell::Cell::new(false);
+        let outcome = {
+            let reader = self.reader.as_mut().expect("connected reader");
+            match on_line.as_mut() {
+                Some(inner) => {
+                    let mut wrapper = |line: &str| {
+                        delivered.set(true);
+                        (**inner)(line)
+                    };
+                    let mut sink: Option<LineSink<'_>> = Some(&mut wrapper);
+                    perform(reader, &self.target, method, path, body, true, &mut sink)
+                }
+                None => perform(reader, &self.target, method, path, body, true, &mut None),
+            }
+        };
+        match self.settle(outcome) {
+            Err(error) if reused && !delivered.get() && stale_connection_error(&error) => {
+                // The server closed the idle socket under us before the
+                // request went out; retry it once on a fresh connection.
+                self.ensure_connected()?;
+                let reader = self.reader.as_mut().expect("connected reader");
+                let retried = perform(reader, &self.target, method, path, body, true, on_line);
+                self.settle(retried)
+            }
+            settled => settled,
+        }
+    }
+
+    /// Apply one attempt's outcome to the connection state: a response
+    /// marks the socket as having served (enabling the transparent retry
+    /// for *later* requests) and is dropped if the server announced a
+    /// close; any failure leaves the socket in an unknown state, so it is
+    /// never reused.
+    fn settle(
+        &mut self,
+        outcome: Result<(Response, bool), ServeError>,
+    ) -> Result<Response, ServeError> {
+        match outcome {
+            Ok((response, keep_open)) => {
+                self.served = true;
+                if !keep_open {
+                    self.reader = None;
+                }
+                Ok(response)
+            }
+            Err(error) => {
+                self.reader = None;
+                Err(error)
+            }
+        }
+    }
+}
+
+/// Whether an error is consistent with the server having closed an idle
+/// keep-alive socket under us — the only failure a [`Connection`] retries
+/// transparently (and only with zero delivered lines, see
+/// [`Connection::request`]). The close can surface three ways depending on
+/// timing: the request write fails, the status-line read sees a clean EOF,
+/// or the read fails outright (e.g. `ECONNRESET` when the peer answered
+/// the buffered write with RST).
+fn stale_connection_error(error: &ServeError) -> bool {
+    match error {
+        ServeError::Io(message) => {
+            message.starts_with("sending request") || message.starts_with("reading response")
+        }
+        ServeError::Http(message) => message == "connection closed before the status line",
+        _ => false,
+    }
+}
+
+/// Resolve and connect to `target` with the client timeouts applied.
+fn connect(target: &str) -> Result<TcpStream, ServeError> {
     let resolved = target
         .to_socket_addrs()
         .map_err(|e| ServeError::InvalidAddr(format!("{target}: {e}")))?
         .next()
         .ok_or_else(|| ServeError::InvalidAddr(format!("{target} resolves to nothing")))?;
-    let mut stream = TcpStream::connect(resolved)
+    let stream = TcpStream::connect(resolved)
         .map_err(|e| ServeError::Io(format!("connecting {target}: {e}")))?;
     let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
     let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+    Ok(stream)
+}
 
+/// One request on a fresh connection, asking the server to close after the
+/// response.
+fn one_shot(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    on_line: &mut Option<LineSink<'_>>,
+) -> Result<Response, ServeError> {
+    let target = host_port(addr);
+    let mut reader = BufReader::new(connect(target)?);
+    perform(&mut reader, target, method, path, body, false, on_line).map(|(response, _)| response)
+}
+
+/// Send one request on an established connection and decode the response.
+/// Returns the response plus whether the connection may serve another
+/// request (the server's `Connection` header and protocol version decide).
+fn perform(
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+    method: &str,
+    path: &str,
+    request_body: Option<&[u8]>,
+    reuse: bool,
+    on_line: &mut Option<LineSink<'_>>,
+) -> Result<(Response, bool), ServeError> {
     let body = request_body.unwrap_or_default();
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )
-    .and_then(|()| stream.write_all(body))
-    .and_then(|()| stream.flush())
-    .map_err(|e| ServeError::Io(format!("sending request: {e}")))?;
+    {
+        let mut stream = reader.get_ref();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if reuse { "keep-alive" } else { "close" }
+        )
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| ServeError::Io(format!("sending request: {e}")))?;
+    }
 
-    let mut reader = BufReader::new(stream);
-    let status_line = read_line(&mut reader)?
+    let status_line = read_line(&mut *reader)?
         .ok_or_else(|| ServeError::Http("connection closed before the status line".into()))?;
     let mut parts = status_line.split_whitespace();
     let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
@@ -159,7 +367,7 @@ fn request(
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(&mut reader)?
+        let line = read_line(&mut *reader)?
             .ok_or_else(|| ServeError::Http("connection closed inside the headers".into()))?;
         if line.is_empty() {
             break;
@@ -217,15 +425,16 @@ fn request(
         Ok(())
     };
 
+    let mut delimited_by_close = false;
     if chunked {
         loop {
-            let size_line = read_line(&mut reader)?
+            let size_line = read_line(&mut *reader)?
                 .ok_or_else(|| ServeError::Http("connection closed inside a chunk size".into()))?;
             let size = usize::from_str_radix(size_line.split(';').next().unwrap_or("").trim(), 16)
                 .map_err(|_| ServeError::Http(format!("malformed chunk size {size_line:?}")))?;
             if size == 0 {
                 // Trailer section: read to the blank line.
-                while let Some(line) = read_line(&mut reader)? {
+                while let Some(line) = read_line(&mut *reader)? {
                     if line.is_empty() {
                         break;
                     }
@@ -265,7 +474,9 @@ fn request(
             .map_err(|e| ServeError::Http(format!("reading {length}-byte body: {e}")))?;
         consume(&body, &mut response.body)?;
     } else {
-        // Connection-delimited body.
+        // Connection-delimited body: only the closing connection bounds it,
+        // so this response can never be followed by another one.
+        delimited_by_close = true;
         let mut body = Vec::new();
         reader
             .by_ref()
@@ -287,7 +498,10 @@ fn request(
             on_line(line)?;
         }
     }
-    Ok(response)
+    let keep_open = reuse
+        && !delimited_by_close
+        && crate::http::keep_alive_semantics(version, response.header("connection"));
+    Ok((response, keep_open))
 }
 
 /// Read one CRLF- (or LF-) terminated line of at most [`MAX_LINE_BYTES`],

@@ -5,8 +5,15 @@
 //! the workspace hand-roll its serde shims. The subset implemented here is
 //! exactly what the service needs: request parsing with `Content-Length`
 //! bodies, fixed-length responses, and chunked transfer-encoding for
-//! streaming NDJSON sweeps. Every response closes the connection
-//! (`Connection: close`), one request per connection.
+//! streaming NDJSON sweeps.
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive): the parser records
+//! whether the peer allows reuse ([`Request::keep_alive`], from the
+//! protocol version and the `Connection` header tokens), and every response
+//! writer takes a `keep_alive` flag that advertises `Connection:
+//! keep-alive` or `Connection: close` accordingly. The server's
+//! per-connection request loop (idle timeout, bounded requests per
+//! connection) lives in [`crate::server`].
 
 use std::io::{BufRead, Write};
 
@@ -32,6 +39,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the peer allows this connection to serve another request:
+    /// HTTP/1.1 defaults to `true`, HTTP/1.0 to `false`, and a
+    /// `Connection` header token (`close` / `keep-alive`) overrides the
+    /// default either way.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -39,6 +51,28 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         header_lookup(&self.headers, name)
     }
+}
+
+/// Resolve the connection-reuse semantics of one request or response from
+/// its protocol version and `Connection` header (comma-separated tokens,
+/// ASCII case-insensitive) — the single definition both the server's
+/// request parser and the client's response parser apply. Per RFC 9112, a
+/// `close` token always wins over `keep-alive`, regardless of token order.
+pub fn keep_alive_semantics(version: &str, connection_header: Option<&str>) -> bool {
+    let Some(tokens) = connection_header else {
+        return version != "HTTP/1.0";
+    };
+    let mut keep_alive = None;
+    for token in tokens.split(',') {
+        let token = token.trim();
+        if token.eq_ignore_ascii_case("close") {
+            return false;
+        }
+        if token.eq_ignore_ascii_case("keep-alive") {
+            keep_alive = Some(true);
+        }
+    }
+    keep_alive.unwrap_or(version != "HTTP/1.0")
 }
 
 /// Look up the first header named `name` (ASCII case-insensitive) in a
@@ -136,6 +170,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
     let request = Request {
         method: method.to_owned(),
         path,
+        keep_alive: keep_alive_semantics(version, header_lookup(&headers, "connection")),
         headers,
         body: Vec::new(),
     };
@@ -175,7 +210,18 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete fixed-length response and flush it.
+/// The `Connection` response-header value for a reuse decision.
+fn connection_token(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Write a complete fixed-length response and flush it. `keep_alive`
+/// advertises whether the server will serve another request on this
+/// connection.
 ///
 /// # Errors
 ///
@@ -185,12 +231,14 @@ pub fn write_response<W: Write>(
     status: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        connection_token(keep_alive)
     )?;
     writer.write_all(body)?;
     writer.flush()
@@ -205,7 +253,8 @@ pub struct ChunkedWriter<W: Write> {
 }
 
 /// Start a chunked response: writes the status line and headers, returns
-/// the body writer.
+/// the body writer. The terminal zero-length chunk delimits the body, so
+/// chunked responses compose with keep-alive.
 ///
 /// # Errors
 ///
@@ -214,11 +263,13 @@ pub fn start_chunked<W: Write>(
     mut writer: W,
     status: u16,
     content_type: &str,
+    keep_alive: bool,
 ) -> std::io::Result<ChunkedWriter<W>> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
-        reason(status)
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        connection_token(keep_alive)
     )?;
     writer.flush()?;
     Ok(ChunkedWriter { writer })
@@ -272,6 +323,7 @@ mod tests {
         assert_eq!(request.header("host"), Some("x"));
         assert_eq!(request.header("HOST"), Some("x"));
         assert_eq!(request.body, b"abcd");
+        assert!(request.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -280,6 +332,30 @@ mod tests {
         assert_eq!(request.method, "GET");
         assert!(request.body.is_empty());
         assert_eq!(request.header("content-length"), None);
+        assert!(!request.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn connection_header_overrides_the_version_default() {
+        let close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive);
+        let keep = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(keep.keep_alive);
+        // `close` wins over `keep-alive` regardless of token order
+        // (RFC 9112); unknown tokens fall back to the version default.
+        assert!(!keep_alive_semantics("HTTP/1.1", Some("foo, Close")));
+        assert!(!keep_alive_semantics("HTTP/1.0", Some("keep-alive, close")));
+        assert!(!keep_alive_semantics("HTTP/1.1", Some("close, keep-alive")));
+        assert!(keep_alive_semantics(
+            "HTTP/1.0",
+            Some("upgrade, Keep-Alive")
+        ));
+        assert!(keep_alive_semantics("HTTP/1.1", Some("upgrade")));
+        assert!(!keep_alive_semantics("HTTP/1.0", None));
     }
 
     #[test]
@@ -332,20 +408,27 @@ mod tests {
     #[test]
     fn fixed_and_chunked_responses_serialize() {
         let mut out = Vec::new();
-        write_response(&mut out, 404, "application/json", b"{}").unwrap();
+        write_response(&mut out, 404, "application/json", b"{}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
 
         let mut out = Vec::new();
-        let mut chunked = start_chunked(&mut out, 200, "application/x-ndjson").unwrap();
+        write_response(&mut out, 200, "text/plain", b"ok", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+
+        let mut out = Vec::new();
+        let mut chunked = start_chunked(&mut out, 200, "application/x-ndjson", true).unwrap();
         chunked.chunk(b"hello\n").unwrap();
         chunked.chunk(b"").unwrap();
         chunked.chunk(b"world\n").unwrap();
         chunked.finish().unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.contains("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"));
         assert_eq!(reason(500), "Internal Server Error");
         assert_eq!(reason(418), "");

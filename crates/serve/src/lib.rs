@@ -21,7 +21,15 @@
 //! | `GET` | `/v1/testcases` | Names of the built-in test cases |
 //! | `GET` | `/v1/healthz` | Liveness probe |
 //! | `GET` | `/v1/stats` | Memo hit/miss/eviction + request counters |
-//! | `POST` | `/v1/shutdown` | Graceful shutdown (saves the memo first) |
+//! | `GET` | `/v1/memo` | Export the warm memo as fingerprinted JSON |
+//! | `POST` | `/v1/memo` | Absorb a peer's exported memo (fingerprint-validated) |
+//! | `GET` | `/metrics` | Prometheus text-format metrics |
+//! | `POST` | `/v1/shutdown` | Graceful shutdown (drains, then saves the memo) |
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive with idle timeouts and
+//! a requests-per-connection bound); [`client::Connection`] reuses one
+//! socket across requests and the orchestrator drives each worker over a
+//! kept-alive connection.
 //!
 //! Sweep responses stream each [`ecochip_core::sweep::SweepPoint`] as one
 //! JSON line, produced by the same serializer as the CLI's
@@ -68,14 +76,16 @@
 pub mod api;
 pub mod client;
 pub mod http;
+pub mod metrics;
 pub mod orchestrator;
 pub mod server;
 
 pub use api::{
-    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, StatsResponse, SweepRequest,
-    TestcasesResponse,
+    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, IndexRange,
+    MemoImportResponse, StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
 };
-pub use orchestrator::{OrchestratorOutcome, WorkerPool};
+pub use client::Connection;
+pub use orchestrator::{FailoverPolicy, MemoShare, OrchestratorOutcome, WorkerPool};
 pub use server::{ServeConfig, Server, ServerHandle};
 
 use std::fmt;

@@ -1,0 +1,381 @@
+//! A small hand-rolled Prometheus registry for the HTTP server.
+//!
+//! The build environment has no package registry, so — like the rest of
+//! this crate — the metrics surface is hand-rolled on `std`: atomic
+//! counters, a fixed-bucket latency histogram per route, and a renderer
+//! that emits the Prometheus text exposition format (`# HELP` / `# TYPE`
+//! comment lines followed by `name{labels} value` samples). The registry
+//! records the HTTP-layer signals (requests by route and status, in-flight
+//! gauge, connections, per-route latency); the estimation-layer signals
+//! (memo hits/misses/evictions, sweep points, estimates) are pulled from
+//! [`ecochip_core::EcoChipService`] at render time, so `/metrics` is always
+//! a consistent snapshot of the same counters `/v1/stats` reports.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ecochip_core::EcoChipService;
+
+/// The route labels the registry tracks. Unknown paths collapse into
+/// `"other"` so a path-scanning client cannot grow the label space.
+pub const ROUTES: [&str; 10] = [
+    "healthz",
+    "stats",
+    "testcases",
+    "estimate",
+    "sweep",
+    "memo_export",
+    "memo_import",
+    "metrics",
+    "shutdown",
+    "other",
+];
+
+/// Histogram bucket upper bounds, in seconds (an implicit `+Inf` bucket
+/// follows). Spans sub-millisecond health probes to multi-second sweeps.
+const BUCKETS: [f64; 7] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0];
+
+/// Map a request to its route label (the label space is fixed; see
+/// [`ROUTES`]).
+pub fn route_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        (_, "/v1/healthz") => "healthz",
+        (_, "/v1/stats") => "stats",
+        (_, "/v1/testcases") => "testcases",
+        (_, "/v1/estimate") => "estimate",
+        (_, "/v1/sweep") => "sweep",
+        ("GET", "/v1/memo") => "memo_export",
+        (_, "/v1/memo") => "memo_import",
+        (_, "/metrics") => "metrics",
+        (_, "/v1/shutdown") => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Cumulative request-latency observations of one route.
+#[derive(Debug, Default)]
+struct Histogram {
+    /// Observations at or below each [`BUCKETS`] bound (cumulative, as
+    /// Prometheus histograms are).
+    buckets: [AtomicU64; BUCKETS.len()],
+    /// Total observed time in microseconds (rendered as seconds).
+    sum_micros: AtomicU64,
+    /// Total observations (the implicit `+Inf` bucket).
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, elapsed: Duration) {
+        let seconds = elapsed.as_secs_f64();
+        // Update order matters for scrape consistency: bump the total
+        // first, then the buckets from widest to narrowest, so a
+        // concurrent render always sees a monotone cumulative histogram
+        // (every bucket ≤ the next wider bucket ≤ `+Inf`).
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        for (bucket, bound) in self.buckets.iter().zip(BUCKETS).rev() {
+            if seconds > bound {
+                // Bounds descend from here on; none of the rest apply.
+                break;
+            }
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The server's metrics registry: HTTP-layer counters plus a latency
+/// histogram per route. One instance lives in the server state; handler
+/// threads record into it lock-free (the per-status counter map is the one
+/// mutex, taken once per request).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// TCP connections accepted by the handler pool.
+    connections: AtomicU64,
+    /// Requests currently being handled.
+    in_flight: AtomicU64,
+    /// Requests served, keyed by `(route index, status code)`. A `BTreeMap`
+    /// keeps the render order deterministic.
+    requests: Mutex<BTreeMap<(usize, u16), u64>>,
+    /// Per-route request latency.
+    latency: [Histogram; ROUTES.len()],
+}
+
+impl Metrics {
+    /// A fresh registry with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total connections accepted so far (tests assert keep-alive reuse by
+    /// comparing this against the request count).
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Mark one request as in flight (pair with [`Metrics::observe`]).
+    pub fn request_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a finished request: status, latency, and the in-flight
+    /// decrement.
+    pub fn observe(&self, route: &'static str, status: u16, elapsed: Duration) {
+        let index = ROUTES
+            .iter()
+            .position(|&r| r == route)
+            .unwrap_or(ROUTES.len() - 1);
+        self.latency[index].observe(elapsed);
+        *self
+            .requests
+            .lock()
+            .expect("request counters")
+            .entry((index, status))
+            .or_insert(0) += 1;
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Render the registry (plus the service's memo and request counters)
+    /// in the Prometheus text exposition format. Every line is either a
+    /// `# HELP` / `# TYPE` comment or a `name{labels} value` sample.
+    pub fn render(&self, service: &EcoChipService) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut sample = |line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+
+        sample("# HELP ecochip_http_connections_total TCP connections accepted.".into());
+        sample("# TYPE ecochip_http_connections_total counter".into());
+        sample(format!(
+            "ecochip_http_connections_total {}",
+            self.connections.load(Ordering::Relaxed)
+        ));
+
+        sample("# HELP ecochip_http_requests_in_flight Requests currently being handled.".into());
+        sample("# TYPE ecochip_http_requests_in_flight gauge".into());
+        sample(format!(
+            "ecochip_http_requests_in_flight {}",
+            self.in_flight.load(Ordering::Relaxed)
+        ));
+
+        sample("# HELP ecochip_http_requests_total Requests served, by route and status.".into());
+        sample("# TYPE ecochip_http_requests_total counter".into());
+        for ((route, status), count) in self.requests.lock().expect("request counters").iter() {
+            sample(format!(
+                "ecochip_http_requests_total{{route=\"{}\",status=\"{status}\"}} {count}",
+                ROUTES[*route]
+            ));
+        }
+
+        sample("# HELP ecochip_http_request_duration_seconds Request latency, by route.".into());
+        sample("# TYPE ecochip_http_request_duration_seconds histogram".into());
+        for (index, histogram) in self.latency.iter().enumerate() {
+            // Load the buckets *before* the total: the writer bumps the
+            // total first (see `Histogram::observe`), so a total loaded
+            // after the buckets is ≥ every bucket value read here and the
+            // rendered cumulative histogram stays monotone under
+            // concurrent observations.
+            let buckets: Vec<u64> = histogram
+                .buckets
+                .iter()
+                .map(|bucket| bucket.load(Ordering::Relaxed))
+                .collect();
+            let count = histogram.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let route = ROUTES[index];
+            for (value, bound) in buckets.iter().zip(BUCKETS) {
+                sample(format!(
+                    "ecochip_http_request_duration_seconds_bucket{{route=\"{route}\",le=\"{bound}\"}} {value}"
+                ));
+            }
+            sample(format!(
+                "ecochip_http_request_duration_seconds_bucket{{route=\"{route}\",le=\"+Inf\"}} {count}"
+            ));
+            sample(format!(
+                "ecochip_http_request_duration_seconds_sum{{route=\"{route}\"}} {}",
+                histogram.sum_micros.load(Ordering::Relaxed) as f64 / 1.0e6
+            ));
+            sample(format!(
+                "ecochip_http_request_duration_seconds_count{{route=\"{route}\"}} {count}"
+            ));
+        }
+
+        let service_stats = service.service_stats();
+        sample("# HELP ecochip_estimates_total Single-system estimates served.".into());
+        sample("# TYPE ecochip_estimates_total counter".into());
+        sample(format!(
+            "ecochip_estimates_total {}",
+            service_stats.estimates
+        ));
+        sample("# HELP ecochip_sweep_points_total Sweep points evaluated and emitted.".into());
+        sample("# TYPE ecochip_sweep_points_total counter".into());
+        sample(format!(
+            "ecochip_sweep_points_total {}",
+            service_stats.sweep_points
+        ));
+
+        let stats = service.stats();
+        let caches = [
+            (
+                "floorplan",
+                stats.floorplan_hits,
+                stats.floorplan_misses,
+                stats.floorplan_evictions,
+                service.context().floorplan_entries(),
+            ),
+            (
+                "manufacturing",
+                stats.manufacturing_hits,
+                stats.manufacturing_misses,
+                stats.manufacturing_evictions,
+                service.context().manufacturing_entries(),
+            ),
+        ];
+        sample("# HELP ecochip_memo_hits_total Memo entries served from the cache.".into());
+        sample("# TYPE ecochip_memo_hits_total counter".into());
+        for (cache, hits, ..) in caches {
+            sample(format!(
+                "ecochip_memo_hits_total{{cache=\"{cache}\"}} {hits}"
+            ));
+        }
+        sample("# HELP ecochip_memo_misses_total Memo entries computed from scratch.".into());
+        sample("# TYPE ecochip_memo_misses_total counter".into());
+        for (cache, _, misses, ..) in caches {
+            sample(format!(
+                "ecochip_memo_misses_total{{cache=\"{cache}\"}} {misses}"
+            ));
+        }
+        sample(
+            "# HELP ecochip_memo_evictions_total Memo entries evicted by the capacity bound."
+                .into(),
+        );
+        sample("# TYPE ecochip_memo_evictions_total counter".into());
+        for (cache, _, _, evictions, _) in caches {
+            sample(format!(
+                "ecochip_memo_evictions_total{{cache=\"{cache}\"}} {evictions}"
+            ));
+        }
+        sample("# HELP ecochip_memo_entries Memo entries currently cached.".into());
+        sample("# TYPE ecochip_memo_entries gauge".into());
+        for (cache, .., entries) in caches {
+            sample(format!(
+                "ecochip_memo_entries{{cache=\"{cache}\"}} {entries}"
+            ));
+        }
+        out
+    }
+}
+
+/// Validate one line of Prometheus text format: a `# HELP` / `# TYPE`
+/// comment or a `name{labels} value` sample. Shared by the unit tests here
+/// and the e2e tests, and mirrors the check CI applies with `awk`.
+pub fn is_valid_metrics_line(line: &str) -> bool {
+    if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+        return true;
+    }
+    let Some((name_part, value)) = line.rsplit_once(' ') else {
+        return false;
+    };
+    let name = match name_part.split_once('{') {
+        Some((name, labels)) => {
+            if !labels.ends_with('}') {
+                return false;
+            }
+            name
+        }
+        None => name_part,
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return false;
+    }
+    value.parse::<f64>().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecochip_core::{EcoChip, EcoChipService};
+
+    #[test]
+    fn route_labels_cover_the_api_surface() {
+        assert_eq!(route_label("GET", "/v1/healthz"), "healthz");
+        assert_eq!(route_label("POST", "/v1/sweep"), "sweep");
+        assert_eq!(route_label("GET", "/v1/memo"), "memo_export");
+        assert_eq!(route_label("POST", "/v1/memo"), "memo_import");
+        assert_eq!(route_label("GET", "/metrics"), "metrics");
+        assert_eq!(route_label("GET", "/v2/nope"), "other");
+        for route in [
+            route_label("GET", "/v1/stats"),
+            route_label("GET", "/v1/testcases"),
+            route_label("POST", "/v1/estimate"),
+            route_label("POST", "/v1/shutdown"),
+        ] {
+            assert!(ROUTES.contains(&route));
+        }
+    }
+
+    #[test]
+    fn rendered_output_is_valid_prometheus_text_format() {
+        let metrics = Metrics::new();
+        metrics.connection_opened();
+        metrics.request_started();
+        metrics.observe("estimate", 200, Duration::from_micros(750));
+        metrics.request_started();
+        metrics.observe("estimate", 400, Duration::from_millis(30));
+        metrics.request_started();
+        metrics.observe("sweep", 200, Duration::from_secs(20));
+
+        let service = EcoChipService::new(EcoChip::default());
+        let text = metrics.render(&service);
+        for line in text.lines() {
+            assert!(is_valid_metrics_line(line), "invalid metrics line: {line}");
+        }
+        assert!(text.contains("ecochip_http_connections_total 1"));
+        assert!(text.contains("ecochip_http_requests_in_flight 0"));
+        assert!(text.contains("ecochip_http_requests_total{route=\"estimate\",status=\"200\"} 1"));
+        assert!(text.contains("ecochip_http_requests_total{route=\"estimate\",status=\"400\"} 1"));
+        // The 750µs observation lands in every bucket from 1ms up; the 20s
+        // one only in +Inf.
+        assert!(text.contains(
+            "ecochip_http_request_duration_seconds_bucket{route=\"estimate\",le=\"0.001\"} 1"
+        ));
+        assert!(text
+            .contains("ecochip_http_request_duration_seconds_bucket{route=\"sweep\",le=\"10\"} 0"));
+        assert!(text.contains(
+            "ecochip_http_request_duration_seconds_bucket{route=\"sweep\",le=\"+Inf\"} 1"
+        ));
+        assert!(text.contains("ecochip_http_request_duration_seconds_count{route=\"estimate\"} 2"));
+        assert!(text.contains("ecochip_memo_hits_total{cache=\"floorplan\"} 0"));
+        assert!(text.contains("ecochip_memo_entries{cache=\"manufacturing\"} 0"));
+    }
+
+    #[test]
+    fn metrics_line_validator_rejects_garbage() {
+        assert!(is_valid_metrics_line("# HELP x y"));
+        assert!(is_valid_metrics_line("# TYPE x counter"));
+        assert!(is_valid_metrics_line("ecochip_up 1"));
+        assert!(is_valid_metrics_line("a_b{route=\"x\",le=\"+Inf\"} 12.5"));
+        assert!(!is_valid_metrics_line(""));
+        assert!(!is_valid_metrics_line("# comment"));
+        assert!(!is_valid_metrics_line("no-value"));
+        assert!(!is_valid_metrics_line("name{unclosed 1"));
+        assert!(!is_valid_metrics_line("name one"));
+        assert!(!is_valid_metrics_line("1leading_digit 2"));
+        assert!(!is_valid_metrics_line("bad name 1"));
+    }
+}

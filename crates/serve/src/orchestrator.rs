@@ -1,5 +1,6 @@
 //! The shard orchestrator: fan one sweep out across N workers, merge the
-//! ordered shard streams, fingerprint the result.
+//! ordered shard streams, fingerprint the result — and survive worker
+//! loss.
 //!
 //! [`Shard`]`{i, of}` partitions a sweep's index space into contiguous,
 //! balanced slices, so the merged output is the ordered concatenation of
@@ -9,22 +10,71 @@
 //! remote `ecochip-serve` servers driven over HTTP; both produce the same
 //! NDJSON lines, so the two modes are interchangeable and *diffable*.
 //!
+//! **Failover.** Because shards are contiguous and streamed in
+//! deterministic order, a remote worker that dies after emitting `k` lines
+//! of its shard range `[s, e)` leaves exactly the range `[s + k, e)`
+//! unserved. [`FailoverPolicy`] re-dispatches that remaining range (the
+//! `"range"` resume form of [`SweepRequest`]) to the next worker in the
+//! pool with bounded retries and backoff — every point is emitted exactly
+//! once and the merged stream stays bit-for-bit identical to the
+//! unsharded run, dead worker or not.
+//!
 //! Every merged line is folded into a FNV-1a [`Fingerprint`], and
 //! [`unsharded_outcome`] computes the same fingerprint from a plain
-//! in-process run — if the two match, the partition/merge provably
-//! reproduced the unsharded sweep byte for byte.
+//! in-process run — if the two match, the partition/merge (and any
+//! failover re-dispatch) provably reproduced the unsharded sweep byte for
+//! byte.
+//!
+//! **Memo sharing.** [`share_memo`] seeds a fleet from its warmest member:
+//! it polls every worker's `/v1/stats`, exports the fullest memo over
+//! `GET /v1/memo` and posts it to the others, so a fresh worker joins the
+//! fleet warm instead of re-deriving every floorplan from cold.
 
+use std::cell::Cell;
 use std::sync::mpsc;
+use std::time::Duration;
 
 use ecochip_core::sweep::{Shard, SweepContext, SweepEngine, SweepPoint};
 use ecochip_core::{EcoChip, EcoChipError, EstimatorConfig};
 use ecochip_techdb::TechDb;
 
-use crate::api::SweepRequest;
-use crate::{client, ServeError};
+use crate::api::{MemoImportResponse, StatsResponse, SweepRequest, SweepSlice};
+use crate::client::Connection;
+use crate::ServeError;
 
 /// Lines a worker can buffer before backpressure pauses it.
 const WORKER_QUEUE_LINES: usize = 256;
+
+/// How worker loss is handled when driving remote shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverPolicy {
+    /// Re-dispatch attempts per shard after its first try (`0` fails the
+    /// whole run on the first worker loss).
+    pub retries: usize,
+    /// Base delay before a re-dispatch; attempt `n` waits `n * backoff`.
+    pub backoff: Duration,
+}
+
+impl FailoverPolicy {
+    /// Fail the run on the first worker loss (the pre-failover behaviour,
+    /// and what [`orchestrate`] uses).
+    pub fn none() -> Self {
+        Self {
+            retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for FailoverPolicy {
+    /// Two re-dispatches per shard, 100 ms linear backoff.
+    fn default() -> Self {
+        Self {
+            retries: 2,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
 
 /// How a sweep is fanned out.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,30 +143,53 @@ impl Default for Fingerprint {
     }
 }
 
-/// Fan `request` out across `pool`, merging the shard streams into
-/// `on_line` in the sweep's deterministic case order.
-///
-/// The orchestrator owns the sharding, so `request.shard` must be empty;
-/// workers run concurrently and the merge is streaming (shard `i+1`
-/// evaluates while shard `i` drains).
+/// Fan `request` out across `pool` with [`FailoverPolicy::none`] — the
+/// first worker loss fails the run. See [`orchestrate_with`].
 ///
 /// # Errors
 ///
-/// [`ServeError::Api`] for unresolvable requests or a pre-sharded request,
-/// [`ServeError::Estimator`] / [`ServeError::Worker`] when a worker fails,
-/// and the first error returned by `on_line`.
+/// As [`orchestrate_with`].
 pub fn orchestrate<F>(
     db: &TechDb,
     request: &SweepRequest,
     pool: &WorkerPool,
+    on_line: F,
+) -> Result<OrchestratorOutcome, ServeError>
+where
+    F: FnMut(&str) -> Result<(), ServeError>,
+{
+    orchestrate_with(db, request, pool, &FailoverPolicy::none(), on_line)
+}
+
+/// Fan `request` out across `pool`, merging the shard streams into
+/// `on_line` in the sweep's deterministic case order.
+///
+/// The orchestrator owns the sharding, so `request.shard`/`request.range`
+/// must be empty; workers run concurrently and the merge is streaming
+/// (shard `i+1` evaluates while shard `i` drains). When a remote worker
+/// dies mid-stream, `policy` re-dispatches the remaining index range of
+/// its shard to the next worker in the pool — the merged stream is
+/// unchanged, every point emitted exactly once.
+///
+/// # Errors
+///
+/// [`ServeError::Api`] for unresolvable requests or a pre-sliced request,
+/// [`ServeError::Estimator`] / [`ServeError::Worker`] when a worker fails
+/// (after `policy.retries` re-dispatches, for remote pools), and the first
+/// error returned by `on_line`.
+pub fn orchestrate_with<F>(
+    db: &TechDb,
+    request: &SweepRequest,
+    pool: &WorkerPool,
+    policy: &FailoverPolicy,
     mut on_line: F,
 ) -> Result<OrchestratorOutcome, ServeError>
 where
     F: FnMut(&str) -> Result<(), ServeError>,
 {
-    if request.shard.is_some() {
+    if request.shard.is_some() || request.range.is_some() {
         return Err(ServeError::Api(
-            "orchestrated requests must not be pre-sharded; the orchestrator assigns shards".into(),
+            "orchestrated requests must not be pre-sliced; the orchestrator assigns shards".into(),
         ));
     }
     let shards = pool.shards();
@@ -126,8 +199,10 @@ where
         ));
     }
     // Resolve up front so bad requests fail before any worker starts (the
-    // local pool needs the spec anyway).
+    // local pool needs the spec anyway, failover needs the case count to
+    // compute shard ranges).
     let (spec, _) = request.resolve(db)?;
+    let total = spec.try_len()?;
 
     let mut fingerprint = Fingerprint::new();
     let mut points = 0usize;
@@ -175,10 +250,11 @@ where
                     });
                 }
                 WorkerPool::Remote(urls) => {
-                    let url = urls[index].clone();
-                    let sharded = request.with_shard(index, shards);
+                    let range = Shard::new(index, shards)
+                        .expect("index < shards")
+                        .range(total);
                     scope.spawn(move || {
-                        let result = run_remote_shard(&url, &sharded, &sender);
+                        let result = run_remote_shard(urls, index, range, request, policy, &sender);
                         if let Err(error) = result {
                             let _ = sender.send(Err(error));
                         }
@@ -205,31 +281,201 @@ where
     })
 }
 
-/// Drive one remote shard: POST the sharded request, forward NDJSON lines,
-/// surface in-band error objects and non-200 statuses.
+/// Drive one remote shard with retry/failover: POST the sharded request,
+/// forward NDJSON lines, and when the worker dies mid-stream re-dispatch
+/// the *remaining* index range (`[range.start + emitted, range.end)`) to
+/// the next worker in the pool — shards are contiguous and ordered, so the
+/// resume point is exact and every line reaches the merger exactly once.
 fn run_remote_shard(
-    url: &str,
+    urls: &[String],
+    shard_index: usize,
+    range: std::ops::Range<usize>,
     request: &SweepRequest,
+    policy: &FailoverPolicy,
     sender: &mpsc::SyncSender<Result<String, ServeError>>,
 ) -> Result<(), ServeError> {
-    let body = serde_json::to_string(request)
-        .map_err(|e| ServeError::Api(format!("serializing sweep request: {e}")))?;
-    let response = client::post_ndjson(url, "/v1/sweep", &body, |line| {
-        if line.starts_with("{\"error\"") {
-            return Err(ServeError::Worker(format!("{url}: {line}")));
+    let shards = urls.len();
+    let emitted = Cell::new(0usize);
+    // The merger hanging up (a downstream error) is fatal, never retried.
+    let merger_gone = Cell::new(false);
+    let mut target = shard_index % shards;
+    let mut attempt = 0usize;
+    loop {
+        let url = &urls[target];
+        // First try: the whole shard as `I/N`. Resumes: the remaining
+        // explicit index range.
+        let sub_request = if attempt == 0 {
+            request.with_shard(shard_index, shards)
+        } else {
+            request.with_range(range.start + emitted.get(), range.end)
+        };
+        let body = serde_json::to_string(&sub_request)
+            .map_err(|e| ServeError::Api(format!("serializing sweep request: {e}")))?;
+        let result = Connection::open(url).and_then(|mut connection| {
+            let response = connection.post_ndjson("/v1/sweep", &body, |line| {
+                if line.starts_with("{\"error\"") {
+                    return Err(ServeError::Worker(format!("{url}: {line}")));
+                }
+                if sender.send(Ok(line.to_owned())).is_err() {
+                    merger_gone.set(true);
+                    return Err(ServeError::Worker("orchestrator closed the stream".into()));
+                }
+                emitted.set(emitted.get() + 1);
+                Ok(())
+            })?;
+            if response.status != 200 {
+                return Err(ServeError::Worker(format!(
+                    "{url} answered {}: {}",
+                    response.status,
+                    response.text().unwrap_or("<binary>").trim()
+                )));
+            }
+            Ok(())
+        });
+        let error = match result {
+            Ok(()) => return Ok(()),
+            Err(error) => error,
+        };
+        if merger_gone.get() || attempt >= policy.retries || !worker_loss(&error) {
+            return Err(error);
         }
-        sender
-            .send(Ok(line.to_owned()))
-            .map_err(|_| ServeError::Worker("orchestrator closed the stream".into()))
-    })?;
-    if response.status != 200 {
+        attempt += 1;
+        // Fail over to the next worker in the pool (wrapping past the dead
+        // one; with a single-URL pool this retries the same worker).
+        target = (target + 1) % shards;
+        let remaining = range.end - (range.start + emitted.get());
+        eprintln!(
+            "warning: shard {shard_index}/{shards} lost its worker ({error}); \
+             re-dispatching {remaining} remaining points to {} \
+             (attempt {attempt}/{})",
+            urls[target], policy.retries
+        );
+        if !policy.backoff.is_zero() {
+            std::thread::sleep(policy.backoff.saturating_mul(attempt as u32));
+        }
+    }
+}
+
+/// Whether an error is consistent with losing the worker — a failed
+/// connect or a collapsed/corrupted stream — as opposed to a deterministic
+/// application failure (an in-band `{"error"}` line, a non-200 status, a
+/// bad request), which would fail identically on every other worker and
+/// must not be re-dispatched.
+fn worker_loss(error: &ServeError) -> bool {
+    matches!(error, ServeError::Io(_) | ServeError::Http(_))
+}
+
+/// What [`share_memo`] did across a fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoShare {
+    /// URL of the warmest worker the memo was exported from (`None` when
+    /// every worker was cold — nothing to share).
+    pub source: Option<String>,
+    /// Memo entries (floorplans + manufacturing results) the source held.
+    pub entries: usize,
+    /// Per seeded worker: `(url, floorplans absorbed, manufacturing
+    /// results absorbed)`.
+    pub seeded: Vec<(String, usize, usize)>,
+}
+
+/// Seed every worker of a fleet from its warmest peer: poll `/v1/stats` on
+/// each URL, export the fullest memo over `GET /v1/memo` and POST it to
+/// the others (each import is fingerprint-validated server-side). Workers
+/// that already hold an entry keep theirs; only missing entries are
+/// absorbed.
+///
+/// # Errors
+///
+/// [`ServeError::Api`] for an empty URL list, [`ServeError::Worker`] when
+/// a worker answers with an error status or an undecodable body, plus the
+/// usual client connection errors.
+pub fn share_memo(urls: &[String]) -> Result<MemoShare, ServeError> {
+    if urls.is_empty() {
+        return Err(ServeError::Api(
+            "memo sharing needs at least one worker URL".into(),
+        ));
+    }
+    // One kept-alive connection per worker serves the stats poll and the
+    // export/import that follows.
+    let mut connections = Vec::with_capacity(urls.len());
+    let mut entries = Vec::with_capacity(urls.len());
+    for url in urls {
+        let mut connection = Connection::open(url)?;
+        let response = connection.get("/v1/stats")?;
+        if response.status != 200 {
+            return Err(ServeError::Worker(format!(
+                "{url} answered {} to the stats poll",
+                response.status
+            )));
+        }
+        let stats: StatsResponse = serde_json::from_str(response.text()?)
+            .map_err(|e| ServeError::Worker(format!("{url} sent undecodable stats: {e}")))?;
+        entries.push(stats.floorplan_entries + stats.manufacturing_entries);
+        connections.push(connection);
+    }
+    let (warmest, &most) = entries
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &count)| count)
+        .expect("at least one URL");
+    if most == 0 {
+        return Ok(MemoShare {
+            source: None,
+            entries: 0,
+            seeded: Vec::new(),
+        });
+    }
+    let export = connections[warmest].get("/v1/memo")?;
+    if export.status != 200 {
         return Err(ServeError::Worker(format!(
-            "{url} answered {}: {}",
-            response.status,
-            response.text().unwrap_or("<binary>").trim()
+            "{} answered {} to the memo export",
+            urls[warmest], export.status
         )));
     }
-    Ok(())
+    let memo = export.text()?.to_owned();
+    // The import travels as one request body, which the server caps; a
+    // memo grown past the cap cannot be seeded this way — say so clearly
+    // instead of letting every peer answer 400.
+    if memo.len() > crate::http::MAX_BODY_BYTES {
+        return Err(ServeError::Api(format!(
+            "the warmest memo ({} bytes from {}) exceeds the {}-byte request cap; \
+             bound worker memos with --memo-max-entries to keep them shareable",
+            memo.len(),
+            urls[warmest],
+            crate::http::MAX_BODY_BYTES
+        )));
+    }
+    let mut seeded = Vec::new();
+    for (index, connection) in connections.iter_mut().enumerate() {
+        if index == warmest {
+            continue;
+        }
+        let response = connection.post_json("/v1/memo", &memo)?;
+        if response.status != 200 {
+            return Err(ServeError::Worker(format!(
+                "{} rejected the shared memo with {}: {}",
+                urls[index],
+                response.status,
+                response.text().unwrap_or("<binary>").trim()
+            )));
+        }
+        let imported: MemoImportResponse = serde_json::from_str(response.text()?).map_err(|e| {
+            ServeError::Worker(format!(
+                "{} sent an undecodable import receipt: {e}",
+                urls[index]
+            ))
+        })?;
+        seeded.push((
+            urls[index].clone(),
+            imported.imported_floorplans,
+            imported.imported_manufacturing,
+        ));
+    }
+    Ok(MemoShare {
+        source: Some(urls[warmest].clone()),
+        entries: most,
+        seeded,
+    })
 }
 
 /// The reference outcome: evaluate `request` unsharded in-process (one
@@ -246,24 +492,27 @@ pub fn unsharded_outcome(
     request: &SweepRequest,
     jobs: Option<usize>,
 ) -> Result<OrchestratorOutcome, ServeError> {
-    let (spec, shard) = request.resolve(db)?;
+    let (spec, slice) = request.resolve(db)?;
     let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build());
     let engine = SweepEngine::with_optional_jobs(jobs);
+    let context = SweepContext::new();
     let mut fingerprint = Fingerprint::new();
     let mut points = 0usize;
-    engine.run_streaming_with(
-        &estimator,
-        &spec,
-        shard,
-        &SweepContext::new(),
-        &mut |point: SweepPoint| {
-            let line = serde_json::to_string(&point)
-                .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
-            fingerprint.update(&line);
-            points += 1;
-            Ok(())
-        },
-    )?;
+    let mut sink = |point: SweepPoint| {
+        let line = serde_json::to_string(&point)
+            .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
+        fingerprint.update(&line);
+        points += 1;
+        Ok(())
+    };
+    match slice {
+        SweepSlice::Shard(shard) => {
+            engine.run_streaming_with(&estimator, &spec, shard, &context, &mut sink)?
+        }
+        SweepSlice::Range(range) => {
+            engine.run_range_with(&estimator, &spec, range, &context, &mut sink)?
+        }
+    };
     Ok(OrchestratorOutcome {
         points,
         fingerprint: fingerprint.digest(),

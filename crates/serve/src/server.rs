@@ -8,18 +8,28 @@
 //! requests and clients benefit from each other's work — while every
 //! response stays bit-for-bit identical to a cold in-process run.
 //!
+//! Connections are persistent: each handler thread runs a per-connection
+//! request loop that serves requests until the peer asks for `Connection:
+//! close`, the idle timeout expires between requests, the
+//! requests-per-connection bound is reached, or shutdown begins. The idle
+//! wait polls in short slices so a fleet-wide shutdown never hangs behind
+//! an idle keep-alive peer.
+//!
 //! Shutdown is cooperative: `POST /v1/shutdown` (or
 //! [`ServerHandle::shutdown`]) sets a flag and nudges the accept loop with
-//! a wake-up connection; in-flight requests finish, the memo is saved when
-//! a memo file is configured, and [`Server::run`] returns.
+//! a wake-up connection; in-flight requests finish (the connection loops
+//! observe the flag and close), and only after every handler thread has
+//! drained is the memo saved — the final snapshot therefore always contains
+//! whatever an in-flight sweep inserted, and cannot race a mid-sweep
+//! autosave.
 
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 
@@ -29,15 +39,20 @@ use ecochip_techdb::TechDb;
 use ecochip_testcases::catalog;
 
 use crate::api::{
-    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, StatsResponse, SweepRequest,
-    TestcasesResponse,
+    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, MemoImportResponse,
+    StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
 };
 use crate::http;
+use crate::metrics::{self, Metrics};
 use crate::ServeError;
 
-/// Per-connection socket timeout: a stalled peer cannot pin a handler
-/// thread forever.
+/// Per-request socket timeout: a peer stalling mid-request (or mid-read of
+/// a response) cannot pin a handler thread forever.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Upper bound on the idle-wait poll slice: how long a parked keep-alive
+/// connection can delay noticing the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
 
 /// Configuration of [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -59,6 +74,13 @@ pub struct ServeConfig {
     /// Autosave the memo whenever this many new entries accumulated
     /// (requires `memo_file`).
     pub memo_save_every: Option<usize>,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (keeps a single immortal peer from pinning a handler thread
+    /// forever; clamped to at least 1).
+    pub max_requests_per_connection: usize,
     /// Narrate memo loads/saves to stderr.
     pub verbose: bool,
 }
@@ -73,6 +95,8 @@ impl Default for ServeConfig {
             memo_file: None,
             memo_max_entries: None,
             memo_save_every: None,
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1000,
             verbose: false,
         }
     }
@@ -84,10 +108,12 @@ struct ServerState {
     db: TechDb,
     addr: SocketAddr,
     memo_file: Option<PathBuf>,
+    idle_timeout: Duration,
+    max_requests_per_connection: usize,
     verbose: bool,
     shutdown: AtomicBool,
     requests: AtomicU64,
-    points_streamed: AtomicU64,
+    metrics: Metrics,
 }
 
 impl ServerState {
@@ -178,10 +204,12 @@ impl Server {
                 db,
                 addr,
                 memo_file: config.memo_file.clone(),
+                idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
+                max_requests_per_connection: config.max_requests_per_connection.max(1),
                 verbose: config.verbose,
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
-                points_streamed: AtomicU64::new(0),
+                metrics: Metrics::new(),
             }),
             threads: config.threads.max(1),
         })
@@ -234,6 +262,11 @@ impl Server {
             }
             drop(sender);
         });
+        // The scope has joined every handler thread, so all in-flight
+        // requests (including streaming sweeps and their incremental
+        // autosaves) are fully drained: this final save is strictly ordered
+        // after the last insert and cannot race a mid-sweep autosave or
+        // publish a snapshot missing in-flight entries.
         state.save_memo();
         Ok(())
     }
@@ -287,12 +320,14 @@ fn body<T: Serialize>(value: &T) -> Vec<u8> {
     }
 }
 
-fn respond<T: Serialize>(stream: &mut TcpStream, status: u16, value: &T) {
-    // The peer may already be gone; nothing useful to do about it.
-    let _ = http::write_response(stream, status, "application/json", &body(value));
+/// Write a JSON response, returning the status for metrics. The peer may
+/// already be gone; nothing useful to do about a write failure.
+fn respond<T: Serialize>(stream: &mut TcpStream, status: u16, value: &T, keep_alive: bool) -> u16 {
+    let _ = http::write_response(stream, status, "application/json", &body(value), keep_alive);
+    status
 }
 
-fn respond_error(stream: &mut TcpStream, error: &ServeError) {
+fn respond_error(stream: &mut TcpStream, error: &ServeError, keep_alive: bool) -> u16 {
     let status = match error {
         ServeError::Io(_) => 500,
         _ => 400,
@@ -303,39 +338,125 @@ fn respond_error(stream: &mut TcpStream, error: &ServeError) {
         &ErrorResponse {
             error: error.to_string(),
         },
-    );
+        keep_alive,
+    )
 }
 
-/// Serve one connection: parse the request, route it, answer, close.
+/// Why the idle wait between requests ended.
+enum Wait {
+    /// Request bytes are buffered; go parse them.
+    Ready,
+    /// Peer gone, idle timeout expired, shutdown began, or the socket
+    /// failed — close the connection.
+    Close,
+}
+
+/// Park between requests until the peer sends the next request head, it
+/// disconnects, the idle timeout expires, or shutdown begins. Polls in
+/// [`SHUTDOWN_POLL`] slices so a fleet-wide shutdown is never stuck behind
+/// an idle keep-alive connection.
+fn wait_for_request(state: &ServerState, reader: &mut BufReader<TcpStream>) -> Wait {
+    let poll = state.idle_timeout.min(SHUTDOWN_POLL);
+    let mut idle = Duration::ZERO;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Wait::Close;
+        }
+        if reader.get_ref().set_read_timeout(Some(poll)).is_err() {
+            return Wait::Close;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return Wait::Close, // peer closed
+            Ok(_) => {
+                // Request bytes arrived (nothing consumed); switch to the
+                // per-request timeout for the actual parse.
+                let _ = reader.get_ref().set_read_timeout(Some(SOCKET_TIMEOUT));
+                return Wait::Ready;
+            }
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle += poll;
+                if idle >= state.idle_timeout {
+                    return Wait::Close;
+                }
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Wait::Close,
+        }
+    }
+}
+
+/// Serve one connection: a keep-alive request loop. Each iteration waits
+/// for the next request (bounded by the idle timeout and the shutdown
+/// flag), parses and routes it, and records latency/status metrics; the
+/// loop ends when the peer asks for `Connection: close`, the
+/// requests-per-connection bound is hit, shutdown begins, or the socket
+/// fails.
 fn handle_connection(state: &ServerState, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    state.metrics.connection_opened();
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(stream);
-    let request = match http::read_request(&mut reader) {
-        Ok(Some(request)) => request,
-        Ok(None) => return, // probe/wake-up connection
-        Err(error) => {
-            respond_error(&mut writer, &error);
-            return;
-        }
-    };
-    state.requests.fetch_add(1, Ordering::Relaxed);
+    let mut served = 0usize;
+    while let Wait::Ready = wait_for_request(state, &mut reader) {
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // probe/wake-up connection
+            Err(error) => {
+                // The request framing is unreliable from here on; answer
+                // and close.
+                state.metrics.request_started();
+                let started = Instant::now();
+                let status = respond_error(&mut writer, &error, false);
+                state.metrics.observe("other", status, started.elapsed());
+                break;
+            }
+        };
+        served += 1;
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive
+            && served < state.max_requests_per_connection
+            && !state.shutdown.load(Ordering::SeqCst);
 
-    match (request.method.as_str(), request.path.as_str()) {
+        let route = metrics::route_label(&request.method, &request.path);
+        state.metrics.request_started();
+        let started = Instant::now();
+        let (status, close_after) = route_request(state, &request, &mut writer, keep_alive);
+        state.metrics.observe(route, status, started.elapsed());
+        if close_after || !keep_alive {
+            break;
+        }
+    }
+}
+
+/// Route one parsed request. Returns the response status and whether the
+/// connection must close regardless of the negotiated keep-alive (the
+/// shutdown endpoint).
+fn route_request(
+    state: &ServerState,
+    request: &http::Request,
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> (u16, bool) {
+    let status = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/healthz") => respond(
-            &mut writer,
+            writer,
             200,
             &HealthResponse {
                 status: "ok".into(),
                 service: "ecochip-serve".into(),
                 jobs: state.service.engine().jobs(),
             },
+            keep_alive,
         ),
         ("GET", "/v1/stats") => respond(
-            &mut writer,
+            writer,
             200,
             &StatsResponse::new(
                 state.service.stats(),
@@ -344,56 +465,106 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
                 state.service.memo_capacity(),
                 state.service.context().dirty_entries(),
                 state.requests.load(Ordering::Relaxed),
-                state.points_streamed.load(Ordering::Relaxed),
+                state.service.service_stats().sweep_points,
             ),
+            keep_alive,
         ),
         ("GET", "/v1/testcases") => respond(
-            &mut writer,
+            writer,
             200,
             &TestcasesResponse {
                 testcases: catalog::names(),
             },
+            keep_alive,
         ),
-        ("POST", "/v1/estimate") => match estimate(state, &request.body) {
-            Ok(response) => respond(&mut writer, 200, &response),
-            Err(error) => respond_error(&mut writer, &error),
+        ("GET", "/metrics") => {
+            let text = state.metrics.render(&state.service);
+            let _ = http::write_response(
+                writer,
+                200,
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+                keep_alive,
+            );
+            200
+        }
+        ("GET", "/v1/memo") => match state.service.export_memo_json() {
+            Ok(json) => {
+                let _ = http::write_response(
+                    writer,
+                    200,
+                    "application/json",
+                    json.as_bytes(),
+                    keep_alive,
+                );
+                200
+            }
+            Err(error) => respond_error(writer, &ServeError::Estimator(error), keep_alive),
         },
-        ("POST", "/v1/sweep") => sweep(state, &request.body, &mut writer),
+        ("POST", "/v1/memo") => match import_memo(state, &request.body) {
+            Ok(response) => respond(writer, 200, &response, keep_alive),
+            Err(error) => respond_error(writer, &error, keep_alive),
+        },
+        ("POST", "/v1/estimate") => match estimate(state, &request.body) {
+            Ok(response) => respond(writer, 200, &response, keep_alive),
+            Err(error) => respond_error(writer, &error, keep_alive),
+        },
+        ("POST", "/v1/sweep") => sweep(state, &request.body, writer, keep_alive),
         ("POST", "/v1/shutdown") => {
             respond(
-                &mut writer,
+                writer,
                 200,
                 &HealthResponse {
                     status: "shutting down".into(),
                     service: "ecochip-serve".into(),
                     jobs: state.service.engine().jobs(),
                 },
+                false,
             );
             let _ = writer.flush();
             state.trigger_shutdown();
+            return (200, true);
         }
         (
             _,
             "/v1/healthz" | "/v1/stats" | "/v1/testcases" | "/v1/estimate" | "/v1/sweep"
-            | "/v1/shutdown",
+            | "/v1/memo" | "/v1/shutdown" | "/metrics",
         ) => respond(
-            &mut writer,
+            writer,
             405,
             &ErrorResponse {
                 error: format!("method {} not allowed on {}", request.method, request.path),
             },
+            keep_alive,
         ),
         (_, path) => respond(
-            &mut writer,
+            writer,
             404,
             &ErrorResponse {
                 error: format!(
                     "unknown path {path:?}; endpoints: /v1/estimate /v1/sweep /v1/testcases \
-                     /v1/healthz /v1/stats /v1/shutdown"
+                     /v1/memo /v1/healthz /v1/stats /v1/shutdown /metrics"
                 ),
             },
+            keep_alive,
         ),
-    }
+    };
+    (status, false)
+}
+
+/// Handle `POST /v1/memo`: absorb a peer's exported memo into the warm
+/// service, validated by the stale-memo machinery (wrong fingerprint or
+/// format version → typed 400, nothing absorbed).
+fn import_memo(state: &ServerState, request_body: &[u8]) -> Result<MemoImportResponse, ServeError> {
+    let json = std::str::from_utf8(request_body)
+        .map_err(|_| ServeError::Api("memo body is not valid UTF-8".into()))?;
+    let imported = state.service.import_memo_json(json)?;
+    Ok(MemoImportResponse {
+        imported_floorplans: imported.floorplans,
+        imported_manufacturing: imported.manufacturing,
+        floorplan_entries: state.service.context().floorplan_entries(),
+        manufacturing_entries: state.service.context().manufacturing_entries(),
+    })
 }
 
 fn parse_body<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, ServeError> {
@@ -416,33 +587,52 @@ fn estimate(state: &ServerState, request_body: &[u8]) -> Result<EstimateResponse
 /// Handle `POST /v1/sweep`: resolve, then stream points as NDJSON over
 /// chunked transfer-encoding. Each line is produced by the same serializer
 /// as the CLI's `--stream jsonl`, so the byte stream diffs clean against an
-/// in-process run.
-fn sweep(state: &ServerState, request_body: &[u8], writer: &mut TcpStream) {
+/// in-process run. Returns the response status for metrics.
+fn sweep(
+    state: &ServerState,
+    request_body: &[u8],
+    writer: &mut TcpStream,
+    keep_alive: bool,
+) -> u16 {
     let resolved =
         parse_body::<SweepRequest>(request_body).and_then(|request| request.resolve(&state.db));
-    let (spec, shard) = match resolved {
+    let (spec, slice) = match resolved {
         Ok(resolved) => resolved,
-        Err(error) => {
-            respond_error(writer, &error);
-            return;
+        Err(error) => return respond_error(writer, &error, keep_alive),
+    };
+    // Validate an explicit range before committing to the 200 status line,
+    // so a malformed resume request gets a clean 400 instead of an in-band
+    // stream error. The bounds rule is the engine's (`validate_case_range`),
+    // checked early here.
+    if let SweepSlice::Range(range) = &slice {
+        let checked = spec
+            .try_len()
+            .and_then(|total| ecochip_core::sweep::validate_case_range(total, range));
+        if let Err(error) = checked {
+            return respond_error(writer, &ServeError::Estimator(error), keep_alive);
         }
+    }
+    let mut chunked =
+        match http::start_chunked(&mut *writer, 200, "application/x-ndjson", keep_alive) {
+            Ok(chunked) => chunked,
+            // Peer gone before any response byte was written: record the
+            // nginx-convention 499 ("client closed request") so aborted
+            // sweeps don't count as fast successes in the metrics.
+            Err(_) => return 499,
+        };
+    let mut sink = |point: SweepPoint| {
+        let mut line = serde_json::to_string(&point)
+            .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
+        line.push('\n');
+        chunked
+            .chunk(line.as_bytes())
+            .map_err(|e| EcoChipError::Io(format!("streaming sweep point: {e}")))?;
+        Ok(())
     };
-    let mut chunked = match http::start_chunked(&mut *writer, 200, "application/x-ndjson") {
-        Ok(chunked) => chunked,
-        Err(_) => return, // peer gone before the stream started
+    let result = match slice {
+        SweepSlice::Shard(shard) => state.service.run_streaming(&spec, shard, &mut sink),
+        SweepSlice::Range(range) => state.service.run_streaming_range(&spec, range, &mut sink),
     };
-    let result = state
-        .service
-        .run_streaming(&spec, shard, &mut |point: SweepPoint| {
-            let mut line = serde_json::to_string(&point)
-                .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
-            line.push('\n');
-            chunked
-                .chunk(line.as_bytes())
-                .map_err(|e| EcoChipError::Io(format!("streaming sweep point: {e}")))?;
-            state.points_streamed.fetch_add(1, Ordering::Relaxed);
-            Ok(())
-        });
     match result {
         Ok(_) => {
             let _ = chunked.finish();
@@ -458,4 +648,5 @@ fn sweep(state: &ServerState, request_body: &[u8], writer: &mut TcpStream) {
             let _ = chunked.finish();
         }
     }
+    200
 }

@@ -11,8 +11,10 @@
 //! ecochip --list-testcases         # print the built-in test-case names
 //! ecochip serve [--addr <host:port>] [--jobs N] [--threads N]
 //!               [--memo-file <file>] [--memo-max-entries N] [--memo-save-every N]
+//!               [--idle-timeout-ms N] [--max-requests-per-conn N]
 //! ecochip orchestrate --testcase <name> --sweep <axis>
 //!                     (--workers N | --remote <url,url,...>) [--check]
+//!                     [--retries N] [--backoff-ms N] [--share-memo]
 //! ```
 //!
 //! Any `--testcase` / `--design` run accepts:
@@ -38,10 +40,15 @@
 //!
 //! `ecochip serve` starts the HTTP/JSON estimation service (endpoints
 //! `/v1/estimate`, `/v1/sweep`, `/v1/testcases`, `/v1/healthz`,
-//! `/v1/stats`, `/v1/shutdown`); `ecochip orchestrate` fans a sweep out
-//! across local workers or remote servers, merges the ordered shard
-//! streams to stdout as JSON lines, and with `--check` verifies the merge
-//! against the unsharded fingerprint.
+//! `/v1/stats`, `/v1/memo`, `/metrics`, `/v1/shutdown`) with persistent
+//! keep-alive connections (`--idle-timeout-ms`, `--max-requests-per-conn`);
+//! `ecochip orchestrate` fans a sweep out across local workers or remote
+//! servers, merges the ordered shard streams to stdout as JSON lines, and
+//! with `--check` verifies the merge against the unsharded fingerprint.
+//! When a remote worker dies mid-stream the orchestrator re-dispatches the
+//! remaining index range of its shard to a surviving worker (`--retries`,
+//! `--backoff-ms`), keeping the merged stream bit-for-bit identical;
+//! `--share-memo` first seeds every worker from the warmest peer's memo.
 //!
 //! Exit codes: `0` on success, `2` for usage errors (unknown subcommands,
 //! flags, test cases, sweep axes, malformed `--addr`), `1` for runtime
@@ -54,7 +61,7 @@ use eco_chip::core::costing::system_cost;
 use eco_chip::core::dse::{named_sweep_axis, NAMED_SWEEP_AXES};
 use eco_chip::core::sweep::{Shard, SweepEngine, SweepPoint, SweepSpec};
 use eco_chip::core::{EcoChip, EcoChipService, EstimatorConfig, System};
-use eco_chip::serve::orchestrator::{self, WorkerPool};
+use eco_chip::serve::orchestrator::{self, FailoverPolicy, WorkerPool};
 use eco_chip::serve::{ServeConfig, ServeError, Server, SweepRequest};
 use eco_chip::techdb::TechDb;
 use eco_chip::testcases::catalog::{self, CatalogError};
@@ -114,11 +121,13 @@ fn print_usage() {
     eprintln!("subcommands:");
     eprintln!("  ecochip serve [--addr <host:port>] [--jobs N] [--threads N]");
     eprintln!("                [--techdb <file>] [--memo-file <file>]");
-    eprintln!("                [--memo-max-entries N] [--memo-save-every N] [--verbose]");
+    eprintln!("                [--memo-max-entries N] [--memo-save-every N]");
+    eprintln!("                [--idle-timeout-ms N] [--max-requests-per-conn N] [--verbose]");
     eprintln!("                                               start the HTTP/JSON service");
     eprintln!("  ecochip orchestrate --testcase <name> --sweep <axis>");
     eprintln!("                (--workers N | --remote <url,url,...>)");
     eprintln!("                [--design <system.json>] [--techdb <file>] [--jobs N] [--check]");
+    eprintln!("                [--retries N] [--backoff-ms N] [--share-memo]");
     eprintln!("                                               fan a sweep out and merge shards");
     eprintln!();
     eprintln!("built-in test cases:");
@@ -521,6 +530,20 @@ fn run_serve(args: &[String]) -> CliResult {
                 )?);
                 i += 2;
             }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(positive(
+                    &value_of(args, i, "--idle-timeout-ms")?,
+                    "--idle-timeout-ms",
+                )? as u64);
+                i += 2;
+            }
+            "--max-requests-per-conn" => {
+                config.max_requests_per_connection = positive(
+                    &value_of(args, i, "--max-requests-per-conn")?,
+                    "--max-requests-per-conn",
+                )?;
+                i += 2;
+            }
             "--verbose" => {
                 config.verbose = true;
                 i += 1;
@@ -563,6 +586,8 @@ fn run_orchestrate(args: &[String]) -> CliResult {
     let mut remote: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut check = false;
+    let mut share_memo = false;
+    let mut policy = FailoverPolicy::default();
 
     let mut i = 0;
     while i < args.len() {
@@ -597,6 +622,21 @@ fn run_orchestrate(args: &[String]) -> CliResult {
             }
             "--check" => {
                 check = true;
+                i += 1;
+            }
+            "--retries" => {
+                policy.retries = non_negative(&value_of(args, i, "--retries")?, "--retries")?;
+                i += 2;
+            }
+            "--backoff-ms" => {
+                policy.backoff = std::time::Duration::from_millis(non_negative(
+                    &value_of(args, i, "--backoff-ms")?,
+                    "--backoff-ms",
+                )? as u64);
+                i += 2;
+            }
+            "--share-memo" => {
+                share_memo = true;
                 i += 1;
             }
             "--help" | "-h" => {
@@ -668,16 +708,53 @@ fn run_orchestrate(args: &[String]) -> CliResult {
             axis: Some(axis),
             axes: None,
             shard: None,
+            range: None,
         },
     };
+
+    if share_memo {
+        let WorkerPool::Remote(urls) = &pool else {
+            return Err(CliError::usage(
+                "--share-memo needs --remote (local workers share nothing over the wire)",
+            ));
+        };
+        // Seeding is an optimization: a failed share (unreachable worker,
+        // oversized memo) degrades to a cold start, never kills the run.
+        match orchestrator::share_memo(urls) {
+            Ok(orchestrator::MemoShare {
+                source: Some(source),
+                entries,
+                seeded,
+            }) => {
+                eprintln!(
+                    "memo: seeded {} workers from {source} ({entries} entries)",
+                    seeded.len()
+                );
+                for (url, floorplans, manufacturing) in seeded {
+                    eprintln!(
+                        "memo:   {url} absorbed {floorplans} floorplans, \
+                         {manufacturing} manufacturing results"
+                    );
+                }
+            }
+            Ok(_) => eprintln!("memo: every worker is cold, nothing to share"),
+            Err(error) => {
+                eprintln!("warning: memo sharing failed ({error}); workers start cold")
+            }
+        }
+    }
 
     let shards = pool.shards();
     let mode = match &pool {
         WorkerPool::Local { .. } => format!("{shards} local workers"),
         WorkerPool::Remote(_) => format!("{shards} remote servers"),
     };
-    eprintln!("orchestrating sweep across {mode}");
-    let outcome = orchestrator::orchestrate(&db, &request, &pool, |line| {
+    eprintln!(
+        "orchestrating sweep across {mode} ({} retries, {} ms backoff)",
+        policy.retries,
+        policy.backoff.as_millis()
+    );
+    let outcome = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |line| {
         println!("{line}");
         Ok(())
     })

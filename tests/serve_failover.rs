@@ -1,0 +1,386 @@
+//! Orchestrator retry/failover e2e: scripted flaky workers die mid-stream
+//! and the orchestrator re-dispatches the remaining index range of their
+//! shard to a surviving worker — the merged stream stays bit-for-bit
+//! identical to the unsharded run, every point exactly once.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use eco_chip::core::dse::named_sweep_axis;
+use eco_chip::core::sweep::{Shard, SweepEngine, SweepSpec};
+use eco_chip::core::EcoChip;
+use eco_chip::serve::orchestrator::{self, FailoverPolicy, MemoShare, WorkerPool};
+use eco_chip::serve::{client, http, ServeConfig, Server, ServerHandle, SweepRequest};
+use eco_chip::techdb::TechDb;
+use eco_chip::testcases::catalog;
+
+/// Boot a real server on an ephemeral port.
+fn boot() -> (ServerHandle, String) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: Some(2),
+        threads: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral server");
+    let addr = server.local_addr().to_string();
+    (server.spawn(), addr)
+}
+
+/// The NDJSON lines of the unsharded reference run.
+fn reference_lines(testcase: &str, axis: &str) -> Vec<String> {
+    let db = TechDb::default();
+    let base = catalog::build(&db, testcase).unwrap();
+    let spec = SweepSpec::new(base.clone()).axis(named_sweep_axis(axis, &base).unwrap());
+    let estimator = EcoChip::new(
+        eco_chip::core::EstimatorConfig::builder()
+            .techdb(db)
+            .build(),
+    );
+    SweepEngine::with_jobs(2)
+        .run(&estimator, &spec)
+        .unwrap()
+        .iter()
+        .map(|point| serde_json::to_string(point).unwrap())
+        .collect()
+}
+
+/// A scripted flaky worker: speaks just enough HTTP to accept a
+/// `POST /v1/sweep`, resolves the requested shard/range against the
+/// reference lines, streams the first `serve_before_death` of them as
+/// correct chunks — and then drops the socket without the terminal chunk,
+/// exactly like a worker killed mid-stream. Every connection it accepts is
+/// counted so tests can assert how often the orchestrator tried it.
+fn spawn_flaky_worker(lines: Vec<String>, serve_before_death: usize) -> (String, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind flaky worker");
+    let addr = listener.local_addr().unwrap().to_string();
+    let requests = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&requests);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            seen.fetch_add(1, Ordering::SeqCst);
+            let Ok(mut writer) = stream.try_clone() else {
+                continue;
+            };
+            let mut reader = std::io::BufReader::new(stream);
+            let Ok(Some(request)) = http::read_request(&mut reader) else {
+                continue;
+            };
+            let parsed: SweepRequest =
+                serde_json::from_str(std::str::from_utf8(&request.body).unwrap()).unwrap();
+            // Resolve the slice the orchestrator asked for: the initial
+            // `I/N` shard or the explicit resume range.
+            let range = match (&parsed.shard, &parsed.range) {
+                (Some(selector), None) => selector.parse::<Shard>().unwrap().range(lines.len()),
+                (None, Some(range)) => range.start..range.end,
+                other => panic!("flaky worker got an unsliced request: {other:?}"),
+            };
+            let own = &lines[range];
+            let served = own.len().min(serve_before_death);
+            let _ = write!(
+                writer,
+                "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                 Transfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n"
+            );
+            for line in &own[..served] {
+                let _ = write!(writer, "{:x}\r\n{line}\n\r\n", line.len() + 1);
+            }
+            let _ = writer.flush();
+            // Die without the terminal chunk: the peer sees the connection
+            // collapse mid-stream.
+            drop(writer);
+        }
+    });
+    (addr, requests)
+}
+
+#[test]
+fn failover_resumes_a_dead_shard_mid_stream_exactly_once() {
+    let expected = reference_lines("ga102-3chiplet", "lifetime");
+    let (survivor, survivor_addr) = boot();
+    // The flaky worker owns shard 1 (indices 4..7 of 7) and dies after
+    // emitting exactly one line.
+    let (flaky_addr, flaky_requests) = spawn_flaky_worker(expected.clone(), 1);
+
+    let db = TechDb::default();
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+    let reference = orchestrator::unsharded_outcome(&db, &request, Some(2)).unwrap();
+
+    let pool = WorkerPool::Remote(vec![survivor_addr.clone(), flaky_addr.clone()]);
+    let policy = FailoverPolicy {
+        retries: 2,
+        backoff: Duration::from_millis(10),
+    };
+    let mut merged = Vec::new();
+    let outcome = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |line| {
+        merged.push(line.to_owned());
+        Ok(())
+    })
+    .unwrap();
+
+    // The merged stream is bit-for-bit the unsharded run — the one line the
+    // flaky worker served before dying was not re-emitted, the remaining
+    // range came from the survivor.
+    assert_eq!(merged, expected);
+    assert_eq!(
+        outcome, reference,
+        "failover must not change the fingerprint"
+    );
+    assert_eq!(
+        flaky_requests.load(Ordering::SeqCst),
+        1,
+        "the dead worker must not be retried (failover goes to the survivor)"
+    );
+
+    survivor.shutdown().unwrap();
+}
+
+#[test]
+fn retries_are_bounded_and_fail_fast_stays_available() {
+    let expected = reference_lines("ga102-3chiplet", "lifetime");
+    let db = TechDb::default();
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+
+    // A pool made only of flaky workers exhausts its retries and fails.
+    let (flaky_addr, flaky_requests) = spawn_flaky_worker(expected.clone(), 1);
+    let pool = WorkerPool::Remote(vec![flaky_addr]);
+    let policy = FailoverPolicy {
+        retries: 2,
+        backoff: Duration::from_millis(5),
+    };
+    let result = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |_line| Ok(()));
+    assert!(result.is_err(), "a fleet of flaky workers must fail");
+    assert_eq!(
+        flaky_requests.load(Ordering::SeqCst),
+        3,
+        "one try plus two retries"
+    );
+
+    // With failover disabled (the plain orchestrate entry point) the first
+    // loss fails the run immediately.
+    let (flaky_addr, flaky_requests) = spawn_flaky_worker(expected, 1);
+    let pool = WorkerPool::Remote(vec![flaky_addr]);
+    let result = orchestrator::orchestrate(&db, &request, &pool, |_line| Ok(()));
+    assert!(result.is_err());
+    assert_eq!(flaky_requests.load(Ordering::SeqCst), 1, "no retries");
+}
+
+/// A scripted worker that answers every request with a fixed raw response
+/// (or none at all), counting the requests it received.
+fn spawn_scripted_worker(response: &'static [u8]) -> (String, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind scripted worker");
+    let addr = listener.local_addr().unwrap().to_string();
+    let requests = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&requests);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            seen.fetch_add(1, Ordering::SeqCst);
+            let Ok(mut writer) = stream.try_clone() else {
+                continue;
+            };
+            let mut reader = std::io::BufReader::new(stream);
+            let _ = http::read_request(&mut reader);
+            let _ = writer.write_all(response);
+            let _ = writer.flush();
+        }
+    });
+    (addr, requests)
+}
+
+#[test]
+fn deterministic_application_failures_are_not_failed_over() {
+    let db = TechDb::default();
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+    // A worker that answers 400 to everything is an application failure,
+    // not a worker loss: re-dispatching would fail identically elsewhere,
+    // so even a generous retry budget must not be spent on it.
+    let (addr, requests) = spawn_scripted_worker(
+        b"HTTP/1.1 400 Bad Request\r\nContent-Type: application/json\r\n\
+          Content-Length: 16\r\nConnection: close\r\n\r\n{\"error\":\"nope\"}",
+    );
+    let pool = WorkerPool::Remote(vec![addr]);
+    let policy = FailoverPolicy {
+        retries: 5,
+        backoff: Duration::ZERO,
+    };
+    let result = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |_line| Ok(()));
+    assert!(result.is_err());
+    assert_eq!(
+        requests.load(Ordering::SeqCst),
+        1,
+        "an application error must not be re-dispatched"
+    );
+}
+
+#[test]
+fn a_worker_dying_before_the_status_line_is_sent_one_request_per_attempt() {
+    let db = TechDb::default();
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+    // A worker that accepts the request and dies before answering: the
+    // client must not transparently re-send on its own (the socket never
+    // served a response, so the failure is attributable to this request) —
+    // retry accounting belongs to the orchestrator's failover alone.
+    let (addr, requests) = spawn_scripted_worker(b"");
+    let pool = WorkerPool::Remote(vec![addr]);
+    let policy = FailoverPolicy {
+        retries: 1,
+        backoff: Duration::ZERO,
+    };
+    let result = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |_line| Ok(()));
+    assert!(result.is_err());
+    assert_eq!(
+        requests.load(Ordering::SeqCst),
+        2,
+        "one wire request per failover attempt, no hidden client retries"
+    );
+}
+
+#[test]
+fn failover_covers_a_worker_dead_from_the_start() {
+    // One real worker plus a URL nothing listens on: the dead shard's
+    // whole range is re-dispatched to the survivor.
+    let (survivor, survivor_addr) = boot();
+    let dead = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+
+    let db = TechDb::default();
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+    let reference = orchestrator::unsharded_outcome(&db, &request, Some(2)).unwrap();
+
+    let pool = WorkerPool::Remote(vec![survivor_addr.clone(), dead]);
+    let policy = FailoverPolicy {
+        retries: 1,
+        backoff: Duration::ZERO,
+    };
+    let mut merged = Vec::new();
+    let outcome = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |line| {
+        merged.push(line.to_owned());
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(outcome, reference);
+    assert_eq!(merged, reference_lines("ga102-3chiplet", "lifetime"));
+
+    survivor.shutdown().unwrap();
+}
+
+#[test]
+fn explicit_ranges_resume_over_the_wire() {
+    let (handle, addr) = boot();
+    let expected = reference_lines("ga102-3chiplet", "lifetime");
+
+    // The resume form: an explicit index range streams exactly that slice.
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime").with_range(3, 7);
+    let body = serde_json::to_string(&request).unwrap();
+    let mut lines = Vec::new();
+    let response = client::post_ndjson(&addr, "/v1/sweep", &body, |line| {
+        lines.push(line.to_owned());
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(lines, expected[3..7], "range 3..7 is the exact suffix");
+
+    // An empty range is a clean no-op (how a fully-drained shard resumes).
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime").with_range(7, 7);
+    let body = serde_json::to_string(&request).unwrap();
+    let mut lines = 0usize;
+    let response = client::post_ndjson(&addr, "/v1/sweep", &body, |_line| {
+        lines += 1;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(lines, 0);
+
+    // Out-of-bounds and conflicting slices are rejected before streaming.
+    for body in [
+        r#"{"testcase":"ga102-3chiplet","axis":"lifetime","range":{"start":3,"end":99}}"#,
+        r#"{"testcase":"ga102-3chiplet","axis":"lifetime","range":{"start":5,"end":3}}"#,
+        r#"{"testcase":"ga102-3chiplet","axis":"lifetime","shard":"0/2","range":{"start":0,"end":1}}"#,
+    ] {
+        let response = client::post_json(&addr, "/v1/sweep", body).unwrap();
+        assert_eq!(response.status, 400, "{body}");
+    }
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn share_memo_seeds_the_fleet_from_the_warmest_peer() {
+    let (a, addr_a) = boot();
+    let (b, addr_b) = boot();
+    let (c, addr_c) = boot();
+    let urls = vec![addr_a.clone(), addr_b.clone(), addr_c.clone()];
+
+    // Every worker cold: nothing to share.
+    let share = orchestrator::share_memo(&urls).unwrap();
+    assert_eq!(
+        share,
+        MemoShare {
+            source: None,
+            entries: 0,
+            seeded: Vec::new()
+        }
+    );
+
+    // Warm worker B, then share: B is detected as the warmest peer and the
+    // others absorb its memo.
+    client::post_ndjson(
+        &addr_b,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"packaging"}"#,
+        |_line| Ok(()),
+    )
+    .unwrap();
+    let share = orchestrator::share_memo(&urls).unwrap();
+    assert_eq!(share.source.as_deref(), Some(addr_b.as_str()));
+    assert!(share.entries > 0);
+    assert_eq!(share.seeded.len(), 2);
+    for (url, floorplans, manufacturing) in &share.seeded {
+        assert_ne!(url, &addr_b);
+        assert!(
+            floorplans + manufacturing > 0,
+            "{url} absorbed nothing: {share:?}"
+        );
+    }
+
+    // A seeded worker serves the same sweep without a single stage miss —
+    // and still bit-for-bit identical.
+    let mut lines = Vec::new();
+    client::post_ndjson(
+        &addr_a,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"packaging"}"#,
+        |line| {
+            lines.push(line.to_owned());
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(lines, reference_lines("ga102-3chiplet", "packaging"));
+    let stats: eco_chip::serve::StatsResponse =
+        serde_json::from_str(client::get(&addr_a, "/v1/stats").unwrap().text().unwrap()).unwrap();
+    assert_eq!(stats.floorplan_misses, 0, "{stats:?}");
+    assert!(stats.floorplan_hits > 0, "{stats:?}");
+
+    // Sharing again is idempotent: everyone already holds the entries.
+    let again = orchestrator::share_memo(&urls).unwrap();
+    for (_, floorplans, manufacturing) in &again.seeded {
+        assert_eq!(floorplans + manufacturing, 0, "{again:?}");
+    }
+
+    // An empty fleet is a usage error.
+    assert!(orchestrator::share_memo(&[]).is_err());
+
+    a.shutdown().unwrap();
+    b.shutdown().unwrap();
+    c.shutdown().unwrap();
+}

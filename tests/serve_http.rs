@@ -167,6 +167,7 @@ fn structured_axes_and_shards_work_over_the_wire() {
         axis: None,
         axes: Some(vec![SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0])]),
         shard: Some("1/2".into()),
+        range: None,
     };
     let body = serde_json::to_string(&request).unwrap();
     let mut lines = Vec::new();
@@ -325,6 +326,365 @@ fn http_shutdown_is_graceful_and_saves_the_memo() {
         serde_json::from_str(stats.text().unwrap()).unwrap();
     assert_eq!(stats.floorplan_misses, 0, "restored memo should hit");
     handle.shutdown().unwrap();
+    std::fs::remove_file(&memo).unwrap();
+}
+
+/// Extract the value of a (label-free) metric from Prometheus text format.
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (handle, addr) = boot(default_config());
+
+    let mut connection = client::Connection::open(&addr).unwrap();
+    for _ in 0..3 {
+        let health = connection.get("/v1/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.header("connection"), Some("keep-alive"));
+
+        let estimate = connection
+            .post_json("/v1/estimate", r#"{"testcase":"ga102"}"#)
+            .unwrap();
+        assert_eq!(estimate.status, 200);
+
+        // Chunked NDJSON streams ride the same reused socket: the terminal
+        // chunk delimits the body, so the connection stays usable.
+        let mut lines = 0usize;
+        let sweep = connection
+            .post_ndjson(
+                "/v1/sweep",
+                r#"{"testcase":"ga102-3chiplet","axis":"lifetime"}"#,
+                |_line| {
+                    lines += 1;
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(sweep.status, 200);
+        assert_eq!(lines, 7);
+    }
+
+    // Nine requests plus this scrape rode exactly one TCP connection.
+    let metrics = connection.get("/metrics").unwrap();
+    let text = metrics.text().unwrap();
+    assert_eq!(metric_value(text, "ecochip_http_connections_total"), 1.0);
+    assert!(
+        text.contains("ecochip_http_requests_total{route=\"sweep\",status=\"200\"} 3"),
+        "{text}"
+    );
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn connection_close_and_request_bounds_are_honored() {
+    let (handle, addr) = boot(ServeConfig {
+        max_requests_per_connection: 2,
+        ..default_config()
+    });
+
+    // An explicit `Connection: close` is honored: the server answers and
+    // closes (read_to_string returning proves the EOF).
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+    }
+
+    // The requests-per-connection bound: the second response on a
+    // keep-alive socket announces the close, and the client transparently
+    // reconnects for the third request.
+    let mut connection = client::Connection::open(&addr).unwrap();
+    let first = connection.get("/v1/healthz").unwrap();
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    let second = connection.get("/v1/healthz").unwrap();
+    assert_eq!(second.header("connection"), Some("close"));
+    let third = connection.get("/v1/healthz").unwrap();
+    assert_eq!(third.status, 200);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_dropped_and_clients_recover() {
+    let (handle, addr) = boot(ServeConfig {
+        idle_timeout: std::time::Duration::from_millis(200),
+        ..default_config()
+    });
+
+    // A raw socket that goes idle after one response is closed by the
+    // server within the idle timeout (read_to_string returns on EOF; the
+    // 5s socket timeout would error instead if the server never closed).
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let started = std::time::Instant::now();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(3),
+            "idle connection was not dropped promptly: {:?}",
+            started.elapsed()
+        );
+    }
+
+    // A Connection whose socket the server idle-dropped reconnects
+    // transparently on the next request.
+    let mut connection = client::Connection::open(&addr).unwrap();
+    assert_eq!(connection.get("/v1/healthz").unwrap().status, 200);
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let after_idle = connection.get("/v1/healthz").unwrap();
+    assert_eq!(after_idle.status, 200);
+
+    // Both raw + client sockets plus the reconnect: three connections
+    // total, visible in the metrics.
+    let metrics = connection.get("/metrics").unwrap();
+    assert_eq!(
+        metric_value(metrics.text().unwrap(), "ecochip_http_connections_total"),
+        3.0
+    );
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_serve_valid_prometheus_text_over_keep_alive() {
+    let (handle, addr) = boot(default_config());
+
+    let mut connection = client::Connection::open(&addr).unwrap();
+    // Populate a few counters and histograms first.
+    connection
+        .post_json("/v1/estimate", r#"{"testcase":"ga102"}"#)
+        .unwrap();
+    connection.get("/v1/nope").unwrap();
+
+    let first = connection.get("/metrics").unwrap();
+    assert_eq!(first.status, 200);
+    assert!(first
+        .header("content-type")
+        .is_some_and(|value| value.starts_with("text/plain")));
+    let second = connection.get("/metrics").unwrap();
+    let text = second.text().unwrap();
+
+    // Every line is a HELP/TYPE comment or a `name{labels} value` sample.
+    assert!(text.lines().count() > 20, "{text}");
+    for line in text.lines() {
+        assert!(
+            eco_chip::serve::metrics::is_valid_metrics_line(line),
+            "invalid Prometheus line: {line}"
+        );
+    }
+    // The second scrape observed the first one, both on one connection.
+    assert!(
+        text.contains("ecochip_http_requests_total{route=\"metrics\",status=\"200\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ecochip_http_requests_total{route=\"other\",status=\"404\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "ecochip_http_request_duration_seconds_bucket{route=\"estimate\",le=\"+Inf\"} 1"
+        ),
+        "{text}"
+    );
+    assert_eq!(metric_value(text, "ecochip_http_connections_total"), 1.0);
+    assert_eq!(metric_value(text, "ecochip_estimates_total"), 1.0);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn memo_export_import_warms_a_cold_server() {
+    let (warm, warm_addr) = boot(default_config());
+    let (cold, cold_addr) = boot(default_config());
+
+    // Warm server A with a floorplan-heavy sweep and capture its cold-start
+    // hit rate.
+    client::post_ndjson(
+        &warm_addr,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"packaging"}"#,
+        |_line| Ok(()),
+    )
+    .unwrap();
+    let warm_stats: eco_chip::serve::StatsResponse = serde_json::from_str(
+        client::get(&warm_addr, "/v1/stats")
+            .unwrap()
+            .text()
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(warm_stats.floorplan_misses > 0, "{warm_stats:?}");
+    let cold_start_rate = warm_stats.floorplan_hits as f64
+        / (warm_stats.floorplan_hits + warm_stats.floorplan_misses) as f64;
+
+    // Export A's memo (fingerprinted JSON) and seed B with it.
+    let export = client::get(&warm_addr, "/v1/memo").unwrap();
+    assert_eq!(export.status, 200);
+    let memo_json = export.text().unwrap().to_owned();
+    assert!(memo_json.contains("\"fingerprint\":"), "{memo_json}");
+
+    let import = client::post_json(&cold_addr, "/v1/memo", &memo_json).unwrap();
+    assert_eq!(import.status, 200, "{:?}", import.text());
+    let receipt: eco_chip::serve::MemoImportResponse =
+        serde_json::from_str(import.text().unwrap()).unwrap();
+    assert!(receipt.imported_floorplans > 0, "{receipt:?}");
+    assert_eq!(receipt.floorplan_entries, receipt.imported_floorplans);
+
+    // The seeded server replays the sweep without a single stage miss: its
+    // hit rate strictly exceeds the cold-start rate.
+    let mut seeded_lines = Vec::new();
+    client::post_ndjson(
+        &cold_addr,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"packaging"}"#,
+        |line| {
+            seeded_lines.push(line.to_owned());
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        seeded_lines,
+        reference_lines("ga102-3chiplet", "packaging"),
+        "seeded results must stay bit-for-bit identical"
+    );
+    let seeded_stats: eco_chip::serve::StatsResponse = serde_json::from_str(
+        client::get(&cold_addr, "/v1/stats")
+            .unwrap()
+            .text()
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(seeded_stats.floorplan_misses, 0, "{seeded_stats:?}");
+    let seeded_rate = seeded_stats.floorplan_hits as f64
+        / (seeded_stats.floorplan_hits + seeded_stats.floorplan_misses) as f64;
+    assert!(
+        seeded_rate > cold_start_rate,
+        "seeded hit rate {seeded_rate} must beat the cold-start rate {cold_start_rate}"
+    );
+
+    // Garbage and fingerprint-tampered memos are rejected and absorb
+    // nothing.
+    let garbage = client::post_json(&cold_addr, "/v1/memo", "{not json").unwrap();
+    assert_eq!(garbage.status, 400);
+    let fingerprint_field = memo_json
+        .split("\"fingerprint\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .unwrap();
+    let tampered = memo_json.replacen(
+        &format!("\"fingerprint\":{fingerprint_field}"),
+        "\"fingerprint\":42",
+        1,
+    );
+    let rejected = client::post_json(&cold_addr, "/v1/memo", &tampered).unwrap();
+    assert_eq!(rejected.status, 400);
+    assert!(
+        rejected.text().unwrap().contains("fingerprint"),
+        "{:?}",
+        rejected.text()
+    );
+
+    warm.shutdown().unwrap();
+    cold.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_mid_sweep_drains_the_stream_before_the_final_memo_save() {
+    use eco_chip::core::sweep::SweepContext;
+    use eco_chip::core::ChipletSize;
+
+    let memo = std::env::temp_dir().join(format!(
+        "ecochip-serve-drain-memo-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&memo);
+    let (handle, addr) = boot(ServeConfig {
+        memo_file: Some(memo.clone()),
+        memo_save_every: Some(1),
+        ..default_config()
+    });
+
+    // A sweep whose every point inserts fresh memo entries: 40 system
+    // variants with distinct chiplet sizes (distinct outlines → distinct
+    // floorplans and manufacturing results).
+    let db = TechDb::default();
+    let base = catalog::build(&db, "ga102-3chiplet").unwrap();
+    let variants: Vec<(String, eco_chip::core::System)> = (0..40)
+        .map(|index| {
+            let mut system = base.clone();
+            system.chiplets[0].size = ChipletSize::Transistors(1.0e9 * (index + 2) as f64);
+            (format!("v{index}"), system)
+        })
+        .collect();
+    let request = SweepRequest {
+        testcase: Some("ga102-3chiplet".into()),
+        system: None,
+        axis: None,
+        axes: Some(vec![SweepAxis::Systems(variants)]),
+        shard: None,
+        range: None,
+    };
+    let body = serde_json::to_string(&request).unwrap();
+
+    // Stream the sweep; as soon as the first line arrives, another client
+    // posts the shutdown — the in-flight stream must still drain fully,
+    // and only then may the final memo save run.
+    let mut lines = 0usize;
+    let shutdown_sent = std::cell::Cell::new(false);
+    let response = client::post_ndjson(&addr, "/v1/sweep", &body, |line| {
+        assert!(
+            !line.starts_with("{\"error\""),
+            "in-band stream error: {line}"
+        );
+        lines += 1;
+        if !shutdown_sent.replace(true) {
+            let response = client::post_json(&addr, "/v1/shutdown", "").unwrap();
+            assert_eq!(response.status, 200);
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(lines, 40, "shutdown must drain the in-flight stream");
+
+    // The server exits on its own; the final save ran after the drain, so
+    // the persisted memo holds every variant's entries.
+    handle.shutdown().unwrap();
+    let fingerprint = EcoChip::new(
+        eco_chip::core::EstimatorConfig::builder()
+            .techdb(db)
+            .build(),
+    )
+    .memo_fingerprint();
+    let restored = SweepContext::load_from(&memo, fingerprint).unwrap();
+    assert_eq!(
+        restored.floorplan_entries(),
+        40,
+        "final memo snapshot must contain every in-flight insert"
+    );
     std::fs::remove_file(&memo).unwrap();
 }
 
