@@ -1,0 +1,32 @@
+//! `cargo bench` entry point for the perf-baseline runner.
+//!
+//! The canonical front end is the `ecochip bench` subcommand (it adds
+//! `--check` / `--bless` against the committed `BENCH_*.json` baselines);
+//! this harness exists so `cargo bench --no-run` keeps the runner
+//! compiling and `cargo bench --bench runner` gives a quick smoke read
+//! without building the CLI.
+
+use eco_chip::bench::{run_core, run_serve, BenchOptions};
+
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; a smoke run takes
+    // no arguments, so just ignore them.
+    let options = BenchOptions {
+        smoke: true,
+        repeats: 2,
+    };
+    for run in [run_core, run_serve] {
+        let suite = run(&options).expect("bench suite failed");
+        for record in &suite.results {
+            println!(
+                "{}/{}: {:.4} {} ({} iterations in {:.3}s)",
+                record.workload,
+                record.metric,
+                record.value,
+                record.units,
+                record.iterations,
+                record.wall_clock_seconds
+            );
+        }
+    }
+}

@@ -154,7 +154,13 @@ impl EcoChip {
         context: &SweepContext,
     ) -> Result<CarbonReport, EcoChipError> {
         let db = &self.config.techdb;
-        let floorplan = self.floorplan_with(system, context)?;
+        // The outline set feeds both the floorplan stage and the per-chiplet
+        // loop below: an outline's area *is* the chiplet's derived base area,
+        // so building the outlines once avoids re-deriving every area.
+        let outlines = self.outlines(system)?;
+        let floorplan = context.floorplan(&self.config.floorplan, &outlines, || {
+            Ok(SlicingFloorplanner::new(self.config.floorplan).floorplan(&outlines)?)
+        })?;
 
         // --- Inter-die communication overheads -------------------------------
         let comm = if system.is_monolithic() {
@@ -180,7 +186,7 @@ impl EcoChip {
 
         let mut chiplet_reports = Vec::with_capacity(system.chiplets.len());
         for (i, chiplet) in system.chiplets.iter().enumerate() {
-            let base_area = chiplet.area(db)?;
+            let base_area = outlines[i].area;
             let comm_area = comm
                 .chiplet_extra_area
                 .get(i)

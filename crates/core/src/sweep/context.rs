@@ -36,7 +36,7 @@
 //! crash mid-save never corrupts the previous memo.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -52,6 +52,60 @@ use crate::manufacturing::{ChipletManufacturing, ManufacturingModel};
 /// Format version of the persisted memo JSON; bumped on breaking layout
 /// changes so old files are rejected with [`EcoChipError::MemoFormat`].
 pub const MEMO_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a offset basis (the standard 64-bit parameters).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime (the standard 64-bit parameters).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hasher for the memo caches.
+///
+/// Memo keys are a small fixed shape — a handful of packed `u64` bit
+/// patterns plus short chiplet names — hashed on *every* estimator point,
+/// so the default SipHash (keyed, HashDoS-resistant) pays for a robustness
+/// the closed key space never needs. FNV-1a folds each input in one
+/// xor-multiply instead. Word-sized writes fold the whole word at once
+/// rather than byte-at-a-time: the hash never leaves the process (persisted
+/// memos are sorted by [`Ord`], not hash order), so it only has to be fast
+/// and well mixed, not match any external FNV digest.
+#[derive(Debug, Clone, Copy)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut acc = self.0;
+        for &byte in bytes {
+            acc = (acc ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = acc;
+    }
+
+    fn write_u8(&mut self, value: u8) {
+        self.0 = (self.0 ^ u64::from(value)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = (self.0 ^ value).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// A memo cache: a [`HashMap`] of [`Cached`] values under the packed-key
+/// [`FnvHasher`] instead of the default SipHash.
+type MemoMap<K, V> = HashMap<K, Cached<V>, BuildHasherDefault<FnvHasher>>;
 
 /// Cache key for a floorplan: the floorplanner configuration plus the ordered
 /// outline set (names, exact area bits, exact aspect-ratio bits).
@@ -138,8 +192,8 @@ pub struct SweepContext {
     enabled: bool,
     /// Maximum entries *per cache* (`None` = unbounded).
     capacity: Option<usize>,
-    floorplans: Mutex<HashMap<FloorplanKey, Cached<Floorplan>>>,
-    manufacturing: Mutex<HashMap<ManufacturingKey, Cached<ChipletManufacturing>>>,
+    floorplans: Mutex<MemoMap<FloorplanKey, Floorplan>>,
+    manufacturing: Mutex<MemoMap<ManufacturingKey, ChipletManufacturing>>,
     /// Monotonic age counter; every hit or insert stamps the entry touched.
     tick: AtomicU64,
     /// Entries inserted since the last successful [`SweepContext::save_to`].
@@ -221,7 +275,7 @@ impl SweepContext {
 
     /// Evict least-recently-used entries until `map` holds at most `cap`.
     fn shrink_to<K: Eq + Hash + Clone, V>(
-        map: &mut HashMap<K, Cached<V>>,
+        map: &mut MemoMap<K, V>,
         cap: usize,
         evictions: &AtomicUsize,
     ) {
@@ -242,7 +296,7 @@ impl SweepContext {
     /// first when the cache is full, and count the insert as dirty.
     fn insert_bounded<K: Eq + Hash + Clone, V>(
         &self,
-        map: &mut HashMap<K, Cached<V>>,
+        map: &mut MemoMap<K, V>,
         key: K,
         value: V,
         evictions: &AtomicUsize,
@@ -284,8 +338,8 @@ impl SweepContext {
         /// evict earlier ones on a bounded cache).
         fn merge<K: Eq + Hash + Clone, V>(
             context: &SweepContext,
-            map: &mut HashMap<K, Cached<V>>,
-            imported: HashMap<K, Cached<V>>,
+            map: &mut MemoMap<K, V>,
+            imported: MemoMap<K, V>,
             evictions: &AtomicUsize,
         ) -> usize {
             let mut inserted = Vec::new();
@@ -586,6 +640,31 @@ mod tests {
     use super::*;
     use ecochip_techdb::{EnergySource, TechDb};
     use ecochip_yield::Wafer;
+
+    #[test]
+    fn fnv_hasher_matches_the_reference_byte_vectors() {
+        // Byte-stream writes follow the published 64-bit FNV-1a vectors;
+        // word writes fold whole words and intentionally diverge.
+        let digest = |bytes: &[u8]| {
+            let mut hasher = FnvHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_eq!(digest(b""), 0xcbf29ce484222325);
+        assert_eq!(digest(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(digest(b"foobar"), 0x85944171f73967e8);
+        // A packed u64 write mixes the whole word in one fold.
+        let mut packed = FnvHasher::default();
+        packed.write_u64(0xdead_beef_0bad_f00d);
+        assert_eq!(
+            packed.finish(),
+            (FNV_OFFSET ^ 0xdead_beef_0bad_f00d).wrapping_mul(FNV_PRIME)
+        );
+        // Different keys disperse; equal keys agree (HashMap's contract).
+        let mut other = FnvHasher::default();
+        other.write_u64(0xdead_beef_0bad_f00e);
+        assert_ne!(packed.finish(), other.finish());
+    }
 
     #[test]
     fn disabled_context_never_caches() {

@@ -199,8 +199,10 @@ impl SlicingFloorplanner {
         if order.len() == 1 {
             return Node::Leaf(order[0]);
         }
-        let mut left: Vec<usize> = Vec::new();
-        let mut right: Vec<usize> = Vec::new();
+        // Greedy area balancing splits close to evenly; one extra slot
+        // absorbs the worst-case skew without reallocating mid-partition.
+        let mut left: Vec<usize> = Vec::with_capacity(order.len() / 2 + 1);
+        let mut right: Vec<usize> = Vec::with_capacity(order.len() / 2 + 1);
         let (mut left_area, mut right_area) = (0.0f64, 0.0f64);
         for &idx in order {
             let a = chiplets[idx].area.mm2();
@@ -331,7 +333,9 @@ impl Floorplan {
     /// inter-die routers.
     pub fn adjacencies(&self) -> Vec<Adjacency> {
         let gap = self.chiplet_spacing.mm() * 1.5 + 1e-6;
-        let mut result = Vec::new();
+        // Slicing placements are planar, so adjacent pairs grow linearly
+        // with the chiplet count even though the scan is quadratic.
+        let mut result = Vec::with_capacity(self.placements.len().saturating_mul(2));
         for i in 0..self.placements.len() {
             for j in (i + 1)..self.placements.len() {
                 let (a, b) = (&self.placements[i], &self.placements[j]);

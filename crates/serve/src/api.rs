@@ -79,6 +79,46 @@ pub struct EstimateResponse {
     pub embodied_fraction: f64,
 }
 
+/// One element of a batch `POST /v1/estimate` response: each request in the
+/// posted array resolves, in request order, to either its full estimate or
+/// its own error object — one bad item never fails the whole batch.
+///
+/// The wire form of an element is exactly the body the same request would
+/// have produced as a single `POST /v1/estimate`: a successful element
+/// serializes as an [`EstimateResponse`] object, a failed one as an
+/// [`ErrorResponse`] (`{"error": …}`). Batched and sequential estimation
+/// are therefore bit-for-bit interchangeable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchEstimateItem {
+    /// The item estimated successfully.
+    Ok(EstimateResponse),
+    /// The item failed; the other items of the batch are unaffected.
+    Err(ErrorResponse),
+}
+
+impl Serialize for BatchEstimateItem {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Self::Ok(response) => response.to_value(),
+            Self::Err(error) => error.to_value(),
+        }
+    }
+}
+
+impl Deserialize for BatchEstimateItem {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let Some(fields) = v.as_object() else {
+            return Err(serde::Error::type_mismatch("object", v.kind()));
+        };
+        // The two wire forms share no keys, so the error marker is decisive.
+        if fields.iter().any(|(key, _)| key == "error") {
+            ErrorResponse::from_value(v).map(Self::Err)
+        } else {
+            EstimateResponse::from_value(v).map(Self::Ok)
+        }
+    }
+}
+
 /// `POST /v1/sweep`: a sweep description; the response streams one
 /// [`ecochip_core::sweep::SweepPoint`] JSON object per line (NDJSON).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -432,6 +472,41 @@ mod tests {
                 "{label}"
             );
         }
+    }
+
+    #[test]
+    fn batch_items_serialize_as_their_single_request_bodies() {
+        let db = TechDb::default();
+        let system = catalog::build(&db, "ga102").unwrap();
+        let report = EcoChip::default().estimate(&system).unwrap();
+        let response = EstimateResponse {
+            system: system.name.clone(),
+            embodied_fraction: report.embodied_fraction(),
+            report,
+        };
+        // A successful element is byte-identical to the single-request body.
+        let ok = BatchEstimateItem::Ok(response.clone());
+        assert_eq!(
+            serde_json::to_string(&ok).unwrap(),
+            serde_json::to_string(&response).unwrap()
+        );
+        let back: BatchEstimateItem =
+            serde_json::from_str(&serde_json::to_string(&ok).unwrap()).unwrap();
+        assert_eq!(back, ok);
+        // A failed element is byte-identical to the single-request error body.
+        let error = ErrorResponse {
+            error: "unknown testcase \"nope\"".into(),
+        };
+        let err = BatchEstimateItem::Err(error.clone());
+        assert_eq!(
+            serde_json::to_string(&err).unwrap(),
+            serde_json::to_string(&error).unwrap()
+        );
+        let back: BatchEstimateItem =
+            serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
+        assert_eq!(back, err);
+        // Non-object elements are rejected, not misclassified.
+        assert!(serde_json::from_str::<BatchEstimateItem>("3").is_err());
     }
 
     #[test]

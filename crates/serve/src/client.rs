@@ -180,6 +180,34 @@ impl Connection {
         self.request("POST", path, Some(json.as_bytes()), &mut None)
     }
 
+    /// `POST /v1/estimate` with a batch of requests, returning the per-item
+    /// results in request order. One HTTP round-trip replaces N single
+    /// requests; each item resolves to its own response or error object
+    /// exactly as the single form would have.
+    ///
+    /// # Errors
+    ///
+    /// As [`get`] for transport failures; [`ServeError::Api`] when the
+    /// server rejects the batch as a whole (malformed top-level JSON) or
+    /// [`ServeError::Http`] when the response body cannot be decoded.
+    pub fn estimate_batch(
+        &mut self,
+        requests: &[crate::api::EstimateRequest],
+    ) -> Result<Vec<crate::api::BatchEstimateItem>, ServeError> {
+        let json = serde_json::to_string(&requests)
+            .map_err(|e| ServeError::Api(format!("serializing batch request: {e}")))?;
+        let response = self.post_json("/v1/estimate", &json)?;
+        if response.status != 200 {
+            return Err(ServeError::Api(format!(
+                "batch estimate failed with status {}: {}",
+                response.status,
+                response.text().unwrap_or("<non-utf8 body>").trim_end()
+            )));
+        }
+        serde_json::from_str(response.text()?)
+            .map_err(|e| ServeError::Http(format!("decoding batch response: {e}")))
+    }
+
     /// `POST path` with a JSON body, streaming NDJSON response lines to
     /// `on_line`, reusing the socket.
     ///
@@ -305,6 +333,11 @@ fn connect(target: &str) -> Result<TcpStream, ServeError> {
         .map_err(|e| ServeError::Io(format!("connecting {target}: {e}")))?;
     let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
     let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+    // Request heads and bodies go out as one buffered write, so Nagle's
+    // algorithm buys nothing here — disabling it avoids the Nagle ×
+    // delayed-ACK stall (tens of milliseconds per request) on the
+    // keep-alive request/response ping-pong.
+    let _ = stream.set_nodelay(true);
     Ok(stream)
 }
 
@@ -336,16 +369,21 @@ fn perform(
 ) -> Result<(Response, bool), ServeError> {
     let body = request_body.unwrap_or_default();
     {
-        let mut stream = reader.get_ref();
-        write!(
-            stream,
+        // Assemble the whole request into one buffer and write it with a
+        // single syscall: a `write!` straight onto the socket would emit
+        // one small segment per format fragment.
+        let mut message = format!(
             "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             body.len(),
             if reuse { "keep-alive" } else { "close" }
         )
-        .and_then(|()| stream.write_all(body))
-        .and_then(|()| stream.flush())
-        .map_err(|e| ServeError::Io(format!("sending request: {e}")))?;
+        .into_bytes();
+        message.extend_from_slice(body);
+        let mut stream = reader.get_ref();
+        stream
+            .write_all(&message)
+            .and_then(|()| stream.flush())
+            .map_err(|e| ServeError::Io(format!("sending request: {e}")))?;
     }
 
     let status_line = read_line(&mut *reader)?

@@ -233,14 +233,17 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    write!(
-        writer,
+    // One buffer, one write: `write!` straight onto a socket would emit a
+    // segment per format fragment.
+    let mut message = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         connection_token(keep_alive)
-    )?;
-    writer.write_all(body)?;
+    )
+    .into_bytes();
+    message.extend_from_slice(body);
+    writer.write_all(&message)?;
     writer.flush()
 }
 
@@ -286,9 +289,12 @@ impl<W: Write> ChunkedWriter<W> {
         if data.is_empty() {
             return Ok(());
         }
-        write!(self.writer, "{:x}\r\n", data.len())?;
-        self.writer.write_all(data)?;
-        self.writer.write_all(b"\r\n")?;
+        // Frame the chunk in one buffer so each NDJSON point costs one
+        // write syscall, not three.
+        let mut framed = format!("{:x}\r\n", data.len()).into_bytes();
+        framed.extend_from_slice(data);
+        framed.extend_from_slice(b"\r\n");
+        self.writer.write_all(&framed)?;
         self.writer.flush()
     }
 

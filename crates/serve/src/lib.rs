@@ -17,6 +17,7 @@
 //! | Method | Path | Behaviour |
 //! |---|---|---|
 //! | `POST` | `/v1/estimate` | One design → full CFP breakdown JSON |
+//! | `POST` | `/v1/estimate` (array body) | N designs in one round-trip → array of per-item results |
 //! | `POST` | `/v1/sweep` | Sweep description → points streamed as NDJSON (chunked) |
 //! | `GET` | `/v1/testcases` | Names of the built-in test cases |
 //! | `GET` | `/v1/healthz` | Liveness probe |
@@ -81,8 +82,8 @@ pub mod orchestrator;
 pub mod server;
 
 pub use api::{
-    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, IndexRange,
-    MemoImportResponse, StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
+    BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
+    IndexRange, MemoImportResponse, StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
 };
 pub use client::Connection;
 pub use orchestrator::{FailoverPolicy, MemoShare, OrchestratorOutcome, WorkerPool};

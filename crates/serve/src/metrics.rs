@@ -20,11 +20,12 @@ use ecochip_core::EcoChipService;
 
 /// The route labels the registry tracks. Unknown paths collapse into
 /// `"other"` so a path-scanning client cannot grow the label space.
-pub const ROUTES: [&str; 10] = [
+pub const ROUTES: [&str; 11] = [
     "healthz",
     "stats",
     "testcases",
     "estimate",
+    "estimate_batch",
     "sweep",
     "memo_export",
     "memo_import",
@@ -52,6 +53,26 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         (_, "/v1/shutdown") => "shutdown",
         _ => "other",
     }
+}
+
+/// Whether an estimate request body is the batch form (a JSON array of
+/// requests). The first non-whitespace byte is decisive — a JSON document
+/// starting with `[` can only be an array — so the router and the metrics
+/// label agree without parsing the body twice.
+pub fn is_batch_estimate_body(body: &[u8]) -> bool {
+    body.iter()
+        .find(|byte| !byte.is_ascii_whitespace())
+        .is_some_and(|&byte| byte == b'[')
+}
+
+/// Map a request to its route label, distinguishing the batch form of
+/// `POST /v1/estimate` (a JSON array body) from the single form so the two
+/// latency profiles — one estimate vs. N per round-trip — stay separable.
+pub fn route_label_for(method: &str, path: &str, body: &[u8]) -> &'static str {
+    if method == "POST" && path == "/v1/estimate" && is_batch_estimate_body(body) {
+        return "estimate_batch";
+    }
+    route_label(method, path)
 }
 
 /// Cumulative request-latency observations of one route.
@@ -330,6 +351,23 @@ mod tests {
     }
 
     #[test]
+    fn batch_estimate_bodies_get_their_own_route_label() {
+        assert!(is_batch_estimate_body(b"[{\"testcase\":\"ga102\"}]"));
+        assert!(is_batch_estimate_body(b"  \n\t[]"));
+        assert!(!is_batch_estimate_body(b"{\"testcase\":\"ga102\"}"));
+        assert!(!is_batch_estimate_body(b""));
+        assert_eq!(
+            route_label_for("POST", "/v1/estimate", b"[{}]"),
+            "estimate_batch"
+        );
+        assert_eq!(route_label_for("POST", "/v1/estimate", b"{}"), "estimate");
+        // Only the estimate endpoint sniffs its body.
+        assert_eq!(route_label_for("POST", "/v1/sweep", b"[]"), "sweep");
+        assert_eq!(route_label_for("GET", "/v1/healthz", b""), "healthz");
+        assert!(ROUTES.contains(&"estimate_batch"));
+    }
+
+    #[test]
     fn rendered_output_is_valid_prometheus_text_format() {
         let metrics = Metrics::new();
         metrics.connection_opened();
@@ -339,11 +377,56 @@ mod tests {
         metrics.observe("estimate", 400, Duration::from_millis(30));
         metrics.request_started();
         metrics.observe("sweep", 200, Duration::from_secs(20));
+        metrics.request_started();
+        metrics.observe("estimate_batch", 200, Duration::from_millis(3));
 
         let service = EcoChipService::new(EcoChip::default());
         let text = metrics.render(&service);
         for line in text.lines() {
             assert!(is_valid_metrics_line(line), "invalid metrics line: {line}");
+        }
+
+        // Histogram consistency, per rendered route: cumulative buckets are
+        // monotone non-decreasing in `le`, the `+Inf` bucket equals `_count`,
+        // and the by-status request counters sum to the same `_count`.
+        let bucket_values = |route: &str| -> Vec<u64> {
+            let prefix =
+                format!("ecochip_http_request_duration_seconds_bucket{{route=\"{route}\",le=\"");
+            text.lines()
+                .filter(|line| line.starts_with(&prefix))
+                .map(|line| line.rsplit(' ').next().unwrap().parse().unwrap())
+                .collect()
+        };
+        let counter = |name: &str, labels: &str| -> u64 {
+            text.lines()
+                .filter(|line| line.starts_with(&format!("{name}{{{labels}")))
+                .map(|line| line.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+                .sum()
+        };
+        for route in ["estimate", "estimate_batch", "sweep"] {
+            let buckets = bucket_values(route);
+            assert_eq!(buckets.len(), BUCKETS.len() + 1, "route {route}");
+            assert!(
+                buckets.windows(2).all(|pair| pair[0] <= pair[1]),
+                "route {route} buckets not monotone: {buckets:?}"
+            );
+            let count = counter(
+                "ecochip_http_request_duration_seconds_count",
+                &format!("route=\"{route}\"}}"),
+            );
+            assert_eq!(
+                *buckets.last().unwrap(),
+                count,
+                "route {route} +Inf bucket must equal _count"
+            );
+            let by_status = counter(
+                "ecochip_http_requests_total",
+                &format!("route=\"{route}\","),
+            );
+            assert_eq!(
+                by_status, count,
+                "route {route} status counters must sum to _count"
+            );
         }
         assert!(text.contains("ecochip_http_connections_total 1"));
         assert!(text.contains("ecochip_http_requests_in_flight 0"));

@@ -39,8 +39,8 @@ use ecochip_techdb::TechDb;
 use ecochip_testcases::catalog;
 
 use crate::api::{
-    ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse, MemoImportResponse,
-    StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
+    BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
+    MemoImportResponse, StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
 };
 use crate::http;
 use crate::metrics::{self, Metrics};
@@ -399,6 +399,10 @@ fn wait_for_request(state: &ServerState, reader: &mut BufReader<TcpStream>) -> W
 fn handle_connection(state: &ServerState, stream: TcpStream) {
     state.metrics.connection_opened();
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    // Responses are written as single buffered messages (and NDJSON chunks
+    // must reach the peer as they are evaluated), so Nagle's algorithm only
+    // adds delayed-ACK stalls to the keep-alive ping-pong.
+    let _ = stream.set_nodelay(true);
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -424,7 +428,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
             && served < state.max_requests_per_connection
             && !state.shutdown.load(Ordering::SeqCst);
 
-        let route = metrics::route_label(&request.method, &request.path);
+        let route = metrics::route_label_for(&request.method, &request.path, &request.body);
         state.metrics.request_started();
         let started = Instant::now();
         let (status, close_after) = route_request(state, &request, &mut writer, keep_alive);
@@ -505,6 +509,12 @@ fn route_request(
             Ok(response) => respond(writer, 200, &response, keep_alive),
             Err(error) => respond_error(writer, &error, keep_alive),
         },
+        ("POST", "/v1/estimate") if metrics::is_batch_estimate_body(&request.body) => {
+            match estimate_batch(state, &request.body) {
+                Ok(items) => respond(writer, 200, &items, keep_alive),
+                Err(error) => respond_error(writer, &error, keep_alive),
+            }
+        }
         ("POST", "/v1/estimate") => match estimate(state, &request.body) {
             Ok(response) => respond(writer, 200, &response, keep_alive),
             Err(error) => respond_error(writer, &error, keep_alive),
@@ -575,6 +585,15 @@ fn parse_body<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, ServeError> {
 
 fn estimate(state: &ServerState, request_body: &[u8]) -> Result<EstimateResponse, ServeError> {
     let request: EstimateRequest = parse_body(request_body)?;
+    estimate_one(state, &request)
+}
+
+/// Estimate one resolved request — shared by the single and batch forms of
+/// `POST /v1/estimate` so both produce identical bytes for the same design.
+fn estimate_one(
+    state: &ServerState,
+    request: &EstimateRequest,
+) -> Result<EstimateResponse, ServeError> {
     let system = request.resolve(&state.db)?;
     let report = state.service.estimate(&system)?;
     Ok(EstimateResponse {
@@ -582,6 +601,27 @@ fn estimate(state: &ServerState, request_body: &[u8]) -> Result<EstimateResponse
         embodied_fraction: report.embodied_fraction(),
         report,
     })
+}
+
+/// Handle the batch form of `POST /v1/estimate`: a JSON array of requests,
+/// estimated in order within one HTTP round-trip. Each element resolves to
+/// its own response or its own error object (the same `{"error": …}` body
+/// the request would have produced on its own) — one bad item never fails
+/// the batch. Only a malformed top-level body is a request-level error.
+fn estimate_batch(
+    state: &ServerState,
+    request_body: &[u8],
+) -> Result<Vec<BatchEstimateItem>, ServeError> {
+    let requests: Vec<EstimateRequest> = parse_body(request_body)?;
+    Ok(requests
+        .iter()
+        .map(|request| match estimate_one(state, request) {
+            Ok(response) => BatchEstimateItem::Ok(response),
+            Err(error) => BatchEstimateItem::Err(ErrorResponse {
+                error: error.to_string(),
+            }),
+        })
+        .collect())
 }
 
 /// Handle `POST /v1/sweep`: resolve, then stream points as NDJSON over

@@ -20,6 +20,7 @@
 //! | [`core`] | `ecochip-core` | The ECO-CHIP estimator, DSE sweeps, disaggregation |
 //! | [`testcases`] | `ecochip-testcases` | GA102, A15, EMR and AR/VR test cases, JSON I/O |
 //! | [`serve`] | `ecochip-serve` | HTTP/JSON estimation service, shard orchestrator |
+//! | [`mod@bench`] | (facade) | Perf workload matrix, `BENCH_*.json` baselines, regression gate |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -48,6 +49,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod bench;
 
 pub use ecochip_act as act;
 pub use ecochip_core as core;

@@ -126,6 +126,94 @@ fn estimate_matches_the_in_process_estimator_bit_for_bit() {
 }
 
 #[test]
+fn batch_estimate_is_byte_identical_to_sequential_singles() {
+    use eco_chip::serve::{BatchEstimateItem, EstimateRequest};
+
+    let (handle, addr) = boot(default_config());
+    let db = TechDb::default();
+    let inline_system = catalog::build(&db, "ga102").unwrap();
+
+    // N mixed items: by-testcase, inline, a bad one in the middle (error
+    // isolation), and another by-testcase after it (order preservation).
+    let bodies = [
+        r#"{"testcase":"ga102"}"#.to_string(),
+        format!(
+            r#"{{"system":{}}}"#,
+            serde_json::to_string(&inline_system).unwrap()
+        ),
+        r#"{"testcase":"not-a-testcase"}"#.to_string(),
+        r#"{"testcase":"ga102-3chiplet"}"#.to_string(),
+    ];
+
+    // Sequential singles over ONE keep-alive connection: the reference
+    // bodies (the bad item is a request-level 400 when sent alone).
+    let mut connection = client::Connection::open(&addr).unwrap();
+    let mut singles = Vec::new();
+    for (i, body) in bodies.iter().enumerate() {
+        let response = connection.post_json("/v1/estimate", body).unwrap();
+        let expected_status = if i == 2 { 400 } else { 200 };
+        assert_eq!(response.status, expected_status, "{:?}", response.text());
+        singles.push(response.text().unwrap().trim_end_matches('\n').to_owned());
+    }
+
+    // The same items as one batch on the same connection: one round-trip,
+    // overall 200 (the bad item isolates into its own error element), and
+    // the response is exactly the singles joined into a JSON array.
+    let batch_body = format!("[{}]", bodies.join(","));
+    let response = connection.post_json("/v1/estimate", &batch_body).unwrap();
+    assert_eq!(response.status, 200, "{:?}", response.text());
+    assert_eq!(
+        response.text().unwrap(),
+        format!("[{}]\n", singles.join(",")),
+        "batch bytes diverged from sequential singles"
+    );
+    // One connection carried all 5 requests.
+    assert_eq!(connection.target(), addr);
+
+    // The typed client helper decodes the same shape: per-item results in
+    // request order, errors isolated per item.
+    let requests: Vec<EstimateRequest> = bodies
+        .iter()
+        .map(|body| serde_json::from_str(body).unwrap())
+        .collect();
+    let items = connection.estimate_batch(&requests).unwrap();
+    assert_eq!(items.len(), bodies.len());
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            BatchEstimateItem::Ok(response) => {
+                assert_ne!(i, 2, "the bad item must not estimate");
+                assert_eq!(
+                    serde_json::to_string(response).unwrap(),
+                    singles[i],
+                    "item {i}"
+                );
+            }
+            BatchEstimateItem::Err(error) => {
+                assert_eq!(i, 2, "only the bad item may fail");
+                assert!(error.error.contains("not-a-testcase"), "{}", error.error);
+            }
+        }
+    }
+
+    // An empty batch is a valid no-op; a malformed top level is a 400.
+    let response = connection.post_json("/v1/estimate", "[]").unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.text().unwrap(), "[]\n");
+    let response = connection.post_json("/v1/estimate", "[{").unwrap();
+    assert_eq!(response.status, 400, "{:?}", response.text());
+
+    // The batch route reports under its own metrics label.
+    let metrics = connection.get("/metrics").unwrap();
+    let text = metrics.text().unwrap();
+    assert!(
+        text.contains("route=\"estimate_batch\",status=\"200\""),
+        "{text}"
+    );
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn streamed_sweep_is_bit_for_bit_identical_to_the_engine() {
     let (handle, addr) = boot(default_config());
     let expected = reference_lines("ga102-3chiplet", "lifetime");
