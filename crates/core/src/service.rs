@@ -281,7 +281,10 @@ impl EcoChipService {
         shard: Shard,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
-        let mut instrumented = self.instrument(sink);
+        let mut instrumented = InstrumentedSink {
+            service: self,
+            sink,
+        };
         self.engine.run_streaming_with(
             &self.estimator,
             spec,
@@ -307,7 +310,10 @@ impl EcoChipService {
         range: std::ops::Range<usize>,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
-        let mut instrumented = self.instrument(sink);
+        let mut instrumented = InstrumentedSink {
+            service: self,
+            sink,
+        };
         self.engine.run_range_with(
             &self.estimator,
             spec,
@@ -315,23 +321,6 @@ impl EcoChipService {
             &self.context,
             &mut instrumented,
         )
-    }
-
-    /// Wrap a sink so every emitted point bumps the service counters and
-    /// checks the autosave threshold — a million-point sweep persists its
-    /// memo as it goes, not only at exit.
-    fn instrument<'a, S: SweepSink + ?Sized>(
-        &'a self,
-        sink: &'a mut S,
-    ) -> impl FnMut(SweepPoint) -> Result<(), EcoChipError> + 'a {
-        move |point: SweepPoint| {
-            sink.emit(point)?;
-            self.sweep_points.fetch_add(1, Ordering::Relaxed);
-            if self.autosave.is_some() {
-                self.maybe_autosave();
-            }
-            Ok(())
-        }
     }
 
     /// Persist the warm memo to `path`, stamped with this service's
@@ -435,6 +424,42 @@ impl EcoChipService {
                 path.display()
             );
         }
+        Ok(())
+    }
+}
+
+/// Wraps a caller sink so every emitted point bumps the service counters
+/// and checks the autosave threshold — a million-point sweep persists its
+/// memo as it goes, not only at exit. Batched emission passes straight
+/// through to the inner sink's bulk path, with one counter update and one
+/// autosave check per batch instead of per point.
+struct InstrumentedSink<'a, S: SweepSink + ?Sized> {
+    service: &'a EcoChipService,
+    sink: &'a mut S,
+}
+
+impl<S: SweepSink + ?Sized> InstrumentedSink<'_, S> {
+    fn record(&self, points: u64) {
+        self.service
+            .sweep_points
+            .fetch_add(points, Ordering::Relaxed);
+        if self.service.autosave.is_some() {
+            self.service.maybe_autosave();
+        }
+    }
+}
+
+impl<S: SweepSink + ?Sized> SweepSink for InstrumentedSink<'_, S> {
+    fn emit(&mut self, point: SweepPoint) -> Result<(), EcoChipError> {
+        self.sink.emit(point)?;
+        self.record(1);
+        Ok(())
+    }
+
+    fn accept_batch(&mut self, points: Vec<SweepPoint>) -> Result<(), EcoChipError> {
+        let count = points.len() as u64;
+        self.sink.accept_batch(points)?;
+        self.record(count);
         Ok(())
     }
 }

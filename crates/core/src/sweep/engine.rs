@@ -21,6 +21,15 @@ use crate::sweep::{Shard, SweepCase, SweepContext, SweepPoint, SweepSpec};
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV_VAR: &str = "ECOCHIP_JOBS";
 
+/// Environment variable overriding the default claim-chunk size.
+pub const CHUNK_ENV_VAR: &str = "ECOCHIP_CHUNK";
+
+/// Default number of contiguous case indices a worker claims per queue
+/// round-trip. Large enough to amortize the Mutex+Condvar traffic to
+/// O(points/K), small enough that the reorder window (O(jobs × chunk)
+/// points) stays tiny and load stays balanced across workers.
+pub const DEFAULT_CHUNK: usize = 32;
+
 /// Receives evaluated sweep points, in the spec's deterministic case order.
 ///
 /// Any `FnMut(SweepPoint) -> Result<(), EcoChipError>` closure is a sink, so
@@ -56,6 +65,20 @@ pub trait SweepSink {
     /// Accept the next point. Returning an error aborts the sweep; the error
     /// is propagated to the caller of the streaming entry point.
     fn emit(&mut self, point: SweepPoint) -> Result<(), EcoChipError>;
+
+    /// Accept a contiguous batch of points (one claim chunk), in case
+    /// order. The default forwards point-by-point to
+    /// [`SweepSink::emit`], so closure sinks work unchanged; sinks with a
+    /// cheaper bulk path (one write per batch, one lock per batch)
+    /// override it. The batch boundary is an engine implementation detail
+    /// — concatenating all batches always reproduces the per-point stream
+    /// exactly.
+    fn accept_batch(&mut self, points: Vec<SweepPoint>) -> Result<(), EcoChipError> {
+        for point in points {
+            self.emit(point)?;
+        }
+        Ok(())
+    }
 }
 
 impl<F: FnMut(SweepPoint) -> Result<(), EcoChipError>> SweepSink for F {
@@ -144,6 +167,7 @@ impl<F: Fn(SweepCase) -> SweepCase + Sync> CaseSource for MappedSpec<'_, F> {
 #[derive(Debug, Clone)]
 pub struct SweepEngine {
     jobs: usize,
+    chunk: usize,
 }
 
 impl Default for SweepEngine {
@@ -165,9 +189,14 @@ impl SweepEngine {
         Self::with_jobs(1)
     }
 
-    /// An engine with an explicit worker count (clamped to at least 1).
+    /// An engine with an explicit worker count (clamped to at least 1) and
+    /// the default claim-chunk size (`ECOCHIP_CHUNK` when set, otherwise
+    /// [`DEFAULT_CHUNK`]).
     pub fn with_jobs(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1) }
+        Self {
+            jobs: jobs.max(1),
+            chunk: default_chunk(),
+        }
     }
 
     /// An engine from an optional worker count: pinned when `Some` (a
@@ -181,9 +210,34 @@ impl SweepEngine {
         }
     }
 
+    /// Pin the number of contiguous case indices a worker claims per queue
+    /// round-trip (clamped to at least 1). Chunking only changes lock and
+    /// wakeup traffic — emission order and every emitted byte stay
+    /// identical for any chunk size.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Chunk size from an optional override: pinned when `Some` (a
+    /// `--chunk` flag, a config field), the `ECOCHIP_CHUNK` /
+    /// [`DEFAULT_CHUNK`] default otherwise — the same "flag set or not"
+    /// contract as [`SweepEngine::with_optional_jobs`].
+    pub fn with_optional_chunk(self, chunk: Option<usize>) -> Self {
+        match chunk {
+            Some(chunk) => self.with_chunk(chunk),
+            None => self,
+        }
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The configured claim-chunk size.
+    pub fn chunk(&self) -> usize {
+        self.chunk
     }
 
     /// Evaluate every point of `spec`, in its deterministic case order.
@@ -378,24 +432,35 @@ impl SweepEngine {
         };
 
         let jobs = self.jobs.min(count);
+        let chunk = self.chunk.max(1);
         if jobs == 1 {
-            // Reference serial path: evaluate and emit inline.
+            // Reference serial path: evaluate and emit in chunk-sized
+            // batches so batch-optimized sinks (one write per batch) get
+            // the same bulk entry point the parallel path uses.
             let mut emitted = 0usize;
-            for index in range {
-                sink.emit(evaluate(index)?)?;
-                emitted += 1;
+            let mut cursor = range.start;
+            while cursor < range.end {
+                let stop = cursor.saturating_add(chunk).min(range.end);
+                let mut batch = Vec::with_capacity(stop - cursor);
+                for index in cursor..stop {
+                    batch.push(evaluate(index)?);
+                }
+                emitted += batch.len();
+                sink.accept_batch(batch)?;
+                cursor = stop;
             }
             return Ok(emitted);
         }
 
-        // Workers may run at most `window` indices ahead of the emit cursor,
-        // which bounds the reorder buffer to O(workers) points.
-        let window = jobs * 2;
+        // Workers may run at most `window` points ahead of the emit cursor
+        // (two chunks in flight per worker), which bounds the reorder
+        // buffer to O(jobs × chunk) points.
+        let window = jobs * chunk * 2;
         let queue = ReorderQueue {
             state: Mutex::new(ReorderState {
                 next_claim: range.start,
                 next_emit: range.start,
-                buffer: HashMap::with_capacity(window),
+                buffer: HashMap::with_capacity(jobs * 2),
                 aborted: false,
             }),
             ready: Condvar::new(),
@@ -406,7 +471,7 @@ impl SweepEngine {
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
-                    let claim = {
+                    let (start, stop) = {
                         let mut state = queue.state.lock().expect("sweep queue");
                         loop {
                             if state.aborted || state.next_claim >= end {
@@ -417,21 +482,38 @@ impl SweepEngine {
                             }
                             state = queue.space.wait(state).expect("sweep queue");
                         }
-                        let claim = state.next_claim;
-                        state.next_claim += 1;
-                        claim
+                        let start = state.next_claim;
+                        // Chunks auto-clamp at the range end, so shard
+                        // boundaries and short tails never over-claim.
+                        let stop = start.saturating_add(chunk).min(end);
+                        state.next_claim = stop;
+                        (start, stop)
                     };
-                    let result = evaluate(claim);
+                    // Evaluate the whole chunk without touching the queue:
+                    // one claim + one insert per K points instead of per
+                    // point. On an error, stop at the failing index — the
+                    // emitter drains chunks in order, so the lowest-index
+                    // error still surfaces first.
+                    let mut results = Vec::with_capacity(stop - start);
+                    let mut failed = false;
+                    for index in start..stop {
+                        let result = evaluate(index);
+                        failed = result.is_err();
+                        results.push(result);
+                        if failed {
+                            break;
+                        }
+                    }
                     let mut state = queue.state.lock().expect("sweep queue");
-                    if result.is_err() {
-                        // Stop claiming new indices; everything below `claim`
+                    if failed {
+                        // Stop claiming new chunks; everything below `start`
                         // is already claimed, so the emitter still surfaces
                         // the lowest-index error.
                         state.aborted = true;
                         queue.space.notify_all();
                     }
-                    let notify = claim == state.next_emit;
-                    state.buffer.insert(claim, result);
+                    let notify = start == state.next_emit;
+                    state.buffer.insert(start, results);
                     drop(state);
                     if notify {
                         queue.ready.notify_one();
@@ -439,28 +521,47 @@ impl SweepEngine {
                 });
             }
 
-            // The calling thread is the emitter: drain results in index
+            // The calling thread is the emitter: drain chunks in start-index
             // order so the sink observes the deterministic case order.
             let outcome = (|| {
                 let mut emitted = 0usize;
-                for index in range.clone() {
-                    let point = {
+                let mut cursor = range.start;
+                while cursor < end {
+                    let results = {
                         let mut state = queue.state.lock().expect("sweep queue");
                         loop {
-                            if let Some(result) = state.buffer.remove(&index) {
-                                break result;
+                            if let Some(results) = state.buffer.remove(&cursor) {
+                                break results;
                             }
                             state = queue.ready.wait(state).expect("sweep queue");
                         }
-                    }?;
-                    sink.emit(point)?;
-                    emitted += 1;
+                    };
+                    let mut batch = Vec::with_capacity(results.len());
+                    let mut failure = None;
+                    for result in results {
+                        match result {
+                            Ok(point) => batch.push(point),
+                            Err(error) => {
+                                failure = Some(error);
+                                break;
+                            }
+                        }
+                    }
+                    if !batch.is_empty() {
+                        emitted += batch.len();
+                        sink.accept_batch(batch)?;
+                    }
+                    if let Some(error) = failure {
+                        return Err(error);
+                    }
+                    cursor = cursor.saturating_add(chunk).min(end);
                     let mut state = queue.state.lock().expect("sweep queue");
-                    state.next_emit = index + 1;
+                    state.next_emit = cursor;
                     drop(state);
-                    // Advancing the window admits exactly one new claim, so
-                    // wake one parked worker; stragglers parked after the
-                    // last emit are released by the notify_all below.
+                    // Advancing the window admits exactly one new chunk
+                    // claim, so wake one parked worker; stragglers parked
+                    // after the last emit are released by the notify_all
+                    // below.
                     queue.space.notify_one();
                 }
                 Ok(emitted)
@@ -479,19 +580,21 @@ impl SweepEngine {
 
 /// Bookkeeping shared between the workers and the emitting thread.
 struct ReorderState {
-    /// Next index to hand to a worker.
+    /// Next index to hand to a worker (chunk claims advance it by up to
+    /// the chunk size at a time).
     next_claim: usize,
     /// Next index the emitter will pass to the sink.
     next_emit: usize,
-    /// Out-of-order results parked until their turn (bounded by the window).
-    buffer: HashMap<usize, Result<SweepPoint, EcoChipError>>,
-    /// Set on evaluation/sink errors so workers stop claiming indices.
+    /// Out-of-order chunk results keyed by chunk start index, parked until
+    /// their turn (bounded by the window).
+    buffer: HashMap<usize, Vec<Result<SweepPoint, EcoChipError>>>,
+    /// Set on evaluation/sink errors so workers stop claiming chunks.
     aborted: bool,
 }
 
 struct ReorderQueue {
     state: Mutex<ReorderState>,
-    /// Signals the emitter that the next in-order result arrived.
+    /// Signals the emitter that the next in-order chunk arrived.
     ready: Condvar,
     /// Signals workers that the reorder window advanced.
     space: Condvar,
@@ -582,6 +685,15 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+fn default_chunk() -> usize {
+    if let Ok(value) = std::env::var(CHUNK_ENV_VAR) {
+        if let Ok(chunk) = value.trim().parse::<usize>() {
+            return chunk.max(1);
+        }
+    }
+    DEFAULT_CHUNK
 }
 
 #[cfg(test)]
@@ -785,6 +897,76 @@ mod tests {
         });
         assert!(SweepEngine::new().run(&estimator, &spec).is_err());
         assert!(SweepEngine::with_jobs(4).run(&estimator, &spec).is_err());
+    }
+
+    #[test]
+    fn chunked_runs_match_unchunked_for_every_chunk_size() {
+        let estimator = EcoChip::default();
+        let spec = spec();
+        let reference = SweepEngine::serial()
+            .with_chunk(1)
+            .run(&estimator, &spec)
+            .unwrap();
+        let total = reference.len();
+        for jobs in [1usize, 2, 4] {
+            for chunk in [1usize, 3, 7, total, total + 5] {
+                let mut streamed = Vec::new();
+                let emitted = SweepEngine::with_jobs(jobs)
+                    .with_chunk(chunk)
+                    .run_streaming(&estimator, &spec, &mut |point| {
+                        streamed.push(point);
+                        Ok(())
+                    })
+                    .unwrap();
+                assert_eq!(emitted, total, "jobs={jobs} chunk={chunk}");
+                assert_eq!(streamed, reference, "jobs={jobs} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sinks_see_the_same_points_in_order() {
+        struct Batches {
+            points: Vec<SweepPoint>,
+            batches: usize,
+        }
+        impl SweepSink for Batches {
+            fn emit(&mut self, point: SweepPoint) -> Result<(), EcoChipError> {
+                self.points.push(point);
+                Ok(())
+            }
+            fn accept_batch(&mut self, points: Vec<SweepPoint>) -> Result<(), EcoChipError> {
+                self.batches += 1;
+                self.points.extend(points);
+                Ok(())
+            }
+        }
+        let estimator = EcoChip::default();
+        let spec = spec();
+        let reference = SweepEngine::serial().run(&estimator, &spec).unwrap();
+        let mut sink = Batches {
+            points: Vec::new(),
+            batches: 0,
+        };
+        let emitted = SweepEngine::with_jobs(4)
+            .with_chunk(5)
+            .run_streaming(&estimator, &spec, &mut sink)
+            .unwrap();
+        assert_eq!(emitted, reference.len());
+        assert_eq!(sink.points, reference);
+        // 12 points in chunks of 5 → batches of 5, 5, 2.
+        assert_eq!(sink.batches, 3);
+    }
+
+    #[test]
+    fn chunk_configuration_resolves_like_jobs() {
+        assert_eq!(SweepEngine::new().with_chunk(0).chunk(), 1);
+        assert_eq!(SweepEngine::new().with_chunk(9).chunk(), 9);
+        assert_eq!(SweepEngine::new().with_optional_chunk(Some(17)).chunk(), 17);
+        assert_eq!(
+            SweepEngine::new().with_optional_chunk(None).chunk(),
+            SweepEngine::new().chunk()
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ mod engine;
 
 pub use axis::{Shard, SweepAxis, SweepCase, SweepCaseIter, SweepSpec};
 pub use context::{SweepContext, SweepStats, MEMO_FORMAT_VERSION};
-pub use engine::{validate_case_range, SweepEngine, SweepSink, JOBS_ENV_VAR};
+pub use engine::{
+    validate_case_range, SweepEngine, SweepSink, CHUNK_ENV_VAR, DEFAULT_CHUNK, JOBS_ENV_VAR,
+};
 
 pub(crate) use engine::MappedSpec;
 

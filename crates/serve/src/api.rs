@@ -141,6 +141,45 @@ pub struct SweepRequest {
     /// resume form: shards are contiguous, so the unemitted suffix of a
     /// dead worker's shard is exactly an index range.
     pub range: Option<IndexRange>,
+    /// Stream encoding: `"ndjson"` (the default, one JSON object per
+    /// line) or `"frames"` (the `ECOF` length-prefixed binary framing of
+    /// the *same* canonical lines, see [`crate::frames`]). The
+    /// orchestrator requests frames for worker-internal shard streams;
+    /// decoded frame payloads are byte-identical to the NDJSON lines, so
+    /// fingerprints are format-independent.
+    pub format: Option<String>,
+}
+
+/// The negotiated encoding of a sweep response stream (the resolved form
+/// of [`SweepRequest::format`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepFormat {
+    /// One canonical JSON object per `\n`-terminated line — the external
+    /// default.
+    NdJson,
+    /// `ECOF` length-prefixed binary frames around the same canonical
+    /// lines (see [`crate::frames`]).
+    Frames,
+}
+
+impl SweepFormat {
+    /// The Prometheus label value (and wire name) of this format.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepFormat::NdJson => "ndjson",
+            SweepFormat::Frames => "frames",
+        }
+    }
+
+    /// The response content type this format streams as.
+    #[must_use]
+    pub fn content_type(self) -> &'static str {
+        match self {
+            SweepFormat::NdJson => "application/x-ndjson",
+            SweepFormat::Frames => crate::frames::CONTENT_TYPE,
+        }
+    }
 }
 
 /// An explicit half-open case-index range `[start, end)` of a sweep's index
@@ -174,6 +213,32 @@ impl SweepRequest {
             axes: None,
             shard: None,
             range: None,
+            format: None,
+        }
+    }
+
+    /// This request with the stream encoding pinned (`"ndjson"` or
+    /// `"frames"`).
+    #[must_use]
+    pub fn with_format(&self, format: SweepFormat) -> Self {
+        Self {
+            format: Some(format.label().to_string()),
+            ..self.clone()
+        }
+    }
+
+    /// Resolve the requested stream encoding (`None` defaults to NDJSON).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Api`] for an unknown format name.
+    pub fn negotiated_format(&self) -> Result<SweepFormat, ServeError> {
+        match self.format.as_deref() {
+            None | Some("ndjson") => Ok(SweepFormat::NdJson),
+            Some("frames") => Ok(SweepFormat::Frames),
+            Some(other) => Err(ServeError::Api(format!(
+                "unknown sweep stream format {other:?}; pass \"ndjson\" or \"frames\""
+            ))),
         }
     }
 
@@ -266,6 +331,9 @@ pub struct StatsResponse {
     pub requests: u64,
     /// Sweep points streamed since startup.
     pub points_streamed: u64,
+    /// Effective sweep-engine claim-chunk size (`--chunk` /
+    /// `ECOCHIP_CHUNK`, points per queue round-trip).
+    pub chunk: usize,
     /// Floorplans served from the memo.
     pub floorplan_hits: usize,
     /// Floorplans computed.
@@ -288,6 +356,18 @@ pub struct StatsResponse {
     pub memo_dirty_entries: usize,
 }
 
+/// Request-level totals for [`StatsResponse::new`], gathered from the
+/// server rather than the memoized service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeTotals {
+    /// Requests accepted since startup.
+    pub requests: u64,
+    /// Sweep points streamed since startup.
+    pub points_streamed: u64,
+    /// Effective sweep-engine claim-chunk size.
+    pub chunk: usize,
+}
+
 impl StatsResponse {
     /// Assemble the response from the memo counters and request totals.
     pub fn new(
@@ -296,12 +376,12 @@ impl StatsResponse {
         manufacturing_entries: usize,
         memo_capacity: Option<usize>,
         memo_dirty_entries: usize,
-        requests: u64,
-        points_streamed: u64,
+        totals: ServeTotals,
     ) -> Self {
         Self {
-            requests,
-            points_streamed,
+            requests: totals.requests,
+            points_streamed: totals.points_streamed,
+            chunk: totals.chunk,
             floorplan_hits: stats.floorplan_hits,
             floorplan_misses: stats.floorplan_misses,
             floorplan_evictions: stats.floorplan_evictions,
@@ -472,6 +552,38 @@ mod tests {
                 "{label}"
             );
         }
+    }
+
+    #[test]
+    fn sweep_formats_negotiate_and_roundtrip() {
+        let request = SweepRequest::named("ga102", "lifetime");
+        assert_eq!(request.negotiated_format().unwrap(), SweepFormat::NdJson);
+        let framed = request.with_format(SweepFormat::Frames);
+        assert_eq!(framed.negotiated_format().unwrap(), SweepFormat::Frames);
+        // Shard/range restriction keeps the negotiated format, so failover
+        // resumes stream in the same encoding as the first attempt.
+        assert_eq!(
+            framed.with_shard(0, 2).negotiated_format().unwrap(),
+            SweepFormat::Frames
+        );
+        assert_eq!(
+            framed.with_range(1, 3).negotiated_format().unwrap(),
+            SweepFormat::Frames
+        );
+        let json = serde_json::to_string(&framed).unwrap();
+        assert!(json.contains(r#""format":"frames""#), "{json}");
+        let back: SweepRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, framed);
+        let bad = SweepRequest {
+            format: Some("xml".into()),
+            ..SweepRequest::named("ga102", "lifetime")
+        };
+        assert!(matches!(bad.negotiated_format(), Err(ServeError::Api(_))));
+        assert_eq!(SweepFormat::NdJson.content_type(), "application/x-ndjson");
+        assert_eq!(
+            SweepFormat::Frames.content_type(),
+            crate::frames::CONTENT_TYPE
+        );
     }
 
     #[test]

@@ -427,14 +427,26 @@ fn perform(
         .header("transfer-encoding")
         .is_some_and(|value| value.eq_ignore_ascii_case("chunked"));
 
-    // Stream NDJSON only for successful chunked responses; error bodies are
-    // buffered so the caller can inspect them.
+    // Stream lines only for successful chunked responses; error bodies are
+    // buffered so the caller can inspect them. Framed (`ECOF`) responses
+    // are decoded back to their canonical lines here, so the caller's
+    // `on_line` observes the exact bytes an NDJSON stream would have
+    // delivered — the encoding is invisible above this function.
+    let framed = response.header("content-type").is_some_and(|value| {
+        value
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .eq_ignore_ascii_case(crate::frames::CONTENT_TYPE)
+    });
     let mut stream_lines = if status / 100 == 2 {
         on_line.take()
     } else {
         None
     };
     let mut pending = Vec::new();
+    let mut decoder = crate::frames::FrameDecoder::new();
     let mut consume = |data: &[u8], body: &mut Vec<u8>| -> Result<(), ServeError> {
         match &mut stream_lines {
             None => {
@@ -448,6 +460,7 @@ fn perform(
                 }
                 body.extend_from_slice(data);
             }
+            Some(on_line) if framed => decoder.feed(data, &mut **on_line)?,
             Some(on_line) => {
                 pending.extend_from_slice(data);
                 while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
@@ -527,6 +540,11 @@ fn perform(
             )));
         }
         consume(&body, &mut response.body)?;
+    }
+    if framed && stream_lines.is_some() {
+        // A framed stream must end exactly on a frame boundary; a body cut
+        // inside a header or frame means the sender died mid-write.
+        decoder.finish()?;
     }
     if !pending.is_empty() {
         // A final line without a trailing newline.

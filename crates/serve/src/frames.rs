@@ -1,0 +1,246 @@
+//! `ECOF` — the length-prefixed binary frame encoding for sweep streams.
+//!
+//! NDJSON is the external default for `POST /v1/sweep`, but splitting a
+//! merged multi-megabyte stream back into lines byte-by-byte is pure
+//! overhead for orchestrator-internal shard streams, where both ends are
+//! this crate. `ECOF` frames the *same canonical JSON lines* with a binary
+//! length prefix, so the receiver jumps from frame to frame without
+//! scanning for newlines — and decoding a framed stream back to NDJSON is
+//! byte-identical to the NDJSON stream the server would have sent, which
+//! keeps the FNV-1a stream fingerprint (and `orchestrate --check`)
+//! unchanged.
+//!
+//! ## Wire layout
+//!
+//! ```text
+//! stream := header frame*
+//! header := "ECOF" version            ; 5 bytes, version = 0x01
+//! frame  := len payload               ; len: u32 little-endian
+//! payload := one canonical JSON line, WITHOUT the trailing newline
+//! ```
+//!
+//! The end of the stream is delimited by the HTTP chunked encoding (the
+//! terminating 0-length chunk), not by a sentinel frame. In-band errors
+//! travel exactly like NDJSON: a frame whose payload is the
+//! `{"error": …}` object. Decoding appends `\n` to each payload, so
+//! `decode(frames) == ndjson` holds byte-for-byte.
+
+use crate::ServeError;
+
+/// Content type negotiated for framed sweep responses.
+pub const CONTENT_TYPE: &str = "application/x-ecochip-frames";
+
+/// The 4-byte stream magic.
+pub const MAGIC: [u8; 4] = *b"ECOF";
+
+/// Current wire version (bumped on incompatible layout changes).
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a single frame's payload, mirroring the HTTP layer's
+/// body cap: a length prefix this large means the stream is corrupt (or
+/// not `ECOF` at all), not that a sweep point serialized to 8 MiB.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// The 5-byte stream header every framed stream starts with.
+#[must_use]
+pub fn header() -> [u8; 5] {
+    [MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], VERSION]
+}
+
+/// Append one frame for `line` (a canonical JSON line without its trailing
+/// newline) to `out`.
+pub fn push_frame(out: &mut Vec<u8>, line: &str) {
+    out.extend_from_slice(&(line.len() as u32).to_le_bytes());
+    out.extend_from_slice(line.as_bytes());
+}
+
+/// Incremental `ECOF` decoder: feed it arbitrary byte slices as they
+/// arrive off the wire, receive the canonical lines. One decoder per
+/// stream — it consumes the header first, then frame after frame.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Bytes carried over between `feed` calls (partial header, length
+    /// prefix or payload).
+    pending: Vec<u8>,
+    /// Whether the 5-byte stream header has been consumed and validated.
+    header_seen: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder expecting a fresh stream (header first).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume `bytes`, invoking `on_line` once per completed frame with
+    /// the decoded line (no trailing newline — identical to what an NDJSON
+    /// line splitter would deliver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Http`] on a bad magic/version or an oversized
+    /// length prefix, [`ServeError::Http`] for non-UTF-8 payloads, and
+    /// propagates `on_line` errors.
+    pub fn feed(
+        &mut self,
+        bytes: &[u8],
+        on_line: &mut dyn FnMut(&str) -> Result<(), ServeError>,
+    ) -> Result<(), ServeError> {
+        self.pending.extend_from_slice(bytes);
+        let mut offset = 0usize;
+        if !self.header_seen {
+            if self.pending.len() - offset < header().len() {
+                self.pending.drain(..offset);
+                return Ok(());
+            }
+            let head = &self.pending[offset..offset + 5];
+            if head[..4] != MAGIC {
+                return Err(ServeError::Http(format!(
+                    "framed sweep stream does not start with the ECOF magic (got {:02x?})",
+                    &head[..4]
+                )));
+            }
+            if head[4] != VERSION {
+                return Err(ServeError::Http(format!(
+                    "unsupported ECOF version {} (expected {VERSION})",
+                    head[4]
+                )));
+            }
+            offset += 5;
+            self.header_seen = true;
+        }
+        loop {
+            let rest = &self.pending[offset..];
+            let Some(prefix) = rest.get(..4) else { break };
+            let len = u32::from_le_bytes(prefix.try_into().expect("4-byte slice")) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(ServeError::Http(format!(
+                    "ECOF frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte bound \
+                     (corrupt or desynchronized stream)"
+                )));
+            }
+            let Some(payload) = rest.get(4..4 + len) else {
+                break;
+            };
+            let line = std::str::from_utf8(payload)
+                .map_err(|_| ServeError::Http("ECOF frame payload is not valid UTF-8".into()))?;
+            on_line(line)?;
+            offset += 4 + len;
+        }
+        self.pending.drain(..offset);
+        Ok(())
+    }
+
+    /// Assert the stream ended on a frame boundary (call after the last
+    /// `feed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Http`] when header or frame bytes are still
+    /// pending — the stream was truncated mid-frame.
+    pub fn finish(&self) -> Result<(), ServeError> {
+        if !self.header_seen && self.pending.is_empty() {
+            // An empty stream (zero frames, not even a header) decodes to
+            // zero lines, mirroring an empty NDJSON body.
+            return Ok(());
+        }
+        if !self.header_seen {
+            return Err(ServeError::Http(
+                "framed sweep stream ended inside the ECOF header".into(),
+            ));
+        }
+        if !self.pending.is_empty() {
+            return Err(ServeError::Http(format!(
+                "framed sweep stream ended mid-frame with {} bytes pending",
+                self.pending.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(chunks: &[&[u8]]) -> Result<Vec<String>, ServeError> {
+        let mut decoder = FrameDecoder::new();
+        let mut lines = Vec::new();
+        for chunk in chunks {
+            decoder.feed(chunk, &mut |line| {
+                lines.push(line.to_string());
+                Ok(())
+            })?;
+        }
+        decoder.finish()?;
+        Ok(lines)
+    }
+
+    fn encode(lines: &[&str]) -> Vec<u8> {
+        let mut out = header().to_vec();
+        for line in lines {
+            push_frame(&mut out, line);
+        }
+        out
+    }
+
+    #[test]
+    fn frames_roundtrip_to_the_exact_ndjson_lines() {
+        let lines = [r#"{"label":"a","x":1.0}"#, r#"{"label":"b","x":2.5}"#, "{}"];
+        let wire = encode(&lines);
+        let decoded = decode_all(&[&wire]).unwrap();
+        assert_eq!(decoded, lines);
+        // Reassembling with newlines reproduces the NDJSON stream exactly.
+        let ndjson: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let reassembled: String = decoded.iter().map(|l| format!("{l}\n")).collect();
+        assert_eq!(reassembled, ndjson);
+    }
+
+    #[test]
+    fn decoding_is_insensitive_to_chunk_boundaries() {
+        let lines = ["{\"a\":1}", "{\"b\":22}", "{\"c\":333}"];
+        let wire = encode(&lines);
+        // Split the wire bytes at every possible single boundary.
+        for split in 0..=wire.len() {
+            let decoded = decode_all(&[&wire[..split], &wire[split..]]).unwrap();
+            assert_eq!(decoded, lines, "split at {split}");
+        }
+        // And byte-by-byte.
+        let singles: Vec<&[u8]> = wire.chunks(1).collect();
+        assert_eq!(decode_all(&singles).unwrap(), lines);
+    }
+
+    #[test]
+    fn bad_streams_are_rejected_with_typed_errors() {
+        // Wrong magic.
+        assert!(matches!(
+            decode_all(&[b"NOPE\x01"]),
+            Err(ServeError::Http(_))
+        ));
+        // Wrong version.
+        assert!(matches!(
+            decode_all(&[b"ECOF\x02"]),
+            Err(ServeError::Http(_))
+        ));
+        // Truncated mid-header / mid-frame.
+        assert!(matches!(decode_all(&[b"ECO"]), Err(ServeError::Http(_))));
+        let mut wire = header().to_vec();
+        push_frame(&mut wire, "{\"a\":1}");
+        assert!(matches!(
+            decode_all(&[&wire[..wire.len() - 2]]),
+            Err(ServeError::Http(_))
+        ));
+        // Oversized length prefix (desynchronized stream).
+        let mut oversized = header().to_vec();
+        oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_all(&[&oversized]),
+            Err(ServeError::Http(_))
+        ));
+        // An empty stream is zero lines, not an error.
+        assert_eq!(decode_all(&[]).unwrap(), Vec::<String>::new());
+        // A header with zero frames is also a valid empty stream.
+        assert_eq!(decode_all(&[&header()]).unwrap(), Vec::<String>::new());
+    }
+}

@@ -76,6 +76,7 @@
 
 pub mod api;
 pub mod client;
+pub mod frames;
 pub mod http;
 pub mod metrics;
 pub mod orchestrator;
@@ -83,7 +84,8 @@ pub mod server;
 
 pub use api::{
     BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
-    IndexRange, MemoImportResponse, StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
+    IndexRange, MemoImportResponse, StatsResponse, SweepFormat, SweepRequest, SweepSlice,
+    TestcasesResponse,
 };
 pub use client::Connection;
 pub use orchestrator::{FailoverPolicy, MemoShare, OrchestratorOutcome, WorkerPool};

@@ -18,6 +18,19 @@ use std::time::Duration;
 
 use ecochip_core::EcoChipService;
 
+use crate::api::SweepFormat;
+
+/// The sweep-stream encodings tracked per-format (label values of the
+/// `ecochip_sweep_stream_*` series).
+const FORMATS: [SweepFormat; 2] = [SweepFormat::NdJson, SweepFormat::Frames];
+
+fn format_index(format: SweepFormat) -> usize {
+    match format {
+        SweepFormat::NdJson => 0,
+        SweepFormat::Frames => 1,
+    }
+}
+
 /// The route labels the registry tracks. Unknown paths collapse into
 /// `"other"` so a path-scanning client cannot grow the label space.
 pub const ROUTES: [&str; 11] = [
@@ -122,6 +135,10 @@ pub struct Metrics {
     requests: Mutex<BTreeMap<(usize, u16), u64>>,
     /// Per-route request latency.
     latency: [Histogram; ROUTES.len()],
+    /// Sweep-stream payload bytes sent, per encoding ([`FORMATS`] order).
+    sweep_bytes: [AtomicU64; FORMATS.len()],
+    /// Sweep-stream wall time, per encoding ([`FORMATS`] order).
+    sweep_streams: [Histogram; FORMATS.len()],
 }
 
 impl Metrics {
@@ -144,6 +161,16 @@ impl Metrics {
     /// Mark one request as in flight (pair with [`Metrics::observe`]).
     pub fn request_started(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a finished sweep response stream: how many payload bytes the
+    /// encoding put on the wire (NDJSON lines or ECOF header+frames, not
+    /// counting the HTTP chunked-transfer framing) and how long the stream
+    /// took end to end.
+    pub fn sweep_stream_finished(&self, format: SweepFormat, bytes: u64, elapsed: Duration) {
+        let index = format_index(format);
+        self.sweep_bytes[index].fetch_add(bytes, Ordering::Relaxed);
+        self.sweep_streams[index].observe(elapsed);
     }
 
     /// Record a finished request: status, latency, and the in-flight
@@ -228,6 +255,56 @@ impl Metrics {
             ));
             sample(format!(
                 "ecochip_http_request_duration_seconds_count{{route=\"{route}\"}} {count}"
+            ));
+        }
+
+        sample(
+            "# HELP ecochip_sweep_stream_bytes_total Sweep-stream payload bytes sent, by encoding."
+                .into(),
+        );
+        sample("# TYPE ecochip_sweep_stream_bytes_total counter".into());
+        for format in FORMATS {
+            sample(format!(
+                "ecochip_sweep_stream_bytes_total{{format=\"{}\"}} {}",
+                format.label(),
+                self.sweep_bytes[format_index(format)].load(Ordering::Relaxed)
+            ));
+        }
+
+        sample(
+            "# HELP ecochip_sweep_stream_duration_seconds Sweep-stream wall time, by encoding."
+                .into(),
+        );
+        sample("# TYPE ecochip_sweep_stream_duration_seconds histogram".into());
+        for format in FORMATS {
+            let histogram = &self.sweep_streams[format_index(format)];
+            // Same load ordering as the request-latency histogram: buckets
+            // before the total keeps the rendered cumulative histogram
+            // monotone under concurrent observations.
+            let buckets: Vec<u64> = histogram
+                .buckets
+                .iter()
+                .map(|bucket| bucket.load(Ordering::Relaxed))
+                .collect();
+            let count = histogram.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let label = format.label();
+            for (value, bound) in buckets.iter().zip(BUCKETS) {
+                sample(format!(
+                    "ecochip_sweep_stream_duration_seconds_bucket{{format=\"{label}\",le=\"{bound}\"}} {value}"
+                ));
+            }
+            sample(format!(
+                "ecochip_sweep_stream_duration_seconds_bucket{{format=\"{label}\",le=\"+Inf\"}} {count}"
+            ));
+            sample(format!(
+                "ecochip_sweep_stream_duration_seconds_sum{{format=\"{label}\"}} {}",
+                histogram.sum_micros.load(Ordering::Relaxed) as f64 / 1.0e6
+            ));
+            sample(format!(
+                "ecochip_sweep_stream_duration_seconds_count{{format=\"{label}\"}} {count}"
             ));
         }
 
@@ -445,6 +522,57 @@ mod tests {
         assert!(text.contains("ecochip_http_request_duration_seconds_count{route=\"estimate\"} 2"));
         assert!(text.contains("ecochip_memo_hits_total{cache=\"floorplan\"} 0"));
         assert!(text.contains("ecochip_memo_entries{cache=\"manufacturing\"} 0"));
+    }
+
+    #[test]
+    fn sweep_stream_series_render_per_format_and_validate() {
+        let metrics = Metrics::new();
+        // Nothing streamed yet: byte counters render at zero, histograms
+        // are suppressed until they have observations.
+        let service = EcoChipService::new(EcoChip::default());
+        let idle = metrics.render(&service);
+        assert!(idle.contains("ecochip_sweep_stream_bytes_total{format=\"ndjson\"} 0"));
+        assert!(idle.contains("ecochip_sweep_stream_bytes_total{format=\"frames\"} 0"));
+        assert!(!idle.contains("ecochip_sweep_stream_duration_seconds_bucket"));
+
+        metrics.sweep_stream_finished(SweepFormat::NdJson, 1024, Duration::from_millis(12));
+        metrics.sweep_stream_finished(SweepFormat::NdJson, 2048, Duration::from_millis(700));
+        metrics.sweep_stream_finished(SweepFormat::Frames, 768, Duration::from_micros(400));
+
+        let text = metrics.render(&service);
+        for line in text.lines() {
+            assert!(is_valid_metrics_line(line), "invalid metrics line: {line}");
+        }
+        assert!(text.contains("ecochip_sweep_stream_bytes_total{format=\"ndjson\"} 3072"));
+        assert!(text.contains("ecochip_sweep_stream_bytes_total{format=\"frames\"} 768"));
+        assert!(text.contains("ecochip_sweep_stream_duration_seconds_count{format=\"ndjson\"} 2"));
+        assert!(text.contains("ecochip_sweep_stream_duration_seconds_count{format=\"frames\"} 1"));
+        // The 400µs frames stream lands in the 1ms bucket; the 700ms ndjson
+        // stream only from the 2.5s bucket up.
+        assert!(text.contains(
+            "ecochip_sweep_stream_duration_seconds_bucket{format=\"frames\",le=\"0.001\"} 1"
+        ));
+        assert!(text.contains(
+            "ecochip_sweep_stream_duration_seconds_bucket{format=\"ndjson\",le=\"0.5\"} 1"
+        ));
+        assert!(text.contains(
+            "ecochip_sweep_stream_duration_seconds_bucket{format=\"ndjson\",le=\"2.5\"} 2"
+        ));
+        // Cumulative buckets stay monotone per format.
+        for format in ["ndjson", "frames"] {
+            let prefix =
+                format!("ecochip_sweep_stream_duration_seconds_bucket{{format=\"{format}\",le=\"");
+            let buckets: Vec<u64> = text
+                .lines()
+                .filter(|line| line.starts_with(&prefix))
+                .map(|line| line.rsplit(' ').next().unwrap().parse().unwrap())
+                .collect();
+            assert_eq!(buckets.len(), BUCKETS.len() + 1, "format {format}");
+            assert!(
+                buckets.windows(2).all(|pair| pair[0] <= pair[1]),
+                "format {format} buckets not monotone: {buckets:?}"
+            );
+        }
     }
 
     #[test]

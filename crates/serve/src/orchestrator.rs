@@ -38,7 +38,7 @@ use ecochip_core::sweep::{Shard, SweepContext, SweepEngine, SweepPoint};
 use ecochip_core::{EcoChip, EcoChipError, EstimatorConfig};
 use ecochip_techdb::TechDb;
 
-use crate::api::{MemoImportResponse, StatsResponse, SweepRequest, SweepSlice};
+use crate::api::{MemoImportResponse, StatsResponse, SweepFormat, SweepRequest, SweepSlice};
 use crate::client::Connection;
 use crate::ServeError;
 
@@ -303,12 +303,16 @@ fn run_remote_shard(
     loop {
         let url = &urls[target];
         // First try: the whole shard as `I/N`. Resumes: the remaining
-        // explicit index range.
+        // explicit index range. Worker-internal streams use the compact
+        // framed encoding — the client decodes frames back to the exact
+        // NDJSON lines, so the merged stream (and its fingerprint) is
+        // unchanged.
         let sub_request = if attempt == 0 {
             request.with_shard(shard_index, shards)
         } else {
             request.with_range(range.start + emitted.get(), range.end)
-        };
+        }
+        .with_format(SweepFormat::Frames);
         let body = serde_json::to_string(&sub_request)
             .map_err(|e| ServeError::Api(format!("serializing sweep request: {e}")))?;
         let result = Connection::open(url).and_then(|mut connection| {

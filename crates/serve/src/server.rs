@@ -33,15 +33,16 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 
-use ecochip_core::sweep::{SweepEngine, SweepPoint};
+use ecochip_core::sweep::{SweepEngine, SweepPoint, SweepSink};
 use ecochip_core::{EcoChip, EcoChipError, EcoChipService, EstimatorConfig};
 use ecochip_techdb::TechDb;
 use ecochip_testcases::catalog;
 
 use crate::api::{
     BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
-    MemoImportResponse, StatsResponse, SweepRequest, SweepSlice, TestcasesResponse,
+    MemoImportResponse, StatsResponse, SweepFormat, SweepRequest, SweepSlice, TestcasesResponse,
 };
+use crate::frames;
 use crate::http;
 use crate::metrics::{self, Metrics};
 use crate::ServeError;
@@ -62,6 +63,9 @@ pub struct ServeConfig {
     /// Sweep-engine workers per request (`None`: `ECOCHIP_JOBS`, then the
     /// machine's available parallelism).
     pub jobs: Option<usize>,
+    /// Case indices a sweep worker claims per queue round-trip (`None`:
+    /// `ECOCHIP_CHUNK`, then the engine default).
+    pub chunk: Option<usize>,
     /// Connection-handler threads (each serves one request at a time).
     pub threads: usize,
     /// Technology database (`None` uses the built-in defaults).
@@ -90,6 +94,7 @@ impl Default for ServeConfig {
         Self {
             addr: "127.0.0.1:8080".into(),
             jobs: None,
+            chunk: None,
             threads: 8,
             techdb: None,
             memo_file: None,
@@ -187,7 +192,7 @@ impl Server {
 
         let db = config.techdb.clone().unwrap_or_default();
         let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build());
-        let engine = SweepEngine::with_optional_jobs(config.jobs);
+        let engine = SweepEngine::with_optional_jobs(config.jobs).with_optional_chunk(config.chunk);
         let mut service = EcoChipService::with_engine(estimator, engine);
         service.set_memo_capacity(config.memo_max_entries);
         if let Some(path) = &config.memo_file {
@@ -218,6 +223,12 @@ impl Server {
     /// The bound listen address (resolves port 0 to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.state.addr
+    }
+
+    /// The effective sweep chunk size (points claimed per worker grab),
+    /// after `ServeConfig::chunk` / `ECOCHIP_CHUNK` / default resolution.
+    pub fn engine_chunk(&self) -> usize {
+        self.state.service.engine().chunk()
     }
 
     /// Serve until shut down (`POST /v1/shutdown` or
@@ -468,8 +479,11 @@ fn route_request(
                 state.service.context().manufacturing_entries(),
                 state.service.memo_capacity(),
                 state.service.context().dirty_entries(),
-                state.requests.load(Ordering::Relaxed),
-                state.service.service_stats().sweep_points,
+                crate::api::ServeTotals {
+                    requests: state.requests.load(Ordering::Relaxed),
+                    points_streamed: state.service.service_stats().sweep_points,
+                    chunk: state.service.engine().chunk(),
+                },
             ),
             keep_alive,
         ),
@@ -624,19 +638,126 @@ fn estimate_batch(
         .collect())
 }
 
-/// Handle `POST /v1/sweep`: resolve, then stream points as NDJSON over
-/// chunked transfer-encoding. Each line is produced by the same serializer
-/// as the CLI's `--stream jsonl`, so the byte stream diffs clean against an
-/// in-process run. Returns the response status for metrics.
+/// The streaming sink behind `POST /v1/sweep`: every point is encoded into
+/// one reusable line buffer (no per-point `String` allocation), and a whole
+/// engine batch is flushed as a single transfer chunk — one buffered write
+/// per chunk of K points instead of per point. NDJSON concatenates the
+/// `\n`-terminated lines; `ECOF` frames the same lines with a binary length
+/// prefix (see [`crate::frames`]), so both encodings carry byte-identical
+/// canonical lines.
+struct SweepStreamSink<'a, W: Write> {
+    chunked: &'a mut http::ChunkedWriter<W>,
+    format: SweepFormat,
+    /// Reusable per-line JSON encode buffer.
+    line: String,
+    /// Reusable per-batch wire buffer (lines or frames).
+    wire: Vec<u8>,
+    /// Whether the `ECOF` stream header has been sent.
+    header_sent: bool,
+    /// Payload bytes put on the wire (for the per-format counter).
+    bytes: u64,
+}
+
+impl<W: Write> SweepStreamSink<'_, W> {
+    /// Encode one point onto `self.wire` in the negotiated format.
+    fn encode(&mut self, point: &SweepPoint) -> Result<(), EcoChipError> {
+        self.line.clear();
+        serde_json::to_string_into(point, &mut self.line)
+            .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
+        match self.format {
+            SweepFormat::NdJson => {
+                self.wire.extend_from_slice(self.line.as_bytes());
+                self.wire.push(b'\n');
+            }
+            SweepFormat::Frames => frames::push_frame(&mut self.wire, &self.line),
+        }
+        Ok(())
+    }
+
+    /// Send everything buffered on `self.wire` as one transfer chunk.
+    fn flush_wire(&mut self) -> Result<(), EcoChipError> {
+        if self.wire.is_empty() {
+            return Ok(());
+        }
+        self.bytes += self.wire.len() as u64;
+        let result = self.chunked.chunk(&self.wire);
+        self.wire.clear();
+        result.map_err(|e| EcoChipError::Io(format!("streaming sweep point: {e}")))
+    }
+
+    /// Queue the `ECOF` stream header ahead of the first frame.
+    fn prepare(&mut self) {
+        if self.format == SweepFormat::Frames && !self.header_sent {
+            self.wire.extend_from_slice(&frames::header());
+            self.header_sent = true;
+        }
+    }
+
+    /// Send the in-band terminal error object (the same `{"error": …}`
+    /// line NDJSON clients split off the stream, framed when negotiated).
+    fn emit_error(&mut self, error: &EcoChipError) {
+        self.prepare();
+        match serde_json::to_string(&ErrorResponse {
+            error: error.to_string(),
+        }) {
+            Ok(line) => match self.format {
+                SweepFormat::NdJson => {
+                    self.wire.extend_from_slice(line.as_bytes());
+                    self.wire.push(b'\n');
+                }
+                SweepFormat::Frames => frames::push_frame(&mut self.wire, &line),
+            },
+            Err(error) => {
+                // The wire types cannot fail serialization; surfaced for
+                // completeness, mirroring `body`.
+                let fallback = format!("{{\"error\":\"serializing response: {error}\"}}");
+                match self.format {
+                    SweepFormat::NdJson => {
+                        self.wire.extend_from_slice(fallback.as_bytes());
+                        self.wire.push(b'\n');
+                    }
+                    SweepFormat::Frames => frames::push_frame(&mut self.wire, &fallback),
+                }
+            }
+        }
+        let _ = self.flush_wire();
+    }
+}
+
+impl<W: Write> SweepSink for SweepStreamSink<'_, W> {
+    fn emit(&mut self, point: SweepPoint) -> Result<(), EcoChipError> {
+        self.prepare();
+        self.encode(&point)?;
+        self.flush_wire()
+    }
+
+    fn accept_batch(&mut self, points: Vec<SweepPoint>) -> Result<(), EcoChipError> {
+        self.prepare();
+        for point in &points {
+            self.encode(point)?;
+        }
+        self.flush_wire()
+    }
+}
+
+/// Handle `POST /v1/sweep`: resolve, then stream points over chunked
+/// transfer-encoding — NDJSON by default, `ECOF` binary frames when the
+/// request negotiates `"format":"frames"`. Each line is produced by the
+/// same serializer as the CLI's `--stream jsonl`, so the byte stream (after
+/// frame decoding, when framed) diffs clean against an in-process run.
+/// Returns the response status for metrics.
 fn sweep(
     state: &ServerState,
     request_body: &[u8],
     writer: &mut TcpStream,
     keep_alive: bool,
 ) -> u16 {
-    let resolved =
-        parse_body::<SweepRequest>(request_body).and_then(|request| request.resolve(&state.db));
-    let (spec, slice) = match resolved {
+    let resolved = parse_body::<SweepRequest>(request_body).and_then(|request| {
+        let format = request.negotiated_format()?;
+        let (spec, slice) = request.resolve(&state.db)?;
+        Ok((format, spec, slice))
+    });
+    let (format, spec, slice) = match resolved {
         Ok(resolved) => resolved,
         Err(error) => return respond_error(writer, &error, keep_alive),
     };
@@ -653,21 +774,21 @@ fn sweep(
         }
     }
     let mut chunked =
-        match http::start_chunked(&mut *writer, 200, "application/x-ndjson", keep_alive) {
+        match http::start_chunked(&mut *writer, 200, format.content_type(), keep_alive) {
             Ok(chunked) => chunked,
             // Peer gone before any response byte was written: record the
             // nginx-convention 499 ("client closed request") so aborted
             // sweeps don't count as fast successes in the metrics.
             Err(_) => return 499,
         };
-    let mut sink = |point: SweepPoint| {
-        let mut line = serde_json::to_string(&point)
-            .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
-        line.push('\n');
-        chunked
-            .chunk(line.as_bytes())
-            .map_err(|e| EcoChipError::Io(format!("streaming sweep point: {e}")))?;
-        Ok(())
+    let started = Instant::now();
+    let mut sink = SweepStreamSink {
+        chunked: &mut chunked,
+        format,
+        line: String::new(),
+        wire: Vec::new(),
+        header_sent: false,
+        bytes: 0,
     };
     let result = match slice {
         SweepSlice::Shard(shard) => state.service.run_streaming(&spec, shard, &mut sink),
@@ -675,18 +796,22 @@ fn sweep(
     };
     match result {
         Ok(_) => {
-            let _ = chunked.finish();
+            // A zero-point framed sweep still sends the stream header so
+            // clients can tell "empty stream" from "wrong format".
+            sink.prepare();
+            let _ = sink.flush_wire();
         }
         Err(error) => {
             // The status line is long gone; signal the failure in-band with
             // a terminal error object (no valid point line starts with
             // `{"error"`) and end the stream cleanly so clients detect it.
-            let line = body(&ErrorResponse {
-                error: error.to_string(),
-            });
-            let _ = chunked.chunk(&line);
-            let _ = chunked.finish();
+            sink.emit_error(&error);
         }
     }
+    let bytes = sink.bytes;
+    let _ = chunked.finish();
+    state
+        .metrics
+        .sweep_stream_finished(format, bytes, started.elapsed());
     200
 }

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use ecochip_core::sweep::{SweepAxis, SweepContext, SweepEngine, SweepSpec};
+use ecochip_core::sweep::{SweepAxis, SweepContext, SweepEngine, SweepPoint, SweepSink, SweepSpec};
 use ecochip_core::{EcoChip, System};
 use ecochip_serve::{client, ServeConfig, Server};
 use ecochip_techdb::TechDb;
@@ -391,12 +391,13 @@ pub fn run_core(options: &BenchOptions) -> Result<BenchSuite, BenchError> {
         wall_clock_seconds: wall,
     });
 
-    // The same sweep streamed point-by-point (the `--stream jsonl` / HTTP
-    // NDJSON path), including per-point serialization.
-    let streaming = SweepEngine::with_jobs(4);
+    // The same sweep streamed point-by-point with a fresh `String` per
+    // serialized point and chunk pinned to 1: the pre-chunking pipeline,
+    // kept as the reference the chunked workload is gated against.
+    let streaming = SweepEngine::with_jobs(4).with_chunk(1);
     let (value, iters, wall) = best_throughput(repeats, || {
         let mut bytes = 0usize;
-        let mut sink = |point: ecochip_core::sweep::SweepPoint| {
+        let mut sink = |point: SweepPoint| {
             bytes += serde_json::to_string(&point)
                 .map_err(|e| {
                     ecochip_core::EcoChipError::InvalidSystem(format!("serializing point: {e}"))
@@ -412,6 +413,44 @@ pub fn run_core(options: &BenchOptions) -> Result<BenchSuite, BenchError> {
     })?;
     suite.results.push(BenchRecord {
         workload: "sweep_streaming".into(),
+        metric: "throughput".into(),
+        value,
+        units: "points/sec".into(),
+        iterations: iters,
+        wall_clock_seconds: wall,
+    });
+
+    // The production streaming shape: workers claim default-sized chunks,
+    // whole chunks land in the reorder window, and the sink reuses one
+    // encode buffer (`to_string_into`) the way the CLI and server do.
+    struct EncodeSink {
+        bytes: usize,
+        line: String,
+    }
+    impl SweepSink for EncodeSink {
+        fn emit(&mut self, point: SweepPoint) -> Result<(), ecochip_core::EcoChipError> {
+            self.line.clear();
+            serde_json::to_string_into(&point, &mut self.line).map_err(|e| {
+                ecochip_core::EcoChipError::InvalidSystem(format!("serializing point: {e}"))
+            })?;
+            self.bytes += self.line.len() + 1;
+            Ok(())
+        }
+    }
+    let chunked = SweepEngine::with_jobs(4);
+    let (value, iters, wall) = best_throughput(repeats, || {
+        let mut sink = EncodeSink {
+            bytes: 0,
+            line: String::new(),
+        };
+        let emitted = chunked
+            .run_streaming(&estimator, &spec, &mut sink)
+            .map_err(run_error)?;
+        std::hint::black_box(sink.bytes);
+        Ok(emitted as u64)
+    })?;
+    suite.results.push(BenchRecord {
+        workload: "sweep_streaming_chunked".into(),
         metric: "throughput".into(),
         value,
         units: "points/sec".into(),
@@ -578,6 +617,39 @@ fn run_serve_workloads(
         wall_clock_seconds: wall,
     });
 
+    // --- Framed sweep streaming ------------------------------------------
+    // The same sweep negotiated as length-prefixed `ECOF` frames (the
+    // worker-internal encoding); the client decodes frames back to lines,
+    // so the measured loop is identical above the wire format.
+    let frames_body = r#"{"testcase":"ga102-3chiplet","axis":"lifetime","format":"frames"}"#;
+    let mut connection = client::Connection::open(addr).map_err(serve_error)?;
+    expect_200(
+        &connection
+            .post_ndjson("/v1/sweep", frames_body, |_| Ok(()))
+            .map_err(serve_error)?,
+    )?;
+    let (value, iters, wall) = best_throughput(repeats, || {
+        lines = 0;
+        for _ in 0..sweeps {
+            let response = connection
+                .post_ndjson("/v1/sweep", frames_body, |_| {
+                    lines += 1;
+                    Ok(())
+                })
+                .map_err(serve_error)?;
+            expect_200(&response)?;
+        }
+        Ok(lines)
+    })?;
+    suite.results.push(BenchRecord {
+        workload: "http_sweep_frames".into(),
+        metric: "throughput".into(),
+        value,
+        units: "points/sec".into(),
+        iterations: iters,
+        wall_clock_seconds: wall,
+    });
+
     Ok(())
 }
 
@@ -703,6 +775,7 @@ mod tests {
             "estimator_memoized",
             "sweep_parallel",
             "sweep_streaming",
+            "sweep_streaming_chunked",
         ] {
             let record = suite
                 .record(workload, "throughput")

@@ -67,7 +67,7 @@ use std::process::ExitCode;
 
 use eco_chip::core::costing::system_cost;
 use eco_chip::core::dse::{named_sweep_axis, NAMED_SWEEP_AXES};
-use eco_chip::core::sweep::{Shard, SweepEngine, SweepPoint, SweepSpec};
+use eco_chip::core::sweep::{Shard, SweepEngine, SweepPoint, SweepSpec, CHUNK_ENV_VAR};
 use eco_chip::core::{EcoChip, EcoChipService, EstimatorConfig, System};
 use eco_chip::serve::orchestrator::{self, FailoverPolicy, WorkerPool};
 use eco_chip::serve::{ServeConfig, ServeError, Server, SweepRequest};
@@ -117,6 +117,9 @@ fn print_usage() {
     eprintln!("  ... --sweep <{NAMED_SWEEP_AXES}>");
     eprintln!("                                               sweep the selected system");
     eprintln!("  ... --jobs <N>                               sweep-engine worker count");
+    eprintln!(
+        "  ... --chunk <K>                              points per worker claim (or ECOCHIP_CHUNK)"
+    );
     eprintln!("  ... --shard <I/N>                            evaluate only shard I of N");
     eprintln!("  ... --stream <jsonl|csv>                     emit sweep points incrementally");
     eprintln!("  ... --memo-file <file>                       load/save the stage memo");
@@ -127,7 +130,7 @@ fn print_usage() {
     eprintln!("  ... --json <file>                            also write the report as JSON");
     eprintln!();
     eprintln!("subcommands:");
-    eprintln!("  ecochip serve [--addr <host:port>] [--jobs N] [--threads N]");
+    eprintln!("  ecochip serve [--addr <host:port>] [--jobs N] [--chunk K] [--threads N]");
     eprintln!("                [--techdb <file>] [--memo-file <file>]");
     eprintln!("                [--memo-max-entries N] [--memo-save-every N]");
     eprintln!("                [--idle-timeout-ms N] [--max-requests-per-conn N] [--verbose]");
@@ -226,7 +229,7 @@ fn print_stats(service: &EcoChipService, options: &OutputOptions) {
 /// `db`, engine worker count, memo bound, memo load, autosave.
 fn build_service(db: TechDb, jobs: Option<usize>, options: &OutputOptions) -> EcoChipService {
     let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db).build());
-    let engine = SweepEngine::with_optional_jobs(jobs);
+    let engine = SweepEngine::with_optional_jobs(jobs).with_optional_chunk(options.chunk);
     let mut service = EcoChipService::with_engine(estimator, engine);
     service.set_memo_capacity(options.memo_cap);
     if let Some(path) = &options.memo {
@@ -271,9 +274,13 @@ fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
 const SWEEP_CSV_HEADER: &str =
     "label,manufacturing_kg,design_kg,hi_kg,embodied_kg,operational_kg,total_kg";
 
-fn sweep_csv_row(point: &SweepPoint) -> String {
+/// Append one sweep CSV row (no trailing newline) to a reusable buffer, so
+/// streaming runs format every row without a fresh `String` per point.
+fn push_csv_row(out: &mut String, point: &SweepPoint) {
+    use std::fmt::Write;
     let r = &point.report;
-    format!(
+    let _ = write!(
+        out,
         "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
         point.label,
         r.manufacturing().kg(),
@@ -282,14 +289,14 @@ fn sweep_csv_row(point: &SweepPoint) -> String {
         r.embodied().kg(),
         r.operational().kg(),
         r.total().kg()
-    )
+    );
 }
 
 fn sweep_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from(SWEEP_CSV_HEADER);
     out.push('\n');
     for point in points {
-        out.push_str(&sweep_csv_row(point));
+        push_csv_row(&mut out, point);
         out.push('\n');
     }
     out
@@ -357,6 +364,12 @@ fn run_sweep(
     } else {
         println!("{banner}");
     }
+    if options.verbose {
+        eprintln!(
+            "sweep chunk: {} points per worker claim (set with --chunk or {CHUNK_ENV_VAR})",
+            service.engine().chunk()
+        );
+    }
 
     // Collect points only when a summary table or a JSON file export needs
     // them; a streaming run with at most a CSV export holds just the
@@ -381,29 +394,49 @@ fn run_sweep(
         }
         _ => None,
     };
+    // Stream emission goes through one locked, buffered stdout writer and
+    // one reusable encode buffer: per point the only work is formatting
+    // into the buffer and a memcpy into the writer — no `String`
+    // allocation and no stdout lock/flush round-trip per line. The bytes
+    // are identical to the old per-point `println!` path (CI diffs this
+    // stream against the HTTP one).
+    let mut stream_out = options
+        .stream
+        .map(|_| std::io::BufWriter::new(std::io::stdout().lock()));
+    let mut line = String::new();
     // Only the first shard prints the CSV header, so concatenating shard
     // outputs 0/N..(N-1)/N reproduces the unsharded stream verbatim.
     if options.stream == Some(StreamFormat::Csv) && shard.index() == 0 {
-        println!("{SWEEP_CSV_HEADER}");
+        if let Some(out) = &mut stream_out {
+            use std::io::Write;
+            writeln!(out, "{SWEEP_CSV_HEADER}")
+                .map_err(|e| eco_chip::EcoChipError::Io(format!("writing point stream: {e}")))?;
+        }
     }
     let stream = options.stream;
     service.run_streaming(&spec, shard, &mut |point: SweepPoint| {
-        match stream {
-            Some(StreamFormat::Csv) => println!("{}", sweep_csv_row(&point)),
-            Some(StreamFormat::JsonLines) => match serde_json::to_string(&point) {
-                Ok(line) => println!("{line}"),
-                Err(error) => {
-                    return Err(eco_chip::EcoChipError::Io(format!(
-                        "writing JSON-lines stream: serializing sweep point {:?}: {error}",
-                        point.label
-                    )))
+        use std::io::Write;
+        if let (Some(out), Some(format)) = (&mut stream_out, stream) {
+            line.clear();
+            match format {
+                StreamFormat::Csv => push_csv_row(&mut line, &point),
+                StreamFormat::JsonLines => {
+                    serde_json::to_string_into(&point, &mut line).map_err(|error| {
+                        eco_chip::EcoChipError::Io(format!(
+                            "writing JSON-lines stream: serializing sweep point {:?}: {error}",
+                            point.label
+                        ))
+                    })?;
                 }
-            },
-            None => {}
+            }
+            line.push('\n');
+            out.write_all(line.as_bytes())
+                .map_err(|e| eco_chip::EcoChipError::Io(format!("writing point stream: {e}")))?;
         }
         if let Some(file) = &mut csv_file {
-            use std::io::Write;
-            writeln!(file, "{}", sweep_csv_row(&point))
+            line.clear();
+            push_csv_row(&mut line, &point);
+            writeln!(file, "{line}")
                 .map_err(|e| eco_chip::EcoChipError::Io(format!("writing sweep CSV: {e}")))?;
         }
         if collect {
@@ -411,6 +444,11 @@ fn run_sweep(
         }
         Ok(())
     })?;
+    if let Some(mut out) = stream_out {
+        use std::io::Write;
+        out.flush()
+            .map_err(|e| eco_chip::EcoChipError::Io(format!("flushing point stream: {e}")))?;
+    }
     if let Some(file) = csv_file {
         use std::io::Write;
         file.into_inner()
@@ -472,6 +510,7 @@ struct OutputOptions {
     memo_cap: Option<usize>,
     memo_save_every: Option<usize>,
     stream: Option<StreamFormat>,
+    chunk: Option<usize>,
     verbose: bool,
 }
 
@@ -514,6 +553,10 @@ fn run_serve(args: &[String]) -> CliResult {
             }
             "--jobs" => {
                 config.jobs = Some(positive(&value_of(args, i, "--jobs")?, "--jobs")?);
+                i += 2;
+            }
+            "--chunk" => {
+                config.chunk = Some(positive(&value_of(args, i, "--chunk")?, "--chunk")?);
                 i += 2;
             }
             "--threads" => {
@@ -577,11 +620,12 @@ fn run_serve(args: &[String]) -> CliResult {
     }
     let server = Server::bind(&config).map_err(serve_error)?;
     eprintln!(
-        "ecochip-serve listening on http://{} ({} sweep jobs, {} handler threads)",
+        "ecochip-serve listening on http://{} ({} sweep jobs, {}-point chunks, {} handler threads)",
         server.local_addr(),
         config
             .jobs
             .map_or_else(|| "default".to_owned(), |jobs| jobs.to_string()),
+        server.engine_chunk(),
         config.threads
     );
     server.run().map_err(serve_error)
@@ -722,6 +766,7 @@ fn run_orchestrate(args: &[String]) -> CliResult {
             axes: None,
             shard: None,
             range: None,
+            format: None,
         },
     };
 
@@ -767,11 +812,24 @@ fn run_orchestrate(args: &[String]) -> CliResult {
         policy.retries,
         policy.backoff.as_millis()
     );
+    // Merged lines go through one buffered writer over the locked stdout:
+    // the merger is single-threaded and ordered, so buffering changes
+    // nothing about the stream except the number of write syscalls.
+    let mut merged_out = std::io::BufWriter::new(std::io::stdout().lock());
     let outcome = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |line| {
-        println!("{line}");
-        Ok(())
+        use std::io::Write;
+        merged_out
+            .write_all(line.as_bytes())
+            .and_then(|()| merged_out.write_all(b"\n"))
+            .map_err(|e| ServeError::Io(format!("writing merged stream: {e}")))
     })
     .map_err(serve_error)?;
+    {
+        use std::io::Write;
+        merged_out
+            .flush()
+            .map_err(|e| eco_chip::EcoChipError::Io(format!("flushing merged stream: {e}")))?;
+    }
     eprintln!(
         "merged {} points, fingerprint {:#018x}",
         outcome.points, outcome.fingerprint
@@ -944,12 +1002,23 @@ fn run_bench(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Reject a malformed `ECOCHIP_CHUNK` before any engine silently falls
+/// back to the default — a typo'd chunk size should fail loudly, exactly
+/// like a malformed `--chunk`.
+fn validate_env_chunk() -> CliResult {
+    match std::env::var(CHUNK_ENV_VAR) {
+        Ok(value) => positive(value.trim(), CHUNK_ENV_VAR).map(|_| ()),
+        Err(_) => Ok(()),
+    }
+}
+
 fn real_main() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         print_usage();
         return Err(CliError::usage("no arguments given"));
     }
+    validate_env_chunk()?;
 
     // Subcommand dispatch: a leading bare word selects a subcommand; the
     // flag-only invocation remains the classic estimate/sweep front end.
@@ -974,6 +1043,7 @@ fn real_main() -> CliResult {
     let mut json: Option<PathBuf> = None;
     let mut sweep: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut chunk: Option<usize> = None;
     let mut shard: Option<Shard> = None;
     let mut memo: Option<PathBuf> = None;
     let mut memo_cap: Option<usize> = None;
@@ -1015,6 +1085,10 @@ fn real_main() -> CliResult {
             }
             "--jobs" => {
                 jobs = Some(positive(&value_of(&args, i, "--jobs")?, "--jobs")?);
+                i += 2;
+            }
+            "--chunk" => {
+                chunk = Some(positive(&value_of(&args, i, "--chunk")?, "--chunk")?);
                 i += 2;
             }
             "--shard" => {
@@ -1105,6 +1179,9 @@ fn real_main() -> CliResult {
         if stream.is_some() {
             return Err(CliError::usage("--stream requires --sweep"));
         }
+        if chunk.is_some() {
+            return Err(CliError::usage("--chunk requires --sweep"));
+        }
     }
     if memo_save_every.is_some() && memo.is_none() {
         return Err(CliError::usage("--memo-save-every requires --memo-file"));
@@ -1118,6 +1195,7 @@ fn real_main() -> CliResult {
         memo_cap,
         memo_save_every,
         stream,
+        chunk,
         verbose,
     };
     match sweep {

@@ -128,3 +128,114 @@ proptest! {
         prop_assert!(r_fine.hi_overhead().kg() >= r_coarse.hi_overhead().kg() * 0.98);
     }
 }
+
+/// Render a sweep as the canonical JSON-lines stream through `engine`.
+fn jsonl_stream(
+    engine: &eco_chip::core::sweep::SweepEngine,
+    est: &EcoChip,
+    spec: &eco_chip::core::sweep::SweepSpec,
+) -> String {
+    let mut out = String::new();
+    engine
+        .run_streaming(
+            est,
+            spec,
+            &mut |point: eco_chip::core::sweep::SweepPoint| {
+                out.push_str(&serde_json::to_string(&point).unwrap());
+                out.push('\n');
+                Ok(())
+            },
+        )
+        .unwrap();
+    out
+}
+
+/// Chunked parallel streaming must reproduce the serial per-point stream
+/// bit for bit: for every built-in test case the lifetime sweep is rendered
+/// once serially (jobs=1, chunk=1) and compared against a 4-worker engine
+/// at chunk sizes 1, 7, exactly the sweep length, and past the end.
+#[test]
+fn chunked_streaming_is_bit_identical_for_every_builtin() {
+    use eco_chip::core::dse::named_sweep_axis;
+    use eco_chip::core::sweep::{SweepEngine, SweepSpec};
+    use eco_chip::techdb::TechDb;
+    use eco_chip::testcases::catalog;
+
+    let db = TechDb::default();
+    let est = EcoChip::default();
+    for name in catalog::names() {
+        let system = catalog::build(&db, &name).unwrap();
+        let spec =
+            SweepSpec::new(system.clone()).axis(named_sweep_axis("lifetime", &system).unwrap());
+        let len = spec.try_len().unwrap();
+        let serial = SweepEngine::with_jobs(1).with_chunk(1);
+        let reference = jsonl_stream(&serial, &est, &spec);
+        for chunk in [1, 7, len, len + 13] {
+            let chunked = SweepEngine::with_jobs(4).with_chunk(chunk);
+            let stream = jsonl_stream(&chunked, &est, &spec);
+            assert_eq!(
+                stream, reference,
+                "{name}: chunk {chunk} diverged from the serial stream"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random worker counts and chunk sizes never change the streamed
+    /// bytes — ordering, numeric formatting and error-free emission are
+    /// all invariant under the chunked claiming schedule.
+    #[test]
+    fn chunked_streaming_is_schedule_invariant(
+        jobs in 1usize..6,
+        chunk in 1usize..24,
+    ) {
+        use eco_chip::core::dse::named_sweep_axis;
+        use eco_chip::core::sweep::{SweepEngine, SweepSpec};
+        use eco_chip::techdb::TechDb;
+        use eco_chip::testcases::catalog;
+
+        let db = TechDb::default();
+        let est = EcoChip::default();
+        let system = catalog::build(&db, "ga102-3chiplet").unwrap();
+        let spec = SweepSpec::new(system.clone())
+            .axis(named_sweep_axis("lifetime", &system).unwrap());
+        let serial = SweepEngine::with_jobs(1).with_chunk(1);
+        let reference = jsonl_stream(&serial, &est, &spec);
+        let engine = SweepEngine::with_jobs(jobs).with_chunk(chunk);
+        prop_assert_eq!(jsonl_stream(&engine, &est, &spec), reference);
+    }
+}
+
+/// The derive-generated streaming serializer (`Serialize::write_json`,
+/// which `serde_json::to_string` uses) must be byte-identical to the
+/// `Value`-tree emitter for every sweep point. Serializing the point's
+/// `to_value()` tree routes through the tree emitter, so the two calls
+/// exercise the two paths.
+#[test]
+fn streaming_serializer_matches_value_tree_for_every_builtin() {
+    use eco_chip::core::dse::named_sweep_axis;
+    use eco_chip::core::sweep::{SweepEngine, SweepSpec};
+    use eco_chip::techdb::TechDb;
+    use eco_chip::testcases::catalog;
+    use serde::Serialize;
+
+    let db = TechDb::default();
+    let est = EcoChip::default();
+    let engine = SweepEngine::with_jobs(1);
+    for name in catalog::names() {
+        let system = catalog::build(&db, &name).unwrap();
+        let spec =
+            SweepSpec::new(system.clone()).axis(named_sweep_axis("lifetime", &system).unwrap());
+        for point in engine.run(&est, &spec).unwrap() {
+            let streamed = serde_json::to_string(&point).unwrap();
+            let tree = serde_json::to_string(&point.to_value()).unwrap();
+            assert_eq!(
+                streamed, tree,
+                "{name}: write_json diverged from the Value tree"
+            );
+        }
+    }
+}

@@ -139,6 +139,125 @@ fn failover_resumes_a_dead_shard_mid_stream_exactly_once() {
     survivor.shutdown().unwrap();
 }
 
+/// A scripted flaky worker speaking the framed (`ECOF`) sweep encoding: it
+/// answers with the frames content type, streams `serve_before_death`
+/// complete frames, then a *torn* frame — a length prefix promising a full
+/// line followed by only half its payload — and drops the socket. The
+/// client must deliver exactly the complete frames upstream and treat the
+/// torn tail as a worker loss, never as data.
+fn spawn_flaky_framed_worker(
+    lines: Vec<String>,
+    serve_before_death: usize,
+) -> (String, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind flaky framed worker");
+    let addr = listener.local_addr().unwrap().to_string();
+    let requests = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&requests);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            seen.fetch_add(1, Ordering::SeqCst);
+            let Ok(mut writer) = stream.try_clone() else {
+                continue;
+            };
+            let mut reader = std::io::BufReader::new(stream);
+            let Ok(Some(request)) = http::read_request(&mut reader) else {
+                continue;
+            };
+            let parsed: SweepRequest =
+                serde_json::from_str(std::str::from_utf8(&request.body).unwrap()).unwrap();
+            assert_eq!(
+                parsed.format.as_deref(),
+                Some("frames"),
+                "the orchestrator must request frames from its workers"
+            );
+            let range = match (&parsed.shard, &parsed.range) {
+                (Some(selector), None) => selector.parse::<Shard>().unwrap().range(lines.len()),
+                (None, Some(range)) => range.start..range.end,
+                other => panic!("flaky framed worker got an unsliced request: {other:?}"),
+            };
+            let own = &lines[range];
+            let served = own.len().min(serve_before_death);
+            let _ = write!(
+                writer,
+                "HTTP/1.1 200 OK\r\nContent-Type: application/x-ecochip-frames\r\n\
+                 Transfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n"
+            );
+            let mut wire = Vec::from(&b"ECOF\x01"[..]);
+            for line in &own[..served] {
+                wire.extend_from_slice(&(line.len() as u32).to_le_bytes());
+                wire.extend_from_slice(line.as_bytes());
+            }
+            if let Some(next) = own.get(served) {
+                wire.extend_from_slice(&(next.len() as u32).to_le_bytes());
+                wire.extend_from_slice(&next.as_bytes()[..next.len() / 2]);
+            }
+            let _ = write!(writer, "{:x}\r\n", wire.len());
+            let _ = writer.write_all(&wire);
+            let _ = write!(writer, "\r\n");
+            let _ = writer.flush();
+            drop(writer);
+        }
+    });
+    (addr, requests)
+}
+
+#[test]
+fn failover_resumes_mid_chunk_with_framed_workers_exactly_once() {
+    let expected = reference_lines("ga102-3chiplet", "lifetime");
+    // The survivor evaluates in 4-point chunks, so the resumed range
+    // (one point into the dead worker's shard) starts mid-chunk relative
+    // to the shard's own chunking — claims re-align to the resumed start.
+    let survivor_server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: Some(2),
+        chunk: Some(4),
+        threads: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind chunked survivor");
+    let survivor_addr = survivor_server.local_addr().to_string();
+    let survivor = survivor_server.spawn();
+    // The effective chunk is surfaced in /v1/stats.
+    let stats: eco_chip::serve::StatsResponse = serde_json::from_str(
+        client::get(&survivor_addr, "/v1/stats")
+            .unwrap()
+            .text()
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(stats.chunk, 4, "{stats:?}");
+
+    // The flaky worker owns shard 1 (indices 4..7 of 7), delivers one
+    // complete frame, then tears the next frame mid-payload.
+    let (flaky_addr, flaky_requests) = spawn_flaky_framed_worker(expected.clone(), 1);
+
+    let db = TechDb::default();
+    let request = SweepRequest::named("ga102-3chiplet", "lifetime");
+    let reference = orchestrator::unsharded_outcome(&db, &request, Some(2)).unwrap();
+
+    let pool = WorkerPool::Remote(vec![survivor_addr.clone(), flaky_addr.clone()]);
+    let policy = FailoverPolicy {
+        retries: 2,
+        backoff: Duration::from_millis(10),
+    };
+    let mut merged = Vec::new();
+    let outcome = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |line| {
+        merged.push(line.to_owned());
+        Ok(())
+    })
+    .unwrap();
+
+    // Exactly once: the complete frame the flaky worker served was not
+    // re-emitted, the torn frame contributed nothing, and the resumed
+    // range came back framed from the survivor — fingerprint unchanged.
+    assert_eq!(merged, expected);
+    assert_eq!(outcome, reference, "mid-chunk failover changed the stream");
+    assert_eq!(flaky_requests.load(Ordering::SeqCst), 1);
+
+    survivor.shutdown().unwrap();
+}
+
 #[test]
 fn retries_are_bounded_and_fail_fast_stays_available() {
     let expected = reference_lines("ga102-3chiplet", "lifetime");

@@ -244,6 +244,64 @@ fn streamed_sweep_is_bit_for_bit_identical_to_the_engine() {
 }
 
 #[test]
+fn framed_sweep_decodes_to_the_exact_ndjson_bytes() {
+    let (handle, addr) = boot(default_config());
+    let expected = reference_lines("ga102-3chiplet", "lifetime");
+
+    // The client decodes `ECOF` frames transparently, so the same
+    // line-callback sees the canonical stream — byte-identical to NDJSON.
+    let mut lines = Vec::new();
+    let response = client::post_ndjson(
+        &addr,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"lifetime","format":"frames"}"#,
+        |line| {
+            lines.push(line.to_owned());
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-type").map(str::to_owned),
+        Some("application/x-ecochip-frames".into())
+    );
+    assert_eq!(lines, expected, "framed stream diverged from NDJSON");
+
+    // Asking for the explicit NDJSON format is also honored, and an
+    // unknown format is rejected before the stream starts.
+    let response = client::post_ndjson(
+        &addr,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"lifetime","format":"ndjson"}"#,
+        |_| Ok(()),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-type").map(str::to_owned),
+        Some("application/x-ndjson".into())
+    );
+    let response = client::post_json(
+        &addr,
+        "/v1/sweep",
+        r#"{"testcase":"ga102-3chiplet","axis":"lifetime","format":"msgpack"}"#,
+    )
+    .unwrap();
+    assert_eq!(response.status, 400, "unknown formats must 400");
+
+    // Both stream formats show up in the Prometheus byte counters.
+    let metrics = client::get(&addr, "/metrics").unwrap();
+    let text = metrics.text().unwrap();
+    let ndjson_bytes = metric_value(text, "ecochip_sweep_stream_bytes_total{format=\"ndjson\"}");
+    let frames_bytes = metric_value(text, "ecochip_sweep_stream_bytes_total{format=\"frames\"}");
+    assert!(ndjson_bytes > 0.0, "{text}");
+    assert!(frames_bytes > 0.0, "{text}");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn structured_axes_and_shards_work_over_the_wire() {
     let (handle, addr) = boot(default_config());
 
@@ -256,6 +314,7 @@ fn structured_axes_and_shards_work_over_the_wire() {
         axes: Some(vec![SweepAxis::lifetimes_years(&[1.0, 2.0, 3.0, 4.0, 5.0])]),
         shard: Some("1/2".into()),
         range: None,
+        format: None,
     };
     let body = serde_json::to_string(&request).unwrap();
     let mut lines = Vec::new();
@@ -734,6 +793,7 @@ fn shutdown_mid_sweep_drains_the_stream_before_the_final_memo_save() {
         axes: Some(vec![SweepAxis::Systems(variants)]),
         shard: None,
         range: None,
+        format: None,
     };
     let body = serde_json::to_string(&request).unwrap();
 

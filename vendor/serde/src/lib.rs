@@ -138,6 +138,122 @@ impl std::error::Error for Error {}
 pub trait Serialize {
     /// Convert `self` into a [`Value`].
     fn to_value(&self) -> Value;
+
+    /// Append the compact JSON encoding of `self` to `out`.
+    ///
+    /// The default implementation builds the [`Value`] tree and emits it.
+    /// Derived impls and the primitive impls below override this to write
+    /// straight into the buffer — no tree, no per-field key allocations —
+    /// which is what makes streaming NDJSON emission cheap. Overrides MUST
+    /// stay byte-identical to the default: `serde_json::to_string` is
+    /// defined by this method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the value contains a non-finite float; `out`
+    /// may hold a partial encoding in that case.
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        write_json_value(&self.to_value(), out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct JSON emission
+// ---------------------------------------------------------------------------
+
+/// Append the compact JSON encoding of `v` to `out`.
+///
+/// This is the reference emitter for [`Serialize::write_json`]: the default
+/// trait method routes through it, and every hand-written or derived fast
+/// path must match its output byte for byte.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value contains a non-finite float.
+pub fn write_json_value(v: &Value, out: &mut String) -> Result<(), Error> {
+    use fmt::Write as _;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => write_json_f64(*f, out)?,
+        Value::String(s) => write_json_str(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_str(key, out);
+                out.push(':');
+                write_json_value(value, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+/// Append `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `f` in `serde_json` number format (a fractional part or exponent
+/// is always present, so `5.0` round-trips as a float).
+///
+/// # Errors
+///
+/// Returns [`Error`] if `f` is NaN or infinite.
+pub fn write_json_f64(f: f64, out: &mut String) -> Result<(), Error> {
+    use fmt::Write as _;
+    if !f.is_finite() {
+        return Err(Error::custom("cannot serialize non-finite float as JSON"));
+    }
+    let start = out.len();
+    let _ = write!(out, "{f}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+    Ok(())
 }
 
 /// Types that can be reconstructed from a [`Value`] tree.
@@ -179,6 +295,11 @@ impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        out.push_str(if *self { "true" } else { "false" });
+        Ok(())
+    }
 }
 
 impl Deserialize for bool {
@@ -195,6 +316,12 @@ macro_rules! impl_signed {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::Int(*self as i64)
+            }
+
+            fn write_json(&self, out: &mut String) -> Result<(), Error> {
+                use fmt::Write as _;
+                let _ = write!(out, "{self}");
+                Ok(())
             }
         }
         impl Deserialize for $t {
@@ -223,6 +350,12 @@ macro_rules! impl_unsigned {
                     Err(_) => Value::UInt(wide),
                 }
             }
+
+            fn write_json(&self, out: &mut String) -> Result<(), Error> {
+                use fmt::Write as _;
+                let _ = write!(out, "{self}");
+                Ok(())
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -247,6 +380,10 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
     }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        write_json_f64(*self, out)
+    }
 }
 
 impl Deserialize for f64 {
@@ -260,6 +397,10 @@ impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(f64::from(*self))
     }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        write_json_f64(f64::from(*self), out)
+    }
 }
 
 impl Deserialize for f32 {
@@ -271,6 +412,11 @@ impl Deserialize for f32 {
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::String(self.clone())
+    }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        write_json_str(self, out);
+        Ok(())
     }
 }
 
@@ -287,11 +433,22 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
     }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        write_json_str(self, out);
+        Ok(())
+    }
 }
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
+    }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        let mut buf = [0u8; 4];
+        write_json_str(self.encode_utf8(&mut buf), out);
+        Ok(())
     }
 }
 
@@ -314,11 +471,19 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        (**self).write_json(out)
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        (**self).write_json(out)
     }
 }
 
@@ -333,6 +498,16 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             Some(inner) => inner.to_value(),
             None => Value::Null,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        match self {
+            Some(inner) => inner.write_json(out),
+            None => {
+                out.push_str("null");
+                Ok(())
+            }
         }
     }
 }
@@ -350,11 +525,31 @@ impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        <[T] as Serialize>::write_json(self, out)
+    }
 }
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        if self.is_empty() {
+            out.push_str("[]");
+            return Ok(());
+        }
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out)?;
+        }
+        out.push(']');
+        Ok(())
     }
 }
 
@@ -478,6 +673,10 @@ impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for Hash
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+
+    fn write_json(&self, out: &mut String) -> Result<(), Error> {
+        write_json_value(self, out)
     }
 }
 

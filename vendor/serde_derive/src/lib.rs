@@ -417,12 +417,222 @@ fn gen_serialize(item: &Item) -> String {
             Data::Enum(variants) => gen_enum_serialize(item, variants),
         }
     };
+    let write_body = gen_write_json(item);
     format!(
         "#[automatically_derived]\n\
          impl ::serde::Serialize for {name} {{\n\
              fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             fn write_json(&self, __out: &mut ::std::string::String) -> ::std::result::Result<(), ::serde::Error> {{\n{write_body}\n}}\n\
          }}\n"
     )
+}
+
+// ---------------------------------------------------------------------------
+// Streaming JSON codegen
+// ---------------------------------------------------------------------------
+//
+// `write_json` must append exactly the bytes `serde_json` emits for
+// `to_value()` — same field order, same escaping, same number formatting —
+// but without building the `Value` tree. Field and variant names are Rust
+// identifiers (wire names at most snake/kebab-cased), so they never need
+// JSON escaping and can be baked into `push_str` literals; dynamic content
+// goes through `::serde::write_json_str` / recursive `write_json` calls.
+
+/// Generated statement writing one `"key":` prefix (with leading `{` or `,`).
+fn push_key(prefix: char, key: &str) -> String {
+    format!("__out.push_str(\"{prefix}\\\"{key}\\\":\");\n")
+}
+
+fn gen_write_json(item: &Item) -> String {
+    if let Some(into) = &item.attrs.into {
+        return format!(
+            "let __proxy: {into} = <{into} as ::std::convert::From<Self>>::from(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::write_json(&__proxy, __out)"
+        );
+    }
+    match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.attrs.transparent {
+                format!(
+                    "::serde::Serialize::write_json(&self.{}, __out)",
+                    fields[0].name
+                )
+            } else if fields.is_empty() {
+                "__out.push_str(\"{}\");\n::std::result::Result::Ok(())".to_string()
+            } else {
+                let mut s = String::new();
+                for (idx, f) in fields.iter().enumerate() {
+                    s.push_str(&push_key(if idx == 0 { '{' } else { ',' }, &f.name));
+                    s.push_str(&format!(
+                        "::serde::Serialize::write_json(&self.{}, __out)?;\n",
+                        f.name
+                    ));
+                }
+                s.push_str("__out.push('}');\n::std::result::Result::Ok(())");
+                s
+            }
+        }
+        Data::TupleStruct(tys) => {
+            if tys.len() == 1 {
+                "::serde::Serialize::write_json(&self.0, __out)".to_string()
+            } else {
+                let mut s = String::from("__out.push('[');\n");
+                for idx in 0..tys.len() {
+                    if idx > 0 {
+                        s.push_str("__out.push(',');\n");
+                    }
+                    s.push_str(&format!(
+                        "::serde::Serialize::write_json(&self.{idx}, __out)?;\n"
+                    ));
+                }
+                s.push_str("__out.push(']');\n::std::result::Result::Ok(())");
+                s
+            }
+        }
+        Data::UnitStruct => "__out.push_str(\"null\");\n::std::result::Result::Ok(())".to_string(),
+        Data::Enum(variants) => gen_enum_write_json(item, variants),
+    }
+}
+
+/// Generated statements writing named fields as a `{...}` object into a
+/// buffer already positioned where the object should start.
+fn write_fields_object(fields: &[Field]) -> String {
+    if fields.is_empty() {
+        return "__out.push_str(\"{}\");\n".to_string();
+    }
+    let mut s = String::new();
+    for (idx, f) in fields.iter().enumerate() {
+        s.push_str(&push_key(if idx == 0 { '{' } else { ',' }, &f.name));
+        s.push_str(&format!(
+            "::serde::Serialize::write_json({}, __out)?;\n",
+            f.name
+        ));
+    }
+    s.push_str("__out.push('}');\n");
+    s
+}
+
+fn gen_enum_write_json(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.attrs.rename_all.as_deref();
+    let tag = item.attrs.tag.as_deref();
+    let content = item.attrs.content.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = rename(vname, rule);
+        let arm = match (&v.kind, tag, content) {
+            (VariantKind::Unit, None, _) => format!(
+                "{name}::{vname} => {{ __out.push_str(\"\\\"{wire}\\\"\"); ::std::result::Result::Ok(()) }},"
+            ),
+            (VariantKind::Unit, Some(t), _) => format!(
+                "{name}::{vname} => {{ __out.push_str(\"{{\\\"{t}\\\":\\\"{wire}\\\"}}\"); ::std::result::Result::Ok(()) }},"
+            ),
+            (VariantKind::Newtype(_), None, _) => format!(
+                "{name}::{vname}(__inner) => {{\n\
+                     __out.push_str(\"{{\\\"{wire}\\\":\");\n\
+                     ::serde::Serialize::write_json(__inner, __out)?;\n\
+                     __out.push('}}');\n\
+                     ::std::result::Result::Ok(())\n\
+                 }},"
+            ),
+            (VariantKind::Newtype(_), Some(t), None) => format!(
+                "{name}::{vname}(__inner) => {{\n\
+                     let __inner = ::serde::Serialize::to_value(__inner);\n\
+                     let ::serde::Value::Object(__fields) = __inner else {{\n\
+                         panic!(\"cannot serialize non-object variant content with an internal tag\");\n\
+                     }};\n\
+                     __out.push_str(\"{{\\\"{t}\\\":\\\"{wire}\\\"\");\n\
+                     for (__k, __v) in &__fields {{\n\
+                         __out.push(',');\n\
+                         ::serde::write_json_str(__k, __out);\n\
+                         __out.push(':');\n\
+                         ::serde::write_json_value(__v, __out)?;\n\
+                     }}\n\
+                     __out.push('}}');\n\
+                     ::std::result::Result::Ok(())\n\
+                 }},"
+            ),
+            (VariantKind::Newtype(_), Some(t), Some(c)) => format!(
+                "{name}::{vname}(__inner) => {{\n\
+                     __out.push_str(\"{{\\\"{t}\\\":\\\"{wire}\\\",\\\"{c}\\\":\");\n\
+                     ::serde::Serialize::write_json(__inner, __out)?;\n\
+                     __out.push('}}');\n\
+                     ::std::result::Result::Ok(())\n\
+                 }},"
+            ),
+            (VariantKind::Struct(fields), _, _) => {
+                let binders = fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let body = match (tag, content) {
+                    (None, _) => format!(
+                        "__out.push_str(\"{{\\\"{wire}\\\":\");\n{}__out.push('}}');\n",
+                        write_fields_object(fields)
+                    ),
+                    (Some(t), None) => {
+                        let mut s = format!("__out.push_str(\"{{\\\"{t}\\\":\\\"{wire}\\\"\");\n");
+                        for f in fields {
+                            s.push_str(&push_key(',', &f.name));
+                            s.push_str(&format!(
+                                "::serde::Serialize::write_json({}, __out)?;\n",
+                                f.name
+                            ));
+                        }
+                        s.push_str("__out.push('}');\n");
+                        s
+                    }
+                    (Some(t), Some(c)) => format!(
+                        "__out.push_str(\"{{\\\"{t}\\\":\\\"{wire}\\\",\\\"{c}\\\":\");\n{}__out.push('}}');\n",
+                        write_fields_object(fields)
+                    ),
+                };
+                format!(
+                    "{name}::{vname} {{ {binders} }} => {{\n{body}::std::result::Result::Ok(())\n}},"
+                )
+            }
+            (VariantKind::Tuple(tys), _, _) => {
+                let binders = (0..tys.len())
+                    .map(|i| format!("__f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let array = if tys.is_empty() {
+                    "__out.push_str(\"[]\");\n".to_string()
+                } else {
+                    let mut s = String::from("__out.push('[');\n");
+                    for i in 0..tys.len() {
+                        if i > 0 {
+                            s.push_str("__out.push(',');\n");
+                        }
+                        s.push_str(&format!(
+                            "::serde::Serialize::write_json(__f{i}, __out)?;\n"
+                        ));
+                    }
+                    s.push_str("__out.push(']');\n");
+                    s
+                };
+                let body = match (tag, content) {
+                    (None, _) => format!(
+                        "__out.push_str(\"{{\\\"{wire}\\\":\");\n{array}__out.push('}}');\n"
+                    ),
+                    (Some(_), None) => panic!(
+                        "serde_derive: tuple variants cannot be internally tagged"
+                    ),
+                    (Some(t), Some(c)) => format!(
+                        "__out.push_str(\"{{\\\"{t}\\\":\\\"{wire}\\\",\\\"{c}\\\":\");\n{array}__out.push('}}');\n"
+                    ),
+                };
+                format!(
+                    "{name}::{vname}({binders}) => {{\n{body}::std::result::Result::Ok(())\n}},"
+                )
+            }
+        };
+        arms.push_str(&arm);
+        arms.push('\n');
+    }
+    format!("match self {{\n{arms}}}")
 }
 
 fn gen_enum_serialize(item: &Item, variants: &[Variant]) -> String {

@@ -46,8 +46,23 @@ impl From<serde::Error> for Error {
 /// Returns [`Error`] if the value contains a non-finite float.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    emit(&value.to_value(), None, 0, &mut out)?;
+    value.write_json(&mut out)?;
     Ok(out)
+}
+
+/// Serialize `value` as a compact JSON string appended to `out`, reusing
+/// the buffer's capacity. Streaming hot paths (NDJSON emitters encoding
+/// millions of lines) call this with one long-lived buffer instead of
+/// allocating a fresh `String` per [`to_string`] call. The appended bytes
+/// are identical to what [`to_string`] returns.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value contains a non-finite float; `out` may
+/// hold a partial encoding in that case, so callers should truncate back
+/// to their line start on error.
+pub fn to_string_into<T: Serialize>(value: &T, out: &mut String) -> Result<(), Error> {
+    Ok(value.write_json(out)?)
 }
 
 /// Serialize `value` as a pretty-printed JSON string (two-space indent).
@@ -88,19 +103,27 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
 // ---------------------------------------------------------------------------
 
 fn emit(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) -> Result<(), Error> {
+    use fmt::Write as _;
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
+        // Formatting numbers through `fmt::Write` appends straight into
+        // the output buffer — no intermediate `to_string` allocation on
+        // the per-line streaming hot path.
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
         Value::Float(f) => {
             if !f.is_finite() {
                 return Err(Error::new("cannot serialize non-finite float as JSON"));
             }
-            let text = f.to_string();
-            out.push_str(&text);
+            let start = out.len();
+            let _ = write!(out, "{f}");
             // serde_json always renders a float with a fractional part.
-            if !text.contains(['.', 'e', 'E']) {
+            if !out[start..].contains(['.', 'e', 'E']) {
                 out.push_str(".0");
             }
         }
@@ -163,7 +186,8 @@ fn emit_string(s: &str, out: &mut String) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
