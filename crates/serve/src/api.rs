@@ -354,6 +354,14 @@ pub struct StatsResponse {
     pub memo_capacity: Option<usize>,
     /// Memo entries not yet persisted (0 when autosave is off or current).
     pub memo_dirty_entries: usize,
+    /// Open connections parked in the event loop right now.
+    pub idle_connections: u64,
+    /// Open connections checked out to the handler pool right now.
+    pub active_connections: u64,
+    /// Connections/requests refused with `429 Too Many Requests` since
+    /// startup (admission control; see `--max-inflight` /
+    /// `--max-connections`).
+    pub rejected: u64,
 }
 
 /// Request-level totals for [`StatsResponse::new`], gathered from the
@@ -366,6 +374,12 @@ pub struct ServeTotals {
     pub points_streamed: u64,
     /// Effective sweep-engine claim-chunk size.
     pub chunk: usize,
+    /// Open connections parked in the event loop.
+    pub idle_connections: u64,
+    /// Open connections checked out to the handler pool.
+    pub active_connections: u64,
+    /// 429 rejections since startup.
+    pub rejected: u64,
 }
 
 impl StatsResponse {
@@ -392,6 +406,9 @@ impl StatsResponse {
             manufacturing_entries,
             memo_capacity,
             memo_dirty_entries,
+            idle_connections: totals.idle_connections,
+            active_connections: totals.active_connections,
+            rejected: totals.rejected,
         }
     }
 }

@@ -10,7 +10,9 @@
 //! response. Chunked NDJSON responses can be consumed line-by-line as the
 //! chunks arrive ([`post_ndjson`], [`Connection::post_ndjson`]), which is
 //! how the remote orchestrator merges worker streams without buffering
-//! them.
+//! them. [`Connection::post_json_pipelined`] writes a whole batch of
+//! requests before reading any response (HTTP/1.1 pipelining), matching
+//! the server's pipelining-aware request parser.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -208,6 +210,51 @@ impl Connection {
             .map_err(|e| ServeError::Http(format!("decoding batch response: {e}")))
     }
 
+    /// `POST path` once per body, **pipelined**: every request goes out in
+    /// one buffered write before any response is read, then the responses
+    /// are decoded in order (HTTP/1.1 guarantees the server answers in
+    /// request order). One round-trip's latency is paid once instead of
+    /// per request, without any batching support server-side.
+    ///
+    /// Unlike [`Connection::post_json`] there is no transparent
+    /// stale-socket retry: requests were already written when a failure
+    /// surfaces, so replaying them is not safe to do silently. Callers
+    /// treat any error as "position unknown; reconnect and decide".
+    ///
+    /// # Errors
+    ///
+    /// As [`get`] for transport failures; [`ServeError::Http`] when the
+    /// server closes the connection before all responses arrived
+    /// ("connection closed mid-pipeline"), e.g. its
+    /// requests-per-connection bound was hit partway through the batch.
+    pub fn post_json_pipelined<S: AsRef<str>>(
+        &mut self,
+        path: &str,
+        bodies: &[S],
+    ) -> Result<Vec<Response>, ServeError> {
+        if bodies.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_connected()?;
+        let outcome = {
+            let reader = self.reader.as_mut().expect("connected reader");
+            pipeline(reader, &self.target, path, bodies)
+        };
+        match outcome {
+            Ok((responses, keep_open)) => {
+                self.served = true;
+                if !keep_open {
+                    self.reader = None;
+                }
+                Ok(responses)
+            }
+            Err(error) => {
+                self.reader = None;
+                Err(error)
+            }
+        }
+    }
+
     /// `POST path` with a JSON body, streaming NDJSON response lines to
     /// `on_line`, reusing the socket.
     ///
@@ -355,6 +402,74 @@ fn one_shot(
     perform(&mut reader, target, method, path, body, false, on_line).map(|(response, _)| response)
 }
 
+/// Write every pipelined request in one buffered send, then decode the
+/// responses in order. Returns the responses plus whether the connection
+/// survived the whole pipeline (the last response's keep-alive verdict).
+fn pipeline<S: AsRef<str>>(
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+    path: &str,
+    bodies: &[S],
+) -> Result<(Vec<Response>, bool), ServeError> {
+    let mut message = Vec::new();
+    for body in bodies {
+        encode_request_into(
+            &mut message,
+            target,
+            "POST",
+            path,
+            Some(body.as_ref().as_bytes()),
+            true,
+        );
+    }
+    let mut stream = reader.get_ref();
+    stream
+        .write_all(&message)
+        .and_then(|()| stream.flush())
+        .map_err(|e| ServeError::Io(format!("sending pipelined requests: {e}")))?;
+
+    let mut responses = Vec::with_capacity(bodies.len());
+    let mut keep_open = true;
+    for received in 0..bodies.len() {
+        if !keep_open {
+            // The server advertised `Connection: close` with responses
+            // still owed (its requests-per-connection bound, or shutdown):
+            // the rest of the pipeline was discarded, surface it loudly.
+            return Err(ServeError::Http(format!(
+                "connection closed mid-pipeline: {received} of {} responses received",
+                bodies.len()
+            )));
+        }
+        let (response, open) = read_response(reader, true, &mut None)?;
+        keep_open = open;
+        responses.push(response);
+    }
+    Ok((responses, keep_open))
+}
+
+/// Append one encoded request (head + body) onto `message` — the unit the
+/// single-request path writes once and the pipelined path concatenates N
+/// times before one write.
+fn encode_request_into(
+    message: &mut Vec<u8>,
+    target: &str,
+    method: &str,
+    path: &str,
+    request_body: Option<&[u8]>,
+    reuse: bool,
+) {
+    let body = request_body.unwrap_or_default();
+    message.extend_from_slice(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if reuse { "keep-alive" } else { "close" }
+        )
+        .as_bytes(),
+    );
+    message.extend_from_slice(body);
+}
+
 /// Send one request on an established connection and decode the response.
 /// Returns the response plus whether the connection may serve another
 /// request (the server's `Connection` header and protocol version decide).
@@ -367,25 +482,28 @@ fn perform(
     reuse: bool,
     on_line: &mut Option<LineSink<'_>>,
 ) -> Result<(Response, bool), ServeError> {
-    let body = request_body.unwrap_or_default();
     {
         // Assemble the whole request into one buffer and write it with a
         // single syscall: a `write!` straight onto the socket would emit
         // one small segment per format fragment.
-        let mut message = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            body.len(),
-            if reuse { "keep-alive" } else { "close" }
-        )
-        .into_bytes();
-        message.extend_from_slice(body);
+        let mut message = Vec::new();
+        encode_request_into(&mut message, target, method, path, request_body, reuse);
         let mut stream = reader.get_ref();
         stream
             .write_all(&message)
             .and_then(|()| stream.flush())
             .map_err(|e| ServeError::Io(format!("sending request: {e}")))?;
     }
+    read_response(reader, reuse, on_line)
+}
 
+/// Decode one response off the connection (status line through body).
+/// Returns the response plus whether the connection may serve another one.
+fn read_response(
+    reader: &mut BufReader<TcpStream>,
+    reuse: bool,
+    on_line: &mut Option<LineSink<'_>>,
+) -> Result<(Response, bool), ServeError> {
     let status_line = read_line(&mut *reader)?
         .ok_or_else(|| ServeError::Http("connection closed before the status line".into()))?;
     let mut parts = status_line.split_whitespace();

@@ -100,47 +100,11 @@ pub fn parse_header_line(line: &str) -> Result<(String, String), ServeError> {
     Ok((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
 }
 
-/// Read one request from `reader`.
-///
-/// Returns `Ok(None)` when the peer closed the connection before sending
-/// anything (e.g. a liveness probe that only connects).
-///
-/// # Errors
-///
-/// Returns [`ServeError::Http`] for malformed or oversized requests and
-/// [`ServeError::Io`] for socket failures.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
-    let mut head = Vec::new();
-    // Read header lines until the blank line terminating the head. The
-    // size limit is enforced *inside* the read via `take`, so a peer
-    // sending an endless newline-free byte stream cannot grow `head`
-    // beyond the cap before the check runs.
-    let mut limited = std::io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64 + 1);
-    loop {
-        let start = head.len();
-        let read = limited
-            .read_until(b'\n', &mut head)
-            .map_err(|e| ServeError::Io(format!("reading request head: {e}")))?;
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(ServeError::Http(format!(
-                "request head exceeds {MAX_HEAD_BYTES} bytes"
-            )));
-        }
-        if read == 0 {
-            if head.is_empty() {
-                return Ok(None);
-            }
-            return Err(ServeError::Http("connection closed mid-request".into()));
-        }
-        let line = &head[start..];
-        if line == b"\r\n" || line == b"\n" {
-            break;
-        }
-    }
-    // `limited`'s borrow of `reader` ends here; the body reads from
-    // `reader` directly below, bounded by the Content-Length check instead.
-    let head = String::from_utf8(head)
-        .map_err(|_| ServeError::Http("request head is not valid UTF-8".into()))?;
+/// Parse a complete request head (every byte up to and including the blank
+/// line) into a body-less [`Request`] plus the announced `Content-Length`
+/// — the single definition of the head grammar, shared by the blocking
+/// [`read_request`] and the incremental [`RequestParser`].
+fn parse_head(head: &str) -> Result<(Request, usize), ServeError> {
     let mut lines = head.lines();
     let request_line = lines
         .next()
@@ -191,11 +155,166 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
             "request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
         )));
     }
+    Ok((request, length))
+}
+
+/// Read one request from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before sending
+/// anything (e.g. a liveness probe that only connects).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Http`] for malformed or oversized requests and
+/// [`ServeError::Io`] for socket failures.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
+    let mut head = Vec::new();
+    // Read header lines until the blank line terminating the head. The
+    // size limit is enforced *inside* the read via `take`, so a peer
+    // sending an endless newline-free byte stream cannot grow `head`
+    // beyond the cap before the check runs.
+    let mut limited = std::io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64 + 1);
+    loop {
+        let start = head.len();
+        let read = limited
+            .read_until(b'\n', &mut head)
+            .map_err(|e| ServeError::Io(format!("reading request head: {e}")))?;
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::Http(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        if read == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(ServeError::Http("connection closed mid-request".into()));
+        }
+        let line = &head[start..];
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    // `limited`'s borrow of `reader` ends here; the body reads from
+    // `reader` directly below, bounded by the Content-Length check instead.
+    let head = String::from_utf8(head)
+        .map_err(|_| ServeError::Http("request head is not valid UTF-8".into()))?;
+    let (request, length) = parse_head(&head)?;
     let mut body = vec![0u8; length];
     reader
         .read_exact(&mut body)
         .map_err(|e| ServeError::Http(format!("reading {length}-byte body: {e}")))?;
     Ok(Some(Request { body, ..request }))
+}
+
+/// A fully parsed head waiting for its body bytes to accumulate.
+#[derive(Debug)]
+struct PendingBody {
+    request: Request,
+    head_len: usize,
+    body_len: usize,
+}
+
+/// A resumable incremental request parser for nonblocking connections.
+///
+/// The event-loop server appends whatever bytes a readiness event yields to
+/// a per-connection buffer and asks this parser for complete requests. The
+/// parser remembers how far it has scanned between calls, so a slow-loris
+/// peer dribbling one byte per read costs O(1) re-work per byte instead of
+/// re-scanning the head each time — and a pipelining peer that packs many
+/// requests into one segment has them parsed out one [`next_request`] call
+/// at a time.
+///
+/// Contract: `buf` always starts at the first unconsumed byte of the
+/// request stream, and the caller drains exactly `consumed` bytes from the
+/// front after each parsed request (the parser resets its scan state at
+/// that point). Size caps ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`]) are
+/// enforced as the bytes accumulate, never after the fact.
+///
+/// [`next_request`]: RequestParser::next_request
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    /// How far the head scan has advanced into the buffer (resumption
+    /// point; nothing before it needs re-reading).
+    scanned: usize,
+    /// Start offset of the header line currently being scanned.
+    line_start: usize,
+    /// A parsed head whose body has not fully arrived yet.
+    pending: Option<PendingBody>,
+}
+
+impl RequestParser {
+    /// A parser with no buffered state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to parse one complete request from the front of `buf`.
+    ///
+    /// Returns `Ok(Some((request, consumed)))` when a full request (head +
+    /// body) is available — the caller must drain `consumed` bytes from the
+    /// front of `buf` before the next call — and `Ok(None)` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Http`] for malformed or oversized requests;
+    /// the connection's framing is unrecoverable from there on.
+    pub fn next_request(&mut self, buf: &[u8]) -> Result<Option<(Request, usize)>, ServeError> {
+        if self.pending.is_none() {
+            let Some(head_end) = self.scan_head(buf)? else {
+                return Ok(None);
+            };
+            let head = std::str::from_utf8(&buf[..head_end])
+                .map_err(|_| ServeError::Http("request head is not valid UTF-8".into()))?;
+            let (request, body_len) = parse_head(head)?;
+            self.pending = Some(PendingBody {
+                request,
+                head_len: head_end,
+                body_len,
+            });
+        }
+        let pending = self.pending.as_ref().expect("pending head");
+        let total = pending.head_len + pending.body_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let pending = self.pending.take().expect("pending head");
+        let mut request = pending.request;
+        request.body = buf[pending.head_len..total].to_vec();
+        self.scanned = 0;
+        self.line_start = 0;
+        Ok(Some((request, total)))
+    }
+
+    /// Advance the head scan, returning the head length (including the
+    /// terminating blank line) once the blank line is in the buffer.
+    fn scan_head(&mut self, buf: &[u8]) -> Result<Option<usize>, ServeError> {
+        while self.scanned < buf.len() {
+            let at = self.scanned;
+            self.scanned += 1;
+            if buf[at] != b'\n' {
+                continue;
+            }
+            let line = &buf[self.line_start..at];
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            self.line_start = self.scanned;
+            if line.is_empty() {
+                if self.scanned > MAX_HEAD_BYTES {
+                    return Err(ServeError::Http(format!(
+                        "request head exceeds {MAX_HEAD_BYTES} bytes"
+                    )));
+                }
+                return Ok(Some(self.scanned));
+            }
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::Http(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        Ok(None)
+    }
 }
 
 /// The reason phrase for the status codes the service uses.
@@ -205,6 +324,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "",
     }
@@ -233,15 +353,40 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with_headers(writer, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra response headers (name, value) ahead of
+/// the body — how the admission-control path attaches `Retry-After` to its
+/// `429 Too Many Requests` responses.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_with_headers<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     // One buffer, one write: `write!` straight onto a socket would emit a
     // segment per format fragment.
     let mut message = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         connection_token(keep_alive)
     )
     .into_bytes();
+    for (name, value) in extra_headers {
+        message.extend_from_slice(name.as_bytes());
+        message.extend_from_slice(b": ");
+        message.extend_from_slice(value.as_bytes());
+        message.extend_from_slice(b"\r\n");
+    }
+    message.extend_from_slice(b"\r\n");
     message.extend_from_slice(body);
     writer.write_all(&message)?;
     writer.flush()
@@ -409,6 +554,109 @@ mod tests {
         // A newline-free flood is rejected at the cap, never buffered whole.
         let flood = vec![b'a'; 4 * MAX_HEAD_BYTES];
         assert!(matches!(parse(&flood), Err(ServeError::Http(_))));
+    }
+
+    #[test]
+    fn incremental_parser_matches_the_blocking_parser() {
+        let wire: &[u8] =
+            b"POST /v1/estimate?pretty HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let blocking = parse(wire).unwrap().unwrap();
+
+        // Fed byte by byte, the incremental parser produces the identical
+        // request, and only once every byte is in.
+        let mut parser = RequestParser::new();
+        let mut buf = Vec::new();
+        for (i, byte) in wire.iter().enumerate() {
+            buf.push(*byte);
+            let result = parser.next_request(&buf).unwrap();
+            if i + 1 < wire.len() {
+                assert!(result.is_none(), "complete after {} bytes?", i + 1);
+            } else {
+                let (request, consumed) = result.unwrap();
+                assert_eq!(consumed, wire.len());
+                assert_eq!(request, blocking);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_splits_pipelined_requests_in_order() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\none");
+        wire.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\n");
+        wire.extend_from_slice(b"POST /c HTTP/1.1\r\nContent-Length: 5\r\n\r\nthree");
+
+        let mut parser = RequestParser::new();
+        let mut buf = wire.clone();
+        let mut paths = Vec::new();
+        while let Some((request, consumed)) = parser.next_request(&buf).unwrap() {
+            paths.push((request.path.clone(), request.body.clone()));
+            buf.drain(..consumed);
+        }
+        assert!(buf.is_empty(), "every byte consumed");
+        assert_eq!(
+            paths,
+            vec![
+                ("/a".into(), b"one".to_vec()),
+                ("/b".into(), Vec::new()),
+                ("/c".into(), b"three".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn incremental_parser_enforces_the_size_caps() {
+        // A newline-free flood trips the head cap as soon as the buffer
+        // exceeds it — no terminator needed.
+        let mut parser = RequestParser::new();
+        let flood = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parser.next_request(&flood),
+            Err(ServeError::Http(_))
+        ));
+
+        // An oversized Content-Length is rejected when the head completes,
+        // before any body accumulates.
+        let mut parser = RequestParser::new();
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parser.next_request(huge.as_bytes()),
+            Err(ServeError::Http(_))
+        ));
+
+        // Malformed heads error exactly like the blocking parser.
+        let mut parser = RequestParser::new();
+        assert!(matches!(
+            parser.next_request(b"GARBAGE\r\n\r\n"),
+            Err(ServeError::Http(_))
+        ));
+        let mut parser = RequestParser::new();
+        assert!(matches!(
+            parser.next_request(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ServeError::Http(_))
+        ));
+    }
+
+    #[test]
+    fn responses_can_carry_extra_headers() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -8,9 +8,15 @@
 //! optimisation loops, DSE drivers, dashboards — which needs a service
 //! interface, not a one-shot CLI. This crate provides one with zero
 //! third-party dependencies: the HTTP layer is hand-rolled on
-//! [`std::net::TcpListener`] with a fixed thread pool (the build
-//! environment has no registry access, so no tokio/hyper — the same way
-//! the workspace's `vendor/` shims hand-roll serde).
+//! [`std::net::TcpListener`] driven by a readiness event loop over raw
+//! `epoll`/`poll(2)` (see [`poll`] — the build environment has no registry
+//! access, so no tokio/hyper/mio, the same way the workspace's `vendor/`
+//! shims hand-roll serde). Idle keep-alive connections cost a file
+//! descriptor and nothing else; cheap routes are answered on the loop
+//! thread (with HTTP/1.1 pipelining), heavy routes (sweeps, batches, memo
+//! transfers) run on a fixed handler pool, and overload is bounded by
+//! admission control (`429 Too Many Requests` + `Retry-After` instead of
+//! unbounded queueing).
 //!
 //! ## Endpoints
 //!
@@ -70,7 +76,9 @@
 //! # Ok::<(), ecochip_serve::ServeError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the readiness layer ([`poll`]) is the one
+// module allowed to opt back in for its raw epoll/poll/pipe bindings.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -80,6 +88,7 @@ pub mod frames;
 pub mod http;
 pub mod metrics;
 pub mod orchestrator;
+pub mod poll;
 pub mod server;
 
 pub use api::{

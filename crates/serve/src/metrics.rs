@@ -51,6 +51,18 @@ pub const ROUTES: [&str; 11] = [
 /// follows). Spans sub-millisecond health probes to multi-second sweeps.
 const BUCKETS: [f64; 7] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0];
 
+/// Admission-control rejection reasons (label values of the
+/// `ecochip_http_rejected_total` series): a new connection refused at the
+/// open-connection cap, or a heavy request refused at the in-flight cap.
+pub const REJECT_REASONS: [&str; 2] = ["max_connections", "max_inflight"];
+
+fn reject_index(reason: &str) -> usize {
+    REJECT_REASONS
+        .iter()
+        .position(|&r| r == reason)
+        .unwrap_or(0)
+}
+
 /// Map a request to its route label (the label space is fixed; see
 /// [`ROUTES`]).
 pub fn route_label(method: &str, path: &str) -> &'static str {
@@ -139,6 +151,15 @@ pub struct Metrics {
     sweep_bytes: [AtomicU64; FORMATS.len()],
     /// Sweep-stream wall time, per encoding ([`FORMATS`] order).
     sweep_streams: [Histogram; FORMATS.len()],
+    /// Open connections parked in the event loop (gauge).
+    idle_connections: AtomicU64,
+    /// Open connections checked out to the handler pool (gauge).
+    active_connections: AtomicU64,
+    /// 429 rejections, by reason ([`REJECT_REASONS`] order).
+    rejected: [AtomicU64; REJECT_REASONS.len()],
+    /// Event-loop wakeups (returns from the readiness wait, including
+    /// timeout ticks and self-pipe nudges).
+    wakeups: AtomicU64,
 }
 
 impl Metrics {
@@ -161,6 +182,47 @@ impl Metrics {
     /// Mark one request as in flight (pair with [`Metrics::observe`]).
     pub fn request_started(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish the event loop's connection census: how many open
+    /// connections are parked in the loop (idle) vs. checked out to a
+    /// handler thread (active).
+    pub fn set_connection_gauges(&self, idle: u64, active: u64) {
+        self.idle_connections.store(idle, Ordering::Relaxed);
+        self.active_connections.store(active, Ordering::Relaxed);
+    }
+
+    /// Open connections parked in the event loop right now.
+    pub fn idle_connections(&self) -> u64 {
+        self.idle_connections.load(Ordering::Relaxed)
+    }
+
+    /// Open connections checked out to the handler pool right now.
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// Record a 429 rejection (`reason` is one of [`REJECT_REASONS`]).
+    pub fn rejected(&self, reason: &str) {
+        self.rejected[reject_index(reason)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total 429 rejections across every reason.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected
+            .iter()
+            .map(|counter| counter.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Record one event-loop wakeup (a return from the readiness wait).
+    pub fn wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total event-loop wakeups so far.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
     }
 
     /// Record a finished sweep response stream: how many payload bytes the
@@ -205,6 +267,41 @@ impl Metrics {
         sample(format!(
             "ecochip_http_connections_total {}",
             self.connections.load(Ordering::Relaxed)
+        ));
+
+        sample(
+            "# HELP ecochip_http_connections_open Open connections, by state (idle = parked in \
+             the event loop, active = checked out to a handler)."
+                .into(),
+        );
+        sample("# TYPE ecochip_http_connections_open gauge".into());
+        sample(format!(
+            "ecochip_http_connections_open{{state=\"idle\"}} {}",
+            self.idle_connections.load(Ordering::Relaxed)
+        ));
+        sample(format!(
+            "ecochip_http_connections_open{{state=\"active\"}} {}",
+            self.active_connections.load(Ordering::Relaxed)
+        ));
+
+        sample(
+            "# HELP ecochip_http_rejected_total Connections and requests refused with 429 Too \
+             Many Requests, by reason."
+                .into(),
+        );
+        sample("# TYPE ecochip_http_rejected_total counter".into());
+        for reason in REJECT_REASONS {
+            sample(format!(
+                "ecochip_http_rejected_total{{reason=\"{reason}\"}} {}",
+                self.rejected[reject_index(reason)].load(Ordering::Relaxed)
+            ));
+        }
+
+        sample("# HELP ecochip_event_loop_wakeups_total Event-loop readiness-wait returns.".into());
+        sample("# TYPE ecochip_event_loop_wakeups_total counter".into());
+        sample(format!(
+            "ecochip_event_loop_wakeups_total {}",
+            self.wakeups.load(Ordering::Relaxed)
         ));
 
         sample("# HELP ecochip_http_requests_in_flight Requests currently being handled.".into());
@@ -573,6 +670,50 @@ mod tests {
                 "format {format} buckets not monotone: {buckets:?}"
             );
         }
+    }
+
+    #[test]
+    fn event_loop_series_render_and_validate() {
+        let metrics = Metrics::new();
+        let service = EcoChipService::new(EcoChip::default());
+
+        // Fresh registry: gauges and counters render at zero (the series
+        // exist even before the first connection, so dashboards never see
+        // a missing metric).
+        let idle = metrics.render(&service);
+        assert!(idle.contains("ecochip_http_connections_open{state=\"idle\"} 0"));
+        assert!(idle.contains("ecochip_http_connections_open{state=\"active\"} 0"));
+        assert!(idle.contains("ecochip_http_rejected_total{reason=\"max_connections\"} 0"));
+        assert!(idle.contains("ecochip_http_rejected_total{reason=\"max_inflight\"} 0"));
+        assert!(idle.contains("ecochip_event_loop_wakeups_total 0"));
+
+        metrics.set_connection_gauges(10_000, 3);
+        metrics.rejected("max_inflight");
+        metrics.rejected("max_inflight");
+        metrics.rejected("max_connections");
+        for _ in 0..5 {
+            metrics.wakeup();
+        }
+
+        let text = metrics.render(&service);
+        for line in text.lines() {
+            assert!(is_valid_metrics_line(line), "invalid metrics line: {line}");
+        }
+        assert!(text.contains("ecochip_http_connections_open{state=\"idle\"} 10000"));
+        assert!(text.contains("ecochip_http_connections_open{state=\"active\"} 3"));
+        assert!(text.contains("ecochip_http_rejected_total{reason=\"max_inflight\"} 2"));
+        assert!(text.contains("ecochip_http_rejected_total{reason=\"max_connections\"} 1"));
+        assert!(text.contains("ecochip_event_loop_wakeups_total 5"));
+        assert_eq!(metrics.rejected_total(), 3);
+        assert_eq!(metrics.wakeups(), 5);
+        assert_eq!(metrics.idle_connections(), 10_000);
+        assert_eq!(metrics.active_connections(), 3);
+
+        // Gauges are set-not-accumulate: a fresh census replaces the old.
+        metrics.set_connection_gauges(2, 0);
+        let text = metrics.render(&service);
+        assert!(text.contains("ecochip_http_connections_open{state=\"idle\"} 2"));
+        assert!(text.contains("ecochip_http_connections_open{state=\"active\"} 0"));
     }
 
     #[test]

@@ -1,30 +1,51 @@
-//! The HTTP server: one warm [`EcoChipService`] shared across a fixed pool
-//! of connection-handler threads.
+//! The HTTP server: a readiness-driven event loop in front of one warm
+//! [`EcoChipService`] shared with a fixed pool of handler threads.
 //!
-//! Architecture: an accept loop pushes connections into a channel drained
-//! by `threads` handler threads (the sweep engine parallelises *within* a
-//! request too, with `jobs` workers per sweep). All handlers share one
-//! [`EcoChipService`], so the floorplan/manufacturing memo warms up across
-//! requests and clients benefit from each other's work — while every
-//! response stays bit-for-bit identical to a cold in-process run.
+//! Architecture: one event-loop thread owns every parked connection
+//! through a [`poll::Poller`] (epoll on Linux, `poll(2)` fallback —
+//! see [`crate::poll`]). Sockets are nonblocking while parked, so ten
+//! thousand idle keep-alive connections cost ten thousand file
+//! descriptors and nothing else — no thread, no stack, no timer each.
+//! Request bytes accumulate in a per-connection buffer drained by a
+//! resumable [`http::RequestParser`], which also gives HTTP/1.1
+//! **pipelining** for free: every complete request in the buffer is
+//! served in order, responses queue onto a per-connection write buffer,
+//! and a write backlog pauses reads (TCP backpressure) instead of
+//! buffering without bound.
 //!
-//! Connections are persistent: each handler thread runs a per-connection
-//! request loop that serves requests until the peer asks for `Connection:
-//! close`, the idle timeout expires between requests, the
-//! requests-per-connection bound is reached, or shutdown begins. The idle
-//! wait polls in short slices so a fleet-wide shutdown never hangs behind
-//! an idle keep-alive peer.
+//! Routes split by weight. *Light* routes (health, stats, testcases,
+//! metrics, single estimates, shutdown, and every error reply) are
+//! answered inline on the loop thread — they are memo-bound
+//! microsecond work, and avoiding a thread handoff is what keeps
+//! point-lookup throughput flat while thousands of idle connections
+//! are parked. *Heavy* routes (sweeps, batch estimates, memo
+//! export/import) are dispatched to a pool of `threads` handler
+//! threads: the connection is removed from the poller, flipped back to
+//! blocking, and the worker streams the response directly (so chunked
+//! sweep output is byte-for-byte what the old thread-per-connection
+//! server produced) before handing the connection back to the loop
+//! through a completion channel plus a [`poll::Waker`] nudge.
+//!
+//! Admission is bounded on two axes: `max_connections` caps accepted
+//! sockets (excess connections get an immediate `429` with
+//! `Retry-After` and are closed), and `max_inflight` caps
+//! concurrently dispatched heavy requests (excess heavy requests get
+//! the same `429` on their own connection, which stays usable). An
+//! overloaded server therefore degrades into fast, explicit refusals
+//! instead of an unbounded queue.
 //!
 //! Shutdown is cooperative: `POST /v1/shutdown` (or
-//! [`ServerHandle::shutdown`]) sets a flag and nudges the accept loop with
-//! a wake-up connection; in-flight requests finish (the connection loops
-//! observe the flag and close), and only after every handler thread has
-//! drained is the memo saved — the final snapshot therefore always contains
-//! whatever an in-flight sweep inserted, and cannot race a mid-sweep
-//! autosave.
+//! [`ServerHandle::shutdown`]) sets a flag and wakes the loop through
+//! the poller's self-pipe waker — no more "dial a throwaway TCP
+//! connection at ourselves". The loop stops accepting, lets dispatched
+//! requests finish, flushes and closes every parked connection, and
+//! only after the handler pool has drained is the memo saved — the
+//! final snapshot always contains whatever an in-flight sweep
+//! inserted, and cannot race a mid-sweep autosave.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -45,15 +66,33 @@ use crate::api::{
 use crate::frames;
 use crate::http;
 use crate::metrics::{self, Metrics};
+use crate::poll::{self, Interest, Poller};
 use crate::ServeError;
 
-/// Per-request socket timeout: a peer stalling mid-request (or mid-read of
-/// a response) cannot pin a handler thread forever.
+/// Socket timeout applied while a connection is checked out to a handler
+/// thread in blocking mode: a peer stalling mid-read of a streamed response
+/// cannot pin a pool thread forever. (Timeouts are inert while the socket
+/// is nonblocking on the event loop.)
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Upper bound on the idle-wait poll slice: how long a parked keep-alive
-/// connection can delay noticing the shutdown flag.
-const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+/// Upper bound on one event-loop wait: how long idle-timeout enforcement
+/// and a missed wake-up can lag behind wall-clock time.
+const IDLE_SWEEP: Duration = Duration::from_millis(100);
+
+/// Bytes read per `read(2)` call on a ready connection.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Per-readiness-event read budget: a firehosing peer yields the loop back
+/// to other connections after this many bytes (level-triggered polling
+/// re-reports the remainder immediately).
+const READ_BUDGET: usize = 256 * 1024;
+
+/// The poller token of the listening socket ([`poll::WAKER_TOKEN`] is
+/// `u64::MAX`; connection tokens are slab indices counting up from 0).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// `Retry-After` value (seconds) attached to admission-control 429s.
+const RETRY_AFTER_SECS: &str = "1";
 
 /// Configuration of [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -66,7 +105,8 @@ pub struct ServeConfig {
     /// Case indices a sweep worker claims per queue round-trip (`None`:
     /// `ECOCHIP_CHUNK`, then the engine default).
     pub chunk: Option<usize>,
-    /// Connection-handler threads (each serves one request at a time).
+    /// Handler-pool threads for heavy routes (sweeps, batch estimates,
+    /// memo transfers); light routes run on the event loop.
     pub threads: usize,
     /// Technology database (`None` uses the built-in defaults).
     pub techdb: Option<TechDb>,
@@ -78,13 +118,23 @@ pub struct ServeConfig {
     /// Autosave the memo whenever this many new entries accumulated
     /// (requires `memo_file`).
     pub memo_save_every: Option<usize>,
-    /// How long a keep-alive connection may sit idle between requests
-    /// before the server closes it.
+    /// How long a keep-alive connection may sit idle between requests —
+    /// or drip-feed a partial request (slow loris) — before the server
+    /// closes it.
     pub idle_timeout: Duration,
     /// Requests served on one connection before the server closes it
-    /// (keeps a single immortal peer from pinning a handler thread
-    /// forever; clamped to at least 1).
+    /// (keeps a single immortal peer from monopolising the server;
+    /// clamped to at least 1).
     pub max_requests_per_connection: usize,
+    /// Heavy requests (sweep / batch estimate / memo transfer) allowed in
+    /// the handler pool — dispatched plus queued — before further heavy
+    /// requests are refused with `429 Too Many Requests` + `Retry-After`.
+    /// Clamped to at least 1.
+    pub max_inflight: usize,
+    /// Connections held open at once; further accepts are answered with
+    /// an immediate `429` + `Retry-After` and closed. Clamped at bind
+    /// time to the process's file-descriptor limit minus headroom.
+    pub max_connections: usize,
     /// Narrate memo loads/saves to stderr.
     pub verbose: bool,
 }
@@ -102,12 +152,14 @@ impl Default for ServeConfig {
             memo_save_every: None,
             idle_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1000,
+            max_inflight: 256,
+            max_connections: 16_384,
             verbose: false,
         }
     }
 }
 
-/// Counters and flags shared by every handler thread.
+/// Counters and flags shared by the event loop and every handler thread.
 struct ServerState {
     service: EcoChipService,
     db: TechDb,
@@ -115,10 +167,15 @@ struct ServerState {
     memo_file: Option<PathBuf>,
     idle_timeout: Duration,
     max_requests_per_connection: usize,
+    max_inflight: usize,
+    max_connections: usize,
     verbose: bool,
     shutdown: AtomicBool,
     requests: AtomicU64,
     metrics: Metrics,
+    /// Wakes the event loop out of a blocked wait (shutdown, handler-pool
+    /// completions).
+    waker: poll::Waker,
 }
 
 impl ServerState {
@@ -130,21 +187,15 @@ impl ServerState {
         }
     }
 
-    /// Trip the shutdown flag and nudge the accept loop awake.
+    /// Trip the shutdown flag and wake the event loop (self-pipe — works
+    /// from any thread, needs no connectable address).
     fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in `accept`; a throwaway connection
-        // makes it re-check the flag. A wildcard bind (0.0.0.0 / ::) is not
-        // connectable on every platform, so aim the wake-up at loopback.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(if wake.is_ipv4() {
-                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
-            } else {
-                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
-            });
-        }
-        let _ = TcpStream::connect(wake);
+        self.waker.wake();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 }
 
@@ -162,20 +213,21 @@ impl std::fmt::Debug for ServerState {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
+    poller: Poller,
     state: Arc<ServerState>,
     threads: usize,
 }
 
 impl Server {
-    /// Bind the listen socket and warm up the service (estimator, memo
-    /// load, capacity bound, autosave).
+    /// Bind the listen socket, create the readiness poller and warm up the
+    /// service (estimator, memo load, capacity bound, autosave).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidAddr`] when `config.addr` does not
-    /// resolve and [`ServeError::Io`] when binding fails. A stale or
-    /// malformed memo file is *not* an error — the server starts cold and
-    /// warns on stderr, matching the CLI.
+    /// resolve and [`ServeError::Io`] when binding or poller creation
+    /// fails. A stale or malformed memo file is *not* an error — the
+    /// server starts cold and warns on stderr, matching the CLI.
     pub fn bind(config: &ServeConfig) -> Result<Self, ServeError> {
         let mut addrs = config
             .addr
@@ -189,6 +241,7 @@ impl Server {
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(format!("reading bound address: {e}")))?;
+        let poller = Poller::new().map_err(|e| ServeError::Io(format!("creating poller: {e}")))?;
 
         let db = config.techdb.clone().unwrap_or_default();
         let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build());
@@ -202,8 +255,16 @@ impl Server {
             }
         }
 
+        // Every connection is a file descriptor; cap the connection count
+        // below the process limit so the listener, memo file, self-pipe and
+        // poller never hit EMFILE behind a connection flood.
+        let mut max_connections = config.max_connections.max(1);
+        if let Some((soft, _)) = poll::nofile_limit() {
+            let headroom = (soft as usize).saturating_sub(64).max(16);
+            max_connections = max_connections.min(headroom);
+        }
+
         Ok(Self {
-            listener,
             state: Arc::new(ServerState {
                 service,
                 db,
@@ -211,11 +272,16 @@ impl Server {
                 memo_file: config.memo_file.clone(),
                 idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
                 max_requests_per_connection: config.max_requests_per_connection.max(1),
+                max_inflight: config.max_inflight.max(1),
+                max_connections,
                 verbose: config.verbose,
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
                 metrics: Metrics::new(),
+                waker: poller.waker(),
             }),
+            listener,
+            poller,
             threads: config.threads.max(1),
         })
     }
@@ -231,47 +297,60 @@ impl Server {
         self.state.service.engine().chunk()
     }
 
+    /// The readiness backend the event loop runs on (`"epoll"` or
+    /// `"poll"`), for banners and tests.
+    pub fn poll_backend(&self) -> &'static str {
+        self.poller.backend_name()
+    }
+
     /// Serve until shut down (`POST /v1/shutdown` or
     /// [`ServerHandle::shutdown`]), then save the memo and return.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Io`] only for accept-loop failures; individual
-    /// connection errors are answered with HTTP error responses (or dropped
-    /// when the peer is gone) and never stop the server.
+    /// Returns [`ServeError::Io`] only for listener/poller failures;
+    /// individual connection errors are answered with HTTP error responses
+    /// (or dropped when the peer is gone) and never stop the server.
     pub fn run(self) -> Result<(), ServeError> {
-        let state = &self.state;
-        let (sender, receiver) = mpsc::channel::<TcpStream>();
-        let receiver = Mutex::new(receiver);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(|| loop {
-                    let connection = {
-                        let receiver = receiver.lock().expect("connection queue");
-                        receiver.recv()
-                    };
-                    match connection {
-                        Ok(stream) => handle_connection(state, stream),
-                        Err(_) => break, // accept loop ended
-                    }
-                });
+        let Server {
+            listener,
+            mut poller,
+            state,
+            threads,
+        } = self;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(format!("listener nonblocking mode: {e}")))?;
+        poller
+            .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+            .map_err(|e| ServeError::Io(format!("registering listener: {e}")))?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let job_rx = Mutex::new(job_rx);
+        let job_rx = &job_rx;
+        let state_ref: &ServerState = &state;
+        let result = std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let done_tx = done_tx.clone();
+                scope.spawn(move || worker_loop(state_ref, job_rx, done_tx));
             }
-            for connection in self.listener.incoming() {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match connection {
-                    Ok(stream) => {
-                        // The pool threads only exit when the sender drops,
-                        // so this send cannot fail while we are looping.
-                        let _ = sender.send(stream);
-                    }
-                    Err(error) => {
-                        eprintln!("warning: accepting connection: {error}");
-                    }
-                }
-            }
-            drop(sender);
+            drop(done_tx);
+            let mut event_loop = EventLoop {
+                state: state_ref,
+                listener: &listener,
+                poller: &mut poller,
+                job_tx,
+                done_rx,
+                conns: Slab::default(),
+                checked_out: 0,
+                draining: false,
+                last_idle_scan: Instant::now(),
+            };
+            event_loop.run()
+            // `event_loop` (and with it the job sender) drops here, so the
+            // pool threads drain any queued jobs and exit; the scope then
+            // joins them.
         });
         // The scope has joined every handler thread, so all in-flight
         // requests (including streaming sweeps and their incremental
@@ -279,7 +358,7 @@ impl Server {
         // after the last insert and cannot race a mid-sweep autosave or
         // publish a snapshot missing in-flight entries.
         state.save_memo();
-        Ok(())
+        result
     }
 
     /// Run the server on a background thread (for tests, examples and
@@ -319,6 +398,569 @@ impl ServerHandle {
     }
 }
 
+/// One parked connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Received-but-unparsed request bytes (drained as requests complete).
+    buf: Vec<u8>,
+    /// Resumable head/body parser over `buf` (pipelining-aware).
+    parser: http::RequestParser,
+    /// Queued response bytes not yet written to the socket.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` has reached the socket.
+    written: usize,
+    /// A heavy request waiting for `write_buf` to flush before its
+    /// connection can be handed to the pool (responses stay in order).
+    pending_dispatch: Option<Box<Job0>>,
+    /// Close once `write_buf` is flushed (error reply, `Connection:
+    /// close`, shutdown, request-count bound).
+    close_after_flush: bool,
+    /// The peer half-closed its write side (read returned EOF).
+    peer_eof: bool,
+    /// Requests served on this connection (for the per-connection bound).
+    served: usize,
+    /// Last socket activity, for the idle timeout.
+    last_activity: Instant,
+    /// When the currently-incomplete request started arriving — bounds a
+    /// slow-loris peer drip-feeding a header forever.
+    partial_since: Option<Instant>,
+    /// The interest set currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            parser: http::RequestParser::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            pending_dispatch: None,
+            close_after_flush: false,
+            peer_eof: false,
+            served: 0,
+            last_activity: now,
+            partial_since: None,
+            interest: Interest::READ,
+        }
+    }
+
+    /// Whether every queued response byte has reached the socket.
+    fn flushed(&self) -> bool {
+        self.written == self.write_buf.len()
+    }
+}
+
+/// A parsed heavy request without its connection (boxed inside
+/// [`Conn::pending_dispatch`]).
+struct Job0 {
+    request: http::Request,
+    keep_alive: bool,
+}
+
+/// A heavy request checked out to the handler pool, carrying its
+/// connection.
+struct Job {
+    conn: Conn,
+    request: http::Request,
+    keep_alive: bool,
+}
+
+/// A finished heavy request handing its connection back to the loop.
+struct Done {
+    conn: Conn,
+    close: bool,
+}
+
+/// Slot map from poller token (index) to connection. Freed slots are
+/// reused; a token is never live for two connections inside one event
+/// batch (readiness events are coalesced per descriptor).
+#[derive(Default)]
+struct Slab {
+    entries: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn insert(&mut self, conn: Conn) -> usize {
+        self.live += 1;
+        match self.free.pop() {
+            Some(index) => {
+                self.entries[index] = Some(conn);
+                index
+            }
+            None => {
+                self.entries.push(Some(conn));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    fn remove(&mut self, index: usize) -> Option<Conn> {
+        let conn = self.entries.get_mut(index)?.take()?;
+        self.free.push(index);
+        self.live -= 1;
+        Some(conn)
+    }
+
+    fn get_mut(&mut self, index: usize) -> Option<&mut Conn> {
+        self.entries.get_mut(index)?.as_mut()
+    }
+
+    /// Indices of currently-live connections (snapshot; safe to mutate the
+    /// slab while iterating the returned list).
+    fn live_indices(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| slot.as_ref().map(|_| index))
+            .collect()
+    }
+}
+
+/// What to do with a connection after a progress pass.
+enum After {
+    /// Keep it parked (interest derived from its buffers).
+    Keep,
+    /// Hand it to the handler pool for this heavy request.
+    Dispatch(Box<Job0>),
+    /// Remove and drop it.
+    Close,
+}
+
+/// The event loop: owns the poller, the parked-connection slab and the
+/// dispatch bookkeeping for one [`Server::run`] call.
+struct EventLoop<'a> {
+    state: &'a ServerState,
+    listener: &'a TcpListener,
+    poller: &'a mut Poller,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<Done>,
+    conns: Slab,
+    /// Connections currently checked out to the handler pool (dispatched
+    /// or queued) — the `max_inflight` admission measure.
+    checked_out: usize,
+    /// Shutdown observed: listener deregistered, parked connections
+    /// flushing out, loop exits when everything has drained.
+    draining: bool,
+    last_idle_scan: Instant,
+}
+
+impl EventLoop<'_> {
+    fn run(&mut self) -> Result<(), ServeError> {
+        let mut events: Vec<poll::Event> = Vec::new();
+        let tick = self.state.idle_timeout.min(IDLE_SWEEP);
+        loop {
+            if !self.draining && self.state.shutting_down() {
+                self.begin_drain();
+            }
+            if self.draining && self.checked_out == 0 && self.conns.live == 0 {
+                self.state.metrics.set_connection_gauges(0, 0);
+                return Ok(());
+            }
+            self.poller
+                .wait(&mut events, Some(tick))
+                .map_err(|e| ServeError::Io(format!("polling for readiness: {e}")))?;
+            self.state.metrics.wakeup();
+            for &event in &events {
+                match event.token {
+                    poll::WAKER_TOKEN => {} // completions drained below
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_event(token as usize, event),
+                }
+            }
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.reclaim(done);
+            }
+            if self.last_idle_scan.elapsed() >= tick {
+                self.sweep_idle();
+                self.last_idle_scan = Instant::now();
+            }
+            self.state
+                .metrics
+                .set_connection_gauges(self.conns.live as u64, self.checked_out as u64);
+        }
+    }
+
+    /// Shutdown observed: stop accepting and push parked connections
+    /// toward closure (in-flight pool work keeps running until done).
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        for index in self.conns.live_indices() {
+            let parked_clean = {
+                let conn = self.conns.get_mut(index).expect("live index");
+                conn.close_after_flush = true;
+                conn.flushed() && conn.pending_dispatch.is_none()
+            };
+            if parked_clean {
+                self.close_conn(index);
+            }
+        }
+    }
+
+    /// Close connections that idled out — or drip-fed a partial request —
+    /// past the idle timeout.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let timeout = self.state.idle_timeout;
+        for index in self.conns.live_indices() {
+            let expired = {
+                let conn = self.conns.get_mut(index).expect("live index");
+                now.duration_since(conn.last_activity) >= timeout
+                    || conn
+                        .partial_since
+                        .is_some_and(|since| now.duration_since(since) >= timeout)
+            };
+            if expired {
+                self.close_conn(index);
+            }
+        }
+    }
+
+    /// Accept every pending connection (the listener is level-triggered
+    /// and nonblocking).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.state.metrics.connection_opened();
+                    if self.draining {
+                        continue; // raced the drain transition: drop it
+                    }
+                    if self.conns.live + self.checked_out >= self.state.max_connections {
+                        self.state.metrics.rejected("max_connections");
+                        refuse(self.state, stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses are written as single buffered messages
+                    // (and NDJSON chunks must reach the peer as they are
+                    // evaluated), so Nagle's algorithm only adds
+                    // delayed-ACK stalls to the keep-alive ping-pong.
+                    let _ = stream.set_nodelay(true);
+                    // Inert until the socket goes blocking on a pool
+                    // thread.
+                    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+                    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                    let fd = stream.as_raw_fd();
+                    let index = self.conns.insert(Conn::new(stream, Instant::now()));
+                    if self
+                        .poller
+                        .register(fd, index as u64, Interest::READ)
+                        .is_err()
+                    {
+                        self.conns.remove(index);
+                    }
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(error) => {
+                    // Transient accept failure (EMFILE under a connection
+                    // flood, aborted handshake): warn and let the next
+                    // readiness event retry.
+                    eprintln!("warning: accepting connection: {error}");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One readiness event for a parked connection.
+    fn conn_event(&mut self, index: usize, event: poll::Event) {
+        let Some(conn) = self.conns.get_mut(index) else {
+            return; // closed earlier in this batch
+        };
+        conn.last_activity = Instant::now();
+        if event.readable || event.closed {
+            match read_ready(conn) {
+                Ok(eof) => conn.peer_eof |= eof,
+                Err(_) => {
+                    self.close_conn(index);
+                    return;
+                }
+            }
+        }
+        self.drive(index);
+    }
+
+    /// Run the connection's state machine and apply the outcome: re-park
+    /// with the right interest, dispatch to the pool, or close.
+    fn drive(&mut self, index: usize) {
+        let inflight = self.checked_out;
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(index) else {
+                return;
+            };
+            progress(self.state, conn, inflight)
+        };
+        match outcome {
+            After::Keep => {
+                let Some(conn) = self.conns.get_mut(index) else {
+                    return;
+                };
+                // A write backlog pauses reads: the pipelining peer gets
+                // TCP backpressure instead of unbounded server buffering.
+                let desired = if conn.flushed() {
+                    Interest::READ
+                } else {
+                    Interest::WRITE
+                };
+                if desired != conn.interest {
+                    let fd = conn.stream.as_raw_fd();
+                    if self.poller.modify(fd, index as u64, desired).is_err() {
+                        self.close_conn(index);
+                        return;
+                    }
+                    if let Some(conn) = self.conns.get_mut(index) {
+                        conn.interest = desired;
+                    }
+                }
+            }
+            After::Dispatch(job) => {
+                let Some(conn) = self.conns.remove(index) else {
+                    return;
+                };
+                let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                if conn.stream.set_nonblocking(false).is_err() {
+                    return; // connection dies; nothing to hand the pool
+                }
+                self.checked_out += 1;
+                let Job0 {
+                    request,
+                    keep_alive,
+                } = *job;
+                // The pool threads outlive the loop (they exit only when
+                // the job sender drops), so this send cannot fail here.
+                let _ = self.job_tx.send(Job {
+                    conn,
+                    request,
+                    keep_alive,
+                });
+            }
+            After::Close => self.close_conn(index),
+        }
+    }
+
+    /// A handler thread finished with a connection: repark it (and serve
+    /// any pipelined bytes it buffered) or close it.
+    fn reclaim(&mut self, done: Done) {
+        self.checked_out -= 1;
+        if done.close || self.draining {
+            return; // drop: the worker advertised `Connection: close`
+        }
+        let mut conn = done.conn;
+        if conn.stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        conn.last_activity = Instant::now();
+        conn.interest = Interest::READ;
+        let fd = conn.stream.as_raw_fd();
+        let index = self.conns.insert(conn);
+        if self
+            .poller
+            .register(fd, index as u64, Interest::READ)
+            .is_err()
+        {
+            self.conns.remove(index);
+            return;
+        }
+        // The peer may have pipelined more requests while the worker was
+        // streaming; serve whatever is already buffered.
+        self.drive(index);
+    }
+
+    fn close_conn(&mut self, index: usize) {
+        if let Some(conn) = self.conns.remove(index) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+    }
+}
+
+/// Drain every readable byte (bounded by [`READ_BUDGET`]) into the
+/// connection's parse buffer. `Ok(true)` means the peer reached EOF.
+fn read_ready(conn: &mut Conn) -> std::io::Result<bool> {
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut total = 0;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Ok(true),
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                total += n;
+                if total >= READ_BUDGET {
+                    return Ok(false);
+                }
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(error) => return Err(error),
+        }
+    }
+}
+
+/// Write as much of the queued response bytes as the socket accepts.
+/// Returns `false` when the socket failed (close the connection).
+fn flush_write(conn: &mut Conn) -> bool {
+    while conn.written < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.written..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.written += n,
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.flushed() {
+        conn.write_buf.clear();
+        conn.written = 0;
+    }
+    true
+}
+
+/// The per-connection state machine: serve every complete pipelined
+/// request in order (light routes inline, heavy routes via
+/// [`After::Dispatch`]), then flush and decide how the connection parks.
+fn progress(state: &ServerState, conn: &mut Conn, inflight: usize) -> After {
+    loop {
+        if conn.close_after_flush {
+            break;
+        }
+        if conn.pending_dispatch.is_some() {
+            if conn.flushed() {
+                let job = conn.pending_dispatch.take().expect("pending dispatch");
+                return After::Dispatch(job);
+            }
+            break; // earlier responses must hit the wire first
+        }
+        match conn.parser.next_request(&conn.buf) {
+            Ok(Some((request, consumed))) => {
+                conn.buf.drain(..consumed);
+                conn.partial_since = None;
+                conn.served += 1;
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let keep_alive = request.keep_alive
+                    && conn.served < state.max_requests_per_connection
+                    && !state.shutting_down();
+                if is_offloaded(&request) {
+                    if inflight >= state.max_inflight {
+                        // Admission control: refuse the heavy request but
+                        // keep the connection usable.
+                        let route =
+                            metrics::route_label_for(&request.method, &request.path, &request.body);
+                        state.metrics.rejected("max_inflight");
+                        state.metrics.request_started();
+                        let started = Instant::now();
+                        respond_overloaded(
+                            &mut conn.write_buf,
+                            "server is at its in-flight request limit; retry later",
+                            keep_alive,
+                        );
+                        state.metrics.observe(route, 429, started.elapsed());
+                        if !keep_alive {
+                            conn.close_after_flush = true;
+                        }
+                        continue;
+                    }
+                    let job = Box::new(Job0 {
+                        request,
+                        keep_alive,
+                    });
+                    if conn.flushed() {
+                        return After::Dispatch(job);
+                    }
+                    conn.pending_dispatch = Some(job);
+                    continue;
+                }
+                let route = metrics::route_label_for(&request.method, &request.path, &request.body);
+                state.metrics.request_started();
+                let started = Instant::now();
+                let (status, close_after) =
+                    route_light(state, &request, &mut conn.write_buf, keep_alive);
+                state.metrics.observe(route, status, started.elapsed());
+                if close_after || !keep_alive {
+                    conn.close_after_flush = true;
+                }
+            }
+            Ok(None) => break, // need more bytes
+            Err(error) => {
+                // The request framing is unreliable from here on; answer
+                // and close.
+                state.metrics.request_started();
+                let started = Instant::now();
+                let status = respond_error_into(&mut conn.write_buf, &error, false);
+                state.metrics.observe("other", status, started.elapsed());
+                conn.close_after_flush = true;
+            }
+        }
+    }
+    if !conn.buf.is_empty() && conn.partial_since.is_none() {
+        conn.partial_since = Some(Instant::now());
+    }
+    if !flush_write(conn) {
+        return After::Close;
+    }
+    if !conn.flushed() {
+        return After::Keep; // parks with write interest
+    }
+    if let Some(job) = conn.pending_dispatch.take() {
+        // The flush above emptied the queue, so the held-back heavy
+        // request can go out now instead of waiting for a socket event
+        // that may never come (its bytes are already in our buffer).
+        return After::Dispatch(job);
+    }
+    if conn.close_after_flush || conn.peer_eof {
+        // Everything owed has hit the wire; EOF with nothing buffered is
+        // the silent probe-connection close.
+        return After::Close;
+    }
+    After::Keep
+}
+
+/// Whether a request runs on the handler pool (streaming or bulk work)
+/// instead of inline on the event loop. Wrong-method requests on these
+/// paths stay inline (405).
+fn is_offloaded(request: &http::Request) -> bool {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/sweep") => true,
+        ("POST", "/v1/estimate") => metrics::is_batch_estimate_body(&request.body),
+        ("GET" | "POST", "/v1/memo") => true,
+        _ => false,
+    }
+}
+
+/// A handler-pool thread: serve heavy requests off the shared queue until
+/// the event loop drops the sender.
+fn worker_loop(state: &ServerState, jobs: &Mutex<mpsc::Receiver<Job>>, done: mpsc::Sender<Done>) {
+    loop {
+        let job = {
+            let receiver = jobs.lock().expect("job queue");
+            receiver.recv()
+        };
+        let Ok(Job {
+            mut conn,
+            request,
+            keep_alive,
+        }) = job
+        else {
+            break; // event loop ended
+        };
+        let route = metrics::route_label_for(&request.method, &request.path, &request.body);
+        state.metrics.request_started();
+        let started = Instant::now();
+        let status = route_offloaded(state, &request, &mut conn.stream, keep_alive);
+        state.metrics.observe(route, status, started.elapsed());
+        // 499: the peer vanished mid-stream — nothing left to keep alive.
+        let close = !keep_alive || status == 499;
+        let _ = done.send(Done { conn, close });
+        state.waker.wake();
+    }
+}
+
 /// Serialize a response body; the wire types cannot fail serialization, so
 /// a failure is a programming error surfaced as a 500 body.
 fn body<T: Serialize>(value: &T) -> Vec<u8> {
@@ -331,20 +973,27 @@ fn body<T: Serialize>(value: &T) -> Vec<u8> {
     }
 }
 
-/// Write a JSON response, returning the status for metrics. The peer may
-/// already be gone; nothing useful to do about a write failure.
-fn respond<T: Serialize>(stream: &mut TcpStream, status: u16, value: &T, keep_alive: bool) -> u16 {
-    let _ = http::write_response(stream, status, "application/json", &body(value), keep_alive);
+/// Write a JSON response, returning the status for metrics. The writer is
+/// either a connection's in-memory response queue (infallible) or a
+/// checked-out socket whose peer may already be gone — nothing useful to
+/// do about a write failure either way.
+fn respond<W: Write, T: Serialize>(
+    writer: &mut W,
+    status: u16,
+    value: &T,
+    keep_alive: bool,
+) -> u16 {
+    let _ = http::write_response(writer, status, "application/json", &body(value), keep_alive);
     status
 }
 
-fn respond_error(stream: &mut TcpStream, error: &ServeError, keep_alive: bool) -> u16 {
+fn respond_error<W: Write>(writer: &mut W, error: &ServeError, keep_alive: bool) -> u16 {
     let status = match error {
         ServeError::Io(_) => 500,
         _ => 400,
     };
     respond(
-        stream,
+        writer,
         status,
         &ErrorResponse {
             error: error.to_string(),
@@ -353,115 +1002,53 @@ fn respond_error(stream: &mut TcpStream, error: &ServeError, keep_alive: bool) -
     )
 }
 
-/// Why the idle wait between requests ended.
-enum Wait {
-    /// Request bytes are buffered; go parse them.
-    Ready,
-    /// Peer gone, idle timeout expired, shutdown began, or the socket
-    /// failed — close the connection.
-    Close,
+/// [`respond_error`] onto a connection's response queue.
+fn respond_error_into(out: &mut Vec<u8>, error: &ServeError, keep_alive: bool) -> u16 {
+    respond_error(out, error, keep_alive)
 }
 
-/// Park between requests until the peer sends the next request head, it
-/// disconnects, the idle timeout expires, or shutdown begins. Polls in
-/// [`SHUTDOWN_POLL`] slices so a fleet-wide shutdown is never stuck behind
-/// an idle keep-alive connection.
-fn wait_for_request(state: &ServerState, reader: &mut BufReader<TcpStream>) -> Wait {
-    let poll = state.idle_timeout.min(SHUTDOWN_POLL);
-    let mut idle = Duration::ZERO;
-    loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            return Wait::Close;
-        }
-        if reader.get_ref().set_read_timeout(Some(poll)).is_err() {
-            return Wait::Close;
-        }
-        match reader.fill_buf() {
-            Ok([]) => return Wait::Close, // peer closed
-            Ok(_) => {
-                // Request bytes arrived (nothing consumed); switch to the
-                // per-request timeout for the actual parse.
-                let _ = reader.get_ref().set_read_timeout(Some(SOCKET_TIMEOUT));
-                return Wait::Ready;
-            }
-            Err(error)
-                if matches!(
-                    error.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                idle += poll;
-                if idle >= state.idle_timeout {
-                    return Wait::Close;
-                }
-            }
-            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return Wait::Close,
-        }
-    }
+/// Queue an admission-control refusal: `429 Too Many Requests` with a
+/// `Retry-After` hint.
+fn respond_overloaded(out: &mut Vec<u8>, message: &str, keep_alive: bool) {
+    let _ = http::write_response_with_headers(
+        out,
+        429,
+        "application/json",
+        &[("Retry-After", RETRY_AFTER_SECS)],
+        &body(&ErrorResponse {
+            error: message.into(),
+        }),
+        keep_alive,
+    );
 }
 
-/// Serve one connection: a keep-alive request loop. Each iteration waits
-/// for the next request (bounded by the idle timeout and the shutdown
-/// flag), parses and routes it, and records latency/status metrics; the
-/// loop ends when the peer asks for `Connection: close`, the
-/// requests-per-connection bound is hit, shutdown begins, or the socket
-/// fails.
-fn handle_connection(state: &ServerState, stream: TcpStream) {
-    state.metrics.connection_opened();
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    // Responses are written as single buffered messages (and NDJSON chunks
-    // must reach the peer as they are evaluated), so Nagle's algorithm only
-    // adds delayed-ACK stalls to the keep-alive ping-pong.
+/// Refuse a connection over the `max_connections` bound: best-effort
+/// blocking 429 write (bounded by a short timeout), then drop.
+fn refuse(state: &ServerState, mut stream: TcpStream) {
+    let _ = state; // reserved for future per-refusal narration
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = stream.set_nodelay(true);
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut served = 0usize;
-    while let Wait::Ready = wait_for_request(state, &mut reader) {
-        let request = match http::read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => break, // probe/wake-up connection
-            Err(error) => {
-                // The request framing is unreliable from here on; answer
-                // and close.
-                state.metrics.request_started();
-                let started = Instant::now();
-                let status = respond_error(&mut writer, &error, false);
-                state.metrics.observe("other", status, started.elapsed());
-                break;
-            }
-        };
-        served += 1;
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        let keep_alive = request.keep_alive
-            && served < state.max_requests_per_connection
-            && !state.shutdown.load(Ordering::SeqCst);
-
-        let route = metrics::route_label_for(&request.method, &request.path, &request.body);
-        state.metrics.request_started();
-        let started = Instant::now();
-        let (status, close_after) = route_request(state, &request, &mut writer, keep_alive);
-        state.metrics.observe(route, status, started.elapsed());
-        if close_after || !keep_alive {
-            break;
-        }
-    }
+    let mut message = Vec::new();
+    respond_overloaded(
+        &mut message,
+        "server is at its connection limit; retry later",
+        false,
+    );
+    let _ = stream.write_all(&message);
 }
 
-/// Route one parsed request. Returns the response status and whether the
-/// connection must close regardless of the negotiated keep-alive (the
-/// shutdown endpoint).
-fn route_request(
+/// Route a light request straight onto the connection's response queue.
+/// Returns the response status and whether the connection must close
+/// regardless of the negotiated keep-alive (the shutdown endpoint).
+fn route_light(
     state: &ServerState,
     request: &http::Request,
-    writer: &mut TcpStream,
+    out: &mut Vec<u8>,
     keep_alive: bool,
 ) -> (u16, bool) {
     let status = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/healthz") => respond(
-            writer,
+            out,
             200,
             &HealthResponse {
                 status: "ok".into(),
@@ -471,7 +1058,7 @@ fn route_request(
             keep_alive,
         ),
         ("GET", "/v1/stats") => respond(
-            writer,
+            out,
             200,
             &StatsResponse::new(
                 state.service.stats(),
@@ -483,12 +1070,15 @@ fn route_request(
                     requests: state.requests.load(Ordering::Relaxed),
                     points_streamed: state.service.service_stats().sweep_points,
                     chunk: state.service.engine().chunk(),
+                    idle_connections: state.metrics.idle_connections(),
+                    active_connections: state.metrics.active_connections(),
+                    rejected: state.metrics.rejected_total(),
                 },
             ),
             keep_alive,
         ),
         ("GET", "/v1/testcases") => respond(
-            writer,
+            out,
             200,
             &TestcasesResponse {
                 testcases: catalog::names(),
@@ -498,7 +1088,7 @@ fn route_request(
         ("GET", "/metrics") => {
             let text = state.metrics.render(&state.service);
             let _ = http::write_response(
-                writer,
+                out,
                 200,
                 "text/plain; version=0.0.4",
                 text.as_bytes(),
@@ -506,37 +1096,13 @@ fn route_request(
             );
             200
         }
-        ("GET", "/v1/memo") => match state.service.export_memo_json() {
-            Ok(json) => {
-                let _ = http::write_response(
-                    writer,
-                    200,
-                    "application/json",
-                    json.as_bytes(),
-                    keep_alive,
-                );
-                200
-            }
-            Err(error) => respond_error(writer, &ServeError::Estimator(error), keep_alive),
-        },
-        ("POST", "/v1/memo") => match import_memo(state, &request.body) {
-            Ok(response) => respond(writer, 200, &response, keep_alive),
-            Err(error) => respond_error(writer, &error, keep_alive),
-        },
-        ("POST", "/v1/estimate") if metrics::is_batch_estimate_body(&request.body) => {
-            match estimate_batch(state, &request.body) {
-                Ok(items) => respond(writer, 200, &items, keep_alive),
-                Err(error) => respond_error(writer, &error, keep_alive),
-            }
-        }
         ("POST", "/v1/estimate") => match estimate(state, &request.body) {
-            Ok(response) => respond(writer, 200, &response, keep_alive),
-            Err(error) => respond_error(writer, &error, keep_alive),
+            Ok(response) => respond(out, 200, &response, keep_alive),
+            Err(error) => respond_error(out, &error, keep_alive),
         },
-        ("POST", "/v1/sweep") => sweep(state, &request.body, writer, keep_alive),
         ("POST", "/v1/shutdown") => {
             respond(
-                writer,
+                out,
                 200,
                 &HealthResponse {
                     status: "shutting down".into(),
@@ -545,7 +1111,6 @@ fn route_request(
                 },
                 false,
             );
-            let _ = writer.flush();
             state.trigger_shutdown();
             return (200, true);
         }
@@ -554,7 +1119,7 @@ fn route_request(
             "/v1/healthz" | "/v1/stats" | "/v1/testcases" | "/v1/estimate" | "/v1/sweep"
             | "/v1/memo" | "/v1/shutdown" | "/metrics",
         ) => respond(
-            writer,
+            out,
             405,
             &ErrorResponse {
                 error: format!("method {} not allowed on {}", request.method, request.path),
@@ -562,7 +1127,7 @@ fn route_request(
             keep_alive,
         ),
         (_, path) => respond(
-            writer,
+            out,
             404,
             &ErrorResponse {
                 error: format!(
@@ -574,6 +1139,48 @@ fn route_request(
         ),
     };
     (status, false)
+}
+
+/// Route a heavy request on a handler-pool thread, writing the response
+/// (streamed for sweeps) directly to the checked-out blocking socket.
+fn route_offloaded(
+    state: &ServerState,
+    request: &http::Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) -> u16 {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/sweep") => sweep(state, &request.body, stream, keep_alive),
+        ("POST", "/v1/estimate") => match estimate_batch(state, &request.body) {
+            Ok(items) => respond(stream, 200, &items, keep_alive),
+            Err(error) => respond_error(stream, &error, keep_alive),
+        },
+        ("GET", "/v1/memo") => match state.service.export_memo_json() {
+            Ok(json) => {
+                let _ = http::write_response(
+                    stream,
+                    200,
+                    "application/json",
+                    json.as_bytes(),
+                    keep_alive,
+                );
+                200
+            }
+            Err(error) => respond_error(stream, &ServeError::Estimator(error), keep_alive),
+        },
+        ("POST", "/v1/memo") => match import_memo(state, &request.body) {
+            Ok(response) => respond(stream, 200, &response, keep_alive),
+            Err(error) => respond_error(stream, &error, keep_alive),
+        },
+        _ => respond(
+            stream,
+            500,
+            &ErrorResponse {
+                error: "request misrouted to the handler pool".into(),
+            },
+            false,
+        ),
+    }
 }
 
 /// Handle `POST /v1/memo`: absorb a peer's exported memo into the warm
@@ -809,9 +1416,12 @@ fn sweep(
         }
     }
     let bytes = sink.bytes;
-    let _ = chunked.finish();
+    // Account the stream before the terminal chunk: a client that sees
+    // end-of-stream and immediately polls `/metrics` (answered on the
+    // event loop, not this thread) must find the counters already bumped.
     state
         .metrics
         .sweep_stream_finished(format, bytes, started.elapsed());
+    let _ = chunked.finish();
     200
 }

@@ -5,9 +5,11 @@
 //! This module is that measurement: a fixed workload matrix over the
 //! estimator core (serial, memoized and parallel points/sec, streaming
 //! sweep throughput) and the HTTP service (estimate latency percentiles,
-//! single vs. batch throughput, NDJSON sweep throughput against an
-//! in-process server), emitted as `BENCH_core.json` and `BENCH_serve.json`
-//! at the repository root.
+//! single, pipelined and batch throughput, NDJSON vs. framed sweep
+//! streaming against an in-process server, and a C10K workload that holds
+//! ~10k idle keep-alive connections against a child-process server while
+//! measuring estimate throughput), emitted as `BENCH_core.json` and
+//! `BENCH_serve.json` at the repository root.
 //!
 //! ## Schema
 //!
@@ -38,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use ecochip_core::sweep::{SweepAxis, SweepContext, SweepEngine, SweepPoint, SweepSink, SweepSpec};
 use ecochip_core::{EcoChip, System};
-use ecochip_serve::{client, ServeConfig, Server};
+use ecochip_serve::{client, ServeConfig, Server, ServerHandle};
 use ecochip_techdb::TechDb;
 use ecochip_testcases::catalog;
 
@@ -478,6 +480,10 @@ pub fn run_serve(options: &BenchOptions) -> Result<BenchSuite, BenchError> {
         addr: "127.0.0.1:0".into(),
         jobs: Some(2),
         threads: 4,
+        // The workloads measure request handling, not connection
+        // recycling: an unbounded per-connection budget keeps the
+        // default cap from closing a connection mid-pipeline.
+        max_requests_per_connection: usize::MAX,
         ..ServeConfig::default()
     })
     .map_err(serve_error)?;
@@ -488,7 +494,240 @@ pub fn run_serve(options: &BenchOptions) -> Result<BenchSuite, BenchError> {
     let shutdown = handle.shutdown();
     result?;
     shutdown.map_err(serve_error)?;
+
+    // The C10K workload gets a dedicated server so the parked flood cannot
+    // perturb (or be perturbed by) the other workloads.
+    run_serve_c10k(options, repeats, &mut suite)?;
     Ok(suite)
+}
+
+/// Spawn `ecochip serve` as a child process for the C10K workload and
+/// return its handle plus the `host:port` parsed from the startup banner.
+///
+/// A child server is the honest C10K setup: the flood's server-side
+/// descriptors come out of the child's own file-descriptor budget, so this
+/// process can hold the full 10k client ends under the default `ulimit`.
+fn spawn_serve_child() -> Result<(std::process::Child, String), BenchError> {
+    use std::io::{BufRead, Read};
+
+    let exe = std::env::current_exe()
+        .map_err(|e| BenchError::Run(format!("cannot locate the ecochip binary: {e}")))?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "4",
+            "--jobs",
+            "2",
+            "--idle-timeout-ms",
+            "600000",
+        ])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| BenchError::Run(format!("cannot spawn the serve child: {e}")))?;
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(BenchError::Run(
+                    "serve child exited before printing its banner".into(),
+                ));
+            }
+            Ok(_) => {
+                if let Some(rest) = line
+                    .trim()
+                    .strip_prefix("ecochip-serve listening on http://")
+                {
+                    let addr = rest.split_whitespace().next().unwrap_or("").to_string();
+                    if addr.is_empty() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(BenchError::Run(format!("malformed serve banner: {line}")));
+                    }
+                    // Keep draining stderr so the child can never block on
+                    // a full pipe, whatever it logs later.
+                    std::thread::spawn(move || {
+                        let mut sink = String::new();
+                        let _ = reader.read_to_string(&mut sink);
+                    });
+                    return Ok((child, addr));
+                }
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(BenchError::Run(format!(
+                    "cannot read the serve banner: {e}"
+                )));
+            }
+        }
+    }
+}
+
+/// One rendered Prometheus series out of a `/metrics` payload, `0.0` when
+/// the series is absent.
+fn metric_value(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(series))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// The C10K workload: park thousands of idle keep-alive connections on a
+/// dedicated server, then measure sustained `/v1/estimate` throughput on
+/// one busy connection threaded through the flood. On the readiness event
+/// loop the parked sockets cost no threads, so the gated expectation is
+/// throughput within tolerance of the idle-free `http_estimate` number.
+fn run_serve_c10k(
+    options: &BenchOptions,
+    repeats: usize,
+    suite: &mut BenchSuite,
+) -> Result<(), BenchError> {
+    let serve_error = |e: ecochip_serve::ServeError| BenchError::Run(e.to_string());
+    let target = options.iterations(10_000, 1_000) as usize;
+    let (soft, _) = ecochip_serve::poll::nofile_limit()
+        .ok_or_else(|| BenchError::Run("cannot read the open-file limit".into()))?;
+    // Leave headroom for the harness, the busy connection and stdio.
+    let budget = (soft as usize).saturating_sub(2_000);
+
+    enum ServerUnderTest {
+        Child(std::process::Child),
+        InProcess(ServerHandle),
+    }
+    let (addr, server, flood) = match spawn_serve_child() {
+        Ok((child, addr)) => (addr, ServerUnderTest::Child(child), target.min(budget)),
+        Err(err) => {
+            // No spawnable binary (e.g. the suite driven from a foreign
+            // harness): fall back to an in-process server, where both ends
+            // of every parked connection share one descriptor budget.
+            eprintln!("bench: http_c10k falling back to an in-process server ({err})");
+            let server = Server::bind(&ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                jobs: Some(2),
+                threads: 4,
+                idle_timeout: Duration::from_secs(600),
+                ..ServeConfig::default()
+            })
+            .map_err(serve_error)?;
+            let addr = server.local_addr().to_string();
+            (
+                addr,
+                ServerUnderTest::InProcess(server.spawn()),
+                target.min(budget / 2),
+            )
+        }
+    };
+
+    let result = (|| -> Result<(), BenchError> {
+        // Raise the flood.
+        let mut held = Vec::with_capacity(flood);
+        for opened in 0..flood {
+            held.push(std::net::TcpStream::connect(&addr).map_err(|e| {
+                BenchError::Run(format!("c10k connect {opened}/{flood} failed: {e}"))
+            })?);
+        }
+        // Wait until the event loop has accepted and parked every one.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let metrics = client::get(&addr, "/metrics").map_err(serve_error)?;
+            let idle = metric_value(
+                metrics.text().unwrap_or(""),
+                "ecochip_http_connections_open{state=\"idle\"}",
+            );
+            if idle >= flood as f64 {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(BenchError::Run(format!(
+                    "only {idle} of {flood} c10k connections were parked"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // Measure estimate throughput through the parked flood.
+        let single_body = r#"{"testcase":"ga102-3chiplet"}"#;
+        let iterations = options.iterations(2_000, 16);
+        let mut connection = client::Connection::open(&addr).map_err(serve_error)?;
+        let warm = connection
+            .post_json("/v1/estimate", single_body)
+            .map_err(serve_error)?;
+        if warm.status != 200 {
+            return Err(BenchError::Run(format!(
+                "c10k warm-up failed with status {}",
+                warm.status
+            )));
+        }
+        let (value, iters, wall) = best_throughput(repeats, || {
+            for _ in 0..iterations {
+                let response = connection
+                    .post_json("/v1/estimate", single_body)
+                    .map_err(serve_error)?;
+                if response.status != 200 {
+                    return Err(BenchError::Run(format!(
+                        "c10k estimate failed with status {}",
+                        response.status
+                    )));
+                }
+            }
+            Ok(iterations)
+        })?;
+        suite.results.push(BenchRecord {
+            workload: "http_c10k".into(),
+            metric: "throughput".into(),
+            value,
+            units: "requests/sec".into(),
+            iterations: iters,
+            wall_clock_seconds: wall,
+        });
+        suite.results.push(BenchRecord {
+            workload: "http_c10k".into(),
+            metric: "idle_connections".into(),
+            value: flood as f64,
+            units: "connections".into(),
+            iterations: flood as u64,
+            wall_clock_seconds: wall,
+        });
+        drop(held);
+        Ok(())
+    })();
+
+    // Tear the server down whether or not the workload succeeded.
+    match server {
+        ServerUnderTest::Child(mut child) => {
+            let _ = client::post_json(&addr, "/v1/shutdown", "{}");
+            let shutdown_deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() > shutdown_deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                    Err(_) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        ServerUnderTest::InProcess(handle) => {
+            handle.shutdown().map_err(serve_error)?;
+        }
+    }
+    result
 }
 
 fn run_serve_workloads(
@@ -557,6 +796,40 @@ fn run_serve_workloads(
         });
     }
 
+    // --- Pipelined estimates: depth-32 batches on one connection ---------
+    // HTTP/1.1 pipelining amortizes the per-round-trip latency: the client
+    // writes a whole window of requests before reading the first response,
+    // and the event loop answers them in order from the connection buffer.
+    let depth = 32usize;
+    let rounds = options.iterations(160, 4);
+    let window: Vec<&str> = vec![single_body; depth];
+    let mut connection = client::Connection::open(addr).map_err(serve_error)?;
+    for response in &connection
+        .post_json_pipelined("/v1/estimate", &window)
+        .map_err(serve_error)?
+    {
+        expect_200(response)?;
+    }
+    let (value, iters, wall) = best_throughput(repeats, || {
+        for _ in 0..rounds {
+            let responses = connection
+                .post_json_pipelined("/v1/estimate", &window)
+                .map_err(serve_error)?;
+            for response in &responses {
+                expect_200(response)?;
+            }
+        }
+        Ok(rounds * depth as u64)
+    })?;
+    suite.results.push(BenchRecord {
+        workload: "http_pipelined".into(),
+        metric: "throughput".into(),
+        value,
+        units: "requests/sec".into(),
+        iterations: iters,
+        wall_clock_seconds: wall,
+    });
+
     // --- Batch estimate: N designs per round-trip ------------------------
     let batch_size = options.iterations(16, 8);
     let batches = options.iterations(400, 3);
@@ -586,8 +859,17 @@ fn run_serve_workloads(
     });
 
     // --- NDJSON sweep streaming ------------------------------------------
-    let sweep_body = r#"{"testcase":"ga102-3chiplet","axis":"lifetime"}"#;
-    let sweeps = options.iterations(200, 3);
+    // A structured lifetime axis wide enough (hundreds of points per
+    // sweep) that stream encoding, not per-request setup, dominates the
+    // round-trip — the regime where the length-prefixed `ECOF` framing
+    // holds its edge over NDJSON (the bench gate asserts frames ≥ ndjson).
+    let sweep_points = options.iterations(512, 48);
+    let lifetimes: Vec<f64> = (0..sweep_points).map(|i| 1.0 + i as f64 * 0.01).collect();
+    let axis_json = serde_json::to_string(&SweepAxis::lifetimes_years(&lifetimes))
+        .map_err(|e| BenchError::Run(e.to_string()))?;
+    let sweep_body = format!(r#"{{"testcase":"ga102-3chiplet","axes":[{axis_json}]}}"#);
+    let sweep_body = sweep_body.as_str();
+    let sweeps = options.iterations(20, 2);
     let mut connection = client::Connection::open(addr).map_err(serve_error)?;
     let mut lines = 0u64;
     expect_200(
@@ -621,7 +903,9 @@ fn run_serve_workloads(
     // The same sweep negotiated as length-prefixed `ECOF` frames (the
     // worker-internal encoding); the client decodes frames back to lines,
     // so the measured loop is identical above the wire format.
-    let frames_body = r#"{"testcase":"ga102-3chiplet","axis":"lifetime","format":"frames"}"#;
+    let frames_body =
+        format!(r#"{{"testcase":"ga102-3chiplet","axes":[{axis_json}],"format":"frames"}}"#);
+    let frames_body = frames_body.as_str();
     let mut connection = client::Connection::open(addr).map_err(serve_error)?;
     expect_200(
         &connection

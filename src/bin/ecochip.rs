@@ -12,6 +12,7 @@
 //! ecochip serve [--addr <host:port>] [--jobs N] [--threads N]
 //!               [--memo-file <file>] [--memo-max-entries N] [--memo-save-every N]
 //!               [--idle-timeout-ms N] [--max-requests-per-conn N]
+//!               [--max-inflight N] [--max-connections N]
 //! ecochip orchestrate --testcase <name> --sweep <axis>
 //!                     (--workers N | --remote <url,url,...>) [--check]
 //!                     [--retries N] [--backoff-ms N] [--share-memo]
@@ -43,8 +44,13 @@
 //!
 //! `ecochip serve` starts the HTTP/JSON estimation service (endpoints
 //! `/v1/estimate`, `/v1/sweep`, `/v1/testcases`, `/v1/healthz`,
-//! `/v1/stats`, `/v1/memo`, `/metrics`, `/v1/shutdown`) with persistent
-//! keep-alive connections (`--idle-timeout-ms`, `--max-requests-per-conn`);
+//! `/v1/stats`, `/v1/memo`, `/metrics`, `/v1/shutdown`) on a
+//! readiness-driven event loop: persistent keep-alive connections
+//! (`--idle-timeout-ms`, `--max-requests-per-conn`) cost one file
+//! descriptor each while idle, pipelined requests are served in order,
+//! and overload is answered with `429 Too Many Requests` + `Retry-After`
+//! (`--max-inflight` heavy requests in the handler pool,
+//! `--max-connections` sockets overall);
 //! `ecochip orchestrate` fans a sweep out across local workers or remote
 //! servers, merges the ordered shard streams to stdout as JSON lines, and
 //! with `--check` verifies the merge against the unsharded fingerprint.
@@ -133,7 +139,8 @@ fn print_usage() {
     eprintln!("  ecochip serve [--addr <host:port>] [--jobs N] [--chunk K] [--threads N]");
     eprintln!("                [--techdb <file>] [--memo-file <file>]");
     eprintln!("                [--memo-max-entries N] [--memo-save-every N]");
-    eprintln!("                [--idle-timeout-ms N] [--max-requests-per-conn N] [--verbose]");
+    eprintln!("                [--idle-timeout-ms N] [--max-requests-per-conn N]");
+    eprintln!("                [--max-inflight N] [--max-connections N] [--verbose]");
     eprintln!("                                               start the HTTP/JSON service");
     eprintln!("  ecochip orchestrate --testcase <name> --sweep <axis>");
     eprintln!("                (--workers N | --remote <url,url,...>)");
@@ -600,6 +607,18 @@ fn run_serve(args: &[String]) -> CliResult {
                 )?;
                 i += 2;
             }
+            "--max-inflight" => {
+                config.max_inflight =
+                    positive(&value_of(args, i, "--max-inflight")?, "--max-inflight")?;
+                i += 2;
+            }
+            "--max-connections" => {
+                config.max_connections = positive(
+                    &value_of(args, i, "--max-connections")?,
+                    "--max-connections",
+                )?;
+                i += 2;
+            }
             "--verbose" => {
                 config.verbose = true;
                 i += 1;
@@ -620,13 +639,14 @@ fn run_serve(args: &[String]) -> CliResult {
     }
     let server = Server::bind(&config).map_err(serve_error)?;
     eprintln!(
-        "ecochip-serve listening on http://{} ({} sweep jobs, {}-point chunks, {} handler threads)",
+        "ecochip-serve listening on http://{} ({} sweep jobs, {}-point chunks, {} handler threads, {} event loop)",
         server.local_addr(),
         config
             .jobs
             .map_or_else(|| "default".to_owned(), |jobs| jobs.to_string()),
         server.engine_chunk(),
-        config.threads
+        config.threads,
+        server.poll_backend()
     );
     server.run().map_err(serve_error)
 }

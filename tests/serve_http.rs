@@ -887,3 +887,353 @@ fn remote_orchestration_merges_two_servers_to_the_unsharded_stream() {
     first.shutdown().unwrap();
     second.shutdown().unwrap();
 }
+
+#[test]
+fn pipelined_requests_return_in_order_byte_identical_responses() {
+    use std::io::{Read, Write};
+    let (handle, addr) = boot(default_config());
+
+    // Raw-socket pipelining: three requests go out in one write; three
+    // responses come back on one connection, in request order.
+    {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let body = br#"{"testcase":"ga102"}"#;
+        let mut batch = Vec::new();
+        batch.extend_from_slice(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        batch.extend_from_slice(
+            format!(
+                "POST /v1/estimate HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        batch.extend_from_slice(body);
+        batch.extend_from_slice(
+            b"GET /v1/testcases HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        stream.write_all(&batch).unwrap();
+        let mut wire = String::new();
+        stream.read_to_string(&mut wire).unwrap();
+        assert_eq!(wire.matches("HTTP/1.1 200").count(), 3, "{wire}");
+        let healthz_at = wire.find("\"status\":\"ok\"").expect("healthz body");
+        let estimate_at = wire.find("\"embodied_fraction\"").expect("estimate body");
+        let testcases_at = wire.find("\"testcases\"").expect("testcases body");
+        assert!(
+            healthz_at < estimate_at && estimate_at < testcases_at,
+            "responses out of request order:\n{wire}"
+        );
+    }
+
+    // A heavy (pool-dispatched, chunked) request pipelined between two
+    // light ones keeps the ordering: the loop holds the sweep back until
+    // the first response is flushed, and serves the trailing request from
+    // the connection's buffer after the pool hands the socket back.
+    {
+        let sweep = br#"{"testcase":"ga102-3chiplet","axis":"lifetime"}"#;
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut batch = Vec::new();
+        batch.extend_from_slice(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        batch.extend_from_slice(
+            format!(
+                "POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+                sweep.len()
+            )
+            .as_bytes(),
+        );
+        batch.extend_from_slice(sweep);
+        batch
+            .extend_from_slice(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        stream.write_all(&batch).unwrap();
+        let mut wire = String::new();
+        stream.read_to_string(&mut wire).unwrap();
+        assert_eq!(wire.matches("HTTP/1.1 200").count(), 3, "{wire}");
+        let first_light = wire.find("\"status\":\"ok\"").expect("first healthz");
+        let chunked_at = wire
+            .find("Transfer-Encoding: chunked")
+            .expect("sweep stream");
+        let last_light = wire.rfind("\"status\":\"ok\"").expect("second healthz");
+        assert!(
+            first_light < chunked_at && chunked_at < last_light,
+            "heavy/light pipeline out of order:\n{wire}"
+        );
+    }
+
+    // The pipelined client helper: N estimates written before any read are
+    // byte-identical to the same estimates issued sequentially.
+    let bodies: Vec<String> = ["ga102", "a15", "emr", "ga102-3chiplet"]
+        .iter()
+        .map(|testcase| format!(r#"{{"testcase":"{testcase}"}}"#))
+        .collect();
+    let mut sequential = client::Connection::open(&addr).unwrap();
+    let expected: Vec<_> = bodies
+        .iter()
+        .map(|body| sequential.post_json("/v1/estimate", body).unwrap())
+        .collect();
+    let mut pipelined = client::Connection::open(&addr).unwrap();
+    let responses = pipelined
+        .post_json_pipelined("/v1/estimate", &bodies)
+        .unwrap();
+    assert_eq!(responses.len(), expected.len());
+    for (response, reference) in responses.iter().zip(&expected) {
+        assert_eq!(response.status, 200);
+        assert_eq!(response.headers, reference.headers);
+        assert_eq!(
+            response.body, reference.body,
+            "pipelined response diverged from the sequential bytes"
+        );
+    }
+    // The connection stays usable after the pipeline.
+    assert_eq!(pipelined.get("/v1/healthz").unwrap().status, 200);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn slow_loris_partial_headers_are_cut_off_at_the_idle_timeout() {
+    use std::io::{Read, Write};
+    let (handle, addr) = boot(ServeConfig {
+        idle_timeout: std::time::Duration::from_millis(300),
+        ..default_config()
+    });
+
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(b"GET /v1/healthz HT").unwrap();
+    let started = std::time::Instant::now();
+
+    // Keep dripping header bytes: activity alone must not reprieve a
+    // request that never completes its head.
+    let dripper = {
+        let mut writer = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            for _ in 0..100 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                if writer.write_all(b"x").is_err() {
+                    break; // the server cut us off
+                }
+            }
+        })
+    };
+
+    // EOF (or a reset once the drip races the close) well before the drip
+    // would end on its own — the 300ms partial-head deadline fired.
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(4),
+        "slow-loris connection survived {:?}",
+        started.elapsed()
+    );
+    dripper.join().unwrap();
+
+    // The server itself is unharmed.
+    assert_eq!(client::get(&addr, "/v1/healthz").unwrap().status, 200);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn saturated_inflight_limit_yields_429_with_retry_after() {
+    use std::io::{Read, Write};
+    let (handle, addr) = boot(ServeConfig {
+        max_inflight: 1,
+        threads: 2,
+        ..default_config()
+    });
+
+    // A sweep whose response far exceeds what the kernel will buffer: the
+    // handler-pool worker blocks writing until we read, deterministically
+    // pinning the single in-flight slot.
+    let lifetimes: Vec<f64> = (1..=20_000).map(|i| 1.0 + f64::from(i) * 0.001).collect();
+    let request = SweepRequest {
+        testcase: Some("ga102".into()),
+        system: None,
+        axis: None,
+        axes: Some(vec![SweepAxis::lifetimes_years(&lifetimes)]),
+        shard: None,
+        range: None,
+        format: None,
+    };
+    let body = serde_json::to_string(&request).unwrap();
+    let mut hog = std::net::TcpStream::connect(&addr).unwrap();
+    hog.write_all(
+        format!(
+            "POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+
+    // Wait until the sweep is checked out to the pool (the active gauge).
+    let mut active = 0.0;
+    for _ in 0..500 {
+        let metrics = client::get(&addr, "/metrics").unwrap();
+        active = metric_value(
+            metrics.text().unwrap(),
+            "ecochip_http_connections_open{state=\"active\"}",
+        );
+        if active >= 1.0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(active, 1.0, "sweep never reached the handler pool");
+
+    // Heavy requests now bounce: 429, Retry-After, connection preserved.
+    let mut connection = client::Connection::open(&addr).unwrap();
+    let refused = connection
+        .post_json("/v1/sweep", r#"{"testcase":"ga102","axis":"lifetime"}"#)
+        .unwrap();
+    assert_eq!(refused.status, 429, "{:?}", refused.text());
+    assert_eq!(refused.header("retry-after"), Some("1"));
+    assert_eq!(refused.header("connection"), Some("keep-alive"));
+    let error = refused.text().unwrap();
+    assert!(error.contains("in-flight"), "{error}");
+
+    // Light traffic keeps flowing on the same connection, and the refusal
+    // shows up in the rejection counter.
+    assert_eq!(connection.get("/v1/healthz").unwrap().status, 200);
+    let metrics = connection.get("/metrics").unwrap();
+    assert!(
+        metric_value(
+            metrics.text().unwrap(),
+            "ecochip_http_rejected_total{reason=\"max_inflight\"}",
+        ) >= 1.0
+    );
+
+    // Drain the hog; the slot frees and heavy requests are admitted again.
+    let mut sink = Vec::new();
+    hog.read_to_end(&mut sink).unwrap();
+    assert!(!sink.is_empty());
+    drop(hog);
+    let mut admitted = 0;
+    for _ in 0..500 {
+        admitted = connection
+            .post_json("/v1/sweep", r#"{"testcase":"ga102","axis":"lifetime"}"#)
+            .unwrap()
+            .status;
+        if admitted == 200 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(admitted, 200, "in-flight slot never freed");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn connection_limit_refuses_with_429_and_recovers() {
+    let (handle, addr) = boot(ServeConfig {
+        max_connections: 1,
+        ..default_config()
+    });
+
+    // Park one connection: the limit is reached.
+    let mut held = client::Connection::open(&addr).unwrap();
+    assert_eq!(held.get("/v1/healthz").unwrap().status, 200);
+
+    // The next connection is refused at accept time — whatever it asks.
+    let refused = client::get(&addr, "/v1/healthz").unwrap();
+    assert_eq!(refused.status, 429, "{:?}", refused.text());
+    assert_eq!(refused.header("retry-after"), Some("1"));
+    assert_eq!(refused.header("connection"), Some("close"));
+    let error = refused.text().unwrap();
+    assert!(error.contains("connection limit"), "{error}");
+
+    // Releasing the held connection frees the slot.
+    drop(held);
+    let mut status = 0;
+    for _ in 0..200 {
+        if let Ok(response) = client::get(&addr, "/v1/healthz") {
+            status = response.status;
+            if status == 200 {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(status, 200, "connection slot never freed");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn thousands_of_idle_connections_park_cheaply_and_drain_on_shutdown() {
+    use std::io::Read;
+    let (soft, _) = eco_chip::serve::poll::nofile_limit().expect("fd limit");
+    // Each held connection costs two descriptors in this process (client
+    // and server end live in the same test binary); leave slack for the
+    // harness, the suite's other servers, and the poller itself.
+    let flood = ((soft as usize).saturating_sub(1500) / 2).min(10_000);
+    if flood < 1_000 {
+        eprintln!("skipping connection-flood test: fd limit {soft} leaves no room");
+        return;
+    }
+
+    let (handle, addr) = boot(ServeConfig {
+        idle_timeout: std::time::Duration::from_secs(120),
+        ..default_config()
+    });
+    let mut held = Vec::with_capacity(flood);
+    for _ in 0..flood {
+        held.push(std::net::TcpStream::connect(&addr).unwrap());
+    }
+
+    // Wait until the event loop has accepted and parked the whole flood.
+    let mut idle = 0.0;
+    for _ in 0..1_000 {
+        let metrics = client::get(&addr, "/metrics").unwrap();
+        idle = metric_value(
+            metrics.text().unwrap(),
+            "ecochip_http_connections_open{state=\"idle\"}",
+        );
+        if idle >= flood as f64 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        idle >= flood as f64,
+        "only {idle} of {flood} connections parked"
+    );
+
+    // The server still answers promptly with the flood parked.
+    let started = std::time::Instant::now();
+    let response = client::post_json(&addr, "/v1/estimate", r#"{"testcase":"ga102"}"#).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "estimate under idle load took {:?}",
+        started.elapsed()
+    );
+
+    // Shutdown drains the whole flood promptly: the server thread joins
+    // and every held socket sees EOF.
+    let started = std::time::Instant::now();
+    handle.shutdown().unwrap();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "drain of {flood} idle connections took {:?}",
+        started.elapsed()
+    );
+    for stream in held.iter_mut().take(32) {
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            stream.read(&mut buf).unwrap_or(0),
+            0,
+            "idle socket not drained"
+        );
+    }
+}
