@@ -337,6 +337,7 @@ pub fn optimize_node_assignment(
         &source,
         Shard::FULL,
         &SweepContext::new(),
+        None,
         &mut |point: SweepPoint| {
             evaluated += 1;
             let score = objective.score(&point.report);

@@ -12,6 +12,8 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
+use ecochip_trace::{FieldValue, StageTimings};
+
 use crate::error::EcoChipError;
 use crate::estimator::EcoChip;
 use crate::report::CarbonReport;
@@ -211,9 +213,16 @@ impl EcoChipService {
                 self.autosave_retry_at
                     .store(dirty + autosave.every_entries, Ordering::Relaxed);
                 if !self.autosave_warned.swap(true, Ordering::Relaxed) {
-                    eprintln!(
-                        "warning: memo autosave to {} failed: {error} (will keep retrying)",
-                        autosave.path.display()
+                    ecochip_trace::warn(
+                        "core::service",
+                        "memo autosave failed; will keep retrying",
+                        &[
+                            (
+                                "path",
+                                FieldValue::from(autosave.path.display().to_string()),
+                            ),
+                            ("error", FieldValue::from(error.to_string())),
+                        ],
                     );
                 }
             }
@@ -281,15 +290,35 @@ impl EcoChipService {
         shard: Shard,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
+        self.run_streaming_timed(spec, shard, None, sink)
+    }
+
+    /// [`EcoChipService::run_streaming`] with an optional per-stage
+    /// duration collector (see [`SweepEngine::run_streaming_timed`]):
+    /// the HTTP server attaches a fresh [`StageTimings`] per request so
+    /// estimator time is attributed exactly; `None` costs one branch per
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// As [`EcoChipService::run_streaming`].
+    pub fn run_streaming_timed<S: SweepSink + ?Sized>(
+        &self,
+        spec: &SweepSpec,
+        shard: Shard,
+        timings: Option<&StageTimings>,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
         let mut instrumented = InstrumentedSink {
             service: self,
             sink,
         };
-        self.engine.run_streaming_with(
+        self.engine.run_streaming_timed(
             &self.estimator,
             spec,
             shard,
             &self.context,
+            timings,
             &mut instrumented,
         )
     }
@@ -310,15 +339,32 @@ impl EcoChipService {
         range: std::ops::Range<usize>,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
+        self.run_streaming_range_timed(spec, range, None, sink)
+    }
+
+    /// [`EcoChipService::run_streaming_range`] with an optional per-stage
+    /// duration collector (see [`SweepEngine::run_range_timed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`EcoChipService::run_streaming_range`].
+    pub fn run_streaming_range_timed<S: SweepSink + ?Sized>(
+        &self,
+        spec: &SweepSpec,
+        range: std::ops::Range<usize>,
+        timings: Option<&StageTimings>,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
         let mut instrumented = InstrumentedSink {
             service: self,
             sink,
         };
-        self.engine.run_range_with(
+        self.engine.run_range_timed(
             &self.estimator,
             spec,
             range,
             &self.context,
+            timings,
             &mut instrumented,
         )
     }
@@ -389,41 +435,62 @@ impl EcoChipService {
     /// The lenient memo load every front end (CLI, HTTP server) uses: a
     /// missing file is a cold start, a stale or malformed memo is *warned
     /// about and ignored* — results are identical either way, the memo only
-    /// saves work — and `verbose` narrates a successful load to stderr.
-    pub fn load_memo_lenient(&mut self, path: &Path, verbose: bool) {
+    /// saves work. A successful load is narrated at INFO level (front ends
+    /// raise the global level on `--verbose`).
+    pub fn load_memo_lenient(&mut self, path: &Path) {
         if !path.exists() {
             return;
         }
         match self.load_memo(path) {
-            Ok(()) if verbose => eprintln!(
-                "memo: loaded {} floorplans, {} manufacturing results from {}",
-                self.context.floorplan_entries(),
-                self.context.manufacturing_entries(),
-                path.display()
+            Ok(()) => ecochip_trace::info(
+                "core::service",
+                "memo loaded",
+                &[
+                    (
+                        "floorplans",
+                        FieldValue::from(self.context.floorplan_entries()),
+                    ),
+                    (
+                        "manufacturing",
+                        FieldValue::from(self.context.manufacturing_entries()),
+                    ),
+                    ("path", FieldValue::from(path.display().to_string())),
+                ],
             ),
-            Ok(()) => {}
-            Err(error) => eprintln!(
-                "warning: ignoring memo {}: {error} (starting cold)",
-                path.display()
+            Err(error) => ecochip_trace::warn(
+                "core::service",
+                "ignoring memo; starting cold",
+                &[
+                    ("path", FieldValue::from(path.display().to_string())),
+                    ("error", FieldValue::from(error.to_string())),
+                ],
             ),
         }
     }
 
-    /// [`EcoChipService::save_memo`] plus the shared `--verbose` narration.
+    /// [`EcoChipService::save_memo`] plus INFO-level narration of what was
+    /// persisted (front ends raise the global level on `--verbose`).
     ///
     /// # Errors
     ///
     /// Propagates [`EcoChipService::save_memo`] errors.
-    pub fn save_memo_verbose(&self, path: &Path, verbose: bool) -> Result<(), EcoChipError> {
+    pub fn save_memo_logged(&self, path: &Path) -> Result<(), EcoChipError> {
         self.save_memo(path)?;
-        if verbose {
-            eprintln!(
-                "memo: saved {} floorplans, {} manufacturing results to {}",
-                self.context.floorplan_entries(),
-                self.context.manufacturing_entries(),
-                path.display()
-            );
-        }
+        ecochip_trace::info(
+            "core::service",
+            "memo saved",
+            &[
+                (
+                    "floorplans",
+                    FieldValue::from(self.context.floorplan_entries()),
+                ),
+                (
+                    "manufacturing",
+                    FieldValue::from(self.context.manufacturing_entries()),
+                ),
+                ("path", FieldValue::from(path.display().to_string())),
+            ],
+        );
         Ok(())
     }
 }

@@ -11,8 +11,10 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use ecochip_techdb::EnergySource;
+use ecochip_trace::{Stage, StageTimings};
 
 use crate::error::EcoChipError;
 use crate::estimator::EcoChip;
@@ -270,7 +272,7 @@ impl SweepEngine {
     ) -> Result<Vec<SweepPoint>, EcoChipError> {
         let context = SweepContext::new();
         let mut points = Vec::new();
-        self.stream(estimator, spec, shard, &context, &mut |point| {
+        self.stream(estimator, spec, shard, &context, None, &mut |point| {
             points.push(point);
             Ok(())
         })?;
@@ -315,7 +317,28 @@ impl SweepEngine {
         context: &SweepContext,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
-        self.stream(estimator, spec, shard, context, sink)
+        self.stream(estimator, spec, shard, context, None, sink)
+    }
+
+    /// [`SweepEngine::run_streaming_with`] with an optional per-stage
+    /// duration collector: when `timings` is `Some`, each point's
+    /// estimator call is measured into [`StageTimings`] (serving's
+    /// per-request stage histograms and trace spans). The `None` path
+    /// costs one branch per point.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepEngine::run_streaming_with`].
+    pub fn run_streaming_timed<S: SweepSink + ?Sized>(
+        &self,
+        estimator: &EcoChip,
+        spec: &SweepSpec,
+        shard: Shard,
+        context: &SweepContext,
+        timings: Option<&StageTimings>,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        self.stream(estimator, spec, shard, context, timings, sink)
     }
 
     /// Stream an explicit, contiguous index range `[range.start,
@@ -344,7 +367,27 @@ impl SweepEngine {
     ) -> Result<usize, EcoChipError> {
         let total = spec.try_len()?;
         validate_case_range(total, &range)?;
-        self.stream_range(estimator, spec, range, context, sink)
+        self.stream_range(estimator, spec, range, context, None, sink)
+    }
+
+    /// [`SweepEngine::run_range_with`] with an optional per-stage
+    /// duration collector (see [`SweepEngine::run_streaming_timed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepEngine::run_range_with`].
+    pub fn run_range_timed<S: SweepSink + ?Sized>(
+        &self,
+        estimator: &EcoChip,
+        spec: &SweepSpec,
+        range: std::ops::Range<usize>,
+        context: &SweepContext,
+        timings: Option<&StageTimings>,
+        sink: &mut S,
+    ) -> Result<usize, EcoChipError> {
+        let total = spec.try_len()?;
+        validate_case_range(total, &range)?;
+        self.stream_range(estimator, spec, range, context, timings, sink)
     }
 
     /// Evaluate explicit cases (e.g. pre-processed for custom labels) with a
@@ -380,6 +423,7 @@ impl SweepEngine {
             cases.as_slice(),
             Shard::FULL,
             context,
+            None,
             &mut |point| {
                 points.push(point);
                 Ok(())
@@ -397,10 +441,18 @@ impl SweepEngine {
         source: &C,
         shard: Shard,
         context: &SweepContext,
+        timings: Option<&StageTimings>,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
         let total = source.total()?;
-        self.stream_range(estimator, source, shard.range(total), context, sink)
+        self.stream_range(
+            estimator,
+            source,
+            shard.range(total),
+            context,
+            timings,
+            sink,
+        )
     }
 
     /// The work-queue pipeline over an explicit (already validated) index
@@ -411,6 +463,7 @@ impl SweepEngine {
         source: &C,
         range: std::ops::Range<usize>,
         context: &SweepContext,
+        timings: Option<&StageTimings>,
         sink: &mut S,
     ) -> Result<usize, EcoChipError> {
         let count = range.len();
@@ -421,9 +474,18 @@ impl SweepEngine {
         let variants = VariantCache::new(estimator);
         let evaluate = |index: usize| -> Result<SweepPoint, EcoChipError> {
             let case = source.case(index)?;
-            let report = variants
-                .estimator_for(case.fab_source)
-                .estimate_with(&case.system, context)?;
+            let estimator = variants.estimator_for(case.fab_source);
+            // Near-zero-cost disabled path: untimed requests pay one
+            // branch per point, never a clock read.
+            let report = match timings {
+                None => estimator.estimate_with(&case.system, context)?,
+                Some(timings) => {
+                    let started = Instant::now();
+                    let report = estimator.estimate_with(&case.system, context);
+                    timings.record(Stage::Estimate, started.elapsed());
+                    report?
+                }
+            };
             Ok(SweepPoint {
                 label: case.label(),
                 system: case.system,

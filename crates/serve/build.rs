@@ -1,0 +1,21 @@
+//! Bakes the compiling toolchain's version string into the crate (the
+//! `toolchain` label of the `ecochip_build_info` metric). Best-effort:
+//! when `rustc --version` cannot be run the metric falls back to
+//! `"unknown"`.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|text| text.trim().to_string())
+        .unwrap_or_default();
+    if !version.is_empty() {
+        println!("cargo:rustc-env=ECOCHIP_RUSTC_VERSION={version}");
+    }
+}

@@ -323,9 +323,24 @@ pub struct HealthResponse {
     pub jobs: usize,
 }
 
+/// Per-route latency summary inside a [`StatsResponse`]: the estimated
+/// p50/p99 of the server-side request latency histogram for one route
+/// label (same labels as the `ecochip_request_duration_seconds` metric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteLatency {
+    /// Route label (`"estimate"`, `"sweep"`, `"stats"`, …).
+    pub route: String,
+    /// Requests observed on this route since startup.
+    pub count: u64,
+    /// Estimated median request latency, seconds.
+    pub p50_seconds: f64,
+    /// Estimated 99th-percentile request latency, seconds.
+    pub p99_seconds: f64,
+}
+
 /// `GET /v1/stats` response: request counters plus the warm memo's
 /// hit/miss/eviction counters and sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsResponse {
     /// Requests accepted since startup (all endpoints).
     pub requests: u64,
@@ -362,6 +377,11 @@ pub struct StatsResponse {
     /// startup (admission control; see `--max-inflight` /
     /// `--max-connections`).
     pub rejected: u64,
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Per-route latency summaries (routes with zero observations are
+    /// omitted).
+    pub latency: Vec<RouteLatency>,
 }
 
 /// Request-level totals for [`StatsResponse::new`], gathered from the
@@ -380,6 +400,8 @@ pub struct ServeTotals {
     pub active_connections: u64,
     /// 429 rejections since startup.
     pub rejected: u64,
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
 }
 
 impl StatsResponse {
@@ -391,6 +413,7 @@ impl StatsResponse {
         memo_capacity: Option<usize>,
         memo_dirty_entries: usize,
         totals: ServeTotals,
+        latency: Vec<RouteLatency>,
     ) -> Self {
         Self {
             requests: totals.requests,
@@ -409,8 +432,56 @@ impl StatsResponse {
             idle_connections: totals.idle_connections,
             active_connections: totals.active_connections,
             rejected: totals.rejected,
+            uptime_seconds: totals.uptime_seconds,
+            latency,
         }
     }
+}
+
+/// One completed span in a `GET /v1/trace` dump — the wire form of
+/// [`ecochip_trace::CompletedSpan`]. Spans nest by ID: a stage span's
+/// `parent` is its request span's `id`, and every span carries the trace
+/// ID current when it started, so one `X-Ecochip-Trace` value stitches a
+/// sweep's timeline back together across the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Monotone completion sequence number (orders the dump).
+    pub seq: u64,
+    /// Process-unique span ID.
+    pub id: u64,
+    /// The enclosing span's ID, when this span was nested.
+    pub parent: Option<u64>,
+    /// The trace ID current when the span started.
+    pub trace: Option<String>,
+    /// Span name (e.g. `"request:sweep"`, `"stage:estimate"`).
+    pub name: String,
+    /// Wall-clock start, unix seconds (fractional).
+    pub start: f64,
+    /// Duration in seconds (monotonic clock).
+    pub duration: f64,
+}
+
+impl From<&ecochip_trace::CompletedSpan> for TraceSpan {
+    fn from(span: &ecochip_trace::CompletedSpan) -> Self {
+        Self {
+            seq: span.seq,
+            id: span.id,
+            parent: span.parent,
+            trace: span.trace.clone(),
+            name: span.name.clone(),
+            start: span.start,
+            duration: span.duration,
+        }
+    }
+}
+
+/// `GET /v1/trace` response: this process's recent-span ring buffer,
+/// oldest first. The ring is bounded (the newest spans win), so this is a
+/// flight recorder, not an archive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceResponse {
+    /// Completed spans, ordered by completion (`seq` ascending).
+    pub spans: Vec<TraceSpan>,
 }
 
 /// `GET /v1/testcases` response.

@@ -139,6 +139,9 @@ pub struct Connection {
     /// Whether the current socket has served at least one response — only
     /// then can a failure mean "the server idle-closed it under us".
     served: bool,
+    /// Trace ID attached to every request as `X-Ecochip-Trace` (see
+    /// [`Connection::set_trace`]).
+    trace: Option<String>,
 }
 
 impl Connection {
@@ -154,6 +157,7 @@ impl Connection {
             target: host_port(addr).to_owned(),
             reader: None,
             served: false,
+            trace: None,
         };
         connection.ensure_connected()?;
         Ok(connection)
@@ -162,6 +166,19 @@ impl Connection {
     /// The `host:port` this connection talks to.
     pub fn target(&self) -> &str {
         &self.target
+    }
+
+    /// Attach a trace ID: every subsequent request carries it in the
+    /// `X-Ecochip-Trace` header (and the server echoes it back), so one
+    /// orchestrated sweep is greppable across every worker it touched.
+    /// `None` detaches.
+    pub fn set_trace(&mut self, trace: Option<String>) {
+        self.trace = trace;
+    }
+
+    /// The trace ID attached with [`Connection::set_trace`], if any.
+    pub fn trace(&self) -> Option<&str> {
+        self.trace.as_deref()
     }
 
     /// `GET path`, reusing the socket.
@@ -238,7 +255,7 @@ impl Connection {
         self.ensure_connected()?;
         let outcome = {
             let reader = self.reader.as_mut().expect("connected reader");
-            pipeline(reader, &self.target, path, bodies)
+            pipeline(reader, &self.target, path, bodies, self.trace.as_deref())
         };
         match outcome {
             Ok((responses, keep_open)) => {
@@ -309,9 +326,27 @@ impl Connection {
                         (**inner)(line)
                     };
                     let mut sink: Option<LineSink<'_>> = Some(&mut wrapper);
-                    perform(reader, &self.target, method, path, body, true, &mut sink)
+                    perform(
+                        reader,
+                        &self.target,
+                        method,
+                        path,
+                        body,
+                        true,
+                        self.trace.as_deref(),
+                        &mut sink,
+                    )
                 }
-                None => perform(reader, &self.target, method, path, body, true, &mut None),
+                None => perform(
+                    reader,
+                    &self.target,
+                    method,
+                    path,
+                    body,
+                    true,
+                    self.trace.as_deref(),
+                    &mut None,
+                ),
             }
         };
         match self.settle(outcome) {
@@ -320,7 +355,16 @@ impl Connection {
                 // request went out; retry it once on a fresh connection.
                 self.ensure_connected()?;
                 let reader = self.reader.as_mut().expect("connected reader");
-                let retried = perform(reader, &self.target, method, path, body, true, on_line);
+                let retried = perform(
+                    reader,
+                    &self.target,
+                    method,
+                    path,
+                    body,
+                    true,
+                    self.trace.as_deref(),
+                    on_line,
+                );
                 self.settle(retried)
             }
             settled => settled,
@@ -399,7 +443,17 @@ fn one_shot(
 ) -> Result<Response, ServeError> {
     let target = host_port(addr);
     let mut reader = BufReader::new(connect(target)?);
-    perform(&mut reader, target, method, path, body, false, on_line).map(|(response, _)| response)
+    perform(
+        &mut reader,
+        target,
+        method,
+        path,
+        body,
+        false,
+        None,
+        on_line,
+    )
+    .map(|(response, _)| response)
 }
 
 /// Write every pipelined request in one buffered send, then decode the
@@ -410,6 +464,7 @@ fn pipeline<S: AsRef<str>>(
     target: &str,
     path: &str,
     bodies: &[S],
+    trace: Option<&str>,
 ) -> Result<(Vec<Response>, bool), ServeError> {
     let mut message = Vec::new();
     for body in bodies {
@@ -420,6 +475,7 @@ fn pipeline<S: AsRef<str>>(
             path,
             Some(body.as_ref().as_bytes()),
             true,
+            trace,
         );
     }
     let mut stream = reader.get_ref();
@@ -457,22 +513,28 @@ fn encode_request_into(
     path: &str,
     request_body: Option<&[u8]>,
     reuse: bool,
+    trace: Option<&str>,
 ) {
     let body = request_body.unwrap_or_default();
     message.extend_from_slice(
         format!(
-            "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {target}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
             body.len(),
             if reuse { "keep-alive" } else { "close" }
         )
         .as_bytes(),
     );
+    if let Some(trace) = trace {
+        message.extend_from_slice(format!("X-Ecochip-Trace: {trace}\r\n").as_bytes());
+    }
+    message.extend_from_slice(b"\r\n");
     message.extend_from_slice(body);
 }
 
 /// Send one request on an established connection and decode the response.
 /// Returns the response plus whether the connection may serve another
 /// request (the server's `Connection` header and protocol version decide).
+#[allow(clippy::too_many_arguments)]
 fn perform(
     reader: &mut BufReader<TcpStream>,
     target: &str,
@@ -480,6 +542,7 @@ fn perform(
     path: &str,
     request_body: Option<&[u8]>,
     reuse: bool,
+    trace: Option<&str>,
     on_line: &mut Option<LineSink<'_>>,
 ) -> Result<(Response, bool), ServeError> {
     {
@@ -487,7 +550,15 @@ fn perform(
         // single syscall: a `write!` straight onto the socket would emit
         // one small segment per format fragment.
         let mut message = Vec::new();
-        encode_request_into(&mut message, target, method, path, request_body, reuse);
+        encode_request_into(
+            &mut message,
+            target,
+            method,
+            path,
+            request_body,
+            reuse,
+            trace,
+        );
         let mut stream = reader.get_ref();
         stream
             .write_all(&message)

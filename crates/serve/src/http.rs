@@ -408,17 +408,42 @@ pub struct ChunkedWriter<W: Write> {
 ///
 /// Propagates socket write failures.
 pub fn start_chunked<W: Write>(
-    mut writer: W,
+    writer: W,
     status: u16,
     content_type: &str,
     keep_alive: bool,
 ) -> std::io::Result<ChunkedWriter<W>> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+    start_chunked_with_headers(writer, status, content_type, &[], keep_alive)
+}
+
+/// [`start_chunked`] with extra response headers (name, value) ahead of
+/// the body — how streamed sweep responses echo `X-Ecochip-Trace`.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn start_chunked_with_headers<W: Write>(
+    mut writer: W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> std::io::Result<ChunkedWriter<W>> {
+    // One buffer, one write, like `write_response_with_headers`.
+    let mut message = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
         reason(status),
         connection_token(keep_alive)
-    )?;
+    )
+    .into_bytes();
+    for (name, value) in extra_headers {
+        message.extend_from_slice(name.as_bytes());
+        message.extend_from_slice(b": ");
+        message.extend_from_slice(value.as_bytes());
+        message.extend_from_slice(b"\r\n");
+    }
+    message.extend_from_slice(b"\r\n");
+    writer.write_all(&message)?;
     writer.flush()?;
     Ok(ChunkedWriter { writer })
 }

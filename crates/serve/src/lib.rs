@@ -27,11 +27,20 @@
 //! | `POST` | `/v1/sweep` | Sweep description → points streamed as NDJSON (chunked) |
 //! | `GET` | `/v1/testcases` | Names of the built-in test cases |
 //! | `GET` | `/v1/healthz` | Liveness probe |
-//! | `GET` | `/v1/stats` | Memo hit/miss/eviction + request counters |
+//! | `GET` | `/v1/stats` | Memo hit/miss/eviction + request counters + per-route latency |
 //! | `GET` | `/v1/memo` | Export the warm memo as fingerprinted JSON |
 //! | `POST` | `/v1/memo` | Absorb a peer's exported memo (fingerprint-validated) |
+//! | `GET` | `/v1/trace` | Recent-span ring buffer (request + sweep-stage spans) as JSON |
 //! | `GET` | `/metrics` | Prometheus text-format metrics |
 //! | `POST` | `/v1/shutdown` | Graceful shutdown (drains, then saves the memo) |
+//!
+//! Every request is traced: a valid client-supplied `X-Ecochip-Trace`
+//! header is adopted as the request's trace ID (anything else gets a
+//! server-minted one) and echoed back on the response, the
+//! [`orchestrator`] stamps one trace ID on every worker hop of a fan-out,
+//! and each request's spans land in the ring buffer behind `GET
+//! /v1/trace`. Structured logs (`ECOCHIP_LOG`, `--log-level` /
+//! `--log-format` on the CLI) carry the same IDs — see [`ecochip_trace`].
 //!
 //! Connections are persistent (HTTP/1.1 keep-alive with idle timeouts and
 //! a requests-per-connection bound); [`client::Connection`] reuses one
@@ -93,8 +102,8 @@ pub mod server;
 
 pub use api::{
     BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
-    IndexRange, MemoImportResponse, StatsResponse, SweepFormat, SweepRequest, SweepSlice,
-    TestcasesResponse,
+    IndexRange, MemoImportResponse, RouteLatency, StatsResponse, SweepFormat, SweepRequest,
+    SweepSlice, TestcasesResponse, TraceResponse, TraceSpan,
 };
 pub use client::Connection;
 pub use orchestrator::{FailoverPolicy, MemoShare, OrchestratorOutcome, WorkerPool};

@@ -14,11 +14,23 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ecochip_core::EcoChipService;
+use ecochip_trace::Stage;
 
 use crate::api::SweepFormat;
+
+/// The toolchain label baked in by `build.rs` (the output of
+/// `rustc --version` at compile time), surfaced by the
+/// `ecochip_build_info` gauge.
+pub const TOOLCHAIN: &str = match option_env!("ECOCHIP_RUSTC_VERSION") {
+    Some(version) => version,
+    None => "unknown",
+};
+
+/// The crate version surfaced by the `ecochip_build_info` gauge.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// The sweep-stream encodings tracked per-format (label values of the
 /// `ecochip_sweep_stream_*` series).
@@ -33,7 +45,7 @@ fn format_index(format: SweepFormat) -> usize {
 
 /// The route labels the registry tracks. Unknown paths collapse into
 /// `"other"` so a path-scanning client cannot grow the label space.
-pub const ROUTES: [&str; 11] = [
+pub const ROUTES: [&str; 12] = [
     "healthz",
     "stats",
     "testcases",
@@ -43,6 +55,7 @@ pub const ROUTES: [&str; 11] = [
     "memo_export",
     "memo_import",
     "metrics",
+    "trace",
     "shutdown",
     "other",
 ];
@@ -75,6 +88,7 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         ("GET", "/v1/memo") => "memo_export",
         (_, "/v1/memo") => "memo_import",
         (_, "/metrics") => "metrics",
+        (_, "/v1/trace") => "trace",
         (_, "/v1/shutdown") => "shutdown",
         _ => "other",
     }
@@ -130,13 +144,48 @@ impl Histogram {
             bucket.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// Estimate the `q`-quantile (0 < q ≤ 1) of the observed latencies by
+    /// linear interpolation within the histogram buckets — the same
+    /// estimate Prometheus's `histogram_quantile` would compute from the
+    /// exported series. Returns `None` with no observations; observations
+    /// past the widest bucket clamp to its bound.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        // Buckets before the total, as in `render`: keeps rank ≤ +Inf.
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|bucket| bucket.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let rank = (q * count as f64).ceil().clamp(1.0, count as f64) as u64;
+        let mut previous_bound = 0.0;
+        let mut previous_cumulative = 0u64;
+        for (cumulative, bound) in buckets.iter().zip(BUCKETS) {
+            if *cumulative >= rank {
+                let in_bucket = cumulative - previous_cumulative;
+                let fraction = if in_bucket == 0 {
+                    1.0
+                } else {
+                    (rank - previous_cumulative) as f64 / in_bucket as f64
+                };
+                return Some(previous_bound + (bound - previous_bound) * fraction);
+            }
+            previous_bound = bound;
+            previous_cumulative = *cumulative;
+        }
+        Some(previous_bound)
+    }
 }
 
 /// The server's metrics registry: HTTP-layer counters plus a latency
 /// histogram per route. One instance lives in the server state; handler
 /// threads record into it lock-free (the per-status counter map is the one
 /// mutex, taken once per request).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// TCP connections accepted by the handler pool.
     connections: AtomicU64,
@@ -151,6 +200,9 @@ pub struct Metrics {
     sweep_bytes: [AtomicU64; FORMATS.len()],
     /// Sweep-stream wall time, per encoding ([`FORMATS`] order).
     sweep_streams: [Histogram; FORMATS.len()],
+    /// Accumulated per-stage sweep time ([`Stage::ALL`] order), observed
+    /// once per instrumented sweep request per stage.
+    stage_durations: [Histogram; Stage::ALL.len()],
     /// Open connections parked in the event loop (gauge).
     idle_connections: AtomicU64,
     /// Open connections checked out to the handler pool (gauge).
@@ -160,12 +212,84 @@ pub struct Metrics {
     /// Event-loop wakeups (returns from the readiness wait, including
     /// timeout ticks and self-pipe nudges).
     wakeups: AtomicU64,
+    /// When this registry was created (server start), for the uptime gauge.
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One route's latency digest for `GET /v1/stats`: observation count plus
+/// bucket-interpolated p50/p99 (see [`Metrics::latency_summaries`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteLatencySummary {
+    /// The route label (one of [`ROUTES`]).
+    pub route: &'static str,
+    /// Requests observed on this route.
+    pub count: u64,
+    /// Estimated median latency, seconds.
+    pub p50_seconds: f64,
+    /// Estimated 99th-percentile latency, seconds.
+    pub p99_seconds: f64,
 }
 
 impl Metrics {
-    /// A fresh registry with every counter at zero.
+    /// A fresh registry with every counter at zero and the uptime clock
+    /// starting now.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            connections: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            requests: Mutex::new(BTreeMap::new()),
+            latency: Default::default(),
+            sweep_bytes: Default::default(),
+            sweep_streams: Default::default(),
+            stage_durations: Default::default(),
+            idle_connections: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            rejected: Default::default(),
+            wakeups: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since this registry (the server) started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Record one sweep request's accumulated time in `stage` (the
+    /// per-request [`ecochip_trace::StageTimings`] total, not per point —
+    /// so the histogram answers "where did this request's time go").
+    pub fn observe_stage(&self, stage: Stage, seconds: f64) {
+        let index = Stage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage in Stage::ALL");
+        self.stage_durations[index].observe(Duration::from_secs_f64(seconds.max(0.0)));
+    }
+
+    /// Per-route latency digests (count, p50, p99) for every route that
+    /// has served at least one request, in [`ROUTES`] order.
+    pub fn latency_summaries(&self) -> Vec<RouteLatencySummary> {
+        ROUTES
+            .iter()
+            .zip(&self.latency)
+            .filter_map(|(route, histogram)| {
+                let count = histogram.count.load(Ordering::Relaxed);
+                let p50 = histogram.quantile(0.50)?;
+                let p99 = histogram.quantile(0.99)?;
+                Some(RouteLatencySummary {
+                    route,
+                    count,
+                    p50_seconds: p50,
+                    p99_seconds: p99,
+                })
+            })
+            .collect()
     }
 
     /// Record an accepted connection.
@@ -261,6 +385,23 @@ impl Metrics {
             out.push_str(&line);
             out.push('\n');
         };
+
+        sample(
+            "# HELP ecochip_build_info Build metadata (constant 1; the info is in the labels)."
+                .into(),
+        );
+        sample("# TYPE ecochip_build_info gauge".into());
+        sample(format!(
+            "ecochip_build_info{{version=\"{VERSION}\",toolchain=\"{}\"}} 1",
+            TOOLCHAIN.replace('"', "'")
+        ));
+
+        sample("# HELP ecochip_uptime_seconds Seconds since the server started.".into());
+        sample("# TYPE ecochip_uptime_seconds gauge".into());
+        sample(format!(
+            "ecochip_uptime_seconds {:.3}",
+            self.uptime_seconds()
+        ));
 
         sample("# HELP ecochip_http_connections_total TCP connections accepted.".into());
         sample("# TYPE ecochip_http_connections_total counter".into());
@@ -402,6 +543,42 @@ impl Metrics {
             ));
             sample(format!(
                 "ecochip_sweep_stream_duration_seconds_count{{format=\"{label}\"}} {count}"
+            ));
+        }
+
+        sample(
+            "# HELP ecochip_sweep_stage_duration_seconds Accumulated per-stage time of \
+             instrumented sweep requests, by stage."
+                .into(),
+        );
+        sample("# TYPE ecochip_sweep_stage_duration_seconds histogram".into());
+        for (stage, histogram) in Stage::ALL.iter().zip(&self.stage_durations) {
+            // Same load ordering as the other histograms: buckets before
+            // the total keeps the rendered cumulative histogram monotone.
+            let buckets: Vec<u64> = histogram
+                .buckets
+                .iter()
+                .map(|bucket| bucket.load(Ordering::Relaxed))
+                .collect();
+            let count = histogram.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let label = stage.label();
+            for (value, bound) in buckets.iter().zip(BUCKETS) {
+                sample(format!(
+                    "ecochip_sweep_stage_duration_seconds_bucket{{stage=\"{label}\",le=\"{bound}\"}} {value}"
+                ));
+            }
+            sample(format!(
+                "ecochip_sweep_stage_duration_seconds_bucket{{stage=\"{label}\",le=\"+Inf\"}} {count}"
+            ));
+            sample(format!(
+                "ecochip_sweep_stage_duration_seconds_sum{{stage=\"{label}\"}} {}",
+                histogram.sum_micros.load(Ordering::Relaxed) as f64 / 1.0e6
+            ));
+            sample(format!(
+                "ecochip_sweep_stage_duration_seconds_count{{stage=\"{label}\"}} {count}"
             ));
         }
 

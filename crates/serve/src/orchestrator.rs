@@ -37,6 +37,7 @@ use std::time::Duration;
 use ecochip_core::sweep::{Shard, SweepContext, SweepEngine, SweepPoint};
 use ecochip_core::{EcoChip, EcoChipError, EstimatorConfig};
 use ecochip_techdb::TechDb;
+use ecochip_trace::FieldValue;
 
 use crate::api::{MemoImportResponse, StatsResponse, SweepFormat, SweepRequest, SweepSlice};
 use crate::client::Connection;
@@ -204,6 +205,22 @@ where
     let (spec, _) = request.resolve(db)?;
     let total = spec.try_len()?;
 
+    // One trace ID for the whole fan-out: adopt the caller's current trace
+    // (a front end that already minted or received one), mint otherwise.
+    // Every worker request carries it as `X-Ecochip-Trace`, so one grep
+    // stitches the fleet's logs back into this run's timeline.
+    let trace = ecochip_trace::current_trace().unwrap_or_else(ecochip_trace::mint_trace_id);
+    let _trace_guard = ecochip_trace::set_current_trace(trace.clone());
+    let _span = ecochip_trace::span("orchestrate:sweep");
+    ecochip_trace::info(
+        "serve::orchestrator",
+        "orchestrating sweep",
+        &[
+            ("shards", FieldValue::from(shards)),
+            ("points", FieldValue::from(total)),
+        ],
+    );
+
     let mut fingerprint = Fingerprint::new();
     let mut points = 0usize;
     std::thread::scope(|scope| -> Result<(), ServeError> {
@@ -253,8 +270,10 @@ where
                     let range = Shard::new(index, shards)
                         .expect("index < shards")
                         .range(total);
+                    let trace = trace.clone();
                     scope.spawn(move || {
-                        let result = run_remote_shard(urls, index, range, request, policy, &sender);
+                        let result =
+                            run_remote_shard(urls, index, range, request, policy, trace, &sender);
                         if let Err(error) = result {
                             let _ = sender.send(Err(error));
                         }
@@ -286,14 +305,20 @@ where
 /// the *remaining* index range (`[range.start + emitted, range.end)`) to
 /// the next worker in the pool — shards are contiguous and ordered, so the
 /// resume point is exact and every line reaches the merger exactly once.
+#[allow(clippy::too_many_arguments)]
 fn run_remote_shard(
     urls: &[String],
     shard_index: usize,
     range: std::ops::Range<usize>,
     request: &SweepRequest,
     policy: &FailoverPolicy,
+    trace: String,
     sender: &mpsc::SyncSender<Result<String, ServeError>>,
 ) -> Result<(), ServeError> {
+    // Shard threads don't inherit the orchestrator's thread-local trace;
+    // re-establish it so this shard's failover events carry the fleet's
+    // trace ID.
+    let _trace_guard = ecochip_trace::set_current_trace(trace.clone());
     let shards = urls.len();
     let emitted = Cell::new(0usize);
     // The merger hanging up (a downstream error) is fatal, never retried.
@@ -316,6 +341,9 @@ fn run_remote_shard(
         let body = serde_json::to_string(&sub_request)
             .map_err(|e| ServeError::Api(format!("serializing sweep request: {e}")))?;
         let result = Connection::open(url).and_then(|mut connection| {
+            // Propagate the fleet trace on every hop (first try and every
+            // re-dispatch), so each worker's log and span dump carry it.
+            connection.set_trace(Some(trace.clone()));
             let response = connection.post_ndjson("/v1/sweep", &body, |line| {
                 if line.starts_with("{\"error\"") {
                     return Err(ServeError::Worker(format!("{url}: {line}")));
@@ -341,6 +369,18 @@ fn run_remote_shard(
             Err(error) => error,
         };
         if merger_gone.get() || attempt >= policy.retries || !worker_loss(&error) {
+            if !merger_gone.get() && worker_loss(&error) && attempt >= policy.retries {
+                ecochip_trace::warn(
+                    "serve::orchestrator",
+                    "shard retries exhausted; failing the run",
+                    &[
+                        ("shard", FieldValue::from(shard_index)),
+                        ("shards", FieldValue::from(shards)),
+                        ("attempts", FieldValue::from(attempt + 1)),
+                        ("error", FieldValue::from(error.to_string())),
+                    ],
+                );
+            }
             return Err(error);
         }
         attempt += 1;
@@ -348,11 +388,18 @@ fn run_remote_shard(
         // one; with a single-URL pool this retries the same worker).
         target = (target + 1) % shards;
         let remaining = range.end - (range.start + emitted.get());
-        eprintln!(
-            "warning: shard {shard_index}/{shards} lost its worker ({error}); \
-             re-dispatching {remaining} remaining points to {} \
-             (attempt {attempt}/{})",
-            urls[target], policy.retries
+        ecochip_trace::warn(
+            "serve::orchestrator",
+            "shard lost its worker; re-dispatching",
+            &[
+                ("shard", FieldValue::from(shard_index)),
+                ("shards", FieldValue::from(shards)),
+                ("error", FieldValue::from(error.to_string())),
+                ("remaining", FieldValue::from(remaining)),
+                ("url", FieldValue::from(urls[target].as_str())),
+                ("attempt", FieldValue::from(attempt)),
+                ("retries", FieldValue::from(policy.retries)),
+            ],
         );
         if !policy.backoff.is_zero() {
             std::thread::sleep(policy.backoff.saturating_mul(attempt as u32));

@@ -14,7 +14,8 @@
 //! buffering without bound.
 //!
 //! Routes split by weight. *Light* routes (health, stats, testcases,
-//! metrics, single estimates, shutdown, and every error reply) are
+//! metrics, trace dumps, single estimates, shutdown, and every error
+//! reply) are
 //! answered inline on the loop thread — they are memo-bound
 //! microsecond work, and avoiding a thread handoff is what keeps
 //! point-lookup throughput flat while thousands of idle connections
@@ -58,10 +59,12 @@ use ecochip_core::sweep::{SweepEngine, SweepPoint, SweepSink};
 use ecochip_core::{EcoChip, EcoChipError, EcoChipService, EstimatorConfig};
 use ecochip_techdb::TechDb;
 use ecochip_testcases::catalog;
+use ecochip_trace::{FieldValue, Stage, StageTimings};
 
 use crate::api::{
     BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
-    MemoImportResponse, StatsResponse, SweepFormat, SweepRequest, SweepSlice, TestcasesResponse,
+    MemoImportResponse, RouteLatency, StatsResponse, SweepFormat, SweepRequest, SweepSlice,
+    TestcasesResponse, TraceResponse, TraceSpan,
 };
 use crate::frames;
 use crate::http;
@@ -93,6 +96,13 @@ const LISTENER_TOKEN: u64 = u64::MAX - 1;
 
 /// `Retry-After` value (seconds) attached to admission-control 429s.
 const RETRY_AFTER_SECS: &str = "1";
+
+/// The trace-propagation header: a valid client-supplied value is adopted
+/// as the request's trace ID and echoed back; anything else gets a fresh
+/// server-minted ID (also echoed). One ID therefore stitches a request's
+/// server-side spans and log lines — across every fleet hop that forwards
+/// the header — to the client that sent it.
+const TRACE_HEADER: &str = "X-Ecochip-Trace";
 
 /// Configuration of [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -169,7 +179,6 @@ struct ServerState {
     max_requests_per_connection: usize,
     max_inflight: usize,
     max_connections: usize,
-    verbose: bool,
     shutdown: AtomicBool,
     requests: AtomicU64,
     metrics: Metrics,
@@ -182,8 +191,15 @@ impl ServerState {
     /// Persist the memo if a memo file is configured (used at shutdown).
     fn save_memo(&self) {
         let Some(path) = &self.memo_file else { return };
-        if let Err(error) = self.service.save_memo_verbose(path, self.verbose) {
-            eprintln!("warning: saving memo {}: {error}", path.display());
+        if let Err(error) = self.service.save_memo_logged(path) {
+            ecochip_trace::warn(
+                "serve::server",
+                "saving memo failed",
+                &[
+                    ("path", FieldValue::from(path.display().to_string())),
+                    ("error", FieldValue::from(error.to_string())),
+                ],
+            );
         }
     }
 
@@ -243,13 +259,19 @@ impl Server {
             .map_err(|e| ServeError::Io(format!("reading bound address: {e}")))?;
         let poller = Poller::new().map_err(|e| ServeError::Io(format!("creating poller: {e}")))?;
 
+        // `verbose` raises the structured-log threshold (never lowers an
+        // explicit `ECOCHIP_LOG=debug`), so the memo-load narration below
+        // and the per-request access log reach stderr.
+        if config.verbose {
+            ecochip_trace::raise_level(ecochip_trace::Level::Info);
+        }
         let db = config.techdb.clone().unwrap_or_default();
         let estimator = EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build());
         let engine = SweepEngine::with_optional_jobs(config.jobs).with_optional_chunk(config.chunk);
         let mut service = EcoChipService::with_engine(estimator, engine);
         service.set_memo_capacity(config.memo_max_entries);
         if let Some(path) = &config.memo_file {
-            service.load_memo_lenient(path, config.verbose);
+            service.load_memo_lenient(path);
             if let Some(every) = config.memo_save_every {
                 service.save_memo_every(path, every);
             }
@@ -274,7 +296,6 @@ impl Server {
                 max_requests_per_connection: config.max_requests_per_connection.max(1),
                 max_inflight: config.max_inflight.max(1),
                 max_connections,
-                verbose: config.verbose,
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
                 metrics: Metrics::new(),
@@ -457,6 +478,9 @@ impl Conn {
 struct Job0 {
     request: http::Request,
     keep_alive: bool,
+    /// The request's resolved trace ID — minted on the event loop so the
+    /// loop and the pool thread agree on it.
+    trace: String,
 }
 
 /// A heavy request checked out to the handler pool, carrying its
@@ -465,6 +489,7 @@ struct Job {
     conn: Conn,
     request: http::Request,
     keep_alive: bool,
+    trace: String,
 }
 
 /// A finished heavy request handing its connection back to the loop.
@@ -663,7 +688,11 @@ impl EventLoop<'_> {
                     // Transient accept failure (EMFILE under a connection
                     // flood, aborted handshake): warn and let the next
                     // readiness event retry.
-                    eprintln!("warning: accepting connection: {error}");
+                    ecochip_trace::warn(
+                        "serve::server",
+                        "accepting connection failed",
+                        &[("error", FieldValue::from(error.to_string()))],
+                    );
                     break;
                 }
             }
@@ -733,6 +762,7 @@ impl EventLoop<'_> {
                 let Job0 {
                     request,
                     keep_alive,
+                    trace,
                 } = *job;
                 // The pool threads outlive the loop (they exit only when
                 // the job sender drops), so this send cannot fail here.
@@ -740,6 +770,7 @@ impl EventLoop<'_> {
                     conn,
                     request,
                     keep_alive,
+                    trace,
                 });
             }
             After::Close => self.close_conn(index),
@@ -846,6 +877,10 @@ fn progress(state: &ServerState, conn: &mut Conn, inflight: usize) -> After {
                 let keep_alive = request.keep_alive
                     && conn.served < state.max_requests_per_connection
                     && !state.shutting_down();
+                // One trace ID per request, resolved on the loop so the
+                // admission path, the pool thread and the response echo
+                // all agree on it.
+                let trace = resolve_trace(&request);
                 if is_offloaded(&request) {
                     if inflight >= state.max_inflight {
                         // Admission control: refuse the heavy request but
@@ -855,12 +890,14 @@ fn progress(state: &ServerState, conn: &mut Conn, inflight: usize) -> After {
                         state.metrics.rejected("max_inflight");
                         state.metrics.request_started();
                         let started = Instant::now();
+                        let _trace = ecochip_trace::set_current_trace(trace);
                         respond_overloaded(
                             &mut conn.write_buf,
                             "server is at its in-flight request limit; retry later",
                             keep_alive,
                         );
                         state.metrics.observe(route, 429, started.elapsed());
+                        access_log(&request, route, 429, started.elapsed());
                         if !keep_alive {
                             conn.close_after_flush = true;
                         }
@@ -869,6 +906,7 @@ fn progress(state: &ServerState, conn: &mut Conn, inflight: usize) -> After {
                     let job = Box::new(Job0 {
                         request,
                         keep_alive,
+                        trace,
                     });
                     if conn.flushed() {
                         return After::Dispatch(job);
@@ -879,8 +917,14 @@ fn progress(state: &ServerState, conn: &mut Conn, inflight: usize) -> After {
                 let route = metrics::route_label_for(&request.method, &request.path, &request.body);
                 state.metrics.request_started();
                 let started = Instant::now();
-                let (status, close_after) =
-                    route_light(state, &request, &mut conn.write_buf, keep_alive);
+                let (status, close_after) = {
+                    let _trace = ecochip_trace::set_current_trace(trace);
+                    let span = ecochip_trace::span(format!("request:{route}"));
+                    let outcome = route_light(state, &request, &mut conn.write_buf, keep_alive);
+                    drop(span);
+                    access_log(&request, route, outcome.0, started.elapsed());
+                    outcome
+                };
                 state.metrics.observe(route, status, started.elapsed());
                 if close_after || !keep_alive {
                     conn.close_after_flush = true;
@@ -945,6 +989,7 @@ fn worker_loop(state: &ServerState, jobs: &Mutex<mpsc::Receiver<Job>>, done: mps
             mut conn,
             request,
             keep_alive,
+            trace,
         }) = job
         else {
             break; // event loop ended
@@ -952,12 +997,72 @@ fn worker_loop(state: &ServerState, jobs: &Mutex<mpsc::Receiver<Job>>, done: mps
         let route = metrics::route_label_for(&request.method, &request.path, &request.body);
         state.metrics.request_started();
         let started = Instant::now();
-        let status = route_offloaded(state, &request, &mut conn.stream, keep_alive);
+        let status = {
+            let _trace = ecochip_trace::set_current_trace(trace);
+            let span = ecochip_trace::span(format!("request:{route}"));
+            let status = route_offloaded(state, &request, &mut conn.stream, keep_alive, &span);
+            drop(span);
+            access_log(&request, route, status, started.elapsed());
+            status
+        };
         state.metrics.observe(route, status, started.elapsed());
         // 499: the peer vanished mid-stream — nothing left to keep alive.
         let close = !keep_alive || status == 499;
         let _ = done.send(Done { conn, close });
         state.waker.wake();
+    }
+}
+
+/// Resolve a request's trace ID: adopt a valid client-supplied
+/// `X-Ecochip-Trace` header, otherwise mint a fresh process-unique ID.
+fn resolve_trace(request: &http::Request) -> String {
+    match request.header(TRACE_HEADER) {
+        Some(id) if ecochip_trace::is_valid_trace_id(id) => id.to_string(),
+        _ => ecochip_trace::mint_trace_id(),
+    }
+}
+
+/// One Info-level access-log event per served request. Must run inside
+/// the request's trace guard so the line carries the trace ID — the CI
+/// chaos step greps a worker's JSON log for the orchestrator's ID.
+fn access_log(request: &http::Request, route: &'static str, status: u16, elapsed: Duration) {
+    ecochip_trace::info(
+        "serve::server",
+        "request",
+        &[
+            ("method", FieldValue::from(request.method.as_str())),
+            ("path", FieldValue::from(request.path.as_str())),
+            ("route", FieldValue::from(route)),
+            ("status", FieldValue::from(u64::from(status))),
+            ("duration_secs", FieldValue::from(elapsed.as_secs_f64())),
+        ],
+    );
+}
+
+/// Write a response body with the request's trace ID echoed as an
+/// `X-Ecochip-Trace` header (when a trace guard is active — every routed
+/// request; `refuse` runs outside one and echoes nothing).
+fn write_traced<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    match ecochip_trace::current_trace() {
+        Some(trace) => {
+            let _ = http::write_response_with_headers(
+                writer,
+                status,
+                content_type,
+                &[(TRACE_HEADER, &trace)],
+                body,
+                keep_alive,
+            );
+        }
+        None => {
+            let _ = http::write_response(writer, status, content_type, body, keep_alive);
+        }
     }
 }
 
@@ -983,7 +1088,7 @@ fn respond<W: Write, T: Serialize>(
     value: &T,
     keep_alive: bool,
 ) -> u16 {
-    let _ = http::write_response(writer, status, "application/json", &body(value), keep_alive);
+    write_traced(writer, status, "application/json", &body(value), keep_alive);
     status
 }
 
@@ -1010,11 +1115,16 @@ fn respond_error_into(out: &mut Vec<u8>, error: &ServeError, keep_alive: bool) -
 /// Queue an admission-control refusal: `429 Too Many Requests` with a
 /// `Retry-After` hint.
 fn respond_overloaded(out: &mut Vec<u8>, message: &str, keep_alive: bool) {
+    let trace = ecochip_trace::current_trace();
+    let mut headers: Vec<(&str, &str)> = vec![("Retry-After", RETRY_AFTER_SECS)];
+    if let Some(trace) = trace.as_deref() {
+        headers.push((TRACE_HEADER, trace));
+    }
     let _ = http::write_response_with_headers(
         out,
         429,
         "application/json",
-        &[("Retry-After", RETRY_AFTER_SECS)],
+        &headers,
         &body(&ErrorResponse {
             error: message.into(),
         }),
@@ -1073,8 +1183,31 @@ fn route_light(
                     idle_connections: state.metrics.idle_connections(),
                     active_connections: state.metrics.active_connections(),
                     rejected: state.metrics.rejected_total(),
+                    uptime_seconds: state.metrics.uptime_seconds(),
                 },
+                state
+                    .metrics
+                    .latency_summaries()
+                    .into_iter()
+                    .map(|summary| RouteLatency {
+                        route: summary.route.to_string(),
+                        count: summary.count,
+                        p50_seconds: summary.p50_seconds,
+                        p99_seconds: summary.p99_seconds,
+                    })
+                    .collect(),
             ),
+            keep_alive,
+        ),
+        ("GET", "/v1/trace") => respond(
+            out,
+            200,
+            &TraceResponse {
+                spans: ecochip_trace::recent_spans()
+                    .iter()
+                    .map(TraceSpan::from)
+                    .collect(),
+            },
             keep_alive,
         ),
         ("GET", "/v1/testcases") => respond(
@@ -1087,7 +1220,7 @@ fn route_light(
         ),
         ("GET", "/metrics") => {
             let text = state.metrics.render(&state.service);
-            let _ = http::write_response(
+            write_traced(
                 out,
                 200,
                 "text/plain; version=0.0.4",
@@ -1117,7 +1250,7 @@ fn route_light(
         (
             _,
             "/v1/healthz" | "/v1/stats" | "/v1/testcases" | "/v1/estimate" | "/v1/sweep"
-            | "/v1/memo" | "/v1/shutdown" | "/metrics",
+            | "/v1/memo" | "/v1/shutdown" | "/v1/trace" | "/metrics",
         ) => respond(
             out,
             405,
@@ -1132,7 +1265,7 @@ fn route_light(
             &ErrorResponse {
                 error: format!(
                     "unknown path {path:?}; endpoints: /v1/estimate /v1/sweep /v1/testcases \
-                     /v1/memo /v1/healthz /v1/stats /v1/shutdown /metrics"
+                     /v1/memo /v1/healthz /v1/stats /v1/trace /v1/shutdown /metrics"
                 ),
             },
             keep_alive,
@@ -1148,22 +1281,17 @@ fn route_offloaded(
     request: &http::Request,
     stream: &mut TcpStream,
     keep_alive: bool,
+    span: &ecochip_trace::SpanGuard,
 ) -> u16 {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/sweep") => sweep(state, &request.body, stream, keep_alive),
+        ("POST", "/v1/sweep") => sweep(state, &request.body, stream, keep_alive, span),
         ("POST", "/v1/estimate") => match estimate_batch(state, &request.body) {
             Ok(items) => respond(stream, 200, &items, keep_alive),
             Err(error) => respond_error(stream, &error, keep_alive),
         },
         ("GET", "/v1/memo") => match state.service.export_memo_json() {
             Ok(json) => {
-                let _ = http::write_response(
-                    stream,
-                    200,
-                    "application/json",
-                    json.as_bytes(),
-                    keep_alive,
-                );
+                write_traced(stream, 200, "application/json", json.as_bytes(), keep_alive);
                 200
             }
             Err(error) => respond_error(stream, &ServeError::Estimator(error), keep_alive),
@@ -1255,6 +1383,9 @@ fn estimate_batch(
 struct SweepStreamSink<'a, W: Write> {
     chunked: &'a mut http::ChunkedWriter<W>,
     format: SweepFormat,
+    /// Per-request stage clocks (serialize/emit recorded here; the engine
+    /// records estimate into the same accumulator).
+    timings: &'a StageTimings,
     /// Reusable per-line JSON encode buffer.
     line: String,
     /// Reusable per-batch wire buffer (lines or frames).
@@ -1268,6 +1399,7 @@ struct SweepStreamSink<'a, W: Write> {
 impl<W: Write> SweepStreamSink<'_, W> {
     /// Encode one point onto `self.wire` in the negotiated format.
     fn encode(&mut self, point: &SweepPoint) -> Result<(), EcoChipError> {
+        let started = Instant::now();
         self.line.clear();
         serde_json::to_string_into(point, &mut self.line)
             .map_err(|e| EcoChipError::Io(format!("serializing sweep point: {e}")))?;
@@ -1278,6 +1410,7 @@ impl<W: Write> SweepStreamSink<'_, W> {
             }
             SweepFormat::Frames => frames::push_frame(&mut self.wire, &self.line),
         }
+        self.timings.record(Stage::Serialize, started.elapsed());
         Ok(())
     }
 
@@ -1286,9 +1419,11 @@ impl<W: Write> SweepStreamSink<'_, W> {
         if self.wire.is_empty() {
             return Ok(());
         }
+        let started = Instant::now();
         self.bytes += self.wire.len() as u64;
         let result = self.chunked.chunk(&self.wire);
         self.wire.clear();
+        self.timings.record(Stage::Emit, started.elapsed());
         result.map_err(|e| EcoChipError::Io(format!("streaming sweep point: {e}")))
     }
 
@@ -1358,7 +1493,10 @@ fn sweep(
     request_body: &[u8],
     writer: &mut TcpStream,
     keep_alive: bool,
+    span: &ecochip_trace::SpanGuard,
 ) -> u16 {
+    let timings = StageTimings::new();
+    let decode_started = Instant::now();
     let resolved = parse_body::<SweepRequest>(request_body).and_then(|request| {
         let format = request.negotiated_format()?;
         let (spec, slice) = request.resolve(&state.db)?;
@@ -1380,26 +1518,46 @@ fn sweep(
             return respond_error(writer, &ServeError::Estimator(error), keep_alive);
         }
     }
-    let mut chunked =
-        match http::start_chunked(&mut *writer, 200, format.content_type(), keep_alive) {
-            Ok(chunked) => chunked,
-            // Peer gone before any response byte was written: record the
-            // nginx-convention 499 ("client closed request") so aborted
-            // sweeps don't count as fast successes in the metrics.
-            Err(_) => return 499,
-        };
+    timings.record(Stage::Decode, decode_started.elapsed());
+    let trace = ecochip_trace::current_trace();
+    let mut extra_headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(trace) = trace.as_deref() {
+        extra_headers.push((TRACE_HEADER, trace));
+    }
+    let mut chunked = match http::start_chunked_with_headers(
+        &mut *writer,
+        200,
+        format.content_type(),
+        &extra_headers,
+        keep_alive,
+    ) {
+        Ok(chunked) => chunked,
+        // Peer gone before any response byte was written: record the
+        // nginx-convention 499 ("client closed request") so aborted
+        // sweeps don't count as fast successes in the metrics.
+        Err(_) => return 499,
+    };
     let started = Instant::now();
     let mut sink = SweepStreamSink {
         chunked: &mut chunked,
         format,
+        timings: &timings,
         line: String::new(),
         wire: Vec::new(),
         header_sent: false,
         bytes: 0,
     };
     let result = match slice {
-        SweepSlice::Shard(shard) => state.service.run_streaming(&spec, shard, &mut sink),
-        SweepSlice::Range(range) => state.service.run_streaming_range(&spec, range, &mut sink),
+        SweepSlice::Shard(shard) => {
+            state
+                .service
+                .run_streaming_timed(&spec, shard, Some(&timings), &mut sink)
+        }
+        SweepSlice::Range(range) => {
+            state
+                .service
+                .run_streaming_range_timed(&spec, range, Some(&timings), &mut sink)
+        }
     };
     match result {
         Ok(_) => {
@@ -1416,6 +1574,26 @@ fn sweep(
         }
     }
     let bytes = sink.bytes;
+    // Surface the accumulated stage clocks: once per request per stage
+    // into the Prometheus histograms, plus synthetic child spans under
+    // this request's span so `/v1/trace` carries the breakdown. Stage
+    // spans hold *accumulated* worker time (estimate can exceed wall
+    // clock on a parallel sweep); consumers nest by parent linkage, not
+    // interval containment.
+    for stage in Stage::ALL {
+        if timings.count(stage) == 0 {
+            continue;
+        }
+        let seconds = timings.seconds(stage);
+        state.metrics.observe_stage(stage, seconds);
+        ecochip_trace::record_span(
+            format!("stage:{}", stage.label()),
+            trace.clone(),
+            Some(span.id()),
+            span.start_unix(),
+            seconds,
+        );
+    }
     // Account the stream before the terminal chunk: a client that sees
     // end-of-stream and immediately polls `/metrics` (answered on the
     // event loop, not this thread) must find the counters already bumped.

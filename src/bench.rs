@@ -609,7 +609,11 @@ fn run_serve_c10k(
             // No spawnable binary (e.g. the suite driven from a foreign
             // harness): fall back to an in-process server, where both ends
             // of every parked connection share one descriptor budget.
-            eprintln!("bench: http_c10k falling back to an in-process server ({err})");
+            ecochip_trace::warn(
+                "bench",
+                "http_c10k falling back to an in-process server",
+                &[("error", ecochip_trace::FieldValue::from(err.to_string()))],
+            );
             let server = Server::bind(&ServeConfig {
                 addr: "127.0.0.1:0".into(),
                 jobs: Some(2),

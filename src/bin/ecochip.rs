@@ -42,6 +42,14 @@
 //! * `--csv <file>` to write the breakdown (or the sweep table) as CSV,
 //! * `--json <file>` to write the report (or the sweep points) as JSON.
 //!
+//! Every invocation (including subcommands) accepts the global logging
+//! flags `--log-level <error|warn|info|debug>` and `--log-format
+//! <text|json>`: structured events go to stderr, `--verbose` raises the
+//! threshold to `info`, and the `ECOCHIP_LOG` environment variable sets
+//! the default. JSON mode emits one NDJSON object per event, each
+//! carrying the request/fleet trace ID when one is active — see the
+//! README's Observability section.
+//!
 //! `ecochip serve` starts the HTTP/JSON estimation service (endpoints
 //! `/v1/estimate`, `/v1/sweep`, `/v1/testcases`, `/v1/healthz`,
 //! `/v1/stats`, `/v1/memo`, `/metrics`, `/v1/shutdown`) on a
@@ -80,6 +88,7 @@ use eco_chip::serve::{ServeConfig, ServeError, Server, SweepRequest};
 use eco_chip::techdb::TechDb;
 use eco_chip::testcases::catalog::{self, CatalogError};
 use eco_chip::testcases::io;
+use eco_chip::trace::{self, FieldValue};
 
 /// Exit code for usage errors (unknown flags, test cases, sweep axes).
 const USAGE_EXIT_CODE: u8 = 2;
@@ -134,6 +143,10 @@ fn print_usage() {
     eprintln!("  ... --verbose                                print memo hit/miss stats");
     eprintln!("  ... --csv <file>                             also write the breakdown as CSV");
     eprintln!("  ... --json <file>                            also write the report as JSON");
+    eprintln!();
+    eprintln!("global logging flags (any command; default from ECOCHIP_LOG):");
+    eprintln!("  --log-level <error|warn|info|debug>          structured-log stderr threshold");
+    eprintln!("  --log-format <text|json>                     human lines or NDJSON events");
     eprintln!();
     eprintln!("subcommands:");
     eprintln!("  ecochip serve [--addr <host:port>] [--jobs N] [--chunk K] [--threads N]");
@@ -210,25 +223,37 @@ fn save_memo(service: &EcoChipService, options: &OutputOptions) -> CliResult {
     let Some(path) = &options.memo else {
         return Ok(());
     };
-    service.save_memo_verbose(path, options.verbose)?;
+    service.save_memo_logged(path)?;
     Ok(())
 }
 
-/// Print the memo hit/miss/eviction counters under `--verbose`.
-fn print_stats(service: &EcoChipService, options: &OutputOptions) {
-    if !options.verbose {
-        return;
-    }
+/// Emit the memo hit/miss/eviction counters as one Info event (visible
+/// under `--verbose` or `ECOCHIP_LOG=info`).
+fn print_stats(service: &EcoChipService) {
     let stats = service.stats();
-    eprintln!(
-        "memo stats: floorplan {} hits / {} misses / {} evictions, \
-         manufacturing {} hits / {} misses / {} evictions",
-        stats.floorplan_hits,
-        stats.floorplan_misses,
-        stats.floorplan_evictions,
-        stats.manufacturing_hits,
-        stats.manufacturing_misses,
-        stats.manufacturing_evictions
+    trace::info(
+        "cli",
+        "memo stats",
+        &[
+            ("floorplan_hits", FieldValue::from(stats.floorplan_hits)),
+            ("floorplan_misses", FieldValue::from(stats.floorplan_misses)),
+            (
+                "floorplan_evictions",
+                FieldValue::from(stats.floorplan_evictions),
+            ),
+            (
+                "manufacturing_hits",
+                FieldValue::from(stats.manufacturing_hits),
+            ),
+            (
+                "manufacturing_misses",
+                FieldValue::from(stats.manufacturing_misses),
+            ),
+            (
+                "manufacturing_evictions",
+                FieldValue::from(stats.manufacturing_evictions),
+            ),
+        ],
     );
 }
 
@@ -240,7 +265,7 @@ fn build_service(db: TechDb, jobs: Option<usize>, options: &OutputOptions) -> Ec
     let mut service = EcoChipService::with_engine(estimator, engine);
     service.set_memo_capacity(options.memo_cap);
     if let Some(path) = &options.memo {
-        service.load_memo_lenient(path, options.verbose);
+        service.load_memo_lenient(path);
     }
     if let (Some(path), Some(every)) = (&options.memo, options.memo_save_every) {
         service.save_memo_every(path, every);
@@ -274,7 +299,7 @@ fn run(system: &System, db: TechDb, options: &OutputOptions) -> CliResult {
     let cost = system_cost(service.estimator(), system)?;
     println!("dollar cost per unit: {cost}");
     save_memo(&service, options)?;
-    print_stats(&service, options);
+    print_stats(&service);
     Ok(())
 }
 
@@ -371,12 +396,18 @@ fn run_sweep(
     } else {
         println!("{banner}");
     }
-    if options.verbose {
-        eprintln!(
-            "sweep chunk: {} points per worker claim (set with --chunk or {CHUNK_ENV_VAR})",
-            service.engine().chunk()
-        );
-    }
+    trace::info(
+        "cli",
+        "sweep chunk size",
+        &[
+            (
+                "points_per_claim",
+                FieldValue::from(service.engine().chunk()),
+            ),
+            ("set_with", FieldValue::from("--chunk")),
+            ("env_var", FieldValue::from(CHUNK_ENV_VAR)),
+        ],
+    );
 
     // Collect points only when a summary table or a JSON file export needs
     // them; a streaming run with at most a CSV export holds just the
@@ -505,7 +536,7 @@ fn run_sweep(
         }
     }
     save_memo(&service, options)?;
-    print_stats(&service, options);
+    print_stats(&service);
     Ok(())
 }
 
@@ -518,7 +549,39 @@ struct OutputOptions {
     memo_save_every: Option<usize>,
     stream: Option<StreamFormat>,
     chunk: Option<usize>,
-    verbose: bool,
+}
+
+/// Initialise structured logging: apply the `ECOCHIP_LOG` environment
+/// default, then strip the global `--log-level` / `--log-format` flags —
+/// valid anywhere on the command line, including after a subcommand — so
+/// the per-command parsers never see them.
+fn init_logging(args: &mut Vec<String>) -> CliResult {
+    trace::init_from_env();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--log-level" => {
+                let value = value_of(args, i, "--log-level")?;
+                let level = trace::Level::parse(&value).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "--log-level needs error, warn, info or debug, got {value:?}"
+                    ))
+                })?;
+                trace::set_level(level);
+                args.drain(i..i + 2);
+            }
+            "--log-format" => {
+                let value = value_of(args, i, "--log-format")?;
+                let format = trace::LogFormat::parse(&value).ok_or_else(|| {
+                    CliError::usage(format!("--log-format needs text or json, got {value:?}"))
+                })?;
+                trace::set_format(format);
+                args.drain(i..i + 2);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(())
 }
 
 /// Fetch the value following flag `i`, or fail with a usage hint.
@@ -816,9 +879,11 @@ fn run_orchestrate(args: &[String]) -> CliResult {
                 }
             }
             Ok(_) => eprintln!("memo: every worker is cold, nothing to share"),
-            Err(error) => {
-                eprintln!("warning: memo sharing failed ({error}); workers start cold")
-            }
+            Err(error) => trace::warn(
+                "cli",
+                "memo sharing failed; workers start cold",
+                &[("error", FieldValue::from(error.to_string()))],
+            ),
         }
     }
 
@@ -1033,11 +1098,12 @@ fn validate_env_chunk() -> CliResult {
 }
 
 fn real_main() -> CliResult {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         print_usage();
         return Err(CliError::usage("no arguments given"));
     }
+    init_logging(&mut args)?;
     validate_env_chunk()?;
 
     // Subcommand dispatch: a leading bare word selects a subcommand; the
@@ -1069,7 +1135,6 @@ fn real_main() -> CliResult {
     let mut memo_cap: Option<usize> = None;
     let mut memo_save_every: Option<usize> = None;
     let mut stream: Option<StreamFormat> = None;
-    let mut verbose = false;
     let mut list_testcases = false;
 
     let mut i = 0;
@@ -1143,7 +1208,7 @@ fn real_main() -> CliResult {
                 i += 2;
             }
             "--verbose" => {
-                verbose = true;
+                trace::raise_level(trace::Level::Info);
                 i += 1;
             }
             "--list-testcases" => {
@@ -1216,7 +1281,6 @@ fn real_main() -> CliResult {
         memo_save_every,
         stream,
         chunk,
-        verbose,
     };
     match sweep {
         Some(axis) => run_sweep(&system, db, &axis, jobs, &options),

@@ -20,6 +20,7 @@
 //! | [`core`] | `ecochip-core` | The ECO-CHIP estimator, DSE sweeps, disaggregation |
 //! | [`testcases`] | `ecochip-testcases` | GA102, A15, EMR and AR/VR test cases, JSON I/O |
 //! | [`serve`] | `ecochip-serve` | HTTP/JSON estimation service, shard orchestrator |
+//! | [`trace`] | `ecochip-trace` | Structured logging, trace IDs, spans, stage timings |
 //! | [`mod@bench`] | (facade) | Perf workload matrix, `BENCH_*.json` baselines, regression gate |
 //!
 //! The most common entry points are also re-exported at the crate root.
@@ -63,6 +64,7 @@ pub use ecochip_power as power;
 pub use ecochip_serve as serve;
 pub use ecochip_techdb as techdb;
 pub use ecochip_testcases as testcases;
+pub use ecochip_trace as trace;
 pub use ecochip_yield as yield_model;
 
 pub use ecochip_core::{

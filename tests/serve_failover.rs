@@ -16,6 +16,7 @@ use eco_chip::serve::orchestrator::{self, FailoverPolicy, MemoShare, WorkerPool}
 use eco_chip::serve::{client, http, ServeConfig, Server, ServerHandle, SweepRequest};
 use eco_chip::techdb::TechDb;
 use eco_chip::testcases::catalog;
+use eco_chip::trace;
 
 /// Boot a real server on an ephemeral port.
 fn boot() -> (ServerHandle, String) {
@@ -115,12 +116,41 @@ fn failover_resumes_a_dead_shard_mid_stream_exactly_once() {
         retries: 2,
         backoff: Duration::from_millis(10),
     };
+    // Pin the run's trace ID so the structured failover events are
+    // attributable to this test even with other tests logging in parallel.
+    let logs = trace::capture();
+    let _trace = trace::set_current_trace("failover-midstream-e2e");
     let mut merged = Vec::new();
     let outcome = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |line| {
         merged.push(line.to_owned());
         Ok(())
     })
     .unwrap();
+
+    // The worker loss surfaced as a structured WARN carrying the run's
+    // trace ID, the shard that died, and the range still owed.
+    let warns: Vec<_> = logs
+        .events()
+        .into_iter()
+        .filter(|event| {
+            event.msg == "shard lost its worker; re-dispatching"
+                && event.trace.as_deref() == Some("failover-midstream-e2e")
+        })
+        .collect();
+    assert_eq!(warns.len(), 1, "exactly one re-dispatch: {warns:?}");
+    let warn = &warns[0];
+    assert_eq!(warn.level, trace::Level::Warn);
+    assert_eq!(warn.target, "serve::orchestrator");
+    assert_eq!(warn.field("shard"), Some(&trace::FieldValue::U64(1)));
+    assert_eq!(warn.field("shards"), Some(&trace::FieldValue::U64(2)));
+    // Shard 1 owns indices 4..7 and died after serving one point: the
+    // re-dispatch still owes two.
+    assert_eq!(warn.field("remaining"), Some(&trace::FieldValue::U64(2)));
+    assert_eq!(
+        warn.field("url"),
+        Some(&trace::FieldValue::Str(survivor_addr.clone())),
+        "failover must target the survivor"
+    );
 
     // The merged stream is bit-for-bit the unsharded run — the one line the
     // flaky worker served before dying was not re-emitted, the remaining
@@ -271,12 +301,37 @@ fn retries_are_bounded_and_fail_fast_stays_available() {
         retries: 2,
         backoff: Duration::from_millis(5),
     };
+    let logs = trace::capture();
+    let _trace = trace::set_current_trace("failover-exhausted-e2e");
     let result = orchestrator::orchestrate_with(&db, &request, &pool, &policy, |_line| Ok(()));
     assert!(result.is_err(), "a fleet of flaky workers must fail");
     assert_eq!(
         flaky_requests.load(Ordering::SeqCst),
         3,
         "one try plus two retries"
+    );
+    // Exhaustion is a structured WARN on the run's trace: two re-dispatch
+    // events (one per retry), then the terminal give-up with the full
+    // attempt count.
+    let events: Vec<_> = logs
+        .events()
+        .into_iter()
+        .filter(|event| event.trace.as_deref() == Some("failover-exhausted-e2e"))
+        .collect();
+    let redispatches = events
+        .iter()
+        .filter(|event| event.msg == "shard lost its worker; re-dispatching")
+        .count();
+    assert_eq!(redispatches, 2, "{events:?}");
+    let exhausted: Vec<_> = events
+        .iter()
+        .filter(|event| event.msg == "shard retries exhausted; failing the run")
+        .collect();
+    assert_eq!(exhausted.len(), 1, "{events:?}");
+    assert_eq!(exhausted[0].level, trace::Level::Warn);
+    assert_eq!(
+        exhausted[0].field("attempts"),
+        Some(&trace::FieldValue::U64(3))
     );
 
     // With failover disabled (the plain orchestrate entry point) the first

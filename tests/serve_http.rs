@@ -980,9 +980,28 @@ fn pipelined_requests_return_in_order_byte_identical_responses() {
         .post_json_pipelined("/v1/estimate", &bodies)
         .unwrap();
     assert_eq!(responses.len(), expected.len());
+    // Each response carries its own minted trace ID, so compare headers
+    // with the per-request `X-Ecochip-Trace` value masked out.
+    let sans_trace = |headers: &[(String, String)]| -> Vec<(String, String)> {
+        headers
+            .iter()
+            .filter(|(name, _)| name != "x-ecochip-trace")
+            .cloned()
+            .collect()
+    };
     for (response, reference) in responses.iter().zip(&expected) {
         assert_eq!(response.status, 200);
-        assert_eq!(response.headers, reference.headers);
+        assert_eq!(
+            sans_trace(&response.headers),
+            sans_trace(&reference.headers)
+        );
+        assert!(
+            response
+                .headers
+                .iter()
+                .any(|(name, _)| name == "x-ecochip-trace"),
+            "pipelined response lost its trace header"
+        );
         assert_eq!(
             response.body, reference.body,
             "pipelined response diverged from the sequential bytes"
