@@ -81,6 +81,7 @@ pub mod dse;
 mod error;
 mod estimator;
 mod manufacturing;
+pub mod opt;
 mod report;
 mod service;
 pub mod sweep;

@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 use ecochip_core::sweep::{Shard, SweepAxis, SweepSpec, SweepStats};
-use ecochip_core::{dse, CarbonReport, System};
+use ecochip_core::{dse, opt, CarbonReport, System};
 use ecochip_techdb::TechDb;
 use ecochip_testcases::catalog::{self, CatalogError};
 
@@ -312,6 +312,120 @@ impl SweepRequest {
     }
 }
 
+/// `POST /v1/optimize`: a carbon-aware optimization run over a sweep
+/// space; the response streams one [`ecochip_core::opt::OptEvent`] JSON
+/// object per line (NDJSON): every incumbent/frontier improvement, then a
+/// terminal `done` event carrying the full Pareto frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizeRequest {
+    /// A built-in test-case name for the base system.
+    pub testcase: Option<String>,
+    /// An inline base system (mutually exclusive with `testcase`).
+    pub system: Option<System>,
+    /// A named axis (`nodes|packaging|volume|lifetime|energy`), resolved
+    /// exactly like the CLI's `--sweep`.
+    pub axis: Option<String>,
+    /// Structured axes (serialized [`SweepAxis`] values). Mutually
+    /// exclusive with `axis`.
+    pub axes: Option<Vec<SweepAxis>>,
+    /// Explore only shard `"I/N"` of the index space (island-model
+    /// workers each own one shard).
+    pub shard: Option<String>,
+    /// Search method: `"pareto"` (default), `"anneal"` or `"genetic"`.
+    pub method: Option<String>,
+    /// Evaluation budget for the heuristic explorers (default
+    /// [`opt::DEFAULT_BUDGET`]).
+    pub budget: Option<usize>,
+    /// RNG seed (default [`opt::DEFAULT_SEED`]); seeded runs are
+    /// byte-identical.
+    pub seed: Option<u64>,
+    /// Comma-separated objective list (`embodied|operational|cost|area`),
+    /// default `"embodied,operational"`.
+    pub objectives: Option<String>,
+    /// Island index stamped into emitted events, for island-model runs.
+    pub island: Option<usize>,
+    /// Frontier points seeding the archive before exploration — the
+    /// island-model frontier exchange: the orchestrator posts the merged
+    /// global frontier back to each island every round.
+    pub frontier: Option<Vec<opt::FrontierPoint>>,
+}
+
+impl OptimizeRequest {
+    /// A request naming a test case and a named axis — the common case.
+    pub fn named(testcase: impl Into<String>, axis: impl Into<String>) -> Self {
+        Self {
+            testcase: Some(testcase.into()),
+            system: None,
+            axis: Some(axis.into()),
+            axes: None,
+            shard: None,
+            method: None,
+            budget: None,
+            seed: None,
+            objectives: None,
+            island: None,
+            frontier: None,
+        }
+    }
+
+    /// This request restricted to shard `index`/`of`, exploring as island
+    /// `index` (used by the orchestrator's island mode).
+    #[must_use]
+    pub fn with_island(&self, index: usize, of: usize) -> Self {
+        Self {
+            shard: Some(format!("{index}/{of}")),
+            island: Some(index),
+            ..self.clone()
+        }
+    }
+
+    /// Resolve the request into the spec, the shard to explore, and the
+    /// optimization parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Api`] for missing/conflicting design fields, unknown
+    /// test-case/axis/method/objective names and malformed shard
+    /// selectors; [`ServeError::Estimator`] when a known test case fails
+    /// to build.
+    pub fn resolve(&self, db: &TechDb) -> Result<(SweepSpec, Shard, opt::OptConfig), ServeError> {
+        let sweep = SweepRequest {
+            testcase: self.testcase.clone(),
+            system: self.system.clone(),
+            axis: self.axis.clone(),
+            axes: self.axes.clone(),
+            shard: self.shard.clone(),
+            range: None,
+            format: None,
+        };
+        let (spec, slice) = sweep.resolve(db)?;
+        let SweepSlice::Shard(shard) = slice else {
+            unreachable!("no range field on optimize requests");
+        };
+        let method: opt::OptMethod = self
+            .method
+            .as_deref()
+            .unwrap_or("pareto")
+            .parse()
+            .map_err(|e: opt::OptParseError| ServeError::Api(e.message().to_string()))?;
+        let objectives: opt::ObjectiveSet = match self.objectives.as_deref() {
+            None => opt::ObjectiveSet::default(),
+            Some(list) => list
+                .parse()
+                .map_err(|e: opt::OptParseError| ServeError::Api(e.message().to_string()))?,
+        };
+        let config = opt::OptConfig {
+            method,
+            objectives,
+            budget: self.budget.unwrap_or(opt::DEFAULT_BUDGET),
+            seed: self.seed.unwrap_or(opt::DEFAULT_SEED),
+            island: self.island,
+            seed_frontier: self.frontier.clone().unwrap_or_default(),
+        };
+        Ok((spec, shard, config))
+    }
+}
+
 /// `GET /v1/healthz` response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthResponse {
@@ -589,6 +703,50 @@ mod tests {
             .run(&EcoChip::default(), &spec)
             .unwrap();
         assert_eq!(points.len(), 1);
+    }
+
+    #[test]
+    fn optimize_requests_resolve_methods_objectives_and_islands() {
+        let db = TechDb::default();
+        let named = OptimizeRequest::named("ga102-3chiplet", "lifetime");
+        let (spec, shard, config) = named.resolve(&db).unwrap();
+        assert_eq!(spec.try_len().unwrap(), 7);
+        assert_eq!(shard, Shard::FULL);
+        assert_eq!(config.method, opt::OptMethod::Pareto);
+        assert_eq!(config.objectives, opt::ObjectiveSet::default());
+        assert_eq!(config.budget, opt::DEFAULT_BUDGET);
+        assert_eq!(config.seed, opt::DEFAULT_SEED);
+        assert_eq!(config.island, None);
+        assert!(config.seed_frontier.is_empty());
+
+        let mut full = OptimizeRequest::named("ga102-3chiplet", "lifetime");
+        full.method = Some("anneal".into());
+        full.objectives = Some("embodied,cost".into());
+        full.budget = Some(33);
+        full.seed = Some(42);
+        let islanded = full.with_island(1, 3);
+        let (_, shard, config) = islanded.resolve(&db).unwrap();
+        assert_eq!((shard.index(), shard.of()), (1, 3));
+        assert_eq!(config.island, Some(1));
+        assert_eq!(config.method, opt::OptMethod::Anneal);
+        assert_eq!(config.objectives.label(), "embodied,cost");
+        assert_eq!((config.budget, config.seed), (33, 42));
+
+        for (label, tweak) in [
+            ("unknown method", ("method", "hillclimb")),
+            ("unknown objective", ("objectives", "embodied,karma")),
+            ("empty objectives", ("objectives", " , ")),
+        ] {
+            let mut bad = OptimizeRequest::named("ga102", "lifetime");
+            match tweak.0 {
+                "method" => bad.method = Some(tweak.1.into()),
+                _ => bad.objectives = Some(tweak.1.into()),
+            }
+            assert!(
+                matches!(bad.resolve(&db), Err(ServeError::Api(_))),
+                "{label}"
+            );
+        }
     }
 
     #[test]

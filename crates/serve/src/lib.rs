@@ -25,6 +25,7 @@
 //! | `POST` | `/v1/estimate` | One design → full CFP breakdown JSON |
 //! | `POST` | `/v1/estimate` (array body) | N designs in one round-trip → array of per-item results |
 //! | `POST` | `/v1/sweep` | Sweep description → points streamed as NDJSON (chunked) |
+//! | `POST` | `/v1/optimize` | Carbon-aware search → incumbent-improvement events streamed as NDJSON |
 //! | `GET` | `/v1/testcases` | Names of the built-in test cases |
 //! | `GET` | `/v1/healthz` | Liveness probe |
 //! | `GET` | `/v1/stats` | Memo hit/miss/eviction + request counters + per-route latency |
@@ -102,11 +103,11 @@ pub mod server;
 
 pub use api::{
     BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
-    IndexRange, MemoImportResponse, RouteLatency, StatsResponse, SweepFormat, SweepRequest,
-    SweepSlice, TestcasesResponse, TraceResponse, TraceSpan,
+    IndexRange, MemoImportResponse, OptimizeRequest, RouteLatency, StatsResponse, SweepFormat,
+    SweepRequest, SweepSlice, TestcasesResponse, TraceResponse, TraceSpan,
 };
 pub use client::Connection;
-pub use orchestrator::{FailoverPolicy, MemoShare, OrchestratorOutcome, WorkerPool};
+pub use orchestrator::{FailoverPolicy, IslandOutcome, MemoShare, OrchestratorOutcome, WorkerPool};
 pub use server::{ServeConfig, Server, ServerHandle};
 
 use std::fmt;

@@ -45,13 +45,14 @@ fn format_index(format: SweepFormat) -> usize {
 
 /// The route labels the registry tracks. Unknown paths collapse into
 /// `"other"` so a path-scanning client cannot grow the label space.
-pub const ROUTES: [&str; 12] = [
+pub const ROUTES: [&str; 13] = [
     "healthz",
     "stats",
     "testcases",
     "estimate",
     "estimate_batch",
     "sweep",
+    "optimize",
     "memo_export",
     "memo_import",
     "metrics",
@@ -85,6 +86,7 @@ pub fn route_label(method: &str, path: &str) -> &'static str {
         (_, "/v1/testcases") => "testcases",
         (_, "/v1/estimate") => "estimate",
         (_, "/v1/sweep") => "sweep",
+        (_, "/v1/optimize") => "optimize",
         ("GET", "/v1/memo") => "memo_export",
         (_, "/v1/memo") => "memo_import",
         (_, "/metrics") => "metrics",
@@ -687,6 +689,7 @@ mod tests {
     fn route_labels_cover_the_api_surface() {
         assert_eq!(route_label("GET", "/v1/healthz"), "healthz");
         assert_eq!(route_label("POST", "/v1/sweep"), "sweep");
+        assert_eq!(route_label("POST", "/v1/optimize"), "optimize");
         assert_eq!(route_label("GET", "/v1/memo"), "memo_export");
         assert_eq!(route_label("POST", "/v1/memo"), "memo_import");
         assert_eq!(route_label("GET", "/metrics"), "metrics");

@@ -35,11 +35,13 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use ecochip_core::sweep::{Shard, SweepContext, SweepEngine, SweepPoint};
-use ecochip_core::{EcoChip, EcoChipError, EstimatorConfig};
+use ecochip_core::{opt, EcoChip, EcoChipError, EstimatorConfig};
 use ecochip_techdb::TechDb;
 use ecochip_trace::FieldValue;
 
-use crate::api::{MemoImportResponse, StatsResponse, SweepFormat, SweepRequest, SweepSlice};
+use crate::api::{
+    MemoImportResponse, OptimizeRequest, StatsResponse, SweepFormat, SweepRequest, SweepSlice,
+};
 use crate::client::Connection;
 use crate::ServeError;
 
@@ -529,6 +531,349 @@ pub fn share_memo(urls: &[String]) -> Result<MemoShare, ServeError> {
     })
 }
 
+/// What an island-model optimization run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandOutcome {
+    /// Cases evaluated across every island and round.
+    pub evaluated: usize,
+    /// The merged global Pareto frontier.
+    pub frontier: Vec<opt::FrontierPoint>,
+    /// Islands (shards) the search ran on.
+    pub islands: usize,
+    /// Exchange rounds actually run (`1` for the exhaustive Pareto method).
+    pub rounds: usize,
+}
+
+/// Split `total` across `rounds` so every round gets `total/rounds` and the
+/// first `total % rounds` rounds absorb the remainder — the same balanced
+/// split [`Shard`] uses for index ranges.
+fn round_budget(total: usize, rounds: usize, round: usize) -> usize {
+    total / rounds + usize::from(round < total % rounds)
+}
+
+/// Fan a carbon-aware search out across `pool` as an **island model**: each
+/// worker explores its own contiguous shard of the sweep's index space, and
+/// between rounds the orchestrator merges every island's frontier into one
+/// global [`opt::ParetoFrontier`] and seeds the next round with it — the
+/// frontier exchange rides the same request plumbing (and, for remote
+/// pools, the same [`share_memo`] transport warms the fleet's memos between
+/// rounds).
+///
+/// Per island and round, seeds derive deterministically from the request
+/// seed via [`opt::island_seed`] and the per-island budget is the request
+/// budget split evenly across `rounds` — so a run with a fixed pool shape,
+/// seed and budget reproduces its event stream byte for byte. Island event
+/// lines stream through `on_line` in island order per round (each stamped
+/// with its island index), followed by one terminal `done` line carrying
+/// the merged global frontier.
+///
+/// The exhaustive `pareto` method covers every shard in one pass, so it
+/// forces `rounds = 1`; `anneal`/`genetic` honour `rounds` as given. A
+/// remote island that dies mid-stream is re-dispatched to the next worker
+/// per `policy`: its event stream is deterministic, so the replacement
+/// replays it and the orchestrator skips the lines the merge already saw.
+///
+/// # Errors
+///
+/// [`ServeError::Api`] for unresolvable or pre-sliced requests (the
+/// orchestrator assigns shards and islands), [`ServeError::Estimator`] /
+/// [`ServeError::Worker`] when an island fails (after `policy.retries`
+/// re-dispatches, for remote pools), and the first error returned by
+/// `on_line`.
+pub fn orchestrate_optimize<F>(
+    db: &TechDb,
+    request: &OptimizeRequest,
+    pool: &WorkerPool,
+    policy: &FailoverPolicy,
+    rounds: usize,
+    mut on_line: F,
+) -> Result<IslandOutcome, ServeError>
+where
+    F: FnMut(&str) -> Result<(), ServeError>,
+{
+    if request.shard.is_some() || request.island.is_some() || request.frontier.is_some() {
+        return Err(ServeError::Api(
+            "orchestrated optimize requests must not be pre-sliced; \
+             the orchestrator assigns shards, islands and frontier seeds"
+                .into(),
+        ));
+    }
+    let islands = pool.shards();
+    if islands == 0 {
+        return Err(ServeError::Api(
+            "a remote pool needs at least one URL".into(),
+        ));
+    }
+    // Resolve up front so bad requests fail before any island starts; this
+    // also yields the base OptConfig the per-island configs derive from.
+    let (spec, _, base) = request.resolve(db)?;
+    let rounds = if base.method == opt::OptMethod::Pareto {
+        // Exhaustive enumeration covers each shard completely in one pass;
+        // further rounds would re-evaluate the same cases for nothing.
+        1
+    } else {
+        rounds.max(1)
+    };
+
+    let trace = ecochip_trace::current_trace().unwrap_or_else(ecochip_trace::mint_trace_id);
+    let _trace_guard = ecochip_trace::set_current_trace(trace.clone());
+    let _span = ecochip_trace::span("orchestrate:optimize");
+    ecochip_trace::info(
+        "serve::orchestrator",
+        "orchestrating island-model optimization",
+        &[
+            ("islands", FieldValue::from(islands)),
+            ("rounds", FieldValue::from(rounds)),
+            ("method", FieldValue::from(base.method.label())),
+            ("budget", FieldValue::from(base.budget)),
+        ],
+    );
+
+    // Local islands keep one warm estimator/engine/memo each across
+    // rounds, mimicking long-lived worker processes.
+    let locals: Vec<(EcoChip, SweepEngine, SweepContext)> = match pool {
+        WorkerPool::Local { jobs, .. } => (0..islands)
+            .map(|_| {
+                (
+                    EcoChip::new(EstimatorConfig::builder().techdb(db.clone()).build()),
+                    SweepEngine::with_optional_jobs(*jobs),
+                    SweepContext::new(),
+                )
+            })
+            .collect(),
+        WorkerPool::Remote(_) => Vec::new(),
+    };
+
+    let mut global = opt::ParetoFrontier::new();
+    let mut evaluated = 0usize;
+    for round in 0..rounds {
+        let exchanged = global.points().to_vec();
+        std::thread::scope(|scope| -> Result<(), ServeError> {
+            let mut receivers = Vec::with_capacity(islands);
+            // `island` drives seeds, shards and sub-requests, not just the
+            // `locals` lookup (which is empty for remote pools anyway).
+            #[allow(clippy::needless_range_loop)]
+            for island in 0..islands {
+                let (sender, receiver) =
+                    mpsc::sync_channel::<Result<String, ServeError>>(WORKER_QUEUE_LINES);
+                receivers.push(receiver);
+                // Per-(round, island) seeds are split off the request seed
+                // deterministically, so island streams never correlate yet
+                // the whole run reproduces from one seed.
+                let seed = opt::island_seed(opt::island_seed(base.seed, round), island);
+                let budget = round_budget(base.budget, rounds, round);
+                match pool {
+                    WorkerPool::Local { .. } => {
+                        let (estimator, engine, context) = &locals[island];
+                        let spec = &spec;
+                        let exchanged = &exchanged;
+                        let base = &base;
+                        scope.spawn(move || {
+                            let config = opt::OptConfig {
+                                seed,
+                                budget,
+                                island: Some(island),
+                                seed_frontier: exchanged.clone(),
+                                ..base.clone()
+                            };
+                            let shard = Shard::new(island, islands).expect("island < islands");
+                            let result = opt::optimize(
+                                estimator,
+                                engine,
+                                spec,
+                                shard,
+                                context,
+                                None,
+                                &config,
+                                |event: &opt::OptEvent| {
+                                    let line = serde_json::to_string(event).map_err(|e| {
+                                        EcoChipError::Io(format!("serializing opt event: {e}"))
+                                    })?;
+                                    sender.send(Ok(line)).map_err(|_| {
+                                        EcoChipError::Io("orchestrator closed the stream".into())
+                                    })?;
+                                    Ok(())
+                                },
+                            );
+                            if let Err(error) = result {
+                                let _ = sender.send(Err(ServeError::Estimator(error)));
+                            }
+                        });
+                    }
+                    WorkerPool::Remote(urls) => {
+                        let mut sub_request = request.with_island(island, islands);
+                        sub_request.seed = Some(seed);
+                        sub_request.budget = Some(budget);
+                        sub_request.frontier = Some(exchanged.clone());
+                        let trace = trace.clone();
+                        scope.spawn(move || {
+                            let result = run_remote_island(
+                                urls,
+                                island,
+                                &sub_request,
+                                policy,
+                                trace,
+                                &sender,
+                            );
+                            if let Err(error) = result {
+                                let _ = sender.send(Err(error));
+                            }
+                        });
+                    }
+                }
+            }
+
+            // Drain islands in order; harvest each island's terminal `done`
+            // line (its field order puts `event` first, so the prefix test
+            // is exact) to fold its frontier into the global archive.
+            for receiver in receivers {
+                for line in receiver {
+                    let line = line?;
+                    if line.starts_with("{\"event\":\"done\"") {
+                        let event: opt::OptEvent = serde_json::from_str(&line).map_err(|e| {
+                            ServeError::Worker(format!(
+                                "island sent an undecodable done event: {e}"
+                            ))
+                        })?;
+                        evaluated += event.evaluated;
+                        for point in event.frontier.unwrap_or_default() {
+                            global.insert(point);
+                        }
+                    }
+                    on_line(&line)?;
+                }
+            }
+            Ok(())
+        })?;
+
+        // Between rounds a remote fleet also exchanges memo warmth, riding
+        // the same transport the sweep orchestrator uses.
+        if round + 1 < rounds {
+            if let WorkerPool::Remote(urls) = pool {
+                match share_memo(urls) {
+                    Ok(share) => ecochip_trace::info(
+                        "serve::orchestrator",
+                        "shared memo between optimization rounds",
+                        &[
+                            ("round", FieldValue::from(round)),
+                            ("entries", FieldValue::from(share.entries)),
+                            ("seeded", FieldValue::from(share.seeded.len())),
+                        ],
+                    ),
+                    // Memo sharing is a warmth optimization; a failed
+                    // exchange must not kill a run failover just saved.
+                    Err(error) => ecochip_trace::warn(
+                        "serve::orchestrator",
+                        "memo share between rounds failed; continuing cold",
+                        &[
+                            ("round", FieldValue::from(round)),
+                            ("error", FieldValue::from(error.to_string())),
+                        ],
+                    ),
+                }
+            }
+        }
+    }
+
+    let outcome = opt::OptOutcome {
+        method: base.method.label().to_string(),
+        evaluated,
+        frontier: global.into_points(),
+    };
+    let done = serde_json::to_string(&opt::OptEvent::done(&outcome, None))
+        .map_err(|e| ServeError::Api(format!("serializing merged done event: {e}")))?;
+    on_line(&done)?;
+    Ok(IslandOutcome {
+        evaluated: outcome.evaluated,
+        frontier: outcome.frontier,
+        islands,
+        rounds,
+    })
+}
+
+/// Drive one remote island with retry/failover: POST the island request,
+/// forward NDJSON event lines, and when the worker dies mid-stream
+/// re-dispatch the *same* request to the next worker in the pool — the
+/// island's event stream is deterministic per seed, so the replacement
+/// replays it and the first `forwarded` lines are skipped instead of
+/// re-forwarded.
+fn run_remote_island(
+    urls: &[String],
+    island: usize,
+    sub_request: &OptimizeRequest,
+    policy: &FailoverPolicy,
+    trace: String,
+    sender: &mpsc::SyncSender<Result<String, ServeError>>,
+) -> Result<(), ServeError> {
+    let _trace_guard = ecochip_trace::set_current_trace(trace.clone());
+    let islands = urls.len();
+    let forwarded = Cell::new(0usize);
+    let merger_gone = Cell::new(false);
+    let body = serde_json::to_string(sub_request)
+        .map_err(|e| ServeError::Api(format!("serializing optimize request: {e}")))?;
+    let mut target = island % islands;
+    let mut attempt = 0usize;
+    loop {
+        let url = &urls[target];
+        let skip = forwarded.get();
+        let seen = Cell::new(0usize);
+        let result = Connection::open(url).and_then(|mut connection| {
+            connection.set_trace(Some(trace.clone()));
+            let response = connection.post_ndjson("/v1/optimize", &body, |line| {
+                if line.starts_with("{\"error\"") {
+                    return Err(ServeError::Worker(format!("{url}: {line}")));
+                }
+                let position = seen.get();
+                seen.set(position + 1);
+                if position < skip {
+                    // A re-dispatch replays the deterministic stream from
+                    // the start; the merger already has these lines.
+                    return Ok(());
+                }
+                if sender.send(Ok(line.to_owned())).is_err() {
+                    merger_gone.set(true);
+                    return Err(ServeError::Worker("orchestrator closed the stream".into()));
+                }
+                forwarded.set(forwarded.get() + 1);
+                Ok(())
+            })?;
+            if response.status != 200 {
+                return Err(ServeError::Worker(format!(
+                    "{url} answered {}: {}",
+                    response.status,
+                    response.text().unwrap_or("<binary>").trim()
+                )));
+            }
+            Ok(())
+        });
+        let error = match result {
+            Ok(()) => return Ok(()),
+            Err(error) => error,
+        };
+        if merger_gone.get() || attempt >= policy.retries || !worker_loss(&error) {
+            return Err(error);
+        }
+        attempt += 1;
+        target = (target + 1) % islands;
+        ecochip_trace::warn(
+            "serve::orchestrator",
+            "island lost its worker; re-dispatching",
+            &[
+                ("island", FieldValue::from(island)),
+                ("islands", FieldValue::from(islands)),
+                ("error", FieldValue::from(error.to_string())),
+                ("replayed", FieldValue::from(forwarded.get())),
+                ("url", FieldValue::from(urls[target].as_str())),
+                ("attempt", FieldValue::from(attempt)),
+                ("retries", FieldValue::from(policy.retries)),
+            ],
+        );
+        if !policy.backoff.is_zero() {
+            std::thread::sleep(policy.backoff.saturating_mul(attempt as u32));
+        }
+    }
+}
+
 /// The reference outcome: evaluate `request` unsharded in-process (one
 /// engine, one warm memo) and fingerprint the stream without emitting it.
 /// An orchestrated run whose [`OrchestratorOutcome`] equals this one
@@ -619,6 +964,126 @@ mod tests {
             let point: SweepPoint = serde_json::from_str(&lines[0]).unwrap();
             assert!(point.label.ends_with('y'));
         }
+    }
+
+    #[test]
+    fn island_pareto_matches_the_unsharded_frontier_for_any_pool_size() {
+        let db = TechDb::default();
+        let request = OptimizeRequest::named("ga102-3chiplet", "lifetime");
+        // Reference: one island covers the whole index space exhaustively.
+        let single = orchestrate_optimize(
+            &db,
+            &request,
+            &WorkerPool::Local {
+                workers: 1,
+                jobs: None,
+            },
+            &FailoverPolicy::none(),
+            1,
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert!(!single.frontier.is_empty());
+        assert_eq!(single.evaluated, 7);
+
+        for islands in [2usize, 3, 5] {
+            let mut done_lines = 0usize;
+            let outcome = orchestrate_optimize(
+                &db,
+                &request,
+                &WorkerPool::Local {
+                    workers: islands,
+                    jobs: Some(2),
+                },
+                &FailoverPolicy::none(),
+                // Pareto is exhaustive: rounds collapse to 1.
+                4,
+                |line| {
+                    if line.starts_with("{\"event\":\"done\"") {
+                        done_lines += 1;
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(outcome.frontier, single.frontier, "islands={islands}");
+            assert_eq!(outcome.evaluated, 7, "islands={islands}");
+            assert_eq!(outcome.rounds, 1);
+            assert_eq!(outcome.islands, islands);
+            // One done line per island plus the merged terminal one.
+            assert_eq!(done_lines, islands + 1);
+        }
+    }
+
+    #[test]
+    fn island_explorers_reproduce_per_seed_and_exchange_frontiers() {
+        let db = TechDb::default();
+        let mut request = OptimizeRequest::named("ga102-3chiplet", "lifetime");
+        request.method = Some("anneal".into());
+        request.budget = Some(12);
+        request.seed = Some(42);
+        let pool = WorkerPool::Local {
+            workers: 2,
+            jobs: None,
+        };
+        let run = |request: &OptimizeRequest| {
+            let mut lines = Vec::new();
+            let outcome =
+                orchestrate_optimize(&db, request, &pool, &FailoverPolicy::none(), 3, |line| {
+                    lines.push(line.to_owned());
+                    Ok(())
+                })
+                .unwrap();
+            (outcome, lines)
+        };
+        let (first, first_lines) = run(&request);
+        let (second, second_lines) = run(&request);
+        // Same seed, pool shape and budget: byte-identical event stream.
+        assert_eq!(first_lines, second_lines);
+        assert_eq!(first, second);
+        assert_eq!(first.rounds, 3);
+        // The budget bounds the whole fleet: per-island budget × islands.
+        assert_eq!(first.evaluated, 12 * 2);
+        // A different seed explores differently.
+        request.seed = Some(7);
+        let (_, other_lines) = run(&request);
+        assert_ne!(first_lines, other_lines);
+        // Later rounds are seeded with the exchanged global frontier, so
+        // every done line's frontier contains only non-dominated points.
+        let done: opt::OptEvent = serde_json::from_str(first_lines.last().unwrap()).unwrap();
+        assert_eq!(done.event, "done");
+        assert!(done.frontier.is_some_and(|f| !f.is_empty()));
+    }
+
+    #[test]
+    fn island_orchestrator_rejects_pre_sliced_requests() {
+        let db = TechDb::default();
+        let pool = WorkerPool::Local {
+            workers: 2,
+            jobs: None,
+        };
+        let sliced = OptimizeRequest::named("ga102", "lifetime").with_island(0, 2);
+        assert!(matches!(
+            orchestrate_optimize(&db, &sliced, &pool, &FailoverPolicy::none(), 1, |_| Ok(())),
+            Err(ServeError::Api(_))
+        ));
+        let mut seeded = OptimizeRequest::named("ga102", "lifetime");
+        seeded.frontier = Some(Vec::new());
+        assert!(matches!(
+            orchestrate_optimize(&db, &seeded, &pool, &FailoverPolicy::none(), 1, |_| Ok(())),
+            Err(ServeError::Api(_))
+        ));
+        assert!(matches!(
+            orchestrate_optimize(
+                &db,
+                &OptimizeRequest::named("ga102", "lifetime"),
+                &WorkerPool::Remote(Vec::new()),
+                &FailoverPolicy::none(),
+                1,
+                |_| Ok(())
+            ),
+            Err(ServeError::Api(_))
+        ));
     }
 
     #[test]

@@ -55,6 +55,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 
+use ecochip_core::opt;
 use ecochip_core::sweep::{SweepEngine, SweepPoint, SweepSink};
 use ecochip_core::{EcoChip, EcoChipError, EcoChipService, EstimatorConfig};
 use ecochip_techdb::TechDb;
@@ -63,8 +64,8 @@ use ecochip_trace::{FieldValue, Stage, StageTimings};
 
 use crate::api::{
     BatchEstimateItem, ErrorResponse, EstimateRequest, EstimateResponse, HealthResponse,
-    MemoImportResponse, RouteLatency, StatsResponse, SweepFormat, SweepRequest, SweepSlice,
-    TestcasesResponse, TraceResponse, TraceSpan,
+    MemoImportResponse, OptimizeRequest, RouteLatency, StatsResponse, SweepFormat, SweepRequest,
+    SweepSlice, TestcasesResponse, TraceResponse, TraceSpan,
 };
 use crate::frames;
 use crate::http;
@@ -971,6 +972,7 @@ fn progress(state: &ServerState, conn: &mut Conn, inflight: usize) -> After {
 fn is_offloaded(request: &http::Request) -> bool {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/sweep") => true,
+        ("POST", "/v1/optimize") => true,
         ("POST", "/v1/estimate") => metrics::is_batch_estimate_body(&request.body),
         ("GET" | "POST", "/v1/memo") => true,
         _ => false,
@@ -1250,7 +1252,7 @@ fn route_light(
         (
             _,
             "/v1/healthz" | "/v1/stats" | "/v1/testcases" | "/v1/estimate" | "/v1/sweep"
-            | "/v1/memo" | "/v1/shutdown" | "/v1/trace" | "/metrics",
+            | "/v1/optimize" | "/v1/memo" | "/v1/shutdown" | "/v1/trace" | "/metrics",
         ) => respond(
             out,
             405,
@@ -1264,8 +1266,8 @@ fn route_light(
             404,
             &ErrorResponse {
                 error: format!(
-                    "unknown path {path:?}; endpoints: /v1/estimate /v1/sweep /v1/testcases \
-                     /v1/memo /v1/healthz /v1/stats /v1/trace /v1/shutdown /metrics"
+                    "unknown path {path:?}; endpoints: /v1/estimate /v1/sweep /v1/optimize \
+                     /v1/testcases /v1/memo /v1/healthz /v1/stats /v1/trace /v1/shutdown /metrics"
                 ),
             },
             keep_alive,
@@ -1285,6 +1287,7 @@ fn route_offloaded(
 ) -> u16 {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/sweep") => sweep(state, &request.body, stream, keep_alive, span),
+        ("POST", "/v1/optimize") => optimize(state, &request.body, stream, keep_alive, span),
         ("POST", "/v1/estimate") => match estimate_batch(state, &request.body) {
             Ok(items) => respond(stream, 200, &items, keep_alive),
             Err(error) => respond_error(stream, &error, keep_alive),
@@ -1600,6 +1603,104 @@ fn sweep(
     state
         .metrics
         .sweep_stream_finished(format, bytes, started.elapsed());
+    let _ = chunked.finish();
+    200
+}
+
+/// Handle `POST /v1/optimize`: resolve, then run the requested search
+/// method streaming [`opt::OptEvent`] NDJSON lines over chunked
+/// transfer-encoding — every incumbent/frontier improvement as it is
+/// found, then the terminal `done` event with the full frontier. Each
+/// line is produced by the same serializer as the CLI's `--optimize`, so
+/// seeded runs diff clean across front ends. Returns the response status
+/// for metrics.
+fn optimize(
+    state: &ServerState,
+    request_body: &[u8],
+    writer: &mut TcpStream,
+    keep_alive: bool,
+    span: &ecochip_trace::SpanGuard,
+) -> u16 {
+    let timings = StageTimings::new();
+    let decode_started = Instant::now();
+    let resolved =
+        parse_body::<OptimizeRequest>(request_body).and_then(|request| request.resolve(&state.db));
+    let (spec, shard, config) = match resolved {
+        Ok(resolved) => resolved,
+        Err(error) => return respond_error(writer, &error, keep_alive),
+    };
+    timings.record(Stage::Decode, decode_started.elapsed());
+    let trace = ecochip_trace::current_trace();
+    let mut extra_headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(trace) = trace.as_deref() {
+        extra_headers.push((TRACE_HEADER, trace));
+    }
+    let mut chunked = match http::start_chunked_with_headers(
+        &mut *writer,
+        200,
+        "application/x-ndjson",
+        &extra_headers,
+        keep_alive,
+    ) {
+        Ok(chunked) => chunked,
+        // Peer gone before any response byte was written (see `sweep`).
+        Err(_) => return 499,
+    };
+    let result = {
+        // Improvements are sparse (unlike sweep points), so each event is
+        // flushed as its own transfer chunk for responsive streaming; the
+        // line buffer is still reused across events.
+        let chunked = &mut chunked;
+        let timings = &timings;
+        let mut line = String::new();
+        opt::optimize(
+            state.service.estimator(),
+            state.service.engine(),
+            &spec,
+            shard,
+            state.service.context(),
+            Some(timings),
+            &config,
+            move |event: &opt::OptEvent| {
+                let started = Instant::now();
+                line.clear();
+                serde_json::to_string_into(event, &mut line)
+                    .map_err(|e| EcoChipError::Io(format!("serializing optimize event: {e}")))?;
+                line.push('\n');
+                timings.record(Stage::Serialize, started.elapsed());
+                let started = Instant::now();
+                let sent = chunked.chunk(line.as_bytes());
+                timings.record(Stage::Emit, started.elapsed());
+                sent.map_err(|e| EcoChipError::Io(format!("streaming optimize event: {e}")))
+            },
+        )
+    };
+    if let Err(error) = result {
+        // The status line is long gone; signal the failure in-band with a
+        // terminal error object (no event line starts with `{"error"`) and
+        // end the stream cleanly so clients detect it.
+        let mut line = serde_json::to_string(&ErrorResponse {
+            error: error.to_string(),
+        })
+        .unwrap_or_else(|e| format!("{{\"error\":\"serializing response: {e}\"}}"));
+        line.push('\n');
+        let _ = chunked.chunk(line.as_bytes());
+    }
+    // Surface the accumulated stage clocks exactly as `sweep` does.
+    for stage in Stage::ALL {
+        if timings.count(stage) == 0 {
+            continue;
+        }
+        let seconds = timings.seconds(stage);
+        state.metrics.observe_stage(stage, seconds);
+        ecochip_trace::record_span(
+            format!("stage:{}", stage.label()),
+            trace.clone(),
+            Some(span.id()),
+            span.start_unix(),
+            seconds,
+        );
+    }
     let _ = chunked.finish();
     200
 }

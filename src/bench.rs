@@ -38,7 +38,10 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use ecochip_core::sweep::{SweepAxis, SweepContext, SweepEngine, SweepPoint, SweepSink, SweepSpec};
+use ecochip_core::opt::{self, OptConfig, OptMethod};
+use ecochip_core::sweep::{
+    Shard, SweepAxis, SweepContext, SweepEngine, SweepPoint, SweepSink, SweepSpec,
+};
 use ecochip_core::{EcoChip, System};
 use ecochip_serve::{client, ServeConfig, Server, ServerHandle};
 use ecochip_techdb::TechDb;
@@ -456,6 +459,89 @@ pub fn run_core(options: &BenchOptions) -> Result<BenchSuite, BenchError> {
         metric: "throughput".into(),
         value,
         units: "points/sec".into(),
+        iterations: iters,
+        wall_clock_seconds: wall,
+    });
+
+    // The optimization layer's two shapes over a spec with a real
+    // embodied/operational trade-off (lifetime × fab energy source).
+    // Exhaustive Pareto enumeration rides the chunked streaming pipeline;
+    // the metric is frontier points surfaced per second of sweep.
+    let opt_lifetimes: Vec<f64> = (0..options.iterations(512, 16))
+        .map(|i| 1.0 + i as f64 * 0.25)
+        .collect();
+    let opt_spec = SweepSpec::new(system.clone())
+        .axis(SweepAxis::lifetimes_years(&opt_lifetimes))
+        .axis(SweepAxis::FabEnergySources(vec![
+            ecochip_techdb::EnergySource::Coal,
+            ecochip_techdb::EnergySource::WorldGrid,
+            ecochip_techdb::EnergySource::Wind,
+        ]));
+    let engine = SweepEngine::with_jobs(4);
+    let opt_context = SweepContext::new();
+    let run_opt = |config: &OptConfig| {
+        let outcome = opt::optimize(
+            &estimator,
+            &engine,
+            &opt_spec,
+            Shard::FULL,
+            &opt_context,
+            None,
+            config,
+            |_| Ok(()),
+        )
+        .map_err(run_error)?;
+        Ok(outcome)
+    };
+    let pareto = OptConfig::default();
+    let (value, iters, wall) = best_throughput(repeats, || {
+        let outcome = run_opt(&pareto)?;
+        std::hint::black_box(outcome.evaluated);
+        Ok(outcome.frontier.len() as u64)
+    })?;
+    suite.results.push(BenchRecord {
+        workload: "opt_pareto".into(),
+        metric: "throughput".into(),
+        value,
+        units: "frontier_points/sec".into(),
+        iterations: iters,
+        wall_clock_seconds: wall,
+    });
+
+    // The budget-bounded annealer: serial evaluation against the warm memo,
+    // measured as incumbent improvements surfaced per second.
+    let anneal = OptConfig {
+        method: OptMethod::Anneal,
+        budget: options.iterations(4_096, 64) as usize,
+        seed: 42,
+        ..OptConfig::default()
+    };
+    let (value, iters, wall) = best_throughput(repeats, || {
+        let mut improvements = 0u64;
+        let outcome = opt::optimize(
+            &estimator,
+            &engine,
+            &opt_spec,
+            Shard::FULL,
+            &opt_context,
+            None,
+            &anneal,
+            |event| {
+                if event.event == "improvement" {
+                    improvements += 1;
+                }
+                Ok(())
+            },
+        )
+        .map_err(run_error)?;
+        std::hint::black_box(outcome.evaluated);
+        Ok(improvements)
+    })?;
+    suite.results.push(BenchRecord {
+        workload: "opt_anneal".into(),
+        metric: "throughput".into(),
+        value,
+        units: "improvements/sec".into(),
         iterations: iters,
         wall_clock_seconds: wall,
     });
@@ -1058,18 +1144,20 @@ mod tests {
         assert_eq!(suite.schema_version, SCHEMA_VERSION);
         assert_eq!(suite.suite, "core");
         assert!(!suite.toolchain.is_empty());
-        for workload in [
-            "estimator_serial",
-            "estimator_memoized",
-            "sweep_parallel",
-            "sweep_streaming",
-            "sweep_streaming_chunked",
+        for (workload, units) in [
+            ("estimator_serial", "points/sec"),
+            ("estimator_memoized", "points/sec"),
+            ("sweep_parallel", "points/sec"),
+            ("sweep_streaming", "points/sec"),
+            ("sweep_streaming_chunked", "points/sec"),
+            ("opt_pareto", "frontier_points/sec"),
+            ("opt_anneal", "improvements/sec"),
         ] {
             let record = suite
                 .record(workload, "throughput")
                 .unwrap_or_else(|| panic!("missing workload {workload}"));
             assert!(record.value > 0.0, "{workload}: {record:?}");
-            assert_eq!(record.units, "points/sec");
+            assert_eq!(record.units, units, "{workload}");
             assert!(record.iterations > 0);
             assert!(record.wall_clock_seconds > 0.0);
         }

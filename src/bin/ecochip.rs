@@ -16,6 +16,8 @@
 //! ecochip orchestrate --testcase <name> --sweep <axis>
 //!                     (--workers N | --remote <url,url,...>) [--check]
 //!                     [--retries N] [--backoff-ms N] [--share-memo]
+//!                     [--optimize <pareto|anneal|genetic>] [--budget N]
+//!                     [--seed N] [--objectives <list>] [--rounds N]
 //! ecochip bench [--suite <core|serve|all>] [--smoke] [--repeats N]
 //!               [--out <dir>] [--baseline <dir>] [--tolerance <pct>]
 //!               [--check | --bless]
@@ -31,6 +33,12 @@
 //!   space (concatenating all shards reproduces the unsharded run exactly),
 //! * `--stream <jsonl|csv>` to emit sweep points incrementally to stdout as
 //!   they are evaluated, instead of the summary table at the end,
+//! * `--optimize <pareto|anneal|genetic>` (with a named `--sweep` axis) to
+//!   search the space for a Pareto frontier instead of enumerating it,
+//!   streaming NDJSON improvement/done events to stdout; `--budget N`
+//!   bounds the evaluations, `--seed N` makes the explorers reproducible,
+//!   and `--objectives <embodied,operational,cost,area>` selects the
+//!   objective subset (default `embodied,operational`),
 //! * `--memo-file <file>` to load a persisted floorplan/manufacturing memo
 //!   before the run (if present and fingerprint-compatible) and save the
 //!   warmed memo after it,
@@ -51,8 +59,8 @@
 //! README's Observability section.
 //!
 //! `ecochip serve` starts the HTTP/JSON estimation service (endpoints
-//! `/v1/estimate`, `/v1/sweep`, `/v1/testcases`, `/v1/healthz`,
-//! `/v1/stats`, `/v1/memo`, `/metrics`, `/v1/shutdown`) on a
+//! `/v1/estimate`, `/v1/sweep`, `/v1/optimize`, `/v1/testcases`,
+//! `/v1/healthz`, `/v1/stats`, `/v1/memo`, `/metrics`, `/v1/shutdown`) on a
 //! readiness-driven event loop: persistent keep-alive connections
 //! (`--idle-timeout-ms`, `--max-requests-per-conn`) cost one file
 //! descriptor each while idle, pipelined requests are served in order,
@@ -66,6 +74,10 @@
 //! remaining index range of its shard to a surviving worker (`--retries`,
 //! `--backoff-ms`), keeping the merged stream bit-for-bit identical;
 //! `--share-memo` first seeds every worker from the warmest peer's memo.
+//! With `--optimize` the orchestrator instead runs an island-model search:
+//! each worker explores its shard of the space under a derived seed, the
+//! merged global frontier is exchanged between islands every `--rounds`
+//! round, and one merged `done` line closes the stream.
 //!
 //! `ecochip bench` runs the fixed perf workload matrix of
 //! [`eco_chip::bench`] and writes `BENCH_core.json` / `BENCH_serve.json`;
@@ -81,10 +93,11 @@ use std::process::ExitCode;
 
 use eco_chip::core::costing::system_cost;
 use eco_chip::core::dse::{named_sweep_axis, NAMED_SWEEP_AXES};
+use eco_chip::core::opt::{self, METHOD_NAMES, OBJECTIVE_NAMES};
 use eco_chip::core::sweep::{Shard, SweepEngine, SweepPoint, SweepSpec, CHUNK_ENV_VAR};
 use eco_chip::core::{EcoChip, EcoChipService, EstimatorConfig, System};
 use eco_chip::serve::orchestrator::{self, FailoverPolicy, WorkerPool};
-use eco_chip::serve::{ServeConfig, ServeError, Server, SweepRequest};
+use eco_chip::serve::{OptimizeRequest, ServeConfig, ServeError, Server, SweepRequest};
 use eco_chip::techdb::TechDb;
 use eco_chip::testcases::catalog::{self, CatalogError};
 use eco_chip::testcases::io;
@@ -137,6 +150,12 @@ fn print_usage() {
     );
     eprintln!("  ... --shard <I/N>                            evaluate only shard I of N");
     eprintln!("  ... --stream <jsonl|csv>                     emit sweep points incrementally");
+    eprintln!("  ... --optimize <{METHOD_NAMES}>       carbon-aware search over the sweep");
+    eprintln!("                                               space; events stream as NDJSON");
+    eprintln!("  ... --budget <N>                             evaluations for anneal/genetic");
+    eprintln!("  ... --seed <N>                               explorer RNG seed (deterministic)");
+    eprintln!("  ... --objectives <{OBJECTIVE_NAMES}>");
+    eprintln!("                                               comma-separated objective list");
     eprintln!("  ... --memo-file <file>                       load/save the stage memo");
     eprintln!("  ... --memo-max-entries <N>                   bound the memo (LRU eviction)");
     eprintln!("  ... --memo-save-every <N>                    autosave the memo mid-run");
@@ -159,7 +178,10 @@ fn print_usage() {
     eprintln!("                (--workers N | --remote <url,url,...>)");
     eprintln!("                [--design <system.json>] [--techdb <file>] [--jobs N] [--check]");
     eprintln!("                [--retries N] [--backoff-ms N] [--share-memo]");
-    eprintln!("                                               fan a sweep out and merge shards");
+    eprintln!("                [--optimize <{METHOD_NAMES}>] [--budget N]");
+    eprintln!("                [--seed N] [--objectives <list>] [--rounds N]");
+    eprintln!("                                               fan a sweep out and merge shards,");
+    eprintln!("                                               or run an island-model search");
     eprintln!("  ecochip bench [--suite <core|serve|all>] [--smoke] [--repeats N]");
     eprintln!("                [--out <dir>] [--baseline <dir>] [--tolerance <pct>]");
     eprintln!("                [--check | --bless]");
@@ -540,6 +562,74 @@ fn run_sweep(
     Ok(())
 }
 
+/// `--optimize`: run a carbon-aware search over the selected sweep space,
+/// streaming one [`opt::OptEvent`] JSON line per incumbent improvement
+/// (then the terminal `done` line) to stdout. Narration goes to stderr so
+/// seeded runs can be byte-diffed, exactly like `--stream jsonl`.
+fn run_optimize(
+    system: &System,
+    db: TechDb,
+    axis_name: &str,
+    jobs: Option<usize>,
+    options: &OutputOptions,
+    config: &opt::OptConfig,
+) -> CliResult {
+    let service = build_service(db, jobs, options);
+    let axis = named_sweep_axis(axis_name, system).map_err(|e| CliError::usage(e.to_string()))?;
+    let spec = SweepSpec::new(system.clone()).axis(axis);
+    let shard = options.shard.unwrap_or(Shard::FULL);
+    let total = spec.try_len()?;
+    let owned = shard.range(total).len();
+    eprintln!(
+        "{} search over the {axis_name} space of {} ({owned} of {total} points, \
+         budget {}, seed {}, objectives {}):",
+        config.method.label(),
+        system.name,
+        config.budget,
+        config.seed,
+        config.objectives.label()
+    );
+
+    // Same single-writer streaming discipline as `--stream jsonl`: one
+    // buffered, locked stdout and one reusable encode buffer, so the byte
+    // stream is stable enough for CI to diff seeded runs.
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    let mut line = String::new();
+    let outcome = opt::optimize(
+        service.estimator(),
+        service.engine(),
+        &spec,
+        shard,
+        service.context(),
+        None,
+        config,
+        |event: &opt::OptEvent| {
+            use std::io::Write;
+            line.clear();
+            serde_json::to_string_into(event, &mut line).map_err(|error| {
+                eco_chip::EcoChipError::Io(format!("serializing optimize event: {error}"))
+            })?;
+            line.push('\n');
+            out.write_all(line.as_bytes())
+                .map_err(|e| eco_chip::EcoChipError::Io(format!("writing event stream: {e}")))
+        },
+    )?;
+    {
+        use std::io::Write;
+        out.flush()
+            .map_err(|e| eco_chip::EcoChipError::Io(format!("flushing event stream: {e}")))?;
+    }
+    eprintln!(
+        "{} search done: {} cases evaluated, {} points on the frontier",
+        outcome.method,
+        outcome.evaluated,
+        outcome.frontier.len()
+    );
+    save_memo(&service, options)?;
+    print_stats(&service);
+    Ok(())
+}
+
 struct OutputOptions {
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
@@ -608,6 +698,29 @@ fn non_negative(value: &str, flag: &str) -> CliResult<usize> {
             "{flag} needs a non-negative integer, got {value:?}"
         ))
     })
+}
+
+/// Parse a `--seed` value: any unsigned 64-bit integer.
+fn parse_seed(value: &str) -> CliResult<u64> {
+    value.parse().map_err(|_| {
+        CliError::usage(format!(
+            "--seed needs an unsigned 64-bit integer, got {value:?}"
+        ))
+    })
+}
+
+/// Parse a `--optimize` method name.
+fn parse_method(value: &str) -> CliResult<opt::OptMethod> {
+    value
+        .parse()
+        .map_err(|e: opt::OptParseError| CliError::usage(e.message().to_string()))
+}
+
+/// Parse a `--objectives` list.
+fn parse_objectives(value: &str) -> CliResult<opt::ObjectiveSet> {
+    value
+        .parse()
+        .map_err(|e: opt::OptParseError| CliError::usage(e.message().to_string()))
 }
 
 /// `ecochip serve`: start the HTTP/JSON estimation service and block until
@@ -728,6 +841,11 @@ fn run_orchestrate(args: &[String]) -> CliResult {
     let mut check = false;
     let mut share_memo = false;
     let mut policy = FailoverPolicy::default();
+    let mut optimize: Option<opt::OptMethod> = None;
+    let mut budget: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut objectives: Option<opt::ObjectiveSet> = None;
+    let mut rounds: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -779,6 +897,26 @@ fn run_orchestrate(args: &[String]) -> CliResult {
                 share_memo = true;
                 i += 1;
             }
+            "--optimize" => {
+                optimize = Some(parse_method(&value_of(args, i, "--optimize")?)?);
+                i += 2;
+            }
+            "--budget" => {
+                budget = Some(positive(&value_of(args, i, "--budget")?, "--budget")?);
+                i += 2;
+            }
+            "--seed" => {
+                seed = Some(parse_seed(&value_of(args, i, "--seed")?)?);
+                i += 2;
+            }
+            "--objectives" => {
+                objectives = Some(parse_objectives(&value_of(args, i, "--objectives")?)?);
+                i += 2;
+            }
+            "--rounds" => {
+                rounds = Some(positive(&value_of(args, i, "--rounds")?, "--rounds")?);
+                i += 2;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return Ok(());
@@ -796,6 +934,23 @@ fn run_orchestrate(args: &[String]) -> CliResult {
             "orchestrate needs --sweep <{NAMED_SWEEP_AXES}>"
         )));
     };
+    if optimize.is_none() {
+        for (flag, set) in [
+            ("--budget", budget.is_some()),
+            ("--seed", seed.is_some()),
+            ("--objectives", objectives.is_some()),
+            ("--rounds", rounds.is_some()),
+        ] {
+            if set {
+                return Err(CliError::usage(format!("{flag} requires --optimize")));
+            }
+        }
+    } else if check {
+        return Err(CliError::usage(
+            "--check verifies sweep merges against the unsharded fingerprint; \
+             it does not apply to --optimize",
+        ));
+    }
     let pool = match (workers, remote) {
         (Some(_), Some(_)) => {
             return Err(CliError::usage(
@@ -892,6 +1047,56 @@ fn run_orchestrate(args: &[String]) -> CliResult {
         WorkerPool::Local { .. } => format!("{shards} local workers"),
         WorkerPool::Remote(_) => format!("{shards} remote servers"),
     };
+
+    if let Some(method) = optimize {
+        let opt_request = OptimizeRequest {
+            testcase: request.testcase.clone(),
+            system: request.system.clone(),
+            axis: request.axis.clone(),
+            axes: None,
+            shard: None,
+            method: Some(method.label().to_string()),
+            budget,
+            seed,
+            objectives: objectives.map(|set| set.label()),
+            island: None,
+            frontier: None,
+        };
+        let rounds = rounds.unwrap_or(1);
+        eprintln!(
+            "orchestrating {} island search across {mode} ({rounds} rounds, \
+             {} retries, {} ms backoff)",
+            method.label(),
+            policy.retries,
+            policy.backoff.as_millis()
+        );
+        let mut merged_out = std::io::BufWriter::new(std::io::stdout().lock());
+        let outcome =
+            orchestrator::orchestrate_optimize(&db, &opt_request, &pool, &policy, rounds, |line| {
+                use std::io::Write;
+                merged_out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| merged_out.write_all(b"\n"))
+                    .map_err(|e| ServeError::Io(format!("writing merged stream: {e}")))
+            })
+            .map_err(serve_error)?;
+        {
+            use std::io::Write;
+            merged_out
+                .flush()
+                .map_err(|e| eco_chip::EcoChipError::Io(format!("flushing merged stream: {e}")))?;
+        }
+        eprintln!(
+            "islands done: {} cases evaluated across {} islands in {} rounds, \
+             {} points on the merged frontier",
+            outcome.evaluated,
+            outcome.islands,
+            outcome.rounds,
+            outcome.frontier.len()
+        );
+        return Ok(());
+    }
+
     eprintln!(
         "orchestrating sweep across {mode} ({} retries, {} ms backoff)",
         policy.retries,
@@ -1135,6 +1340,10 @@ fn real_main() -> CliResult {
     let mut memo_cap: Option<usize> = None;
     let mut memo_save_every: Option<usize> = None;
     let mut stream: Option<StreamFormat> = None;
+    let mut optimize: Option<opt::OptMethod> = None;
+    let mut budget: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut objectives: Option<opt::ObjectiveSet> = None;
     let mut list_testcases = false;
 
     let mut i = 0;
@@ -1207,6 +1416,22 @@ fn real_main() -> CliResult {
                 stream = Some(StreamFormat::parse(&value_of(&args, i, "--stream")?)?);
                 i += 2;
             }
+            "--optimize" => {
+                optimize = Some(parse_method(&value_of(&args, i, "--optimize")?)?);
+                i += 2;
+            }
+            "--budget" => {
+                budget = Some(positive(&value_of(&args, i, "--budget")?, "--budget")?);
+                i += 2;
+            }
+            "--seed" => {
+                seed = Some(parse_seed(&value_of(&args, i, "--seed")?)?);
+                i += 2;
+            }
+            "--objectives" => {
+                objectives = Some(parse_objectives(&value_of(&args, i, "--objectives")?)?);
+                i += 2;
+            }
             "--verbose" => {
                 trace::raise_level(trace::Level::Info);
                 i += 1;
@@ -1267,6 +1492,33 @@ fn real_main() -> CliResult {
         if chunk.is_some() {
             return Err(CliError::usage("--chunk requires --sweep"));
         }
+        if optimize.is_some() {
+            return Err(CliError::usage(format!(
+                "--optimize requires --sweep <{NAMED_SWEEP_AXES}> to define the search space"
+            )));
+        }
+    }
+    if optimize.is_none() {
+        if budget.is_some() {
+            return Err(CliError::usage("--budget requires --optimize"));
+        }
+        if seed.is_some() {
+            return Err(CliError::usage("--seed requires --optimize"));
+        }
+        if objectives.is_some() {
+            return Err(CliError::usage("--objectives requires --optimize"));
+        }
+    } else {
+        if stream.is_some() {
+            return Err(CliError::usage(
+                "--optimize already streams NDJSON events to stdout; drop --stream",
+            ));
+        }
+        if csv.is_some() || json.is_some() {
+            return Err(CliError::usage(
+                "--csv/--json export sweep points; they do not apply to --optimize",
+            ));
+        }
     }
     if memo_save_every.is_some() && memo.is_none() {
         return Err(CliError::usage("--memo-save-every requires --memo-file"));
@@ -1282,9 +1534,20 @@ fn real_main() -> CliResult {
         stream,
         chunk,
     };
-    match sweep {
-        Some(axis) => run_sweep(&system, db, &axis, jobs, &options),
-        None => run(&system, db, &options),
+    match (sweep, optimize) {
+        (Some(axis), Some(method)) => {
+            let config = opt::OptConfig {
+                method,
+                objectives: objectives.unwrap_or_default(),
+                budget: budget.unwrap_or(opt::DEFAULT_BUDGET),
+                seed: seed.unwrap_or(opt::DEFAULT_SEED),
+                island: None,
+                seed_frontier: Vec::new(),
+            };
+            run_optimize(&system, db, &axis, jobs, &options, &config)
+        }
+        (Some(axis), None) => run_sweep(&system, db, &axis, jobs, &options),
+        (None, _) => run(&system, db, &options),
     }
 }
 
